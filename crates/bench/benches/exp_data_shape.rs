@@ -1,0 +1,123 @@
+//! EXP-T8 — sensitivity to the shape of the hidden data (§4: the local
+//! simulated database exists precisely so "the effectiveness of the
+//! sampler" can be demonstrated against full ground truth).
+//!
+//! Three sweeps:
+//! 1. **Boolean density** `p`: how dead-end rate and cost react to the
+//!    fraction of 1-bits (sparser data ⇒ more dead ends ⇒ higher cost);
+//! 2. **Zipfian value skew** `θ`: heavier tails concentrate tuples on
+//!    popular paths — per-sample cost stays roughly flat (popular branches
+//!    terminate earlier, rare branches dead-end more often);
+//! 3. **Duplicate density** (N/B): the documented limitation — when many
+//!    tuples share full attribute vectors, acceptance clipping at C = 1
+//!    under-samples dense cells and the popular-make share is
+//!    under-estimated; the effect grows with N/B and shrinks with k.
+
+use hdsampler_bench::{collect, f, section, table};
+use hdsampler_core::{DirectExecutor, HdsSampler, SamplerConfig};
+use hdsampler_estimator::{tv_distance, Histogram};
+use hdsampler_model::{AttrId, FormInterface};
+use hdsampler_workload::vehicles::N_JAPANESE_MAKES;
+use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
+
+fn main() {
+    let samples = 300;
+
+    // ---- 1. Boolean density sweep -------------------------------------
+    section("EXP-T8a: Boolean database, 1-bit density sweep (m=16, N=3k, k=20)");
+    let mut rows = Vec::new();
+    for p in [0.1, 0.3, 0.5] {
+        let db = WorkloadSpec {
+            data: DataSpec::BooleanIid { m: 16, n: 3_000, p },
+            db: DbConfig::no_counts().with_k(20),
+            seed: 8,
+        }
+        .build();
+        let truth = db.oracle().marginal(AttrId(0));
+        let mut s =
+            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
+        let (set, stats) = collect(&mut s, samples);
+        let hist = Histogram::from_rows(db.schema(), AttrId(0), set.rows());
+        rows.push(vec![
+            f(p, 1),
+            f(stats.queries_per_sample(), 2),
+            f(stats.dead_ends as f64 / stats.walks as f64, 3),
+            f(tv_distance(&hist.proportions(), &truth), 4),
+        ]);
+    }
+    table(&["p", "queries/sample", "dead-end rate", "TV(a1)"], &rows);
+
+    // ---- 2. Zipf exponent sweep ----------------------------------------
+    section("EXP-T8b: categorical database, Zipf(θ) value-skew sweep (8×6 domains, N=4k, k=50)");
+    let mut rows = Vec::new();
+    for theta in [0.0, 0.5, 1.0, 1.5] {
+        let db = WorkloadSpec {
+            data: DataSpec::ZipfCategorical {
+                domain_sizes: vec![6; 8],
+                n: 4_000,
+                theta,
+            },
+            db: DbConfig::no_counts().with_k(50),
+            seed: 12,
+        }
+        .build();
+        let truth = db.oracle().marginal(AttrId(0));
+        let mut s =
+            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
+        let (set, stats) = collect(&mut s, samples);
+        let hist = Histogram::from_rows(db.schema(), AttrId(0), set.rows());
+        rows.push(vec![
+            f(theta, 1),
+            f(stats.queries_per_sample(), 2),
+            f(stats.dead_ends as f64 / stats.walks as f64, 3),
+            f(tv_distance(&hist.proportions(), &truth), 4),
+        ]);
+    }
+    table(&["θ", "queries/sample", "dead-end rate", "TV(c0)"], &rows);
+
+    // ---- 3. Duplicate density: the distinct-tuples assumption ----------
+    section("EXP-T8c: duplicate density N/B and the C=1 clipping bias (compact vehicles, k=250)");
+    println!(
+        "  B = 77,760 cells; ref [1] assumes distinct tuples. As N/B grows, crowded\n  \
+         cells exceed their acceptance budget and popular (Japanese) makes are\n  \
+         under-sampled even at the lowest-skew slider position:\n"
+    );
+    let mut rows = Vec::new();
+    let mut biases = Vec::new();
+    for n in [2_000usize, 8_000, 30_000] {
+        let db = WorkloadSpec::vehicles(
+            VehiclesSpec::compact(n, 33),
+            DbConfig::no_counts().with_k(250),
+        )
+        .build();
+        let make = db.schema().attr_by_name("make").unwrap();
+        let truth: f64 = db.oracle().marginal(make)[..N_JAPANESE_MAKES].iter().sum();
+        let mut s =
+            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
+        let (set, stats) = collect(&mut s, 600);
+        let hist = Histogram::from_rows(db.schema(), make, set.rows());
+        let est: f64 = hist.proportions()[..N_JAPANESE_MAKES].iter().sum();
+        let bias = est - truth;
+        biases.push(bias);
+        rows.push(vec![
+            n.to_string(),
+            f(n as f64 / 77_760.0, 3),
+            format!("{:.2}pp", bias * 100.0),
+            f(stats.queries_per_sample(), 2),
+        ]);
+    }
+    table(&["N", "N/B", "Japanese-share bias", "queries/sample"], &rows);
+
+    assert!(
+        biases[0].abs() < 0.05,
+        "sparse data is near-unbiased: {biases:?}"
+    );
+    assert!(
+        biases.last().unwrap() < &(-0.02),
+        "dense data under-samples popular makes: {biases:?}"
+    );
+    println!(
+        "\n  PASS: the distinct-tuples assumption matters — dense duplicates bias C=1\n  \
+         sampling downward on popular values (documented limitation, DESIGN.md)"
+    );
+}

@@ -1,0 +1,83 @@
+//! EXP-T3 — §3.2's optimization (ref [2]): "this module also keeps track
+//! of the query history and results to ensure that the random query
+//! generation process accumulates savings by not issuing the same query
+//! twice, or queries whose results can be inferred from the query
+//! history."
+//!
+//! Reproduced shape: the history cache absorbs the bulk of requests — the
+//! memo rule dominates (walks share upper-tree prefixes), the containment
+//! rules add more on scrambled orders — while the produced sample stream
+//! is *identical* to the uncached run (inference is exact).
+
+use hdsampler_bench::{collect, f, section, table};
+use hdsampler_core::{CachingExecutor, DirectExecutor, HdsSampler, SamplerConfig};
+
+use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
+
+fn run(variant: &str, spec: VehiclesSpec, k: usize, samples: usize) {
+    section(&format!("EXP-T3: history savings on {variant}"));
+    let make_db = || {
+        WorkloadSpec::vehicles(spec, DbConfig::no_counts().with_k(k)).build()
+    };
+
+    // Without cache.
+    let db_direct = make_db();
+    let mut plain =
+        HdsSampler::new(DirectExecutor::new(&db_direct), SamplerConfig::seeded(99)).unwrap();
+    let (set_plain, stats_plain) = collect(&mut plain, samples);
+
+    // With cache (same seed, same site).
+    let db_cached = make_db();
+    let mut cached =
+        HdsSampler::new(CachingExecutor::new(&db_cached), SamplerConfig::seeded(99)).unwrap();
+    let (set_cached, stats_cached) = collect(&mut cached, samples);
+    let hist = cached.executor().history_stats();
+
+    // Exactness: the cache must not change the sample stream.
+    assert_eq!(set_plain.keys(), set_cached.keys(), "inference must be invisible");
+
+    let saved = stats_cached.queries_saved();
+    table(
+        &["configuration", "requests", "charged queries", "queries/sample"],
+        &[
+            vec![
+                "no cache".into(),
+                stats_plain.requests.to_string(),
+                stats_plain.queries_issued.to_string(),
+                f(stats_plain.queries_per_sample(), 2),
+            ],
+            vec![
+                "history cache".into(),
+                stats_cached.requests.to_string(),
+                stats_cached.queries_issued.to_string(),
+                f(stats_cached.queries_per_sample(), 2),
+            ],
+        ],
+    );
+    println!(
+        "\n  savings: {saved} of {} requests ({:.1}%) answered from history",
+        stats_cached.requests,
+        stats_cached.savings_rate() * 100.0
+    );
+    table(
+        &["rule", "hits"],
+        &[
+            vec!["1: exact memo".into(), hist.memo_hits.to_string()],
+            vec!["2: empty-subset".into(), hist.empty_rule_hits.to_string()],
+            vec!["3: overflow-superset".into(), hist.overflow_rule_hits.to_string()],
+            vec!["4: valid-ancestor filter".into(), hist.filter_rule_hits.to_string()],
+            vec!["(charged misses)".into(), hist.misses.to_string()],
+        ],
+    );
+    assert!(
+        stats_cached.queries_issued < stats_plain.queries_issued / 2,
+        "cache must at least halve the charged queries"
+    );
+    assert!(hist.empty_rule_hits + hist.overflow_rule_hits + hist.filter_rule_hits > 0);
+    println!("  PASS: identical samples, >50% of charges avoided");
+}
+
+fn main() {
+    run("compact vehicles (N=8k, k=250)", VehiclesSpec::compact(8_000, 5), 250, 400);
+    run("full vehicles (N=20k, k=1000)", VehiclesSpec::full(20_000, 5), 1000, 200);
+}

@@ -1,0 +1,85 @@
+//! EXP-T7 — design-choice ablation (ref [1]): random per-walk attribute
+//! scrambling vs a fixed attribute order.
+//!
+//! A fixed order systematically favours tuples that become unique early
+//! along that order; scrambling averages walk depths across tuples. The
+//! effect is invisible at C = 1 (acceptance–rejection equalizes both) but
+//! shows up as lower skew at the efficiency end of the slider — exactly
+//! the regime the demo runs in.
+//!
+//! Reproduced shape: at slider = 1 (raw walk), scrambling reduces the
+//! tuple-level skew coefficient and the marginal TV distance on
+//! correlated data; at slider = 0 the two orders coincide statistically.
+
+use hdsampler_bench::{collect, f, section, table, tuple_frequencies};
+use hdsampler_core::{DirectExecutor, HdsSampler, OrderStrategy, SamplerConfig};
+use hdsampler_estimator::{skew_coefficient, tv_distance, Histogram};
+use hdsampler_model::{AttrId, FormInterface};
+use hdsampler_workload::{DataSpec, DbConfig, WorkloadSpec};
+
+fn main() {
+    section("EXP-T7: fixed vs scrambled attribute order (ref [1] ablation)");
+    let n = 3_000;
+    let db = WorkloadSpec {
+        data: DataSpec::BooleanCorrelated { m: 14, n, clusters: 6, noise: 0.08 },
+        db: DbConfig::no_counts().with_k(20),
+        seed: 17,
+    }
+    .build();
+    let schema = db.schema().clone();
+    let attr = AttrId(0);
+    let truth = db.oracle().marginal(attr);
+    let samples = 600;
+
+    let mut rows = Vec::new();
+    let mut skew_by_config = Vec::new();
+    for (strategy, strategy_name) in [
+        (OrderStrategy::Fixed, "fixed"),
+        (OrderStrategy::ScramblePerWalk, "scrambled"),
+    ] {
+        for slider in [0.0, 1.0] {
+            let mut sampler = HdsSampler::new(
+                DirectExecutor::new(&db),
+                SamplerConfig::seeded(7).with_order(strategy).with_slider(slider),
+            )
+            .unwrap();
+            let (set, stats) = collect(&mut sampler, samples);
+            let hist = Histogram::from_rows(&schema, attr, set.rows());
+            let tv = tv_distance(&hist.proportions(), &truth);
+            let freqs = tuple_frequencies(&db, &set);
+            let skew = skew_coefficient(&freqs, n, set.len() as u64);
+            skew_by_config.push((strategy_name, slider, skew));
+            rows.push(vec![
+                strategy_name.into(),
+                f(slider, 1),
+                f(stats.queries_per_sample(), 2),
+                f(tv, 4),
+                f(skew, 3),
+            ]);
+        }
+    }
+    table(
+        &["order", "slider", "queries/sample", "TV(a1)", "skew coeff"],
+        &rows,
+    );
+
+    let skew_of = |name: &str, slider: f64| {
+        skew_by_config
+            .iter()
+            .find(|&&(n, s, _)| n == name && s == slider)
+            .map(|&(_, _, v)| v)
+            .unwrap()
+    };
+    let fixed_raw = skew_of("fixed", 1.0);
+    let scrambled_raw = skew_of("scrambled", 1.0);
+    assert!(
+        scrambled_raw < fixed_raw,
+        "scrambling must reduce raw-walk skew: fixed {fixed_raw} vs scrambled {scrambled_raw}"
+    );
+    println!(
+        "  PASS: at the efficiency end, scrambling cuts the skew coefficient \
+         from {} to {}",
+        f(fixed_raw, 3),
+        f(scrambled_raw, 3)
+    );
+}

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the substrate (§3.5 "Implementation
+//! Platform" analogue): query-engine throughput, drill-down walk cost, and
+//! history-cache lookup cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hdsampler_core::{
+    CachingExecutor, DirectExecutor, HdsSampler, QueryExecutor, Sampler, SamplerConfig,
+};
+use hdsampler_model::{AttrId, ConjunctiveQuery, FormInterface};
+use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
+
+fn engine_query(c: &mut Criterion) {
+    let db = WorkloadSpec::vehicles(
+        VehiclesSpec::full(100_000, 1),
+        DbConfig::no_counts().with_k(1000),
+    )
+    .build();
+    let schema = db.schema().clone();
+    let make = schema.attr_by_name("make").unwrap();
+    let year = schema.attr_by_name("year").unwrap();
+    let body = schema.attr_by_name("body").unwrap();
+
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("selective_conjunction_3pred", |b| {
+        let q = ConjunctiveQuery::from_pairs([(make, 0), (year, 10), (body, 0)]).unwrap();
+        b.iter(|| db.execute(&q).unwrap().returned())
+    });
+    group.bench_function("broad_overflow_1pred", |b| {
+        let q = ConjunctiveQuery::from_pairs([(make, 0)]).unwrap();
+        b.iter(|| db.execute(&q).unwrap().returned())
+    });
+    group.bench_function("count_probe", |b| {
+        let db_counts = WorkloadSpec::vehicles(
+            VehiclesSpec::full(100_000, 1),
+            DbConfig::exact_counts().with_k(1000),
+        )
+        .build();
+        let q = ConjunctiveQuery::from_pairs([(make, 0), (year, 10)]).unwrap();
+        b.iter(|| db_counts.count(&q).unwrap())
+    });
+    group.finish();
+}
+
+fn sampler_walks(c: &mut Criterion) {
+    let db = WorkloadSpec::vehicles(
+        VehiclesSpec::compact(20_000, 2),
+        DbConfig::no_counts().with_k(250),
+    )
+    .build();
+
+    let mut group = c.benchmark_group("sampler");
+    group.bench_function("hds_sample_direct", |b| {
+        b.iter_batched(
+            || HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(3)).unwrap(),
+            |mut s| s.next_sample().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("hds_sample_cached_warm", |b| {
+        let mut s =
+            HdsSampler::new(CachingExecutor::new(&db), SamplerConfig::seeded(3)).unwrap();
+        // Warm the cache.
+        for _ in 0..200 {
+            s.next_sample().unwrap();
+        }
+        b.iter(|| s.next_sample().unwrap())
+    });
+    group.finish();
+}
+
+fn cache_lookup(c: &mut Criterion) {
+    let db = WorkloadSpec::vehicles(
+        VehiclesSpec::compact(20_000, 2),
+        DbConfig::no_counts().with_k(250),
+    )
+    .build();
+    let exec = CachingExecutor::new(&db);
+    let schema = db.schema().clone();
+    // Populate with a spread of depth-1/2 queries.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut queries = Vec::new();
+    for _ in 0..500 {
+        let a1 = AttrId(rng.gen_range(0..schema.arity() as u16));
+        let v1 = rng.gen_range(0..schema.domain_size(a1)) as u16;
+        let q = ConjunctiveQuery::from_pairs([(a1, v1)]).unwrap();
+        let _ = exec.classify(&q);
+        queries.push(q);
+    }
+    c.bench_function("cache/memo_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            exec.classify(&queries[i]).unwrap().class
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = engine_query, sampler_walks, cache_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! Hand-rolled argument parsing (no external parser dependencies).
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+HDSampler — sampling hidden databases behind top-k web forms
+
+USAGE:
+  hdsampler <COMMAND> [OPTIONS]
+
+COMMANDS:
+  describe    show the simulated site's form (attributes and domains)
+  sample      run an incremental sampling session and print histograms
+  aggregate   estimate aggregates (proportion / count / avg / sum)
+  validate    compare sampled marginals against the simulation's truth
+
+COMMON OPTIONS:
+  --source <vehicles-full|vehicles-compact|boolean>   data source (default vehicles-compact)
+  --n <N>              number of tuples to simulate        (default 8000)
+  --k <K>              top-k display limit                 (default 250)
+  --seed <S>           data + sampler seed                 (default 2009)
+  --samples <S>        sample target                       (default 200)
+  --slider <0..1>      efficiency/skew slider              (default 0.0)
+  --bind attr=label    pin a binding (repeatable; Figure 3 style scoping)
+  --budget <Q>         per-session query limit
+  --counts <absent|exact|noisy>  count banner mode         (default absent)
+
+sample:
+  --histogram <attr>   attribute(s) to display (repeatable; default: first)
+
+aggregate:
+  --proportion attr=label   estimate a proportion (repeatable)
+  --avg <measure>           estimate an average   (repeatable)
+
+validate:
+  --attr <attr>        attribute to validate (default: first)
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Which subcommand to run.
+    pub command: Command,
+    /// Shared options.
+    pub common: Common,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Show the form definition.
+    Describe,
+    /// Incremental sampling with live histograms.
+    Sample {
+        /// Attributes to display as histograms.
+        histograms: Vec<String>,
+    },
+    /// Aggregate console.
+    Aggregate {
+        /// `attr=label` proportion targets.
+        proportions: Vec<(String, String)>,
+        /// Measures to average.
+        avgs: Vec<String>,
+    },
+    /// Truth comparison.
+    Validate {
+        /// Attribute to validate.
+        attr: Option<String>,
+    },
+}
+
+/// Options shared by all subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Common {
+    /// Data source name.
+    pub source: String,
+    /// Simulated tuple count.
+    pub n: usize,
+    /// Top-k limit.
+    pub k: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Sample target.
+    pub samples: usize,
+    /// Slider position.
+    pub slider: f64,
+    /// Pinned bindings.
+    pub binds: Vec<(String, String)>,
+    /// Optional query budget.
+    pub budget: Option<u64>,
+    /// Count banner mode.
+    pub counts: String,
+}
+
+impl Default for Common {
+    fn default() -> Self {
+        Common {
+            source: "vehicles-compact".into(),
+            n: 8_000,
+            k: 250,
+            seed: 2009,
+            samples: 200,
+            slider: 0.0,
+            binds: Vec::new(),
+            budget: None,
+            counts: "absent".into(),
+        }
+    }
+}
+
+fn split_kv(s: &str, flag: &str) -> Result<(String, String), String> {
+    s.split_once('=')
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .ok_or_else(|| format!("{flag} expects attr=label, got `{s}`"))
+}
+
+/// Parse an argv slice (without the program name).
+pub fn parse(argv: &[String]) -> Result<Cli, String> {
+    let mut it = argv.iter().peekable();
+    let command_word = it.next().ok_or("missing command")?;
+    if command_word == "--help" || command_word == "-h" {
+        return Err("help requested".into());
+    }
+
+    let mut common = Common::default();
+    let mut histograms = Vec::new();
+    let mut proportions = Vec::new();
+    let mut avgs = Vec::new();
+    let mut validate_attr = None;
+
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--source" => common.source = value("--source")?.clone(),
+            "--n" => common.n = value("--n")?.parse().map_err(|_| "--n: not a number")?,
+            "--k" => common.k = value("--k")?.parse().map_err(|_| "--k: not a number")?,
+            "--seed" => {
+                common.seed = value("--seed")?.parse().map_err(|_| "--seed: not a number")?
+            }
+            "--samples" => {
+                common.samples =
+                    value("--samples")?.parse().map_err(|_| "--samples: not a number")?
+            }
+            "--slider" => {
+                common.slider =
+                    value("--slider")?.parse().map_err(|_| "--slider: not a number")?;
+                if !(0.0..=1.0).contains(&common.slider) {
+                    return Err("--slider must lie in [0, 1]".into());
+                }
+            }
+            "--bind" => common.binds.push(split_kv(value("--bind")?, "--bind")?),
+            "--budget" => {
+                common.budget =
+                    Some(value("--budget")?.parse().map_err(|_| "--budget: not a number")?)
+            }
+            "--counts" => {
+                let v = value("--counts")?.clone();
+                if !["absent", "exact", "noisy"].contains(&v.as_str()) {
+                    return Err(format!("--counts: unknown mode `{v}`"));
+                }
+                common.counts = v;
+            }
+            "--histogram" => histograms.push(value("--histogram")?.clone()),
+            "--proportion" => {
+                proportions.push(split_kv(value("--proportion")?, "--proportion")?)
+            }
+            "--avg" => avgs.push(value("--avg")?.clone()),
+            "--attr" => validate_attr = Some(value("--attr")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let command = match command_word.as_str() {
+        "describe" => Command::Describe,
+        "sample" => Command::Sample { histograms },
+        "aggregate" => Command::Aggregate { proportions, avgs },
+        "validate" => Command::Validate { attr: validate_attr },
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    Ok(Cli { command, common })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_sample_with_everything() {
+        let cli = parse(&argv(&[
+            "sample",
+            "--source",
+            "vehicles-full",
+            "--n",
+            "1000",
+            "--k",
+            "50",
+            "--seed",
+            "7",
+            "--samples",
+            "99",
+            "--slider",
+            "0.5",
+            "--bind",
+            "condition=used",
+            "--bind",
+            "make=Toyota",
+            "--budget",
+            "5000",
+            "--histogram",
+            "make",
+            "--histogram",
+            "year",
+        ]))
+        .unwrap();
+        assert_eq!(cli.common.source, "vehicles-full");
+        assert_eq!(cli.common.n, 1000);
+        assert_eq!(cli.common.k, 50);
+        assert_eq!(cli.common.samples, 99);
+        assert_eq!(cli.common.slider, 0.5);
+        assert_eq!(cli.common.binds.len(), 2);
+        assert_eq!(cli.common.budget, Some(5000));
+        assert_eq!(
+            cli.command,
+            Command::Sample { histograms: vec!["make".into(), "year".into()] }
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cli = parse(&argv(&["describe"])).unwrap();
+        assert_eq!(cli.common, Common::default());
+        assert_eq!(cli.command, Command::Describe);
+    }
+
+    #[test]
+    fn aggregate_flags() {
+        let cli = parse(&argv(&[
+            "aggregate",
+            "--proportion",
+            "make=Toyota",
+            "--avg",
+            "price_usd",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Aggregate { proportions, avgs } => {
+                assert_eq!(proportions, vec![("make".to_string(), "Toyota".to_string())]);
+                assert_eq!(avgs, vec!["price_usd".to_string()]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&argv(&[])).is_err());
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+        assert!(parse(&argv(&["sample", "--n"])).is_err());
+        assert!(parse(&argv(&["sample", "--n", "abc"])).is_err());
+        assert!(parse(&argv(&["sample", "--slider", "1.5"])).is_err());
+        assert!(parse(&argv(&["sample", "--bind", "nokv"])).is_err());
+        assert!(parse(&argv(&["sample", "--counts", "psychic"])).is_err());
+        assert!(parse(&argv(&["sample", "--wat", "1"])).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Command implementations.
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use hdsampler_core::{
+    CachingExecutor, HdsSampler, SampleSet, SamplerConfig, SamplingSession,
+    SessionEvent,
+};
+use hdsampler_estimator::{Estimator, Histogram, MarginalComparison};
+use hdsampler_hidden_db::{CountMode, HiddenDb};
+use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
+use hdsampler_webform::WebForm;
+use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
+
+use crate::args::{Cli, Command, Common};
+use crate::display;
+
+/// Build the simulated site from the common options.
+fn build_site(common: &Common) -> Result<Arc<HiddenDb>, String> {
+    let count_mode = match common.counts.as_str() {
+        "exact" => CountMode::Exact,
+        "noisy" => CountMode::Noisy { sigma: 0.15, seed: common.seed },
+        _ => CountMode::Absent,
+    };
+    let mut db_cfg = DbConfig { count_mode, ..DbConfig::no_counts().with_k(common.k) };
+    if let Some(b) = common.budget {
+        db_cfg = db_cfg.with_budget(b);
+    }
+    let data = match common.source.as_str() {
+        "vehicles-full" => DataSpec::Vehicles(VehiclesSpec::full(common.n, common.seed)),
+        "vehicles-compact" => DataSpec::Vehicles(VehiclesSpec::compact(common.n, common.seed)),
+        "boolean" => DataSpec::BooleanIid { m: 14, n: common.n, p: 0.5 },
+        other => return Err(format!("unknown source `{other}`")),
+    };
+    Ok(Arc::new(WorkloadSpec { data, db: db_cfg, seed: common.seed }.build()))
+}
+
+fn scope_query(schema: &Schema, binds: &[(String, String)]) -> Result<ConjunctiveQuery, String> {
+    ConjunctiveQuery::from_named(
+        schema,
+        binds.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn run_session(
+    db: &Arc<HiddenDb>,
+    common: &Common,
+) -> Result<(SampleSet, hdsampler_core::SamplerStats), String> {
+    let schema = db.schema().clone();
+    let scope = scope_query(&schema, &common.binds)?;
+    let cfg = SamplerConfig::seeded(common.seed)
+        .with_slider(common.slider)
+        .with_scope(scope);
+    let mut sampler =
+        HdsSampler::new(CachingExecutor::new(Arc::clone(db)), cfg).map_err(|e| e.to_string())?;
+    let session = SamplingSession::new(common.samples);
+    let mut out = std::io::stdout();
+    let outcome = session.run(&mut sampler, |event| {
+        if let SessionEvent::SampleAccepted { collected, target } = event {
+            if collected % 25 == 0 || *collected == *target {
+                let _ = write!(out, "\r  samples {collected}/{target}   ");
+                let _ = out.flush();
+            }
+        }
+    });
+    println!();
+    println!("{}", display::summary(&outcome.stats));
+    if !matches!(outcome.reason, hdsampler_core::StopReason::TargetReached) {
+        println!("note: session stopped early ({:?})", outcome.reason);
+    }
+    Ok((outcome.samples, outcome.stats))
+}
+
+/// Execute a parsed command.
+pub fn run(cli: Cli) -> Result<(), String> {
+    match cli.command {
+        Command::Describe => describe(&cli.common),
+        Command::Sample { histograms } => sample(&cli.common, &histograms),
+        Command::Aggregate { proportions, avgs } => aggregate(&cli.common, &proportions, &avgs),
+        Command::Validate { attr } => validate(&cli.common, attr.as_deref()),
+    }
+}
+
+fn describe(common: &Common) -> Result<(), String> {
+    let db = build_site(common)?;
+    let schema = Arc::new(db.schema().clone());
+    println!(
+        "source `{}`: {} tuples behind a top-{} conjunctive form ({} attributes, {} measures)",
+        common.source,
+        db.n_tuples(),
+        db.result_limit(),
+        schema.arity(),
+        schema.measure_arity(),
+    );
+    println!("domain product B = {:.3e}\n", schema.domain_product());
+    for (_, attr) in schema.iter() {
+        let labels: Vec<String> =
+            attr.domain().take(6).map(|v| attr.label(v).into_owned()).collect();
+        let ellipsis = if attr.domain_size() > 6 { ", …" } else { "" };
+        println!(
+            "  {:<14} |Dom| = {:<4} {{{}{}}}",
+            attr.name(),
+            attr.domain_size(),
+            labels.join(", "),
+            ellipsis
+        );
+    }
+    println!("\nform HTML (Figure 3 analogue):\n");
+    let form = WebForm::new(schema, "/search");
+    for line in form.render_html().lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  …");
+    Ok(())
+}
+
+fn sample(common: &Common, histograms: &[String]) -> Result<(), String> {
+    let db = build_site(common)?;
+    let schema = db.schema().clone();
+    let (samples, _) = run_session(&db, common)?;
+    let wanted: Vec<String> = if histograms.is_empty() {
+        vec![schema.attributes()[0].name().to_owned()]
+    } else {
+        histograms.to_vec()
+    };
+    for name in &wanted {
+        let attr = schema.attr_by_name(name).map_err(|e| e.to_string())?;
+        let hist = Histogram::from_rows(&schema, attr, samples.rows());
+        println!("\n{}", hist.render(40));
+    }
+    Ok(())
+}
+
+fn aggregate(
+    common: &Common,
+    proportions: &[(String, String)],
+    avgs: &[String],
+) -> Result<(), String> {
+    let db = build_site(common)?;
+    let schema = db.schema().clone();
+    let (samples, _) = run_session(&db, common)?;
+    let est = Estimator::new(&samples);
+    println!();
+    for (attr_name, label) in proportions {
+        let attr = schema.attr_by_name(attr_name).map_err(|e| e.to_string())?;
+        let value = schema
+            .attr_unchecked(attr)
+            .parse_label(label)
+            .ok_or_else(|| format!("`{label}` is not a value of `{attr_name}`"))?;
+        let p = est.proportion(|r| r.values[attr.index()] == value);
+        println!(
+            "  proportion({attr_name}={label})  = {:.2}% ± {:.2}%",
+            p.value * 100.0,
+            p.half_width * 100.0
+        );
+    }
+    for m_name in avgs {
+        let m = schema.measure_by_name(m_name).map_err(|e| e.to_string())?;
+        let a = est.avg(m, |_| true);
+        println!("  avg({m_name})             = {:.2} ± {:.2}", a.value, a.half_width);
+    }
+    if proportions.is_empty() && avgs.is_empty() {
+        println!("  (nothing requested — pass --proportion attr=label or --avg measure)");
+    }
+    Ok(())
+}
+
+fn validate(common: &Common, attr_name: Option<&str>) -> Result<(), String> {
+    let db = build_site(common)?;
+    let schema = db.schema().clone();
+    let (samples, _) = run_session(&db, common)?;
+    let attr = match attr_name {
+        Some(n) => schema.attr_by_name(n).map_err(|e| e.to_string())?,
+        None => schema.attr_ids().next().ok_or("schema has no attributes")?,
+    };
+    let hist = Histogram::from_rows(&schema, attr, samples.rows());
+    let cmp =
+        MarginalComparison::new(&schema, attr, hist.proportions(), db.oracle().marginal(attr));
+    println!("\n{}", cmp.render(0.01));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Common;
+
+    fn quick_common() -> Common {
+        Common { n: 400, k: 50, samples: 20, ..Common::default() }
+    }
+
+    #[test]
+    fn build_site_sources() {
+        assert!(build_site(&quick_common()).is_ok());
+        let full = Common { source: "vehicles-full".into(), ..quick_common() };
+        assert!(build_site(&full).is_ok());
+        let boolean = Common { source: "boolean".into(), ..quick_common() };
+        assert!(build_site(&boolean).is_ok());
+        let bad = Common { source: "nope".into(), ..quick_common() };
+        assert!(build_site(&bad).is_err());
+    }
+
+    #[test]
+    fn end_to_end_sample_command() {
+        let common = quick_common();
+        sample(&common, &["make".into()]).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_aggregate_command() {
+        let common = quick_common();
+        aggregate(
+            &common,
+            &[("make".to_string(), "Toyota".to_string())],
+            &["price_usd".to_string()],
+        )
+        .unwrap();
+        // Unknown label is a user error, not a panic.
+        assert!(aggregate(
+            &common,
+            &[("make".to_string(), "Tesla".to_string())],
+            &[],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn end_to_end_validate_command() {
+        validate(&quick_common(), Some("make")).unwrap();
+        assert!(validate(&quick_common(), Some("bogus")).is_err());
+    }
+
+    #[test]
+    fn binds_scope_the_session() {
+        let common = Common {
+            binds: vec![("condition".to_string(), "used".to_string())],
+            ..quick_common()
+        };
+        let db = build_site(&common).unwrap();
+        let (samples, _) = run_session(&db, &common).unwrap();
+        let cond = db.schema().attr_by_name("condition").unwrap();
+        assert!(samples.rows().all(|r| r.values[cond.index()] == 1));
+    }
+}

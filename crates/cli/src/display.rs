@@ -1,0 +1,67 @@
+//! Terminal rendering helpers.
+
+use hdsampler_core::SamplerStats;
+
+/// A one-line progress string (the AJAX live counter of the original UI).
+#[allow(dead_code)] // kept for front ends that stream stats live
+pub fn progress_line(collected: usize, target: usize, stats: &SamplerStats) -> String {
+    format!(
+        "\r  samples {collected}/{target}  queries {}  saved {:.0}%   ",
+        stats.queries_issued,
+        stats.savings_rate() * 100.0
+    )
+}
+
+/// Final session summary block.
+pub fn summary(stats: &SamplerStats) -> String {
+    format!(
+        "session: {} samples | {} walks | {} queries charged ({} requests, {:.0}% from history)\n\
+         per sample: {:.2} queries, {:.2} walks | acceptance rate {:.3}\n\
+         dead ends {} | leaf overflows {} | rejected {}",
+        stats.accepted,
+        stats.walks,
+        stats.queries_issued,
+        stats.requests,
+        stats.savings_rate() * 100.0,
+        stats.queries_per_sample(),
+        stats.walks_per_sample(),
+        stats.acceptance_rate(),
+        stats.dead_ends,
+        stats.leaf_overflows,
+        stats.rejected,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SamplerStats {
+        SamplerStats {
+            walks: 50,
+            dead_ends: 10,
+            leaf_overflows: 0,
+            candidates: 40,
+            accepted: 20,
+            rejected: 20,
+            requests: 200,
+            queries_issued: 100,
+        }
+    }
+
+    #[test]
+    fn progress_is_single_line() {
+        let line = progress_line(5, 10, &stats());
+        assert!(line.starts_with('\r'));
+        assert!(line.contains("5/10"));
+        assert!(!line.trim_start_matches('\r').contains('\n'));
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let text = summary(&stats());
+        assert!(text.contains("20 samples"));
+        assert!(text.contains("100 queries charged"));
+        assert!(text.contains("50%"));
+    }
+}

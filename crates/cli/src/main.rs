@@ -1,0 +1,37 @@
+//! The HDSampler command-line front end — the demo's web UI (Figures 3
+//! and 4) translated to a terminal: pick a data source, pin attribute
+//! bindings, set the efficiency ↔ skew slider and a sample target, watch
+//! histograms refresh incrementally, and pose aggregate queries.
+//!
+//! ```text
+//! hdsampler describe  --source vehicles-compact --n 8000
+//! hdsampler sample    --source vehicles-full --n 20000 --samples 300 --slider 0.4 \
+//!                     --bind condition=used --histogram make --histogram year
+//! hdsampler aggregate --source vehicles-compact --n 5000 --samples 400 \
+//!                     --proportion make=Toyota --avg price_usd
+//! hdsampler validate  --source vehicles-compact --n 5000 --samples 400 --attr make
+//! ```
+
+mod args;
+mod commands;
+mod display;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

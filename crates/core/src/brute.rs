@@ -1,0 +1,252 @@
+//! BRUTE-FORCE-SAMPLER: provably uniform, impractically slow (§3.4).
+//!
+//! The sampler draws a *fully specified* assignment uniformly from the
+//! domain product of the drillable attributes, submits it, and — because a
+//! fully specified query can essentially never overflow — either hits a
+//! tiny result set or (overwhelmingly often) nothing at all. Its success
+//! probability is `#occupied cells / B`, which is why the paper uses it
+//! only as a ground-truth reference: "BRUTE-FORCE-SAMPLER is extremely slow
+//! and thus cannot be used in practice" (§3.4).
+//!
+//! ## Duplicates
+//!
+//! Real data may hold several tuples with identical queryable attributes
+//! (`j > 1` rows for one assignment). Picking one of `j` rows uniformly
+//! would under-represent tuples in crowded cells, so the sampler draws a
+//! slot `r` uniform in `0..dup_cap` and accepts only if `r < j`: every
+//! tuple in cells with `j ≤ dup_cap` is output with identical probability
+//! `1/(B · dup_cap)`. Cells beyond `dup_cap` (astronomically rare for
+//! realistic caps) are clipped and counted in
+//! [`BruteForceSampler::duplicate_clips`].
+
+use hdsampler_model::{AttrId, Classification, ConjunctiveQuery, DomIx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SamplerConfig;
+use crate::executor::QueryExecutor;
+use crate::sample::{Sample, SampleMeta, Sampler, SamplerError};
+use crate::stats::SamplerStats;
+use crate::walk::{domain_product, resolve_drill_attrs};
+
+/// The BRUTE-FORCE-SAMPLER.
+#[derive(Debug)]
+pub struct BruteForceSampler<E> {
+    exec: E,
+    cfg: SamplerConfig,
+    drill: Vec<AttrId>,
+    b_product: f64,
+    rng: StdRng,
+    stats: SamplerStats,
+    duplicate_clips: u64,
+}
+
+impl<E: QueryExecutor> BruteForceSampler<E> {
+    /// Construct over an executor. The acceptance policy is ignored: brute
+    /// force is inherently uniform.
+    pub fn new(exec: E, cfg: SamplerConfig) -> Result<Self, SamplerError> {
+        cfg.scope
+            .validate(exec.schema())
+            .map_err(|e| SamplerError::Config(e.to_string()))?;
+        if cfg.brute_dup_cap == 0 {
+            return Err(SamplerError::Config("brute_dup_cap must be ≥ 1".into()));
+        }
+        let drill = resolve_drill_attrs(exec.schema(), &cfg.scope, cfg.drill_attrs.as_deref())?;
+        let b_product = domain_product(exec.schema(), &drill);
+        if b_product > 1e15 {
+            // Not an error — the paper's point is exactly that this blows
+            // up — but the caller almost certainly misconfigured the run.
+            // We still proceed; the walk limit will stop us.
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xB12F_0005);
+        Ok(BruteForceSampler {
+            exec,
+            cfg,
+            drill,
+            b_product,
+            rng,
+            stats: SamplerStats::default(),
+            duplicate_clips: 0,
+        })
+    }
+
+    /// Cells observed with more than `dup_cap` duplicates (slightly
+    /// under-weighted; should be zero on healthy configurations).
+    pub fn duplicate_clips(&self) -> u64 {
+        self.duplicate_clips
+    }
+
+    /// Domain product `B` of the drillable attributes.
+    pub fn domain_product(&self) -> f64 {
+        self.b_product
+    }
+
+    /// Access the underlying executor.
+    pub fn executor(&self) -> &E {
+        &self.exec
+    }
+
+    fn random_assignment(&mut self) -> ConjunctiveQuery {
+        let schema = self.exec.schema();
+        let mut q = self.cfg.scope.clone();
+        for &attr in &self.drill {
+            let dom = schema.domain_size(attr);
+            let v = self.rng.gen_range(0..dom) as DomIx;
+            q = q.refine(attr, v).expect("drill attrs unbound");
+        }
+        q
+    }
+}
+
+impl<E: QueryExecutor> Sampler for BruteForceSampler<E> {
+    fn next_sample(&mut self) -> Result<Sample, SamplerError> {
+        let dup_cap = self.cfg.brute_dup_cap;
+        let mut attempts = 0u64;
+        loop {
+            if attempts >= self.cfg.max_walks_per_sample {
+                self.stats.requests = self.exec.requests();
+                self.stats.queries_issued = self.exec.queries_issued();
+                return Err(SamplerError::WalkLimit { walks: attempts });
+            }
+            attempts += 1;
+            self.stats.walks += 1;
+
+            let q = self.random_assignment();
+            let resp = self.exec.classify(&q).map_err(|e| {
+                self.stats.requests = self.exec.requests();
+                self.stats.queries_issued = self.exec.queries_issued();
+                SamplerError::from(e)
+            })?;
+            match resp.class {
+                Classification::Empty => {
+                    self.stats.dead_ends += 1;
+                }
+                Classification::Overflow => {
+                    // > k identical tuples: unsampleable, same as drill-down.
+                    self.stats.leaf_overflows += 1;
+                }
+                Classification::Valid => {
+                    self.stats.candidates += 1;
+                    let rows = resp.rows.as_ref().expect("valid carries rows");
+                    let j = rows.len();
+                    if j > dup_cap {
+                        self.duplicate_clips += 1;
+                    }
+                    let r = self.rng.gen_range(0..dup_cap.max(j));
+                    if r < j {
+                        self.stats.accepted += 1;
+                        self.stats.requests = self.exec.requests();
+                        self.stats.queries_issued = self.exec.queries_issued();
+                        return Ok(Sample {
+                            row: rows[r].clone(),
+                            weight: 1.0,
+                            meta: SampleMeta {
+                                depth: self.drill.len(),
+                                result_size: j,
+                                acceptance: (j as f64 / dup_cap as f64).min(1.0),
+                                walks: attempts,
+                            },
+                        });
+                    }
+                    self.stats.rejected += 1;
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SamplerStats {
+        let mut s = self.stats;
+        s.requests = self.exec.requests();
+        s.queries_issued = self.exec.queries_issued();
+        s
+    }
+
+    fn name(&self) -> &'static str {
+        "BRUTE-FORCE-SAMPLER"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::DirectExecutor;
+    use hdsampler_workload::figure1_db;
+
+    #[test]
+    fn uniform_on_figure1() {
+        let db = figure1_db(1);
+        let cfg = SamplerConfig::seeded(21);
+        let mut s = BruteForceSampler::new(DirectExecutor::new(&db), cfg).unwrap();
+        let n = 4_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let smp = s.next_sample().unwrap();
+            *counts.entry(smp.row.values.to_vec()).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (vals, c) in &counts {
+            let share = *c as f64 / n as f64;
+            assert!((share - 0.25).abs() < 0.025, "tuple {vals:?} share {share}");
+        }
+        assert_eq!(s.duplicate_clips(), 0);
+    }
+
+    #[test]
+    fn slower_than_the_occupancy_bound_predicts() {
+        // 4 occupied cells of 8, dup_cap = 8 ⇒ success ≈ 4/(8·8) = 1/16;
+        // hundreds of samples should certify the expected cost shape.
+        let db = figure1_db(1);
+        let cfg = SamplerConfig::seeded(22);
+        let mut s = BruteForceSampler::new(DirectExecutor::new(&db), cfg).unwrap();
+        for _ in 0..300 {
+            s.next_sample().unwrap();
+        }
+        let wps = s.stats().walks_per_sample();
+        assert!(
+            (10.0..25.0).contains(&wps),
+            "walks/sample {wps}, expected ≈ 16"
+        );
+    }
+
+    #[test]
+    fn duplicates_handled_uniformly() {
+        // Database: cell A holds 2 duplicates, cell B holds 1 tuple.
+        // Uniform-over-tuples means A-tuples together get 2/3 of samples.
+        use hdsampler_hidden_db::HiddenDb;
+        use hdsampler_model::{Attribute, SchemaBuilder, Tuple};
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(std::sync::Arc::clone(&schema)).result_limit(10);
+        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap()).unwrap();
+        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap()).unwrap();
+        b.push(&Tuple::new(&schema, vec![1], vec![]).unwrap()).unwrap();
+        let db = b.finish();
+
+        let cfg = SamplerConfig::seeded(23);
+        let mut s = BruteForceSampler::new(DirectExecutor::new(&db), cfg).unwrap();
+        let n = 3_000;
+        let mut zero_cell = 0u32;
+        for _ in 0..n {
+            let smp = s.next_sample().unwrap();
+            if smp.row.values[0] == 0 {
+                zero_cell += 1;
+            }
+        }
+        let share = zero_cell as f64 / n as f64;
+        assert!((share - 2.0 / 3.0).abs() < 0.03, "duplicate cell share {share}");
+    }
+
+    #[test]
+    fn zero_dup_cap_rejected() {
+        let db = figure1_db(1);
+        let mut cfg = SamplerConfig::seeded(1);
+        cfg.brute_dup_cap = 0;
+        assert!(matches!(
+            BruteForceSampler::new(DirectExecutor::new(&db), cfg),
+            Err(SamplerError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,129 @@
+//! Sampler configuration: everything the demo's front end lets a user set
+//! (Figure 3) plus the internal knobs of the algorithms.
+
+use serde::{Deserialize, Serialize};
+
+use hdsampler_model::ConjunctiveQuery;
+
+use crate::acceptance::AcceptancePolicy;
+use crate::order::OrderStrategy;
+
+/// Configuration shared by the samplers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// RNG seed — sampling runs are reproducible per seed.
+    pub seed: u64,
+    /// Acceptance–rejection policy of the Sample Processor (§3.3); the
+    /// demo's efficiency ↔ skew slider maps here (§3.1).
+    pub acceptance: AcceptancePolicy,
+    /// Attribute-order strategy of the Sample Generator.
+    pub order: OrderStrategy,
+    /// User-pinned value bindings: HDSampler can target "the whole dataset
+    /// or a specific selection of attributes" (§3.1); the sample is then
+    /// uniform over the pinned sub-population.
+    pub scope: ConjunctiveQuery,
+    /// Attributes the walk may drill on, by name. `None` ⇒ every attribute
+    /// not pinned by `scope`.
+    pub drill_attrs: Option<Vec<String>>,
+    /// Abort `next_sample` after this many fruitless walks (safety valve
+    /// against degenerate configurations, e.g. C = 1 on a near-empty scope).
+    pub max_walks_per_sample: u64,
+    /// Brute-force only: assumed maximum duplicate multiplicity per fully
+    /// specified assignment (tuples beyond this are slightly underweighted;
+    /// clips are counted in the stats).
+    pub brute_dup_cap: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            seed: 0x4D53_414D_504C_4552, // "MSAMPLER"
+            acceptance: AcceptancePolicy::Uniform,
+            order: OrderStrategy::ScramblePerWalk,
+            scope: ConjunctiveQuery::empty(),
+            drill_attrs: None,
+            max_walks_per_sample: 1_000_000,
+            brute_dup_cap: 8,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// Default configuration with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        SamplerConfig { seed, ..Default::default() }
+    }
+
+    /// Set the acceptance policy.
+    pub fn with_acceptance(mut self, policy: AcceptancePolicy) -> Self {
+        self.acceptance = policy;
+        self
+    }
+
+    /// Set the slider position (0 = lowest skew, 1 = highest efficiency).
+    pub fn with_slider(self, position: f64) -> Self {
+        self.with_acceptance(AcceptancePolicy::Slider { position })
+    }
+
+    /// Set the order strategy.
+    pub fn with_order(mut self, order: OrderStrategy) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Pin value bindings (restrict sampling to a sub-population).
+    pub fn with_scope(mut self, scope: ConjunctiveQuery) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Restrict drilling to the named attributes.
+    pub fn with_drill_attrs<S: Into<String>>(
+        mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.drill_attrs = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Set the per-sample walk limit.
+    pub fn with_max_walks(mut self, walks: u64) -> Self {
+        self.max_walks_per_sample = walks;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = SamplerConfig::seeded(7)
+            .with_slider(0.4)
+            .with_order(OrderStrategy::Fixed)
+            .with_max_walks(10)
+            .with_drill_attrs(["make", "year"]);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.acceptance, AcceptancePolicy::Slider { position: 0.4 });
+        assert_eq!(cfg.order, OrderStrategy::Fixed);
+        assert_eq!(cfg.max_walks_per_sample, 10);
+        assert_eq!(cfg.drill_attrs.as_deref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn default_is_uniform_and_scrambled() {
+        let cfg = SamplerConfig::default();
+        assert_eq!(cfg.acceptance, AcceptancePolicy::Uniform);
+        assert_eq!(cfg.order, OrderStrategy::ScramblePerWalk);
+        assert!(cfg.scope.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SamplerConfig::seeded(3).with_slider(0.8);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SamplerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,567 @@
+//! Query-history cache with containment inference (§3.2, ref [2]).
+//!
+//! "This module also keeps track of the query history and results to ensure
+//! that the random query generation process accumulates savings by not
+//! issuing the same query twice, or queries whose results can be inferred
+//! from the query history."
+//!
+//! Four inference rules answer a query without touching the site:
+//!
+//! 1. **Memo** — the exact query was asked before.
+//! 2. **Empty-subset** — some remembered *empty* query's predicate set is a
+//!    subset of the new query's: a refinement of an empty query is empty.
+//! 3. **Overflow-superset** — the new query's predicate set is a subset of
+//!    some remembered *overflowing* query's: a broadening of an overflowing
+//!    query overflows. (Samplers only need the classification of
+//!    overflowing nodes, never their rows — so this rule fully answers.)
+//! 4. **Valid-ancestor filtering** — some remembered *valid* query's
+//!    predicate set is a subset of the new query's: the new result is
+//!    computed by filtering the remembered (complete) row list locally.
+//!
+//! Counts are memoized separately; a valid (complete) response additionally
+//! reveals its exact count regardless of how noisy the site's banner is.
+//!
+//! With per-walk attribute scrambling, rules 2–4 fire *across* walks that
+//! constrained the same values in different orders — exactly the repeat
+//! structure random drill-downs generate in the upper tree.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hdsampler_model::{
+    Classification, ConjunctiveQuery, InterfaceError, FormInterface, Predicate, Row, Schema,
+};
+
+use crate::executor::{Classified, QueryExecutor};
+
+/// Cache-hit counters, by rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Rule 1 hits (exact memo).
+    pub memo_hits: u64,
+    /// Rule 2 hits (empty-subset).
+    pub empty_rule_hits: u64,
+    /// Rule 3 hits (overflow-superset).
+    pub overflow_rule_hits: u64,
+    /// Rule 4 hits (valid-ancestor filtering).
+    pub filter_rule_hits: u64,
+    /// Count-probe memo hits.
+    pub count_memo_hits: u64,
+    /// Requests that had to be charged at the interface.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+impl HistoryStats {
+    /// Total requests answered from history.
+    pub fn total_hits(&self) -> u64 {
+        self.memo_hits
+            + self.empty_rule_hits
+            + self.overflow_rule_hits
+            + self.filter_rule_hits
+            + self.count_memo_hits
+    }
+}
+
+/// A set of predicate-sets supporting subset/superset queries via a
+/// per-predicate inverted index.
+#[derive(Debug, Default)]
+struct ContainmentSet {
+    queries: Vec<ConjunctiveQuery>,
+    /// predicate → indices of stored queries containing it.
+    by_pred: HashMap<Predicate, Vec<u32>>,
+    /// Index of the stored empty query, if any (subset of everything).
+    has_empty: bool,
+}
+
+impl ContainmentSet {
+    fn insert(&mut self, q: &ConjunctiveQuery) {
+        if q.is_empty() {
+            self.has_empty = true;
+            return;
+        }
+        let ix = self.queries.len() as u32;
+        for p in q.predicates() {
+            self.by_pred.entry(*p).or_default().push(ix);
+        }
+        self.queries.push(q.clone());
+    }
+
+    /// Is some stored set a subset of `q`'s predicates?
+    fn any_subset_of(&self, q: &ConjunctiveQuery) -> bool {
+        self.find_subset_of(q).is_some()
+    }
+
+    /// Find a stored set that is a subset of `q`'s predicates.
+    fn find_subset_of(&self, q: &ConjunctiveQuery) -> Option<&ConjunctiveQuery> {
+        if self.has_empty {
+            // The empty stored query is a subset of everything; callers
+            // that store it (valids) handle it separately, so return the
+            // first non-trivial match preferentially but fall back to none
+            // here — empty is handled by the caller via `has_empty`.
+        }
+        // A subset must draw all its predicates from q's; every stored
+        // candidate contains at least one of q's predicates.
+        let mut seen: Vec<u32> = Vec::new();
+        for p in q.predicates() {
+            if let Some(ixs) = self.by_pred.get(p) {
+                seen.extend_from_slice(ixs);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+            .map(|ix| &self.queries[ix as usize])
+            .find(|cand| q.is_refinement_of(cand))
+    }
+
+    /// Is `q` a subset of some stored set (i.e. does a stored superset
+    /// exist)?
+    fn any_superset_of(&self, q: &ConjunctiveQuery) -> bool {
+        if q.is_empty() {
+            return self.has_empty || !self.queries.is_empty();
+        }
+        // A superset must contain q's first predicate.
+        let first = &q.predicates()[0];
+        let Some(ixs) = self.by_pred.get(first) else {
+            return false;
+        };
+        ixs.iter().any(|&ix| self.queries[ix as usize].is_refinement_of(q))
+    }
+
+    fn clear(&mut self) {
+        self.queries.clear();
+        self.by_pred.clear();
+        self.has_empty = false;
+    }
+}
+
+/// Interior cache state.
+#[derive(Debug, Default)]
+struct HistoryInner {
+    /// Rule 1: exact memo of classifications (+ rows for valid).
+    memo: HashMap<ConjunctiveQuery, Classified>,
+    /// Rule 2 support: known-empty predicate sets (kept minimal-ish).
+    empties: ContainmentSet,
+    /// Rule 3 support: known-overflowing predicate sets (kept maximal-ish).
+    overflows: ContainmentSet,
+    /// Rule 4 support: known-valid queries with their complete rows.
+    valids: ContainmentSet,
+    valid_rows: HashMap<ConjunctiveQuery, Arc<[Row]>>,
+    /// Count memo (exact counts learned from valid/empty responses are
+    /// inserted here too).
+    counts: HashMap<ConjunctiveQuery, u64>,
+}
+
+impl HistoryInner {
+    fn entries(&self) -> usize {
+        self.memo.len() + self.counts.len()
+    }
+
+    fn clear(&mut self) {
+        self.memo.clear();
+        self.empties.clear();
+        self.overflows.clear();
+        self.valids.clear();
+        self.valid_rows.clear();
+        self.counts.clear();
+    }
+}
+
+/// A [`QueryExecutor`] that answers from history whenever inference allows.
+///
+/// Thread-safe: concurrent walkers share one cache (`&CachingExecutor`
+/// implements `QueryExecutor` via the blanket impl).
+#[derive(Debug)]
+pub struct CachingExecutor<F> {
+    interface: F,
+    inner: RwLock<HistoryInner>,
+    capacity: usize,
+    /// Interface charges that predate this executor (see
+    /// `DirectExecutor` — sequential samplers report only their own cost).
+    charge_baseline: u64,
+    requests: AtomicU64,
+    memo_hits: AtomicU64,
+    empty_rule_hits: AtomicU64,
+    overflow_rule_hits: AtomicU64,
+    filter_rule_hits: AtomicU64,
+    count_memo_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default cache capacity (entries across memo + counts).
+pub const DEFAULT_CACHE_CAPACITY: usize = 250_000;
+
+impl<F: FormInterface> CachingExecutor<F> {
+    /// Wrap an interface with an inference cache of default capacity.
+    pub fn new(interface: F) -> Self {
+        Self::with_capacity(interface, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap with an explicit entry capacity. When exceeded, the whole cache
+    /// is dropped (cold restart) — crude but bounded and side-effect free;
+    /// the eviction counter records it.
+    pub fn with_capacity(interface: F, capacity: usize) -> Self {
+        let charge_baseline = interface.queries_issued();
+        CachingExecutor {
+            interface,
+            charge_baseline,
+            inner: RwLock::new(HistoryInner::default()),
+            capacity: capacity.max(2),
+            requests: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            empty_rule_hits: AtomicU64::new(0),
+            overflow_rule_hits: AtomicU64::new(0),
+            filter_rule_hits: AtomicU64::new(0),
+            count_memo_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped interface.
+    pub fn interface(&self) -> &F {
+        &self.interface
+    }
+
+    /// Hit/miss counters.
+    pub fn history_stats(&self) -> HistoryStats {
+        HistoryStats {
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            empty_rule_hits: self.empty_rule_hits.load(Ordering::Relaxed),
+            overflow_rule_hits: self.overflow_rule_hits.load(Ordering::Relaxed),
+            filter_rule_hits: self.filter_rule_hits.load(Ordering::Relaxed),
+            count_memo_hits: self.count_memo_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Try to answer `query` purely from history.
+    fn infer(&self, query: &ConjunctiveQuery) -> Option<Classified> {
+        let inner = self.inner.read();
+        // Rule 1: memo.
+        if let Some(hit) = inner.memo.get(query) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit.clone());
+        }
+        // Rule 2: a remembered empty subset ⇒ empty.
+        if inner.empties.any_subset_of(query) {
+            self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Classified { class: Classification::Empty, rows: None });
+        }
+        // Rule 3: remembered overflowing superset ⇒ overflow.
+        if inner.overflows.any_superset_of(query) {
+            self.overflow_rule_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Classified { class: Classification::Overflow, rows: None });
+        }
+        // Rule 4: remembered valid ancestor ⇒ filter locally.
+        if let Some(ancestor) = inner.valids.find_subset_of(query) {
+            let rows = inner.valid_rows.get(ancestor).expect("valids have rows");
+            let filtered: Vec<Row> =
+                rows.iter().filter(|r| query.matches(&r.values)).cloned().collect();
+            self.filter_rule_hits.fetch_add(1, Ordering::Relaxed);
+            let class = if filtered.is_empty() {
+                Classification::Empty
+            } else {
+                Classification::Valid
+            };
+            let rows =
+                if filtered.is_empty() { None } else { Some(Arc::<[Row]>::from(filtered)) };
+            return Some(Classified { class, rows });
+        }
+        None
+    }
+
+    /// Record a charged response.
+    fn remember(&self, query: &ConjunctiveQuery, result: &Classified) {
+        let mut inner = self.inner.write();
+        if inner.entries() >= self.capacity {
+            inner.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        match result.class {
+            Classification::Empty => {
+                // Keep the set minimal-ish: skip if already implied.
+                if !inner.empties.any_subset_of(query) {
+                    inner.empties.insert(query);
+                }
+                inner.counts.insert(query.clone(), 0);
+            }
+            Classification::Overflow => {
+                if !inner.overflows.any_superset_of(query) {
+                    inner.overflows.insert(query);
+                }
+            }
+            Classification::Valid => {
+                let rows = result.rows.clone().expect("valid carries rows");
+                inner.counts.insert(query.clone(), rows.len() as u64);
+                if !inner.valid_rows.contains_key(query) {
+                    inner.valids.insert(query);
+                    inner.valid_rows.insert(query.clone(), rows);
+                }
+            }
+        }
+        inner.memo.insert(query.clone(), result.clone());
+    }
+}
+
+impl<F: FormInterface> QueryExecutor for CachingExecutor<F> {
+    fn classify(&self, query: &ConjunctiveQuery) -> Result<Classified, InterfaceError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self.infer(query) {
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let resp = self.interface.execute(query)?;
+        let class = resp.classification();
+        let rows = match class {
+            Classification::Valid => Some(Arc::<[Row]>::from(resp.rows)),
+            _ => None,
+        };
+        let result = Classified { class, rows };
+        self.remember(query, &result);
+        Ok(result)
+    }
+
+    fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        {
+            let inner = self.inner.read();
+            if let Some(&c) = inner.counts.get(query) {
+                self.count_memo_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(c);
+            }
+            // An inferable empty has count 0 without a probe.
+            if inner.empties.any_subset_of(query) {
+                self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(0);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let c = self.interface.count(query)?;
+        let mut inner = self.inner.write();
+        if inner.entries() >= self.capacity {
+            inner.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.counts.insert(query.clone(), c);
+        Ok(c)
+    }
+
+    fn schema(&self) -> &Schema {
+        self.interface.schema()
+    }
+
+    fn result_limit(&self) -> usize {
+        self.interface.result_limit()
+    }
+
+    fn supports_count(&self) -> bool {
+        self.interface.supports_count()
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.interface.queries_issued().saturating_sub(self.charge_baseline)
+    }
+
+    fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::AttrId;
+    use hdsampler_workload::figure1_db;
+
+    fn q(pairs: &[(u16, u16)]) -> ConjunctiveQuery {
+        ConjunctiveQuery::from_pairs(pairs.iter().map(|&(a, v)| (AttrId(a), v))).unwrap()
+    }
+
+    #[test]
+    fn memo_absorbs_repeats() {
+        let db = figure1_db(1);
+        let exec = CachingExecutor::new(&db);
+        for _ in 0..5 {
+            exec.classify(&q(&[(0, 0)])).unwrap();
+        }
+        assert_eq!(exec.queries_issued(), 1);
+        assert_eq!(exec.requests(), 5);
+        assert_eq!(exec.history_stats().memo_hits, 4);
+    }
+
+    #[test]
+    fn empty_subset_rule() {
+        let db = figure1_db(1);
+        let exec = CachingExecutor::new(&db);
+        // a1=1 ∧ a2=0 is empty.
+        exec.classify(&q(&[(0, 1), (1, 0)])).unwrap();
+        // Its refinement must be answered without a charge.
+        let before = exec.queries_issued();
+        let c = exec.classify(&q(&[(0, 1), (1, 0), (2, 1)])).unwrap();
+        assert_eq!(c.class, Classification::Empty);
+        assert_eq!(exec.queries_issued(), before);
+        assert_eq!(exec.history_stats().empty_rule_hits, 1);
+    }
+
+    #[test]
+    fn overflow_superset_rule() {
+        let db = figure1_db(1);
+        let exec = CachingExecutor::new(&db);
+        // a1=0 ∧ a2=1 overflows (t2, t3 behind k=1).
+        exec.classify(&q(&[(0, 0), (1, 1)])).unwrap();
+        // The broader query a2=1 must be inferred overflowing, free.
+        let before = exec.queries_issued();
+        let c = exec.classify(&q(&[(1, 1)])).unwrap();
+        assert_eq!(c.class, Classification::Overflow);
+        assert_eq!(exec.queries_issued(), before);
+        assert_eq!(exec.history_stats().overflow_rule_hits, 1);
+    }
+
+    #[test]
+    fn valid_ancestor_filter_rule() {
+        let db = figure1_db(2); // k=2: a1=0 ∧ a2=1 is now valid (t2, t3).
+        let exec = CachingExecutor::new(&db);
+        let parent = exec.classify(&q(&[(0, 0), (1, 1)])).unwrap();
+        assert_eq!(parent.class, Classification::Valid);
+        assert_eq!(parent.result_size(), 2);
+
+        let before = exec.queries_issued();
+        // Refinement a3=0 isolates t2 — derivable by local filtering.
+        let child = exec.classify(&q(&[(0, 0), (1, 1), (2, 0)])).unwrap();
+        assert_eq!(child.class, Classification::Valid);
+        assert_eq!(child.result_size(), 1);
+        assert_eq!(child.rows.unwrap()[0].values.as_ref(), &[0, 1, 0]);
+        assert_eq!(exec.queries_issued(), before, "derived without a charge");
+        assert_eq!(exec.history_stats().filter_rule_hits, 1);
+    }
+
+    #[test]
+    fn valid_ancestor_filter_to_empty() {
+        // a1=0 ∧ a2=0 holds only t1 = (0,0,1); refining with a3=0 filters
+        // the cached single row away, deriving Empty locally.
+        let db = figure1_db(2);
+        let exec = CachingExecutor::new(&db);
+        let parent = exec.classify(&q(&[(0, 0), (1, 0)])).unwrap();
+        assert_eq!(parent.class, Classification::Valid);
+
+        let before = exec.queries_issued();
+        let derived = exec.classify(&q(&[(0, 0), (1, 0), (2, 0)])).unwrap();
+        assert_eq!(derived.class, Classification::Empty);
+        assert!(derived.rows.is_none());
+        assert_eq!(exec.queries_issued(), before, "filtered locally");
+        assert_eq!(exec.history_stats().filter_rule_hits, 1);
+    }
+
+    #[test]
+    fn inference_agrees_with_direct_evaluation_exhaustively() {
+        // Ask every query of depth ≤ 3 twice — once against a cold direct
+        // interface, once against a warmed cache — and compare classes and
+        // row sets.
+        for k in [1usize, 2, 3] {
+            let db_direct = figure1_db(k);
+            let db_cached = figure1_db(k);
+            let cached = CachingExecutor::new(&db_cached);
+            let direct = crate::executor::DirectExecutor::new(&db_direct);
+
+            let mut all_queries = vec![ConjunctiveQuery::empty()];
+            for a in 0..3u16 {
+                for v in 0..2u16 {
+                    let mut next = Vec::new();
+                    for base in &all_queries {
+                        if !base.binds(AttrId(a)) {
+                            next.push(base.refine(AttrId(a), v).unwrap());
+                        }
+                    }
+                    all_queries.extend(next);
+                }
+            }
+            // Two passes: the second is served heavily from inference.
+            for _pass in 0..2 {
+                for query in &all_queries {
+                    let d = direct.classify(query).unwrap();
+                    let c = cached.classify(query).unwrap();
+                    assert_eq!(d.class, c.class, "k={k} q={query:?}");
+                    let mut dk: Vec<u64> =
+                        d.rows.iter().flat_map(|r| r.iter().map(|x| x.key)).collect();
+                    let mut ck: Vec<u64> =
+                        c.rows.iter().flat_map(|r| r.iter().map(|x| x.key)).collect();
+                    dk.sort_unstable();
+                    ck.sort_unstable();
+                    assert_eq!(dk, ck, "k={k} q={query:?}");
+                }
+            }
+            assert!(
+                cached.queries_issued() < direct.queries_issued(),
+                "cache must save charges (k={k}): {} vs {}",
+                cached.queries_issued(),
+                direct.queries_issued()
+            );
+        }
+    }
+
+    #[test]
+    fn count_memo_and_learned_counts() {
+        use hdsampler_hidden_db::{CountMode, HiddenDb};
+        use hdsampler_model::{Attribute, SchemaBuilder, Tuple};
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .attribute(Attribute::boolean("y"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(std::sync::Arc::clone(&schema))
+            .result_limit(2)
+            .count_mode(CountMode::Exact);
+        for vals in [[0u16, 0], [0, 1], [1, 0]] {
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+        }
+        let db = b.finish();
+        let exec = CachingExecutor::new(&db);
+
+        assert_eq!(exec.count(&q(&[(0, 0)])).unwrap(), 2);
+        assert_eq!(exec.count(&q(&[(0, 0)])).unwrap(), 2);
+        assert_eq!(exec.queries_issued(), 1, "second probe memoized");
+
+        // A valid classification teaches the cache the exact count.
+        exec.classify(&q(&[(0, 1)])).unwrap();
+        let before = exec.queries_issued();
+        assert_eq!(exec.count(&q(&[(0, 1)])).unwrap(), 1);
+        assert_eq!(exec.queries_issued(), before, "count learned from rows");
+    }
+
+    #[test]
+    fn capacity_bound_evicts() {
+        let db = figure1_db(1);
+        let exec = CachingExecutor::with_capacity(&db, 4);
+        // 3 attrs × 2 values of depth-1 queries + deeper ones: generate
+        // more than 16 distinct queries.
+        let mut issued = Vec::new();
+        for a in 0..3u16 {
+            for v in 0..2u16 {
+                issued.push(q(&[(a, v)]));
+                for a2 in 0..3u16 {
+                    if a2 != a {
+                        for v2 in 0..2u16 {
+                            issued.push(q(&[(a, v), (a2, v2)]));
+                        }
+                    }
+                }
+            }
+        }
+        for query in &issued {
+            let _ = exec.classify(query);
+        }
+        assert!(exec.history_stats().evictions >= 1, "capacity must trigger eviction");
+        // Still correct after eviction.
+        let c = exec.classify(&q(&[(0, 1)])).unwrap();
+        assert_eq!(c.class, Classification::Valid);
+    }
+}

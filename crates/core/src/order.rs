@@ -1,0 +1,97 @@
+//! Attribute-order strategies for the drill-down walk.
+//!
+//! The SIGMOD 2007 analysis behind HDSampler observed that a *fixed*
+//! attribute order systematically favours tuples that become unique early
+//! along that order; re-scrambling the order independently for every walk
+//! averages the depth profile across tuples and measurably reduces skew at
+//! a given scaling factor `C`. Both strategies are provided; the scrambling
+//! ablation (`exp_scrambling`) quantifies the difference.
+
+use serde::{Deserialize, Serialize};
+
+use hdsampler_model::AttrId;
+use rand::Rng;
+
+/// How the Sample Generator orders attributes when extending a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderStrategy {
+    /// Use the schema's declaration order for every walk (the basic
+    /// algorithm of §2 / Figure 1).
+    Fixed,
+    /// Draw a fresh uniform permutation per walk (skew-reduction variant).
+    ScramblePerWalk,
+}
+
+impl OrderStrategy {
+    /// Materialize the order for one walk over the drillable attributes.
+    pub fn make_order<R: Rng>(&self, drill: &[AttrId], rng: &mut R) -> Vec<AttrId> {
+        let mut order = drill.to_vec();
+        if *self == OrderStrategy::ScramblePerWalk {
+            // Fisher–Yates.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn attrs(n: u16) -> Vec<AttrId> {
+        (0..n).map(AttrId).collect()
+    }
+
+    #[test]
+    fn fixed_preserves_declaration_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let order = OrderStrategy::Fixed.make_order(&attrs(5), &mut rng);
+        assert_eq!(order, attrs(5));
+    }
+
+    #[test]
+    fn scramble_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let order = OrderStrategy::ScramblePerWalk.make_order(&attrs(8), &mut rng);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, attrs(8));
+    }
+
+    #[test]
+    fn scramble_varies_between_walks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = OrderStrategy::ScramblePerWalk.make_order(&attrs(10), &mut rng);
+        let b = OrderStrategy::ScramblePerWalk.make_order(&attrs(10), &mut rng);
+        assert_ne!(a, b, "astronomically unlikely to coincide");
+    }
+
+    #[test]
+    fn scramble_is_roughly_uniform_over_first_position() {
+        // Each attribute should land first ~1/4 of the time.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut firsts = [0u32; 4];
+        for _ in 0..40_000 {
+            let order = OrderStrategy::ScramblePerWalk.make_order(&attrs(4), &mut rng);
+            firsts[order[0].index()] += 1;
+        }
+        for &f in &firsts {
+            let share = f as f64 / 40_000.0;
+            assert!((share - 0.25).abs() < 0.02, "first-position share {share}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(OrderStrategy::ScramblePerWalk.make_order(&[], &mut rng).is_empty());
+        assert_eq!(
+            OrderStrategy::ScramblePerWalk.make_order(&attrs(1), &mut rng),
+            attrs(1)
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Samples, sample sets, sampler errors, and the [`Sampler`] trait.
+
+use hdsampler_model::{InterfaceError, Row};
+
+use crate::stats::SamplerStats;
+
+/// One produced sample with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The sampled row, exactly as scraped from a result page.
+    pub row: Row,
+    /// Importance weight. `1.0` for exact samplers; the count-weighted
+    /// sampler under *noisy* counts attaches self-normalizing weights so
+    /// estimators can partially undo the noise-induced bias.
+    pub weight: f64,
+    /// How the sample was obtained.
+    pub meta: SampleMeta,
+}
+
+/// Provenance of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleMeta {
+    /// Depth (number of drilled predicates) of the node that yielded it.
+    pub depth: usize,
+    /// Result size `j` of that node.
+    pub result_size: usize,
+    /// Acceptance probability it survived (1.0 where not applicable).
+    pub acceptance: f64,
+    /// Walks consumed to produce it (restarts + rejections included).
+    pub walks: u64,
+}
+
+/// A growing collection of samples (the Sample Processor's output store,
+/// §3.3).
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    samples: Vec<Sample>,
+}
+
+impl SampleSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, s: Sample) {
+        self.samples.push(s);
+    }
+
+    /// All samples in acceptance order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Just the rows.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.samples.iter().map(|s| &s.row)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Listing keys of all samples (for de-duplication / size estimation).
+    pub fn keys(&self) -> Vec<u64> {
+        self.samples.iter().map(|s| s.row.key).collect()
+    }
+
+    /// Count of *distinct* sampled tuples (by listing key).
+    pub fn distinct(&self) -> usize {
+        let mut keys = self.keys();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Total weight (= `len()` for exact samplers).
+    pub fn total_weight(&self) -> f64 {
+        self.samples.iter().map(|s| s.weight).sum()
+    }
+}
+
+impl Extend<Sample> for SampleSet {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+impl FromIterator<Sample> for SampleSet {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        SampleSet { samples: iter.into_iter().collect() }
+    }
+}
+
+/// Why a sampler could not produce (more) samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplerError {
+    /// The site's query budget ran out (partial results remain usable).
+    BudgetExhausted {
+        /// Queries charged before exhaustion.
+        issued: u64,
+    },
+    /// The configured scope (pinned bindings) selects no tuples.
+    EmptyScope,
+    /// `max_walks_per_sample` exceeded without an accepted candidate.
+    WalkLimit {
+        /// Walks attempted.
+        walks: u64,
+    },
+    /// The sampler requires count reporting but the site has none.
+    CountUnsupported,
+    /// Underlying interface failure.
+    Interface(InterfaceError),
+    /// The sampler was configured inconsistently (message explains).
+    Config(String),
+}
+
+impl std::fmt::Display for SamplerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplerError::BudgetExhausted { issued } => {
+                write!(f, "site budget exhausted after {issued} queries")
+            }
+            SamplerError::EmptyScope => write!(f, "the configured scope selects no tuples"),
+            SamplerError::WalkLimit { walks } => {
+                write!(f, "no sample accepted within {walks} walks")
+            }
+            SamplerError::CountUnsupported => {
+                write!(f, "count-weighted sampling needs a count-reporting interface")
+            }
+            SamplerError::Interface(e) => write!(f, "interface error: {e}"),
+            SamplerError::Config(msg) => write!(f, "invalid sampler configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SamplerError {}
+
+impl From<InterfaceError> for SamplerError {
+    fn from(e: InterfaceError) -> Self {
+        match e {
+            InterfaceError::BudgetExhausted { issued } => SamplerError::BudgetExhausted { issued },
+            other => SamplerError::Interface(other),
+        }
+    }
+}
+
+/// A source of (near-)uniform random samples from a hidden database.
+pub trait Sampler {
+    /// Produce the next sample, driving as many interface queries as
+    /// needed.
+    fn next_sample(&mut self) -> Result<Sample, SamplerError>;
+
+    /// Cumulative sampling statistics.
+    fn stats(&self) -> SamplerStats;
+
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: u64) -> Sample {
+        Sample {
+            row: Row::new(key, vec![0], vec![]),
+            weight: 1.0,
+            meta: SampleMeta::default(),
+        }
+    }
+
+    #[test]
+    fn sample_set_accumulates() {
+        let mut set = SampleSet::new();
+        assert!(set.is_empty());
+        set.push(sample(5));
+        set.push(sample(5));
+        set.push(sample(9));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.distinct(), 2);
+        assert_eq!(set.total_weight(), 3.0);
+        assert_eq!(set.keys(), vec![5, 5, 9]);
+    }
+
+    #[test]
+    fn sample_set_from_iterator() {
+        let set: SampleSet = (0..4).map(sample).collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.rows().count(), 4);
+    }
+
+    #[test]
+    fn budget_error_converts() {
+        let e: SamplerError = InterfaceError::BudgetExhausted { issued: 10 }.into();
+        assert_eq!(e, SamplerError::BudgetExhausted { issued: 10 });
+        let e: SamplerError = InterfaceError::Transport("boom".into()).into();
+        assert!(matches!(e, SamplerError::Interface(_)));
+    }
+
+    #[test]
+    fn error_messages_readable() {
+        assert!(SamplerError::EmptyScope.to_string().contains("scope"));
+        assert!(SamplerError::WalkLimit { walks: 3 }.to_string().contains('3'));
+    }
+}

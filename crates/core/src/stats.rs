@@ -1,0 +1,101 @@
+//! Sampling statistics: the efficiency side of the efficiency ↔ skew
+//! trade-off.
+
+/// Cumulative counters maintained by every sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SamplerStats {
+    /// Drill-down walks started (brute force: probe queries issued).
+    pub walks: u64,
+    /// Walks that hit an empty node and restarted.
+    pub dead_ends: u64,
+    /// Walks that bottomed out on an overflowing fully-specified query
+    /// (indistinguishable tuple mass > k — unsampleable by drill-down).
+    pub leaf_overflows: u64,
+    /// Candidates handed to the Sample Processor.
+    pub candidates: u64,
+    /// Candidates accepted (= samples produced).
+    pub accepted: u64,
+    /// Candidates rejected by acceptance–rejection.
+    pub rejected: u64,
+    /// Logical query requests made by the sampler (cache hits included).
+    pub requests: u64,
+    /// Queries actually charged at the interface.
+    pub queries_issued: u64,
+}
+
+impl SamplerStats {
+    /// Interface queries charged per accepted sample — the paper's core
+    /// efficiency metric.
+    pub fn queries_per_sample(&self) -> f64 {
+        if self.accepted == 0 {
+            f64::NAN
+        } else {
+            self.queries_issued as f64 / self.accepted as f64
+        }
+    }
+
+    /// Walks per accepted sample.
+    pub fn walks_per_sample(&self) -> f64 {
+        if self.accepted == 0 {
+            f64::NAN
+        } else {
+            self.walks as f64 / self.accepted as f64
+        }
+    }
+
+    /// Fraction of candidates that survived acceptance–rejection.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            f64::NAN
+        } else {
+            self.accepted as f64 / self.candidates as f64
+        }
+    }
+
+    /// Queries the history cache absorbed (requests that cost nothing).
+    pub fn queries_saved(&self) -> u64 {
+        self.requests.saturating_sub(self.queries_issued)
+    }
+
+    /// Fraction of requests served without charging the site.
+    pub fn savings_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.queries_saved() as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = SamplerStats {
+            walks: 100,
+            dead_ends: 40,
+            leaf_overflows: 0,
+            candidates: 60,
+            accepted: 20,
+            rejected: 40,
+            requests: 500,
+            queries_issued: 300,
+        };
+        assert_eq!(s.queries_per_sample(), 15.0);
+        assert_eq!(s.walks_per_sample(), 5.0);
+        assert!((s.acceptance_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.queries_saved(), 200);
+        assert!((s.savings_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sample_ratios_are_nan_not_panic() {
+        let s = SamplerStats::default();
+        assert!(s.queries_per_sample().is_nan());
+        assert!(s.walks_per_sample().is_nan());
+        assert!(s.acceptance_rate().is_nan());
+        assert_eq!(s.savings_rate(), 0.0);
+    }
+}

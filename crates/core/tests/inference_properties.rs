@@ -1,0 +1,165 @@
+//! Property-based tests for the sampler core: the history cache's
+//! inference is indistinguishable from direct evaluation on arbitrary
+//! databases and query mixes, and the acceptance machinery obeys its
+//! bounds.
+
+use std::sync::Arc;
+
+use hdsampler_core::{
+    acceptance::acceptance_probability, CachingExecutor, Classified, DirectExecutor, HdsSampler,
+    QueryExecutor, SamplerConfig,
+};
+use hdsampler_core::sample::Sampler;
+use hdsampler_hidden_db::{CountMode, HiddenDb};
+use hdsampler_model::{
+    AttrId, Attribute, ConjunctiveQuery, DomIx, Schema, SchemaBuilder, Tuple,
+};
+use proptest::prelude::*;
+
+fn boolean_schema(m: usize) -> Arc<Schema> {
+    let mut b = SchemaBuilder::new();
+    for i in 0..m {
+        b = b.attribute(Attribute::boolean(format!("a{i}")));
+    }
+    b.finish().unwrap().into_shared()
+}
+
+fn build_db(m: usize, rows: &[u32], k: usize, counts: CountMode) -> HiddenDb {
+    let schema = boolean_schema(m);
+    let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(k).count_mode(counts);
+    for &bits in rows {
+        let values: Vec<DomIx> = (0..m).map(|i| ((bits >> i) & 1) as DomIx).collect();
+        b.push(&Tuple::new(&schema, values, vec![]).unwrap()).unwrap();
+    }
+    b.finish()
+}
+
+/// A random query over `m` Boolean attributes encoded as (mask, values).
+fn queries(m: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    let m = m as u32;
+    prop::collection::vec((0u32..(1 << m), 0u32..(1 << m)), 1..60)
+}
+
+fn decode_query(m: usize, mask: u32, values: u32) -> ConjunctiveQuery {
+    let pairs = (0..m)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| (AttrId(i as u16), ((values >> i) & 1) as DomIx));
+    ConjunctiveQuery::from_pairs(pairs).unwrap()
+}
+
+fn row_keys(c: &Classified) -> Vec<u64> {
+    let mut keys: Vec<u64> =
+        c.rows.iter().flat_map(|rows| rows.iter().map(|r| r.key)).collect();
+    keys.sort_unstable();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// THE correctness property of §3.2: for any database, any k, and any
+    /// interleaving of classify/count requests, the caching executor's
+    /// answers equal the direct executor's — while charging fewer queries.
+    #[test]
+    fn inference_equals_direct_evaluation(
+        rows in prop::collection::vec(0u32..32, 1..80),
+        k in 1usize..5,
+        qs in queries(5),
+    ) {
+        let m = 5;
+        let db_a = build_db(m, &rows, k, CountMode::Exact);
+        let db_b = build_db(m, &rows, k, CountMode::Exact);
+        let direct = DirectExecutor::new(&db_a);
+        let cached = CachingExecutor::new(&db_b);
+
+        for &(mask, values) in &qs {
+            let q = decode_query(m, mask, values);
+            // Alternate classify and count to stress both code paths.
+            let d = direct.classify(&q).unwrap();
+            let c = cached.classify(&q).unwrap();
+            prop_assert_eq!(d.class, c.class, "query {:?}", q);
+            prop_assert_eq!(row_keys(&d), row_keys(&c), "query {:?}", q);
+
+            let dc = direct.count(&q).unwrap();
+            let cc = cached.count(&q).unwrap();
+            prop_assert_eq!(dc, cc);
+        }
+        prop_assert!(cached.queries_issued() <= direct.queries_issued());
+    }
+
+    /// Acceptance probability is always in (0, 1], equals the exact
+    /// uniformity correction at C = 1, and is monotone in every argument
+    /// that should help acceptance.
+    #[test]
+    fn acceptance_probability_bounds(
+        depth_doms in prop::collection::vec(2usize..8, 0..6),
+        extra_doms in prop::collection::vec(2usize..8, 1..6),
+        j in 1usize..50,
+        c_exp in 0u32..20,
+    ) {
+        let branch: f64 = depth_doms.iter().map(|&d| d as f64).product();
+        let rest: f64 = extra_doms.iter().map(|&d| d as f64).product();
+        let b = branch * rest;
+        let c = 2f64.powi(c_exp as i32);
+        let a = acceptance_probability(c, branch, j, b);
+        prop_assert!(a > 0.0 && a <= 1.0);
+        // Monotone in C.
+        let a2 = acceptance_probability(c * 2.0, branch, j, b);
+        prop_assert!(a2 >= a);
+        // Monotone in j.
+        let aj = acceptance_probability(c, branch, j + 1, b);
+        prop_assert!(aj >= a);
+        // At C = 1 with j = 1 the value is exactly branch/B.
+        let exact = acceptance_probability(1.0, branch, 1, b);
+        prop_assert!((exact - (branch / b).min(1.0)).abs() < 1e-12);
+    }
+
+    /// Sampled rows always satisfy the configured scope, whatever it is.
+    #[test]
+    fn samples_respect_arbitrary_scopes(
+        rows in prop::collection::vec(0u32..32, 20..80),
+        mask in 0u32..8u32,
+        values in 0u32..8u32,
+    ) {
+        let m = 5;
+        let db = build_db(m, &rows, 2, CountMode::Absent);
+        let scope = decode_query(3, mask, values); // scope over first 3 attrs
+        let cfg = SamplerConfig::seeded(7).with_scope(scope.clone()).with_max_walks(20_000);
+        let mut sampler = HdsSampler::new(DirectExecutor::new(&db), cfg).unwrap();
+        for _ in 0..10 {
+            match sampler.next_sample() {
+                Ok(s) => prop_assert!(scope.matches(&s.row.values)),
+                // Empty scopes and walk limits are legitimate outcomes of
+                // random scopes on random data.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_and_direct_agree_after_heavy_sampling() {
+    // Deterministic end-to-end: run a sampler against the cache, then
+    // replay every distinct query directly and compare.
+    let rows: Vec<u32> =
+        (0..200u32).map(|i| (i.wrapping_mul(2_654_435_761)) % 64).collect();
+    let db = build_db(6, &rows, 3, CountMode::Exact);
+    let cached = CachingExecutor::new(&db);
+    let mut sampler =
+        HdsSampler::new(&cached, SamplerConfig::seeded(3)).unwrap();
+    for _ in 0..100 {
+        sampler.next_sample().unwrap();
+    }
+    // Replay a probe battery.
+    let db2 = build_db(6, &rows, 3, CountMode::Exact);
+    let direct = DirectExecutor::new(&db2);
+    for mask in 0u32..64 {
+        for values in [0u32, 21, 42, 63] {
+            let q = decode_query(6, mask, values);
+            let c = cached.classify(&q).unwrap();
+            let d = direct.classify(&q).unwrap();
+            assert_eq!(c.class, d.class, "{q:?}");
+            assert_eq!(row_keys(&c), row_keys(&d), "{q:?}");
+        }
+    }
+}

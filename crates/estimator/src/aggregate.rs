@@ -1,0 +1,245 @@
+//! Approximate aggregate answering from samples (§1, §3.4).
+//!
+//! "If one wants to learn the percentage of Japanese cars in the dealer's
+//! inventory, a very small number of uniform random samples of the
+//! underlying database can provide a quite accurate answer."
+//!
+//! Predicates here are arbitrary client-side closures over [`Row`] — an
+//! analyst can aggregate over derived conditions (make ∈ {…}, price <
+//! threshold on the raw measure, …) that the conjunctive *interface* could
+//! never express, which is exactly what makes samples more useful than
+//! targeted queries.
+
+use hdsampler_core::SampleSet;
+use hdsampler_model::{MeasureId, Row};
+
+/// A point estimate with a symmetric 95 % normal-approximation interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateEstimate {
+    /// The estimate.
+    pub value: f64,
+    /// 95 % interval half-width (`value ± half_width`), `NaN` when the
+    /// sample is too small to assess.
+    pub half_width: f64,
+    /// Samples used.
+    pub n: usize,
+}
+
+impl AggregateEstimate {
+    /// Interval lower edge.
+    pub fn lo(&self) -> f64 {
+        self.value - self.half_width
+    }
+
+    /// Interval upper edge.
+    pub fn hi(&self) -> f64 {
+        self.value + self.half_width
+    }
+
+    /// Whether the interval covers `reference`.
+    pub fn covers(&self, reference: f64) -> bool {
+        !self.half_width.is_nan() && self.lo() <= reference && reference <= self.hi()
+    }
+}
+
+const Z95: f64 = 1.959964;
+
+/// Aggregate-query answering over a sample set.
+///
+/// Weighted samples (count-sampler under noisy counts) are handled by
+/// self-normalized importance estimates throughout.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    samples: &'a SampleSet,
+}
+
+impl<'a> Estimator<'a> {
+    /// Wrap a sample set.
+    pub fn new(samples: &'a SampleSet) -> Self {
+        Estimator { samples }
+    }
+
+    /// Estimated fraction of tuples satisfying `pred`.
+    pub fn proportion(&self, pred: impl Fn(&Row) -> bool) -> AggregateEstimate {
+        let n = self.samples.len();
+        if n == 0 {
+            return AggregateEstimate { value: f64::NAN, half_width: f64::NAN, n: 0 };
+        }
+        let total_w = self.samples.total_weight();
+        let hit_w: f64 =
+            self.samples.samples().iter().filter(|s| pred(&s.row)).map(|s| s.weight).sum();
+        let p = hit_w / total_w;
+        // Effective sample size for weighted data: (Σw)² / Σw².
+        let sum_w2: f64 = self.samples.samples().iter().map(|s| s.weight * s.weight).sum();
+        let n_eff = total_w * total_w / sum_w2;
+        let half = Z95 * (p * (1.0 - p) / n_eff).sqrt();
+        AggregateEstimate { value: p, half_width: half, n }
+    }
+
+    /// Estimated COUNT of tuples satisfying `pred`, given the database size
+    /// `n_total` (known, reported by the site, or estimated via
+    /// [`capture_recapture`](crate::size::capture_recapture)).
+    pub fn count(&self, n_total: f64, pred: impl Fn(&Row) -> bool) -> AggregateEstimate {
+        let p = self.proportion(pred);
+        AggregateEstimate {
+            value: p.value * n_total,
+            half_width: p.half_width * n_total,
+            n: p.n,
+        }
+    }
+
+    /// Estimated AVG of measure `m` over tuples satisfying `pred`.
+    pub fn avg(&self, m: MeasureId, pred: impl Fn(&Row) -> bool) -> AggregateEstimate {
+        let selected: Vec<(f64, f64)> = self
+            .samples
+            .samples()
+            .iter()
+            .filter(|s| pred(&s.row))
+            .map(|s| (s.row.measures[m.index()], s.weight))
+            .collect();
+        let n = selected.len();
+        if n == 0 {
+            return AggregateEstimate { value: f64::NAN, half_width: f64::NAN, n: 0 };
+        }
+        let w_total: f64 = selected.iter().map(|&(_, w)| w).sum();
+        let mean: f64 = selected.iter().map(|&(x, w)| x * w).sum::<f64>() / w_total;
+        if n < 2 {
+            return AggregateEstimate { value: mean, half_width: f64::NAN, n };
+        }
+        // Weighted variance (self-normalized); reduces to the sample
+        // variance when all weights are 1.
+        let var: f64 = selected.iter().map(|&(x, w)| w * (x - mean) * (x - mean)).sum::<f64>()
+            / w_total;
+        let n_eff = w_total * w_total / selected.iter().map(|&(_, w)| w * w).sum::<f64>();
+        let half = Z95 * (var / n_eff).sqrt();
+        AggregateEstimate { value: mean, half_width: half, n }
+    }
+
+    /// Estimated SUM of measure `m` over tuples satisfying `pred`, given
+    /// the database size.
+    pub fn sum(
+        &self,
+        n_total: f64,
+        m: MeasureId,
+        pred: impl Fn(&Row) -> bool,
+    ) -> AggregateEstimate {
+        // SUM = N · E[x · 1_pred]; estimate the per-tuple contribution mean
+        // over *all* samples (zeros where the predicate fails) so the CI
+        // reflects both sources of variance.
+        let n = self.samples.len();
+        if n == 0 {
+            return AggregateEstimate { value: f64::NAN, half_width: f64::NAN, n: 0 };
+        }
+        let w_total = self.samples.total_weight();
+        let contrib = |s: &hdsampler_core::Sample| {
+            if pred(&s.row) {
+                s.row.measures[m.index()]
+            } else {
+                0.0
+            }
+        };
+        let mean: f64 = self
+            .samples
+            .samples()
+            .iter()
+            .map(|s| contrib(s) * s.weight)
+            .sum::<f64>()
+            / w_total;
+        let var: f64 = self
+            .samples
+            .samples()
+            .iter()
+            .map(|s| {
+                let d = contrib(s) - mean;
+                s.weight * d * d
+            })
+            .sum::<f64>()
+            / w_total;
+        let n_eff = w_total * w_total
+            / self.samples.samples().iter().map(|s| s.weight * s.weight).sum::<f64>();
+        let half = Z95 * (var / n_eff).sqrt() * n_total;
+        AggregateEstimate { value: mean * n_total, half_width: half, n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_core::{Sample, SampleMeta};
+
+    fn sample(v: u16, measure: f64, weight: f64) -> Sample {
+        Sample {
+            row: Row::new(v as u64 * 1000 + measure as u64, vec![v], vec![measure]),
+            weight,
+            meta: SampleMeta::default(),
+        }
+    }
+
+    fn uniform_set(values: &[(u16, f64)]) -> SampleSet {
+        values.iter().map(|&(v, m)| sample(v, m, 1.0)).collect()
+    }
+
+    #[test]
+    fn proportion_basic() {
+        let set = uniform_set(&[(0, 1.0), (0, 2.0), (1, 3.0), (0, 4.0)]);
+        let est = Estimator::new(&set).proportion(|r| r.values[0] == 0);
+        assert!((est.value - 0.75).abs() < 1e-12);
+        assert!(est.half_width > 0.0 && est.half_width < 0.5);
+        assert!(est.covers(0.75));
+    }
+
+    #[test]
+    fn count_scales_proportion() {
+        let set = uniform_set(&[(0, 0.0), (1, 0.0), (1, 0.0), (1, 0.0)]);
+        let est = Estimator::new(&set).count(1000.0, |r| r.values[0] == 1);
+        assert!((est.value - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_and_sum() {
+        let set = uniform_set(&[(0, 10.0), (0, 20.0), (1, 100.0), (1, 200.0)]);
+        let e = Estimator::new(&set);
+        let avg0 = e.avg(MeasureId(0), |r| r.values[0] == 0);
+        assert!((avg0.value - 15.0).abs() < 1e-12);
+        assert_eq!(avg0.n, 2);
+
+        // SUM over the whole population: mean contribution 82.5 × N.
+        let sum_all = e.sum(100.0, MeasureId(0), |_| true);
+        assert!((sum_all.value - 8250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_selections_are_nan_not_panic() {
+        let set = uniform_set(&[(0, 1.0)]);
+        let e = Estimator::new(&set);
+        assert!(e.avg(MeasureId(0), |r| r.values[0] == 9).value.is_nan());
+        let empty = SampleSet::new();
+        assert!(Estimator::new(&empty).proportion(|_| true).value.is_nan());
+    }
+
+    #[test]
+    fn weights_shift_estimates() {
+        // Value 1 carries double weight: proportion becomes 2/3 not 1/2.
+        let set: SampleSet =
+            [sample(0, 0.0, 1.0), sample(1, 0.0, 2.0)].into_iter().collect();
+        let est = Estimator::new(&set).proportion(|r| r.values[0] == 1);
+        assert!((est.value - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_avg_is_self_normalized() {
+        let set: SampleSet =
+            [sample(0, 10.0, 1.0), sample(0, 40.0, 3.0)].into_iter().collect();
+        let est = Estimator::new(&set).avg(MeasureId(0), |_| true);
+        assert!((est.value - 32.5).abs() < 1e-12, "(10·1 + 40·3)/4 = 32.5");
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = uniform_set(&(0..20).map(|i| (i % 2, 0.0)).collect::<Vec<_>>());
+        let large = uniform_set(&(0..2000).map(|i| (i % 2, 0.0)).collect::<Vec<_>>());
+        let hw_small = Estimator::new(&small).proportion(|r| r.values[0] == 0).half_width;
+        let hw_large = Estimator::new(&large).proportion(|r| r.values[0] == 0).half_width;
+        assert!(hw_large < hw_small / 5.0);
+    }
+}

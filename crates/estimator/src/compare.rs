@@ -1,0 +1,179 @@
+//! Side-by-side validation against ground truth (§3.4 "Results
+//! Validation").
+//!
+//! "In the absence of access to the database being sampled, we resort to
+//! verifying our results … by employing the services of the
+//! BRUTE-FORCE-SAMPLER"; with the locally simulated database, the truth
+//! itself is available. [`MarginalComparison`] renders both as the paper's
+//! Figure 4 style table and computes distance metrics.
+
+use hdsampler_model::{AttrId, Schema};
+
+use crate::skew::tv_distance;
+
+/// Comparison of an estimated marginal against a reference distribution.
+#[derive(Debug, Clone)]
+pub struct MarginalComparison {
+    attr_name: String,
+    labels: Vec<String>,
+    estimated: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl MarginalComparison {
+    /// Build a comparison for attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if the two distributions do not match the attribute's domain
+    /// size.
+    pub fn new(
+        schema: &Schema,
+        attr: AttrId,
+        estimated: Vec<f64>,
+        reference: Vec<f64>,
+    ) -> Self {
+        let a = schema.attr_unchecked(attr);
+        assert_eq!(estimated.len(), a.domain_size(), "estimate arity");
+        assert_eq!(reference.len(), a.domain_size(), "reference arity");
+        MarginalComparison {
+            attr_name: a.name().to_owned(),
+            labels: a.domain().map(|v| a.label(v).into_owned()).collect(),
+            estimated,
+            reference,
+        }
+    }
+
+    /// Total variation distance between estimate and reference.
+    pub fn tv(&self) -> f64 {
+        tv_distance(&self.estimated, &self.reference)
+    }
+
+    /// Largest absolute per-value error.
+    pub fn max_abs_error(&self) -> f64 {
+        self.estimated
+            .iter()
+            .zip(&self.reference)
+            .map(|(e, r)| (e - r).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The estimated distribution.
+    pub fn estimated(&self) -> &[f64] {
+        &self.estimated
+    }
+
+    /// The reference distribution.
+    pub fn reference(&self) -> &[f64] {
+        &self.reference
+    }
+
+    /// Render a Figure 4 style table: value, estimated %, reference %,
+    /// error. Values ordered by reference share descending; rows below
+    /// `min_share` of reference mass are aggregated into "(other)".
+    pub fn render(&self, min_share: f64) -> String {
+        use std::fmt::Write as _;
+        let mut order: Vec<usize> = (0..self.labels.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.reference[b].partial_cmp(&self.reference[a]).expect("finite")
+        });
+        let label_w =
+            self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(5).max(7);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:label_w$} {:>10} {:>10} {:>8}",
+            self.attr_name, "sampled", "truth", "error"
+        );
+        let mut other = (0.0, 0.0);
+        for i in order {
+            if self.reference[i] < min_share {
+                other.0 += self.estimated[i];
+                other.1 += self.reference[i];
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:label_w$} {:9.2}% {:9.2}% {:7.2}%",
+                self.labels[i],
+                self.estimated[i] * 100.0,
+                self.reference[i] * 100.0,
+                (self.estimated[i] - self.reference[i]).abs() * 100.0,
+            );
+        }
+        if other.1 > 0.0 || other.0 > 0.0 {
+            let _ = writeln!(
+                out,
+                "{:label_w$} {:9.2}% {:9.2}% {:7.2}%",
+                "(other)",
+                other.0 * 100.0,
+                other.1 * 100.0,
+                (other.0 - other.1).abs() * 100.0,
+            );
+        }
+        let _ = writeln!(out, "{:label_w$} TV distance = {:.4}", "", self.tv());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{Attribute, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda", "Ford"]).unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn metrics() {
+        let s = schema();
+        let c = MarginalComparison::new(
+            &s,
+            AttrId(0),
+            vec![0.5, 0.3, 0.2],
+            vec![0.45, 0.35, 0.2],
+        );
+        assert!((c.tv() - 0.05).abs() < 1e-12);
+        assert!((c.max_abs_error() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table() {
+        let s = schema();
+        let c = MarginalComparison::new(
+            &s,
+            AttrId(0),
+            vec![0.5, 0.3, 0.2],
+            vec![0.45, 0.35, 0.2],
+        );
+        let table = c.render(0.0);
+        assert!(table.contains("Toyota"));
+        assert!(table.contains("TV distance"));
+        assert!(table.contains("50.00%"));
+    }
+
+    #[test]
+    fn render_aggregates_small_rows() {
+        let s = schema();
+        let c = MarginalComparison::new(
+            &s,
+            AttrId(0),
+            vec![0.6, 0.38, 0.02],
+            vec![0.6, 0.39, 0.01],
+        );
+        let table = c.render(0.05);
+        assert!(table.contains("(other)"));
+        assert!(!table.contains("Ford"));
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate arity")]
+    fn arity_mismatch_panics() {
+        let s = schema();
+        let _ = MarginalComparison::new(&s, AttrId(0), vec![1.0], vec![0.3, 0.3, 0.4]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Small group-by data cubes from samples (§3.4): "for example, to execute
+//! approximate aggregate queries on a resultant data cube".
+
+use hdsampler_model::{AttrId, Row, Schema};
+
+/// A two-dimensional (attribute × attribute) weighted count cube built from
+/// samples.
+#[derive(Debug, Clone)]
+pub struct DataCube {
+    row_attr: AttrId,
+    col_attr: AttrId,
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    /// `cells[r][c]` = accumulated weight.
+    cells: Vec<Vec<f64>>,
+    total: f64,
+}
+
+impl DataCube {
+    /// Empty cube over `(row_attr, col_attr)`.
+    pub fn new(schema: &Schema, row_attr: AttrId, col_attr: AttrId) -> Self {
+        assert_ne!(row_attr, col_attr, "cube needs two distinct attributes");
+        let ra = schema.attr_unchecked(row_attr);
+        let ca = schema.attr_unchecked(col_attr);
+        DataCube {
+            row_attr,
+            col_attr,
+            row_labels: ra.domain().map(|v| ra.label(v).into_owned()).collect(),
+            col_labels: ca.domain().map(|v| ca.label(v).into_owned()).collect(),
+            cells: vec![vec![0.0; ca.domain_size()]; ra.domain_size()],
+            total: 0.0,
+        }
+    }
+
+    /// Build from rows with unit weights.
+    pub fn from_rows<'a>(
+        schema: &Schema,
+        row_attr: AttrId,
+        col_attr: AttrId,
+        rows: impl IntoIterator<Item = &'a Row>,
+    ) -> Self {
+        let mut cube = DataCube::new(schema, row_attr, col_attr);
+        for r in rows {
+            cube.add(r, 1.0);
+        }
+        cube
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, row: &Row, weight: f64) {
+        let r = row.values[self.row_attr.index()] as usize;
+        let c = row.values[self.col_attr.index()] as usize;
+        self.cells[r][c] += weight;
+        self.total += weight;
+    }
+
+    /// Estimated joint proportion of cell `(r, c)`.
+    pub fn proportion(&self, r: usize, c: usize) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.cells[r][c] / self.total
+        }
+    }
+
+    /// Row-marginal proportions (sums over columns).
+    pub fn row_marginal(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|row| {
+                if self.total <= 0.0 {
+                    0.0
+                } else {
+                    row.iter().sum::<f64>() / self.total
+                }
+            })
+            .collect()
+    }
+
+    /// Column-marginal proportions.
+    pub fn col_marginal(&self) -> Vec<f64> {
+        let n_cols = self.col_labels.len();
+        (0..n_cols)
+            .map(|c| {
+                if self.total <= 0.0 {
+                    0.0
+                } else {
+                    self.cells.iter().map(|row| row[c]).sum::<f64>() / self.total
+                }
+            })
+            .collect()
+    }
+
+    /// Conditional distribution of the column attribute given row value `r`
+    /// (`None` when that row has no mass).
+    pub fn conditional_given_row(&self, r: usize) -> Option<Vec<f64>> {
+        let mass: f64 = self.cells[r].iter().sum();
+        if mass <= 0.0 {
+            return None;
+        }
+        Some(self.cells[r].iter().map(|w| w / mass).collect())
+    }
+
+    /// Total observed weight.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Render as a percentage table (rows × columns).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let label_w = self.row_labels.iter().map(|l| l.chars().count()).max().unwrap_or(4);
+        let mut out = String::new();
+        let _ = write!(out, "{:label_w$}", "");
+        for cl in &self.col_labels {
+            let _ = write!(out, " {cl:>9}");
+        }
+        let _ = writeln!(out);
+        for (r, rl) in self.row_labels.iter().enumerate() {
+            let _ = write!(out, "{rl:label_w$}");
+            for c in 0..self.col_labels.len() {
+                let _ = write!(out, " {:>8.2}%", self.proportion(r, c) * 100.0);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{Attribute, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "Ford"]).unwrap())
+            .attribute(Attribute::categorical("cond", ["new", "used"]).unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    fn row(make: u16, cond: u16) -> Row {
+        Row::new((make * 2 + cond) as u64, vec![make, cond], vec![])
+    }
+
+    #[test]
+    fn joint_and_marginals() {
+        let s = schema();
+        let rows = [row(0, 0), row(0, 1), row(0, 1), row(1, 1)];
+        let cube = DataCube::from_rows(&s, AttrId(0), AttrId(1), rows.iter());
+        assert_eq!(cube.total(), 4.0);
+        assert!((cube.proportion(0, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(cube.row_marginal(), vec![0.75, 0.25]);
+        assert_eq!(cube.col_marginal(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn conditionals() {
+        let s = schema();
+        let rows = [row(0, 0), row(0, 1), row(0, 1)];
+        let cube = DataCube::from_rows(&s, AttrId(0), AttrId(1), rows.iter());
+        let cond = cube.conditional_given_row(0).unwrap();
+        assert!((cond[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cube.conditional_given_row(1), None, "no Ford mass");
+    }
+
+    #[test]
+    fn render_is_a_table() {
+        let s = schema();
+        let rows = [row(0, 0), row(1, 1)];
+        let text = DataCube::from_rows(&s, AttrId(0), AttrId(1), rows.iter()).render();
+        assert!(text.contains("Toyota"));
+        assert!(text.contains("new"));
+        assert!(text.contains("50.00%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn same_attribute_rejected() {
+        let s = schema();
+        let _ = DataCube::new(&s, AttrId(0), AttrId(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Marginal histograms — the demo's headline display (Figure 4).
+
+use hdsampler_model::{AttrId, Row, Schema};
+
+/// A (weighted) histogram over one attribute's domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    attr: AttrId,
+    attr_name: String,
+    labels: Vec<String>,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl Histogram {
+    /// Empty histogram for attribute `attr` of `schema`.
+    pub fn new(schema: &Schema, attr: AttrId) -> Self {
+        let a = schema.attr_unchecked(attr);
+        Histogram {
+            attr,
+            attr_name: a.name().to_owned(),
+            labels: a.domain().map(|v| a.label(v).into_owned()).collect(),
+            weights: vec![0.0; a.domain_size()],
+            total: 0.0,
+        }
+    }
+
+    /// Build from rows (weight 1 each).
+    pub fn from_rows<'a>(
+        schema: &Schema,
+        attr: AttrId,
+        rows: impl IntoIterator<Item = &'a Row>,
+    ) -> Self {
+        let mut h = Histogram::new(schema, attr);
+        for row in rows {
+            h.add(row, 1.0);
+        }
+        h
+    }
+
+    /// Build from `(row, weight)` pairs (importance-weighted samples).
+    pub fn from_weighted<'a>(
+        schema: &Schema,
+        attr: AttrId,
+        rows: impl IntoIterator<Item = (&'a Row, f64)>,
+    ) -> Self {
+        let mut h = Histogram::new(schema, attr);
+        for (row, w) in rows {
+            h.add(row, w);
+        }
+        h
+    }
+
+    /// Add one observation with the given weight (incremental updates —
+    /// the demo refreshes histograms live as samples arrive).
+    pub fn add(&mut self, row: &Row, weight: f64) {
+        let v = row.values[self.attr.index()] as usize;
+        self.weights[v] += weight;
+        self.total += weight;
+    }
+
+    /// The attribute this histogram describes.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The attribute's name.
+    pub fn attr_name(&self) -> &str {
+        &self.attr_name
+    }
+
+    /// Value labels in domain order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Raw (weighted) counts per value.
+    pub fn counts(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Normalized shares per value (all zeros when empty).
+    pub fn proportions(&self) -> Vec<f64> {
+        if self.total <= 0.0 {
+            return vec![0.0; self.weights.len()];
+        }
+        self.weights.iter().map(|w| w / self.total).collect()
+    }
+
+    /// Render as an ASCII bar chart, values sorted by share descending,
+    /// `width` columns for the largest bar.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let props = self.proportions();
+        let mut order: Vec<usize> = (0..props.len()).collect();
+        order.sort_by(|&a, &b| props[b].partial_cmp(&props[a]).expect("finite"));
+        let label_w = self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(1);
+        let max_p = props.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{} (n = {:.0})", self.attr_name, self.total);
+        for i in order {
+            let bar_len = ((props[i] / max_p) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "  {:label_w$} {:6.2}% |{}",
+                self.labels[i],
+                props[i] * 100.0,
+                "#".repeat(bar_len),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{Attribute, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda", "Ford"]).unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    fn row(v: u16) -> Row {
+        Row::new(v as u64, vec![v], vec![])
+    }
+
+    #[test]
+    fn counts_and_proportions() {
+        let s = schema();
+        let rows = [row(0), row(0), row(1), row(0)];
+        let h = Histogram::from_rows(&s, AttrId(0), rows.iter());
+        assert_eq!(h.counts(), &[3.0, 1.0, 0.0]);
+        assert_eq!(h.proportions(), vec![0.75, 0.25, 0.0]);
+        assert_eq!(h.total(), 4.0);
+        assert_eq!(h.attr_name(), "make");
+    }
+
+    #[test]
+    fn weighted_observations() {
+        let s = schema();
+        let r0 = row(0);
+        let r1 = row(1);
+        let h = Histogram::from_weighted(&s, AttrId(0), [(&r0, 1.0), (&r1, 3.0)]);
+        assert_eq!(h.proportions(), vec![0.25, 0.75, 0.0]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = schema();
+        let h = Histogram::new(&s, AttrId(0));
+        assert_eq!(h.proportions(), vec![0.0; 3]);
+        assert_eq!(h.total(), 0.0);
+    }
+
+    #[test]
+    fn incremental_add_matches_batch() {
+        let s = schema();
+        let rows = [row(2), row(1), row(2)];
+        let batch = Histogram::from_rows(&s, AttrId(0), rows.iter());
+        let mut inc = Histogram::new(&s, AttrId(0));
+        for r in &rows {
+            inc.add(r, 1.0);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn render_contains_labels_and_percentages() {
+        let s = schema();
+        let rows = [row(0), row(0), row(1)];
+        let text = Histogram::from_rows(&s, AttrId(0), rows.iter()).render(20);
+        assert!(text.contains("make"));
+        assert!(text.contains("Toyota"));
+        assert!(text.contains("66.67%"));
+        assert!(text.contains('#'));
+        // Largest bar first.
+        let toyota_pos = text.find("Toyota").unwrap();
+        let honda_pos = text.find("Honda").unwrap();
+        assert!(toyota_pos < honda_pos);
+    }
+}

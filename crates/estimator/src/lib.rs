@@ -1,0 +1,38 @@
+//! # hdsampler-estimator
+//!
+//! The Output Module (paper §3.4): everything HDSampler computes *from*
+//! samples for analysts —
+//!
+//! * [`histogram`] — marginal histograms over attribute values, the demo's
+//!   headline display (Figure 4), with ASCII rendering;
+//! * [`marginal`] — marginal distribution estimates with Wilson confidence
+//!   intervals;
+//! * [`aggregate`] — approximate COUNT / SUM / AVG / proportion answering
+//!   over arbitrary client-side predicates ("the percentage of Japanese
+//!   cars", §1), including weighted variants for importance-weighted
+//!   samples;
+//! * [`size`] — database-size estimation by capture–recapture over listing
+//!   keys (an extension: the paper needs `N` for COUNT/SUM scaling and
+//!   Google Base would not reveal it);
+//! * [`skew`] — the skew metrics that quantify the other half of the
+//!   efficiency ↔ skew trade-off;
+//! * [`compare`] — side-by-side validation of estimates against ground
+//!   truth (the §3.4 "Results Validation" methodology);
+//! * [`cube`] — small group-by data cubes from samples ("approximate
+//!   aggregate queries on a resultant data cube", §3.4).
+
+pub mod aggregate;
+pub mod compare;
+pub mod cube;
+pub mod histogram;
+pub mod marginal;
+pub mod size;
+pub mod skew;
+
+pub use aggregate::{AggregateEstimate, Estimator};
+pub use compare::MarginalComparison;
+pub use cube::DataCube;
+pub use histogram::Histogram;
+pub use marginal::MarginalEstimate;
+pub use size::capture_recapture;
+pub use skew::{chi_square_uniform, kl_divergence, skew_coefficient, tv_distance};

@@ -1,0 +1,154 @@
+//! Marginal distribution estimates with confidence intervals.
+
+use hdsampler_model::{AttrId, Row, Schema};
+
+/// Estimated marginal distribution of one attribute, with per-value Wilson
+/// score intervals.
+#[derive(Debug, Clone)]
+pub struct MarginalEstimate {
+    attr: AttrId,
+    n: usize,
+    proportions: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+/// Wilson score interval for `successes/n` at confidence `z` (e.g. 1.96 for
+/// 95 %). Returns `(lo, hi)` clipped to `[0, 1]`.
+pub fn wilson_interval(successes: f64, n: f64, z: f64) -> (f64, f64) {
+    if n <= 0.0 {
+        return (0.0, 1.0);
+    }
+    let p = successes / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+impl MarginalEstimate {
+    /// Estimate the marginal of `attr` from unweighted sample rows at 95 %
+    /// confidence.
+    pub fn from_rows<'a>(
+        schema: &Schema,
+        attr: AttrId,
+        rows: impl IntoIterator<Item = &'a Row>,
+    ) -> Self {
+        let dom = schema.domain_size(attr);
+        let mut counts = vec![0usize; dom];
+        let mut n = 0usize;
+        for row in rows {
+            counts[row.values[attr.index()] as usize] += 1;
+            n += 1;
+        }
+        let mut proportions = Vec::with_capacity(dom);
+        let mut lo = Vec::with_capacity(dom);
+        let mut hi = Vec::with_capacity(dom);
+        for &c in &counts {
+            let p = if n == 0 { 0.0 } else { c as f64 / n as f64 };
+            let (l, h) = wilson_interval(c as f64, n as f64, 1.96);
+            proportions.push(p);
+            lo.push(l);
+            hi.push(h);
+        }
+        MarginalEstimate { attr, n, proportions, lo, hi }
+    }
+
+    /// The attribute estimated.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Sample size used.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Point estimates per domain value.
+    pub fn proportions(&self) -> &[f64] {
+        &self.proportions
+    }
+
+    /// 95 % interval lower bounds.
+    pub fn lower_bounds(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// 95 % interval upper bounds.
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Whether value `v`'s interval covers a reference proportion.
+    pub fn covers(&self, v: usize, reference: f64) -> bool {
+        self.lo[v] <= reference && reference <= self.hi[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{Attribute, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::categorical("c", ["a", "b", "x"]).unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    fn row(v: u16) -> Row {
+        Row::new(v as u64, vec![v], vec![])
+    }
+
+    #[test]
+    fn point_estimates_sum_to_one() {
+        let s = schema();
+        let rows: Vec<Row> = (0..90).map(|i| row(i % 3)).collect();
+        let m = MarginalEstimate::from_rows(&s, AttrId(0), rows.iter());
+        assert_eq!(m.n(), 90);
+        let total: f64 = m.proportions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for v in 0..3 {
+            assert!((m.proportions()[v] - 1.0 / 3.0).abs() < 1e-12);
+            assert!(m.lower_bounds()[v] <= m.proportions()[v]);
+            assert!(m.proportions()[v] <= m.upper_bounds()[v]);
+        }
+    }
+
+    #[test]
+    fn intervals_shrink_with_n() {
+        let s = schema();
+        let small: Vec<Row> = (0..20).map(|i| row(i % 2)).collect();
+        let large: Vec<Row> = (0..2000).map(|i| row(i % 2)).collect();
+        let ms = MarginalEstimate::from_rows(&s, AttrId(0), small.iter());
+        let ml = MarginalEstimate::from_rows(&s, AttrId(0), large.iter());
+        let width_small = ms.upper_bounds()[0] - ms.lower_bounds()[0];
+        let width_large = ml.upper_bounds()[0] - ml.lower_bounds()[0];
+        assert!(width_large < width_small / 3.0);
+    }
+
+    #[test]
+    fn wilson_interval_known_values() {
+        // p̂ = 0.5, n = 100, z = 1.96 → ≈ (0.404, 0.596).
+        let (lo, hi) = wilson_interval(50.0, 100.0, 1.96);
+        assert!((lo - 0.404).abs() < 0.005, "lo = {lo}");
+        assert!((hi - 0.596).abs() < 0.005, "hi = {hi}");
+        // Degenerate inputs stay in [0, 1].
+        let (lo, hi) = wilson_interval(0.0, 10.0, 1.96);
+        assert!(lo == 0.0 && hi < 0.35);
+        let (lo, hi) = wilson_interval(10.0, 10.0, 1.96);
+        assert!(lo > 0.65 && hi == 1.0);
+        assert_eq!(wilson_interval(0.0, 0.0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn coverage_check() {
+        let s = schema();
+        let rows: Vec<Row> = (0..100).map(|i| row(u16::from(i % 4 == 0))).collect();
+        let m = MarginalEstimate::from_rows(&s, AttrId(0), rows.iter());
+        assert!(m.covers(1, 0.25), "true share 0.25 inside the interval");
+        assert!(!m.covers(1, 0.60), "0.60 far outside");
+    }
+}

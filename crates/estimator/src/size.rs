@@ -1,0 +1,76 @@
+//! Database-size estimation by capture–recapture.
+//!
+//! COUNT and SUM estimates need the population size `N`
+//! ([`Estimator::count`](crate::aggregate::Estimator::count)). Google Base
+//! never reveals it exactly. With-replacement uniform samples collide on
+//! listing keys at a rate governed by the birthday paradox, which yields a
+//! consistent estimator of `N` — an extension the sampling literature
+//! suggests and our samplers make practical because every sample carries a
+//! stable listing key.
+
+/// Capture–recapture (birthday) estimate of the population size from `n`
+/// with-replacement draws among which `n − d` are repeat observations
+/// (`d` = distinct keys).
+///
+/// With `c = n − d` collisions, the expected number of colliding pairs is
+/// `n(n−1)/(2N)`, so `N̂ = n(n−1)/(2c)` (using collisions as a proxy for
+/// colliding pairs, accurate while `c ≪ n`). Returns `None` when no
+/// collision has been observed yet — the data only supports a lower bound
+/// of order `n²` then.
+pub fn capture_recapture(n_draws: usize, n_distinct: usize) -> Option<f64> {
+    assert!(n_distinct <= n_draws, "distinct keys cannot exceed draws");
+    let collisions = (n_draws - n_distinct) as f64;
+    if collisions == 0.0 || n_draws < 2 {
+        return None;
+    }
+    Some(n_draws as f64 * (n_draws as f64 - 1.0) / (2.0 * collisions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn no_collisions_no_estimate() {
+        assert_eq!(capture_recapture(100, 100), None);
+        assert_eq!(capture_recapture(1, 1), None);
+        assert_eq!(capture_recapture(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn impossible_inputs_panic() {
+        let _ = capture_recapture(5, 6);
+    }
+
+    #[test]
+    fn recovers_known_population_size() {
+        // Simulate uniform with-replacement draws from N = 5000 and check
+        // the estimator lands within 25 % (it is noisy but consistent).
+        let n_pop = 5_000u64;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut estimates = Vec::new();
+        for _ in 0..10 {
+            let draws = 1_500;
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..draws {
+                seen.insert(rng.gen_range(0..n_pop));
+            }
+            if let Some(est) = capture_recapture(draws, seen.len()) {
+                estimates.push(est);
+            }
+        }
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        let rel_err = (mean - n_pop as f64).abs() / n_pop as f64;
+        assert!(rel_err < 0.25, "mean estimate {mean} vs true {n_pop}");
+    }
+
+    #[test]
+    fn more_collisions_means_smaller_population() {
+        let few = capture_recapture(1000, 995).unwrap();
+        let many = capture_recapture(1000, 900).unwrap();
+        assert!(many < few);
+    }
+}

@@ -1,0 +1,150 @@
+//! Skew metrics — quantifying sample non-uniformity.
+//!
+//! The demo exposes a slider between "highest efficiency" and "lowest skew"
+//! (§3.1); these metrics put numbers on the skew side:
+//!
+//! * [`tv_distance`] — total variation distance between two distributions
+//!   (e.g. estimated vs true marginal);
+//! * [`kl_divergence`] — Kullback–Leibler divergence;
+//! * [`chi_square_uniform`] — χ² statistic of per-tuple sample frequencies
+//!   against the uniform expectation;
+//! * [`skew_coefficient`] — the SIGMOD 2007 style skew measure: the
+//!   coefficient of variation of estimated per-tuple selection
+//!   probabilities (0 = perfectly uniform).
+
+/// Total variation distance `½ Σ |p_i − q_i|` between two distributions
+/// over the same support.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share a support");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `Σ p_i ln(p_i/q_i)` (nats). Terms with
+/// `p_i = 0` contribute zero; `q_i = 0` with `p_i > 0` yields infinity.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share a support");
+    p.iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            if a <= 0.0 {
+                0.0
+            } else if b <= 0.0 {
+                f64::INFINITY
+            } else {
+                a * (a / b).ln()
+            }
+        })
+        .sum()
+}
+
+/// χ² statistic of observed per-tuple frequencies against uniform: with `s`
+/// samples over `n` tuples, the expected count is `s/n` per tuple; tuples
+/// never observed are included. Larger = more skew; the expectation for a
+/// perfectly uniform sampler is ≈ `n − 1`.
+///
+/// `observed` maps each *observed* tuple to its count; `n_tuples` is the
+/// true population size (oracle-side knowledge).
+pub fn chi_square_uniform(observed_counts: &[u64], n_tuples: usize, samples: u64) -> f64 {
+    assert!(n_tuples > 0, "empty population");
+    let expected = samples as f64 / n_tuples as f64;
+    if expected <= 0.0 {
+        return 0.0;
+    }
+    let observed_sum: f64 = observed_counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // Unobserved tuples each contribute expected².../expected = expected.
+    let unobserved = n_tuples.saturating_sub(observed_counts.len());
+    observed_sum + unobserved as f64 * expected
+}
+
+/// SIGMOD'07-style skew coefficient: the coefficient of variation of the
+/// per-tuple selection probabilities, estimated from sample frequencies.
+/// 0 for a perfectly uniform sampler; grows with clipping (larger `C`).
+///
+/// Estimated naively as `sd(freq)/mean(freq)` over all `n_tuples` (absent
+/// tuples count as frequency 0), which over-estimates slightly at small
+/// sample sizes due to multinomial noise — comparisons should therefore use
+/// equal sample sizes, as the experiments do.
+pub fn skew_coefficient(observed_counts: &[u64], n_tuples: usize, samples: u64) -> f64 {
+    assert!(n_tuples > 0, "empty population");
+    if samples == 0 {
+        return 0.0;
+    }
+    let mean = samples as f64 / n_tuples as f64;
+    let sum_sq: f64 = observed_counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        + (n_tuples.saturating_sub(observed_counts.len())) as f64 * mean * mean;
+    let var = sum_sq / n_tuples as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_identity_and_disjoint() {
+        let p = [0.5, 0.3, 0.2];
+        assert_eq!(tv_distance(&p, &p), 0.0);
+        assert!((tv_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((tv_distance(&[0.6, 0.4], &[0.4, 0.6]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn tv_mismatched_support_panics() {
+        let _ = tv_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = [0.5, 0.5];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        assert!(kl_divergence(&[1.0, 0.0], &[0.5, 0.5]) > 0.0);
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+        // Zero p-mass terms are fine.
+        assert!((kl_divergence(&[0.0, 1.0], &[0.5, 0.5]) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_uniform_counts() {
+        // 4 tuples, 8 samples, perfectly even: χ² = 0.
+        assert_eq!(chi_square_uniform(&[2, 2, 2, 2], 4, 8), 0.0);
+        // All mass on one tuple of 4, 8 samples: expected 2 each;
+        // (8-2)²/2 + 3 tuples × 2 = 18 + 6 = 24.
+        let chi = chi_square_uniform(&[8], 4, 8);
+        assert!((chi - 24.0).abs() < 1e-12, "chi = {chi}");
+    }
+
+    #[test]
+    fn skew_coefficient_zero_when_even() {
+        assert_eq!(skew_coefficient(&[2, 2, 2, 2], 4, 8), 0.0);
+        let skew = skew_coefficient(&[8], 4, 8);
+        // mean 2, deviations (6, -2, -2, -2): var = (36+12)/4 = 12 → cv =
+        // sqrt(12)/2 ≈ 1.732.
+        assert!((skew - 12f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_orders_samplers_correctly() {
+        // A mildly skewed frequency vector must score between the even and
+        // the degenerate one.
+        let even = skew_coefficient(&[3, 3, 3, 3], 4, 12);
+        let mild = skew_coefficient(&[5, 3, 2, 2], 4, 12);
+        let bad = skew_coefficient(&[12], 4, 12);
+        assert!(even < mild && mild < bad);
+    }
+}

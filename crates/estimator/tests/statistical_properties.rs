@@ -1,0 +1,126 @@
+//! Property-based tests for the estimators: interval sanity, metric
+//! axioms, and consistency between the weighted and unweighted paths.
+
+use hdsampler_core::{Sample, SampleMeta, SampleSet};
+use hdsampler_estimator::marginal::wilson_interval;
+use hdsampler_estimator::{
+    capture_recapture, kl_divergence, tv_distance, Estimator, Histogram,
+};
+use hdsampler_model::{Attribute, MeasureId, Row, SchemaBuilder};
+use proptest::prelude::*;
+
+fn sample(v: u16, measure: f64, weight: f64) -> Sample {
+    Sample {
+        row: Row::new((v as u64) << 32 | measure.to_bits() & 0xFFFF_FFFF, vec![v], vec![measure]),
+        weight,
+        meta: SampleMeta::default(),
+    }
+}
+
+/// Normalize a weight vector into a distribution.
+fn normalize(ws: &[f64]) -> Vec<f64> {
+    let total: f64 = ws.iter().sum();
+    ws.iter().map(|w| w / total).collect()
+}
+
+proptest! {
+    /// Wilson intervals are ordered, bounded, contain the point estimate,
+    /// and shrink when n grows at fixed p̂.
+    #[test]
+    fn wilson_interval_sanity(successes in 0u32..500, extra in 0u32..500, scale in 1u32..20) {
+        let n = (successes + extra) as f64;
+        prop_assume!(n > 0.0);
+        let (lo, hi) = wilson_interval(successes as f64, n, 1.96);
+        let p = successes as f64 / n;
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        let (lo2, hi2) =
+            wilson_interval((successes * scale) as f64, n * scale as f64, 1.96);
+        prop_assert!(hi2 - lo2 <= hi - lo + 1e-12, "width shrinks with n");
+    }
+
+    /// TV distance is a metric-ish: symmetric, zero on identity, bounded by
+    /// 1 on distributions.
+    #[test]
+    fn tv_axioms(ws_a in prop::collection::vec(0.01f64..10.0, 2..10)) {
+        let n = ws_a.len();
+        let p = normalize(&ws_a);
+        let mut rev = p.clone();
+        rev.reverse();
+        prop_assert!(tv_distance(&p, &p).abs() < 1e-12);
+        prop_assert!((tv_distance(&p, &rev) - tv_distance(&rev, &p)).abs() < 1e-12);
+        let point = {
+            let mut v = vec![0.0; n];
+            v[0] = 1.0;
+            v
+        };
+        prop_assert!(tv_distance(&p, &point) <= 1.0 + 1e-12);
+        // KL is non-negative on strictly positive distributions.
+        prop_assert!(kl_divergence(&p, &rev) >= -1e-12);
+    }
+
+    /// Histogram proportions form a distribution and the estimator's
+    /// proportion agrees with the histogram mass.
+    #[test]
+    fn histogram_and_estimator_agree(values in prop::collection::vec(0u16..4, 1..200)) {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::categorical("c", ["a", "b", "x", "y"]).unwrap())
+            .finish()
+            .unwrap();
+        let set: SampleSet = values.iter().map(|&v| sample(v, 0.0, 1.0)).collect();
+        let hist = Histogram::from_rows(&schema, hdsampler_model::AttrId(0), set.rows());
+        let props = hist.proportions();
+        prop_assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for v in 0..4u16 {
+            let est = Estimator::new(&set).proportion(|r| r.values[0] == v);
+            prop_assert!((est.value - props[v as usize]).abs() < 1e-12);
+            prop_assert!(est.covers(est.value));
+        }
+    }
+
+    /// Weighted estimates interpolate between the pure per-value answers:
+    /// a weighted proportion always lies in [0, 1] and matches the manual
+    /// self-normalized computation.
+    #[test]
+    fn weighted_proportion_matches_manual(
+        data in prop::collection::vec((0u16..2, 0.1f64..10.0), 1..100),
+    ) {
+        let set: SampleSet = data.iter().map(|&(v, w)| sample(v, 0.0, w)).collect();
+        let est = Estimator::new(&set).proportion(|r| r.values[0] == 1);
+        let total: f64 = data.iter().map(|&(_, w)| w).sum();
+        let hits: f64 = data.iter().filter(|&&(v, _)| v == 1).map(|&(_, w)| w).sum();
+        prop_assert!((est.value - hits / total).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&est.value));
+    }
+
+    /// AVG with unit weights equals the arithmetic mean; COUNT scales the
+    /// proportion by N linearly.
+    #[test]
+    fn avg_and_count_consistency(
+        measures in prop::collection::vec(-100.0f64..100.0, 2..100),
+        n_total in 1.0f64..1e6,
+    ) {
+        let set: SampleSet = measures.iter().map(|&m| sample(0, m, 1.0)).collect();
+        let est = Estimator::new(&set);
+        let avg = est.avg(MeasureId(0), |_| true);
+        let mean = measures.iter().sum::<f64>() / measures.len() as f64;
+        prop_assert!((avg.value - mean).abs() < 1e-9);
+
+        let count = est.count(n_total, |r| r.values[0] == 0);
+        prop_assert!((count.value - n_total).abs() < 1e-6, "all samples match");
+    }
+
+    /// Capture–recapture: more distinct keys (fewer collisions) implies a
+    /// larger size estimate; estimates are positive.
+    #[test]
+    fn capture_recapture_monotone(n in 4usize..5000, d1 in 2usize..4000, d2 in 2usize..4000) {
+        let d_lo = d1.min(d2).min(n - 1);
+        let d_hi = d1.max(d2).min(n - 1);
+        prop_assume!(d_lo < d_hi);
+        let est_lo = capture_recapture(n, d_lo).unwrap();
+        let est_hi = capture_recapture(n, d_hi).unwrap();
+        prop_assert!(est_lo > 0.0 && est_hi > 0.0);
+        prop_assert!(est_hi >= est_lo, "more distinct ⇒ larger estimate");
+    }
+}

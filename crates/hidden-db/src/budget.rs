@@ -1,0 +1,125 @@
+//! Query budgets: the per-IP/session limits real data providers enforce.
+//!
+//! "Crawling a very large hidden database can be extremely expensive, and
+//! could be impossible when data providers limits the maximum number of
+//! queries that can be issued by an IP address" (§1). The budget is charged
+//! *per submitted form*, successful or not, exactly like a rate-limited
+//! site counts page fetches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hdsampler_model::InterfaceError;
+
+/// A concurrent query budget.
+///
+/// `limit = None` means unmetered. Charging is wait-free; once exhausted
+/// every further charge fails with [`InterfaceError::BudgetExhausted`].
+#[derive(Debug)]
+pub struct QueryBudget {
+    limit: Option<u64>,
+    used: AtomicU64,
+}
+
+impl QueryBudget {
+    /// Budget of `limit` queries.
+    pub fn limited(limit: u64) -> Self {
+        QueryBudget { limit: Some(limit), used: AtomicU64::new(0) }
+    }
+
+    /// No limit (charges are still counted).
+    pub fn unlimited() -> Self {
+        QueryBudget { limit: None, used: AtomicU64::new(0) }
+    }
+
+    /// Charge one query.
+    ///
+    /// Returns the total charged so far (including this one) on success.
+    pub fn charge(&self) -> Result<u64, InterfaceError> {
+        match self.limit {
+            None => Ok(self.used.fetch_add(1, Ordering::Relaxed) + 1),
+            Some(limit) => {
+                // Optimistically increment, then roll back on overshoot so
+                // concurrent chargers cannot exceed the limit.
+                let prev = self.used.fetch_add(1, Ordering::Relaxed);
+                if prev >= limit {
+                    self.used.fetch_sub(1, Ordering::Relaxed);
+                    Err(InterfaceError::BudgetExhausted { issued: limit })
+                } else {
+                    Ok(prev + 1)
+                }
+            }
+        }
+    }
+
+    /// Queries charged so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Remaining queries, if limited.
+    pub fn remaining(&self) -> Option<u64> {
+        self.limit.map(|l| l.saturating_sub(self.used()))
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        QueryBudget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn unlimited_counts_forever() {
+        let b = QueryBudget::unlimited();
+        for i in 1..=100 {
+            assert_eq!(b.charge().unwrap(), i);
+        }
+        assert_eq!(b.used(), 100);
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn limited_stops_exactly_at_limit() {
+        let b = QueryBudget::limited(3);
+        assert!(b.charge().is_ok());
+        assert!(b.charge().is_ok());
+        assert!(b.charge().is_ok());
+        assert_eq!(
+            b.charge(),
+            Err(InterfaceError::BudgetExhausted { issued: 3 })
+        );
+        assert_eq!(b.used(), 3, "failed charge does not count");
+        assert_eq!(b.remaining(), Some(0));
+    }
+
+    #[test]
+    fn concurrent_charges_never_exceed_limit() {
+        let b = Arc::new(QueryBudget::limited(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0u64;
+                for _ in 0..500 {
+                    if b.charge().is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(b.used(), 1000);
+    }
+}

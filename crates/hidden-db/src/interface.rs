@@ -1,0 +1,360 @@
+//! [`HiddenDb`]: the engine's public face, implementing
+//! [`FormInterface`].
+//!
+//! `HiddenDb` glues together storage, indexes, ranking, top-k truncation,
+//! count reporting and budget enforcement, and is safe to share across
+//! sampler threads (`&HiddenDb` is all a walker needs).
+
+use std::sync::Arc;
+
+use hdsampler_model::{
+    ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse, Schema, Tuple,
+};
+
+use crate::budget::QueryBudget;
+use crate::counts::CountMode;
+use crate::index::PostingIndex;
+use crate::log::QueryLog;
+use crate::oracle::Oracle;
+use crate::ranking::{RankSpec, Ranking};
+use crate::table::{Table, TableBuilder};
+use crate::topk::top_k;
+
+/// A simulated hidden database behind a top-k conjunctive form interface.
+#[derive(Debug)]
+pub struct HiddenDb {
+    table: Table,
+    index: PostingIndex,
+    ranking: Ranking,
+    k: usize,
+    count_mode: CountMode,
+    budget: QueryBudget,
+    log: QueryLog,
+}
+
+impl HiddenDb {
+    /// Start building a database over `schema`.
+    pub fn builder(schema: Arc<Schema>) -> HiddenDbBuilder {
+        HiddenDbBuilder::new(schema)
+    }
+
+    /// Ground-truth oracle over the underlying data.
+    ///
+    /// Only a *locally simulated* hidden database can hand this out — it is
+    /// the validation path the paper's §4 backup plan uses ("the entire
+    /// dataset can be accessed for validation"). Nothing in the sampling
+    /// stack touches it.
+    pub fn oracle(&self) -> Oracle<'_> {
+        Oracle::new(&self.table, &self.index)
+    }
+
+    /// The engine's query log.
+    pub fn log(&self) -> &QueryLog {
+        &self.log
+    }
+
+    /// The session budget.
+    pub fn budget(&self) -> &QueryBudget {
+        &self.budget
+    }
+
+    /// Number of stored tuples (oracle-side knowledge).
+    pub fn n_tuples(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The configured count-reporting mode.
+    pub fn count_mode(&self) -> CountMode {
+        self.count_mode
+    }
+
+    fn check_query(&self, query: &ConjunctiveQuery) -> Result<(), InterfaceError> {
+        query.validate(self.table.schema()).map_err(InterfaceError::from)
+    }
+}
+
+impl FormInterface for HiddenDb {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn result_limit(&self) -> usize {
+        self.k
+    }
+
+    fn execute(&self, query: &ConjunctiveQuery) -> Result<QueryResponse, InterfaceError> {
+        self.check_query(query)?;
+        self.budget.charge()?;
+        let matching = self.index.evaluate(query);
+        let truth = matching.len() as u64;
+        let (ids, overflow) = top_k(&matching, &self.ranking, self.k);
+        let rows = ids.iter().map(|&t| self.table.row(t)).collect::<Vec<_>>();
+        let class = if overflow {
+            hdsampler_model::Classification::Overflow
+        } else if rows.is_empty() {
+            hdsampler_model::Classification::Empty
+        } else {
+            hdsampler_model::Classification::Valid
+        };
+        self.log.record(class, rows.len(), query.len());
+        Ok(QueryResponse {
+            rows,
+            overflow,
+            reported_count: self.count_mode.report(query, truth),
+        })
+    }
+
+    fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {
+        if matches!(self.count_mode, CountMode::Absent) {
+            return Err(InterfaceError::Unsupported("count reporting"));
+        }
+        self.check_query(query)?;
+        self.budget.charge()?;
+        let truth = self.index.count(query) as u64;
+        self.log.record_count_probe(query.len());
+        Ok(self
+            .count_mode
+            .report(query, truth)
+            .expect("non-absent count mode always reports"))
+    }
+
+    fn supports_count(&self) -> bool {
+        !matches!(self.count_mode, CountMode::Absent)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.budget.used()
+    }
+}
+
+/// Builder for [`HiddenDb`].
+#[derive(Debug)]
+pub struct HiddenDbBuilder {
+    table: TableBuilder,
+    k: usize,
+    rank: RankSpec,
+    count_mode: CountMode,
+    budget: Option<u64>,
+}
+
+impl HiddenDbBuilder {
+    /// Start with Google-Base-like defaults: `k = 1000`, hash-order ranking,
+    /// no count banner, unmetered.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        HiddenDbBuilder {
+            table: TableBuilder::new(schema, 0xC0FF_EE00_D15E_A5E),
+            k: 1000,
+            rank: RankSpec::HashOrder { seed: 0x5EED },
+            count_mode: CountMode::Absent,
+            budget: None,
+        }
+    }
+
+    /// Set the top-k display limit.
+    pub fn result_limit(mut self, k: usize) -> Self {
+        assert!(k >= 1, "a form that shows zero results is no interface at all");
+        self.k = k;
+        self
+    }
+
+    /// Set the site's ranking function.
+    pub fn ranking(mut self, spec: RankSpec) -> Self {
+        self.rank = spec;
+        self
+    }
+
+    /// Set the count-reporting mode.
+    pub fn count_mode(mut self, mode: CountMode) -> Self {
+        self.count_mode = mode;
+        self
+    }
+
+    /// Cap the number of queries a session may issue.
+    pub fn query_budget(mut self, limit: u64) -> Self {
+        self.budget = Some(limit);
+        self
+    }
+
+    /// Seed for the opaque listing-key space.
+    pub fn key_seed(mut self, seed: u64) -> Self {
+        self.table.set_key_seed(seed);
+        self
+    }
+
+    /// Reserve capacity for `n` tuples.
+    pub fn reserve(mut self, n: usize) -> Self {
+        self.table.reserve(n);
+        self
+    }
+
+    /// Append one tuple.
+    pub fn push(&mut self, tuple: &Tuple) -> Result<(), hdsampler_model::ModelError> {
+        self.table.push(tuple).map(|_| ())
+    }
+
+    /// Append many tuples.
+    pub fn extend<'a>(
+        &mut self,
+        tuples: impl IntoIterator<Item = &'a Tuple>,
+    ) -> Result<(), hdsampler_model::ModelError> {
+        for t in tuples {
+            self.push(t)?;
+        }
+        Ok(())
+    }
+
+    /// Freeze into a queryable [`HiddenDb`].
+    pub fn finish(self) -> HiddenDb {
+        let table = self.table.finish();
+        let index = PostingIndex::build(&table);
+        let ranking = Ranking::build(&self.rank, &table);
+        HiddenDb {
+            table,
+            index,
+            ranking,
+            k: self.k,
+            count_mode: self.count_mode,
+            budget: self.budget.map_or_else(QueryBudget::unlimited, QueryBudget::limited),
+            log: QueryLog::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{AttrId, Attribute, Classification, SchemaBuilder};
+
+    /// Build the exact Boolean database of the paper's Figure 1:
+    /// tuples t1=001, t2=010, t3=011, t4=110 over attributes a1,a2,a3.
+    fn figure1_db(k: usize) -> HiddenDb {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("a1"))
+            .attribute(Attribute::boolean("a2"))
+            .attribute(Attribute::boolean("a3"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(k);
+        for vals in [[0u16, 0, 1], [0, 1, 0], [0, 1, 1], [1, 1, 0]] {
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+        }
+        b.finish()
+    }
+
+    fn q(pairs: &[(u16, u16)]) -> ConjunctiveQuery {
+        ConjunctiveQuery::from_pairs(pairs.iter().map(|&(a, v)| (AttrId(a), v))).unwrap()
+    }
+
+    #[test]
+    fn figure1_classifications_match_paper() {
+        // With k = 1 (the paper's walk-through): a1=0 overflows (3 tuples),
+        // a1=1 is valid (t4 alone), a1=0 ∧ a2=0 is valid (t1), a1=0 ∧ a2=1
+        // overflows (t2, t3), and a1=1 ∧ a2=0 is empty.
+        let db = figure1_db(1);
+        let r = db.execute(&q(&[(0, 0)])).unwrap();
+        assert_eq!(r.classification(), Classification::Overflow);
+        assert_eq!(r.returned(), 1, "top-k shows exactly k rows");
+
+        let r = db.execute(&q(&[(0, 1)])).unwrap();
+        assert_eq!(r.classification(), Classification::Valid);
+        assert_eq!(r.rows[0].values.as_ref(), &[1, 1, 0]);
+
+        let r = db.execute(&q(&[(0, 0), (1, 0)])).unwrap();
+        assert_eq!(r.classification(), Classification::Valid);
+        assert_eq!(r.rows[0].values.as_ref(), &[0, 0, 1]);
+
+        let r = db.execute(&q(&[(0, 0), (1, 1)])).unwrap();
+        assert_eq!(r.classification(), Classification::Overflow);
+
+        let r = db.execute(&q(&[(0, 1), (1, 0)])).unwrap();
+        assert_eq!(r.classification(), Classification::Empty);
+    }
+
+    #[test]
+    fn responses_are_stable_across_reissues() {
+        let db = figure1_db(1);
+        let a = db.execute(&q(&[(0, 0)])).unwrap();
+        let b = db.execute(&q(&[(0, 0)])).unwrap();
+        assert_eq!(a, b, "deterministic ranking ⇒ identical pages");
+    }
+
+    #[test]
+    fn budget_enforced_and_counted() {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(Arc::clone(&schema)).query_budget(2);
+        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap()).unwrap();
+        let db = b.finish();
+        assert!(db.execute(&ConjunctiveQuery::empty()).is_ok());
+        assert!(db.execute(&ConjunctiveQuery::empty()).is_ok());
+        assert_eq!(
+            db.execute(&ConjunctiveQuery::empty()),
+            Err(InterfaceError::BudgetExhausted { issued: 2 })
+        );
+        assert_eq!(db.queries_issued(), 2);
+    }
+
+    #[test]
+    fn count_probe_respects_mode() {
+        let db = figure1_db(1);
+        // Default mode: Absent.
+        assert_eq!(
+            db.count(&ConjunctiveQuery::empty()),
+            Err(InterfaceError::Unsupported("count reporting"))
+        );
+        assert!(!db.supports_count());
+
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(Arc::clone(&schema)).count_mode(CountMode::Exact);
+        for v in [0u16, 0, 1] {
+            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap()).unwrap();
+        }
+        let db = b.finish();
+        assert!(db.supports_count());
+        assert_eq!(db.count(&q(&[(0, 0)])).unwrap(), 2);
+        assert_eq!(db.count(&ConjunctiveQuery::empty()).unwrap(), 3);
+        assert_eq!(db.queries_issued(), 2, "count probes are charged");
+    }
+
+    #[test]
+    fn invalid_query_rejected_without_charge() {
+        let db = figure1_db(10);
+        let bad = q(&[(7, 0)]);
+        assert!(matches!(db.execute(&bad), Err(InterfaceError::InvalidQuery(_))));
+        assert_eq!(db.queries_issued(), 0);
+    }
+
+    #[test]
+    fn log_reflects_traffic() {
+        let db = figure1_db(1);
+        db.execute(&q(&[(0, 0)])).unwrap(); // overflow
+        db.execute(&q(&[(0, 1)])).unwrap(); // valid
+        db.execute(&q(&[(0, 1), (1, 0)])).unwrap(); // empty
+        let s = db.log().snapshot();
+        assert_eq!((s.total, s.overflow, s.valid, s.empty), (3, 1, 1, 1));
+    }
+
+    #[test]
+    fn reported_count_follows_mode() {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(Arc::clone(&schema)).count_mode(CountMode::Exact);
+        for v in [0u16, 1, 1] {
+            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap()).unwrap();
+        }
+        let db = b.finish();
+        let r = db.execute(&q(&[(0, 1)])).unwrap();
+        assert_eq!(r.reported_count, Some(2));
+    }
+}

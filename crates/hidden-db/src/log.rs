@@ -1,0 +1,115 @@
+//! Query accounting: what the engine observed serving a session.
+//!
+//! The paper's efficiency story is told in *queries issued per sample
+//! produced*; the log provides the numerator, broken down by outcome class,
+//! plus distributional statistics (depth of queries, rows shipped) that the
+//! experiment harness reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hdsampler_model::Classification;
+
+/// Wait-free accumulating counters describing served queries.
+#[derive(Debug, Default)]
+pub struct QueryLog {
+    total: AtomicU64,
+    empty: AtomicU64,
+    valid: AtomicU64,
+    overflow: AtomicU64,
+    count_probes: AtomicU64,
+    rows_shipped: AtomicU64,
+    predicates_sum: AtomicU64,
+}
+
+/// A point-in-time copy of the log counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogSnapshot {
+    /// Total form submissions (selection queries + count probes).
+    pub total: u64,
+    /// Queries classified empty.
+    pub empty: u64,
+    /// Queries classified valid (1..=k rows).
+    pub valid: u64,
+    /// Queries classified overflow.
+    pub overflow: u64,
+    /// Count-only probes.
+    pub count_probes: u64,
+    /// Result rows shipped across all responses.
+    pub rows_shipped: u64,
+    /// Sum of predicate counts over all queries (for mean depth).
+    pub predicates_sum: u64,
+}
+
+impl LogSnapshot {
+    /// Mean number of predicates per query.
+    pub fn mean_depth(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.predicates_sum as f64 / self.total as f64
+        }
+    }
+}
+
+impl QueryLog {
+    /// Record a served selection query.
+    pub fn record(&self, class: Classification, rows: usize, predicates: usize) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        match class {
+            Classification::Empty => &self.empty,
+            Classification::Valid => &self.valid,
+            Classification::Overflow => &self.overflow,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.rows_shipped.fetch_add(rows as u64, Ordering::Relaxed);
+        self.predicates_sum.fetch_add(predicates as u64, Ordering::Relaxed);
+    }
+
+    /// Record a served count-only probe.
+    pub fn record_count_probe(&self, predicates: usize) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.count_probes.fetch_add(1, Ordering::Relaxed);
+        self.predicates_sum.fetch_add(predicates as u64, Ordering::Relaxed);
+    }
+
+    /// Copy out all counters.
+    pub fn snapshot(&self) -> LogSnapshot {
+        LogSnapshot {
+            total: self.total.load(Ordering::Relaxed),
+            empty: self.empty.load(Ordering::Relaxed),
+            valid: self.valid.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count_probes: self.count_probes.load(Ordering::Relaxed),
+            rows_shipped: self.rows_shipped.load(Ordering::Relaxed),
+            predicates_sum: self.predicates_sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_by_class() {
+        let log = QueryLog::default();
+        log.record(Classification::Overflow, 1000, 1);
+        log.record(Classification::Valid, 3, 2);
+        log.record(Classification::Empty, 0, 3);
+        log.record_count_probe(2);
+        let s = log.snapshot();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.valid, 1);
+        assert_eq!(s.empty, 1);
+        assert_eq!(s.count_probes, 1);
+        assert_eq!(s.rows_shipped, 1003);
+        assert_eq!(s.predicates_sum, 8);
+        assert!((s.mean_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_mean_depth_is_zero() {
+        assert_eq!(QueryLog::default().snapshot().mean_depth(), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Ground-truth oracle over a locally simulated hidden database.
+//!
+//! The paper validates HDSampler in two ways: against the (slow but
+//! provably uniform) BRUTE-FORCE-SAMPLER when the data is remote (§3.4),
+//! and against the *entire dataset* when the data source is the locally
+//! simulated database of the §4 backup plan. `Oracle` is that second path:
+//! exact marginals, exact aggregates, and per-tuple access for skew
+//! measurements. Samplers never see it.
+
+use std::collections::HashMap;
+
+use hdsampler_model::{AttrId, ConjunctiveQuery, DomIx, MeasureId, Row, TupleId};
+
+use crate::index::PostingIndex;
+use crate::table::Table;
+
+/// Read-only ground-truth view of a [`Table`].
+#[derive(Debug, Clone, Copy)]
+pub struct Oracle<'a> {
+    table: &'a Table,
+    index: &'a PostingIndex,
+}
+
+impl<'a> Oracle<'a> {
+    pub(crate) fn new(table: &'a Table, index: &'a PostingIndex) -> Self {
+        Oracle { table, index }
+    }
+
+    /// Exact number of tuples.
+    pub fn size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Exact marginal distribution of attribute `a`: for each domain value,
+    /// the fraction of tuples holding it. Sums to 1 for non-empty tables.
+    pub fn marginal(&self, a: AttrId) -> Vec<f64> {
+        let n = self.table.len().max(1) as f64;
+        let dom = self.table.schema().domain_size(a);
+        (0..dom as DomIx)
+            .map(|v| self.index.frequency(a.index(), v) as f64 / n)
+            .collect()
+    }
+
+    /// Exact marginal counts of attribute `a`.
+    pub fn marginal_counts(&self, a: AttrId) -> Vec<u64> {
+        let dom = self.table.schema().domain_size(a);
+        (0..dom as DomIx)
+            .map(|v| self.index.frequency(a.index(), v) as u64)
+            .collect()
+    }
+
+    /// Exact COUNT of tuples matching `q`.
+    pub fn count(&self, q: &ConjunctiveQuery) -> u64 {
+        self.index.count(q) as u64
+    }
+
+    /// Exact SUM of measure `m` over tuples matching `q`.
+    pub fn sum(&self, q: &ConjunctiveQuery, m: MeasureId) -> f64 {
+        let col = self.table.measure_column(m.index());
+        self.index.evaluate(q).into_iter().map(|t| col[t as usize]).sum()
+    }
+
+    /// Exact AVG of measure `m` over tuples matching `q` (`None` on empty
+    /// selections).
+    pub fn avg(&self, q: &ConjunctiveQuery, m: MeasureId) -> Option<f64> {
+        let ids = self.index.evaluate(q);
+        if ids.is_empty() {
+            return None;
+        }
+        let col = self.table.measure_column(m.index());
+        Some(ids.iter().map(|&t| col[t as usize]).sum::<f64>() / ids.len() as f64)
+    }
+
+    /// Exact proportion of tuples matching `q`.
+    pub fn proportion(&self, q: &ConjunctiveQuery) -> f64 {
+        if self.table.is_empty() {
+            0.0
+        } else {
+            self.count(q) as f64 / self.table.len() as f64
+        }
+    }
+
+    /// Resolve a listing key (as seen by a sampler) back to the internal
+    /// tuple id — validation only.
+    pub fn tuple_by_key(&self, key: u64) -> Option<TupleId> {
+        self.table.tuple_by_key(key)
+    }
+
+    /// Materialize the row of an internal tuple id.
+    pub fn row(&self, t: TupleId) -> Row {
+        self.table.row(t)
+    }
+
+    /// Empirical per-tuple frequency map from a list of sampled listing
+    /// keys; the basis of tuple-level skew metrics. Keys that resolve to no
+    /// tuple are counted under `None` (should never happen for honest
+    /// interfaces).
+    pub fn frequency_by_tuple(&self, sampled_keys: &[u64]) -> HashMap<Option<TupleId>, u64> {
+        let mut freq: HashMap<Option<TupleId>, u64> = HashMap::new();
+        for &k in sampled_keys {
+            *freq.entry(self.tuple_by_key(k)).or_insert(0) += 1;
+        }
+        freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::HiddenDb;
+    use hdsampler_model::{Attribute, Measure, SchemaBuilder, Tuple};
+    use std::sync::Arc;
+
+    fn db() -> HiddenDb {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda", "Ford"]).unwrap())
+            .attribute(Attribute::boolean("used"))
+            .measure(Measure::new("price"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(Arc::clone(&schema));
+        for (mk, used, price) in
+            [(0u16, 1u16, 10.0), (0, 0, 20.0), (1, 1, 30.0), (2, 1, 40.0)]
+        {
+            b.push(&Tuple::new(&schema, vec![mk, used], vec![price]).unwrap()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn marginals_are_exact() {
+        let db = db();
+        let o = db.oracle();
+        assert_eq!(o.size(), 4);
+        assert_eq!(o.marginal(AttrId(0)), vec![0.5, 0.25, 0.25]);
+        assert_eq!(o.marginal_counts(AttrId(1)), vec![1, 3]);
+        let m = o.marginal(AttrId(0));
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_are_exact() {
+        let db = db();
+        let o = db.oracle();
+        let toyota = ConjunctiveQuery::from_pairs([(AttrId(0), 0)]).unwrap();
+        assert_eq!(o.count(&toyota), 2);
+        assert_eq!(o.sum(&toyota, MeasureId(0)), 30.0);
+        assert_eq!(o.avg(&toyota, MeasureId(0)), Some(15.0));
+        assert_eq!(o.proportion(&toyota), 0.5);
+
+        let nothing = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 0)]).unwrap();
+        assert_eq!(o.avg(&nothing, MeasureId(0)), None);
+    }
+
+    #[test]
+    fn key_resolution_roundtrip() {
+        let db = db();
+        let o = db.oracle();
+        for t in 0..4u32 {
+            let row = o.row(TupleId(t));
+            assert_eq!(o.tuple_by_key(row.key), Some(TupleId(t)));
+        }
+        assert_eq!(o.tuple_by_key(0x1234_5678), None);
+    }
+
+    #[test]
+    fn frequency_map_counts_keys() {
+        let db = db();
+        let o = db.oracle();
+        let k0 = o.row(TupleId(0)).key;
+        let k1 = o.row(TupleId(1)).key;
+        let freq = o.frequency_by_tuple(&[k0, k0, k1]);
+        assert_eq!(freq[&Some(TupleId(0))], 2);
+        assert_eq!(freq[&Some(TupleId(1))], 1);
+    }
+}

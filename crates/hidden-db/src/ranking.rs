@@ -1,0 +1,153 @@
+//! Deterministic ranking functions.
+//!
+//! The paper's key observation (§2): "the ranking function does not select
+//! tuples randomly, a tuple returned by an overflowing query thus cannot be
+//! used as a random sample". We provide several deterministic rankings so
+//! experiments can show that HDSampler's correctness is independent of which
+//! proprietary ranking the site uses — while a naive "take the top results"
+//! scraper is badly biased by every one of them.
+
+use serde::{Deserialize, Serialize};
+
+use hdsampler_model::{MeasureId, TupleId};
+
+use crate::table::{splitmix64, Table};
+
+/// Declarative specification of a site's ranking function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RankSpec {
+    /// Rank by a measure, highest first (e.g. "newest listings first" when
+    /// the measure is a freshness score).
+    ByMeasureDesc(MeasureId),
+    /// Rank by a measure, lowest first (e.g. "cheapest first").
+    ByMeasureAsc(MeasureId),
+    /// Pseudo-random but *fixed* order derived by hashing tuple ids with a
+    /// seed — deterministic per site, uncorrelated with any attribute.
+    HashOrder {
+        /// Site-specific seed.
+        seed: u64,
+    },
+    /// Insertion order (oldest first) — what a naive LIMIT-k SQL backend
+    /// does.
+    InsertionOrder,
+}
+
+/// Materialized ranking: one comparable sort key per tuple; *smaller key =
+/// shown earlier*.
+#[derive(Debug)]
+pub struct Ranking {
+    sort_keys: Vec<u64>,
+}
+
+impl Ranking {
+    /// Precompute sort keys for every tuple of `table` under `spec`.
+    pub fn build(spec: &RankSpec, table: &Table) -> Ranking {
+        let n = table.len();
+        let sort_keys = match spec {
+            RankSpec::InsertionOrder => (0..n as u64).collect(),
+            RankSpec::HashOrder { seed } => {
+                (0..n as u64).map(|i| splitmix64(i ^ seed.rotate_left(17))).collect()
+            }
+            RankSpec::ByMeasureAsc(m) => {
+                let col = table.measure_column(m.index());
+                col.iter().enumerate().map(|(i, &x)| measure_key(x, i, n)).collect()
+            }
+            RankSpec::ByMeasureDesc(m) => {
+                let col = table.measure_column(m.index());
+                col.iter()
+                    .enumerate()
+                    .map(|(i, &x)| measure_key(-x, i, n))
+                    .collect()
+            }
+        };
+        Ranking { sort_keys }
+    }
+
+    /// The sort key of tuple `t` (smaller = ranked higher).
+    #[inline]
+    pub fn sort_key(&self, t: TupleId) -> u64 {
+        self.sort_keys[t.index()]
+    }
+}
+
+/// Map an `f64` measure to a totally ordered `u64` key with the tuple id as a
+/// deterministic tiebreak (ranking functions on real sites are total orders —
+/// pages are stable across reloads).
+fn measure_key(x: f64, id: usize, n: usize) -> u64 {
+    // Order-preserving f64→u64 transform (IEEE-754 trick): flip sign bit for
+    // positives, all bits for negatives.
+    let bits = x.to_bits();
+    let ordered = if bits >> 63 == 0 { bits ^ (1 << 63) } else { !bits };
+    // Reserve the low bits for the tiebreak. n <= u32::MAX.
+    let shift = 64 - (usize::BITS - n.leading_zeros()).max(1);
+    (ordered >> (64 - shift)) << (64 - shift) | (id as u64 & ((1u64 << (64 - shift)) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use hdsampler_model::{Attribute, Measure, Schema, SchemaBuilder, Tuple};
+    use std::sync::Arc;
+
+    fn table(prices: &[f64]) -> Table {
+        let schema: Arc<Schema> = SchemaBuilder::new()
+            .attribute(Attribute::boolean("a"))
+            .measure(Measure::new("price"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = TableBuilder::new(Arc::clone(&schema), 0);
+        for &p in prices {
+            b.push(&Tuple::new(&schema, vec![0], vec![p]).unwrap()).unwrap();
+        }
+        b.finish()
+    }
+
+    fn order_of(r: &Ranking, n: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.sort_by_key(|&i| r.sort_key(TupleId(i as u32)));
+        ids
+    }
+
+    #[test]
+    fn insertion_order_is_identity() {
+        let t = table(&[5.0, 1.0, 3.0]);
+        let r = Ranking::build(&RankSpec::InsertionOrder, &t);
+        assert_eq!(order_of(&r, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn measure_asc_ranks_cheapest_first() {
+        let t = table(&[5.0, 1.0, 3.0, -2.0]);
+        let r = Ranking::build(&RankSpec::ByMeasureAsc(MeasureId(0)), &t);
+        assert_eq!(order_of(&r, 4), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn measure_desc_ranks_priciest_first() {
+        let t = table(&[5.0, 1.0, 3.0, -2.0]);
+        let r = Ranking::build(&RankSpec::ByMeasureDesc(MeasureId(0)), &t);
+        assert_eq!(order_of(&r, 4), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let t = table(&[7.0, 7.0, 7.0]);
+        let r1 = Ranking::build(&RankSpec::ByMeasureAsc(MeasureId(0)), &t);
+        let r2 = Ranking::build(&RankSpec::ByMeasureAsc(MeasureId(0)), &t);
+        assert_eq!(order_of(&r1, 3), order_of(&r2, 3), "stable across rebuilds");
+        let keys: Vec<u64> = (0..3).map(|i| r1.sort_key(TupleId(i))).collect();
+        assert!(keys[0] != keys[1] && keys[1] != keys[2], "total order");
+    }
+
+    #[test]
+    fn hash_order_depends_on_seed_not_data() {
+        let t = table(&[5.0, 1.0, 3.0, 9.0, 0.5]);
+        let ra = Ranking::build(&RankSpec::HashOrder { seed: 1 }, &t);
+        let rb = Ranking::build(&RankSpec::HashOrder { seed: 2 }, &t);
+        assert_ne!(order_of(&ra, 5), order_of(&rb, 5));
+        let ra2 = Ranking::build(&RankSpec::HashOrder { seed: 1 }, &t);
+        assert_eq!(order_of(&ra, 5), order_of(&ra2, 5), "deterministic per seed");
+    }
+}

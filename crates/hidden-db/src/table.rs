@@ -1,0 +1,274 @@
+//! Column-oriented tuple storage.
+//!
+//! Attribute values are stored as one dense `Vec<DomIx>` per attribute and
+//! measures as one `Vec<f64>` per measure, which keeps the memory footprint
+//! of a few hundred thousand tuples in the tens of megabytes and makes
+//! marginal scans cache-friendly.
+
+use std::sync::Arc;
+
+use hdsampler_model::{DomIx, ModelError, Row, Schema, Tuple, TupleId};
+
+/// Immutable columnar table over a shared schema.
+#[derive(Debug)]
+pub struct Table {
+    schema: Arc<Schema>,
+    /// `columns[a][t]` = domain index of attribute `a` in tuple `t`.
+    columns: Vec<Vec<DomIx>>,
+    /// `measure_cols[m][t]` = raw measure value.
+    measure_cols: Vec<Vec<f64>>,
+    /// Opaque listing keys exposed through the interface, one per tuple.
+    keys: Vec<u64>,
+    /// Tuple ids sorted by key, enabling `O(log n)` key resolution.
+    key_order: Vec<u32>,
+}
+
+/// SplitMix64 — used to derive opaque listing keys from tuple ids so the
+/// interface never leaks storage positions.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Table {
+    /// The table's schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of stored tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the table holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The full column of attribute `a` (one value per tuple).
+    #[inline]
+    pub fn column(&self, a: usize) -> &[DomIx] {
+        &self.columns[a]
+    }
+
+    /// The full column of measure `m`.
+    #[inline]
+    pub fn measure_column(&self, m: usize) -> &[f64] {
+        &self.measure_cols[m]
+    }
+
+    /// Value of attribute `a` in tuple `t`.
+    #[inline]
+    pub fn value(&self, t: TupleId, a: usize) -> DomIx {
+        self.columns[a][t.index()]
+    }
+
+    /// Opaque listing key of tuple `t`.
+    #[inline]
+    pub fn key(&self, t: TupleId) -> u64 {
+        self.keys[t.index()]
+    }
+
+    /// Materialize the externally visible [`Row`] for tuple `t`.
+    pub fn row(&self, t: TupleId) -> Row {
+        let values: Vec<DomIx> = self.columns.iter().map(|c| c[t.index()]).collect();
+        let measures: Vec<f64> = self.measure_cols.iter().map(|c| c[t.index()]).collect();
+        Row::new(self.keys[t.index()], values, measures)
+    }
+
+    /// Resolve a listing key back to its internal tuple id (oracle-side
+    /// only; a real site never exposes this mapping).
+    pub fn tuple_by_key(&self, key: u64) -> Option<TupleId> {
+        // Keys are only needed for validation paths; linear probe is fine
+        // for tests, but a sorted permutation keeps it O(log n).
+        let idx = self.key_order.binary_search_by_key(&key, |&i| self.keys[i as usize]).ok()?;
+        Some(TupleId(self.key_order[idx]))
+    }
+
+    /// All tuple ids.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> {
+        (0..self.len() as u32).map(TupleId)
+    }
+
+    fn build(
+        schema: Arc<Schema>,
+        columns: Vec<Vec<DomIx>>,
+        measure_cols: Vec<Vec<f64>>,
+        keys: Vec<u64>,
+    ) -> Self {
+        let mut key_order: Vec<u32> = (0..keys.len() as u32).collect();
+        key_order.sort_unstable_by_key(|&i| keys[i as usize]);
+        Table { schema, columns, measure_cols, keys, key_order }
+    }
+}
+
+/// Builder accumulating tuples row-wise before freezing into a [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<DomIx>>,
+    measure_cols: Vec<Vec<f64>>,
+    key_seed: u64,
+}
+
+impl TableBuilder {
+    /// Start building a table for `schema`. `key_seed` scrambles listing
+    /// keys so different simulated sites expose unrelated key spaces.
+    pub fn new(schema: Arc<Schema>, key_seed: u64) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        let measure_cols = vec![Vec::new(); schema.measure_arity()];
+        TableBuilder { schema, columns, measure_cols, key_seed }
+    }
+
+    /// Replace the listing-key seed (takes effect at [`TableBuilder::finish`]).
+    pub fn set_key_seed(&mut self, seed: u64) {
+        self.key_seed = seed;
+    }
+
+    /// The schema this builder targets.
+    pub fn schema_ref(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Reserve capacity for `n` tuples.
+    pub fn reserve(&mut self, n: usize) {
+        for c in &mut self.columns {
+            c.reserve(n);
+        }
+        for c in &mut self.measure_cols {
+            c.reserve(n);
+        }
+    }
+
+    /// Append a validated tuple.
+    pub fn push(&mut self, tuple: &Tuple) -> Result<TupleId, ModelError> {
+        if tuple.values().len() != self.schema.arity()
+            || tuple.measures().len() != self.schema.measure_arity()
+        {
+            return Err(ModelError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.values().len(),
+            });
+        }
+        for (id, attr) in self.schema.iter() {
+            attr.check(tuple.values()[id.index()])?;
+        }
+        let id = TupleId(self.columns.first().map_or(self.measure_cols.first().map_or(0, |c| c.len()), |c| c.len()) as u32);
+        for (a, c) in self.columns.iter_mut().enumerate() {
+            c.push(tuple.values()[a]);
+        }
+        for (m, c) in self.measure_cols.iter_mut().enumerate() {
+            c.push(tuple.measures()[m]);
+        }
+        Ok(id)
+    }
+
+    /// Number of tuples pushed so far.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or_else(
+            || self.measure_cols.first().map_or(0, |c| c.len()),
+            |c| c.len(),
+        )
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freeze into an immutable [`Table`], assigning opaque listing keys.
+    pub fn finish(self) -> Table {
+        let n = self.len();
+        let keys = (0..n as u64).map(|i| splitmix64(i ^ self.key_seed)).collect();
+        Table::build(self.schema, self.columns, self.measure_cols, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{Attribute, Measure, SchemaBuilder};
+
+    fn schema() -> Arc<Schema> {
+        SchemaBuilder::new()
+            .attribute(Attribute::boolean("used"))
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda", "Ford"]).unwrap())
+            .measure(Measure::new("price"))
+            .finish()
+            .unwrap()
+            .into_shared()
+    }
+
+    fn build_small() -> Table {
+        let s = schema();
+        let mut b = TableBuilder::new(Arc::clone(&s), 42);
+        b.reserve(3);
+        b.push(&Tuple::new(&s, vec![0, 0], vec![10_000.0]).unwrap()).unwrap();
+        b.push(&Tuple::new(&s, vec![1, 1], vec![8_000.0]).unwrap()).unwrap();
+        b.push(&Tuple::new(&s, vec![1, 2], vec![15_000.0]).unwrap()).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn columnar_layout_roundtrips() {
+        let t = build_small();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.column(0), &[0, 1, 1]);
+        assert_eq!(t.column(1), &[0, 1, 2]);
+        assert_eq!(t.measure_column(0), &[10_000.0, 8_000.0, 15_000.0]);
+        assert_eq!(t.value(TupleId(2), 1), 2);
+    }
+
+    #[test]
+    fn rows_carry_opaque_keys() {
+        let t = build_small();
+        let r = t.row(TupleId(1));
+        assert_eq!(r.values.as_ref(), &[1, 1]);
+        assert_eq!(r.measures.as_ref(), &[8_000.0]);
+        assert_eq!(r.key, t.key(TupleId(1)));
+        assert_ne!(r.key, 1, "keys are scrambled, not storage offsets");
+    }
+
+    #[test]
+    fn keys_are_unique_and_resolvable() {
+        let t = build_small();
+        let mut keys: Vec<u64> = t.ids().map(|i| t.key(i)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 3);
+        for id in t.ids() {
+            assert_eq!(t.tuple_by_key(t.key(id)), Some(id));
+        }
+        assert_eq!(t.tuple_by_key(0xDEAD_BEEF), None);
+    }
+
+    #[test]
+    fn different_seeds_give_different_keyspaces() {
+        let s = schema();
+        let mk = |seed| {
+            let mut b = TableBuilder::new(Arc::clone(&s), seed);
+            b.push(&Tuple::new(&s, vec![0, 0], vec![1.0]).unwrap()).unwrap();
+            b.finish()
+        };
+        assert_ne!(mk(1).key(TupleId(0)), mk(2).key(TupleId(0)));
+    }
+
+    #[test]
+    fn push_validates() {
+        let s = schema();
+        let mut b = TableBuilder::new(Arc::clone(&s), 0);
+        let bad = Tuple::new_unchecked(vec![0, 9], vec![1.0]);
+        assert!(b.push(&bad).is_err());
+        let bad_arity = Tuple::new_unchecked(vec![0], vec![1.0]);
+        assert!(b.push(&bad_arity).is_err());
+        assert!(b.is_empty());
+    }
+}

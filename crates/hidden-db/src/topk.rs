@@ -1,0 +1,88 @@
+//! Top-k selection under a precomputed ranking.
+
+use crate::ranking::Ranking;
+use hdsampler_model::TupleId;
+
+/// Select the `k` best-ranked ids from `matching` and return them in rank
+/// order, together with the overflow flag.
+///
+/// When `matching.len() <= k` this is just a rank-sort of the whole result
+/// set (result pages present rows rank-ordered even when they all fit).
+pub fn top_k(matching: &[u32], ranking: &Ranking, k: usize) -> (Vec<TupleId>, bool) {
+    let overflow = matching.len() > k;
+    let mut ids: Vec<u32> = matching.to_vec();
+    if overflow && k > 0 {
+        // Partial selection: k best by sort key, then order just those k.
+        ids.select_nth_unstable_by_key(k - 1, |&t| ranking.sort_key(TupleId(t)));
+        ids.truncate(k);
+    }
+    ids.sort_unstable_by_key(|&t| ranking.sort_key(TupleId(t)));
+    if overflow {
+        ids.truncate(k);
+    }
+    (ids.into_iter().map(TupleId).collect(), overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::RankSpec;
+    use crate::table::TableBuilder;
+    use hdsampler_model::{Attribute, Measure, MeasureId, Schema, SchemaBuilder, Tuple};
+    use std::sync::Arc;
+
+    fn ranking(prices: &[f64]) -> Ranking {
+        let schema: Arc<Schema> = SchemaBuilder::new()
+            .attribute(Attribute::boolean("a"))
+            .measure(Measure::new("p"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = TableBuilder::new(Arc::clone(&schema), 0);
+        for &p in prices {
+            b.push(&Tuple::new(&schema, vec![0], vec![p]).unwrap()).unwrap();
+        }
+        Ranking::build(&RankSpec::ByMeasureAsc(MeasureId(0)), &b.finish())
+    }
+
+    #[test]
+    fn under_k_returns_all_rank_ordered() {
+        let r = ranking(&[30.0, 10.0, 20.0]);
+        let (ids, overflow) = top_k(&[0, 1, 2], &r, 10);
+        assert!(!overflow);
+        assert_eq!(ids, vec![TupleId(1), TupleId(2), TupleId(0)]);
+    }
+
+    #[test]
+    fn over_k_truncates_to_best() {
+        let r = ranking(&[30.0, 10.0, 20.0, 5.0, 40.0]);
+        let (ids, overflow) = top_k(&[0, 1, 2, 3, 4], &r, 2);
+        assert!(overflow);
+        assert_eq!(ids, vec![TupleId(3), TupleId(1)]);
+    }
+
+    #[test]
+    fn exactly_k_is_not_overflow() {
+        let r = ranking(&[30.0, 10.0]);
+        let (ids, overflow) = top_k(&[0, 1], &r, 2);
+        assert!(!overflow);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn empty_matching() {
+        let r = ranking(&[1.0]);
+        let (ids, overflow) = top_k(&[], &r, 5);
+        assert!(ids.is_empty());
+        assert!(!overflow);
+    }
+
+    #[test]
+    fn subset_of_matching_only() {
+        let r = ranking(&[30.0, 10.0, 20.0, 5.0]);
+        // Only tuples 0 and 2 match the (hypothetical) query.
+        let (ids, overflow) = top_k(&[0, 2], &r, 1);
+        assert!(overflow);
+        assert_eq!(ids, vec![TupleId(2)], "best among the matching set only");
+    }
+}

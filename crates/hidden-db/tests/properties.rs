@@ -1,0 +1,221 @@
+//! Property-based tests for the hidden-database engine: the index is
+//! equivalent to a naive scan, top-k truncation obeys its invariants, and
+//! count reporting is stable.
+
+use std::sync::Arc;
+
+use hdsampler_hidden_db::{CountMode, HiddenDb, RankSpec};
+use hdsampler_model::{
+    AttrId, Attribute, Classification, ConjunctiveQuery, DomIx, FormInterface, Measure, Schema,
+    SchemaBuilder, Tuple,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random small table (3 attributes with domains 2/3/4, a
+/// measure) plus interface parameters.
+fn random_rows() -> impl Strategy<Value = Vec<(u16, u16, u16, i32)>> {
+    prop::collection::vec((0u16..2, 0u16..3, 0u16..4, -100i32..100), 0..120)
+}
+
+fn schema() -> Arc<Schema> {
+    SchemaBuilder::new()
+        .attribute(Attribute::boolean("a"))
+        .attribute(Attribute::categorical("b", ["x", "y", "z"]).unwrap())
+        .attribute(Attribute::categorical("c", ["p", "q", "r", "s"]).unwrap())
+        .measure(Measure::new("m"))
+        .finish()
+        .unwrap()
+        .into_shared()
+}
+
+fn build_db(rows: &[(u16, u16, u16, i32)], k: usize, rank: RankSpec, mode: CountMode) -> HiddenDb {
+    let s = schema();
+    let mut b = HiddenDb::builder(Arc::clone(&s)).result_limit(k).ranking(rank).count_mode(mode);
+    for &(a, bb, c, m) in rows {
+        b.push(&Tuple::new(&s, vec![a, bb, c], vec![m as f64]).unwrap()).unwrap();
+    }
+    b.finish()
+}
+
+/// All queries over the 3-attribute schema (every subset × every value
+/// combination) — 60 of them, exhaustively checked per case.
+fn all_queries() -> Vec<ConjunctiveQuery> {
+    let mut queries = vec![ConjunctiveQuery::empty()];
+    let domains: [u16; 3] = [2, 3, 4];
+    for mask in 1u8..8 {
+        let attrs: Vec<usize> = (0..3).filter(|i| mask & (1 << i) != 0).collect();
+        let mut combos: Vec<Vec<(AttrId, DomIx)>> = vec![vec![]];
+        for &a in &attrs {
+            let mut next = Vec::new();
+            for combo in &combos {
+                for v in 0..domains[a] {
+                    let mut c = combo.clone();
+                    c.push((AttrId(a as u16), v));
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+        for combo in combos {
+            queries.push(ConjunctiveQuery::from_pairs(combo).unwrap());
+        }
+    }
+    queries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For every query: the engine's answer equals a naive scan — row set,
+    /// overflow flag, and (exact-mode) count banner.
+    #[test]
+    fn engine_matches_naive_scan(rows in random_rows(), k in 1usize..8) {
+        let db = build_db(&rows, k, RankSpec::InsertionOrder, CountMode::Exact);
+        for q in all_queries() {
+            let naive: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| q.matches(&[r.0, r.1, r.2]))
+                .map(|(i, _)| i)
+                .collect();
+            let resp = db.execute(&q).unwrap();
+            prop_assert_eq!(resp.overflow, naive.len() > k);
+            prop_assert_eq!(resp.reported_count, Some(naive.len() as u64));
+            if !resp.overflow {
+                // Complete results; with insertion-order ranking the rows
+                // come back in storage order.
+                let got: Vec<Vec<u16>> =
+                    resp.rows.iter().map(|r| r.values.to_vec()).collect();
+                let want: Vec<Vec<u16>> =
+                    naive.iter().map(|&i| vec![rows[i].0, rows[i].1, rows[i].2]).collect();
+                prop_assert_eq!(got, want);
+            } else {
+                prop_assert_eq!(resp.rows.len(), k);
+            }
+        }
+    }
+
+    /// Top-k invariants under every ranking function: at most k rows, rank
+    /// keys non-decreasing down the page, responses identical on re-issue.
+    #[test]
+    fn topk_invariants(rows in random_rows(), k in 1usize..6, seed in 0u64..50) {
+        for rank in [
+            RankSpec::InsertionOrder,
+            RankSpec::HashOrder { seed },
+            RankSpec::ByMeasureDesc(hdsampler_model::MeasureId(0)),
+            RankSpec::ByMeasureAsc(hdsampler_model::MeasureId(0)),
+        ] {
+            let db = build_db(&rows, k, rank.clone(), CountMode::Absent);
+            for q in all_queries().into_iter().step_by(7) {
+                let a = db.execute(&q).unwrap();
+                let b = db.execute(&q).unwrap();
+                prop_assert_eq!(&a, &b, "stable pages for {:?}", rank);
+                prop_assert!(a.rows.len() <= k);
+                prop_assert_eq!(a.reported_count, None, "Absent mode shows no banner");
+                if matches!(rank, RankSpec::ByMeasureAsc(_)) {
+                    for w in a.rows.windows(2) {
+                        prop_assert!(w[0].measures[0] <= w[1].measures[0]);
+                    }
+                }
+                if matches!(rank, RankSpec::ByMeasureDesc(_)) {
+                    for w in a.rows.windows(2) {
+                        prop_assert!(w[0].measures[0] >= w[1].measures[0]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The oracle's marginals are exactly the scan frequencies and sum to 1.
+    #[test]
+    fn oracle_marginals_exact(rows in random_rows()) {
+        prop_assume!(!rows.is_empty());
+        let db = build_db(&rows, 5, RankSpec::InsertionOrder, CountMode::Exact);
+        let o = db.oracle();
+        for (attr, dom) in [(0usize, 2u16), (1, 3), (2, 4)] {
+            let m = o.marginal(AttrId(attr as u16));
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for v in 0..dom {
+                let naive = rows
+                    .iter()
+                    .filter(|r| [r.0, r.1, r.2][attr] == v)
+                    .count() as f64
+                    / rows.len() as f64;
+                prop_assert!((m[v as usize] - naive).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Noisy banners are deterministic per query, exact at zero, and
+    /// within a plausible multiplicative envelope of the truth.
+    #[test]
+    fn noisy_counts_stable_and_bounded(rows in random_rows(), seed in 0u64..1000) {
+        let db = build_db(&rows, 5, RankSpec::InsertionOrder,
+                          CountMode::Noisy { sigma: 0.2, seed });
+        for q in all_queries().into_iter().step_by(5) {
+            let a = db.count(&q).unwrap();
+            let b = db.count(&q).unwrap();
+            prop_assert_eq!(a, b, "banner must be stable");
+            let truth = db.oracle().count(&q);
+            if truth == 0 {
+                prop_assert_eq!(a, 0);
+            } else {
+                // 5 sigma envelope plus rounding slack.
+                let hi = (truth as f64 * (0.2f64 * 5.0).exp()).ceil() as u64 + 10;
+                let lo = (truth as f64 * (-0.2f64 * 5.0).exp()).floor() as u64;
+                prop_assert!(a >= lo.saturating_sub(10) && a <= hi,
+                    "reported {} vs truth {} outside envelope", a, truth);
+            }
+        }
+    }
+
+    /// Budgets: exactly `limit` charges succeed regardless of interleaving
+    /// of execute and count probes.
+    #[test]
+    fn budget_is_exact(rows in random_rows(), limit in 1u64..30) {
+        let s = schema();
+        let mut b = HiddenDb::builder(Arc::clone(&s))
+            .result_limit(3)
+            .count_mode(CountMode::Exact)
+            .query_budget(limit);
+        for &(a, bb, c, m) in &rows {
+            b.push(&Tuple::new(&s, vec![a, bb, c], vec![m as f64]).unwrap()).unwrap();
+        }
+        let db = b.finish();
+        let mut ok = 0u64;
+        for (i, q) in all_queries().iter().cycle().take(40).enumerate() {
+            let success = if i % 2 == 0 {
+                db.execute(q).is_ok()
+            } else {
+                db.count(q).is_ok()
+            };
+            if success {
+                ok += 1;
+            }
+        }
+        prop_assert_eq!(ok, limit.min(40));
+        prop_assert_eq!(db.queries_issued(), limit.min(40));
+    }
+}
+
+#[test]
+fn classification_consistent_with_count() {
+    // Deterministic spot check across k values.
+    let rows: Vec<(u16, u16, u16, i32)> =
+        (0..60).map(|i| (i % 2, i % 3, i % 4, i as i32)).collect();
+    for k in [1usize, 3, 10, 100] {
+        let db = build_db(&rows, k, RankSpec::HashOrder { seed: 4 }, CountMode::Exact);
+        for q in all_queries() {
+            let resp = db.execute(&q).unwrap();
+            let count = db.oracle().count(&q) as usize;
+            match resp.classification() {
+                Classification::Empty => assert_eq!(count, 0),
+                Classification::Valid => {
+                    assert!(count >= 1 && count <= k);
+                    assert_eq!(resp.rows.len(), count);
+                }
+                Classification::Overflow => assert!(count > k),
+            }
+        }
+    }
+}

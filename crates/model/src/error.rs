@@ -1,0 +1,195 @@
+//! Error types shared across the HDSampler crates.
+
+use crate::attr::DomIx;
+
+/// Errors arising while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An attribute was declared with an empty domain.
+    EmptyDomain {
+        /// Offending attribute name.
+        attr: String,
+    },
+    /// An attribute domain exceeds the representable size.
+    DomainTooLarge {
+        /// Offending attribute name.
+        attr: String,
+        /// Declared size.
+        size: usize,
+    },
+    /// A categorical attribute repeats a label.
+    DuplicateLabel {
+        /// Offending attribute name.
+        attr: String,
+        /// The repeated label.
+        label: String,
+    },
+    /// Numeric buckets are not strictly increasing / non-overlapping.
+    UnorderedBuckets {
+        /// Offending attribute name.
+        attr: String,
+    },
+    /// Two attributes share a name within one schema.
+    DuplicateAttribute {
+        /// The repeated name.
+        name: String,
+    },
+    /// A name did not resolve to any attribute of the schema.
+    UnknownAttribute {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A name did not resolve to any measure of the schema.
+    UnknownMeasure {
+        /// The unresolved name.
+        name: String,
+    },
+    /// An attribute id is out of range for the schema.
+    AttrOutOfRange {
+        /// The offending id index.
+        index: usize,
+        /// Number of attributes in the schema.
+        len: usize,
+    },
+    /// A domain index is out of range for its attribute.
+    ValueOutOfRange {
+        /// Attribute name.
+        attr: String,
+        /// Offending index.
+        value: DomIx,
+        /// Size of the attribute's domain.
+        domain_size: usize,
+    },
+    /// A query attempted to bind one attribute to two different values.
+    ConflictingPredicate {
+        /// Attribute name.
+        attr: String,
+        /// Previously bound value index.
+        existing: DomIx,
+        /// Newly requested value index.
+        requested: DomIx,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Expected number of fields.
+        expected: usize,
+        /// Provided number of fields.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::EmptyDomain { attr } => {
+                write!(f, "attribute `{attr}` has an empty domain")
+            }
+            ModelError::DomainTooLarge { attr, size } => {
+                write!(f, "attribute `{attr}` domain size {size} exceeds u16 range")
+            }
+            ModelError::DuplicateLabel { attr, label } => {
+                write!(f, "attribute `{attr}` repeats label `{label}`")
+            }
+            ModelError::UnorderedBuckets { attr } => {
+                write!(f, "attribute `{attr}` has unordered or overlapping buckets")
+            }
+            ModelError::DuplicateAttribute { name } => {
+                write!(f, "schema declares attribute `{name}` twice")
+            }
+            ModelError::UnknownAttribute { name } => {
+                write!(f, "schema has no attribute named `{name}`")
+            }
+            ModelError::UnknownMeasure { name } => {
+                write!(f, "schema has no measure named `{name}`")
+            }
+            ModelError::AttrOutOfRange { index, len } => {
+                write!(f, "attribute id {index} out of range (schema has {len})")
+            }
+            ModelError::ValueOutOfRange { attr, value, domain_size } => write!(
+                f,
+                "value index {value} out of range for `{attr}` (domain size {domain_size})"
+            ),
+            ModelError::ConflictingPredicate { attr, existing, requested } => write!(
+                f,
+                "attribute `{attr}` already bound to index {existing}, cannot rebind to {requested}"
+            ),
+            ModelError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} fields, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors surfaced by a [`FormInterface`](crate::interface::FormInterface).
+///
+/// These model the failure modes of querying a real hidden database through
+/// its public front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterfaceError {
+    /// The per-session/IP query budget is exhausted (§1: "data providers
+    /// limits the maximum number of queries that can be issued by an IP
+    /// address"). Carries the number of queries already charged.
+    BudgetExhausted {
+        /// Queries charged before exhaustion.
+        issued: u64,
+    },
+    /// The query refers to attributes/values this interface does not expose.
+    InvalidQuery(ModelError),
+    /// The transport layer failed (timeouts, connection reset — simulated).
+    Transport(String),
+    /// A result page could not be parsed back into rows.
+    Parse(String),
+    /// The interface does not support the requested operation
+    /// (e.g. COUNT on an interface without count reporting).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for InterfaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterfaceError::BudgetExhausted { issued } => {
+                write!(f, "query budget exhausted after {issued} queries")
+            }
+            InterfaceError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            InterfaceError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            InterfaceError::Parse(msg) => write!(f, "result page parse failure: {msg}"),
+            InterfaceError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for InterfaceError {}
+
+impl From<ModelError> for InterfaceError {
+    fn from(e: ModelError) -> Self {
+        InterfaceError::InvalidQuery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::ConflictingPredicate {
+            attr: "make".into(),
+            existing: 1,
+            requested: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("make") && msg.contains('1') && msg.contains('2'));
+
+        let ie = InterfaceError::BudgetExhausted { issued: 42 };
+        assert!(ie.to_string().contains("42"));
+    }
+
+    #[test]
+    fn model_error_converts_to_interface_error() {
+        let e = ModelError::UnknownAttribute { name: "zzz".into() };
+        let ie: InterfaceError = e.clone().into();
+        assert_eq!(ie, InterfaceError::InvalidQuery(e));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hdsampler-model
+//!
+//! Shared vocabulary for the HDSampler system: attribute/domain definitions,
+//! schemas, tuples, conjunctive equality queries, query responses, and the
+//! [`FormInterface`] contract that separates *samplers* from *hidden
+//! databases*.
+//!
+//! The model follows the paper's abstraction (SIGMOD 2009 demo, §1–2): a
+//! hidden database exposes a **conjunctive web form interface** — a query is
+//! a conjunction of `attribute = value` equality predicates over finite
+//! attribute domains, and the interface returns at most `k` tuples selected
+//! by a proprietary (deterministic, non-random) ranking function, together
+//! with an *overflow* indicator when more than `k` tuples qualify.
+//!
+//! Numeric attributes (price, mileage, …) are represented the way real web
+//! forms expose them: *discretized* into labelled buckets that can be used in
+//! predicates, while the raw numeric value is carried alongside each tuple as
+//! a **measure** so that `SUM`/`AVG` style aggregates remain answerable from
+//! samples.
+//!
+//! Nothing in this crate performs I/O or owns data-at-scale; it is the pure
+//! data model every other crate builds upon.
+
+pub mod attr;
+pub mod error;
+pub mod interface;
+pub mod outcome;
+pub mod query;
+pub mod schema;
+pub mod tuple;
+
+pub use attr::{AttrId, AttrKind, Attribute, Bucket, DomIx};
+pub use error::{InterfaceError, ModelError};
+pub use interface::FormInterface;
+pub use outcome::{Classification, QueryResponse, Row};
+pub use query::{ConjunctiveQuery, Predicate, QueryDisplay};
+pub use schema::{Measure, MeasureId, Schema, SchemaBuilder};
+pub use tuple::{Tuple, TupleId};

@@ -1,0 +1,172 @@
+//! Query responses as observed *through the form interface*.
+//!
+//! The crucial asymmetry of hidden databases (§2 of the paper): a
+//! non-overflowing query reveals its full result set, while an overflowing
+//! query reveals only the top-k tuples under a proprietary ranking plus the
+//! fact that it overflowed. Samplers must treat overflow results as
+//! *unusable for sampling* because the ranking is not random.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::DomIx;
+use crate::schema::Schema;
+
+/// Three-way classification of a query against a top-k interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Classification {
+    /// No tuple satisfies the query (a dead end; the walk restarts).
+    Empty,
+    /// Between 1 and k tuples satisfy the query; all are returned.
+    Valid,
+    /// More than k tuples satisfy the query; only the top-k are shown.
+    Overflow,
+}
+
+impl std::fmt::Display for Classification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Classification::Empty => write!(f, "empty"),
+            Classification::Valid => write!(f, "valid"),
+            Classification::Overflow => write!(f, "overflow"),
+        }
+    }
+}
+
+/// One result row as rendered on (and scraped back from) a result page.
+///
+/// Unlike the storage-side [`Tuple`](crate::tuple::Tuple), a `Row` carries an
+/// opaque *listing key* — the analogue of the item id a real site prints next
+/// to each result — which samplers use for de-duplication and
+/// capture–recapture size estimation, never for direct storage access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Site-assigned opaque listing key (stable per tuple).
+    pub key: u64,
+    /// Attribute values as domain indices, in schema order.
+    pub values: Box<[DomIx]>,
+    /// Raw measure values, in schema order.
+    pub measures: Box<[f64]>,
+}
+
+impl Row {
+    /// Construct a row.
+    pub fn new(key: u64, values: Vec<DomIx>, measures: Vec<f64>) -> Self {
+        Row { key, values: values.into_boxed_slice(), measures: measures.into_boxed_slice() }
+    }
+
+    /// Value of attribute `idx` (schema order).
+    #[inline]
+    pub fn value(&self, idx: usize) -> DomIx {
+        self.values[idx]
+    }
+
+    /// Render the row with labels resolved through a schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> RowDisplay<'a> {
+        RowDisplay { row: self, schema }
+    }
+}
+
+/// Helper implementing `Display` for [`Row`].
+pub struct RowDisplay<'a> {
+    row: &'a Row,
+    schema: &'a Schema,
+}
+
+impl std::fmt::Display for RowDisplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} {{", self.row.key)?;
+        for (i, (id, attr)) in self.schema.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", attr.name(), attr.label(self.row.values[id.index()]))?;
+        }
+        for (i, m) in self.schema.measures().iter().enumerate() {
+            write!(f, ", {}={}", m.name(), self.row.measures[i])?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Everything a single form submission reveals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// The returned rows: the full result set when `overflow` is false, the
+    /// top-k under the site's ranking when it is true.
+    pub rows: Vec<Row>,
+    /// Whether the site reported that not all qualifying tuples are shown.
+    pub overflow: bool,
+    /// The "about N results" count banner, when the site prints one.
+    /// May be exact, approximate, or absent depending on the site
+    /// (Google Base prints proprietary estimates — §3.1).
+    pub reported_count: Option<u64>,
+}
+
+impl QueryResponse {
+    /// Classify this response.
+    #[inline]
+    pub fn classification(&self) -> Classification {
+        if self.overflow {
+            Classification::Overflow
+        } else if self.rows.is_empty() {
+            Classification::Empty
+        } else {
+            Classification::Valid
+        }
+    }
+
+    /// Number of rows actually returned (≤ k).
+    #[inline]
+    pub fn returned(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::schema::{Measure, SchemaBuilder};
+
+    #[test]
+    fn classification_rules() {
+        let empty = QueryResponse { rows: vec![], overflow: false, reported_count: Some(0) };
+        assert_eq!(empty.classification(), Classification::Empty);
+
+        let valid = QueryResponse {
+            rows: vec![Row::new(7, vec![0], vec![])],
+            overflow: false,
+            reported_count: None,
+        };
+        assert_eq!(valid.classification(), Classification::Valid);
+        assert_eq!(valid.returned(), 1);
+
+        let overflow = QueryResponse {
+            rows: vec![Row::new(7, vec![0], vec![])],
+            overflow: true,
+            reported_count: Some(12_000),
+        };
+        assert_eq!(overflow.classification(), Classification::Overflow);
+    }
+
+    #[test]
+    fn row_display_resolves_labels() {
+        let s = SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda"]).unwrap())
+            .measure(Measure::new("price"))
+            .finish()
+            .unwrap();
+        let r = Row::new(42, vec![1], vec![9_500.0]);
+        let text = r.display(&s).to_string();
+        assert!(text.contains("make=Honda"));
+        assert!(text.contains("price=9500"));
+        assert!(text.starts_with("#42"));
+    }
+
+    #[test]
+    fn classification_display() {
+        assert_eq!(Classification::Empty.to_string(), "empty");
+        assert_eq!(Classification::Valid.to_string(), "valid");
+        assert_eq!(Classification::Overflow.to_string(), "overflow");
+    }
+}

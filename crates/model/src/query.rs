@@ -1,0 +1,353 @@
+//! Conjunctive equality queries and their partial order.
+//!
+//! A query is a set of `attribute = value` predicates, at most one per
+//! attribute, kept **normalized** (sorted by attribute id, deduplicated).
+//! Normalization gives queries a canonical form so that the history cache
+//! (ICDE 2009 optimization, paper §3.2) can key on them directly, and makes
+//! the refinement partial order (`⊆` on predicate sets) cheap to test with a
+//! linear merge.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::{AttrId, DomIx};
+use crate::error::ModelError;
+use crate::schema::Schema;
+
+/// A single `attribute = value` equality predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Constrained attribute.
+    pub attr: AttrId,
+    /// Required domain index.
+    pub value: DomIx,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    #[inline]
+    pub fn new(attr: AttrId, value: DomIx) -> Self {
+        Predicate { attr, value }
+    }
+}
+
+/// A normalized conjunctive equality query.
+///
+/// The empty query (`SELECT *`) selects every tuple. Queries form a partial
+/// order under predicate-set inclusion: `q2` *refines* `q1` when
+/// `preds(q1) ⊆ preds(q2)`; refinement can only shrink the result set, which
+/// is the monotonicity the drill-down walk and the inference cache exploit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct ConjunctiveQuery {
+    /// Sorted by `attr`, at most one predicate per attribute.
+    preds: Vec<Predicate>,
+}
+
+impl ConjunctiveQuery {
+    /// The empty (`SELECT *`) query.
+    pub fn empty() -> Self {
+        ConjunctiveQuery { preds: Vec::new() }
+    }
+
+    /// Build a query from arbitrary `(attr, value)` pairs.
+    ///
+    /// # Errors
+    /// [`ModelError::ConflictingPredicate`] if one attribute appears with two
+    /// different values (repeating the *same* binding is idempotent).
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (AttrId, DomIx)>,
+    ) -> Result<Self, ModelError> {
+        let mut q = ConjunctiveQuery::empty();
+        for (a, v) in pairs {
+            q = q.refine(a, v)?;
+        }
+        Ok(q)
+    }
+
+    /// Build from named attributes, validating against a schema.
+    pub fn from_named<'a>(
+        schema: &Schema,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<Self, ModelError> {
+        let mut q = ConjunctiveQuery::empty();
+        for (name, label) in pairs {
+            let attr = schema.attr_by_name(name)?;
+            let value = schema.attr_unchecked(attr).parse_label(label).ok_or_else(|| {
+                ModelError::ValueOutOfRange {
+                    attr: name.to_owned(),
+                    value: DomIx::MAX,
+                    domain_size: schema.domain_size(attr),
+                }
+            })?;
+            q = q.refine(attr, value)?;
+        }
+        Ok(q)
+    }
+
+    /// Return a copy of this query with one extra predicate.
+    ///
+    /// This is the *drill-down step* of the random walk (§2): the query tree
+    /// edge from the current node to the child labelled `value` at level
+    /// `attr`.
+    ///
+    /// # Errors
+    /// [`ModelError::ConflictingPredicate`] when `attr` is already bound to a
+    /// different value.
+    pub fn refine(&self, attr: AttrId, value: DomIx) -> Result<Self, ModelError> {
+        match self.preds.binary_search_by_key(&attr, |p| p.attr) {
+            Ok(i) => {
+                let existing = self.preds[i].value;
+                if existing == value {
+                    Ok(self.clone())
+                } else {
+                    Err(ModelError::ConflictingPredicate {
+                        attr: format!("{attr}"),
+                        existing,
+                        requested: value,
+                    })
+                }
+            }
+            Err(i) => {
+                let mut preds = Vec::with_capacity(self.preds.len() + 1);
+                preds.extend_from_slice(&self.preds[..i]);
+                preds.push(Predicate::new(attr, value));
+                preds.extend_from_slice(&self.preds[i..]);
+                Ok(ConjunctiveQuery { preds })
+            }
+        }
+    }
+
+    /// Return a copy without the predicate on `attr` (broadening move a user
+    /// makes when results are "too narrow", §1).
+    pub fn drop_attr(&self, attr: AttrId) -> Self {
+        let preds =
+            self.preds.iter().copied().filter(|p| p.attr != attr).collect::<Vec<_>>();
+        ConjunctiveQuery { preds }
+    }
+
+    /// The normalized predicates, sorted by attribute id.
+    #[inline]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Number of predicates (the query's *depth* in the fixed-order tree).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether this is the `SELECT *` query.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The value this query binds `attr` to, if any.
+    pub fn binding(&self, attr: AttrId) -> Option<DomIx> {
+        self.preds
+            .binary_search_by_key(&attr, |p| p.attr)
+            .ok()
+            .map(|i| self.preds[i].value)
+    }
+
+    /// Whether `attr` is constrained by this query.
+    #[inline]
+    pub fn binds(&self, attr: AttrId) -> bool {
+        self.binding(attr).is_some()
+    }
+
+    /// `true` iff every predicate of `other` is also a predicate of `self`
+    /// (i.e. `self` is `other` with zero or more extra constraints, so
+    /// `result(self) ⊆ result(other)`).
+    pub fn is_refinement_of(&self, other: &ConjunctiveQuery) -> bool {
+        // Linear merge over two sorted predicate lists.
+        let mut it = self.preds.iter();
+        'outer: for needle in &other.preds {
+            for p in it.by_ref() {
+                match p.attr.cmp(&needle.attr) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => {
+                        if p.value == needle.value {
+                            continue 'outer;
+                        }
+                        return false;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `true` iff this query's predicates hold on the given value vector.
+    #[inline]
+    pub fn matches(&self, values: &[DomIx]) -> bool {
+        self.preds.iter().all(|p| values.get(p.attr.index()) == Some(&p.value))
+    }
+
+    /// Validate every binding against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), ModelError> {
+        for p in &self.preds {
+            schema.check_binding(p.attr, p.value)?;
+        }
+        Ok(())
+    }
+
+    /// A fully-specified query binding *every* attribute of `schema` to the
+    /// given value vector — the leaf query the BRUTE-FORCE-SAMPLER issues.
+    pub fn fully_specified(schema: &Schema, values: &[DomIx]) -> Result<Self, ModelError> {
+        if values.len() != schema.arity() {
+            return Err(ModelError::ArityMismatch { expected: schema.arity(), got: values.len() });
+        }
+        let preds = schema
+            .attr_ids()
+            .zip(values.iter().copied())
+            .map(|(a, v)| Predicate::new(a, v))
+            .collect();
+        let q = ConjunctiveQuery { preds };
+        q.validate(schema)?;
+        Ok(q)
+    }
+
+    /// Render with attribute/value names resolved through a schema, e.g.
+    /// `` SELECT * FROM D WHERE make='Toyota' AND year='2005–2006' ``.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
+        QueryDisplay { query: self, schema }
+    }
+}
+
+/// Helper returned by [`ConjunctiveQuery::display`] implementing `Display`.
+pub struct QueryDisplay<'a> {
+    query: &'a ConjunctiveQuery,
+    schema: &'a Schema,
+}
+
+impl std::fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT * FROM D")?;
+        if self.query.is_empty() {
+            return Ok(());
+        }
+        write!(f, " WHERE ")?;
+        for (i, p) in self.query.predicates().iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            let attr = self.schema.attr_unchecked(p.attr);
+            write!(f, "{}='{}'", attr.name(), attr.label(p.value))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::boolean("a"))
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda", "Ford"]).unwrap())
+            .attribute(Attribute::boolean("c"))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn refine_keeps_sorted_normal_form() {
+        let q = ConjunctiveQuery::empty()
+            .refine(AttrId(2), 1)
+            .unwrap()
+            .refine(AttrId(0), 0)
+            .unwrap();
+        let attrs: Vec<u16> = q.predicates().iter().map(|p| p.attr.0).collect();
+        assert_eq!(attrs, vec![0, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn refine_same_binding_is_idempotent() {
+        let q = ConjunctiveQuery::from_pairs([(AttrId(1), 2)]).unwrap();
+        let q2 = q.refine(AttrId(1), 2).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn refine_conflict_rejected() {
+        let q = ConjunctiveQuery::from_pairs([(AttrId(1), 2)]).unwrap();
+        assert!(matches!(q.refine(AttrId(1), 0), Err(ModelError::ConflictingPredicate { .. })));
+    }
+
+    #[test]
+    fn refinement_partial_order() {
+        let broad = ConjunctiveQuery::from_pairs([(AttrId(0), 1)]).unwrap();
+        let narrow = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(2), 0)]).unwrap();
+        let other = ConjunctiveQuery::from_pairs([(AttrId(0), 0), (AttrId(2), 0)]).unwrap();
+
+        assert!(narrow.is_refinement_of(&broad));
+        assert!(!broad.is_refinement_of(&narrow));
+        assert!(narrow.is_refinement_of(&narrow), "reflexive");
+        assert!(narrow.is_refinement_of(&ConjunctiveQuery::empty()));
+        assert!(!other.is_refinement_of(&broad), "same attr, different value");
+    }
+
+    #[test]
+    fn matches_checks_all_predicates() {
+        let q = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 2)]).unwrap();
+        assert!(q.matches(&[1, 2, 0]));
+        assert!(!q.matches(&[1, 1, 0]));
+        assert!(!q.matches(&[0, 2, 0]));
+        assert!(ConjunctiveQuery::empty().matches(&[5, 5, 5]));
+    }
+
+    #[test]
+    fn drop_attr_broadens() {
+        let q = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 2)]).unwrap();
+        let b = q.drop_attr(AttrId(0));
+        assert_eq!(b.len(), 1);
+        assert!(q.is_refinement_of(&b));
+        // Dropping an unbound attribute is a no-op.
+        assert_eq!(q.drop_attr(AttrId(2)), q);
+    }
+
+    #[test]
+    fn binding_lookup() {
+        let q = ConjunctiveQuery::from_pairs([(AttrId(1), 2)]).unwrap();
+        assert_eq!(q.binding(AttrId(1)), Some(2));
+        assert_eq!(q.binding(AttrId(0)), None);
+        assert!(q.binds(AttrId(1)));
+        assert!(!q.binds(AttrId(0)));
+    }
+
+    #[test]
+    fn from_named_resolves_labels() {
+        let s = schema();
+        let q = ConjunctiveQuery::from_named(&s, [("make", "Honda"), ("a", "yes")]).unwrap();
+        assert_eq!(q.binding(AttrId(1)), Some(1));
+        assert_eq!(q.binding(AttrId(0)), Some(1));
+        assert!(ConjunctiveQuery::from_named(&s, [("make", "Tesla")]).is_err());
+        assert!(ConjunctiveQuery::from_named(&s, [("modell", "Civic")]).is_err());
+    }
+
+    #[test]
+    fn fully_specified_binds_everything() {
+        let s = schema();
+        let q = ConjunctiveQuery::fully_specified(&s, &[1, 2, 0]).unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(q.matches(&[1, 2, 0]));
+        assert!(ConjunctiveQuery::fully_specified(&s, &[1, 2]).is_err());
+        assert!(ConjunctiveQuery::fully_specified(&s, &[1, 9, 0]).is_err());
+    }
+
+    #[test]
+    fn display_renders_sql_like() {
+        let s = schema();
+        let q = ConjunctiveQuery::from_named(&s, [("make", "Toyota"), ("c", "no")]).unwrap();
+        let text = q.display(&s).to_string();
+        assert_eq!(text, "SELECT * FROM D WHERE make='Toyota' AND c='no'");
+        assert_eq!(ConjunctiveQuery::empty().display(&s).to_string(), "SELECT * FROM D");
+    }
+}

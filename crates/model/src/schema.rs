@@ -1,0 +1,307 @@
+//! Schemas: ordered collections of attributes plus numeric measures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::{AttrId, Attribute, DomIx};
+use crate::error::ModelError;
+
+/// Identifier of a measure column within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MeasureId(pub u16);
+
+impl MeasureId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A numeric measure carried by every tuple but not queryable through the
+/// form (e.g. the exact price in dollars, while the *queryable* `price`
+/// attribute is its bucketized version).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measure {
+    name: String,
+}
+
+impl Measure {
+    /// Construct a measure with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Measure { name: name.into() }
+    }
+
+    /// The measure's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An immutable schema: the attributes a form exposes (in declaration
+/// order) plus the measure columns tuples carry.
+///
+/// Schemas are cheap to share (`Arc` internally via [`Schema::into_shared`])
+/// and validated on construction: names are unique and domains non-empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    measures: Vec<Measure>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttrId>,
+    #[serde(skip)]
+    measures_by_name: HashMap<String, MeasureId>,
+}
+
+impl Schema {
+    fn build_lookup(&mut self) {
+        self.by_name = self
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name().to_owned(), AttrId(i as u16)))
+            .collect();
+        self.measures_by_name = self
+            .measures
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name().to_owned(), MeasureId(i as u16)))
+            .collect();
+    }
+
+    /// Rebuild internal lookup tables; required after deserialization.
+    pub fn rehydrate(mut self) -> Self {
+        self.build_lookup();
+        self
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of measure columns.
+    #[inline]
+    pub fn measure_arity(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// All attributes in declaration order.
+    #[inline]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// All measures in declaration order.
+    #[inline]
+    pub fn measures(&self) -> &[Measure] {
+        &self.measures
+    }
+
+    /// Iterator over `(AttrId, &Attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes.iter().enumerate().map(|(i, a)| (AttrId(i as u16), a))
+    }
+
+    /// All attribute ids in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.attributes.len() as u16).map(AttrId)
+    }
+
+    /// Attribute by id.
+    ///
+    /// # Errors
+    /// [`ModelError::AttrOutOfRange`] if `id` does not belong to this schema.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute, ModelError> {
+        self.attributes
+            .get(id.index())
+            .ok_or(ModelError::AttrOutOfRange { index: id.index(), len: self.attributes.len() })
+    }
+
+    /// Attribute by id, panicking on range errors.
+    ///
+    /// Use when the id provably comes from this schema.
+    #[inline]
+    pub fn attr_unchecked(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.index()]
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr_by_name(&self, name: &str) -> Result<AttrId, ModelError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownAttribute { name: name.to_owned() })
+    }
+
+    /// Look up a measure id by name.
+    pub fn measure_by_name(&self, name: &str) -> Result<MeasureId, ModelError> {
+        self.measures_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownMeasure { name: name.to_owned() })
+    }
+
+    /// Measure by id, panicking on range errors.
+    #[inline]
+    pub fn measure_unchecked(&self, id: MeasureId) -> &Measure {
+        &self.measures[id.index()]
+    }
+
+    /// Domain size of attribute `id` (branching factor at its tree level).
+    #[inline]
+    pub fn domain_size(&self, id: AttrId) -> usize {
+        self.attributes[id.index()].domain_size()
+    }
+
+    /// Product of all domain sizes: the number of leaves of the full query
+    /// tree, `B = ∏ |Dom(a_i)|`, as an `f64` (it can dwarf `u64` for wide
+    /// schemas; samplers only ever use it in ratios).
+    pub fn domain_product(&self) -> f64 {
+        self.attributes.iter().map(|a| a.domain_size() as f64).product()
+    }
+
+    /// Validate a `(attr, value)` pair against this schema.
+    pub fn check_binding(&self, attr: AttrId, value: DomIx) -> Result<(), ModelError> {
+        self.attr(attr)?.check(value)
+    }
+
+    /// Wrap in an `Arc` for cheap sharing across threads and crates.
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+/// Incremental builder for [`Schema`].
+///
+/// ```
+/// use hdsampler_model::{Attribute, SchemaBuilder, Measure};
+///
+/// let schema = SchemaBuilder::new()
+///     .attribute(Attribute::boolean("certified"))
+///     .attribute(Attribute::categorical("make", ["Toyota", "Honda"]).unwrap())
+///     .measure(Measure::new("price_usd"))
+///     .finish()
+///     .unwrap();
+/// assert_eq!(schema.arity(), 2);
+/// assert_eq!(schema.domain_product(), 4.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+    measures: Vec<Measure>,
+}
+
+impl SchemaBuilder {
+    /// Start an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an attribute (declaration order defines [`AttrId`]s).
+    pub fn attribute(mut self, attr: Attribute) -> Self {
+        self.attributes.push(attr);
+        self
+    }
+
+    /// Append a measure column.
+    pub fn measure(mut self, m: Measure) -> Self {
+        self.measures.push(m);
+        self
+    }
+
+    /// Validate and produce the schema.
+    ///
+    /// # Errors
+    /// [`ModelError::DuplicateAttribute`] when two attributes (or two
+    /// measures) share a name.
+    pub fn finish(self) -> Result<Schema, ModelError> {
+        let mut seen = std::collections::HashSet::new();
+        for a in &self.attributes {
+            if !seen.insert(a.name().to_owned()) {
+                return Err(ModelError::DuplicateAttribute { name: a.name().to_owned() });
+            }
+        }
+        let mut seen_m = std::collections::HashSet::new();
+        for m in &self.measures {
+            if !seen_m.insert(m.name().to_owned()) {
+                return Err(ModelError::DuplicateAttribute { name: m.name().to_owned() });
+            }
+        }
+        let mut s = Schema {
+            attributes: self.attributes,
+            measures: self.measures,
+            by_name: HashMap::new(),
+            measures_by_name: HashMap::new(),
+        };
+        s.build_lookup();
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::boolean("used"))
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda", "Ford"]).unwrap())
+            .measure(Measure::new("price_usd"))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = small_schema();
+        let make = s.attr_by_name("make").unwrap();
+        assert_eq!(make, AttrId(1));
+        assert_eq!(s.attr(make).unwrap().name(), "make");
+        assert!(s.attr_by_name("model").is_err());
+        assert_eq!(s.measure_by_name("price_usd").unwrap(), MeasureId(0));
+        assert!(s.measure_by_name("mileage").is_err());
+    }
+
+    #[test]
+    fn domain_product_multiplies_sizes() {
+        let s = small_schema();
+        assert_eq!(s.domain_product(), 6.0);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .attribute(Attribute::boolean("x"))
+            .finish();
+        assert!(matches!(r, Err(ModelError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn attr_out_of_range() {
+        let s = small_schema();
+        assert!(s.attr(AttrId(99)).is_err());
+    }
+
+    #[test]
+    fn check_binding_validates_both_sides() {
+        let s = small_schema();
+        assert!(s.check_binding(AttrId(1), 2).is_ok());
+        assert!(s.check_binding(AttrId(1), 3).is_err());
+        assert!(s.check_binding(AttrId(9), 0).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_rehydrates_lookup() {
+        let s = small_schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str::<Schema>(&json).unwrap().rehydrate();
+        assert_eq!(back.attr_by_name("make").unwrap(), AttrId(1));
+        assert_eq!(back, s);
+    }
+}

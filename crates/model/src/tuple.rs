@@ -1,0 +1,132 @@
+//! Tuples: the rows stored inside a hidden database.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::DomIx;
+use crate::error::ModelError;
+use crate::schema::Schema;
+
+/// Internal identifier of a tuple inside one database instance.
+///
+/// Tuple ids are dense insertion positions. They are *internal*: the public
+/// form interface exposes an opaque listing key instead (see
+/// [`Row`](crate::outcome::Row)), exactly like a real site exposes item ids
+/// rather than storage offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One database row: a domain index per attribute plus raw measure values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Box<[DomIx]>,
+    measures: Box<[f64]>,
+}
+
+impl Tuple {
+    /// Build a tuple, validating arity and every domain index against the
+    /// schema.
+    pub fn new(
+        schema: &Schema,
+        values: Vec<DomIx>,
+        measures: Vec<f64>,
+    ) -> Result<Self, ModelError> {
+        if values.len() != schema.arity() {
+            return Err(ModelError::ArityMismatch { expected: schema.arity(), got: values.len() });
+        }
+        if measures.len() != schema.measure_arity() {
+            return Err(ModelError::ArityMismatch {
+                expected: schema.measure_arity(),
+                got: measures.len(),
+            });
+        }
+        for (id, attr) in schema.iter() {
+            attr.check(values[id.index()])?;
+        }
+        Ok(Tuple { values: values.into_boxed_slice(), measures: measures.into_boxed_slice() })
+    }
+
+    /// Build a tuple without validation.
+    ///
+    /// Intended for generators that construct values straight from the
+    /// schema's own domains; invariants are checked in debug builds.
+    pub fn new_unchecked(values: Vec<DomIx>, measures: Vec<f64>) -> Self {
+        Tuple { values: values.into_boxed_slice(), measures: measures.into_boxed_slice() }
+    }
+
+    /// Attribute values as domain indices, in schema order.
+    #[inline]
+    pub fn values(&self) -> &[DomIx] {
+        &self.values
+    }
+
+    /// Raw measure values, in schema order.
+    #[inline]
+    pub fn measures(&self) -> &[f64] {
+        &self.measures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::schema::{Measure, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::boolean("used"))
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda"]).unwrap())
+            .measure(Measure::new("price"))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_tuple_constructs() {
+        let s = schema();
+        let t = Tuple::new(&s, vec![1, 0], vec![19_999.0]).unwrap();
+        assert_eq!(t.values(), &[1, 0]);
+        assert_eq!(t.measures(), &[19_999.0]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = schema();
+        assert!(matches!(
+            Tuple::new(&s, vec![1], vec![0.0]),
+            Err(ModelError::ArityMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            Tuple::new(&s, vec![1, 0], vec![]),
+            Err(ModelError::ArityMismatch { expected: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn out_of_domain_value_rejected() {
+        let s = schema();
+        assert!(matches!(
+            Tuple::new(&s, vec![1, 7], vec![0.0]),
+            Err(ModelError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn tuple_id_display() {
+        assert_eq!(TupleId(3).to_string(), "t3");
+    }
+}

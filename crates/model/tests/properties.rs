@@ -1,0 +1,146 @@
+//! Property-based tests for the query model: normalization laws, the
+//! refinement partial order, and label round-trips.
+
+use hdsampler_model::{AttrId, Attribute, ConjunctiveQuery, DomIx, SchemaBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a list of (attr, value) pairs over a small universe, possibly
+/// with duplicate attributes (which `from_pairs` must reject only on
+/// *conflicting* values).
+fn pairs() -> impl Strategy<Value = Vec<(u16, u16)>> {
+    prop::collection::vec((0u16..6, 0u16..4), 0..8)
+}
+
+fn to_query(pairs: &[(u16, u16)]) -> Option<ConjunctiveQuery> {
+    ConjunctiveQuery::from_pairs(pairs.iter().map(|&(a, v)| (AttrId(a), v as DomIx))).ok()
+}
+
+proptest! {
+    /// Construction succeeds iff no attribute appears with two different
+    /// values, and the result is in sorted normal form with unique attrs.
+    #[test]
+    fn normal_form(pairs in pairs()) {
+        let conflicted = (0..pairs.len()).any(|i| {
+            pairs[i + 1..].iter().any(|&(a, v)| a == pairs[i].0 && v != pairs[i].1)
+        });
+        match to_query(&pairs) {
+            None => prop_assert!(conflicted),
+            Some(q) => {
+                prop_assert!(!conflicted);
+                let attrs: Vec<u16> = q.predicates().iter().map(|p| p.attr.0).collect();
+                let mut sorted = attrs.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(attrs, sorted, "sorted and deduplicated");
+            }
+        }
+    }
+
+    /// Order of insertion never matters: any permutation of compatible pairs
+    /// yields the identical normalized query.
+    #[test]
+    fn insertion_order_irrelevant(pairs in pairs(), seed in 0u64..1000) {
+        if let Some(q) = to_query(&pairs) {
+            // Deterministic pseudo-shuffle driven by `seed`.
+            let mut shuffled = pairs.clone();
+            let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            for i in (1..shuffled.len()).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            let q2 = to_query(&shuffled).expect("same pairs remain compatible");
+            prop_assert_eq!(q, q2);
+        }
+    }
+
+    /// Refinement is a partial order consistent with semantics: if
+    /// `narrow.is_refinement_of(broad)` then every value vector matched by
+    /// `narrow` is matched by `broad`.
+    #[test]
+    fn refinement_implies_containment(
+        pa in pairs(), pb in pairs(),
+        probe in prop::collection::vec(0u16..4, 6),
+    ) {
+        if let (Some(a), Some(b)) = (to_query(&pa), to_query(&pb)) {
+            if a.is_refinement_of(&b) && a.matches(&probe) {
+                prop_assert!(b.matches(&probe));
+            }
+            // Reflexivity and empty-query top element.
+            prop_assert!(a.is_refinement_of(&a));
+            prop_assert!(a.is_refinement_of(&ConjunctiveQuery::empty()));
+        }
+    }
+
+    /// `refine` extends the partial order downward; `drop_attr` inverts it.
+    #[test]
+    fn refine_then_drop_roundtrip(pairs in pairs(), attr in 6u16..8, value in 0u16..4) {
+        if let Some(q) = to_query(&pairs) {
+            // `attr` ∈ 6..8 is guaranteed unbound (pairs use attrs < 6).
+            let refined = q.refine(AttrId(attr), value as DomIx).unwrap();
+            prop_assert!(refined.is_refinement_of(&q));
+            prop_assert_eq!(refined.binding(AttrId(attr)), Some(value as DomIx));
+            prop_assert_eq!(refined.drop_attr(AttrId(attr)), q);
+        }
+    }
+
+    /// `is_refinement_of` agrees with the naive subset check on predicate
+    /// sets.
+    #[test]
+    fn refinement_matches_naive_subset(pa in pairs(), pb in pairs()) {
+        if let (Some(a), Some(b)) = (to_query(&pa), to_query(&pb)) {
+            let naive = b
+                .predicates()
+                .iter()
+                .all(|p| a.predicates().contains(p));
+            prop_assert_eq!(a.is_refinement_of(&b), naive);
+        }
+    }
+}
+
+proptest! {
+    /// Every domain label of a categorical attribute parses back to its own
+    /// index — the invariant the HTML scraper relies on.
+    #[test]
+    fn label_roundtrip(n in 1usize..40) {
+        let labels: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        let attr = Attribute::categorical("x", labels).unwrap();
+        for v in attr.domain() {
+            prop_assert_eq!(attr.parse_label(&attr.label(v)), Some(v));
+        }
+    }
+
+    /// Numeric bucketization maps each point to exactly one bucket within
+    /// range.
+    #[test]
+    fn bucket_partition(x in 0.0f64..100.0, n in 1usize..12) {
+        let attr = Attribute::numeric_even("m", 0.0, 100.0, n).unwrap();
+        let b = attr.bucket_of(x).expect("in range");
+        prop_assert!((b as usize) < n);
+        // No other bucket claims the same point.
+        let hits = (0..n)
+            .filter(|&i| {
+                let lo = 100.0 * i as f64 / n as f64;
+                let hi = if i + 1 == n { 100.0 } else { 100.0 * (i + 1) as f64 / n as f64 };
+                x >= lo && x < hi
+            })
+            .count();
+        prop_assert_eq!(hits, 1);
+    }
+}
+
+#[test]
+fn fully_specified_matches_only_its_vector() {
+    let schema = SchemaBuilder::new()
+        .attribute(Attribute::boolean("a"))
+        .attribute(Attribute::categorical("b", ["x", "y", "z"]).unwrap())
+        .finish()
+        .unwrap();
+    let q = ConjunctiveQuery::fully_specified(&schema, &[1, 2]).unwrap();
+    for a in 0..2u16 {
+        for b in 0..3u16 {
+            assert_eq!(q.matches(&[a, b]), a == 1 && b == 2);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The web form a site derives from its schema — the machine-readable
+//! counterpart of the demo's Figure 3 attribute-settings page.
+
+use std::sync::Arc;
+
+use hdsampler_model::{ConjunctiveQuery, ModelError, Schema};
+
+use crate::render::escape_html;
+use crate::urlenc;
+
+/// A conjunctive web form: one select field per attribute, each with an
+/// "any" default plus the attribute's domain values.
+#[derive(Debug, Clone)]
+pub struct WebForm {
+    schema: Arc<Schema>,
+    action: String,
+}
+
+impl WebForm {
+    /// Form for `schema`, submitting to `action` (e.g. `/search`).
+    pub fn new(schema: Arc<Schema>, action: impl Into<String>) -> Self {
+        WebForm { schema, action: action.into() }
+    }
+
+    /// The form's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The submit path.
+    pub fn action(&self) -> &str {
+        &self.action
+    }
+
+    /// Encode a query as the GET request path this form would submit.
+    pub fn request_path(&self, query: &ConjunctiveQuery) -> String {
+        let pairs: Vec<(String, String)> = query
+            .predicates()
+            .iter()
+            .map(|p| {
+                let attr = self.schema.attr_unchecked(p.attr);
+                (attr.name().to_owned(), attr.label(p.value).into_owned())
+            })
+            .collect();
+        if pairs.is_empty() {
+            self.action.clone()
+        } else {
+            format!("{}?{}", self.action, urlenc::build_query(&pairs))
+        }
+    }
+
+    /// Decode a GET request path back into a query (server side).
+    ///
+    /// # Errors
+    /// [`ModelError`] when a field or value does not belong to the schema;
+    /// malformed encodings surface as [`ModelError::UnknownAttribute`] with
+    /// the raw text.
+    pub fn parse_request_path(&self, path: &str) -> Result<ConjunctiveQuery, ModelError> {
+        let qs = match path.split_once('?') {
+            None => return Ok(ConjunctiveQuery::empty()),
+            Some((_, qs)) => qs,
+        };
+        let pairs = urlenc::parse_query(qs)
+            .ok_or_else(|| ModelError::UnknownAttribute { name: format!("<malformed: {qs}>") })?;
+        let mut query = ConjunctiveQuery::empty();
+        for (name, label) in &pairs {
+            let attr = self.schema.attr_by_name(name)?;
+            let value = self
+                .schema
+                .attr_unchecked(attr)
+                .parse_label(label)
+                .ok_or_else(|| ModelError::ValueOutOfRange {
+                    attr: name.clone(),
+                    value: u16::MAX,
+                    domain_size: self.schema.domain_size(attr),
+                })?;
+            query = query.refine(attr, value)?;
+        }
+        Ok(query)
+    }
+
+    /// Render the form as HTML (`<select>` per attribute) — the Figure 3
+    /// page.
+    pub fn render_html(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "<form action=\"{}\" method=\"get\">", escape_html(&self.action));
+        for (_, attr) in self.schema.iter() {
+            let name = escape_html(attr.name());
+            let _ = writeln!(out, "  <label for=\"{name}\">{name}</label>");
+            let _ = writeln!(out, "  <select name=\"{name}\" id=\"{name}\">");
+            let _ = writeln!(out, "    <option value=\"\" selected>any</option>");
+            for v in attr.domain() {
+                let label = escape_html(&attr.label(v));
+                let _ = writeln!(out, "    <option value=\"{label}\">{label}</option>");
+            }
+            let _ = writeln!(out, "  </select>");
+        }
+        let _ = writeln!(out, "  <input type=\"submit\" value=\"Search\"/>");
+        let _ = writeln!(out, "</form>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{Attribute, Bucket, SchemaBuilder};
+
+    fn form() -> WebForm {
+        let schema = SchemaBuilder::new()
+            .attribute(
+                Attribute::categorical("make", ["Toyota", "Town & Country style"]).unwrap(),
+            )
+            .attribute(
+                Attribute::numeric(
+                    "price",
+                    vec![Bucket::new(0.0, 5e3, "under $5k"), Bucket::new(5e3, f64::INFINITY, "$5k–up")],
+                )
+                .unwrap(),
+            )
+            .finish()
+            .unwrap()
+            .into_shared();
+        WebForm::new(schema, "/search")
+    }
+
+    #[test]
+    fn request_path_roundtrip() {
+        let f = form();
+        let q = ConjunctiveQuery::from_named(
+            f.schema(),
+            [("make", "Town & Country style"), ("price", "$5k–up")],
+        )
+        .unwrap();
+        let path = f.request_path(&q);
+        assert!(path.starts_with("/search?"));
+        assert_eq!(f.parse_request_path(&path).unwrap(), q);
+    }
+
+    #[test]
+    fn empty_query_is_bare_action() {
+        let f = form();
+        assert_eq!(f.request_path(&ConjunctiveQuery::empty()), "/search");
+        assert_eq!(f.parse_request_path("/search").unwrap(), ConjunctiveQuery::empty());
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let f = form();
+        assert!(f.parse_request_path("/search?colour=red").is_err());
+        assert!(f.parse_request_path("/search?make=Tesla").is_err());
+        assert!(f.parse_request_path("/search?make=%ZZ").is_err());
+    }
+
+    #[test]
+    fn form_html_lists_all_options() {
+        let f = form();
+        let html = f.render_html();
+        assert!(html.contains("<select name=\"make\""));
+        assert!(html.contains("Town &amp; Country style"));
+        assert!(html.contains(">any</option>"));
+        assert!(html.contains("$5k–up"));
+    }
+}

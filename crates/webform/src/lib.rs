@@ -1,0 +1,34 @@
+//! # hdsampler-webform
+//!
+//! The simulated web layer between HDSampler and a hidden database.
+//!
+//! The original demo ran against live Google Base over HTTP (Apache + PHP,
+//! §3.5); in this reproduction the wire is simulated but the *pipeline* is
+//! real: every query is URL-encoded into a GET request
+//! ([`urlenc`]), the "site" renders an HTML results page ([`render`]) —
+//! count banner, overflow notice, result table — and the sampler-side
+//! adapter scrapes that page back into typed rows ([`scrape`]) with a
+//! hand-written extractor. Values therefore survive a full
+//! string-typed round trip exactly as a real scraper's would.
+//!
+//! * [`form`] — the `<form>` definition a site derives from its schema
+//!   (the demo's Figure 3 attribute-settings page);
+//! * [`urlenc`] — percent/query-string encoding (hand-rolled, no deps);
+//! * [`render`] — server-side page rendering;
+//! * [`scrape`] — client-side page scraping;
+//! * [`transport`] — the wire: a [`Transport`] trait, the in-process
+//!   [`LocalSite`] server, and a virtual-latency decorator for
+//!   time-to-insight experiments;
+//! * [`adapter`] — [`WebFormInterface`], a full
+//!   [`FormInterface`](hdsampler_model::FormInterface) over HTML.
+
+pub mod adapter;
+pub mod form;
+pub mod render;
+pub mod scrape;
+pub mod transport;
+pub mod urlenc;
+
+pub use adapter::WebFormInterface;
+pub use form::WebForm;
+pub use transport::{LatencyTransport, LocalSite, Transport};

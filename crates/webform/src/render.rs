@@ -1,0 +1,146 @@
+//! Server-side rendering of result pages.
+//!
+//! Pages follow a fixed, realistic structure: an optional count banner
+//! ("About 12,000 results"), an overflow notice when the top-k truncation
+//! kicked in, and a `<table class="results">` whose first column is the
+//! listing key, followed by one column per attribute (display labels) and
+//! one per measure (shortest-roundtrip float formatting so scraped numbers
+//! are bit-exact).
+
+use hdsampler_model::{QueryResponse, Schema};
+
+/// Escape `& < > "` for HTML text/attribute contexts.
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape the entities produced by [`escape_html`].
+pub fn unescape_html(s: &str) -> String {
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&quot;", "\"").replace("&amp;", "&")
+}
+
+/// Insert thousands separators: `1234567` → `"1,234,567"`.
+pub fn format_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Render a complete results page for `response`.
+pub fn render_results_page(schema: &Schema, response: &QueryResponse, k: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "<html><head><title>Search results</title></head><body>");
+    if let Some(count) = response.reported_count {
+        let _ = writeln!(
+            out,
+            "<div class=\"count\">About {} results</div>",
+            format_thousands(count)
+        );
+    }
+    if response.overflow {
+        let _ = writeln!(
+            out,
+            "<div class=\"overflow\">Showing the top {k} matching listings. \
+             Refine your search to see more specific results.</div>"
+        );
+    }
+    if response.rows.is_empty() {
+        let _ = writeln!(out, "<div class=\"noresults\">No results found.</div>");
+    }
+    let _ = writeln!(out, "<table class=\"results\">");
+    let _ = write!(out, "<tr><th>id</th>");
+    for attr in schema.attributes() {
+        let _ = write!(out, "<th>{}</th>", escape_html(attr.name()));
+    }
+    for m in schema.measures() {
+        let _ = write!(out, "<th>{}</th>", escape_html(m.name()));
+    }
+    let _ = writeln!(out, "</tr>");
+    for row in &response.rows {
+        let _ = write!(out, "<tr><td>{}</td>", row.key);
+        for (id, attr) in schema.iter() {
+            let _ = write!(out, "<td>{}</td>", escape_html(&attr.label(row.values[id.index()])));
+        }
+        for &x in row.measures.iter() {
+            // `{:?}` prints the shortest string that parses back to the
+            // same f64 — the scrape side relies on this.
+            let _ = write!(out, "<td>{x:?}</td>");
+        }
+        let _ = writeln!(out, "</tr>");
+    }
+    let _ = writeln!(out, "</table>");
+    let _ = writeln!(out, "</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{Attribute, Measure, Row, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "A&B <Cars>"]).unwrap())
+            .measure(Measure::new("price"))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["plain", "a & b", "<tag>", "\"quoted\"", "&amp;-already"] {
+            assert_eq!(unescape_html(&escape_html(s)), s);
+        }
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(format_thousands(0), "0");
+        assert_eq!(format_thousands(999), "999");
+        assert_eq!(format_thousands(1_000), "1,000");
+        assert_eq!(format_thousands(1_234_567), "1,234,567");
+        assert_eq!(format_thousands(12_000), "12,000");
+    }
+
+    #[test]
+    fn page_structure() {
+        let s = schema();
+        let resp = QueryResponse {
+            rows: vec![Row::new(42, vec![1], vec![19_999.5])],
+            overflow: true,
+            reported_count: Some(12_000),
+        };
+        let html = render_results_page(&s, &resp, 1000);
+        assert!(html.contains("About 12,000 results"));
+        assert!(html.contains("top 1000"));
+        assert!(html.contains("<td>42</td>"));
+        assert!(html.contains("A&amp;B &lt;Cars&gt;"));
+        assert!(html.contains("<td>19999.5</td>"));
+    }
+
+    #[test]
+    fn empty_page_says_so() {
+        let s = schema();
+        let resp = QueryResponse { rows: vec![], overflow: false, reported_count: Some(0) };
+        let html = render_results_page(&s, &resp, 10);
+        assert!(html.contains("No results found."));
+        assert!(!html.contains("class=\"overflow\""));
+    }
+}

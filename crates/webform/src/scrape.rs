@@ -1,0 +1,205 @@
+//! Client-side scraping of result pages.
+//!
+//! A small, purpose-built extractor (no external parser): it locates the
+//! count banner, the overflow notice, and the `<table class="results">`,
+//! then walks `<tr>`/`<td>` pairs, mapping display labels back to domain
+//! indices through the schema. Malformed pages surface as
+//! [`InterfaceError::Parse`] — the error a real scraper must handle when a
+//! site changes its markup.
+
+use hdsampler_model::{DomIx, InterfaceError, QueryResponse, Row, Schema};
+
+use crate::render::unescape_html;
+
+/// Extract the inner text of the first `<div class="CLASS">…</div>`.
+fn div_text<'a>(html: &'a str, class: &str) -> Option<&'a str> {
+    let marker = format!("<div class=\"{class}\">");
+    let start = html.find(&marker)? + marker.len();
+    let end = html[start..].find("</div>")? + start;
+    Some(&html[start..end])
+}
+
+/// All inner texts of `tag` within `fragment` (non-nested, as rendered).
+fn cell_texts<'a>(fragment: &'a str, tag: &str) -> Vec<&'a str> {
+    let open_prefix = format!("<{tag}");
+    let close = format!("</{tag}>");
+    let mut cells = Vec::new();
+    let mut pos = 0;
+    while let Some(rel) = fragment[pos..].find(&open_prefix) {
+        let tag_start = pos + rel;
+        let Some(gt) = fragment[tag_start..].find('>') else { break };
+        let content_start = tag_start + gt + 1;
+        let Some(rel_end) = fragment[content_start..].find(&close) else { break };
+        cells.push(&fragment[content_start..content_start + rel_end]);
+        pos = content_start + rel_end + close.len();
+    }
+    cells
+}
+
+/// Parse a count banner "About 12,000 results" into the number.
+fn parse_count_banner(text: &str) -> Option<u64> {
+    let digits: String = text.chars().filter(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Scrape a results page back into a [`QueryResponse`].
+///
+/// # Errors
+/// [`InterfaceError::Parse`] when the page lacks the results table, a row
+/// has the wrong number of cells, or a label/number fails to parse.
+pub fn scrape_results_page(
+    schema: &Schema,
+    html: &str,
+) -> Result<QueryResponse, InterfaceError> {
+    let reported_count = div_text(html, "count").and_then(parse_count_banner);
+    let overflow = div_text(html, "overflow").is_some();
+
+    let table_start = html
+        .find("<table class=\"results\">")
+        .ok_or_else(|| InterfaceError::Parse("results table missing".into()))?;
+    let table_end = html[table_start..]
+        .find("</table>")
+        .map(|e| table_start + e)
+        .ok_or_else(|| InterfaceError::Parse("results table unterminated".into()))?;
+    let table = &html[table_start..table_end];
+
+    let expected_cells = 1 + schema.arity() + schema.measure_arity();
+    let mut rows = Vec::new();
+    for (tr_ix, tr) in cell_texts(table, "tr").into_iter().enumerate() {
+        if tr_ix == 0 {
+            // Header row: sanity-check the column count so schema drift is
+            // detected loudly rather than mis-scraped silently.
+            let headers = cell_texts(tr, "th");
+            if headers.len() != expected_cells {
+                return Err(InterfaceError::Parse(format!(
+                    "header has {} columns, schema expects {expected_cells}",
+                    headers.len()
+                )));
+            }
+            continue;
+        }
+        let cells = cell_texts(tr, "td");
+        if cells.len() != expected_cells {
+            return Err(InterfaceError::Parse(format!(
+                "row {tr_ix} has {} cells, expected {expected_cells}",
+                cells.len()
+            )));
+        }
+        let key: u64 = cells[0]
+            .trim()
+            .parse()
+            .map_err(|_| InterfaceError::Parse(format!("bad listing key `{}`", cells[0])))?;
+        let mut values: Vec<DomIx> = Vec::with_capacity(schema.arity());
+        for (id, attr) in schema.iter() {
+            let text = unescape_html(cells[1 + id.index()].trim());
+            let v = attr.parse_label(&text).ok_or_else(|| {
+                InterfaceError::Parse(format!(
+                    "unknown label `{text}` for attribute `{}`",
+                    attr.name()
+                ))
+            })?;
+            values.push(v);
+        }
+        let mut measures = Vec::with_capacity(schema.measure_arity());
+        for m in 0..schema.measure_arity() {
+            let text = cells[1 + schema.arity() + m].trim();
+            let x: f64 = text
+                .parse()
+                .map_err(|_| InterfaceError::Parse(format!("bad measure `{text}`")))?;
+            measures.push(x);
+        }
+        rows.push(Row::new(key, values, measures));
+    }
+    Ok(QueryResponse { rows, overflow, reported_count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::render_results_page;
+    use hdsampler_model::{Attribute, Measure, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "A&B <Cars>"]).unwrap())
+            .attribute(Attribute::boolean("used"))
+            .measure(Measure::new("price"))
+            .finish()
+            .unwrap()
+    }
+
+    fn response() -> QueryResponse {
+        QueryResponse {
+            rows: vec![
+                Row::new(42, vec![1, 0], vec![19_999.5]),
+                Row::new(7, vec![0, 1], vec![0.1 + 0.2]), // non-round float
+            ],
+            overflow: true,
+            reported_count: Some(12_000),
+        }
+    }
+
+    #[test]
+    fn render_scrape_roundtrip_is_exact() {
+        let s = schema();
+        let resp = response();
+        let html = render_results_page(&s, &resp, 500);
+        let back = scrape_results_page(&s, &html).unwrap();
+        assert_eq!(back, resp, "bit-exact round trip incl. floats and entities");
+    }
+
+    #[test]
+    fn empty_page_roundtrip() {
+        let s = schema();
+        let resp = QueryResponse { rows: vec![], overflow: false, reported_count: None };
+        let html = render_results_page(&s, &resp, 500);
+        let back = scrape_results_page(&s, &html).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn count_banner_parsing() {
+        assert_eq!(parse_count_banner("About 12,000 results"), Some(12_000));
+        assert_eq!(parse_count_banner("About 7 results"), Some(7));
+        assert_eq!(parse_count_banner("no digits"), None);
+    }
+
+    #[test]
+    fn missing_table_is_a_parse_error() {
+        let s = schema();
+        let err = scrape_results_page(&s, "<html><body>oops</body></html>").unwrap_err();
+        assert!(matches!(err, InterfaceError::Parse(_)));
+    }
+
+    #[test]
+    fn schema_drift_detected_via_header() {
+        let s = schema();
+        let html = "<table class=\"results\">\
+                    <tr><th>id</th><th>make</th></tr>\
+                    </table>";
+        let err = scrape_results_page(&s, html).unwrap_err();
+        assert!(matches!(err, InterfaceError::Parse(msg) if msg.contains("header")));
+    }
+
+    #[test]
+    fn corrupt_cells_detected() {
+        let s = schema();
+        let html = "<table class=\"results\">\
+            <tr><th>id</th><th>make</th><th>used</th><th>price</th></tr>\
+            <tr><td>notanumber</td><td>Toyota</td><td>no</td><td>1.0</td></tr>\
+            </table>";
+        assert!(matches!(
+            scrape_results_page(&s, html),
+            Err(InterfaceError::Parse(msg)) if msg.contains("listing key")
+        ));
+
+        let html = "<table class=\"results\">\
+            <tr><th>id</th><th>make</th><th>used</th><th>price</th></tr>\
+            <tr><td>1</td><td>Tesla</td><td>no</td><td>1.0</td></tr>\
+            </table>";
+        assert!(matches!(
+            scrape_results_page(&s, html),
+            Err(InterfaceError::Parse(msg)) if msg.contains("Tesla")
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! The simulated wire between scraper and site.
+//!
+//! [`Transport`] abstracts "fetch this path, get a page". [`LocalSite`]
+//! is the in-process server: it parses the request with the site's
+//! [`WebForm`], executes it on the backing
+//! [`FormInterface`](hdsampler_model::FormInterface) (typically a
+//! [`HiddenDb`](hdsampler_hidden_db::HiddenDb), which enforces top-k,
+//! budgets and count noise), and renders the page. [`LatencyTransport`]
+//! adds a *virtual* per-request latency so time-to-insight experiments can
+//! report wall-clock numbers without actually sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hdsampler_model::{FormInterface, InterfaceError, Schema};
+
+use crate::form::WebForm;
+use crate::render::render_results_page;
+
+/// A page fetcher.
+pub trait Transport: Send + Sync {
+    /// Fetch `path` (path + query string) and return the page body.
+    fn fetch(&self, path: &str) -> Result<String, InterfaceError>;
+}
+
+/// The in-process web site serving a hidden database as HTML.
+#[derive(Debug)]
+pub struct LocalSite<F> {
+    backend: F,
+    form: WebForm,
+}
+
+impl<F: FormInterface> LocalSite<F> {
+    /// Serve `backend` at `/search`.
+    pub fn new(backend: F, schema: Arc<Schema>) -> Self {
+        LocalSite { backend, form: WebForm::new(schema, "/search") }
+    }
+
+    /// The site's form definition (what a scraper would read off the
+    /// landing page).
+    pub fn form(&self) -> &WebForm {
+        &self.form
+    }
+
+    /// The backing interface.
+    pub fn backend(&self) -> &F {
+        &self.backend
+    }
+}
+
+impl<F: FormInterface> Transport for LocalSite<F> {
+    fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
+        let query = self
+            .form
+            .parse_request_path(path)
+            .map_err(|e| InterfaceError::Transport(format!("400 bad request: {e}")))?;
+        let response = self.backend.execute(&query)?;
+        Ok(render_results_page(self.form.schema(), &response, self.backend.result_limit()))
+    }
+}
+
+/// Decorator adding fixed virtual latency per fetch.
+///
+/// Latency is *accounted*, not slept: [`LatencyTransport::virtual_elapsed_ms`]
+/// returns what the wall clock would have shown at ~`latency_ms` per
+/// round trip — the way the paper's "matter of minutes" claim is checked
+/// without a multi-minute benchmark.
+#[derive(Debug)]
+pub struct LatencyTransport<T> {
+    inner: T,
+    latency_ms: u64,
+    elapsed_ms: AtomicU64,
+}
+
+impl<T: Transport> LatencyTransport<T> {
+    /// Wrap `inner` with `latency_ms` per request.
+    pub fn new(inner: T, latency_ms: u64) -> Self {
+        LatencyTransport { inner, latency_ms, elapsed_ms: AtomicU64::new(0) }
+    }
+
+    /// Virtual wall-clock consumed so far.
+    pub fn virtual_elapsed_ms(&self) -> u64 {
+        self.elapsed_ms.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for LatencyTransport<T> {
+    fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
+        self.elapsed_ms.fetch_add(self.latency_ms, Ordering::Relaxed);
+        self.inner.fetch(path)
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for &T {
+    fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
+        (**self).fetch(path)
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
+        (**self).fetch(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_hidden_db::HiddenDb;
+    use hdsampler_model::{Attribute, SchemaBuilder, Tuple};
+
+    fn site() -> LocalSite<HiddenDb> {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda"]).unwrap())
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(1);
+        for v in [0u16, 0, 1] {
+            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap()).unwrap();
+        }
+        LocalSite::new(b.finish(), schema)
+    }
+
+    #[test]
+    fn serves_pages() {
+        let site = site();
+        let page = site.fetch("/search?make=Honda").unwrap();
+        assert!(page.contains("<table class=\"results\">"));
+        assert!(page.contains("Honda"));
+        let overflowing = site.fetch("/search?make=Toyota").unwrap();
+        assert!(overflowing.contains("class=\"overflow\""));
+    }
+
+    #[test]
+    fn bad_requests_are_transport_errors() {
+        let site = site();
+        let err = site.fetch("/search?bogus=1").unwrap_err();
+        assert!(matches!(err, InterfaceError::Transport(msg) if msg.contains("400")));
+    }
+
+    #[test]
+    fn latency_accumulates_virtually() {
+        let site = site();
+        let t = LatencyTransport::new(&site, 150);
+        let before = std::time::Instant::now();
+        for _ in 0..10 {
+            t.fetch("/search?make=Honda").unwrap();
+        }
+        assert_eq!(t.virtual_elapsed_ms(), 1_500);
+        assert!(before.elapsed().as_millis() < 1_000, "must not actually sleep");
+    }
+}

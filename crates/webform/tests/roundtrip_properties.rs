@@ -1,0 +1,119 @@
+//! Property-based tests for the web layer: every encode/render step is
+//! inverted losslessly by its decode/scrape counterpart — the invariant a
+//! scraper's correctness rests on.
+
+use std::sync::Arc;
+
+use hdsampler_model::{Attribute, Measure, QueryResponse, Row, SchemaBuilder};
+use hdsampler_webform::render::{escape_html, render_results_page, unescape_html};
+use hdsampler_webform::scrape::scrape_results_page;
+use hdsampler_webform::urlenc;
+use hdsampler_webform::WebForm;
+use proptest::prelude::*;
+
+proptest! {
+    /// Percent-encoding round-trips arbitrary Unicode.
+    #[test]
+    fn urlenc_roundtrip(s in "\\PC*") {
+        let decoded = urlenc::decode(&urlenc::encode(&s));
+        prop_assert_eq!(decoded.as_deref(), Some(s.as_str()));
+    }
+
+    /// Query strings round-trip arbitrary key/value pairs, including
+    /// separators and '=' inside values.
+    #[test]
+    fn query_string_roundtrip(pairs in prop::collection::vec(("\\PC*", "\\PC*"), 0..8)) {
+        let pairs: Vec<(String, String)> =
+            pairs.into_iter().map(|(a, b)| (a, b)).collect();
+        let qs = urlenc::build_query(&pairs);
+        prop_assert_eq!(urlenc::parse_query(&qs), Some(pairs));
+    }
+
+    /// HTML escaping round-trips arbitrary text.
+    #[test]
+    fn html_escape_roundtrip(s in "\\PC*") {
+        prop_assert_eq!(unescape_html(&escape_html(&s)), s);
+    }
+
+    /// Render → scrape is the identity on responses with arbitrary row
+    /// content (finite measures; NaN is excluded because NaN ≠ NaN).
+    #[test]
+    fn page_roundtrip(
+        rows in prop::collection::vec(
+            (any::<u64>(), 0u16..3, 0u16..2, -1.0e9f64..1.0e9, -1.0e3f64..1.0e3),
+            0..25,
+        ),
+        overflow in any::<bool>(),
+        count in prop::option::of(0u64..2_000_000_000),
+    ) {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["To<yo>ta", "A&B", "Q\"C\""]).unwrap())
+            .attribute(Attribute::boolean("used"))
+            .measure(Measure::new("price"))
+            .measure(Measure::new("score"))
+            .finish()
+            .unwrap();
+        let resp = QueryResponse {
+            rows: rows
+                .into_iter()
+                .map(|(key, make, used, price, score)| {
+                    Row::new(key, vec![make, used], vec![price, score])
+                })
+                .collect(),
+            overflow,
+            reported_count: count,
+        };
+        let html = render_results_page(&schema, &resp, 100);
+        let back = scrape_results_page(&schema, &html).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Form request paths round-trip arbitrary (valid) queries.
+    #[test]
+    fn request_path_roundtrip(make in prop::option::of(0u16..3), used in prop::option::of(0u16..2)) {
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Land Rover", "A&B", "100%"]).unwrap())
+            .attribute(Attribute::boolean("used"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let form = WebForm::new(Arc::clone(&schema), "/search");
+        let mut q = hdsampler_model::ConjunctiveQuery::empty();
+        if let Some(v) = make {
+            q = q.refine(hdsampler_model::AttrId(0), v).unwrap();
+        }
+        if let Some(v) = used {
+            q = q.refine(hdsampler_model::AttrId(1), v).unwrap();
+        }
+        let path = form.request_path(&q);
+        prop_assert_eq!(form.parse_request_path(&path).unwrap(), q);
+    }
+}
+
+#[test]
+fn extreme_measures_survive_the_page() {
+    // Denormals, infinities, negative zero: everything except NaN.
+    let schema = SchemaBuilder::new()
+        .attribute(Attribute::boolean("x"))
+        .measure(Measure::new("m"))
+        .finish()
+        .unwrap();
+    for value in [
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        -0.0,
+        f64::MAX,
+        f64::MIN,
+        1.0e-308,
+    ] {
+        let resp = QueryResponse {
+            rows: vec![Row::new(1, vec![0], vec![value])],
+            overflow: false,
+            reported_count: None,
+        };
+        let html = render_results_page(&schema, &resp, 10);
+        let back = scrape_results_page(&schema, &html).unwrap();
+        assert_eq!(back.rows[0].measures[0].to_bits(), value.to_bits(), "value {value}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Boolean hidden databases — the data model of the SIGMOD 2007 analysis
+//! that HIDDEN-DB-SAMPLER was designed on (paper §2, Figure 1).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hdsampler_model::{Attribute, Schema, SchemaBuilder, Tuple};
+
+/// Build the Boolean schema `a1..am` (no measures).
+pub fn boolean_schema(m: usize) -> Arc<Schema> {
+    let mut b = SchemaBuilder::new();
+    for i in 1..=m {
+        b = b.attribute(Attribute::boolean(format!("a{i}")));
+    }
+    b.finish().expect("generated names are unique").into_shared()
+}
+
+/// `n` tuples over `m` Boolean attributes, each bit set independently with
+/// probability `p`.
+///
+/// Duplicates are possible (and realistic); the drill-down walk's behaviour
+/// on duplicate-heavy data is measured by the data-shape experiment.
+pub fn boolean_iid(m: usize, n: usize, p: f64, seed: u64) -> (Arc<Schema>, Vec<Tuple>) {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let schema = boolean_schema(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..n)
+        .map(|_| {
+            let values = (0..m).map(|_| u16::from(rng.gen_bool(p))).collect();
+            Tuple::new_unchecked(values, vec![])
+        })
+        .collect();
+    (schema, tuples)
+}
+
+/// Cluster-correlated Boolean data: `clusters` random centres, each tuple
+/// copies a centre and flips every bit independently with probability
+/// `noise`.
+///
+/// Correlation concentrates tuples in a few subtrees of the query tree,
+/// which deepens walks and stresses the skew-reduction machinery — the
+/// regime where random attribute scrambling pays off.
+pub fn boolean_correlated(
+    m: usize,
+    n: usize,
+    clusters: usize,
+    noise: f64,
+    seed: u64,
+) -> (Arc<Schema>, Vec<Tuple>) {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!((0.0..=0.5).contains(&noise), "noise beyond 0.5 destroys correlation");
+    let schema = boolean_schema(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centres: Vec<Vec<bool>> =
+        (0..clusters).map(|_| (0..m).map(|_| rng.gen_bool(0.5)).collect()).collect();
+    let tuples = (0..n)
+        .map(|_| {
+            let centre = &centres[rng.gen_range(0..clusters)];
+            let values = centre
+                .iter()
+                .map(|&bit| u16::from(bit ^ rng.gen_bool(noise)))
+                .collect();
+            Tuple::new_unchecked(values, vec![])
+        })
+        .collect();
+    (schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_respects_shape_and_seed() {
+        let (schema, tuples) = boolean_iid(8, 100, 0.5, 1);
+        assert_eq!(schema.arity(), 8);
+        assert_eq!(tuples.len(), 100);
+        let (_, again) = boolean_iid(8, 100, 0.5, 1);
+        assert_eq!(tuples, again, "deterministic per seed");
+        let (_, other) = boolean_iid(8, 100, 0.5, 2);
+        assert_ne!(tuples, other, "seed changes data");
+    }
+
+    #[test]
+    fn iid_bit_frequency_tracks_p() {
+        let (_, tuples) = boolean_iid(4, 20_000, 0.3, 9);
+        let ones: usize =
+            tuples.iter().map(|t| t.values().iter().filter(|&&v| v == 1).count()).sum();
+        let freq = ones as f64 / (4.0 * 20_000.0);
+        assert!((freq - 0.3).abs() < 0.01, "one-bit frequency {freq}");
+    }
+
+    #[test]
+    fn extreme_p_degenerates() {
+        let (_, zeros) = boolean_iid(5, 50, 0.0, 3);
+        assert!(zeros.iter().all(|t| t.values().iter().all(|&v| v == 0)));
+        let (_, ones) = boolean_iid(5, 50, 1.0, 3);
+        assert!(ones.iter().all(|t| t.values().iter().all(|&v| v == 1)));
+    }
+
+    #[test]
+    fn correlated_tuples_cluster() {
+        // With zero noise every tuple equals one of the centres.
+        let (_, tuples) = boolean_correlated(10, 500, 4, 0.0, 5);
+        let distinct: std::collections::HashSet<_> =
+            tuples.iter().map(|t| t.values().to_vec()).collect();
+        assert!(distinct.len() <= 4, "{} distinct patterns", distinct.len());
+
+        // With noise, tuples stay near centres: mean Hamming distance to the
+        // closest of the 4 patterns above should be ≈ noise · m.
+        let (_, noisy) = boolean_correlated(10, 500, 4, 0.1, 5);
+        let mean_dist: f64 = noisy
+            .iter()
+            .map(|t| {
+                distinct
+                    .iter()
+                    .map(|c| {
+                        c.iter().zip(t.values()).filter(|(a, b)| a != b).count()
+                    })
+                    .min()
+                    .unwrap() as f64
+            })
+            .sum::<f64>()
+            / 500.0;
+        assert!(mean_dist < 2.0, "mean distance to centres {mean_dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_p_panics() {
+        let _ = boolean_iid(3, 10, 1.5, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hdsampler-workload
+//!
+//! Synthetic hidden databases for experiments and demos.
+//!
+//! The demo paper drives HDSampler with two data sources: the live Google
+//! Base Vehicles database and "a locally simulated hidden database" (§4).
+//! This crate provides the simulated sources:
+//!
+//! * [`vehicles`] — a Google-Base-Vehicles-like inventory with correlated
+//!   attributes (make → model → body style, year → mileage/price/condition,
+//!   …) and a freshness-based ranking score, in both a *full* (12-attribute)
+//!   and a *compact* (6-attribute) variant — the compact one keeps the
+//!   domain product small enough for BRUTE-FORCE-SAMPLER validation;
+//! * [`boolean`] — iid and cluster-correlated Boolean databases, the data
+//!   model of the underlying SIGMOD 2007 analysis;
+//! * [`categorical`] — independent categorical attributes with Zipfian
+//!   value skew;
+//! * [`zipf`] — the Zipf distribution used throughout;
+//! * [`paper`] — the literal 4-tuple database of the paper's Figure 1;
+//! * [`spec`] — serializable workload descriptions that build complete
+//!   [`HiddenDb`](hdsampler_hidden_db::HiddenDb) instances reproducibly
+//!   from a seed.
+
+pub mod boolean;
+pub mod categorical;
+pub mod paper;
+pub mod spec;
+pub mod vehicles;
+pub mod zipf;
+
+pub use boolean::{boolean_correlated, boolean_iid};
+pub use categorical::zipf_categorical;
+pub use paper::figure1_db;
+pub use spec::{DataSpec, DbConfig, WorkloadSpec};
+pub use vehicles::{vehicles_compact, vehicles_full, VehiclesSpec};
+pub use zipf::Zipf;

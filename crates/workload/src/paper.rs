@@ -1,0 +1,97 @@
+//! The literal example database of the paper's Figure 1.
+//!
+//! Four tuples over three Boolean attributes:
+//!
+//! ```text
+//!      a1  a2  a3
+//! t1    0   0   1
+//! t2    0   1   0
+//! t3    0   1   1
+//! t4    1   1   0
+//! ```
+//!
+//! With `k = 1`, the random drill-down of §2 reaches t4 at depth 1 (prob
+//! 1/2), t1 at depth 2 (prob 1/4), and t2/t3 at depth 3 (prob 1/8 each) —
+//! the exact numbers the Figure 1 experiment (`exp_fig1_query_tree`)
+//! verifies analytically and empirically.
+
+use std::sync::Arc;
+
+use hdsampler_model::{Schema, Tuple};
+use hdsampler_hidden_db::{HiddenDb, RankSpec};
+
+use crate::boolean::boolean_schema;
+
+/// The Figure 1 value matrix.
+pub const FIGURE1_TUPLES: [[u16; 3]; 4] = [[0, 0, 1], [0, 1, 0], [0, 1, 1], [1, 1, 0]];
+
+/// Analytic reach probabilities of the four tuples under the fixed-order
+/// `a1, a2, a3` random walk with `k = 1` (paper §2 walk-through).
+pub const FIGURE1_REACH_PROBS: [f64; 4] = [0.25, 0.125, 0.125, 0.5];
+
+/// The Figure 1 schema (`a1`, `a2`, `a3`, all Boolean).
+pub fn figure1_schema() -> Arc<Schema> {
+    boolean_schema(3)
+}
+
+/// Build the Figure 1 database behind a top-`k` interface.
+pub fn figure1_db(k: usize) -> HiddenDb {
+    let schema = figure1_schema();
+    let mut b = HiddenDb::builder(Arc::clone(&schema))
+        .result_limit(k)
+        .ranking(RankSpec::InsertionOrder);
+    for vals in FIGURE1_TUPLES {
+        b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{AttrId, ConjunctiveQuery, FormInterface};
+
+    #[test]
+    fn figure1_db_has_four_tuples() {
+        let db = figure1_db(1);
+        assert_eq!(db.n_tuples(), 4);
+        assert_eq!(db.result_limit(), 1);
+    }
+
+    #[test]
+    fn reach_probs_are_a_distribution_times_overall_success() {
+        // The walk succeeds with probability 1 on this database (every
+        // branch of a1 leads somewhere, but a1=1,a2=0 dead-ends);
+        // probabilities sum to 1 because the dead end contributes 0 and
+        // restarts are not counted here — the four listed probabilities are
+        // per-walk reach probabilities and sum to 1 exactly because the only
+        // dead end (a1=1 → a2=0) has probability 0 of *selection* but 1/4 of
+        // occurrence. Their sum being 1 reflects that failures restart.
+        let s: f64 = FIGURE1_REACH_PROBS.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_match_matrix() {
+        let db = figure1_db(1);
+        let o = db.oracle();
+        assert_eq!(o.marginal(AttrId(0)), vec![0.75, 0.25]);
+        assert_eq!(o.marginal(AttrId(1)), vec![0.25, 0.75]);
+        assert_eq!(o.marginal(AttrId(2)), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn paper_walkthrough_query_classes() {
+        let db = figure1_db(1);
+        let o = db.oracle();
+        // Paper §2: "SELECT * FROM D WHERE a1 = 0" overflows (3 tuples).
+        let q = ConjunctiveQuery::from_pairs([(AttrId(0), 0)]).unwrap();
+        assert_eq!(o.count(&q), 3);
+        // a1=1 isolates t4.
+        let q = ConjunctiveQuery::from_pairs([(AttrId(0), 1)]).unwrap();
+        assert_eq!(o.count(&q), 1);
+        // a1=1, a2=0 is the dead-end branch.
+        let q = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 0)]).unwrap();
+        assert_eq!(o.count(&q), 0);
+    }
+}

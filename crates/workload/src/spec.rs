@@ -1,0 +1,221 @@
+//! Serializable workload specifications.
+//!
+//! A [`WorkloadSpec`] fully determines a simulated hidden database — data
+//! generator, interface parameters, ranking, count reporting, budget — from
+//! a seed, so experiments are reproducible from a single JSON document.
+
+use serde::{Deserialize, Serialize};
+
+use hdsampler_hidden_db::{CountMode, HiddenDb, RankSpec};
+use hdsampler_model::MeasureId;
+
+use crate::vehicles::VehiclesSpec;
+
+/// Data-generator choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// iid Boolean bits (see [`boolean_iid`](crate::boolean::boolean_iid)).
+    BooleanIid {
+        /// Attribute count.
+        m: usize,
+        /// Tuple count.
+        n: usize,
+        /// P(bit = 1).
+        p: f64,
+    },
+    /// Cluster-correlated Boolean data
+    /// (see [`boolean_correlated`](crate::boolean::boolean_correlated)).
+    BooleanCorrelated {
+        /// Attribute count.
+        m: usize,
+        /// Tuple count.
+        n: usize,
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Per-bit flip probability.
+        noise: f64,
+    },
+    /// Independent Zipfian categorical attributes
+    /// (see [`zipf_categorical`](crate::categorical::zipf_categorical)).
+    ZipfCategorical {
+        /// Domain size per attribute.
+        domain_sizes: Vec<usize>,
+        /// Tuple count.
+        n: usize,
+        /// Zipf exponent.
+        theta: f64,
+    },
+    /// The Google-Base-like vehicle inventory.
+    Vehicles(VehiclesSpec),
+}
+
+/// Interface-side configuration of the simulated site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbConfig {
+    /// Top-k display limit.
+    pub k: usize,
+    /// Ranking function.
+    pub rank: RankSpec,
+    /// Count-banner behaviour.
+    pub count_mode: CountMode,
+    /// Per-session query cap, if metered.
+    pub budget: Option<u64>,
+    /// Listing-key scramble seed.
+    pub key_seed: u64,
+}
+
+impl Default for DbConfig {
+    /// Google-Base-like defaults: `k = 1000`, freshness ranking is set by
+    /// [`WorkloadSpec::build`] for vehicle data (hash order otherwise), a
+    /// noisy count banner, no metering.
+    fn default() -> Self {
+        DbConfig {
+            k: 1000,
+            rank: RankSpec::HashOrder { seed: 0x5EED },
+            count_mode: CountMode::Noisy { sigma: 0.15, seed: 0xBA5E },
+            budget: None,
+            key_seed: 0xC0FF_EE,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Same defaults but with an exact count banner.
+    pub fn exact_counts() -> Self {
+        DbConfig { count_mode: CountMode::Exact, ..Default::default() }
+    }
+
+    /// Same defaults but without any count banner.
+    pub fn no_counts() -> Self {
+        DbConfig { count_mode: CountMode::Absent, ..Default::default() }
+    }
+
+    /// Override the top-k limit.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Override the query budget.
+    pub fn with_budget(mut self, limit: u64) -> Self {
+        self.budget = Some(limit);
+        self
+    }
+}
+
+/// A complete simulated-site description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// What data the site holds.
+    pub data: DataSpec,
+    /// How the site serves it.
+    pub db: DbConfig,
+    /// Seed for data generation.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Vehicles site with the given size and interface config.
+    pub fn vehicles(spec: VehiclesSpec, db: DbConfig) -> Self {
+        WorkloadSpec { seed: spec.seed, data: DataSpec::Vehicles(spec), db }
+    }
+
+    /// Materialize the hidden database.
+    pub fn build(&self) -> HiddenDb {
+        let (schema, tuples) = match &self.data {
+            DataSpec::BooleanIid { m, n, p } => crate::boolean::boolean_iid(*m, *n, *p, self.seed),
+            DataSpec::BooleanCorrelated { m, n, clusters, noise } => {
+                crate::boolean::boolean_correlated(*m, *n, *clusters, *noise, self.seed)
+            }
+            DataSpec::ZipfCategorical { domain_sizes, n, theta } => {
+                crate::categorical::zipf_categorical(domain_sizes, *n, *theta, self.seed)
+            }
+            DataSpec::Vehicles(spec) => spec.generate(),
+        };
+        // Vehicle sites rank by freshness score unless the caller overrode
+        // the ranking; data without measures cannot rank by measure.
+        let rank = match (&self.data, &self.db.rank) {
+            (DataSpec::Vehicles(_), RankSpec::HashOrder { seed: 0x5EED }) => {
+                RankSpec::ByMeasureDesc(MeasureId(2))
+            }
+            (_, r) => r.clone(),
+        };
+        let mut b = HiddenDb::builder(schema)
+            .result_limit(self.db.k)
+            .ranking(rank)
+            .count_mode(self.db.count_mode)
+            .key_seed(self.db.key_seed)
+            .reserve(tuples.len());
+        if let Some(limit) = self.db.budget {
+            b = b.query_budget(limit);
+        }
+        b.extend(tuples.iter()).expect("generated tuples are schema-valid");
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsampler_model::{ConjunctiveQuery, FormInterface};
+
+    #[test]
+    fn boolean_spec_builds() {
+        let spec = WorkloadSpec {
+            data: DataSpec::BooleanIid { m: 6, n: 200, p: 0.5 },
+            db: DbConfig::no_counts().with_k(10),
+            seed: 5,
+        };
+        let db = spec.build();
+        assert_eq!(db.n_tuples(), 200);
+        assert_eq!(db.result_limit(), 10);
+        assert!(!db.supports_count());
+    }
+
+    #[test]
+    fn vehicles_spec_ranks_by_freshness() {
+        let spec =
+            WorkloadSpec::vehicles(VehiclesSpec::compact(500, 3), DbConfig::exact_counts());
+        let db = spec.build();
+        let resp = db.execute(&ConjunctiveQuery::empty()).unwrap();
+        assert!(!resp.overflow, "500 < k = 1000");
+        // First row must have the maximum score measure.
+        let max_score =
+            resp.rows.iter().map(|r| r.measures[2]).fold(f64::MIN, f64::max);
+        assert_eq!(resp.rows[0].measures[2], max_score);
+    }
+
+    #[test]
+    fn budget_flows_through() {
+        let spec = WorkloadSpec {
+            data: DataSpec::BooleanIid { m: 4, n: 50, p: 0.5 },
+            db: DbConfig::no_counts().with_budget(1),
+            seed: 1,
+        };
+        let db = spec.build();
+        assert!(db.execute(&ConjunctiveQuery::empty()).is_ok());
+        assert!(db.execute(&ConjunctiveQuery::empty()).is_err());
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec =
+            WorkloadSpec::vehicles(VehiclesSpec::full(1000, 9), DbConfig::default());
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn same_spec_same_database() {
+        let spec = WorkloadSpec {
+            data: DataSpec::ZipfCategorical { domain_sizes: vec![4, 4, 4], n: 100, theta: 1.0 },
+            db: DbConfig::exact_counts(),
+            seed: 77,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        let q = ConjunctiveQuery::empty();
+        assert_eq!(a.execute(&q).unwrap(), b.execute(&q).unwrap());
+    }
+}

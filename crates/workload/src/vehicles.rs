@@ -1,0 +1,627 @@
+//! The Google Base *Vehicles* scenario: a synthetic used-car inventory with
+//! realistic, correlated attributes.
+//!
+//! The demo customizes HDSampler to the Google Base Vehicles database —
+//! "a large online database formed and maintained by Google by integrating
+//! numerous vehicle-market data sources" (§3.1). We cannot query the
+//! long-gone live service, so this module generates an inventory with the
+//! same *statistical texture*:
+//!
+//! * heavy-tailed make shares with a ~38 % Japanese segment (the paper's §1
+//!   example aggregate is "the percentage of Japanese cars");
+//! * models conditioned on make, body style conditioned on model;
+//! * year-skewed inventory with price/mileage/condition all correlated
+//!   with age;
+//! * a *freshness + dealer-rating* ranking score, so the site's top-k page
+//!   is strongly biased toward new listings — exactly the bias that makes
+//!   naive top-k scraping useless for statistics and motivates HDSampler.
+
+use std::sync::Arc;
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hdsampler_model::{Attribute, Bucket, Measure, Schema, SchemaBuilder, Tuple};
+
+/// Vehicle makes with inventory shares. Japanese makes are grouped first so
+/// that [`is_japanese_make`] is a range check.
+pub const MAKES: [(&str, f64); 18] = [
+    ("Toyota", 0.14),
+    ("Honda", 0.11),
+    ("Nissan", 0.07),
+    ("Mazda", 0.03),
+    ("Subaru", 0.025),
+    ("Mitsubishi", 0.015),
+    ("Ford", 0.12),
+    ("Chevrolet", 0.12),
+    ("Dodge", 0.05),
+    ("Chrysler", 0.03),
+    ("Jeep", 0.035),
+    ("Cadillac", 0.02),
+    ("Volkswagen", 0.04),
+    ("BMW", 0.035),
+    ("Mercedes-Benz", 0.03),
+    ("Audi", 0.02),
+    ("Hyundai", 0.06),
+    ("Kia", 0.05),
+];
+
+/// Number of Japanese makes at the head of [`MAKES`].
+pub const N_JAPANESE_MAKES: usize = 6;
+
+/// Whether make index `m` denotes a Japanese manufacturer.
+#[inline]
+pub fn is_japanese_make(m: usize) -> bool {
+    m < N_JAPANESE_MAKES
+}
+
+/// Body styles (domain of the `body` attribute).
+pub const BODY_STYLES: [&str; 8] =
+    ["sedan", "coupe", "hatchback", "SUV", "truck", "minivan", "wagon", "convertible"];
+
+const SEDAN: usize = 0;
+const COUPE: usize = 1;
+const HATCH: usize = 2;
+const SUV: usize = 3;
+const TRUCK: usize = 4;
+const MINIVAN: usize = 5;
+const WAGON: usize = 6;
+const CONVERTIBLE: usize = 7;
+
+/// Five models per make: `(name, body style, base price in $1000)`.
+/// In-make popularity weights are [`MODEL_WEIGHTS`].
+pub const MODELS: [[(&str, usize, f64); 5]; 18] = [
+    [("Camry", SEDAN, 24.0), ("Corolla", SEDAN, 17.0), ("RAV4", SUV, 23.0), ("Tacoma", TRUCK, 22.0), ("Prius", HATCH, 23.5)],
+    [("Accord", SEDAN, 23.0), ("Civic", SEDAN, 17.5), ("CR-V", SUV, 22.5), ("Odyssey", MINIVAN, 27.0), ("Pilot", SUV, 29.0)],
+    [("Altima", SEDAN, 21.5), ("Sentra", SEDAN, 16.0), ("Maxima", SEDAN, 28.5), ("Pathfinder", SUV, 27.5), ("Frontier", TRUCK, 19.5)],
+    [("Mazda3", SEDAN, 17.0), ("Mazda6", SEDAN, 20.5), ("CX-7", SUV, 24.5), ("MX-5", CONVERTIBLE, 23.0), ("Tribute", SUV, 20.0)],
+    [("Outback", WAGON, 23.0), ("Forester", SUV, 21.5), ("Impreza", SEDAN, 17.5), ("Legacy", SEDAN, 20.5), ("Tribeca", SUV, 30.5)],
+    [("Lancer", SEDAN, 15.5), ("Outlander", SUV, 21.0), ("Eclipse", COUPE, 20.0), ("Galant", SEDAN, 19.5), ("Endeavor", SUV, 26.0)],
+    [("F-150", TRUCK, 24.0), ("Focus", SEDAN, 15.0), ("Escape", SUV, 20.5), ("Explorer", SUV, 26.5), ("Mustang", COUPE, 21.0)],
+    [("Silverado", TRUCK, 23.5), ("Impala", SEDAN, 22.0), ("Malibu", SEDAN, 19.0), ("Tahoe", SUV, 34.5), ("Cobalt", COUPE, 14.5)],
+    [("Ram", TRUCK, 22.5), ("Charger", SEDAN, 23.0), ("Grand Caravan", MINIVAN, 22.0), ("Durango", SUV, 27.0), ("Avenger", SEDAN, 18.5)],
+    [("300", SEDAN, 26.0), ("Town & Country", MINIVAN, 25.0), ("Sebring", SEDAN, 19.0), ("PT Cruiser", WAGON, 15.5), ("Pacifica", WAGON, 25.5)],
+    [("Grand Cherokee", SUV, 28.5), ("Wrangler", SUV, 20.5), ("Liberty", SUV, 21.0), ("Compass", SUV, 17.0), ("Patriot", SUV, 16.5)],
+    [("Escalade", SUV, 57.0), ("CTS", SEDAN, 33.0), ("DTS", SEDAN, 42.0), ("SRX", SUV, 37.0), ("STS", SEDAN, 46.0)],
+    [("Jetta", SEDAN, 17.5), ("Passat", SEDAN, 24.0), ("Golf", HATCH, 16.5), ("New Beetle", HATCH, 18.0), ("Touareg", SUV, 39.5)],
+    [("3 Series", SEDAN, 33.0), ("5 Series", SEDAN, 45.0), ("X5", SUV, 47.0), ("X3", SUV, 38.5), ("7 Series", SEDAN, 72.0)],
+    [("C-Class", SEDAN, 32.0), ("E-Class", SEDAN, 51.0), ("M-Class", SUV, 44.5), ("S-Class", SEDAN, 86.0), ("GL-Class", SUV, 55.0)],
+    [("A4", SEDAN, 30.5), ("A6", SEDAN, 42.0), ("Q7", SUV, 43.0), ("A3", HATCH, 26.0), ("TT", COUPE, 35.0)],
+    [("Sonata", SEDAN, 18.5), ("Elantra", SEDAN, 14.5), ("Santa Fe", SUV, 21.5), ("Accent", HATCH, 11.0), ("Tucson", SUV, 18.0)],
+    [("Optima", SEDAN, 17.0), ("Spectra", SEDAN, 13.5), ("Sorento", SUV, 22.0), ("Sportage", SUV, 17.5), ("Rio", SEDAN, 11.5)],
+];
+
+/// In-make model popularity.
+pub const MODEL_WEIGHTS: [f64; 5] = [0.35, 0.25, 0.18, 0.12, 0.10];
+
+/// Model years covered by the inventory (2009 is "this year" — the paper's
+/// publication year).
+pub const YEARS: std::ops::RangeInclusive<u16> = 1995..=2009;
+
+/// Exterior colours with shares.
+pub const COLORS: [(&str, f64); 12] = [
+    ("Silver", 0.18),
+    ("Black", 0.16),
+    ("White", 0.15),
+    ("Gray", 0.12),
+    ("Blue", 0.10),
+    ("Red", 0.09),
+    ("Green", 0.05),
+    ("Gold", 0.04),
+    ("Beige", 0.03),
+    ("Brown", 0.03),
+    ("Orange", 0.025),
+    ("Yellow", 0.025),
+];
+
+/// Sale conditions.
+pub const CONDITIONS: [&str; 3] = ["new", "used", "certified"];
+
+/// Transmission kinds.
+pub const TRANSMISSIONS: [&str; 2] = ["automatic", "manual"];
+
+/// Fuel kinds.
+pub const FUELS: [&str; 4] = ["gasoline", "diesel", "hybrid", "electric"];
+
+/// Door counts exposed by the form.
+pub const DOORS: [&str; 3] = ["2", "4", "5"];
+
+/// US census regions (coarse location attribute).
+pub const REGIONS: [(&str, f64); 9] = [
+    ("New England", 0.05),
+    ("Mid-Atlantic", 0.13),
+    ("East North Central", 0.15),
+    ("West North Central", 0.07),
+    ("South Atlantic", 0.19),
+    ("East South Central", 0.06),
+    ("West South Central", 0.12),
+    ("Mountain", 0.07),
+    ("Pacific", 0.16),
+];
+
+/// Price buckets as the search form exposes them.
+fn price_buckets() -> Vec<Bucket> {
+    let edges: [(f64, f64, &str); 10] = [
+        (0.0, 2_500.0, "under $2.5k"),
+        (2_500.0, 5_000.0, "$2.5k–$5k"),
+        (5_000.0, 8_000.0, "$5k–$8k"),
+        (8_000.0, 12_000.0, "$8k–$12k"),
+        (12_000.0, 16_000.0, "$12k–$16k"),
+        (16_000.0, 20_000.0, "$16k–$20k"),
+        (20_000.0, 25_000.0, "$20k–$25k"),
+        (25_000.0, 32_000.0, "$25k–$32k"),
+        (32_000.0, 45_000.0, "$32k–$45k"),
+        (45_000.0, f64::INFINITY, "over $45k"),
+    ];
+    edges.iter().map(|&(lo, hi, l)| Bucket::new(lo, hi, l)).collect()
+}
+
+/// Mileage buckets as the search form exposes them.
+fn mileage_buckets() -> Vec<Bucket> {
+    let edges: [(f64, f64, &str); 7] = [
+        (0.0, 1_000.0, "under 1k mi"),
+        (1_000.0, 15_000.0, "1k–15k mi"),
+        (15_000.0, 40_000.0, "15k–40k mi"),
+        (40_000.0, 70_000.0, "40k–70k mi"),
+        (70_000.0, 100_000.0, "70k–100k mi"),
+        (100_000.0, 140_000.0, "100k–140k mi"),
+        (140_000.0, f64::INFINITY, "over 140k mi"),
+    ];
+    edges.iter().map(|&(lo, hi, l)| Bucket::new(lo, hi, l)).collect()
+}
+
+/// Which attributes the generated form exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VehiclesVariant {
+    /// All 12 attributes — the realistic Google Base configuration
+    /// (domain product ≈ 1.3 · 10¹¹; brute-force sampling is hopeless).
+    Full,
+    /// Six attributes (make, year, price, condition, transmission, body) —
+    /// small enough (product = 77 760) for brute-force validation, the
+    /// paper's §3.4 methodology.
+    Compact,
+}
+
+/// Parameters of the synthetic inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehiclesSpec {
+    /// Number of listings.
+    pub n: usize,
+    /// RNG seed (same seed ⇒ identical inventory).
+    pub seed: u64,
+    /// Attribute subset.
+    pub variant: VehiclesVariant,
+}
+
+impl VehiclesSpec {
+    /// Full-schema inventory of `n` listings.
+    pub fn full(n: usize, seed: u64) -> Self {
+        VehiclesSpec { n, seed, variant: VehiclesVariant::Full }
+    }
+
+    /// Compact-schema inventory of `n` listings.
+    pub fn compact(n: usize, seed: u64) -> Self {
+        VehiclesSpec { n, seed, variant: VehiclesVariant::Compact }
+    }
+
+    /// Generate the schema and tuples.
+    pub fn generate(&self) -> (Arc<Schema>, Vec<Tuple>) {
+        match self.variant {
+            VehiclesVariant::Full => vehicles_full(self.n, self.seed),
+            VehiclesVariant::Compact => vehicles_compact(self.n, self.seed),
+        }
+    }
+}
+
+/// One fully-specified listing before projection onto a schema.
+struct Listing {
+    make: usize,
+    model_global: usize,
+    year_ix: usize,
+    price: f64,
+    mileage: f64,
+    color: usize,
+    condition: usize,
+    transmission: usize,
+    fuel: usize,
+    body: usize,
+    doors_ix: usize,
+    region: usize,
+    score: f64,
+}
+
+fn sample_listing(
+    rng: &mut StdRng,
+    make_dist: &WeightedIndex<f64>,
+    model_dist: &WeightedIndex<f64>,
+    color_dist: &WeightedIndex<f64>,
+    region_dist: &WeightedIndex<f64>,
+    year_dist: &WeightedIndex<f64>,
+) -> Listing {
+    let make = make_dist.sample(rng);
+    let model_local = model_dist.sample(rng);
+    let model_global = make * 5 + model_local;
+    let (model_name, body, base_price_k) = MODELS[make][model_local];
+
+    let year_ix = year_dist.sample(rng);
+    let year = *YEARS.start() + year_ix as u16;
+    let age = (*YEARS.end() - year) as f64;
+
+    // Condition correlates with age.
+    let condition = if age == 0.0 {
+        let r: f64 = rng.gen();
+        if r < 0.85 { 0 } else if r < 0.95 { 2 } else { 1 }
+    } else if age <= 3.0 {
+        let r: f64 = rng.gen();
+        if r < 0.03 { 0 } else if r < 0.30 { 2 } else { 1 }
+    } else {
+        let r: f64 = rng.gen();
+        if r < 0.08 { 2 } else { 1 }
+    };
+
+    // Price: base price depreciated by age with log-normal dispersion;
+    // certified listings command a small premium.
+    let depreciation = 0.865f64.powf(age);
+    let noise = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5) * 0.16;
+    let premium = if condition == 2 { 1.06 } else { 1.0 };
+    let price = (base_price_k * 1000.0 * depreciation * premium * (1.0 + noise)).max(500.0);
+
+    // Mileage grows ~12k/year with dispersion; new cars have delivery miles.
+    let mileage = if condition == 0 {
+        rng.gen_range(5.0..250.0)
+    } else {
+        let per_year = rng.gen_range(8_000.0..16_000.0);
+        (age.max(0.3) * per_year * rng.gen_range(0.75..1.25)).max(30.0)
+    };
+
+    // Fuel: Prius is always hybrid; other recent Toyota/Honda occasionally;
+    // German sedans/SUVs and trucks see some diesel; electric is exotic.
+    let fuel = if model_name == "Prius" {
+        2
+    } else {
+        let r: f64 = rng.gen();
+        if make <= 1 && age <= 4.0 && r < 0.05 {
+            2
+        } else if (12..=15).contains(&make) && r < 0.10 {
+            1
+        } else if body == TRUCK && r < 0.15 {
+            1
+        } else if age <= 1.0 && r < 0.002 {
+            3
+        } else {
+            0
+        }
+    };
+
+    // Manual transmissions skew toward coupes/hatches and older cars.
+    let manual_p: f64 = match body {
+        COUPE | CONVERTIBLE => 0.35,
+        HATCH => 0.25,
+        TRUCK => 0.12,
+        _ => 0.06,
+    } * if age > 8.0 { 1.5 } else { 1.0 };
+    let transmission = usize::from(rng.gen_bool(manual_p.min(0.9)));
+
+    let doors_ix = match body {
+        COUPE | CONVERTIBLE => 0,
+        TRUCK => {
+            if rng.gen_bool(0.55) { 0 } else { 1 }
+        }
+        SEDAN => 1,
+        SUV | WAGON => {
+            if rng.gen_bool(0.6) { 1 } else { 2 }
+        }
+        _ => 2,
+    };
+
+    // Ranking score: freshness dominates, dealer rating breaks ties. The
+    // site sorts by score descending, so its first page is nearly all new
+    // listings — useless as a random sample.
+    let score = (year as f64 - 1990.0) * 10.0 + rng.gen_range(0.0..10.0);
+
+    Listing {
+        make,
+        model_global,
+        year_ix,
+        price,
+        mileage,
+        color: color_dist.sample(rng),
+        condition,
+        transmission,
+        fuel,
+        body,
+        doors_ix,
+        region: region_dist.sample(rng),
+        score,
+    }
+}
+
+fn listings(n: usize, seed: u64) -> Vec<Listing> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make_dist = WeightedIndex::new(MAKES.iter().map(|&(_, w)| w)).expect("valid weights");
+    let model_dist = WeightedIndex::new(MODEL_WEIGHTS).expect("valid weights");
+    let color_dist = WeightedIndex::new(COLORS.iter().map(|&(_, w)| w)).expect("valid weights");
+    let region_dist =
+        WeightedIndex::new(REGIONS.iter().map(|&(_, w)| w)).expect("valid weights");
+    // Inventory age profile: lots of 2–6 year old cars, a new-car spike,
+    // a long tail of old listings.
+    let year_weights: Vec<f64> = YEARS
+        .map(|y| {
+            let age = (*YEARS.end() - y) as f64;
+            if age == 0.0 {
+                0.12
+            } else {
+                (-((age - 4.0) * (age - 4.0)) / 22.0).exp() * 0.115 + 0.012
+            }
+        })
+        .collect();
+    let year_dist = WeightedIndex::new(&year_weights).expect("valid weights");
+
+    (0..n)
+        .map(|_| sample_listing(&mut rng, &make_dist, &model_dist, &color_dist, &region_dist, &year_dist))
+        .collect()
+}
+
+/// Build the full 12-attribute vehicles schema.
+pub fn vehicles_full_schema() -> Arc<Schema> {
+    let year_labels: Vec<String> = YEARS.map(|y| y.to_string()).collect();
+    let model_labels: Vec<String> = MODELS
+        .iter()
+        .enumerate()
+        .flat_map(|(mk, models)| {
+            models.iter().map(move |(name, _, _)| format!("{} {}", MAKES[mk].0, name))
+        })
+        .collect();
+    SchemaBuilder::new()
+        .attribute(Attribute::categorical("make", MAKES.iter().map(|&(n, _)| n)).unwrap())
+        .attribute(Attribute::categorical("model", model_labels).unwrap())
+        .attribute(Attribute::categorical("year", year_labels).unwrap())
+        .attribute(Attribute::numeric("price", price_buckets()).unwrap())
+        .attribute(Attribute::numeric("mileage", mileage_buckets()).unwrap())
+        .attribute(Attribute::categorical("color", COLORS.iter().map(|&(n, _)| n)).unwrap())
+        .attribute(Attribute::categorical("condition", CONDITIONS).unwrap())
+        .attribute(Attribute::categorical("transmission", TRANSMISSIONS).unwrap())
+        .attribute(Attribute::categorical("fuel", FUELS).unwrap())
+        .attribute(Attribute::categorical("body", BODY_STYLES).unwrap())
+        .attribute(Attribute::categorical("doors", DOORS).unwrap())
+        .attribute(Attribute::categorical("region", REGIONS.iter().map(|&(n, _)| n)).unwrap())
+        .measure(Measure::new("price_usd"))
+        .measure(Measure::new("mileage_mi"))
+        .measure(Measure::new("score"))
+        .finish()
+        .expect("static schema is valid")
+        .into_shared()
+}
+
+/// Build the compact 6-attribute vehicles schema (for brute-force
+/// validation).
+pub fn vehicles_compact_schema() -> Arc<Schema> {
+    let year_labels: Vec<String> = YEARS.map(|y| y.to_string()).collect();
+    let compact_prices: Vec<Bucket> = [
+        (0.0, 5_000.0, "under $5k"),
+        (5_000.0, 10_000.0, "$5k–$10k"),
+        (10_000.0, 16_000.0, "$10k–$16k"),
+        (16_000.0, 24_000.0, "$16k–$24k"),
+        (24_000.0, 36_000.0, "$24k–$36k"),
+        (36_000.0, f64::INFINITY, "over $36k"),
+    ]
+    .iter()
+    .map(|&(lo, hi, l)| Bucket::new(lo, hi, l))
+    .collect();
+    SchemaBuilder::new()
+        .attribute(Attribute::categorical("make", MAKES.iter().map(|&(n, _)| n)).unwrap())
+        .attribute(Attribute::categorical("year", year_labels).unwrap())
+        .attribute(Attribute::numeric("price", compact_prices).unwrap())
+        .attribute(Attribute::categorical("condition", CONDITIONS).unwrap())
+        .attribute(Attribute::categorical("transmission", TRANSMISSIONS).unwrap())
+        .attribute(Attribute::categorical("body", BODY_STYLES).unwrap())
+        .measure(Measure::new("price_usd"))
+        .measure(Measure::new("mileage_mi"))
+        .measure(Measure::new("score"))
+        .finish()
+        .expect("static schema is valid")
+        .into_shared()
+}
+
+/// Generate `n` listings projected onto the full schema.
+pub fn vehicles_full(n: usize, seed: u64) -> (Arc<Schema>, Vec<Tuple>) {
+    let schema = vehicles_full_schema();
+    let price_attr = schema.attr_by_name("price").unwrap();
+    let mileage_attr = schema.attr_by_name("mileage").unwrap();
+    let tuples = listings(n, seed)
+        .into_iter()
+        .map(|l| {
+            let values = vec![
+                l.make as u16,
+                l.model_global as u16,
+                l.year_ix as u16,
+                schema.attr_unchecked(price_attr).bucket_of(l.price).expect("in range"),
+                schema.attr_unchecked(mileage_attr).bucket_of(l.mileage).expect("in range"),
+                l.color as u16,
+                l.condition as u16,
+                l.transmission as u16,
+                l.fuel as u16,
+                l.body as u16,
+                l.doors_ix as u16,
+                l.region as u16,
+            ];
+            Tuple::new_unchecked(values, vec![l.price, l.mileage, l.score])
+        })
+        .collect();
+    (schema, tuples)
+}
+
+/// Generate `n` listings projected onto the compact schema.
+pub fn vehicles_compact(n: usize, seed: u64) -> (Arc<Schema>, Vec<Tuple>) {
+    let schema = vehicles_compact_schema();
+    let price_attr = schema.attr_by_name("price").unwrap();
+    let tuples = listings(n, seed)
+        .into_iter()
+        .map(|l| {
+            let values = vec![
+                l.make as u16,
+                l.year_ix as u16,
+                schema.attr_unchecked(price_attr).bucket_of(l.price).expect("in range"),
+                l.condition as u16,
+                l.transmission as u16,
+                l.body as u16,
+            ];
+            Tuple::new_unchecked(values, vec![l.price, l.mileage, l.score])
+        })
+        .collect();
+    (schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_shares_sum_to_one() {
+        let total: f64 = MAKES.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9, "make shares sum to {total}");
+        let colors: f64 = COLORS.iter().map(|&(_, w)| w).sum();
+        assert!((colors - 1.0).abs() < 1e-9);
+        let regions: f64 = REGIONS.iter().map(|&(_, w)| w).sum();
+        assert!((regions - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_generation_is_valid_and_deterministic() {
+        let (schema, tuples) = vehicles_full(2_000, 42);
+        assert_eq!(schema.arity(), 12);
+        assert_eq!(tuples.len(), 2_000);
+        for t in &tuples {
+            for (id, attr) in schema.iter() {
+                assert!((t.values()[id.index()] as usize) < attr.domain_size());
+            }
+        }
+        let (_, again) = vehicles_full(2_000, 42);
+        assert_eq!(tuples, again);
+    }
+
+    #[test]
+    fn japanese_share_is_near_nominal() {
+        let (_, tuples) = vehicles_full(50_000, 7);
+        let nominal: f64 = MAKES[..N_JAPANESE_MAKES].iter().map(|&(_, w)| w).sum();
+        let actual = tuples
+            .iter()
+            .filter(|t| is_japanese_make(t.values()[0] as usize))
+            .count() as f64
+            / 50_000.0;
+        assert!(
+            (actual - nominal).abs() < 0.01,
+            "Japanese share {actual} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn model_is_consistent_with_make() {
+        let (_, tuples) = vehicles_full(5_000, 3);
+        for t in &tuples {
+            let make = t.values()[0] as usize;
+            let model = t.values()[1] as usize;
+            assert_eq!(model / 5, make, "model {model} belongs to make {make}");
+        }
+    }
+
+    #[test]
+    fn price_bucket_matches_measure() {
+        let (schema, tuples) = vehicles_full(3_000, 9);
+        let price_attr = schema.attr_by_name("price").unwrap();
+        for t in &tuples {
+            let bucket = schema.attr_unchecked(price_attr).bucket_of(t.measures()[0]).unwrap();
+            assert_eq!(t.values()[price_attr.index()], bucket);
+        }
+    }
+
+    #[test]
+    fn mileage_correlates_with_age() {
+        let (schema, tuples) = vehicles_full(20_000, 5);
+        let year_attr = schema.attr_by_name("year").unwrap();
+        let mut old = (0.0, 0u32);
+        let mut newish = (0.0, 0u32);
+        for t in &tuples {
+            let year_ix = t.values()[year_attr.index()];
+            let mileage = t.measures()[1];
+            if year_ix <= 4 {
+                old = (old.0 + mileage, old.1 + 1);
+            } else if year_ix >= 13 {
+                newish = (newish.0 + mileage, newish.1 + 1);
+            }
+        }
+        let old_avg = old.0 / old.1 as f64;
+        let new_avg = newish.0 / newish.1 as f64;
+        assert!(
+            old_avg > 3.0 * new_avg,
+            "old cars should have much higher mileage: {old_avg} vs {new_avg}"
+        );
+    }
+
+    #[test]
+    fn new_cars_rank_ahead_by_score() {
+        let (schema, tuples) = vehicles_full(10_000, 11);
+        let year_attr = schema.attr_by_name("year").unwrap();
+        let mut scored: Vec<(f64, u16)> = tuples
+            .iter()
+            .map(|t| (t.measures()[2], t.values()[year_attr.index()]))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let top_years: f64 =
+            scored[..100].iter().map(|&(_, y)| y as f64).sum::<f64>() / 100.0;
+        let all_years: f64 =
+            scored.iter().map(|&(_, y)| y as f64).sum::<f64>() / scored.len() as f64;
+        assert!(
+            top_years > all_years + 2.0,
+            "top-ranked listings skew recent: top {top_years}, all {all_years}"
+        );
+    }
+
+    #[test]
+    fn compact_domain_product_is_brute_forceable() {
+        let schema = vehicles_compact_schema();
+        assert!(schema.domain_product() < 100_000.0, "B = {}", schema.domain_product());
+        let (schema, tuples) = vehicles_compact(1_000, 1);
+        assert_eq!(schema.arity(), 6);
+        for t in &tuples {
+            assert_eq!(t.measures().len(), 3);
+        }
+    }
+
+    #[test]
+    fn full_domain_product_is_hopeless_for_brute_force() {
+        let schema = vehicles_full_schema();
+        assert!(schema.domain_product() > 1e10, "B = {}", schema.domain_product());
+    }
+
+    #[test]
+    fn prius_is_always_hybrid() {
+        let (schema, tuples) = vehicles_full(20_000, 13);
+        let model_attr = schema.attr_by_name("model").unwrap();
+        let fuel_attr = schema.attr_by_name("fuel").unwrap();
+        let prius_ix = schema
+            .attr_unchecked(model_attr)
+            .parse_label("Toyota Prius")
+            .expect("Prius exists");
+        let mut n_prius = 0;
+        for t in &tuples {
+            if t.values()[model_attr.index()] == prius_ix {
+                n_prius += 1;
+                assert_eq!(t.values()[fuel_attr.index()], 2, "Prius must be hybrid");
+            }
+        }
+        assert!(n_prius > 50, "expected a reasonable Prius population, got {n_prius}");
+    }
+
+    #[test]
+    fn spec_builds_both_variants() {
+        let (s1, t1) = VehiclesSpec::full(100, 2).generate();
+        assert_eq!(s1.arity(), 12);
+        assert_eq!(t1.len(), 100);
+        let (s2, t2) = VehiclesSpec::compact(100, 2).generate();
+        assert_eq!(s2.arity(), 6);
+        assert_eq!(t2.len(), 100);
+    }
+}

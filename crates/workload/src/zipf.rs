@@ -1,0 +1,111 @@
+//! Zipf distribution over ranks `0..n`.
+//!
+//! Value skew in real hidden databases (popular makes, popular colours) is
+//! heavy-tailed; the Zipf family parameterizes that skew with a single
+//! exponent θ (θ = 0 is uniform, θ = 1 classic Zipf).
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `0..n` using inverse-CDF sampling on the
+/// precomputed cumulative weights (exact, O(log n) per draw).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` items with exponent `theta ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(theta >= 0.0, "negative Zipf exponent");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over zero items (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Exact probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+}
+
+impl Distribution<usize> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen::<f64>() * total;
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..50 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-15, "monotone non-increasing");
+        }
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let z = Zipf::new(6, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0u64; 6];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..6 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(i)).abs() < 0.005,
+                "rank {i}: empirical {emp} vs pmf {}",
+                z.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

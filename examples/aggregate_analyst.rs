@@ -1,0 +1,91 @@
+//! An analyst's workflow (paper §1, §3.4): approximate aggregates with
+//! confidence intervals from a few hundred samples.
+//!
+//! ```bash
+//! cargo run --release --example aggregate_analyst
+//! ```
+//!
+//! Demonstrates COUNT / SUM / AVG / proportion answering over client-side
+//! predicates the conjunctive interface itself could never express,
+//! database-size estimation by capture–recapture, and a small data cube —
+//! every validation number comes from the simulation's oracle.
+
+use hdsampler::prelude::*;
+use hdsampler::workload::vehicles::is_japanese_make;
+
+fn main() {
+    let db = hdsampler::simulated_site(4_000, 100, 11);
+    let schema = db.schema().clone();
+    let oracle = db.oracle();
+
+    let mut sampler = hdsampler::uniform_sampler(&db, 23);
+    let samples =
+        SamplingSession::new(800).run(&mut sampler, |_| {}).samples;
+    println!("{} uniform samples drawn\n", samples.len());
+    let est = Estimator::new(&samples);
+
+    // --- Proportion: Japanese share (paper's own example) -------------
+    let japanese = est.proportion(|r| is_japanese_make(r.values[0] as usize));
+    let make = schema.attr_by_name("make").unwrap();
+    let truth: f64 = oracle.marginal(make)[..6].iter().sum();
+    println!(
+        "share of Japanese cars      {:6.2}% ± {:4.2}%   (truth {:6.2}%, covered: {})",
+        japanese.value * 100.0,
+        japanese.half_width * 100.0,
+        truth * 100.0,
+        japanese.covers(truth)
+    );
+
+    // --- AVG over a client-side predicate ------------------------------
+    let price = schema.measure_by_name("price_usd").unwrap();
+    let manual = schema.attr_by_name("transmission").unwrap();
+    let avg_manual = est.avg(price, |r| r.values[manual.index()] == 1);
+    let truth_avg = oracle
+        .avg(&ConjunctiveQuery::from_named(&schema, [("transmission", "manual")]).unwrap(), price)
+        .expect("manual cars exist");
+    println!(
+        "AVG price of manual cars    ${:8.0} ± {:5.0}   (truth ${:8.0}, covered: {})",
+        avg_manual.value,
+        avg_manual.half_width,
+        truth_avg,
+        avg_manual.covers(truth_avg)
+    );
+
+    // --- Database size via capture–recapture ---------------------------
+    let n_est = capture_recapture(samples.len(), samples.distinct());
+    match n_est {
+        Some(n) => println!(
+            "estimated database size     {:8.0}            (truth {:8})",
+            n,
+            oracle.size()
+        ),
+        None => println!(
+            "estimated database size     no collisions yet — N ≳ {}",
+            samples.len() * samples.len() / 2
+        ),
+    }
+
+    // --- COUNT/SUM using the size estimate -----------------------------
+    let n_for_scaling = n_est.unwrap_or(oracle.size() as f64);
+    let cheap = est.count(n_for_scaling, |r| r.measures[0] < 8_000.0);
+    let truth_cheap = (0..oracle.size() as u32)
+        .filter(|&t| oracle.row(TupleId(t)).measures[0] < 8_000.0)
+        .count();
+    println!(
+        "COUNT(price < $8k)          {:8.0} ± {:5.0}   (truth {:8})",
+        cheap.value, cheap.half_width, truth_cheap
+    );
+
+    let total_value = est.sum(n_for_scaling, price, |_| true);
+    let truth_sum = oracle.sum(&ConjunctiveQuery::empty(), price);
+    println!(
+        "SUM(price) over inventory   ${:11.0} ± {:9.0}  (truth ${:11.0})",
+        total_value.value, total_value.half_width, truth_sum
+    );
+
+    // --- A small data cube ---------------------------------------------
+    let cond = schema.attr_by_name("condition").unwrap();
+    let trans = schema.attr_by_name("transmission").unwrap();
+    let cube = DataCube::from_rows(&schema, cond, trans, samples.rows());
+    println!("\ncondition × transmission (joint % of inventory):\n{}", cube.render());
+}

@@ -1,0 +1,114 @@
+//! The history cache must be *semantically invisible*: a sampler with the
+//! cache produces the byte-identical sample stream of an uncached sampler
+//! with the same seed, while charging strictly fewer interface queries.
+
+use hdsampler::prelude::*;
+use std::sync::Arc;
+
+fn build_db(seed: u64) -> Arc<HiddenDb> {
+    Arc::new(
+        WorkloadSpec::vehicles(VehiclesSpec::compact(6_000, seed), DbConfig::no_counts().with_k(200))
+            .build(),
+    )
+}
+
+#[test]
+fn cached_and_uncached_sample_streams_are_identical() {
+    let n_samples = 300;
+
+    let db_plain = build_db(77);
+    let mut plain =
+        HdsSampler::new(DirectExecutor::new(Arc::clone(&db_plain)), SamplerConfig::seeded(3))
+            .unwrap();
+    let plain_keys: Vec<u64> =
+        (0..n_samples).map(|_| plain.next_sample().unwrap().row.key).collect();
+
+    let db_cached = build_db(77);
+    let mut cached =
+        HdsSampler::new(CachingExecutor::new(Arc::clone(&db_cached)), SamplerConfig::seeded(3))
+            .unwrap();
+    let cached_keys: Vec<u64> =
+        (0..n_samples).map(|_| cached.next_sample().unwrap().row.key).collect();
+
+    assert_eq!(plain_keys, cached_keys, "inference must not change any decision");
+    let (p, c) = (plain.stats(), cached.stats());
+    assert_eq!(p.walks, c.walks);
+    assert_eq!(p.requests, c.requests, "same logical request sequence");
+    assert!(
+        c.queries_issued < p.queries_issued / 2,
+        "cache must absorb most charges: {} vs {}",
+        c.queries_issued,
+        p.queries_issued
+    );
+}
+
+#[test]
+fn cache_equivalence_under_scrambled_orders_and_slider() {
+    // Scrambled orders maximize cross-walk containment inference; the
+    // stream must still be identical.
+    for slider in [0.0, 0.5, 1.0] {
+        let cfg = || {
+            SamplerConfig::seeded(11)
+                .with_order(OrderStrategy::ScramblePerWalk)
+                .with_slider(slider)
+        };
+        let db_a = build_db(5);
+        let mut a = HdsSampler::new(DirectExecutor::new(Arc::clone(&db_a)), cfg()).unwrap();
+        let db_b = build_db(5);
+        let mut b = HdsSampler::new(CachingExecutor::new(Arc::clone(&db_b)), cfg()).unwrap();
+        for i in 0..150 {
+            let ka = a.next_sample().unwrap().row.key;
+            let kb = b.next_sample().unwrap().row.key;
+            assert_eq!(ka, kb, "divergence at sample {i} (slider {slider})");
+        }
+    }
+}
+
+#[test]
+fn cache_equivalence_for_count_sampler() {
+    let spec = WorkloadSpec {
+        data: DataSpec::BooleanIid { m: 10, n: 400, p: 0.5 },
+        db: DbConfig::exact_counts().with_k(8),
+        seed: 9,
+    };
+    let db_a = Arc::new(spec.build());
+    let db_b = Arc::new(spec.build());
+    let mut a =
+        CountWalkSampler::new(DirectExecutor::new(Arc::clone(&db_a)), SamplerConfig::seeded(2))
+            .unwrap();
+    let mut b =
+        CountWalkSampler::new(CachingExecutor::new(Arc::clone(&db_b)), SamplerConfig::seeded(2))
+            .unwrap();
+    for _ in 0..200 {
+        assert_eq!(a.next_sample().unwrap().row.key, b.next_sample().unwrap().row.key);
+    }
+    assert!(
+        b.stats().queries_issued < a.stats().queries_issued,
+        "cache must save count probes: {} vs {}",
+        b.stats().queries_issued,
+        a.stats().queries_issued
+    );
+}
+
+#[test]
+fn eviction_preserves_correctness_not_performance() {
+    // A pathologically small cache evicts constantly; samples must still
+    // match the uncached stream.
+    let db_a = build_db(31);
+    let mut a =
+        HdsSampler::new(DirectExecutor::new(Arc::clone(&db_a)), SamplerConfig::seeded(6))
+            .unwrap();
+    let db_b = build_db(31);
+    let mut b = HdsSampler::new(
+        CachingExecutor::with_capacity(Arc::clone(&db_b), 8),
+        SamplerConfig::seeded(6),
+    )
+    .unwrap();
+    for _ in 0..100 {
+        assert_eq!(a.next_sample().unwrap().row.key, b.next_sample().unwrap().row.key);
+    }
+    assert!(
+        b.executor().history_stats().evictions > 0,
+        "tiny capacity must have forced evictions"
+    );
+}

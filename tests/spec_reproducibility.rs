@@ -1,0 +1,72 @@
+//! Reproducibility: serialized workload specs rebuild identical sites, and
+//! seeded samplers replay identical sessions — the property every
+//! experiment in `EXPERIMENTS.md` relies on.
+
+use hdsampler::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn workload_spec_json_roundtrip_rebuilds_identical_site() {
+    let spec = WorkloadSpec::vehicles(
+        VehiclesSpec::full(3_000, 123),
+        DbConfig::exact_counts().with_k(500),
+    );
+    let json = serde_json::to_string_pretty(&spec).unwrap();
+    let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+
+    let a = spec.build();
+    let b = back.build();
+    let schema = a.schema().clone();
+    // Identical responses on a battery of probes.
+    for probe in [
+        ConjunctiveQuery::empty(),
+        ConjunctiveQuery::from_named(&schema, [("make", "Toyota")]).unwrap(),
+        ConjunctiveQuery::from_named(&schema, [("make", "Honda"), ("condition", "used")]).unwrap(),
+        ConjunctiveQuery::from_named(&schema, [("year", "1997"), ("fuel", "diesel")]).unwrap(),
+    ] {
+        assert_eq!(a.execute(&probe).unwrap(), b.execute(&probe).unwrap());
+        assert_eq!(a.count(&probe).unwrap(), b.count(&probe).unwrap());
+    }
+}
+
+#[test]
+fn sampler_config_json_roundtrip() {
+    let cfg = SamplerConfig::seeded(9)
+        .with_slider(0.3)
+        .with_order(OrderStrategy::Fixed)
+        .with_drill_attrs(["make", "year"]);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SamplerConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn seeded_sessions_replay_exactly() {
+    let db = Arc::new(
+        WorkloadSpec::vehicles(VehiclesSpec::compact(3_000, 5), DbConfig::no_counts().with_k(100))
+            .build(),
+    );
+    let run = || {
+        let mut s =
+            HdsSampler::new(CachingExecutor::new(Arc::clone(&db)), SamplerConfig::seeded(42))
+                .unwrap();
+        (0..100).map(|_| s.next_sample().unwrap().row.key).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "same seed, same site ⇒ same sample stream");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let db = Arc::new(
+        WorkloadSpec::vehicles(VehiclesSpec::compact(3_000, 5), DbConfig::no_counts().with_k(100))
+            .build(),
+    );
+    let run = |seed| {
+        let mut s =
+            HdsSampler::new(CachingExecutor::new(Arc::clone(&db)), SamplerConfig::seeded(seed))
+                .unwrap();
+        (0..50).map(|_| s.next_sample().unwrap().row.key).collect::<Vec<_>>()
+    };
+    assert_ne!(run(1), run(2));
+}
