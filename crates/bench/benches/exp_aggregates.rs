@@ -87,7 +87,10 @@ fn main() {
 
     let first = share_errors_by_n[0];
     let last = *share_errors_by_n.last().unwrap();
-    assert!(last < first, "error must shrink with samples: {share_errors_by_n:?}");
+    assert!(
+        last < first,
+        "error must shrink with samples: {share_errors_by_n:?}"
+    );
     assert!(last < 0.03, "800 samples give percentage-level accuracy");
     println!("  PASS: error decays with samples; a few hundred samples ⇒ ±1–2pp accuracy");
 }

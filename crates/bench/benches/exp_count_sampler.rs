@@ -14,9 +14,7 @@
 //!   ignored Google's banners.
 
 use hdsampler_bench::{collect, f, section, table, tuple_frequencies};
-use hdsampler_core::{
-    CountWalkSampler, DirectExecutor, HdsSampler, SamplerConfig,
-};
+use hdsampler_core::{CountWalkSampler, DirectExecutor, HdsSampler, SamplerConfig};
 use hdsampler_estimator::{skew_coefficient, tv_distance, Histogram};
 use hdsampler_hidden_db::CountMode;
 use hdsampler_model::FormInterface;
@@ -33,7 +31,10 @@ fn main() {
     let build = |mode: CountMode| {
         WorkloadSpec::vehicles(
             spec,
-            DbConfig { count_mode: mode, ..DbConfig::no_counts().with_k(k) },
+            DbConfig {
+                count_mode: mode,
+                ..DbConfig::no_counts().with_k(k)
+            },
         )
         .build()
     };
@@ -47,8 +48,20 @@ fn main() {
     // --- count-weighted walk on exact and noisy banners ----------------
     for (label, mode) in [
         ("COUNT exact", CountMode::Exact),
-        ("COUNT noisy σ=0.15", CountMode::Noisy { sigma: 0.15, seed: 9 }),
-        ("COUNT noisy σ=0.50", CountMode::Noisy { sigma: 0.50, seed: 9 }),
+        (
+            "COUNT noisy σ=0.15",
+            CountMode::Noisy {
+                sigma: 0.15,
+                seed: 9,
+            },
+        ),
+        (
+            "COUNT noisy σ=0.50",
+            CountMode::Noisy {
+                sigma: 0.50,
+                seed: 9,
+            },
+        ),
     ] {
         let db = build(mode);
         let schema = db.schema().clone();
@@ -112,7 +125,14 @@ fn main() {
     }
 
     table(
-        &["sampler", "queries/sample", "rejections", "TV(make)", "TV weighted", "skew coeff"],
+        &[
+            "sampler",
+            "queries/sample",
+            "rejections",
+            "TV(make)",
+            "TV weighted",
+            "skew coeff",
+        ],
         &rows,
     );
     println!(
@@ -121,7 +141,10 @@ fn main() {
         japanese_weighted_noisy * 100.0
     );
 
-    assert!(exact_cost < hds_cost, "exact counts beat rejection sampling");
+    assert!(
+        exact_cost < hds_cost,
+        "exact counts beat rejection sampling"
+    );
     println!(
         "  PASS: exact counts are cheapest & uniform; noisy counts bias the walk \
          (importance weights mitigate); ignoring noisy banners (HDS) is sound"

@@ -34,8 +34,7 @@ fn main() {
         }
         .build();
         let truth = db.oracle().marginal(AttrId(0));
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
         let (set, stats) = collect(&mut s, samples);
         let hist = Histogram::from_rows(db.schema(), AttrId(0), set.rows());
         rows.push(vec![
@@ -62,8 +61,7 @@ fn main() {
         }
         .build();
         let truth = db.oracle().marginal(AttrId(0));
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
         let (set, stats) = collect(&mut s, samples);
         let hist = Histogram::from_rows(db.schema(), AttrId(0), set.rows());
         rows.push(vec![
@@ -92,8 +90,7 @@ fn main() {
         .build();
         let make = db.schema().attr_by_name("make").unwrap();
         let truth: f64 = db.oracle().marginal(make)[..N_JAPANESE_MAKES].iter().sum();
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
         let (set, stats) = collect(&mut s, 600);
         let hist = Histogram::from_rows(db.schema(), make, set.rows());
         let est: f64 = hist.proportions()[..N_JAPANESE_MAKES].iter().sum();
@@ -106,7 +103,10 @@ fn main() {
             f(stats.queries_per_sample(), 2),
         ]);
     }
-    table(&["N", "N/B", "Japanese-share bias", "queries/sample"], &rows);
+    table(
+        &["N", "N/B", "Japanese-share bias", "queries/sample"],
+        &rows,
+    );
 
     assert!(
         biases[0].abs() < 0.05,

@@ -63,7 +63,10 @@ fn main() {
     let mut uni_counts = [0u32; 4];
     for _ in 0..n {
         let s = uniform.next_sample().unwrap();
-        let ix = FIGURE1_TUPLES.iter().position(|t| t[..] == *s.row.values).unwrap();
+        let ix = FIGURE1_TUPLES
+            .iter()
+            .position(|t| t[..] == *s.row.values)
+            .unwrap();
         uni_counts[ix] += 1;
     }
 
@@ -79,7 +82,13 @@ fn main() {
         })
         .collect();
     table(
-        &["tuple", "analytic reach", "measured walk", "uniform target", "measured C=1"],
+        &[
+            "tuple",
+            "analytic reach",
+            "measured walk",
+            "uniform target",
+            "measured C=1",
+        ],
         &rows,
     );
 

@@ -70,7 +70,10 @@ fn main() {
             ]
         })
         .collect();
-    table(&["make", "truth", "HDSampler", "brute force", "first page"], &rows);
+    table(
+        &["make", "truth", "HDSampler", "brute force", "first page"],
+        &rows,
+    );
 
     section("distance to truth and query cost");
     let metric_rows = vec![
@@ -93,7 +96,10 @@ fn main() {
             "1".into(),
         ],
     ];
-    table(&["method", "TV(make)", "queries/sample", "total queries"], &metric_rows);
+    table(
+        &["method", "TV(make)", "queries/sample", "total queries"],
+        &metric_rows,
+    );
     println!(
         "\n  ranking bias (site sorts by freshness): TV(year) first page = {} vs HDSampler = {}",
         f(tv_distance(&page_year.proportions(), &truth_year), 4),
@@ -105,8 +111,12 @@ fn main() {
     for name in ["year", "price", "body"] {
         let attr = schema.attr_by_name(name).unwrap();
         let hist = Histogram::from_rows(&schema, attr, hds_samples.rows());
-        let cmp =
-            MarginalComparison::new(&schema, attr, hist.proportions(), db.oracle().marginal(attr));
+        let cmp = MarginalComparison::new(
+            &schema,
+            attr,
+            hist.proportions(),
+            db.oracle().marginal(attr),
+        );
         println!("\n{}", cmp.render(0.04));
     }
 
@@ -116,7 +126,10 @@ fn main() {
     let tv_page_year = tv_distance(&page_year.proportions(), &truth_year);
     let tv_hds_year = tv_distance(&hds_year.proportions(), &truth_year);
     assert!(tv_hds < 0.15, "HDSampler tracks truth (TV = {tv_hds})");
-    assert!(tv_brute < 0.15, "brute force tracks truth (TV = {tv_brute})");
+    assert!(
+        tv_brute < 0.15,
+        "brute force tracks truth (TV = {tv_brute})"
+    );
     assert!(
         tv_page_year > 4.0 * tv_hds_year,
         "naive scraping is far worse where the ranking bites: page {tv_page_year} vs hds {tv_hds_year}"

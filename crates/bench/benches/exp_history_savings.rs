@@ -16,9 +16,7 @@ use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
 
 fn run(variant: &str, spec: VehiclesSpec, k: usize, samples: usize) {
     section(&format!("EXP-T3: history savings on {variant}"));
-    let make_db = || {
-        WorkloadSpec::vehicles(spec, DbConfig::no_counts().with_k(k)).build()
-    };
+    let make_db = || WorkloadSpec::vehicles(spec, DbConfig::no_counts().with_k(k)).build();
 
     // Without cache.
     let db_direct = make_db();
@@ -34,11 +32,20 @@ fn run(variant: &str, spec: VehiclesSpec, k: usize, samples: usize) {
     let hist = cached.executor().history_stats();
 
     // Exactness: the cache must not change the sample stream.
-    assert_eq!(set_plain.keys(), set_cached.keys(), "inference must be invisible");
+    assert_eq!(
+        set_plain.keys(),
+        set_cached.keys(),
+        "inference must be invisible"
+    );
 
     let saved = stats_cached.queries_saved();
     table(
-        &["configuration", "requests", "charged queries", "queries/sample"],
+        &[
+            "configuration",
+            "requests",
+            "charged queries",
+            "queries/sample",
+        ],
         &[
             vec![
                 "no cache".into(),
@@ -64,8 +71,14 @@ fn run(variant: &str, spec: VehiclesSpec, k: usize, samples: usize) {
         &[
             vec!["1: exact memo".into(), hist.memo_hits.to_string()],
             vec!["2: empty-subset".into(), hist.empty_rule_hits.to_string()],
-            vec!["3: overflow-superset".into(), hist.overflow_rule_hits.to_string()],
-            vec!["4: valid-ancestor filter".into(), hist.filter_rule_hits.to_string()],
+            vec![
+                "3: overflow-superset".into(),
+                hist.overflow_rule_hits.to_string(),
+            ],
+            vec![
+                "4: valid-ancestor filter".into(),
+                hist.filter_rule_hits.to_string(),
+            ],
             vec!["(charged misses)".into(), hist.misses.to_string()],
         ],
     );
@@ -78,6 +91,16 @@ fn run(variant: &str, spec: VehiclesSpec, k: usize, samples: usize) {
 }
 
 fn main() {
-    run("compact vehicles (N=8k, k=250)", VehiclesSpec::compact(8_000, 5), 250, 400);
-    run("full vehicles (N=20k, k=1000)", VehiclesSpec::full(20_000, 5), 1000, 200);
+    run(
+        "compact vehicles (N=8k, k=250)",
+        VehiclesSpec::compact(8_000, 5),
+        250,
+        400,
+    );
+    run(
+        "full vehicles (N=20k, k=1000)",
+        VehiclesSpec::full(20_000, 5),
+        1000,
+        200,
+    );
 }

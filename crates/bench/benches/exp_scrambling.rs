@@ -21,7 +21,12 @@ fn main() {
     section("EXP-T7: fixed vs scrambled attribute order (ref [1] ablation)");
     let n = 3_000;
     let db = WorkloadSpec {
-        data: DataSpec::BooleanCorrelated { m: 14, n, clusters: 6, noise: 0.08 },
+        data: DataSpec::BooleanCorrelated {
+            m: 14,
+            n,
+            clusters: 6,
+            noise: 0.08,
+        },
         db: DbConfig::no_counts().with_k(20),
         seed: 17,
     }
@@ -40,7 +45,9 @@ fn main() {
         for slider in [0.0, 1.0] {
             let mut sampler = HdsSampler::new(
                 DirectExecutor::new(&db),
-                SamplerConfig::seeded(7).with_order(strategy).with_slider(slider),
+                SamplerConfig::seeded(7)
+                    .with_order(strategy)
+                    .with_slider(slider),
             )
             .unwrap();
             let (set, stats) = collect(&mut sampler, samples);

@@ -60,7 +60,7 @@ fn main() {
             let sample = sampler.next_sample().expect("site healthy");
             hist.add(&sample.row, 1.0);
             collected += 1;
-            if collected % 25 == 0 {
+            if collected.is_multiple_of(25) {
                 let tv = tv_distance(&hist.proportions(), &truth);
                 if tv < tv_target {
                     reached_at = Some((collected, tv));
@@ -69,8 +69,11 @@ fn main() {
             }
         }
         let stats = sampler.stats();
-        let virtual_ms =
-            sampler.executor().interface().transport().virtual_elapsed_ms();
+        let virtual_ms = sampler
+            .executor()
+            .interface()
+            .transport()
+            .virtual_elapsed_ms();
         let minutes = virtual_ms as f64 / 60_000.0;
         minutes_by_slider.push(minutes);
         let (n, tv) = reached_at.unwrap_or((collected, f64::NAN));
@@ -83,7 +86,13 @@ fn main() {
         ]);
     }
     table(
-        &["slider", "samples to TV<0.08", "page fetches", "final TV", "virtual minutes @150ms"],
+        &[
+            "slider",
+            "samples to TV<0.08",
+            "page fetches",
+            "final TV",
+            "virtual minutes @150ms",
+        ],
         &rows,
     );
 

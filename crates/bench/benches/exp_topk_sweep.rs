@@ -41,7 +41,11 @@ fn main() {
         let hist = Histogram::from_rows(&schema, year, set.rows());
         let tv = tv_distance(&hist.proportions(), &truth);
         let dead_rate = stats.dead_ends as f64 / stats.walks as f64;
-        let mean_depth: f64 = set.samples().iter().map(|s| s.meta.depth as f64).sum::<f64>()
+        let mean_depth: f64 = set
+            .samples()
+            .iter()
+            .map(|s| s.meta.depth as f64)
+            .sum::<f64>()
             / set.len() as f64;
         costs.push(stats.queries_per_sample());
         rows.push(vec![
@@ -54,7 +58,14 @@ fn main() {
         ]);
     }
     table(
-        &["k", "real-world example", "queries/sample", "mean depth", "dead-end rate", "TV(year)"],
+        &[
+            "k",
+            "real-world example",
+            "queries/sample",
+            "mean depth",
+            "dead-end rate",
+            "TV(year)",
+        ],
         &rows,
     );
 

@@ -47,7 +47,15 @@ fn sweep(name: &str, db: &HiddenDb, attr: AttrId, samples: usize) {
         ]);
     }
     table(
-        &["slider", "C", "walks/sample", "queries/sample", "accept rate", "TV", "skew coeff"],
+        &[
+            "slider",
+            "C",
+            "walks/sample",
+            "queries/sample",
+            "accept rate",
+            "TV",
+            "skew coeff",
+        ],
         &rows,
     );
 
@@ -72,7 +80,11 @@ fn main() {
     sweep("compact vehicles (N=8k, k=250)", &vehicles, year, 400);
 
     let boolean = WorkloadSpec {
-        data: DataSpec::BooleanIid { m: 14, n: 3_000, p: 0.5 },
+        data: DataSpec::BooleanIid {
+            m: 14,
+            n: 3_000,
+            p: 0.5,
+        },
         db: DbConfig::no_counts().with_k(20),
         seed: 3,
     }

@@ -1,6 +1,10 @@
 //! Criterion micro-benchmarks for the substrate (§3.5 "Implementation
-//! Platform" analogue): query-engine throughput, drill-down walk cost, and
-//! history-cache lookup cost.
+//! Platform" analogue): query-engine classification throughput at three
+//! depths of the drill-down tree, the zero-materialization fast path
+//! against the full-materialization baseline, history-cache lookup cost,
+//! and parallel-walker contention on the sharded history cache.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
@@ -8,34 +12,86 @@ use rand::{Rng, SeedableRng};
 
 use hdsampler_core::{
     CachingExecutor, DirectExecutor, HdsSampler, QueryExecutor, Sampler, SamplerConfig,
+    SamplingSession,
 };
+use hdsampler_hidden_db::HiddenDb;
 use hdsampler_model::{AttrId, ConjunctiveQuery, FormInterface};
 use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
 
-fn engine_query(c: &mut Criterion) {
-    let db = WorkloadSpec::vehicles(
-        VehiclesSpec::full(100_000, 1),
-        DbConfig::no_counts().with_k(1000),
-    )
-    .build();
+/// Find a query with the requested predicate count whose cardinality
+/// satisfies `accept`, scanning attribute values in a deterministic order.
+fn find_query(db: &HiddenDb, attrs: &[AttrId], accept: impl Fn(u64) -> bool) -> ConjunctiveQuery {
+    let schema = db.schema();
+    let mut best: Option<(u64, ConjunctiveQuery)> = None;
+    let mut stack: Vec<Vec<(AttrId, u16)>> = vec![vec![]];
+    for &a in attrs {
+        let dom = schema.domain_size(a) as u16;
+        let mut next = Vec::new();
+        for partial in &stack {
+            for v in 0..dom {
+                let mut p = partial.clone();
+                p.push((a, v));
+                next.push(p);
+            }
+        }
+        stack = next;
+    }
+    for pairs in stack {
+        let q = ConjunctiveQuery::from_pairs(pairs).expect("distinct attrs");
+        let count = db.oracle().count(&q);
+        if accept(count) && best.as_ref().is_none_or(|(c, _)| count > *c) {
+            best = Some((count, q));
+        }
+    }
+    best.expect("workload contains a query of the requested shape")
+        .1
+}
+
+/// The tentpole acceptance benchmark: classification probes at n = 500k,
+/// k = 1000, fast path vs. the full-materialization baseline.
+fn engine_classification(c: &mut Criterion) {
+    let n = 500_000;
+    let k = 1000;
+    let db =
+        WorkloadSpec::vehicles(VehiclesSpec::full(n, 1), DbConfig::no_counts().with_k(k)).build();
     let schema = db.schema().clone();
     let make = schema.attr_by_name("make").unwrap();
     let year = schema.attr_by_name("year").unwrap();
     let body = schema.attr_by_name("body").unwrap();
+    let k64 = k as u64;
+
+    // The root of the query tree itself: the empty query, overflowing by
+    // the whole table.
+    let root = ConjunctiveQuery::empty();
+    // One broad predicate: still root-region, overflowing massively.
+    let broad = find_query(&db, &[make], |c| c > 50 * k64);
+    // Mid-tree: two predicates, still overflowing but much narrower.
+    let mid = find_query(&db, &[make, year], |c| c > k64 && c <= 20 * k64);
+    // Leaf: three predicates, valid (non-empty, fits the page).
+    let leaf = find_query(&db, &[make, year, body], |c| c > 0 && c <= k64);
+    assert!(db.execute(&root).unwrap().overflow);
+    assert!(db.execute(&broad).unwrap().overflow);
+    assert!(db.execute(&mid).unwrap().overflow);
+    assert!(!db.execute(&leaf).unwrap().overflow);
 
     let mut group = c.benchmark_group("engine");
-    group.bench_function("selective_conjunction_3pred", |b| {
-        let q = ConjunctiveQuery::from_pairs([(make, 0), (year, 10), (body, 0)]).unwrap();
-        b.iter(|| db.execute(&q).unwrap().returned())
-    });
-    group.bench_function("broad_overflow_1pred", |b| {
-        let q = ConjunctiveQuery::from_pairs([(make, 0)]).unwrap();
-        b.iter(|| db.execute(&q).unwrap().returned())
-    });
-    group.bench_function("count_probe", |b| {
+    for (name, query) in [
+        ("root_overflow", &root),
+        ("broad_1pred_overflow", &broad),
+        ("mid_tree_overflow", &mid),
+        ("leaf_valid", &leaf),
+    ] {
+        group.bench_function(&format!("{name}/fast"), |b| {
+            b.iter(|| db.execute(query).unwrap().classification())
+        });
+        group.bench_function(&format!("{name}/full_materialization"), |b| {
+            b.iter(|| db.execute_unbounded(query).unwrap().classification())
+        });
+    }
+    group.bench_function("count_probe_exact_mode", |b| {
         let db_counts = WorkloadSpec::vehicles(
             VehiclesSpec::full(100_000, 1),
-            DbConfig::exact_counts().with_k(1000),
+            DbConfig::exact_counts().with_k(k),
         )
         .build();
         let q = ConjunctiveQuery::from_pairs([(make, 0), (year, 10)]).unwrap();
@@ -60,8 +116,7 @@ fn sampler_walks(c: &mut Criterion) {
         )
     });
     group.bench_function("hds_sample_cached_warm", |b| {
-        let mut s =
-            HdsSampler::new(CachingExecutor::new(&db), SamplerConfig::seeded(3)).unwrap();
+        let mut s = HdsSampler::new(CachingExecutor::new(&db), SamplerConfig::seeded(3)).unwrap();
         // Warm the cache.
         for _ in 0..200 {
             s.next_sample().unwrap();
@@ -98,9 +153,48 @@ fn cache_lookup(c: &mut Criterion) {
     });
 }
 
+/// Parallel-walker contention: 8 walkers drawing from one shared,
+/// pre-warmed cache — sharded (default 16) vs. the single-lock baseline
+/// (`shards = 1`). Warming happens once, outside the measured region, so
+/// every iteration measures the steady-state regime a long sampling run
+/// lives in: a high inference-hit rate with a trickle of new entries,
+/// where a single global lock makes every hit serialize on one lock word.
+fn parallel_contention(c: &mut Criterion) {
+    const WORKERS: usize = 8;
+    const TARGET: usize = 600;
+    let db = WorkloadSpec::vehicles(
+        VehiclesSpec::compact(20_000, 2),
+        DbConfig::no_counts().with_k(250),
+    )
+    .build();
+
+    let mut group = c.benchmark_group("parallel_walkers");
+    group.sample_size(10);
+    for (name, shards) in [("sharded_x16", 16usize), ("single_lock_baseline", 1)] {
+        let exec = Arc::new(CachingExecutor::with_shards(&db, 250_000, shards));
+        {
+            let mut s = HdsSampler::new(Arc::clone(&exec), SamplerConfig::seeded(11)).unwrap();
+            for _ in 0..1_000 {
+                s.next_sample().unwrap();
+            }
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let session = SamplingSession::new(TARGET);
+                let out = session.run_parallel(WORKERS, |w| {
+                    HdsSampler::new(Arc::clone(&exec), SamplerConfig::seeded(1000 + w as u64))
+                        .expect("valid config")
+                });
+                assert_eq!(out.samples.len(), TARGET);
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = engine_query, sampler_walks, cache_lookup
+    targets = engine_classification, sampler_walks, cache_lookup, parallel_contention
 );
 criterion_main!(benches);

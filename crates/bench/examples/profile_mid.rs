@@ -1,0 +1,86 @@
+//! Decomposed timing of a mid-tree overflow probe (n = 500k, k = 1000):
+//! stream vs. stream+tournament vs. materialize+select vs. row
+//! materialization, ending with the two whole-engine paths. Run with
+//! `cargo run --release -p hdsampler-bench --example profile_mid` when
+//! hunting for where an `execute` microsecond actually goes.
+
+use std::time::Instant;
+
+use hdsampler_hidden_db::index::PostingIndex;
+use hdsampler_hidden_db::ranking::{RankSpec, Ranking};
+use hdsampler_hidden_db::table::TableBuilder;
+use hdsampler_hidden_db::topk::{top_k, top_k_streamed};
+use hdsampler_model::{ConjunctiveQuery, FormInterface, MeasureId};
+use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
+
+fn main() {
+    let n = 500_000;
+    let k = 1000;
+    let db =
+        WorkloadSpec::vehicles(VehiclesSpec::full(n, 1), DbConfig::no_counts().with_k(k)).build();
+    let schema = db.schema().clone();
+    let make = schema.attr_by_name("make").unwrap();
+    let year = schema.attr_by_name("year").unwrap();
+    let mut best = None;
+    for mv in 0..schema.domain_size(make) as u16 {
+        for yv in 0..schema.domain_size(year) as u16 {
+            let q = ConjunctiveQuery::from_pairs([(make, mv), (year, yv)]).unwrap();
+            let c = db.oracle().count(&q);
+            if c > k as u64 && c <= 20 * k as u64 && best.as_ref().is_none_or(|(bc, _)| c > *bc) {
+                best = Some((c, q));
+            }
+        }
+    }
+    let (count, mid) = best.unwrap();
+    println!("mid count = {count}");
+
+    // Parallel table with identical contents (key seed differs but layout same).
+    let mut tb = TableBuilder::new(schema.clone().into(), 1);
+    for t in 0..db.n_tuples() {
+        let row = db.oracle().row(hdsampler_model::TupleId(t as u32));
+        tb.push(&hdsampler_model::Tuple::new_unchecked(
+            row.values.to_vec(),
+            row.measures.to_vec(),
+        ))
+        .unwrap();
+    }
+    let table = tb.finish();
+    let index = PostingIndex::build(&table);
+    let ranking = Ranking::build(&RankSpec::ByMeasureDesc(MeasureId(0)), &table);
+
+    let time = |label: &str, f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        for _ in 0..200 {
+            f();
+        }
+        println!("{label}: {:?}/iter", t0.elapsed() / 200);
+    };
+
+    time("stream only", &mut || {
+        std::hint::black_box(index.intersection(&mid).count());
+    });
+    time("stream + heap (top_k_streamed)", &mut || {
+        std::hint::black_box(top_k_streamed(index.intersection(&mid), &ranking, k));
+    });
+    time("evaluate (collect)", &mut || {
+        std::hint::black_box(index.evaluate(&mid));
+    });
+    time("evaluate + top_k (materialized)", &mut || {
+        let m = index.evaluate(&mid);
+        std::hint::black_box(top_k(&m, &ranking, k));
+    });
+    time("rows x1000 via table.row", &mut || {
+        let ids: Vec<_> = index.intersection(&mid).take(k).collect();
+        let rows: Vec<_> = ids
+            .iter()
+            .map(|&t| table.row(hdsampler_model::TupleId(t)))
+            .collect();
+        std::hint::black_box(rows);
+    });
+    time("execute fast", &mut || {
+        std::hint::black_box(db.execute(&mid).unwrap().returned());
+    });
+    time("execute full", &mut || {
+        std::hint::black_box(db.execute_unbounded(&mid).unwrap().returned());
+    });
+}

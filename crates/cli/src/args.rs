@@ -136,23 +136,30 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             "--n" => common.n = value("--n")?.parse().map_err(|_| "--n: not a number")?,
             "--k" => common.k = value("--k")?.parse().map_err(|_| "--k: not a number")?,
             "--seed" => {
-                common.seed = value("--seed")?.parse().map_err(|_| "--seed: not a number")?
+                common.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: not a number")?
             }
             "--samples" => {
-                common.samples =
-                    value("--samples")?.parse().map_err(|_| "--samples: not a number")?
+                common.samples = value("--samples")?
+                    .parse()
+                    .map_err(|_| "--samples: not a number")?
             }
             "--slider" => {
-                common.slider =
-                    value("--slider")?.parse().map_err(|_| "--slider: not a number")?;
+                common.slider = value("--slider")?
+                    .parse()
+                    .map_err(|_| "--slider: not a number")?;
                 if !(0.0..=1.0).contains(&common.slider) {
                     return Err("--slider must lie in [0, 1]".into());
                 }
             }
             "--bind" => common.binds.push(split_kv(value("--bind")?, "--bind")?),
             "--budget" => {
-                common.budget =
-                    Some(value("--budget")?.parse().map_err(|_| "--budget: not a number")?)
+                common.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| "--budget: not a number")?,
+                )
             }
             "--counts" => {
                 let v = value("--counts")?.clone();
@@ -162,9 +169,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 common.counts = v;
             }
             "--histogram" => histograms.push(value("--histogram")?.clone()),
-            "--proportion" => {
-                proportions.push(split_kv(value("--proportion")?, "--proportion")?)
-            }
+            "--proportion" => proportions.push(split_kv(value("--proportion")?, "--proportion")?),
             "--avg" => avgs.push(value("--avg")?.clone()),
             "--attr" => validate_attr = Some(value("--attr")?.clone()),
             other => return Err(format!("unknown option `{other}`")),
@@ -175,7 +180,9 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         "describe" => Command::Describe,
         "sample" => Command::Sample { histograms },
         "aggregate" => Command::Aggregate { proportions, avgs },
-        "validate" => Command::Validate { attr: validate_attr },
+        "validate" => Command::Validate {
+            attr: validate_attr,
+        },
         other => return Err(format!("unknown command `{other}`")),
     };
     Ok(Cli { command, common })
@@ -226,7 +233,9 @@ mod tests {
         assert_eq!(cli.common.budget, Some(5000));
         assert_eq!(
             cli.command,
-            Command::Sample { histograms: vec!["make".into(), "year".into()] }
+            Command::Sample {
+                histograms: vec!["make".into(), "year".into()]
+            }
         );
     }
 
@@ -249,7 +258,10 @@ mod tests {
         .unwrap();
         match cli.command {
             Command::Aggregate { proportions, avgs } => {
-                assert_eq!(proportions, vec![("make".to_string(), "Toyota".to_string())]);
+                assert_eq!(
+                    proportions,
+                    vec![("make".to_string(), "Toyota".to_string())]
+                );
                 assert_eq!(avgs, vec!["price_usd".to_string()]);
             }
             other => panic!("wrong command {other:?}"),

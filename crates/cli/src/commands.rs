@@ -4,8 +4,7 @@ use std::io::Write as _;
 use std::sync::Arc;
 
 use hdsampler_core::{
-    CachingExecutor, HdsSampler, SampleSet, SamplerConfig, SamplingSession,
-    SessionEvent,
+    CachingExecutor, HdsSampler, SampleSet, SamplerConfig, SamplingSession, SessionEvent,
 };
 use hdsampler_estimator::{Estimator, Histogram, MarginalComparison};
 use hdsampler_hidden_db::{CountMode, HiddenDb};
@@ -20,28 +19,42 @@ use crate::display;
 fn build_site(common: &Common) -> Result<Arc<HiddenDb>, String> {
     let count_mode = match common.counts.as_str() {
         "exact" => CountMode::Exact,
-        "noisy" => CountMode::Noisy { sigma: 0.15, seed: common.seed },
+        "noisy" => CountMode::Noisy {
+            sigma: 0.15,
+            seed: common.seed,
+        },
         _ => CountMode::Absent,
     };
-    let mut db_cfg = DbConfig { count_mode, ..DbConfig::no_counts().with_k(common.k) };
+    let mut db_cfg = DbConfig {
+        count_mode,
+        ..DbConfig::no_counts().with_k(common.k)
+    };
     if let Some(b) = common.budget {
         db_cfg = db_cfg.with_budget(b);
     }
     let data = match common.source.as_str() {
         "vehicles-full" => DataSpec::Vehicles(VehiclesSpec::full(common.n, common.seed)),
         "vehicles-compact" => DataSpec::Vehicles(VehiclesSpec::compact(common.n, common.seed)),
-        "boolean" => DataSpec::BooleanIid { m: 14, n: common.n, p: 0.5 },
+        "boolean" => DataSpec::BooleanIid {
+            m: 14,
+            n: common.n,
+            p: 0.5,
+        },
         other => return Err(format!("unknown source `{other}`")),
     };
-    Ok(Arc::new(WorkloadSpec { data, db: db_cfg, seed: common.seed }.build()))
+    Ok(Arc::new(
+        WorkloadSpec {
+            data,
+            db: db_cfg,
+            seed: common.seed,
+        }
+        .build(),
+    ))
 }
 
 fn scope_query(schema: &Schema, binds: &[(String, String)]) -> Result<ConjunctiveQuery, String> {
-    ConjunctiveQuery::from_named(
-        schema,
-        binds.iter().map(|(a, b)| (a.as_str(), b.as_str())),
-    )
-    .map_err(|e| e.to_string())
+    ConjunctiveQuery::from_named(schema, binds.iter().map(|(a, b)| (a.as_str(), b.as_str())))
+        .map_err(|e| e.to_string())
 }
 
 fn run_session(
@@ -96,8 +109,11 @@ fn describe(common: &Common) -> Result<(), String> {
     );
     println!("domain product B = {:.3e}\n", schema.domain_product());
     for (_, attr) in schema.iter() {
-        let labels: Vec<String> =
-            attr.domain().take(6).map(|v| attr.label(v).into_owned()).collect();
+        let labels: Vec<String> = attr
+            .domain()
+            .take(6)
+            .map(|v| attr.label(v).into_owned())
+            .collect();
         let ellipsis = if attr.domain_size() > 6 { ", …" } else { "" };
         println!(
             "  {:<14} |Dom| = {:<4} {{{}{}}}",
@@ -159,7 +175,10 @@ fn aggregate(
     for m_name in avgs {
         let m = schema.measure_by_name(m_name).map_err(|e| e.to_string())?;
         let a = est.avg(m, |_| true);
-        println!("  avg({m_name})             = {:.2} ± {:.2}", a.value, a.half_width);
+        println!(
+            "  avg({m_name})             = {:.2} ± {:.2}",
+            a.value, a.half_width
+        );
     }
     if proportions.is_empty() && avgs.is_empty() {
         println!("  (nothing requested — pass --proportion attr=label or --avg measure)");
@@ -176,8 +195,12 @@ fn validate(common: &Common, attr_name: Option<&str>) -> Result<(), String> {
         None => schema.attr_ids().next().ok_or("schema has no attributes")?,
     };
     let hist = Histogram::from_rows(&schema, attr, samples.rows());
-    let cmp =
-        MarginalComparison::new(&schema, attr, hist.proportions(), db.oracle().marginal(attr));
+    let cmp = MarginalComparison::new(
+        &schema,
+        attr,
+        hist.proportions(),
+        db.oracle().marginal(attr),
+    );
     println!("\n{}", cmp.render(0.01));
     Ok(())
 }
@@ -188,17 +211,31 @@ mod tests {
     use crate::args::Common;
 
     fn quick_common() -> Common {
-        Common { n: 400, k: 50, samples: 20, ..Common::default() }
+        Common {
+            n: 400,
+            k: 50,
+            samples: 20,
+            ..Common::default()
+        }
     }
 
     #[test]
     fn build_site_sources() {
         assert!(build_site(&quick_common()).is_ok());
-        let full = Common { source: "vehicles-full".into(), ..quick_common() };
+        let full = Common {
+            source: "vehicles-full".into(),
+            ..quick_common()
+        };
         assert!(build_site(&full).is_ok());
-        let boolean = Common { source: "boolean".into(), ..quick_common() };
+        let boolean = Common {
+            source: "boolean".into(),
+            ..quick_common()
+        };
         assert!(build_site(&boolean).is_ok());
-        let bad = Common { source: "nope".into(), ..quick_common() };
+        let bad = Common {
+            source: "nope".into(),
+            ..quick_common()
+        };
         assert!(build_site(&bad).is_err());
     }
 
@@ -218,12 +255,7 @@ mod tests {
         )
         .unwrap();
         // Unknown label is a user error, not a panic.
-        assert!(aggregate(
-            &common,
-            &[("make".to_string(), "Tesla".to_string())],
-            &[],
-        )
-        .is_err());
+        assert!(aggregate(&common, &[("make".to_string(), "Tesla".to_string())], &[],).is_err());
     }
 
     #[test]

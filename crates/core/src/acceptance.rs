@@ -82,7 +82,10 @@ impl AcceptancePolicy {
 /// Always in `(0, 1]` for well-formed inputs.
 #[inline]
 pub fn acceptance_probability(c: f64, branch_product: f64, result_size: usize, b: f64) -> f64 {
-    debug_assert!(result_size >= 1, "candidates come from non-empty valid nodes");
+    debug_assert!(
+        result_size >= 1,
+        "candidates come from non-empty valid nodes"
+    );
     debug_assert!(branch_product >= 1.0 && b >= branch_product);
     let raw = c * result_size as f64 * branch_product / b;
     raw.min(1.0)
@@ -99,8 +102,14 @@ mod tests {
 
     #[test]
     fn slider_endpoints() {
-        assert_eq!(AcceptancePolicy::Slider { position: 0.0 }.resolve_c(1024.0), 1.0);
-        assert_eq!(AcceptancePolicy::Slider { position: 1.0 }.resolve_c(1024.0), 1024.0);
+        assert_eq!(
+            AcceptancePolicy::Slider { position: 0.0 }.resolve_c(1024.0),
+            1.0
+        );
+        assert_eq!(
+            AcceptancePolicy::Slider { position: 1.0 }.resolve_c(1024.0),
+            1024.0
+        );
         let mid = AcceptancePolicy::Slider { position: 0.5 }.resolve_c(1024.0);
         assert!((mid - 32.0).abs() < 1e-9, "log-scale midpoint, got {mid}");
     }

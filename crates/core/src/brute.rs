@@ -220,9 +220,12 @@ mod tests {
             .unwrap()
             .into_shared();
         let mut b = HiddenDb::builder(std::sync::Arc::clone(&schema)).result_limit(10);
-        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap()).unwrap();
-        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap()).unwrap();
-        b.push(&Tuple::new(&schema, vec![1], vec![]).unwrap()).unwrap();
+        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap())
+            .unwrap();
+        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap())
+            .unwrap();
+        b.push(&Tuple::new(&schema, vec![1], vec![]).unwrap())
+            .unwrap();
         let db = b.finish();
 
         let cfg = SamplerConfig::seeded(23);
@@ -236,7 +239,10 @@ mod tests {
             }
         }
         let share = zero_cell as f64 / n as f64;
-        assert!((share - 2.0 / 3.0).abs() < 0.03, "duplicate cell share {share}");
+        assert!(
+            (share - 2.0 / 3.0).abs() < 0.03,
+            "duplicate cell share {share}"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Default for SamplerConfig {
 impl SamplerConfig {
     /// Default configuration with a specific seed.
     pub fn seeded(seed: u64) -> Self {
-        SamplerConfig { seed, ..Default::default() }
+        SamplerConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Set the acceptance policy.
@@ -78,10 +81,7 @@ impl SamplerConfig {
     }
 
     /// Restrict drilling to the named attributes.
-    pub fn with_drill_attrs<S: Into<String>>(
-        mut self,
-        names: impl IntoIterator<Item = S>,
-    ) -> Self {
+    pub fn with_drill_attrs<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
         self.drill_attrs = Some(names.into_iter().map(Into::into).collect());
         self
     }

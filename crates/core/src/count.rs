@@ -248,7 +248,8 @@ mod tests {
             .result_limit(k)
             .count_mode(mode);
         for vals in [[0u16, 0, 1], [0, 1, 0], [0, 1, 1], [1, 1, 0]] {
-            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         b.finish()
     }
@@ -320,7 +321,10 @@ mod tests {
         let (schema, tuples) = hdsampler_workload::boolean_iid(6, 100, 0.5, 99);
         let mut b = HiddenDb::builder(schema)
             .result_limit(4)
-            .count_mode(CountMode::Noisy { sigma: 0.3, seed: 3 });
+            .count_mode(CountMode::Noisy {
+                sigma: 0.3,
+                seed: 3,
+            });
         b.extend(tuples.iter()).unwrap();
         let db = b.finish();
 
@@ -340,11 +344,7 @@ mod tests {
     #[test]
     fn empty_scope_detected() {
         let db = db_with_counts(CountMode::Exact, 1);
-        let scope = ConjunctiveQuery::from_pairs([
-            (AttrId(0), 1),
-            (AttrId(1), 0),
-        ])
-        .unwrap();
+        let scope = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 0)]).unwrap();
         let cfg = SamplerConfig::seeded(2).with_scope(scope);
         let mut s = CountWalkSampler::new(DirectExecutor::new(&db), cfg).unwrap();
         assert_eq!(s.next_sample(), Err(SamplerError::EmptyScope));
@@ -365,8 +365,7 @@ mod tests {
 
         let db_plain = db_with_counts(CountMode::Absent, 1);
         let cfg = SamplerConfig::seeded(13).with_order(OrderStrategy::Fixed);
-        let mut hs =
-            crate::hds::HdsSampler::new(DirectExecutor::new(&db_plain), cfg).unwrap();
+        let mut hs = crate::hds::HdsSampler::new(DirectExecutor::new(&db_plain), cfg).unwrap();
         for _ in 0..100 {
             hs.next_sample().unwrap();
         }
@@ -376,6 +375,4 @@ mod tests {
             "count-weighted ({count_cost}) should beat rejection ({hds_cost})"
         );
     }
-
-
 }

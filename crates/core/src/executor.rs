@@ -73,7 +73,11 @@ impl<F: FormInterface> DirectExecutor<F> {
     /// Wrap an interface.
     pub fn new(interface: F) -> Self {
         let charge_baseline = interface.queries_issued();
-        DirectExecutor { interface, requests: AtomicU64::new(0), charge_baseline }
+        DirectExecutor {
+            interface,
+            requests: AtomicU64::new(0),
+            charge_baseline,
+        }
     }
 
     /// The wrapped interface.
@@ -112,7 +116,9 @@ impl<F: FormInterface> QueryExecutor for DirectExecutor<F> {
     }
 
     fn queries_issued(&self) -> u64 {
-        self.interface.queries_issued().saturating_sub(self.charge_baseline)
+        self.interface
+            .queries_issued()
+            .saturating_sub(self.charge_baseline)
     }
 
     fn requests(&self) -> u64 {
@@ -184,7 +190,8 @@ mod tests {
             .into_shared();
         let mut b = HiddenDb::builder(StdArc::clone(&schema)).result_limit(k);
         for vals in [[0u16, 0], [0, 1], [1, 0], [1, 1]] {
-            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         b.finish()
     }

@@ -42,7 +42,15 @@ impl<E: QueryExecutor> HdsSampler<E> {
         let b_product = domain_product(exec.schema(), &drill);
         let c_factor = cfg.acceptance.resolve_c(b_product);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        Ok(HdsSampler { exec, cfg, drill, b_product, c_factor, rng, stats: SamplerStats::default() })
+        Ok(HdsSampler {
+            exec,
+            cfg,
+            drill,
+            b_product,
+            c_factor,
+            rng,
+            stats: SamplerStats::default(),
+        })
     }
 
     /// The resolved scaling factor `C`.
@@ -77,14 +85,16 @@ impl<E: QueryExecutor> Sampler for HdsSampler<E> {
         loop {
             if walks_this_sample >= self.cfg.max_walks_per_sample {
                 self.refresh_query_counters();
-                return Err(SamplerError::WalkLimit { walks: walks_this_sample });
+                return Err(SamplerError::WalkLimit {
+                    walks: walks_this_sample,
+                });
             }
             walks_this_sample += 1;
             self.stats.walks += 1;
 
             let order = self.cfg.order.make_order(&self.drill, &mut self.rng);
-            let outcome = random_walk(&self.exec, &self.cfg.scope, &order, &mut self.rng)
-                .map_err(|e| {
+            let outcome =
+                random_walk(&self.exec, &self.cfg.scope, &order, &mut self.rng).map_err(|e| {
                     self.refresh_query_counters();
                     SamplerError::from(e)
                 })?;
@@ -193,15 +203,17 @@ mod tests {
             }
         }
         let share = t4 as f64 / n as f64;
-        assert!((share - 0.5).abs() < 0.02, "t4 share {share} under raw walk");
+        assert!(
+            (share - 0.5).abs() < 0.02,
+            "t4 share {share} under raw walk"
+        );
         assert_eq!(s.stats().rejected, 0);
     }
 
     #[test]
     fn scoped_sampling_stays_in_scope() {
         let db = figure1_db(1);
-        let scope =
-            ConjunctiveQuery::from_pairs([(hdsampler_model::AttrId(1), 1)]).unwrap();
+        let scope = ConjunctiveQuery::from_pairs([(hdsampler_model::AttrId(1), 1)]).unwrap();
         let cfg = SamplerConfig::seeded(9).with_scope(scope);
         let mut s = HdsSampler::new(DirectExecutor::new(&db), cfg).unwrap();
         assert_eq!(s.domain_product(), 4.0, "two drillable Booleans remain");
@@ -238,11 +250,11 @@ mod tests {
             .result_limit(1)
             .query_budget(3);
         for vals in [[0u16, 0], [0, 1], [1, 0], [1, 1]] {
-            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         let db = b.finish();
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(2)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(2)).unwrap();
         // Eventually the 3-query budget dies; every sample costs ≥ 1 query.
         let mut err = None;
         for _ in 0..10 {
@@ -282,12 +294,11 @@ mod tests {
     fn same_seed_same_samples() {
         let db = figure1_db(1);
         let mk = || {
-            let mut s = HdsSampler::new(
-                DirectExecutor::new(&db),
-                SamplerConfig::seeded(42),
-            )
-            .unwrap();
-            (0..20).map(|_| s.next_sample().unwrap().row.key).collect::<Vec<_>>()
+            let mut s =
+                HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(42)).unwrap();
+            (0..20)
+                .map(|_| s.next_sample().unwrap().row.key)
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
     }

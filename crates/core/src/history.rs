@@ -26,13 +26,14 @@
 //! structure random drill-downs generate in the upper tree.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use hdsampler_model::{
-    Classification, ConjunctiveQuery, InterfaceError, FormInterface, Predicate, Row, Schema,
+    Classification, ConjunctiveQuery, FormInterface, InterfaceError, Predicate, Row, Schema,
 };
 
 use crate::executor::{Classified, QueryExecutor};
@@ -67,21 +68,50 @@ impl HistoryStats {
     }
 }
 
+/// FNV-1a: the hash for shard selection and the per-shard maps. Cheap on
+/// the short structured keys this cache stores; DoS resistance is not a
+/// concern because every key comes from our own walkers.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        // FNV-1a offset basis — starting from 0 would absorb leading zero
+        // bytes and degrade bucket distribution.
+        FnvHasher(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FnvHasher>>;
+
 /// A set of predicate-sets supporting subset/superset queries via a
 /// per-predicate inverted index.
 #[derive(Debug, Default)]
 struct ContainmentSet {
     queries: Vec<ConjunctiveQuery>,
     /// predicate → indices of stored queries containing it.
-    by_pred: HashMap<Predicate, Vec<u32>>,
-    /// Index of the stored empty query, if any (subset of everything).
-    has_empty: bool,
+    by_pred: FnvMap<Predicate, Vec<u32>>,
+    /// The stored empty query, if any — a subset of everything, and
+    /// invisible to the predicate index above, so subset searches fall
+    /// back to it explicitly.
+    empty: Option<ConjunctiveQuery>,
 }
 
 impl ContainmentSet {
     fn insert(&mut self, q: &ConjunctiveQuery) {
         if q.is_empty() {
-            self.has_empty = true;
+            self.empty = Some(q.clone());
             return;
         }
         let ix = self.queries.len() as u32;
@@ -91,52 +121,71 @@ impl ContainmentSet {
         self.queries.push(q.clone());
     }
 
+    fn has_empty(&self) -> bool {
+        self.empty.is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.queries.len() + usize::from(self.empty.is_some())
+    }
+
     /// Is some stored set a subset of `q`'s predicates?
     fn any_subset_of(&self, q: &ConjunctiveQuery) -> bool {
         self.find_subset_of(q).is_some()
     }
 
     /// Find a stored set that is a subset of `q`'s predicates.
+    ///
+    /// Every stored non-trivial subset shares at least one predicate with
+    /// `q`, so the candidates are exactly the entries of `q`'s predicates'
+    /// posting lists. They are scanned smallest-posting-first and tested in
+    /// place — no candidate union is ever materialized, and the first hit
+    /// returns immediately. A candidate sharing several predicates with `q`
+    /// may be tested more than once; the duplicate work is bounded by what
+    /// the old extend/sort/dedup pass also paid, without its allocation.
+    /// The stored empty query (a subset of everything) is the fallback when
+    /// no indexed candidate matches.
     fn find_subset_of(&self, q: &ConjunctiveQuery) -> Option<&ConjunctiveQuery> {
-        if self.has_empty {
-            // The empty stored query is a subset of everything; callers
-            // that store it (valids) handle it separately, so return the
-            // first non-trivial match preferentially but fall back to none
-            // here — empty is handled by the caller via `has_empty`.
-        }
-        // A subset must draw all its predicates from q's; every stored
-        // candidate contains at least one of q's predicates.
-        let mut seen: Vec<u32> = Vec::new();
-        for p in q.predicates() {
-            if let Some(ixs) = self.by_pred.get(p) {
-                seen.extend_from_slice(ixs);
+        let mut lists: Vec<&[u32]> = q
+            .predicates()
+            .iter()
+            .filter_map(|p| self.by_pred.get(p).map(Vec::as_slice))
+            .collect();
+        lists.sort_unstable_by_key(|l| l.len());
+        for list in lists {
+            for &ix in list {
+                let cand = &self.queries[ix as usize];
+                if q.is_refinement_of(cand) {
+                    return Some(cand);
+                }
             }
         }
-        seen.sort_unstable();
-        seen.dedup();
-        seen.into_iter()
-            .map(|ix| &self.queries[ix as usize])
-            .find(|cand| q.is_refinement_of(cand))
+        self.empty.as_ref()
     }
 
     /// Is `q` a subset of some stored set (i.e. does a stored superset
     /// exist)?
     fn any_superset_of(&self, q: &ConjunctiveQuery) -> bool {
         if q.is_empty() {
-            return self.has_empty || !self.queries.is_empty();
+            return self.has_empty() || !self.queries.is_empty();
         }
-        // A superset must contain q's first predicate.
-        let first = &q.predicates()[0];
-        let Some(ixs) = self.by_pred.get(first) else {
-            return false;
-        };
-        ixs.iter().any(|&ix| self.queries[ix as usize].is_refinement_of(q))
+        // A superset must contain *every* predicate of q, so scanning the
+        // smallest of q's posting lists covers all candidates.
+        let smallest = q
+            .predicates()
+            .iter()
+            .map(|p| self.by_pred.get(p).map_or(&[][..], Vec::as_slice))
+            .min_by_key(|l| l.len())
+            .expect("non-empty query has predicates");
+        smallest
+            .iter()
+            .any(|&ix| self.queries[ix as usize].is_refinement_of(q))
     }
 
     fn clear(&mut self) {
         self.queries.clear();
         self.by_pred.clear();
-        self.has_empty = false;
+        self.empty = None;
     }
 }
 
@@ -144,22 +193,46 @@ impl ContainmentSet {
 #[derive(Debug, Default)]
 struct HistoryInner {
     /// Rule 1: exact memo of classifications (+ rows for valid).
-    memo: HashMap<ConjunctiveQuery, Classified>,
+    memo: FnvMap<ConjunctiveQuery, Classified>,
     /// Rule 2 support: known-empty predicate sets (kept minimal-ish).
     empties: ContainmentSet,
     /// Rule 3 support: known-overflowing predicate sets (kept maximal-ish).
     overflows: ContainmentSet,
     /// Rule 4 support: known-valid queries with their complete rows.
     valids: ContainmentSet,
-    valid_rows: HashMap<ConjunctiveQuery, Arc<[Row]>>,
+    valid_rows: FnvMap<ConjunctiveQuery, Arc<[Row]>>,
     /// Count memo (exact counts learned from valid/empty responses are
     /// inserted here too).
-    counts: HashMap<ConjunctiveQuery, u64>,
+    counts: FnvMap<ConjunctiveQuery, u64>,
 }
 
 impl HistoryInner {
     fn entries(&self) -> usize {
-        self.memo.len() + self.counts.len()
+        // Everything that grows: the exact-match maps and the containment
+        // sets. Counting the latter keeps the capacity contract a real
+        // memory bound — a long run over a huge query space must not grow
+        // `overflows`/`empties`/`valids` without limit.
+        self.memo.len()
+            + self.counts.len()
+            + self.empties.len()
+            + self.overflows.len()
+            + self.valids.len()
+    }
+
+    /// Make room for one charged insert. Layered: drop the memo first —
+    /// its entries (many of them derived-inference conveniences) are all
+    /// rederivable — and only if the counts alone still bust the bound,
+    /// cold-restart the whole shard. Learned containment facts are never
+    /// sacrificed for memo pressure. Returns whether anything was evicted.
+    fn evict_for_insert(&mut self, capacity: usize) -> bool {
+        if self.entries() < capacity {
+            return false;
+        }
+        self.memo.clear();
+        if self.entries() >= capacity {
+            self.clear();
+        }
+        true
     }
 
     fn clear(&mut self) {
@@ -175,12 +248,23 @@ impl HistoryInner {
 /// A [`QueryExecutor`] that answers from history whenever inference allows.
 ///
 /// Thread-safe: concurrent walkers share one cache (`&CachingExecutor`
-/// implements `QueryExecutor` via the blanket impl).
+/// implements `QueryExecutor` via the blanket impl). The state is split
+/// into [`DEFAULT_SHARD_COUNT`] signature-keyed shards, each behind its own
+/// `RwLock`: the exact-match structures (memo, counts) of a query live in
+/// the shard its hash selects, so the common warm-cache path — a memo hit —
+/// touches exactly one lock, and concurrent walkers' *writes* land on
+/// different shards instead of serializing on a single global lock. The
+/// containment rules (2–4) scan all shards under brief read locks, in the
+/// same rule order as a single-lock cache, so inference outcomes and
+/// hit/miss counters are identical to the unsharded semantics.
 #[derive(Debug)]
 pub struct CachingExecutor<F> {
     interface: F,
-    inner: RwLock<HistoryInner>,
-    capacity: usize,
+    shards: Box<[RwLock<HistoryInner>]>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    shard_mask: usize,
+    /// Per-shard entry bound (total capacity / shard count).
+    capacity_per_shard: usize,
     /// Interface charges that predate this executor (see
     /// `DirectExecutor` — sequential samplers report only their own cost).
     charge_baseline: u64,
@@ -197,22 +281,39 @@ pub struct CachingExecutor<F> {
 /// Default cache capacity (entries across memo + counts).
 pub const DEFAULT_CACHE_CAPACITY: usize = 250_000;
 
+/// Default shard count: enough to spread 8–32 walkers with negligible
+/// memory overhead.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
 impl<F: FormInterface> CachingExecutor<F> {
     /// Wrap an interface with an inference cache of default capacity.
     pub fn new(interface: F) -> Self {
         Self::with_capacity(interface, DEFAULT_CACHE_CAPACITY)
     }
 
-    /// Wrap with an explicit entry capacity. When exceeded, the whole cache
-    /// is dropped (cold restart) — crude but bounded and side-effect free;
-    /// the eviction counter records it.
+    /// Wrap with an explicit entry capacity and the default shard count.
     pub fn with_capacity(interface: F, capacity: usize) -> Self {
+        Self::with_shards(interface, capacity, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Wrap with explicit capacity and shard count (rounded up to a power
+    /// of two). `shards = 1` reproduces the old single-lock layout, which
+    /// the contention benchmark uses as its baseline.
+    ///
+    /// When a shard exceeds its share of `capacity`, that shard alone is
+    /// dropped (cold restart of 1/N of the cache) — crude but bounded and
+    /// side-effect free; the eviction counter records it.
+    pub fn with_shards(interface: F, capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
         let charge_baseline = interface.queries_issued();
         CachingExecutor {
             interface,
             charge_baseline,
-            inner: RwLock::new(HistoryInner::default()),
-            capacity: capacity.max(2),
+            shards: (0..shard_count)
+                .map(|_| RwLock::new(HistoryInner::default()))
+                .collect(),
+            shard_mask: shard_count - 1,
+            capacity_per_shard: (capacity / shard_count).max(2),
             requests: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             empty_rule_hits: AtomicU64::new(0),
@@ -229,6 +330,31 @@ impl<F: FormInterface> CachingExecutor<F> {
         &self.interface
     }
 
+    /// Number of shards the cache state is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `query`'s exact-match state.
+    ///
+    /// Uses the same cheap FNV-1a hash as the per-shard maps: shard
+    /// selection sits on the memo-hit fast path and needs no DoS
+    /// resistance, because every query comes from our own walkers.
+    fn shard_of(&self, query: &ConjunctiveQuery) -> &RwLock<HistoryInner> {
+        if self.shard_mask == 0 {
+            return &self.shards[0];
+        }
+        let mut h = FnvHasher::default();
+        query.hash(&mut h);
+        use std::hash::Hasher as _;
+        // Select the shard from high hash bits (48..): the per-shard maps
+        // reuse this same FNV value, and hashbrown derives bucket indices
+        // from the low bits and control bytes from the top 7 — taking the
+        // shard from either range would make all of a shard's keys collide
+        // inside its own map.
+        &self.shards[((h.finish() >> 48) as usize) & self.shard_mask]
+    }
+
     /// Hit/miss counters.
     pub fn history_stats(&self) -> HistoryStats {
         HistoryStats {
@@ -243,51 +369,111 @@ impl<F: FormInterface> CachingExecutor<F> {
     }
 
     /// Try to answer `query` purely from history.
+    ///
+    /// Rule order matches the unsharded cache exactly: memo (own shard
+    /// only — that is where the exact query lives), then each containment
+    /// rule across every shard before the next rule is considered.
     fn infer(&self, query: &ConjunctiveQuery) -> Option<Classified> {
-        let inner = self.inner.read();
         // Rule 1: memo.
-        if let Some(hit) = inner.memo.get(query) {
+        if let Some(hit) = self.shard_of(query).read().memo.get(query) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return Some(hit.clone());
         }
-        // Rule 2: a remembered empty subset ⇒ empty.
-        if inner.empties.any_subset_of(query) {
+        // Rules 2–4 in one pass: each shard's lock is taken exactly once,
+        // with all three containment rules checked under it. Rule-major
+        // precedence is restored afterwards from the collected flags, which
+        // is sound because on a history fed by one consistent interface the
+        // rules cannot contradict each other across shards:
+        //
+        // * rule 2 (⇒ count = 0) and rule 3 (⇒ count > k) are mutually
+        //   exclusive, so their relative order is immaterial;
+        // * rule 3 and rule 4 (valid ancestor ⇒ count ≤ k) are likewise
+        //   exclusive;
+        // * when rules 2 and 4 both apply, the rule-4 filter necessarily
+        //   comes up empty and yields the same `Classified` — only the
+        //   counter attribution differs, and the flags below attribute it
+        //   to rule 2 exactly as the rule-major (unsharded) order does.
+        let mut any_empty = false;
+        let mut any_overflow = false;
+        let mut filtered: Option<Vec<Row>> = None;
+        for shard in self.shards.iter() {
+            let inner = shard.read();
+            if inner.empties.any_subset_of(query) {
+                any_empty = true;
+                // Rule 2 dominates every later finding; stop scanning.
+                break;
+            }
+            if !any_overflow && inner.overflows.any_superset_of(query) {
+                any_overflow = true;
+                continue;
+            }
+            if !any_overflow && filtered.is_none() {
+                if let Some(ancestor) = inner.valids.find_subset_of(query) {
+                    let rows = inner.valid_rows.get(ancestor).expect("valids have rows");
+                    filtered = Some(
+                        rows.iter()
+                            .filter(|r| query.matches(&r.values))
+                            .cloned()
+                            .collect(),
+                    );
+                }
+            }
+        }
+        let derived = if any_empty {
             self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(Classified { class: Classification::Empty, rows: None });
-        }
-        // Rule 3: remembered overflowing superset ⇒ overflow.
-        if inner.overflows.any_superset_of(query) {
+            Classified {
+                class: Classification::Empty,
+                rows: None,
+            }
+        } else if any_overflow {
             self.overflow_rule_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(Classified { class: Classification::Overflow, rows: None });
-        }
-        // Rule 4: remembered valid ancestor ⇒ filter locally.
-        if let Some(ancestor) = inner.valids.find_subset_of(query) {
-            let rows = inner.valid_rows.get(ancestor).expect("valids have rows");
-            let filtered: Vec<Row> =
-                rows.iter().filter(|r| query.matches(&r.values)).cloned().collect();
+            Classified {
+                class: Classification::Overflow,
+                rows: None,
+            }
+        } else if let Some(filtered) = filtered {
             self.filter_rule_hits.fetch_add(1, Ordering::Relaxed);
             let class = if filtered.is_empty() {
                 Classification::Empty
             } else {
                 Classification::Valid
             };
-            let rows =
-                if filtered.is_empty() { None } else { Some(Arc::<[Row]>::from(filtered)) };
-            return Some(Classified { class, rows });
+            let rows = if filtered.is_empty() {
+                None
+            } else {
+                Some(Arc::<[Row]>::from(filtered))
+            };
+            Classified { class, rows }
+        } else {
+            return None;
+        };
+        // Memoize the derived answer: re-asking the same query becomes a
+        // single-shard memo hit instead of another cross-shard containment
+        // scan. Containment sets are left untouched (this result adds no
+        // inference power, it only caches one), and a full shard must never
+        // be *evicted* for a derived entry — that would trade learned facts
+        // for a convenience cache. At capacity we simply skip caching;
+        // inference stays correct, merely un-memoized, exactly like the
+        // pre-memoization behavior.
+        let mut inner = self.shard_of(query).write();
+        if inner.entries() < self.capacity_per_shard {
+            inner.memo.insert(query.clone(), derived.clone());
         }
-        None
+        drop(inner);
+        Some(derived)
     }
 
-    /// Record a charged response.
+    /// Record a charged response in `query`'s shard.
     fn remember(&self, query: &ConjunctiveQuery, result: &Classified) {
-        let mut inner = self.inner.write();
-        if inner.entries() >= self.capacity {
-            inner.clear();
+        let mut inner = self.shard_of(query).write();
+        if inner.evict_for_insert(self.capacity_per_shard) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         match result.class {
             Classification::Empty => {
-                // Keep the set minimal-ish: skip if already implied.
+                // Keep the set minimal-ish: skip if already implied within
+                // this shard. (Cross-shard redundancy costs memory, never
+                // correctness: the rules scan every shard.)
                 if !inner.empties.any_subset_of(query) {
                     inner.empties.insert(query);
                 }
@@ -331,23 +517,29 @@ impl<F: FormInterface> QueryExecutor for CachingExecutor<F> {
 
     fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(&c) = self.shard_of(query).read().counts.get(query) {
+            self.count_memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(c);
+        }
+        // An inferable empty has count 0 without a probe. Memoize the
+        // derived zero (when the shard has room) so repeat probes become
+        // single-shard count-memo hits instead of cross-shard rescans.
+        if self
+            .shards
+            .iter()
+            .any(|s| s.read().empties.any_subset_of(query))
         {
-            let inner = self.inner.read();
-            if let Some(&c) = inner.counts.get(query) {
-                self.count_memo_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(c);
+            self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
+            let mut inner = self.shard_of(query).write();
+            if inner.entries() < self.capacity_per_shard {
+                inner.counts.insert(query.clone(), 0);
             }
-            // An inferable empty has count 0 without a probe.
-            if inner.empties.any_subset_of(query) {
-                self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(0);
-            }
+            return Ok(0);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let c = self.interface.count(query)?;
-        let mut inner = self.inner.write();
-        if inner.entries() >= self.capacity {
-            inner.clear();
+        let mut inner = self.shard_of(query).write();
+        if inner.evict_for_insert(self.capacity_per_shard) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         inner.counts.insert(query.clone(), c);
@@ -367,7 +559,9 @@ impl<F: FormInterface> QueryExecutor for CachingExecutor<F> {
     }
 
     fn queries_issued(&self) -> u64 {
-        self.interface.queries_issued().saturating_sub(self.charge_baseline)
+        self.interface
+            .queries_issued()
+            .saturating_sub(self.charge_baseline)
     }
 
     fn requests(&self) -> u64 {
@@ -489,10 +683,16 @@ mod tests {
                     let d = direct.classify(query).unwrap();
                     let c = cached.classify(query).unwrap();
                     assert_eq!(d.class, c.class, "k={k} q={query:?}");
-                    let mut dk: Vec<u64> =
-                        d.rows.iter().flat_map(|r| r.iter().map(|x| x.key)).collect();
-                    let mut ck: Vec<u64> =
-                        c.rows.iter().flat_map(|r| r.iter().map(|x| x.key)).collect();
+                    let mut dk: Vec<u64> = d
+                        .rows
+                        .iter()
+                        .flat_map(|r| r.iter().map(|x| x.key))
+                        .collect();
+                    let mut ck: Vec<u64> = c
+                        .rows
+                        .iter()
+                        .flat_map(|r| r.iter().map(|x| x.key))
+                        .collect();
                     dk.sort_unstable();
                     ck.sort_unstable();
                     assert_eq!(dk, ck, "k={k} q={query:?}");
@@ -521,7 +721,8 @@ mod tests {
             .result_limit(2)
             .count_mode(CountMode::Exact);
         for vals in [[0u16, 0], [0, 1], [1, 0]] {
-            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         let db = b.finish();
         let exec = CachingExecutor::new(&db);
@@ -540,7 +741,9 @@ mod tests {
     #[test]
     fn capacity_bound_evicts() {
         let db = figure1_db(1);
-        let exec = CachingExecutor::with_capacity(&db, 4);
+        // Single shard so every charged insert lands in the same capacity
+        // bucket and the bound must trip.
+        let exec = CachingExecutor::with_shards(&db, 4, 1);
         // 3 attrs × 2 values of depth-1 queries + deeper ones: generate
         // more than 16 distinct queries.
         let mut issued = Vec::new();
@@ -559,9 +762,72 @@ mod tests {
         for query in &issued {
             let _ = exec.classify(query);
         }
-        assert!(exec.history_stats().evictions >= 1, "capacity must trigger eviction");
+        assert!(
+            exec.history_stats().evictions >= 1,
+            "capacity must trigger eviction"
+        );
         // Still correct after eviction.
         let c = exec.classify(&q(&[(0, 1)])).unwrap();
         assert_eq!(c.class, Classification::Valid);
+    }
+
+    #[test]
+    fn derived_inferences_never_evict_learned_facts() {
+        // A shard at capacity skips memoizing derived answers instead of
+        // clearing the shard: a flood of inferable queries must not wipe
+        // the charged facts the inferences derive from.
+        let db = figure1_db(1);
+        // Capacity 2 with a single shard: the one charged classification
+        // below (memo + learned count) fills the shard exactly.
+        let exec = CachingExecutor::with_shards(&db, 2, 1);
+        // Charge the empty fact a1=1 ∧ a2=0; every refinement of it is
+        // thereafter inferable by the empty-subset rule.
+        let parent = exec.classify(&q(&[(0, 1), (1, 0)])).unwrap();
+        assert_eq!(parent.class, Classification::Empty);
+        let charged = exec.queries_issued();
+        // Distinct inferable refinements, repeated — the full shard must
+        // neither evict nor re-charge.
+        for _pass in 0..2 {
+            for v in 0..2u16 {
+                let c = exec.classify(&q(&[(0, 1), (1, 0), (2, v)])).unwrap();
+                assert_eq!(c.class, Classification::Empty);
+            }
+        }
+        assert_eq!(
+            exec.queries_issued(),
+            charged,
+            "every refinement must come from the empty rule, not a re-charge"
+        );
+        assert_eq!(
+            exec.history_stats().evictions,
+            0,
+            "inference must not evict"
+        );
+        assert_eq!(exec.history_stats().empty_rule_hits, 4);
+    }
+
+    #[test]
+    fn valid_root_powers_filter_rule() {
+        // n <= k: the empty query is Valid with the complete table; every
+        // refinement must then be answered locally from the root's rows
+        // (the stored empty ancestor used to be invisible to rule 4).
+        let db = figure1_db(10);
+        let exec = CachingExecutor::new(&db);
+        let root = exec.classify(&ConjunctiveQuery::empty()).unwrap();
+        assert_eq!(root.class, Classification::Valid);
+        assert_eq!(root.result_size(), 4);
+
+        let before = exec.queries_issued();
+        let child = exec.classify(&q(&[(0, 0), (1, 1)])).unwrap();
+        assert_eq!(child.class, Classification::Valid);
+        assert_eq!(child.result_size(), 2, "t2, t3 filtered from the root page");
+        let nothing = exec.classify(&q(&[(0, 1), (1, 0)])).unwrap();
+        assert_eq!(nothing.class, Classification::Empty);
+        assert_eq!(
+            exec.queries_issued(),
+            before,
+            "descendants of a valid root are derived free"
+        );
+        assert_eq!(exec.history_stats().filter_rule_hits, 2);
     }
 }

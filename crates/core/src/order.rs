@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let mut rng = StdRng::seed_from_u64(5);
-        assert!(OrderStrategy::ScramblePerWalk.make_order(&[], &mut rng).is_empty());
+        assert!(OrderStrategy::ScramblePerWalk
+            .make_order(&[], &mut rng)
+            .is_empty());
         assert_eq!(
             OrderStrategy::ScramblePerWalk.make_order(&attrs(1), &mut rng),
             attrs(1)

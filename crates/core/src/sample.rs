@@ -95,7 +95,9 @@ impl Extend<Sample> for SampleSet {
 
 impl FromIterator<Sample> for SampleSet {
     fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
-        SampleSet { samples: iter.into_iter().collect() }
+        SampleSet {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -133,7 +135,10 @@ impl std::fmt::Display for SamplerError {
                 write!(f, "no sample accepted within {walks} walks")
             }
             SamplerError::CountUnsupported => {
-                write!(f, "count-weighted sampling needs a count-reporting interface")
+                write!(
+                    f,
+                    "count-weighted sampling needs a count-reporting interface"
+                )
             }
             SamplerError::Interface(e) => write!(f, "interface error: {e}"),
             SamplerError::Config(msg) => write!(f, "invalid sampler configuration: {msg}"),
@@ -208,6 +213,8 @@ mod tests {
     #[test]
     fn error_messages_readable() {
         assert!(SamplerError::EmptyScope.to_string().contains("scope"));
-        assert!(SamplerError::WalkLimit { walks: 3 }.to_string().contains('3'));
+        assert!(SamplerError::WalkLimit { walks: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -66,7 +66,10 @@ pub struct SamplingSession {
 impl SamplingSession {
     /// Session targeting `target` samples.
     pub fn new(target: usize) -> Self {
-        SamplingSession { target, kill: Arc::new(AtomicBool::new(false)) }
+        SamplingSession {
+            target,
+            kill: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// Handle that stops the session from another thread (the demo UI's
@@ -105,7 +108,11 @@ impl SamplingSession {
             }
         };
         on_event(&SessionEvent::Stopped(reason.clone()));
-        SessionOutcome { samples, reason, stats: sampler.stats() }
+        SessionOutcome {
+            samples,
+            reason,
+            stats: sampler.stats(),
+        }
     }
 
     /// Parallel variant: spawn `workers` samplers built by `make_sampler`
@@ -185,7 +192,11 @@ impl SamplingSession {
         // aggregate the samples imply. Callers needing exact counters use a
         // shared executor and read its counters directly.
         merged_stats.accepted = samples.len() as u64;
-        SessionOutcome { samples, reason, stats: merged_stats }
+        SessionOutcome {
+            samples,
+            reason,
+            stats: merged_stats,
+        }
     }
 }
 
@@ -200,8 +211,7 @@ mod tests {
     #[test]
     fn runs_to_target_with_events() {
         let db = figure1_db(1);
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(1)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(1)).unwrap();
         let session = SamplingSession::new(25);
         let mut accepted_events = 0;
         let out = session.run(&mut s, |e| {
@@ -218,8 +228,7 @@ mod tests {
     #[test]
     fn kill_switch_stops_early() {
         let db = figure1_db(1);
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(2)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(2)).unwrap();
         let session = SamplingSession::new(1_000_000);
         let kill = session.kill_switch();
         let mut n = 0;
@@ -249,11 +258,11 @@ mod tests {
             .result_limit(1)
             .query_budget(30);
         for vals in [[0u16, 0], [0, 1], [1, 0], [1, 1]] {
-            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         let db = b.finish();
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(3)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(3)).unwrap();
         let session = SamplingSession::new(10_000);
         let out = session.run(&mut s, |_| {});
         assert_eq!(out.reason, StopReason::BudgetExhausted);

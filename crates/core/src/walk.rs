@@ -71,7 +71,11 @@ pub fn random_walk<E: QueryExecutor, R: Rng>(
         let resp = exec.classify(&query)?;
         match resp.class {
             Classification::Empty => {
-                return Ok(if depth == 0 { WalkOutcome::EmptyScope } else { WalkOutcome::DeadEnd { depth } });
+                return Ok(if depth == 0 {
+                    WalkOutcome::EmptyScope
+                } else {
+                    WalkOutcome::DeadEnd { depth }
+                });
             }
             Classification::Valid => {
                 let rows = resp.rows.as_ref().expect("valid responses carry rows");
@@ -104,7 +108,10 @@ pub fn random_walk<E: QueryExecutor, R: Rng>(
 
 /// Domain product `B = ∏ |Dom(a)|` over a set of drillable attributes.
 pub fn domain_product(schema: &hdsampler_model::Schema, drill: &[AttrId]) -> f64 {
-    drill.iter().map(|&a| schema.domain_size(a) as f64).product()
+    drill
+        .iter()
+        .map(|&a| schema.domain_size(a) as f64)
+        .product()
 }
 
 /// Resolve the drillable attribute set for a scope query: every schema
@@ -179,13 +186,28 @@ mod tests {
         // empty, giving a dead-end probability of... a1=1 (prob 1/2) is
         // VALID immediately (t4 unique), so the dead end is never reached.
         assert_eq!(dead_ends, 0, "a1=1 terminates before the empty branch");
-        let freq = |vals: [u16; 3]| {
-            by_values.get(&vals.to_vec()).copied().unwrap_or(0) as f64 / n as f64
-        };
-        assert!((freq([0, 0, 1]) - 0.25).abs() < 0.01, "t1 {}", freq([0, 0, 1]));
-        assert!((freq([0, 1, 0]) - 0.125).abs() < 0.01, "t2 {}", freq([0, 1, 0]));
-        assert!((freq([0, 1, 1]) - 0.125).abs() < 0.01, "t3 {}", freq([0, 1, 1]));
-        assert!((freq([1, 1, 0]) - 0.5).abs() < 0.01, "t4 {}", freq([1, 1, 0]));
+        let freq =
+            |vals: [u16; 3]| by_values.get(vals.as_slice()).copied().unwrap_or(0) as f64 / n as f64;
+        assert!(
+            (freq([0, 0, 1]) - 0.25).abs() < 0.01,
+            "t1 {}",
+            freq([0, 0, 1])
+        );
+        assert!(
+            (freq([0, 1, 0]) - 0.125).abs() < 0.01,
+            "t2 {}",
+            freq([0, 1, 0])
+        );
+        assert!(
+            (freq([0, 1, 1]) - 0.125).abs() < 0.01,
+            "t3 {}",
+            freq([0, 1, 1])
+        );
+        assert!(
+            (freq([1, 1, 0]) - 0.5).abs() < 0.01,
+            "t4 {}",
+            freq([1, 1, 0])
+        );
     }
 
     #[test]
@@ -214,8 +236,7 @@ mod tests {
         let drill = resolve_drill_attrs(exec.schema(), &scope, None).unwrap();
         assert_eq!(drill, vec![AttrId(0), AttrId(2)]);
         for _ in 0..300 {
-            if let WalkOutcome::Candidate(c) =
-                random_walk(&exec, &scope, &drill, &mut rng).unwrap()
+            if let WalkOutcome::Candidate(c) = random_walk(&exec, &scope, &drill, &mut rng).unwrap()
             {
                 assert_eq!(c.row.values[1], 1, "sampled row must satisfy the scope");
             }
@@ -228,8 +249,7 @@ mod tests {
         let exec = DirectExecutor::new(&db);
         let mut rng = StdRng::seed_from_u64(6);
         // a1=1 ∧ a2=0 selects nothing.
-        let scope =
-            ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 0)]).unwrap();
+        let scope = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 0)]).unwrap();
         let out = random_walk(&exec, &scope, &[AttrId(2)], &mut rng).unwrap();
         assert!(matches!(out, WalkOutcome::EmptyScope));
     }
@@ -247,16 +267,15 @@ mod tests {
             .into_shared();
         let mut b = HiddenDb::builder(std::sync::Arc::clone(&schema)).result_limit(2);
         for _ in 0..5 {
-            b.push(&Tuple::new(&schema, vec![1], vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vec![1], vec![]).unwrap())
+                .unwrap();
         }
         let db = b.finish();
         let exec = DirectExecutor::new(&db);
         let mut rng = StdRng::seed_from_u64(7);
         let mut saw_leaf_overflow = false;
         for _ in 0..20 {
-            match random_walk(&exec, &ConjunctiveQuery::empty(), &[AttrId(0)], &mut rng)
-                .unwrap()
-            {
+            match random_walk(&exec, &ConjunctiveQuery::empty(), &[AttrId(0)], &mut rng).unwrap() {
                 WalkOutcome::LeafOverflow { depth } => {
                     assert_eq!(depth, 1);
                     saw_leaf_overflow = true;
@@ -281,8 +300,7 @@ mod tests {
         let names = vec!["nope".to_string()];
         assert!(resolve_drill_attrs(schema, &ConjunctiveQuery::empty(), Some(&names)).is_err());
         let names = vec!["a2".to_string(), "a3".to_string(), "a2".to_string()];
-        let drill =
-            resolve_drill_attrs(schema, &ConjunctiveQuery::empty(), Some(&names)).unwrap();
+        let drill = resolve_drill_attrs(schema, &ConjunctiveQuery::empty(), Some(&names)).unwrap();
         assert_eq!(drill, vec![AttrId(1), AttrId(2)], "deduplicated and sorted");
     }
 

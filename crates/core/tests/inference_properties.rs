@@ -5,15 +5,13 @@
 
 use std::sync::Arc;
 
+use hdsampler_core::sample::Sampler;
 use hdsampler_core::{
     acceptance::acceptance_probability, CachingExecutor, Classified, DirectExecutor, HdsSampler,
     QueryExecutor, SamplerConfig,
 };
-use hdsampler_core::sample::Sampler;
 use hdsampler_hidden_db::{CountMode, HiddenDb};
-use hdsampler_model::{
-    AttrId, Attribute, ConjunctiveQuery, DomIx, Schema, SchemaBuilder, Tuple,
-};
+use hdsampler_model::{AttrId, Attribute, ConjunctiveQuery, DomIx, Schema, SchemaBuilder, Tuple};
 use proptest::prelude::*;
 
 fn boolean_schema(m: usize) -> Arc<Schema> {
@@ -26,10 +24,13 @@ fn boolean_schema(m: usize) -> Arc<Schema> {
 
 fn build_db(m: usize, rows: &[u32], k: usize, counts: CountMode) -> HiddenDb {
     let schema = boolean_schema(m);
-    let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(k).count_mode(counts);
+    let mut b = HiddenDb::builder(Arc::clone(&schema))
+        .result_limit(k)
+        .count_mode(counts);
     for &bits in rows {
         let values: Vec<DomIx> = (0..m).map(|i| ((bits >> i) & 1) as DomIx).collect();
-        b.push(&Tuple::new(&schema, values, vec![]).unwrap()).unwrap();
+        b.push(&Tuple::new(&schema, values, vec![]).unwrap())
+            .unwrap();
     }
     b.finish()
 }
@@ -48,8 +49,11 @@ fn decode_query(m: usize, mask: u32, values: u32) -> ConjunctiveQuery {
 }
 
 fn row_keys(c: &Classified) -> Vec<u64> {
-    let mut keys: Vec<u64> =
-        c.rows.iter().flat_map(|rows| rows.iter().map(|r| r.key)).collect();
+    let mut keys: Vec<u64> = c
+        .rows
+        .iter()
+        .flat_map(|rows| rows.iter().map(|r| r.key))
+        .collect();
     keys.sort_unstable();
     keys
 }
@@ -137,16 +141,86 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharding is an implementation detail: for any database and query
+    /// mix, a 16-shard cache answers identically to a single-lock cache
+    /// and reports identical hit/miss counters per rule — the observable
+    /// definition of "same semantics as the unsharded cache".
+    #[test]
+    fn sharded_counters_match_unsharded_semantics(
+        rows in prop::collection::vec(0u32..32, 1..80),
+        k in 1usize..5,
+        qs in queries(5),
+    ) {
+        let m = 5;
+        let db_one = build_db(m, &rows, k, CountMode::Exact);
+        let db_many = build_db(m, &rows, k, CountMode::Exact);
+        let single = CachingExecutor::with_shards(&db_one, 250_000, 1);
+        let sharded = CachingExecutor::with_shards(&db_many, 250_000, 16);
+        prop_assert_eq!(single.shard_count(), 1);
+        prop_assert_eq!(sharded.shard_count(), 16);
+
+        for &(mask, values) in &qs {
+            let q = decode_query(m, mask, values);
+            let a = single.classify(&q).unwrap();
+            let b = sharded.classify(&q).unwrap();
+            prop_assert_eq!(a.class, b.class, "query {:?}", q);
+            prop_assert_eq!(row_keys(&a), row_keys(&b), "query {:?}", q);
+            prop_assert_eq!(single.count(&q).unwrap(), sharded.count(&q).unwrap());
+        }
+        prop_assert_eq!(single.history_stats(), sharded.history_stats());
+        prop_assert_eq!(single.queries_issued(), sharded.queries_issued());
+        prop_assert_eq!(single.requests(), sharded.requests());
+    }
+}
+
+#[test]
+fn parallel_walkers_on_sharded_cache_agree_with_direct() {
+    // 8 walkers hammer one sharded cache; every distinct answer the cache
+    // ever gave must match direct evaluation.
+    use hdsampler_core::SamplingSession;
+
+    let rows: Vec<u32> = (0..200u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761)) % 64)
+        .collect();
+    let db = build_db(6, &rows, 3, CountMode::Absent);
+    let exec = Arc::new(CachingExecutor::new(&db));
+    let session = SamplingSession::new(120);
+    let out = session.run_parallel(8, |w| {
+        HdsSampler::new(Arc::clone(&exec), SamplerConfig::seeded(500 + w as u64))
+            .expect("valid config")
+    });
+    assert_eq!(out.samples.len(), 120);
+    assert!(
+        exec.history_stats().total_hits() > 0,
+        "parallel walkers must share inference savings"
+    );
+
+    let db2 = build_db(6, &rows, 3, CountMode::Absent);
+    let direct = DirectExecutor::new(&db2);
+    for mask in 0u32..64 {
+        for values in [0u32, 21, 42, 63] {
+            let q = decode_query(6, mask, values);
+            let c = exec.classify(&q).unwrap();
+            let d = direct.classify(&q).unwrap();
+            assert_eq!(c.class, d.class, "{q:?}");
+            assert_eq!(row_keys(&c), row_keys(&d), "{q:?}");
+        }
+    }
+}
+
 #[test]
 fn cache_and_direct_agree_after_heavy_sampling() {
     // Deterministic end-to-end: run a sampler against the cache, then
     // replay every distinct query directly and compare.
-    let rows: Vec<u32> =
-        (0..200u32).map(|i| (i.wrapping_mul(2_654_435_761)) % 64).collect();
+    let rows: Vec<u32> = (0..200u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761)) % 64)
+        .collect();
     let db = build_db(6, &rows, 3, CountMode::Exact);
     let cached = CachingExecutor::new(&db);
-    let mut sampler =
-        HdsSampler::new(&cached, SamplerConfig::seeded(3)).unwrap();
+    let mut sampler = HdsSampler::new(&cached, SamplerConfig::seeded(3)).unwrap();
     for _ in 0..100 {
         sampler.next_sample().unwrap();
     }

@@ -63,17 +63,35 @@ impl<'a> Estimator<'a> {
     pub fn proportion(&self, pred: impl Fn(&Row) -> bool) -> AggregateEstimate {
         let n = self.samples.len();
         if n == 0 {
-            return AggregateEstimate { value: f64::NAN, half_width: f64::NAN, n: 0 };
+            return AggregateEstimate {
+                value: f64::NAN,
+                half_width: f64::NAN,
+                n: 0,
+            };
         }
         let total_w = self.samples.total_weight();
-        let hit_w: f64 =
-            self.samples.samples().iter().filter(|s| pred(&s.row)).map(|s| s.weight).sum();
+        let hit_w: f64 = self
+            .samples
+            .samples()
+            .iter()
+            .filter(|s| pred(&s.row))
+            .map(|s| s.weight)
+            .sum();
         let p = hit_w / total_w;
         // Effective sample size for weighted data: (Σw)² / Σw².
-        let sum_w2: f64 = self.samples.samples().iter().map(|s| s.weight * s.weight).sum();
+        let sum_w2: f64 = self
+            .samples
+            .samples()
+            .iter()
+            .map(|s| s.weight * s.weight)
+            .sum();
         let n_eff = total_w * total_w / sum_w2;
         let half = Z95 * (p * (1.0 - p) / n_eff).sqrt();
-        AggregateEstimate { value: p, half_width: half, n }
+        AggregateEstimate {
+            value: p,
+            half_width: half,
+            n,
+        }
     }
 
     /// Estimated COUNT of tuples satisfying `pred`, given the database size
@@ -99,20 +117,35 @@ impl<'a> Estimator<'a> {
             .collect();
         let n = selected.len();
         if n == 0 {
-            return AggregateEstimate { value: f64::NAN, half_width: f64::NAN, n: 0 };
+            return AggregateEstimate {
+                value: f64::NAN,
+                half_width: f64::NAN,
+                n: 0,
+            };
         }
         let w_total: f64 = selected.iter().map(|&(_, w)| w).sum();
         let mean: f64 = selected.iter().map(|&(x, w)| x * w).sum::<f64>() / w_total;
         if n < 2 {
-            return AggregateEstimate { value: mean, half_width: f64::NAN, n };
+            return AggregateEstimate {
+                value: mean,
+                half_width: f64::NAN,
+                n,
+            };
         }
         // Weighted variance (self-normalized); reduces to the sample
         // variance when all weights are 1.
-        let var: f64 = selected.iter().map(|&(x, w)| w * (x - mean) * (x - mean)).sum::<f64>()
+        let var: f64 = selected
+            .iter()
+            .map(|&(x, w)| w * (x - mean) * (x - mean))
+            .sum::<f64>()
             / w_total;
         let n_eff = w_total * w_total / selected.iter().map(|&(_, w)| w * w).sum::<f64>();
         let half = Z95 * (var / n_eff).sqrt();
-        AggregateEstimate { value: mean, half_width: half, n }
+        AggregateEstimate {
+            value: mean,
+            half_width: half,
+            n,
+        }
     }
 
     /// Estimated SUM of measure `m` over tuples satisfying `pred`, given
@@ -128,7 +161,11 @@ impl<'a> Estimator<'a> {
         // reflects both sources of variance.
         let n = self.samples.len();
         if n == 0 {
-            return AggregateEstimate { value: f64::NAN, half_width: f64::NAN, n: 0 };
+            return AggregateEstimate {
+                value: f64::NAN,
+                half_width: f64::NAN,
+                n: 0,
+            };
         }
         let w_total = self.samples.total_weight();
         let contrib = |s: &hdsampler_core::Sample| {
@@ -156,9 +193,18 @@ impl<'a> Estimator<'a> {
             .sum::<f64>()
             / w_total;
         let n_eff = w_total * w_total
-            / self.samples.samples().iter().map(|s| s.weight * s.weight).sum::<f64>();
+            / self
+                .samples
+                .samples()
+                .iter()
+                .map(|s| s.weight * s.weight)
+                .sum::<f64>();
         let half = Z95 * (var / n_eff).sqrt() * n_total;
-        AggregateEstimate { value: mean * n_total, half_width: half, n }
+        AggregateEstimate {
+            value: mean * n_total,
+            half_width: half,
+            n,
+        }
     }
 }
 
@@ -220,16 +266,18 @@ mod tests {
     #[test]
     fn weights_shift_estimates() {
         // Value 1 carries double weight: proportion becomes 2/3 not 1/2.
-        let set: SampleSet =
-            [sample(0, 0.0, 1.0), sample(1, 0.0, 2.0)].into_iter().collect();
+        let set: SampleSet = [sample(0, 0.0, 1.0), sample(1, 0.0, 2.0)]
+            .into_iter()
+            .collect();
         let est = Estimator::new(&set).proportion(|r| r.values[0] == 1);
         assert!((est.value - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn weighted_avg_is_self_normalized() {
-        let set: SampleSet =
-            [sample(0, 10.0, 1.0), sample(0, 40.0, 3.0)].into_iter().collect();
+        let set: SampleSet = [sample(0, 10.0, 1.0), sample(0, 40.0, 3.0)]
+            .into_iter()
+            .collect();
         let est = Estimator::new(&set).avg(MeasureId(0), |_| true);
         assert!((est.value - 32.5).abs() < 1e-12, "(10·1 + 40·3)/4 = 32.5");
     }
@@ -238,8 +286,12 @@ mod tests {
     fn ci_shrinks_with_sample_size() {
         let small = uniform_set(&(0..20).map(|i| (i % 2, 0.0)).collect::<Vec<_>>());
         let large = uniform_set(&(0..2000).map(|i| (i % 2, 0.0)).collect::<Vec<_>>());
-        let hw_small = Estimator::new(&small).proportion(|r| r.values[0] == 0).half_width;
-        let hw_large = Estimator::new(&large).proportion(|r| r.values[0] == 0).half_width;
+        let hw_small = Estimator::new(&small)
+            .proportion(|r| r.values[0] == 0)
+            .half_width;
+        let hw_large = Estimator::new(&large)
+            .proportion(|r| r.values[0] == 0)
+            .half_width;
         assert!(hw_large < hw_small / 5.0);
     }
 }

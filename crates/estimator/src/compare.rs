@@ -26,12 +26,7 @@ impl MarginalComparison {
     /// # Panics
     /// Panics if the two distributions do not match the attribute's domain
     /// size.
-    pub fn new(
-        schema: &Schema,
-        attr: AttrId,
-        estimated: Vec<f64>,
-        reference: Vec<f64>,
-    ) -> Self {
+    pub fn new(schema: &Schema, attr: AttrId, estimated: Vec<f64>, reference: Vec<f64>) -> Self {
         let a = schema.attr_unchecked(attr);
         assert_eq!(estimated.len(), a.domain_size(), "estimate arity");
         assert_eq!(reference.len(), a.domain_size(), "reference arity");
@@ -74,10 +69,17 @@ impl MarginalComparison {
         use std::fmt::Write as _;
         let mut order: Vec<usize> = (0..self.labels.len()).collect();
         order.sort_by(|&a, &b| {
-            self.reference[b].partial_cmp(&self.reference[a]).expect("finite")
+            self.reference[b]
+                .partial_cmp(&self.reference[a])
+                .expect("finite")
         });
-        let label_w =
-            self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(5).max(7);
+        let label_w = self
+            .labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(5)
+            .max(7);
 
         let mut out = String::new();
         let _ = writeln!(
@@ -131,12 +133,7 @@ mod tests {
     #[test]
     fn metrics() {
         let s = schema();
-        let c = MarginalComparison::new(
-            &s,
-            AttrId(0),
-            vec![0.5, 0.3, 0.2],
-            vec![0.45, 0.35, 0.2],
-        );
+        let c = MarginalComparison::new(&s, AttrId(0), vec![0.5, 0.3, 0.2], vec![0.45, 0.35, 0.2]);
         assert!((c.tv() - 0.05).abs() < 1e-12);
         assert!((c.max_abs_error() - 0.05).abs() < 1e-12);
     }
@@ -144,12 +141,7 @@ mod tests {
     #[test]
     fn render_table() {
         let s = schema();
-        let c = MarginalComparison::new(
-            &s,
-            AttrId(0),
-            vec![0.5, 0.3, 0.2],
-            vec![0.45, 0.35, 0.2],
-        );
+        let c = MarginalComparison::new(&s, AttrId(0), vec![0.5, 0.3, 0.2], vec![0.45, 0.35, 0.2]);
         let table = c.render(0.0);
         assert!(table.contains("Toyota"));
         assert!(table.contains("TV distance"));
@@ -159,12 +151,8 @@ mod tests {
     #[test]
     fn render_aggregates_small_rows() {
         let s = schema();
-        let c = MarginalComparison::new(
-            &s,
-            AttrId(0),
-            vec![0.6, 0.38, 0.02],
-            vec![0.6, 0.39, 0.01],
-        );
+        let c =
+            MarginalComparison::new(&s, AttrId(0), vec![0.6, 0.38, 0.02], vec![0.6, 0.39, 0.01]);
         let table = c.render(0.05);
         assert!(table.contains("(other)"));
         assert!(!table.contains("Ford"));

@@ -109,7 +109,12 @@ impl DataCube {
     /// Render as a percentage table (rows × columns).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let label_w = self.row_labels.iter().map(|l| l.chars().count()).max().unwrap_or(4);
+        let label_w = self
+            .row_labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(4);
         let mut out = String::new();
         let _ = write!(out, "{:label_w$}", "");
         for cl in &self.col_labels {

@@ -99,8 +99,17 @@ impl Histogram {
         let props = self.proportions();
         let mut order: Vec<usize> = (0..props.len()).collect();
         order.sort_by(|&a, &b| props[b].partial_cmp(&props[a]).expect("finite"));
-        let label_w = self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(1);
-        let max_p = props.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+        let label_w = self
+            .labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(1);
+        let max_p = props
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+            .max(f64::MIN_POSITIVE);
 
         let mut out = String::new();
         let _ = writeln!(out, "{} (n = {:.0})", self.attr_name, self.total);

@@ -52,7 +52,13 @@ impl MarginalEstimate {
             lo.push(l);
             hi.push(h);
         }
-        MarginalEstimate { attr, n, proportions, lo, hi }
+        MarginalEstimate {
+            attr,
+            n,
+            proportions,
+            lo,
+            hi,
+        }
     }
 
     /// The attribute estimated.

@@ -3,15 +3,17 @@
 
 use hdsampler_core::{Sample, SampleMeta, SampleSet};
 use hdsampler_estimator::marginal::wilson_interval;
-use hdsampler_estimator::{
-    capture_recapture, kl_divergence, tv_distance, Estimator, Histogram,
-};
+use hdsampler_estimator::{capture_recapture, kl_divergence, tv_distance, Estimator, Histogram};
 use hdsampler_model::{Attribute, MeasureId, Row, SchemaBuilder};
 use proptest::prelude::*;
 
 fn sample(v: u16, measure: f64, weight: f64) -> Sample {
     Sample {
-        row: Row::new((v as u64) << 32 | measure.to_bits() & 0xFFFF_FFFF, vec![v], vec![measure]),
+        row: Row::new(
+            (v as u64) << 32 | measure.to_bits() & 0xFFFF_FFFF,
+            vec![v],
+            vec![measure],
+        ),
         weight,
         meta: SampleMeta::default(),
     }

@@ -23,12 +23,18 @@ pub struct QueryBudget {
 impl QueryBudget {
     /// Budget of `limit` queries.
     pub fn limited(limit: u64) -> Self {
-        QueryBudget { limit: Some(limit), used: AtomicU64::new(0) }
+        QueryBudget {
+            limit: Some(limit),
+            used: AtomicU64::new(0),
+        }
     }
 
     /// No limit (charges are still counted).
     pub fn unlimited() -> Self {
-        QueryBudget { limit: None, used: AtomicU64::new(0) }
+        QueryBudget {
+            limit: None,
+            used: AtomicU64::new(0),
+        }
     }
 
     /// Charge one query.

@@ -1,14 +1,35 @@
 //! Per-(attribute, value) posting lists and conjunctive intersection.
 //!
 //! A conjunctive equality query is evaluated by intersecting the sorted
-//! posting lists of its predicates, smallest first, with galloping (doubling)
-//! search — the classic approach for selective conjunctions. The evaluator
-//! also offers a count-only path so that count probes do not materialize id
-//! lists beyond the intersection itself.
+//! posting lists of its predicates, smallest first. The index offers three
+//! access paths, all allocation-free until a caller materializes:
+//!
+//! * [`PostingIndex::intersection`] — a streaming iterator over matching
+//!   ids, driven by the smallest posting list, with the remaining
+//!   predicates probed either through a **precomputed dense bitmap**
+//!   (`O(1)` per candidate, built at index time for values whose posting
+//!   list exceeds a density threshold) or by **galloping** (doubling)
+//!   search through the sorted list;
+//! * [`PostingIndex::count_at_most`] — bounded counting that early-exits
+//!   the moment `limit` matches are seen, which is all a top-k interface
+//!   needs to classify a query as overflow/valid/empty;
+//! * [`PostingIndex::count`] — exact counting without materializing ids:
+//!   `O(1)` for at most one predicate, a word-AND popcount when every
+//!   predicate is dense, and a streamed count otherwise.
 
 use hdsampler_model::{ConjunctiveQuery, DomIx, TupleId};
 
 use crate::table::Table;
+
+/// A posting list denser than one in [`DENSITY_DIVISOR`] tuples gets a
+/// precomputed bitmap; probing it then costs one shift-and-mask instead of
+/// a galloping search.
+const DENSITY_DIVISOR: usize = 16;
+
+/// Tables smaller than this skip bitmap construction entirely — galloping
+/// through short lists is already cheap and the fixed cost of bitmaps would
+/// dominate.
+const MIN_TUPLES_FOR_BITMAPS: usize = 1024;
 
 /// Inverted index: for every attribute, for every domain value, the sorted
 /// list of tuple ids holding that value.
@@ -16,6 +37,10 @@ use crate::table::Table;
 pub struct PostingIndex {
     /// `lists[a][v]` = sorted tuple ids with `attr a = v`.
     lists: Vec<Vec<Vec<u32>>>,
+    /// `bitmaps[a][v]` = one bit per tuple for dense (attr, value) pairs,
+    /// empty for sparse ones. Word `i` holds tuples `64 i .. 64 i + 63`,
+    /// least-significant bit first.
+    bitmaps: Vec<Vec<Vec<u64>>>,
     n_tuples: usize,
 }
 
@@ -23,6 +48,7 @@ impl PostingIndex {
     /// Build the index with one pass over each column.
     pub fn build(table: &Table) -> Self {
         let schema = table.schema();
+        let n = table.len();
         let mut lists: Vec<Vec<Vec<u32>>> = schema
             .attributes()
             .iter()
@@ -42,7 +68,32 @@ impl PostingIndex {
                 per_attr[v as usize].push(t as u32);
             }
         }
-        PostingIndex { lists, n_tuples: table.len() }
+        // Second pass: bitmaps for dense values only.
+        let dense_floor = (n / DENSITY_DIVISOR).max(1);
+        let words = n.div_ceil(64);
+        let bitmaps: Vec<Vec<Vec<u64>>> = lists
+            .iter()
+            .map(|per_attr| {
+                per_attr
+                    .iter()
+                    .map(|list| {
+                        if n < MIN_TUPLES_FOR_BITMAPS || list.len() < dense_floor {
+                            return Vec::new();
+                        }
+                        let mut bits = vec![0u64; words];
+                        for &t in list {
+                            bits[(t >> 6) as usize] |= 1u64 << (t & 63);
+                        }
+                        bits
+                    })
+                    .collect()
+            })
+            .collect();
+        PostingIndex {
+            lists,
+            bitmaps,
+            n_tuples: n,
+        }
     }
 
     /// The posting list for `attr = value`.
@@ -63,51 +114,274 @@ impl PostingIndex {
         self.n_tuples
     }
 
+    /// The dense bitmap for `attr = value`, when one was built.
+    #[inline]
+    fn bitmap(&self, attr: usize, value: DomIx) -> Option<&[u64]> {
+        let bits = &self.bitmaps[attr][value as usize];
+        if bits.is_empty() {
+            None
+        } else {
+            Some(bits)
+        }
+    }
+
+    /// A streaming iterator over the ids matching `query`, ascending.
+    ///
+    /// Nothing is materialized. Two adaptive plans:
+    ///
+    /// * **dense** — every predicate is bitmap-backed and the smallest
+    ///   posting list is longer than the word count: AND the bitmaps word
+    ///   by word and emit set bits (`n/64` word operations regardless of
+    ///   how many predicates conjoin);
+    /// * **probe** — the smallest posting list drives and every other
+    ///   predicate is probed per candidate (bitmap test or gallop).
+    ///
+    /// The empty query streams every id.
+    pub fn intersection(&self, query: &ConjunctiveQuery) -> IntersectionIter<'_> {
+        let preds = query.predicates();
+        if preds.is_empty() {
+            return IntersectionIter {
+                kind: IterKind::Range(0..self.n_tuples as u32),
+            };
+        }
+        let mut ordered: Vec<(usize, DomIx)> =
+            preds.iter().map(|p| (p.attr.index(), p.value)).collect();
+        ordered.sort_unstable_by_key(|&(a, v)| self.frequency(a, v));
+        let (lead_attr, lead_value) = ordered[0];
+        let lead = self.posting(lead_attr, lead_value);
+        if lead.is_empty() {
+            return IntersectionIter {
+                kind: IterKind::Empty,
+            };
+        }
+        // Dense plan: word-AND streaming when every predicate has a bitmap
+        // and the lead list is long enough that per-candidate probing would
+        // cost more than scanning the words.
+        if ordered.len() >= 2 {
+            let words = self.n_tuples.div_ceil(64);
+            if lead.len() > words {
+                if let Some(maps) = ordered
+                    .iter()
+                    .map(|&(a, v)| self.bitmap(a, v))
+                    .collect::<Option<Vec<&[u64]>>>()
+                {
+                    return IntersectionIter {
+                        kind: IterKind::Dense {
+                            maps,
+                            word_ix: 0,
+                            current: 0,
+                            base: 0,
+                        },
+                    };
+                }
+            }
+        }
+        let probes: Vec<Probe<'_>> = ordered[1..]
+            .iter()
+            .map(|&(a, v)| match self.bitmap(a, v) {
+                Some(bits) => Probe::Bits(bits),
+                None => Probe::List {
+                    list: self.posting(a, v),
+                    pos: 0,
+                },
+            })
+            .collect();
+        IntersectionIter {
+            kind: IterKind::Stream {
+                lead,
+                pos: 0,
+                probes,
+            },
+        }
+    }
+
     /// Evaluate a query to its full (sorted) matching id list.
     ///
-    /// The empty query matches every tuple.
+    /// The empty query matches every tuple. Hot paths should prefer
+    /// [`PostingIndex::intersection`] / [`PostingIndex::count_at_most`];
+    /// this entry point is for callers that genuinely need the whole list.
     pub fn evaluate(&self, query: &ConjunctiveQuery) -> Vec<u32> {
+        self.intersection(query).collect()
+    }
+
+    /// Count matches, stopping as soon as `limit` of them have been seen.
+    ///
+    /// Returns `min(true_count, limit)`: exactly what a top-k classifier
+    /// needs (`count_at_most(q, k + 1) > k` ⇔ overflow) at a fraction of a
+    /// full count's cost near the root of the query tree.
+    pub fn count_at_most(&self, query: &ConjunctiveQuery, limit: usize) -> usize {
         let preds = query.predicates();
         match preds.len() {
-            0 => (0..self.n_tuples as u32).collect(),
-            1 => self.posting(preds[0].attr.index(), preds[0].value).to_vec(),
+            0 => self.n_tuples.min(limit),
+            1 => self
+                .frequency(preds[0].attr.index(), preds[0].value)
+                .min(limit),
             _ => {
-                // Intersect smallest-first to bound intermediate sizes.
-                let mut ordered: Vec<&[u32]> = preds
-                    .iter()
-                    .map(|p| self.posting(p.attr.index(), p.value))
-                    .collect();
-                ordered.sort_unstable_by_key(|l| l.len());
-                if ordered[0].is_empty() {
-                    return Vec::new();
+                let mut seen = 0;
+                let mut stream = self.intersection(query);
+                while seen < limit && stream.next().is_some() {
+                    seen += 1;
                 }
-                let mut acc: Vec<u32> = ordered[0].to_vec();
-                for list in &ordered[1..] {
-                    intersect_into(&mut acc, list);
-                    if acc.is_empty() {
-                        break;
-                    }
-                }
-                acc
+                seen
             }
         }
     }
 
-    /// Count-only evaluation (no output list survives the call).
+    /// Count-only evaluation: no id list is ever materialized.
     pub fn count(&self, query: &ConjunctiveQuery) -> usize {
-        match query.predicates().len() {
+        let preds = query.predicates();
+        match preds.len() {
             0 => self.n_tuples,
-            1 => {
-                let p = &query.predicates()[0];
-                self.frequency(p.attr.index(), p.value)
+            1 => self.frequency(preds[0].attr.index(), preds[0].value),
+            _ => {
+                // All-dense conjunctions count by word-AND popcount.
+                if let Some(total) = self.count_dense(query) {
+                    return total;
+                }
+                self.intersection(query).count()
             }
-            _ => self.evaluate(query).len(),
         }
+    }
+
+    /// Popcount of the word-AND of all predicate bitmaps, when every
+    /// predicate has one.
+    fn count_dense(&self, query: &ConjunctiveQuery) -> Option<usize> {
+        let mut maps = Vec::with_capacity(query.len());
+        for p in query.predicates() {
+            maps.push(self.bitmap(p.attr.index(), p.value)?);
+        }
+        let (first, rest) = maps.split_first().expect("multi-predicate query");
+        let mut total = 0usize;
+        for (w, &word) in first.iter().enumerate() {
+            let mut acc = word;
+            for bits in rest {
+                acc &= bits[w];
+                if acc == 0 {
+                    break;
+                }
+            }
+            total += acc.count_ones() as usize;
+        }
+        Some(total)
     }
 
     /// Ids of matching tuples as [`TupleId`]s.
     pub fn evaluate_ids(&self, query: &ConjunctiveQuery) -> Vec<TupleId> {
-        self.evaluate(query).into_iter().map(TupleId).collect()
+        self.intersection(query).map(TupleId).collect()
+    }
+}
+
+/// One non-lead predicate's membership test inside a streamed intersection.
+#[derive(Debug)]
+enum Probe<'a> {
+    /// Dense value: constant-time bit test.
+    Bits(&'a [u64]),
+    /// Sparse value: gallop through the sorted list with a resumable
+    /// cursor (candidates arrive ascending, so each list is traversed at
+    /// most once per stream).
+    List { list: &'a [u32], pos: usize },
+}
+
+impl Probe<'_> {
+    #[inline]
+    fn contains(&mut self, t: u32) -> bool {
+        match self {
+            Probe::Bits(bits) => bits[(t >> 6) as usize] & (1u64 << (t & 63)) != 0,
+            Probe::List { list, pos } => {
+                *pos = gallop(list, *pos, t);
+                *pos < list.len() && list[*pos] == t
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum IterKind<'a> {
+    /// Empty query: every id.
+    Range(std::ops::Range<u32>),
+    /// At least one predicate: lead list + probes.
+    Stream {
+        lead: &'a [u32],
+        pos: usize,
+        probes: Vec<Probe<'a>>,
+    },
+    /// All predicates dense: word-AND the bitmaps and emit set bits.
+    Dense {
+        maps: Vec<&'a [u64]>,
+        /// Next word to AND.
+        word_ix: usize,
+        /// Remaining set bits of the last ANDed word.
+        current: u64,
+        /// Tuple id of bit 0 of `current`.
+        base: u32,
+    },
+    /// Provably empty result.
+    Empty,
+}
+
+/// Streaming conjunctive intersection (see [`PostingIndex::intersection`]).
+#[derive(Debug)]
+pub struct IntersectionIter<'a> {
+    kind: IterKind<'a>,
+}
+
+impl Iterator for IntersectionIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match &mut self.kind {
+            IterKind::Range(r) => r.next(),
+            IterKind::Empty => None,
+            IterKind::Stream { lead, pos, probes } => {
+                'candidates: while *pos < lead.len() {
+                    let t = lead[*pos];
+                    *pos += 1;
+                    for probe in probes.iter_mut() {
+                        if !probe.contains(t) {
+                            continue 'candidates;
+                        }
+                    }
+                    return Some(t);
+                }
+                None
+            }
+            IterKind::Dense {
+                maps,
+                word_ix,
+                current,
+                base,
+            } => {
+                while *current == 0 {
+                    let (first, rest) = maps.split_first().expect("dense plan has maps");
+                    let &word = first.get(*word_ix)?;
+                    let mut acc = word;
+                    for bits in rest {
+                        acc &= bits[*word_ix];
+                        if acc == 0 {
+                            break;
+                        }
+                    }
+                    *base = (*word_ix as u32) << 6;
+                    *word_ix += 1;
+                    *current = acc;
+                }
+                let bit = current.trailing_zeros();
+                *current &= *current - 1;
+                Some(*base + bit)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.kind {
+            IterKind::Range(r) => r.size_hint(),
+            IterKind::Empty => (0, Some(0)),
+            IterKind::Stream { lead, pos, .. } => (0, Some(lead.len() - *pos)),
+            IterKind::Dense { maps, word_ix, .. } => {
+                let words_left = maps[0].len().saturating_sub(*word_ix);
+                (0, Some(words_left * 64 + 64))
+            }
+        }
     }
 }
 
@@ -130,31 +404,11 @@ fn gallop(list: &[u32], from: usize, needle: u32) -> usize {
     }
 }
 
-/// Intersect `acc` (small) with `other` (sorted), in place, galloping through
-/// `other`.
-fn intersect_into(acc: &mut Vec<u32>, other: &[u32]) {
-    let mut write = 0;
-    let mut pos = 0;
-    for read in 0..acc.len() {
-        let needle = acc[read];
-        pos = gallop(other, pos, needle);
-        if pos >= other.len() {
-            break;
-        }
-        if other[pos] == needle {
-            acc[write] = needle;
-            write += 1;
-            pos += 1;
-        }
-    }
-    acc.truncate(write);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::table::TableBuilder;
-    use hdsampler_model::{Attribute, AttrId, Schema, SchemaBuilder, Tuple};
+    use hdsampler_model::{AttrId, Attribute, Schema, SchemaBuilder, Tuple};
     use std::sync::Arc;
 
     fn table_from(values: &[[DomIx; 3]]) -> Table {
@@ -167,7 +421,8 @@ mod tests {
             .into_shared();
         let mut b = TableBuilder::new(Arc::clone(&schema), 7);
         for row in values {
-            b.push(&Tuple::new(&schema, row.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, row.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         b.finish()
     }
@@ -194,8 +449,8 @@ mod tests {
     fn conjunction_intersects() {
         let t = table_from(&[[0, 0, 0], [1, 1, 1], [1, 2, 0], [1, 1, 0], [1, 1, 0]]);
         let idx = PostingIndex::build(&t);
-        let q = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 1), (AttrId(2), 0)])
-            .unwrap();
+        let q =
+            ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 1), (AttrId(2), 0)]).unwrap();
         assert_eq!(idx.evaluate(&q), vec![3, 4]);
     }
 
@@ -246,9 +501,76 @@ mod tests {
                         .collect();
                     assert_eq!(idx.evaluate(&q), naive);
                     assert_eq!(idx.count(&q), naive.len());
+                    for limit in [0usize, 1, 2, naive.len(), naive.len() + 5] {
+                        assert_eq!(idx.count_at_most(&q, limit), naive.len().min(limit));
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn bitmaps_kick_in_on_large_dense_tables() {
+        // 2048 tuples with heavily repeated values: dense (attr, value)
+        // pairs must get bitmaps and produce identical results.
+        let rows: Vec<[DomIx; 3]> = (0..2048)
+            .map(|i| [(i % 2) as DomIx, (i % 3) as DomIx, ((i / 7) % 2) as DomIx])
+            .collect();
+        let t = table_from(&rows);
+        let idx = PostingIndex::build(&t);
+        assert!(
+            idx.bitmap(0, 0).is_some(),
+            "dense value must be bitmap-backed"
+        );
+        for a in 0..2u16 {
+            for b in 0..3u16 {
+                for c in 0..2u16 {
+                    let q = ConjunctiveQuery::from_pairs([
+                        (AttrId(0), a),
+                        (AttrId(1), b),
+                        (AttrId(2), c),
+                    ])
+                    .unwrap();
+                    let naive: Vec<u32> = rows
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| q.matches(&r[..]))
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    assert_eq!(idx.evaluate(&q), naive);
+                    assert_eq!(idx.count(&q), naive.len());
+                    assert_eq!(
+                        idx.count_dense(&q),
+                        Some(naive.len()),
+                        "all values here are dense, so the popcount path must engage"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_at_most_early_exits() {
+        let rows: Vec<[DomIx; 3]> = (0..2048).map(|i| [(i % 2) as DomIx, 0, 0]).collect();
+        let t = table_from(&rows);
+        let idx = PostingIndex::build(&t);
+        let q = ConjunctiveQuery::from_pairs([(AttrId(1), 0), (AttrId(2), 0)]).unwrap();
+        assert_eq!(idx.count_at_most(&q, 5), 5);
+        assert_eq!(idx.count_at_most(&q, 2048), 2048);
+        assert_eq!(idx.count_at_most(&q, 10_000), 2048);
+    }
+
+    #[test]
+    fn streaming_iterator_is_resumable_and_sorted() {
+        let t = table_from(&[[0, 0, 0], [1, 1, 0], [1, 2, 0], [1, 1, 0], [1, 1, 1]]);
+        let idx = PostingIndex::build(&t);
+        let q = ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(2), 0)]).unwrap();
+        let mut it = idx.intersection(&q);
+        assert_eq!(it.next(), Some(1));
+        assert_eq!(it.next(), Some(2));
+        assert_eq!(it.next(), Some(3));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None, "fused at exhaustion");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use hdsampler_model::{
-    ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse, Schema, Tuple,
+    ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse, Schema, Tuple, TupleId,
 };
 
 use crate::budget::QueryBudget;
@@ -18,7 +18,7 @@ use crate::log::QueryLog;
 use crate::oracle::Oracle;
 use crate::ranking::{RankSpec, Ranking};
 use crate::table::{Table, TableBuilder};
-use crate::topk::top_k;
+use crate::topk::{top_k, top_k_streamed};
 
 /// A simulated hidden database behind a top-k conjunctive form interface.
 #[derive(Debug)]
@@ -69,7 +69,109 @@ impl HiddenDb {
     }
 
     fn check_query(&self, query: &ConjunctiveQuery) -> Result<(), InterfaceError> {
-        query.validate(self.table.schema()).map_err(InterfaceError::from)
+        query
+            .validate(self.table.schema())
+            .map_err(InterfaceError::from)
+    }
+
+    /// The pre-optimization reference path: fully materialize the match
+    /// set, rank the whole vector, and always compute the exact count —
+    /// regardless of classification or count mode.
+    ///
+    /// `execute` never takes this path; it exists as the baseline the
+    /// equivalence proptest and the `micro_engine` benchmarks compare the
+    /// bounded fast path against. It charges the budget and logs exactly
+    /// like `execute`.
+    pub fn execute_unbounded(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<QueryResponse, InterfaceError> {
+        self.check_query(query)?;
+        self.budget.charge()?;
+        let matching = self.index.evaluate(query);
+        let truth = matching.len() as u64;
+        let (ids, overflow) = top_k(&matching, &self.ranking, self.k);
+        Ok(self.respond(query, ids, overflow, truth))
+    }
+
+    /// Materialize rows and assemble the logged [`QueryResponse`] — the
+    /// shared tail of `execute` and [`HiddenDb::execute_unbounded`], so the
+    /// two paths can only differ in how `(ids, overflow, truth)` were
+    /// computed.
+    fn respond(
+        &self,
+        query: &ConjunctiveQuery,
+        ids: Vec<TupleId>,
+        overflow: bool,
+        truth: u64,
+    ) -> QueryResponse {
+        let rows = ids.iter().map(|&t| self.table.row(t)).collect::<Vec<_>>();
+        let class = if overflow {
+            hdsampler_model::Classification::Overflow
+        } else if rows.is_empty() {
+            hdsampler_model::Classification::Empty
+        } else {
+            hdsampler_model::Classification::Valid
+        };
+        self.log.record(class, rows.len(), query.len());
+        QueryResponse {
+            rows,
+            overflow,
+            reported_count: self.count_mode.report(query, truth),
+        }
+    }
+
+    /// The top-k page and exact cardinality of a query already known to
+    /// overflow, without materializing the match set.
+    ///
+    /// Broad single-predicate (and empty) queries scan tuples in display
+    /// order and stop after `k` hits — near the root of the query tree this
+    /// touches `≈ n·k/count` tuples instead of the whole posting list.
+    /// Everything else streams the intersection through a k-bounded
+    /// tournament heap ([`top_k_streamed`]), which also yields the exact
+    /// count as a side effect. Both paths order by `(sort_key, id)` and so
+    /// return identical pages.
+    fn overflow_page(&self, query: &ConjunctiveQuery) -> (Vec<TupleId>, u64) {
+        let preds = query.predicates();
+        match preds.len() {
+            0 => {
+                let best = &self.ranking.by_rank()[..self.k.min(self.table.len())];
+                (
+                    best.iter().map(|&t| TupleId(t)).collect(),
+                    self.table.len() as u64,
+                )
+            }
+            1 => {
+                let p = &preds[0];
+                let count = self.index.frequency(p.attr.index(), p.value);
+                let n = self.table.len();
+                // Rank-order scan beats a heap pass over the posting list
+                // when the predicate is broad: expected probes are
+                // ≈ n·k/count, so prefer it when n·k ≤ count².
+                if count > 0 && n / count <= count / self.k.max(1) {
+                    let col = self.table.column(p.attr.index());
+                    let mut ids = Vec::with_capacity(self.k);
+                    for &t in self.ranking.by_rank() {
+                        if col[t as usize] == p.value {
+                            ids.push(TupleId(t));
+                            if ids.len() == self.k {
+                                break;
+                            }
+                        }
+                    }
+                    (ids, count as u64)
+                } else {
+                    let (ids, _, total) =
+                        top_k_streamed(self.index.intersection(query), &self.ranking, self.k);
+                    (ids, total)
+                }
+            }
+            _ => {
+                let (ids, _, total) =
+                    top_k_streamed(self.index.intersection(query), &self.ranking, self.k);
+                (ids, total)
+            }
+        }
     }
 }
 
@@ -85,23 +187,32 @@ impl FormInterface for HiddenDb {
     fn execute(&self, query: &ConjunctiveQuery) -> Result<QueryResponse, InterfaceError> {
         self.check_query(query)?;
         self.budget.charge()?;
-        let matching = self.index.evaluate(query);
-        let truth = matching.len() as u64;
-        let (ids, overflow) = top_k(&matching, &self.ranking, self.k);
-        let rows = ids.iter().map(|&t| self.table.row(t)).collect::<Vec<_>>();
-        let class = if overflow {
-            hdsampler_model::Classification::Overflow
-        } else if rows.is_empty() {
-            hdsampler_model::Classification::Empty
+        let (ids, overflow, truth) = if query.len() <= 1 {
+            // Root region of the query tree: the bounded classification
+            // probe is O(1) here (tuple count or posting-list length,
+            // capped at k + 1), so classify first and only then build the
+            // page the classification calls for.
+            let bounded = self.index.count_at_most(query, self.k + 1);
+            if bounded > self.k {
+                let (ids, truth) = self.overflow_page(query);
+                (ids, true, truth)
+            } else {
+                // Valid (or empty): the full match set is at most k ids —
+                // materialize exactly those and rank-sort them.
+                let matching: Vec<u32> = self.index.intersection(query).collect();
+                debug_assert_eq!(matching.len(), bounded);
+                let (ids, _) = top_k(&matching, &self.ranking, self.k);
+                (ids, false, bounded as u64)
+            }
         } else {
-            hdsampler_model::Classification::Valid
+            // Deeper conjunctions: one streamed pass over the intersection
+            // yields the classification, the k-bounded page, and the exact
+            // count together — no match vector, no second pass.
+            let (ids, overflow, total) =
+                top_k_streamed(self.index.intersection(query), &self.ranking, self.k);
+            (ids, overflow, total)
         };
-        self.log.record(class, rows.len(), query.len());
-        Ok(QueryResponse {
-            rows,
-            overflow,
-            reported_count: self.count_mode.report(query, truth),
-        })
+        Ok(self.respond(query, ids, overflow, truth))
     }
 
     fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {
@@ -137,12 +248,17 @@ pub struct HiddenDbBuilder {
     budget: Option<u64>,
 }
 
+/// Default listing-key seed ("coffee, diseased" — grouped for the pun, not
+/// the bytes).
+#[allow(clippy::unusual_byte_groupings)]
+pub const DEFAULT_KEY_SEED: u64 = 0xC0FF_EE00_D15E_A5E;
+
 impl HiddenDbBuilder {
     /// Start with Google-Base-like defaults: `k = 1000`, hash-order ranking,
     /// no count banner, unmetered.
     pub fn new(schema: Arc<Schema>) -> Self {
         HiddenDbBuilder {
-            table: TableBuilder::new(schema, 0xC0FF_EE00_D15E_A5E),
+            table: TableBuilder::new(schema, DEFAULT_KEY_SEED),
             k: 1000,
             rank: RankSpec::HashOrder { seed: 0x5EED },
             count_mode: CountMode::Absent,
@@ -152,7 +268,10 @@ impl HiddenDbBuilder {
 
     /// Set the top-k display limit.
     pub fn result_limit(mut self, k: usize) -> Self {
-        assert!(k >= 1, "a form that shows zero results is no interface at all");
+        assert!(
+            k >= 1,
+            "a form that shows zero results is no interface at all"
+        );
         self.k = k;
         self
     }
@@ -214,7 +333,9 @@ impl HiddenDbBuilder {
             ranking,
             k: self.k,
             count_mode: self.count_mode,
-            budget: self.budget.map_or_else(QueryBudget::unlimited, QueryBudget::limited),
+            budget: self
+                .budget
+                .map_or_else(QueryBudget::unlimited, QueryBudget::limited),
             log: QueryLog::default(),
         }
     }
@@ -237,7 +358,8 @@ mod tests {
             .into_shared();
         let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(k);
         for vals in [[0u16, 0, 1], [0, 1, 0], [0, 1, 1], [1, 1, 0]] {
-            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         b.finish()
     }
@@ -287,7 +409,8 @@ mod tests {
             .unwrap()
             .into_shared();
         let mut b = HiddenDb::builder(Arc::clone(&schema)).query_budget(2);
-        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap()).unwrap();
+        b.push(&Tuple::new(&schema, vec![0], vec![]).unwrap())
+            .unwrap();
         let db = b.finish();
         assert!(db.execute(&ConjunctiveQuery::empty()).is_ok());
         assert!(db.execute(&ConjunctiveQuery::empty()).is_ok());
@@ -315,7 +438,8 @@ mod tests {
             .into_shared();
         let mut b = HiddenDb::builder(Arc::clone(&schema)).count_mode(CountMode::Exact);
         for v in [0u16, 0, 1] {
-            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap())
+                .unwrap();
         }
         let db = b.finish();
         assert!(db.supports_count());
@@ -328,7 +452,10 @@ mod tests {
     fn invalid_query_rejected_without_charge() {
         let db = figure1_db(10);
         let bad = q(&[(7, 0)]);
-        assert!(matches!(db.execute(&bad), Err(InterfaceError::InvalidQuery(_))));
+        assert!(matches!(
+            db.execute(&bad),
+            Err(InterfaceError::InvalidQuery(_))
+        ));
         assert_eq!(db.queries_issued(), 0);
     }
 
@@ -351,7 +478,8 @@ mod tests {
             .into_shared();
         let mut b = HiddenDb::builder(Arc::clone(&schema)).count_mode(CountMode::Exact);
         for v in [0u16, 1, 1] {
-            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap())
+                .unwrap();
         }
         let db = b.finish();
         let r = db.execute(&q(&[(0, 1)])).unwrap();

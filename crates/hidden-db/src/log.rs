@@ -62,14 +62,16 @@ impl QueryLog {
         }
         .fetch_add(1, Ordering::Relaxed);
         self.rows_shipped.fetch_add(rows as u64, Ordering::Relaxed);
-        self.predicates_sum.fetch_add(predicates as u64, Ordering::Relaxed);
+        self.predicates_sum
+            .fetch_add(predicates as u64, Ordering::Relaxed);
     }
 
     /// Record a served count-only probe.
     pub fn record_count_probe(&self, predicates: usize) {
         self.total.fetch_add(1, Ordering::Relaxed);
         self.count_probes.fetch_add(1, Ordering::Relaxed);
-        self.predicates_sum.fetch_add(predicates as u64, Ordering::Relaxed);
+        self.predicates_sum
+            .fetch_add(predicates as u64, Ordering::Relaxed);
     }
 
     /// Copy out all counters.

@@ -54,21 +54,30 @@ impl<'a> Oracle<'a> {
         self.index.count(q) as u64
     }
 
+    /// Exact SUM and COUNT of measure `m` over tuples matching `q`, folded
+    /// in a single streamed pass — no id list is ever materialized, so
+    /// validating aggregates over huge scopes stays allocation-free.
+    pub fn sum_count(&self, q: &ConjunctiveQuery, m: MeasureId) -> (f64, u64) {
+        let col = self.table.measure_column(m.index());
+        self.index
+            .intersection(q)
+            .fold((0.0, 0), |(sum, count), t| {
+                (sum + col[t as usize], count + 1)
+            })
+    }
+
     /// Exact SUM of measure `m` over tuples matching `q`.
     pub fn sum(&self, q: &ConjunctiveQuery, m: MeasureId) -> f64 {
-        let col = self.table.measure_column(m.index());
-        self.index.evaluate(q).into_iter().map(|t| col[t as usize]).sum()
+        self.sum_count(q, m).0
     }
 
     /// Exact AVG of measure `m` over tuples matching `q` (`None` on empty
     /// selections).
     pub fn avg(&self, q: &ConjunctiveQuery, m: MeasureId) -> Option<f64> {
-        let ids = self.index.evaluate(q);
-        if ids.is_empty() {
-            return None;
+        match self.sum_count(q, m) {
+            (_, 0) => None,
+            (sum, count) => Some(sum / count as f64),
         }
-        let col = self.table.measure_column(m.index());
-        Some(ids.iter().map(|&t| col[t as usize]).sum::<f64>() / ids.len() as f64)
     }
 
     /// Exact proportion of tuples matching `q`.
@@ -120,10 +129,9 @@ mod tests {
             .unwrap()
             .into_shared();
         let mut b = HiddenDb::builder(Arc::clone(&schema));
-        for (mk, used, price) in
-            [(0u16, 1u16, 10.0), (0, 0, 20.0), (1, 1, 30.0), (2, 1, 40.0)]
-        {
-            b.push(&Tuple::new(&schema, vec![mk, used], vec![price]).unwrap()).unwrap();
+        for (mk, used, price) in [(0u16, 1u16, 10.0), (0, 0, 20.0), (1, 1, 30.0), (2, 1, 40.0)] {
+            b.push(&Tuple::new(&schema, vec![mk, used], vec![price]).unwrap())
+                .unwrap();
         }
         b.finish()
     }

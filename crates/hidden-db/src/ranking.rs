@@ -32,25 +32,32 @@ pub enum RankSpec {
     InsertionOrder,
 }
 
-/// Materialized ranking: one comparable sort key per tuple; *smaller key =
-/// shown earlier*.
+/// Materialized ranking: one comparable sort key per tuple (*smaller key =
+/// shown earlier*) plus the precomputed best-first permutation of all
+/// tuples, which lets broad overflowing queries find their page by scanning
+/// tuples in display order instead of ranking the whole match set.
 #[derive(Debug)]
 pub struct Ranking {
     sort_keys: Vec<u64>,
+    /// Tuple ids ordered best-first by `(sort_key, id)`.
+    rank_order: Vec<u32>,
 }
 
 impl Ranking {
     /// Precompute sort keys for every tuple of `table` under `spec`.
     pub fn build(spec: &RankSpec, table: &Table) -> Ranking {
         let n = table.len();
-        let sort_keys = match spec {
+        let sort_keys: Vec<u64> = match spec {
             RankSpec::InsertionOrder => (0..n as u64).collect(),
-            RankSpec::HashOrder { seed } => {
-                (0..n as u64).map(|i| splitmix64(i ^ seed.rotate_left(17))).collect()
-            }
+            RankSpec::HashOrder { seed } => (0..n as u64)
+                .map(|i| splitmix64(i ^ seed.rotate_left(17)))
+                .collect(),
             RankSpec::ByMeasureAsc(m) => {
                 let col = table.measure_column(m.index());
-                col.iter().enumerate().map(|(i, &x)| measure_key(x, i, n)).collect()
+                col.iter()
+                    .enumerate()
+                    .map(|(i, &x)| measure_key(x, i, n))
+                    .collect()
             }
             RankSpec::ByMeasureDesc(m) => {
                 let col = table.measure_column(m.index());
@@ -60,13 +67,25 @@ impl Ranking {
                     .collect()
             }
         };
-        Ranking { sort_keys }
+        let mut rank_order: Vec<u32> = (0..n as u32).collect();
+        rank_order.sort_unstable_by_key(|&t| (sort_keys[t as usize], t));
+        Ranking {
+            sort_keys,
+            rank_order,
+        }
     }
 
     /// The sort key of tuple `t` (smaller = ranked higher).
     #[inline]
     pub fn sort_key(&self, t: TupleId) -> u64 {
         self.sort_keys[t.index()]
+    }
+
+    /// All tuple ids, best-ranked first (ties broken by id, matching the
+    /// order both top-k paths emit).
+    #[inline]
+    pub fn by_rank(&self) -> &[u32] {
+        &self.rank_order
     }
 }
 
@@ -77,7 +96,11 @@ fn measure_key(x: f64, id: usize, n: usize) -> u64 {
     // Order-preserving f64→u64 transform (IEEE-754 trick): flip sign bit for
     // positives, all bits for negatives.
     let bits = x.to_bits();
-    let ordered = if bits >> 63 == 0 { bits ^ (1 << 63) } else { !bits };
+    let ordered = if bits >> 63 == 0 {
+        bits ^ (1 << 63)
+    } else {
+        !bits
+    };
     // Reserve the low bits for the tiebreak. n <= u32::MAX.
     let shift = 64 - (usize::BITS - n.leading_zeros()).max(1);
     (ordered >> (64 - shift)) << (64 - shift) | (id as u64 & ((1u64 << (64 - shift)) - 1))
@@ -99,7 +122,8 @@ mod tests {
             .into_shared();
         let mut b = TableBuilder::new(Arc::clone(&schema), 0);
         for &p in prices {
-            b.push(&Tuple::new(&schema, vec![0], vec![p]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vec![0], vec![p]).unwrap())
+                .unwrap();
         }
         b.finish()
     }
@@ -148,6 +172,10 @@ mod tests {
         let rb = Ranking::build(&RankSpec::HashOrder { seed: 2 }, &t);
         assert_ne!(order_of(&ra, 5), order_of(&rb, 5));
         let ra2 = Ranking::build(&RankSpec::HashOrder { seed: 1 }, &t);
-        assert_eq!(order_of(&ra, 5), order_of(&ra2, 5), "deterministic per seed");
+        assert_eq!(
+            order_of(&ra, 5),
+            order_of(&ra2, 5),
+            "deterministic per seed"
+        );
     }
 }

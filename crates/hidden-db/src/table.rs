@@ -89,7 +89,10 @@ impl Table {
     pub fn tuple_by_key(&self, key: u64) -> Option<TupleId> {
         // Keys are only needed for validation paths; linear probe is fine
         // for tests, but a sorted permutation keeps it O(log n).
-        let idx = self.key_order.binary_search_by_key(&key, |&i| self.keys[i as usize]).ok()?;
+        let idx = self
+            .key_order
+            .binary_search_by_key(&key, |&i| self.keys[i as usize])
+            .ok()?;
         Some(TupleId(self.key_order[idx]))
     }
 
@@ -106,7 +109,13 @@ impl Table {
     ) -> Self {
         let mut key_order: Vec<u32> = (0..keys.len() as u32).collect();
         key_order.sort_unstable_by_key(|&i| keys[i as usize]);
-        Table { schema, columns, measure_cols, keys, key_order }
+        Table {
+            schema,
+            columns,
+            measure_cols,
+            keys,
+            key_order,
+        }
     }
 }
 
@@ -125,7 +134,12 @@ impl TableBuilder {
     pub fn new(schema: Arc<Schema>, key_seed: u64) -> Self {
         let columns = vec![Vec::new(); schema.arity()];
         let measure_cols = vec![Vec::new(); schema.measure_arity()];
-        TableBuilder { schema, columns, measure_cols, key_seed }
+        TableBuilder {
+            schema,
+            columns,
+            measure_cols,
+            key_seed,
+        }
     }
 
     /// Replace the listing-key seed (takes effect at [`TableBuilder::finish`]).
@@ -161,7 +175,13 @@ impl TableBuilder {
         for (id, attr) in self.schema.iter() {
             attr.check(tuple.values()[id.index()])?;
         }
-        let id = TupleId(self.columns.first().map_or(self.measure_cols.first().map_or(0, |c| c.len()), |c| c.len()) as u32);
+        let id = TupleId(
+            self.columns
+                .first()
+                .map_or(self.measure_cols.first().map_or(0, |c| c.len()), |c| {
+                    c.len()
+                }) as u32,
+        );
         for (a, c) in self.columns.iter_mut().enumerate() {
             c.push(tuple.values()[a]);
         }
@@ -187,7 +207,9 @@ impl TableBuilder {
     /// Freeze into an immutable [`Table`], assigning opaque listing keys.
     pub fn finish(self) -> Table {
         let n = self.len();
-        let keys = (0..n as u64).map(|i| splitmix64(i ^ self.key_seed)).collect();
+        let keys = (0..n as u64)
+            .map(|i| splitmix64(i ^ self.key_seed))
+            .collect();
         Table::build(self.schema, self.columns, self.measure_cols, keys)
     }
 }
@@ -211,9 +233,12 @@ mod tests {
         let s = schema();
         let mut b = TableBuilder::new(Arc::clone(&s), 42);
         b.reserve(3);
-        b.push(&Tuple::new(&s, vec![0, 0], vec![10_000.0]).unwrap()).unwrap();
-        b.push(&Tuple::new(&s, vec![1, 1], vec![8_000.0]).unwrap()).unwrap();
-        b.push(&Tuple::new(&s, vec![1, 2], vec![15_000.0]).unwrap()).unwrap();
+        b.push(&Tuple::new(&s, vec![0, 0], vec![10_000.0]).unwrap())
+            .unwrap();
+        b.push(&Tuple::new(&s, vec![1, 1], vec![8_000.0]).unwrap())
+            .unwrap();
+        b.push(&Tuple::new(&s, vec![1, 2], vec![15_000.0]).unwrap())
+            .unwrap();
         b.finish()
     }
 
@@ -255,7 +280,8 @@ mod tests {
         let s = schema();
         let mk = |seed| {
             let mut b = TableBuilder::new(Arc::clone(&s), seed);
-            b.push(&Tuple::new(&s, vec![0, 0], vec![1.0]).unwrap()).unwrap();
+            b.push(&Tuple::new(&s, vec![0, 0], vec![1.0]).unwrap())
+                .unwrap();
             b.finish()
         };
         assert_ne!(mk(1).key(TupleId(0)), mk(2).key(TupleId(0)));

@@ -1,4 +1,16 @@
 //! Top-k selection under a precomputed ranking.
+//!
+//! Two paths produce identical pages:
+//!
+//! * [`top_k`] — the materialized path: rank-sort a full id list (kept for
+//!   validation and for callers that already hold the list);
+//! * [`top_k_streamed`] — the bounded path: a k-bounded tournament buffer
+//!   consumes a streamed intersection, keeping at most `2k` candidates
+//!   alive and counting the true cardinality as a side effect. Memory is
+//!   `O(k)` regardless of how many tuples match.
+//!
+//! Both order by `(sort_key, tuple id)`, a total order even if a ranking
+//! produced colliding keys, so the two paths agree row-for-row.
 
 use crate::ranking::Ranking;
 use hdsampler_model::TupleId;
@@ -13,14 +25,67 @@ pub fn top_k(matching: &[u32], ranking: &Ranking, k: usize) -> (Vec<TupleId>, bo
     let mut ids: Vec<u32> = matching.to_vec();
     if overflow && k > 0 {
         // Partial selection: k best by sort key, then order just those k.
-        ids.select_nth_unstable_by_key(k - 1, |&t| ranking.sort_key(TupleId(t)));
+        ids.select_nth_unstable_by_key(k - 1, |&t| (ranking.sort_key(TupleId(t)), t));
         ids.truncate(k);
     }
-    ids.sort_unstable_by_key(|&t| ranking.sort_key(TupleId(t)));
+    ids.sort_unstable_by_key(|&t| (ranking.sort_key(TupleId(t)), t));
     if overflow {
         ids.truncate(k);
     }
     (ids.into_iter().map(TupleId).collect(), overflow)
+}
+
+/// Streamed top-k: consume `matching` (ascending ids) through a k-bounded
+/// tournament buffer, returning the `k` best-ranked ids in rank order, the
+/// overflow flag, and the exact number of ids the stream produced.
+///
+/// The tournament keeps a buffer of at most `2k` candidates and a running
+/// *cut*: the worst key that could still make the page. Entries at or above
+/// the cut are rejected with a single comparison; when the buffer fills, a
+/// partial select keeps the best `k` and tightens the cut. Each round
+/// admits `k` fresh candidates, so at most `O(k · log(n/k))` entries are
+/// ever buffered — the common case per streamed id is one key lookup and
+/// one branch, with no per-id allocation or heap sifting. The exact count
+/// comes for free because the stream is consumed to exhaustion; callers
+/// that only need the classification should bound the stream with
+/// [`PostingIndex::count_at_most`](crate::index::PostingIndex::count_at_most)
+/// instead.
+pub fn top_k_streamed(
+    matching: impl Iterator<Item = u32>,
+    ranking: &Ranking,
+    k: usize,
+) -> (Vec<TupleId>, bool, u64) {
+    if k == 0 {
+        // Degenerate page size: count-only (mirrors `top_k`'s k = 0
+        // behavior — any match at all is an overflow).
+        let total = matching.count() as u64;
+        return (Vec::new(), total > 0, total);
+    }
+    let mut total: u64 = 0;
+    let cap = 2 * k.max(1);
+    let mut buf: Vec<(u64, u32)> = Vec::with_capacity(cap);
+    let mut cut = (u64::MAX, u32::MAX);
+    for t in matching {
+        total += 1;
+        let entry = (ranking.sort_key(TupleId(t)), t);
+        if entry < cut {
+            buf.push(entry);
+            if buf.len() == cap {
+                // Keep the best k, discard the rest, tighten the cut.
+                let (_, kth, _) = buf.select_nth_unstable(k - 1);
+                cut = *kth;
+                buf.truncate(k);
+            }
+        }
+    }
+    let overflow = total > k as u64;
+    buf.sort_unstable();
+    buf.truncate(k);
+    (
+        buf.into_iter().map(|(_, t)| TupleId(t)).collect(),
+        overflow,
+        total,
+    )
 }
 
 #[cfg(test)]
@@ -40,7 +105,8 @@ mod tests {
             .into_shared();
         let mut b = TableBuilder::new(Arc::clone(&schema), 0);
         for &p in prices {
-            b.push(&Tuple::new(&schema, vec![0], vec![p]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vec![0], vec![p]).unwrap())
+                .unwrap();
         }
         Ranking::build(&RankSpec::ByMeasureAsc(MeasureId(0)), &b.finish())
     }
@@ -84,5 +150,50 @@ mod tests {
         let (ids, overflow) = top_k(&[0, 2], &r, 1);
         assert!(overflow);
         assert_eq!(ids, vec![TupleId(2)], "best among the matching set only");
+    }
+
+    #[test]
+    fn streamed_agrees_with_materialized() {
+        let prices: Vec<f64> = (0..200).map(|i| ((i * 73) % 101) as f64).collect();
+        let r = ranking(&prices);
+        let matching: Vec<u32> = (0..200).filter(|i| i % 3 != 1).collect();
+        for k in [1usize, 2, 7, 50, 132, 133, 200] {
+            let (a, overflow_a) = top_k(&matching, &r, k);
+            let (b, overflow_b, total) = top_k_streamed(matching.iter().copied(), &r, k);
+            assert_eq!(a, b, "k={k}");
+            assert_eq!(overflow_a, overflow_b, "k={k}");
+            assert_eq!(total, matching.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streamed_k_zero_counts_without_panicking() {
+        let r = ranking(&[1.0, 2.0, 3.0]);
+        let (ids, overflow, total) = top_k_streamed([0u32, 1, 2].into_iter(), &r, 0);
+        assert!(ids.is_empty());
+        assert!(overflow);
+        assert_eq!(total, 3);
+        let (ids, overflow, total) = top_k_streamed(std::iter::empty(), &r, 0);
+        assert!(ids.is_empty());
+        assert!(!overflow);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn streamed_empty_stream() {
+        let r = ranking(&[1.0]);
+        let (ids, overflow, total) = top_k_streamed(std::iter::empty(), &r, 4);
+        assert!(ids.is_empty());
+        assert!(!overflow);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn streamed_ties_break_by_id() {
+        let r = ranking(&[7.0, 7.0, 7.0, 7.0]);
+        let (ids, overflow, _) = top_k_streamed([0u32, 1, 2, 3].into_iter(), &r, 2);
+        assert!(overflow);
+        let (ids_mat, _) = top_k(&[0, 1, 2, 3], &r, 2);
+        assert_eq!(ids, ids_mat, "identical pages under key ties");
     }
 }

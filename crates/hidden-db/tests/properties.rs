@@ -30,9 +30,13 @@ fn schema() -> Arc<Schema> {
 
 fn build_db(rows: &[(u16, u16, u16, i32)], k: usize, rank: RankSpec, mode: CountMode) -> HiddenDb {
     let s = schema();
-    let mut b = HiddenDb::builder(Arc::clone(&s)).result_limit(k).ranking(rank).count_mode(mode);
+    let mut b = HiddenDb::builder(Arc::clone(&s))
+        .result_limit(k)
+        .ranking(rank)
+        .count_mode(mode);
     for &(a, bb, c, m) in rows {
-        b.push(&Tuple::new(&s, vec![a, bb, c], vec![m as f64]).unwrap()).unwrap();
+        b.push(&Tuple::new(&s, vec![a, bb, c], vec![m as f64]).unwrap())
+            .unwrap();
     }
     b.finish()
 }
@@ -195,6 +199,81 @@ proptest! {
         }
         prop_assert_eq!(ok, limit.min(40));
         prop_assert_eq!(db.queries_issued(), limit.min(40));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The bounded fast path through `execute` — `count_at_most(k+1)`
+    /// classification, streamed k-bounded top-k, dense bitmap probing —
+    /// is observably identical to the naive full-materialization path
+    /// (full `evaluate`, then rank the whole match vector), across random
+    /// tables, k values, every ranking, and every count mode.
+    #[test]
+    fn bounded_fast_path_equals_full_materialization(
+        rows in random_rows(),
+        k in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        use hdsampler_hidden_db::index::PostingIndex;
+        use hdsampler_hidden_db::ranking::Ranking;
+        use hdsampler_hidden_db::table::TableBuilder;
+        use hdsampler_hidden_db::topk::top_k;
+
+        let modes = [
+            CountMode::Absent,
+            CountMode::Exact,
+            CountMode::Noisy { sigma: 0.2, seed },
+        ];
+        let ranks = [
+            RankSpec::InsertionOrder,
+            RankSpec::HashOrder { seed },
+            RankSpec::ByMeasureAsc(hdsampler_model::MeasureId(0)),
+            RankSpec::ByMeasureDesc(hdsampler_model::MeasureId(0)),
+        ];
+        for mode in modes {
+            for rank in &ranks {
+                let db = build_db(&rows, k, rank.clone(), mode);
+                // Reference: an identical table evaluated the old way —
+                // full id list, then a rank-sort of the whole vector.
+                let s = schema();
+                let mut tb = TableBuilder::new(Arc::clone(&s), hdsampler_hidden_db::interface::DEFAULT_KEY_SEED);
+                for &(a, bb, c, m) in &rows {
+                    tb.push(&Tuple::new(&s, vec![a, bb, c], vec![m as f64]).unwrap()).unwrap();
+                }
+                let table = tb.finish();
+                let index = PostingIndex::build(&table);
+                let ranking = Ranking::build(rank, &table);
+
+                for q in all_queries() {
+                    let full = index.evaluate(&q);
+                    let truth = full.len() as u64;
+                    let (ids, overflow) = top_k(&full, &ranking, k);
+                    let want_rows: Vec<_> = ids.iter().map(|&t| table.row(t)).collect();
+
+                    let got = db.execute(&q).unwrap();
+                    prop_assert_eq!(got.overflow, overflow, "q={:?} rank={:?}", q, rank);
+                    prop_assert_eq!(&got.rows, &want_rows, "q={:?} rank={:?}", q, rank);
+                    prop_assert_eq!(
+                        got.reported_count,
+                        mode.report(&q, truth),
+                        "q={:?} mode={:?}", q, mode
+                    );
+                    // The count probe agrees with the materialized truth.
+                    if db.supports_count() {
+                        prop_assert_eq!(db.count(&q).unwrap(), mode.report(&q, truth).unwrap());
+                    }
+                    // Bounded counting is exact up to its limit.
+                    for limit in [0, 1, k, k + 1, full.len() + 3] {
+                        prop_assert_eq!(
+                            db.oracle().count(&q).min(limit as u64),
+                            index.count_at_most(&q, limit) as u64
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -51,7 +51,11 @@ pub struct Bucket {
 impl Bucket {
     /// Create a bucket covering `[lo, hi)` with the given display label.
     pub fn new(lo: f64, hi: f64, label: impl Into<String>) -> Self {
-        Bucket { lo, hi, label: label.into() }
+        Bucket {
+            lo,
+            hi,
+            label: label.into(),
+        }
     }
 
     /// Whether `x` falls inside this bucket.
@@ -92,7 +96,10 @@ pub struct Attribute {
 impl Attribute {
     /// Construct a Boolean attribute.
     pub fn boolean(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), kind: AttrKind::Boolean }
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Boolean,
+        }
     }
 
     /// Construct a categorical attribute from its value labels.
@@ -111,15 +118,24 @@ impl Attribute {
             return Err(ModelError::EmptyDomain { attr: name });
         }
         if labels.len() > DomIx::MAX as usize {
-            return Err(ModelError::DomainTooLarge { attr: name, size: labels.len() });
+            return Err(ModelError::DomainTooLarge {
+                attr: name,
+                size: labels.len(),
+            });
         }
         let mut seen = std::collections::HashSet::with_capacity(labels.len());
         for l in &labels {
             if !seen.insert(l.as_str()) {
-                return Err(ModelError::DuplicateLabel { attr: name, label: l.clone() });
+                return Err(ModelError::DuplicateLabel {
+                    attr: name,
+                    label: l.clone(),
+                });
             }
         }
-        Ok(Attribute { name, kind: AttrKind::Categorical { labels } })
+        Ok(Attribute {
+            name,
+            kind: AttrKind::Categorical { labels },
+        })
     }
 
     /// Construct a discretized numeric attribute from ordered buckets.
@@ -128,16 +144,16 @@ impl Attribute {
     /// Returns [`ModelError::EmptyDomain`] for an empty bucket list and
     /// [`ModelError::UnorderedBuckets`] when buckets are not strictly
     /// increasing and contiguous-or-disjoint.
-    pub fn numeric(
-        name: impl Into<String>,
-        buckets: Vec<Bucket>,
-    ) -> Result<Self, ModelError> {
+    pub fn numeric(name: impl Into<String>, buckets: Vec<Bucket>) -> Result<Self, ModelError> {
         let name = name.into();
         if buckets.is_empty() {
             return Err(ModelError::EmptyDomain { attr: name });
         }
         if buckets.len() > DomIx::MAX as usize {
-            return Err(ModelError::DomainTooLarge { attr: name, size: buckets.len() });
+            return Err(ModelError::DomainTooLarge {
+                attr: name,
+                size: buckets.len(),
+            });
         }
         for w in buckets.windows(2) {
             if w[0].hi > w[1].lo || w[0].lo >= w[0].hi {
@@ -149,7 +165,10 @@ impl Attribute {
                 return Err(ModelError::UnorderedBuckets { attr: name });
             }
         }
-        Ok(Attribute { name, kind: AttrKind::Numeric { buckets } })
+        Ok(Attribute {
+            name,
+            kind: AttrKind::Numeric { buckets },
+        })
     }
 
     /// Construct an evenly bucketized numeric attribute over `[lo, hi)`.
@@ -163,14 +182,20 @@ impl Attribute {
         n_buckets: usize,
     ) -> Result<Self, ModelError> {
         let name = name.into();
-        if n_buckets == 0 || !(hi > lo) {
+        // `partial_cmp` keeps the NaN-rejecting behavior of `!(hi > lo)`
+        // without the negated-comparison lint.
+        if n_buckets == 0 || hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return Err(ModelError::EmptyDomain { attr: name });
         }
         let width = (hi - lo) / n_buckets as f64;
         let buckets = (0..n_buckets)
             .map(|i| {
                 let b_lo = lo + width * i as f64;
-                let b_hi = if i + 1 == n_buckets { hi } else { lo + width * (i + 1) as f64 };
+                let b_hi = if i + 1 == n_buckets {
+                    hi
+                } else {
+                    lo + width * (i + 1) as f64
+                };
                 Bucket::new(b_lo, b_hi, format!("{b_lo:.0}–{b_hi:.0}"))
             })
             .collect();
@@ -230,18 +255,20 @@ impl Attribute {
             AttrKind::Categorical { labels } => {
                 labels.iter().position(|l| l == s).map(|i| i as DomIx)
             }
-            AttrKind::Numeric { buckets } => {
-                buckets.iter().position(|b| b.label == s).map(|i| i as DomIx)
-            }
+            AttrKind::Numeric { buckets } => buckets
+                .iter()
+                .position(|b| b.label == s)
+                .map(|i| i as DomIx),
         }
     }
 
     /// For numeric attributes, the bucket containing `x`, if any.
     pub fn bucket_of(&self, x: f64) -> Option<DomIx> {
         match &self.kind {
-            AttrKind::Numeric { buckets } => {
-                buckets.iter().position(|b| b.contains(x)).map(|i| i as DomIx)
-            }
+            AttrKind::Numeric { buckets } => buckets
+                .iter()
+                .position(|b| b.contains(x))
+                .map(|i| i as DomIx),
             _ => None,
         }
     }

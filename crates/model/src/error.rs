@@ -105,11 +105,19 @@ impl std::fmt::Display for ModelError {
             ModelError::AttrOutOfRange { index, len } => {
                 write!(f, "attribute id {index} out of range (schema has {len})")
             }
-            ModelError::ValueOutOfRange { attr, value, domain_size } => write!(
+            ModelError::ValueOutOfRange {
+                attr,
+                value,
+                domain_size,
+            } => write!(
                 f,
                 "value index {value} out of range for `{attr}` (domain size {domain_size})"
             ),
-            ModelError::ConflictingPredicate { attr, existing, requested } => write!(
+            ModelError::ConflictingPredicate {
+                attr,
+                existing,
+                requested,
+            } => write!(
                 f,
                 "attribute `{attr}` already bound to index {existing}, cannot rebind to {requested}"
             ),

@@ -45,7 +45,8 @@ pub trait FormInterface: Send + Sync {
     /// [`execute`](FormInterface::execute) and inspects the banner.
     fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {
         let resp = self.execute(query)?;
-        resp.reported_count.ok_or(InterfaceError::Unsupported("count reporting"))
+        resp.reported_count
+            .ok_or(InterfaceError::Unsupported("count reporting"))
     }
 
     /// Whether [`count`](FormInterface::count) is expected to succeed.

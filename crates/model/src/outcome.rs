@@ -51,7 +51,11 @@ pub struct Row {
 impl Row {
     /// Construct a row.
     pub fn new(key: u64, values: Vec<DomIx>, measures: Vec<f64>) -> Self {
-        Row { key, values: values.into_boxed_slice(), measures: measures.into_boxed_slice() }
+        Row {
+            key,
+            values: values.into_boxed_slice(),
+            measures: measures.into_boxed_slice(),
+        }
     }
 
     /// Value of attribute `idx` (schema order).
@@ -79,7 +83,12 @@ impl std::fmt::Display for RowDisplay<'_> {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{}={}", attr.name(), attr.label(self.row.values[id.index()]))?;
+            write!(
+                f,
+                "{}={}",
+                attr.name(),
+                attr.label(self.row.values[id.index()])
+            )?;
         }
         for (i, m) in self.schema.measures().iter().enumerate() {
             write!(f, ", {}={}", m.name(), self.row.measures[i])?;
@@ -130,7 +139,11 @@ mod tests {
 
     #[test]
     fn classification_rules() {
-        let empty = QueryResponse { rows: vec![], overflow: false, reported_count: Some(0) };
+        let empty = QueryResponse {
+            rows: vec![],
+            overflow: false,
+            reported_count: Some(0),
+        };
         assert_eq!(empty.classification(), Classification::Empty);
 
         let valid = QueryResponse {

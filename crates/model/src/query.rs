@@ -71,13 +71,14 @@ impl ConjunctiveQuery {
         let mut q = ConjunctiveQuery::empty();
         for (name, label) in pairs {
             let attr = schema.attr_by_name(name)?;
-            let value = schema.attr_unchecked(attr).parse_label(label).ok_or_else(|| {
-                ModelError::ValueOutOfRange {
+            let value = schema
+                .attr_unchecked(attr)
+                .parse_label(label)
+                .ok_or_else(|| ModelError::ValueOutOfRange {
                     attr: name.to_owned(),
                     value: DomIx::MAX,
                     domain_size: schema.domain_size(attr),
-                }
-            })?;
+                })?;
             q = q.refine(attr, value)?;
         }
         Ok(q)
@@ -119,8 +120,12 @@ impl ConjunctiveQuery {
     /// Return a copy without the predicate on `attr` (broadening move a user
     /// makes when results are "too narrow", §1).
     pub fn drop_attr(&self, attr: AttrId) -> Self {
-        let preds =
-            self.preds.iter().copied().filter(|p| p.attr != attr).collect::<Vec<_>>();
+        let preds = self
+            .preds
+            .iter()
+            .copied()
+            .filter(|p| p.attr != attr)
+            .collect::<Vec<_>>();
         ConjunctiveQuery { preds }
     }
 
@@ -183,7 +188,9 @@ impl ConjunctiveQuery {
     /// `true` iff this query's predicates hold on the given value vector.
     #[inline]
     pub fn matches(&self, values: &[DomIx]) -> bool {
-        self.preds.iter().all(|p| values.get(p.attr.index()) == Some(&p.value))
+        self.preds
+            .iter()
+            .all(|p| values.get(p.attr.index()) == Some(&p.value))
     }
 
     /// Validate every binding against a schema.
@@ -198,7 +205,10 @@ impl ConjunctiveQuery {
     /// given value vector — the leaf query the BRUTE-FORCE-SAMPLER issues.
     pub fn fully_specified(schema: &Schema, values: &[DomIx]) -> Result<Self, ModelError> {
         if values.len() != schema.arity() {
-            return Err(ModelError::ArityMismatch { expected: schema.arity(), got: values.len() });
+            return Err(ModelError::ArityMismatch {
+                expected: schema.arity(),
+                got: values.len(),
+            });
         }
         let preds = schema
             .attr_ids()
@@ -213,7 +223,10 @@ impl ConjunctiveQuery {
     /// Render with attribute/value names resolved through a schema, e.g.
     /// `` SELECT * FROM D WHERE make='Toyota' AND year='2005–2006' ``.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
-        QueryDisplay { query: self, schema }
+        QueryDisplay {
+            query: self,
+            schema,
+        }
     }
 }
 
@@ -278,7 +291,10 @@ mod tests {
     #[test]
     fn refine_conflict_rejected() {
         let q = ConjunctiveQuery::from_pairs([(AttrId(1), 2)]).unwrap();
-        assert!(matches!(q.refine(AttrId(1), 0), Err(ModelError::ConflictingPredicate { .. })));
+        assert!(matches!(
+            q.refine(AttrId(1), 0),
+            Err(ModelError::ConflictingPredicate { .. })
+        ));
     }
 
     #[test]
@@ -291,7 +307,10 @@ mod tests {
         assert!(!broad.is_refinement_of(&narrow));
         assert!(narrow.is_refinement_of(&narrow), "reflexive");
         assert!(narrow.is_refinement_of(&ConjunctiveQuery::empty()));
-        assert!(!other.is_refinement_of(&broad), "same attr, different value");
+        assert!(
+            !other.is_refinement_of(&broad),
+            "same attr, different value"
+        );
     }
 
     #[test]
@@ -348,6 +367,9 @@ mod tests {
         let q = ConjunctiveQuery::from_named(&s, [("make", "Toyota"), ("c", "no")]).unwrap();
         let text = q.display(&s).to_string();
         assert_eq!(text, "SELECT * FROM D WHERE make='Toyota' AND c='no'");
-        assert_eq!(ConjunctiveQuery::empty().display(&s).to_string(), "SELECT * FROM D");
+        assert_eq!(
+            ConjunctiveQuery::empty().display(&s).to_string(),
+            "SELECT * FROM D"
+        );
     }
 }

@@ -104,7 +104,10 @@ impl Schema {
 
     /// Iterator over `(AttrId, &Attribute)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
-        self.attributes.iter().enumerate().map(|(i, a)| (AttrId(i as u16), a))
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u16), a))
     }
 
     /// All attribute ids in declaration order.
@@ -119,7 +122,10 @@ impl Schema {
     pub fn attr(&self, id: AttrId) -> Result<&Attribute, ModelError> {
         self.attributes
             .get(id.index())
-            .ok_or(ModelError::AttrOutOfRange { index: id.index(), len: self.attributes.len() })
+            .ok_or(ModelError::AttrOutOfRange {
+                index: id.index(),
+                len: self.attributes.len(),
+            })
     }
 
     /// Attribute by id, panicking on range errors.
@@ -135,7 +141,9 @@ impl Schema {
         self.by_name
             .get(name)
             .copied()
-            .ok_or_else(|| ModelError::UnknownAttribute { name: name.to_owned() })
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                name: name.to_owned(),
+            })
     }
 
     /// Look up a measure id by name.
@@ -143,7 +151,9 @@ impl Schema {
         self.measures_by_name
             .get(name)
             .copied()
-            .ok_or_else(|| ModelError::UnknownMeasure { name: name.to_owned() })
+            .ok_or_else(|| ModelError::UnknownMeasure {
+                name: name.to_owned(),
+            })
     }
 
     /// Measure by id, panicking on range errors.
@@ -162,7 +172,10 @@ impl Schema {
     /// tree, `B = ∏ |Dom(a_i)|`, as an `f64` (it can dwarf `u64` for wide
     /// schemas; samplers only ever use it in ratios).
     pub fn domain_product(&self) -> f64 {
-        self.attributes.iter().map(|a| a.domain_size() as f64).product()
+        self.attributes
+            .iter()
+            .map(|a| a.domain_size() as f64)
+            .product()
     }
 
     /// Validate a `(attr, value)` pair against this schema.
@@ -223,13 +236,17 @@ impl SchemaBuilder {
         let mut seen = std::collections::HashSet::new();
         for a in &self.attributes {
             if !seen.insert(a.name().to_owned()) {
-                return Err(ModelError::DuplicateAttribute { name: a.name().to_owned() });
+                return Err(ModelError::DuplicateAttribute {
+                    name: a.name().to_owned(),
+                });
             }
         }
         let mut seen_m = std::collections::HashSet::new();
         for m in &self.measures {
             if !seen_m.insert(m.name().to_owned()) {
-                return Err(ModelError::DuplicateAttribute { name: m.name().to_owned() });
+                return Err(ModelError::DuplicateAttribute {
+                    name: m.name().to_owned(),
+                });
             }
         }
         let mut s = Schema {

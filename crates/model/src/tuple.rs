@@ -45,7 +45,10 @@ impl Tuple {
         measures: Vec<f64>,
     ) -> Result<Self, ModelError> {
         if values.len() != schema.arity() {
-            return Err(ModelError::ArityMismatch { expected: schema.arity(), got: values.len() });
+            return Err(ModelError::ArityMismatch {
+                expected: schema.arity(),
+                got: values.len(),
+            });
         }
         if measures.len() != schema.measure_arity() {
             return Err(ModelError::ArityMismatch {
@@ -56,7 +59,10 @@ impl Tuple {
         for (id, attr) in schema.iter() {
             attr.check(values[id.index()])?;
         }
-        Ok(Tuple { values: values.into_boxed_slice(), measures: measures.into_boxed_slice() })
+        Ok(Tuple {
+            values: values.into_boxed_slice(),
+            measures: measures.into_boxed_slice(),
+        })
     }
 
     /// Build a tuple without validation.
@@ -64,7 +70,10 @@ impl Tuple {
     /// Intended for generators that construct values straight from the
     /// schema's own domains; invariants are checked in debug builds.
     pub fn new_unchecked(values: Vec<DomIx>, measures: Vec<f64>) -> Self {
-        Tuple { values: values.into_boxed_slice(), measures: measures.into_boxed_slice() }
+        Tuple {
+            values: values.into_boxed_slice(),
+            measures: measures.into_boxed_slice(),
+        }
     }
 
     /// Attribute values as domain indices, in schema order.
@@ -108,11 +117,17 @@ mod tests {
         let s = schema();
         assert!(matches!(
             Tuple::new(&s, vec![1], vec![0.0]),
-            Err(ModelError::ArityMismatch { expected: 2, got: 1 })
+            Err(ModelError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             Tuple::new(&s, vec![1, 0], vec![]),
-            Err(ModelError::ArityMismatch { expected: 1, got: 0 })
+            Err(ModelError::ArityMismatch {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 

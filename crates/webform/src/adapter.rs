@@ -107,9 +107,12 @@ mod tests {
             .finish()
             .unwrap()
             .into_shared();
-        let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(k).count_mode(mode);
+        let mut b = HiddenDb::builder(Arc::clone(&schema))
+            .result_limit(k)
+            .count_mode(mode);
         for vals in [[0u16, 0, 1], [0, 1, 0], [0, 1, 1], [1, 1, 0]] {
-            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
         }
         let site = LocalSite::new(b.finish(), Arc::clone(&schema));
         let supports = !matches!(mode, CountMode::Absent);
@@ -152,7 +155,10 @@ mod tests {
             Classification::Valid
         );
         assert_eq!(
-            iface.execute(&q(&[(0, 1), (1, 0)])).unwrap().classification(),
+            iface
+                .execute(&q(&[(0, 1), (1, 0)]))
+                .unwrap()
+                .classification(),
             Classification::Empty
         );
     }

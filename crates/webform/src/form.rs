@@ -19,7 +19,10 @@ pub struct WebForm {
 impl WebForm {
     /// Form for `schema`, submitting to `action` (e.g. `/search`).
     pub fn new(schema: Arc<Schema>, action: impl Into<String>) -> Self {
-        WebForm { schema, action: action.into() }
+        WebForm {
+            schema,
+            action: action.into(),
+        }
     }
 
     /// The form's schema.
@@ -60,8 +63,9 @@ impl WebForm {
             None => return Ok(ConjunctiveQuery::empty()),
             Some((_, qs)) => qs,
         };
-        let pairs = urlenc::parse_query(qs)
-            .ok_or_else(|| ModelError::UnknownAttribute { name: format!("<malformed: {qs}>") })?;
+        let pairs = urlenc::parse_query(qs).ok_or_else(|| ModelError::UnknownAttribute {
+            name: format!("<malformed: {qs}>"),
+        })?;
         let mut query = ConjunctiveQuery::empty();
         for (name, label) in &pairs {
             let attr = self.schema.attr_by_name(name)?;
@@ -84,7 +88,11 @@ impl WebForm {
     pub fn render_html(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "<form action=\"{}\" method=\"get\">", escape_html(&self.action));
+        let _ = writeln!(
+            out,
+            "<form action=\"{}\" method=\"get\">",
+            escape_html(&self.action)
+        );
         for (_, attr) in self.schema.iter() {
             let name = escape_html(attr.name());
             let _ = writeln!(out, "  <label for=\"{name}\">{name}</label>");
@@ -109,13 +117,14 @@ mod tests {
 
     fn form() -> WebForm {
         let schema = SchemaBuilder::new()
-            .attribute(
-                Attribute::categorical("make", ["Toyota", "Town & Country style"]).unwrap(),
-            )
+            .attribute(Attribute::categorical("make", ["Toyota", "Town & Country style"]).unwrap())
             .attribute(
                 Attribute::numeric(
                     "price",
-                    vec![Bucket::new(0.0, 5e3, "under $5k"), Bucket::new(5e3, f64::INFINITY, "$5k–up")],
+                    vec![
+                        Bucket::new(0.0, 5e3, "under $5k"),
+                        Bucket::new(5e3, f64::INFINITY, "$5k–up"),
+                    ],
                 )
                 .unwrap(),
             )
@@ -142,7 +151,10 @@ mod tests {
     fn empty_query_is_bare_action() {
         let f = form();
         assert_eq!(f.request_path(&ConjunctiveQuery::empty()), "/search");
-        assert_eq!(f.parse_request_path("/search").unwrap(), ConjunctiveQuery::empty());
+        assert_eq!(
+            f.parse_request_path("/search").unwrap(),
+            ConjunctiveQuery::empty()
+        );
     }
 
     #[test]

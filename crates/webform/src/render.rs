@@ -26,7 +26,10 @@ pub fn escape_html(s: &str) -> String {
 
 /// Unescape the entities produced by [`escape_html`].
 pub fn unescape_html(s: &str) -> String {
-    s.replace("&lt;", "<").replace("&gt;", ">").replace("&quot;", "\"").replace("&amp;", "&")
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
 }
 
 /// Insert thousands separators: `1234567` → `"1,234,567"`.
@@ -34,7 +37,7 @@ pub fn format_thousands(n: u64) -> String {
     let digits = n.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, ch) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -46,7 +49,10 @@ pub fn format_thousands(n: u64) -> String {
 pub fn render_results_page(schema: &Schema, response: &QueryResponse, k: usize) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "<html><head><title>Search results</title></head><body>");
+    let _ = writeln!(
+        out,
+        "<html><head><title>Search results</title></head><body>"
+    );
     if let Some(count) = response.reported_count {
         let _ = writeln!(
             out,
@@ -76,7 +82,11 @@ pub fn render_results_page(schema: &Schema, response: &QueryResponse, k: usize) 
     for row in &response.rows {
         let _ = write!(out, "<tr><td>{}</td>", row.key);
         for (id, attr) in schema.iter() {
-            let _ = write!(out, "<td>{}</td>", escape_html(&attr.label(row.values[id.index()])));
+            let _ = write!(
+                out,
+                "<td>{}</td>",
+                escape_html(&attr.label(row.values[id.index()]))
+            );
         }
         for &x in row.measures.iter() {
             // `{:?}` prints the shortest string that parses back to the
@@ -138,7 +148,11 @@ mod tests {
     #[test]
     fn empty_page_says_so() {
         let s = schema();
-        let resp = QueryResponse { rows: vec![], overflow: false, reported_count: Some(0) };
+        let resp = QueryResponse {
+            rows: vec![],
+            overflow: false,
+            reported_count: Some(0),
+        };
         let html = render_results_page(&s, &resp, 10);
         assert!(html.contains("No results found."));
         assert!(!html.contains("class=\"overflow\""));

@@ -27,9 +27,13 @@ fn cell_texts<'a>(fragment: &'a str, tag: &str) -> Vec<&'a str> {
     let mut pos = 0;
     while let Some(rel) = fragment[pos..].find(&open_prefix) {
         let tag_start = pos + rel;
-        let Some(gt) = fragment[tag_start..].find('>') else { break };
+        let Some(gt) = fragment[tag_start..].find('>') else {
+            break;
+        };
         let content_start = tag_start + gt + 1;
-        let Some(rel_end) = fragment[content_start..].find(&close) else { break };
+        let Some(rel_end) = fragment[content_start..].find(&close) else {
+            break;
+        };
         cells.push(&fragment[content_start..content_start + rel_end]);
         pos = content_start + rel_end + close.len();
     }
@@ -47,10 +51,7 @@ fn parse_count_banner(text: &str) -> Option<u64> {
 /// # Errors
 /// [`InterfaceError::Parse`] when the page lacks the results table, a row
 /// has the wrong number of cells, or a label/number fails to parse.
-pub fn scrape_results_page(
-    schema: &Schema,
-    html: &str,
-) -> Result<QueryResponse, InterfaceError> {
+pub fn scrape_results_page(schema: &Schema, html: &str) -> Result<QueryResponse, InterfaceError> {
     let reported_count = div_text(html, "count").and_then(parse_count_banner);
     let overflow = div_text(html, "overflow").is_some();
 
@@ -110,7 +111,11 @@ pub fn scrape_results_page(
         }
         rows.push(Row::new(key, values, measures));
     }
-    Ok(QueryResponse { rows, overflow, reported_count })
+    Ok(QueryResponse {
+        rows,
+        overflow,
+        reported_count,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +156,11 @@ mod tests {
     #[test]
     fn empty_page_roundtrip() {
         let s = schema();
-        let resp = QueryResponse { rows: vec![], overflow: false, reported_count: None };
+        let resp = QueryResponse {
+            rows: vec![],
+            overflow: false,
+            reported_count: None,
+        };
         let html = render_results_page(&s, &resp, 500);
         let back = scrape_results_page(&s, &html).unwrap();
         assert_eq!(back, resp);

@@ -33,7 +33,10 @@ pub struct LocalSite<F> {
 impl<F: FormInterface> LocalSite<F> {
     /// Serve `backend` at `/search`.
     pub fn new(backend: F, schema: Arc<Schema>) -> Self {
-        LocalSite { backend, form: WebForm::new(schema, "/search") }
+        LocalSite {
+            backend,
+            form: WebForm::new(schema, "/search"),
+        }
     }
 
     /// The site's form definition (what a scraper would read off the
@@ -55,7 +58,11 @@ impl<F: FormInterface> Transport for LocalSite<F> {
             .parse_request_path(path)
             .map_err(|e| InterfaceError::Transport(format!("400 bad request: {e}")))?;
         let response = self.backend.execute(&query)?;
-        Ok(render_results_page(self.form.schema(), &response, self.backend.result_limit()))
+        Ok(render_results_page(
+            self.form.schema(),
+            &response,
+            self.backend.result_limit(),
+        ))
     }
 }
 
@@ -75,7 +82,11 @@ pub struct LatencyTransport<T> {
 impl<T: Transport> LatencyTransport<T> {
     /// Wrap `inner` with `latency_ms` per request.
     pub fn new(inner: T, latency_ms: u64) -> Self {
-        LatencyTransport { inner, latency_ms, elapsed_ms: AtomicU64::new(0) }
+        LatencyTransport {
+            inner,
+            latency_ms,
+            elapsed_ms: AtomicU64::new(0),
+        }
     }
 
     /// Virtual wall-clock consumed so far.
@@ -91,7 +102,8 @@ impl<T: Transport> LatencyTransport<T> {
 
 impl<T: Transport> Transport for LatencyTransport<T> {
     fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
-        self.elapsed_ms.fetch_add(self.latency_ms, Ordering::Relaxed);
+        self.elapsed_ms
+            .fetch_add(self.latency_ms, Ordering::Relaxed);
         self.inner.fetch(path)
     }
 }
@@ -122,7 +134,8 @@ mod tests {
             .into_shared();
         let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(1);
         for v in [0u16, 0, 1] {
-            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap()).unwrap();
+            b.push(&Tuple::new(&schema, vec![v], vec![]).unwrap())
+                .unwrap();
         }
         LocalSite::new(b.finish(), schema)
     }
@@ -153,6 +166,9 @@ mod tests {
             t.fetch("/search?make=Honda").unwrap();
         }
         assert_eq!(t.virtual_elapsed_ms(), 1_500);
-        assert!(before.elapsed().as_millis() < 1_000, "must not actually sleep");
+        assert!(
+            before.elapsed().as_millis() < 1_000,
+            "must not actually sleep"
+        );
     }
 }

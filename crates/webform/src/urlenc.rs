@@ -15,8 +15,16 @@ pub fn encode(s: &str) -> String {
             }
             _ => {
                 out.push('%');
-                out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble").to_ascii_uppercase());
-                out.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble").to_ascii_uppercase());
+                out.push(
+                    char::from_digit((b >> 4) as u32, 16)
+                        .expect("nibble")
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit((b & 0xF) as u32, 16)
+                        .expect("nibble")
+                        .to_ascii_uppercase(),
+                );
             }
         }
     }

@@ -24,7 +24,7 @@ proptest! {
     #[test]
     fn query_string_roundtrip(pairs in prop::collection::vec(("\\PC*", "\\PC*"), 0..8)) {
         let pairs: Vec<(String, String)> =
-            pairs.into_iter().map(|(a, b)| (a, b)).collect();
+            pairs.into_iter().collect();
         let qs = urlenc::build_query(&pairs);
         prop_assert_eq!(urlenc::parse_query(&qs), Some(pairs));
     }
@@ -114,6 +114,10 @@ fn extreme_measures_survive_the_page() {
         };
         let html = render_results_page(&schema, &resp, 10);
         let back = scrape_results_page(&schema, &html).unwrap();
-        assert_eq!(back.rows[0].measures[0].to_bits(), value.to_bits(), "value {value}");
+        assert_eq!(
+            back.rows[0].measures[0].to_bits(),
+            value.to_bits(),
+            "value {value}"
+        );
     }
 }

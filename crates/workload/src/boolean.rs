@@ -14,7 +14,9 @@ pub fn boolean_schema(m: usize) -> Arc<Schema> {
     for i in 1..=m {
         b = b.attribute(Attribute::boolean(format!("a{i}")));
     }
-    b.finish().expect("generated names are unique").into_shared()
+    b.finish()
+        .expect("generated names are unique")
+        .into_shared()
 }
 
 /// `n` tuples over `m` Boolean attributes, each bit set independently with
@@ -50,11 +52,15 @@ pub fn boolean_correlated(
     seed: u64,
 ) -> (Arc<Schema>, Vec<Tuple>) {
     assert!(clusters > 0, "need at least one cluster");
-    assert!((0.0..=0.5).contains(&noise), "noise beyond 0.5 destroys correlation");
+    assert!(
+        (0.0..=0.5).contains(&noise),
+        "noise beyond 0.5 destroys correlation"
+    );
     let schema = boolean_schema(m);
     let mut rng = StdRng::seed_from_u64(seed);
-    let centres: Vec<Vec<bool>> =
-        (0..clusters).map(|_| (0..m).map(|_| rng.gen_bool(0.5)).collect()).collect();
+    let centres: Vec<Vec<bool>> = (0..clusters)
+        .map(|_| (0..m).map(|_| rng.gen_bool(0.5)).collect())
+        .collect();
     let tuples = (0..n)
         .map(|_| {
             let centre = &centres[rng.gen_range(0..clusters)];
@@ -86,8 +92,10 @@ mod tests {
     #[test]
     fn iid_bit_frequency_tracks_p() {
         let (_, tuples) = boolean_iid(4, 20_000, 0.3, 9);
-        let ones: usize =
-            tuples.iter().map(|t| t.values().iter().filter(|&&v| v == 1).count()).sum();
+        let ones: usize = tuples
+            .iter()
+            .map(|t| t.values().iter().filter(|&&v| v == 1).count())
+            .sum();
         let freq = ones as f64 / (4.0 * 20_000.0);
         assert!((freq - 0.3).abs() < 0.01, "one-bit frequency {freq}");
     }
@@ -116,9 +124,7 @@ mod tests {
             .map(|t| {
                 distinct
                     .iter()
-                    .map(|c| {
-                        c.iter().zip(t.values()).filter(|(a, b)| a != b).count()
-                    })
+                    .map(|c| c.iter().zip(t.values()).filter(|(a, b)| a != b).count())
                     .min()
                     .unwrap() as f64
             })

@@ -68,8 +68,7 @@ mod tests {
     #[test]
     fn high_theta_concentrates_mass() {
         let (_, tuples) = zipf_categorical(&[10], 10_000, 2.0, 5);
-        let zero_share =
-            tuples.iter().filter(|t| t.values()[0] == 0).count() as f64 / 10_000.0;
+        let zero_share = tuples.iter().filter(|t| t.values()[0] == 0).count() as f64 / 10_000.0;
         assert!(zero_share > 0.5, "rank-0 share {zero_share} under Zipf(2)");
     }
 }

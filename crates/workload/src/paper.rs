@@ -17,8 +17,8 @@
 
 use std::sync::Arc;
 
-use hdsampler_model::{Schema, Tuple};
 use hdsampler_hidden_db::{HiddenDb, RankSpec};
+use hdsampler_model::{Schema, Tuple};
 
 use crate::boolean::boolean_schema;
 
@@ -41,7 +41,8 @@ pub fn figure1_db(k: usize) -> HiddenDb {
         .result_limit(k)
         .ranking(RankSpec::InsertionOrder);
     for vals in FIGURE1_TUPLES {
-        b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+        b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+            .unwrap();
     }
     b.finish()
 }

@@ -72,8 +72,12 @@ impl Default for DbConfig {
         DbConfig {
             k: 1000,
             rank: RankSpec::HashOrder { seed: 0x5EED },
-            count_mode: CountMode::Noisy { sigma: 0.15, seed: 0xBA5E },
+            count_mode: CountMode::Noisy {
+                sigma: 0.15,
+                seed: 0xBA5E,
+            },
             budget: None,
+            #[allow(clippy::unusual_byte_groupings)] // coffee pun, again
             key_seed: 0xC0FF_EE,
         }
     }
@@ -82,12 +86,18 @@ impl Default for DbConfig {
 impl DbConfig {
     /// Same defaults but with an exact count banner.
     pub fn exact_counts() -> Self {
-        DbConfig { count_mode: CountMode::Exact, ..Default::default() }
+        DbConfig {
+            count_mode: CountMode::Exact,
+            ..Default::default()
+        }
     }
 
     /// Same defaults but without any count banner.
     pub fn no_counts() -> Self {
-        DbConfig { count_mode: CountMode::Absent, ..Default::default() }
+        DbConfig {
+            count_mode: CountMode::Absent,
+            ..Default::default()
+        }
     }
 
     /// Override the top-k limit.
@@ -117,19 +127,28 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Vehicles site with the given size and interface config.
     pub fn vehicles(spec: VehiclesSpec, db: DbConfig) -> Self {
-        WorkloadSpec { seed: spec.seed, data: DataSpec::Vehicles(spec), db }
+        WorkloadSpec {
+            seed: spec.seed,
+            data: DataSpec::Vehicles(spec),
+            db,
+        }
     }
 
     /// Materialize the hidden database.
     pub fn build(&self) -> HiddenDb {
         let (schema, tuples) = match &self.data {
             DataSpec::BooleanIid { m, n, p } => crate::boolean::boolean_iid(*m, *n, *p, self.seed),
-            DataSpec::BooleanCorrelated { m, n, clusters, noise } => {
-                crate::boolean::boolean_correlated(*m, *n, *clusters, *noise, self.seed)
-            }
-            DataSpec::ZipfCategorical { domain_sizes, n, theta } => {
-                crate::categorical::zipf_categorical(domain_sizes, *n, *theta, self.seed)
-            }
+            DataSpec::BooleanCorrelated {
+                m,
+                n,
+                clusters,
+                noise,
+            } => crate::boolean::boolean_correlated(*m, *n, *clusters, *noise, self.seed),
+            DataSpec::ZipfCategorical {
+                domain_sizes,
+                n,
+                theta,
+            } => crate::categorical::zipf_categorical(domain_sizes, *n, *theta, self.seed),
             DataSpec::Vehicles(spec) => spec.generate(),
         };
         // Vehicle sites rank by freshness score unless the caller overrode
@@ -149,7 +168,8 @@ impl WorkloadSpec {
         if let Some(limit) = self.db.budget {
             b = b.query_budget(limit);
         }
-        b.extend(tuples.iter()).expect("generated tuples are schema-valid");
+        b.extend(tuples.iter())
+            .expect("generated tuples are schema-valid");
         b.finish()
     }
 }
@@ -162,7 +182,11 @@ mod tests {
     #[test]
     fn boolean_spec_builds() {
         let spec = WorkloadSpec {
-            data: DataSpec::BooleanIid { m: 6, n: 200, p: 0.5 },
+            data: DataSpec::BooleanIid {
+                m: 6,
+                n: 200,
+                p: 0.5,
+            },
             db: DbConfig::no_counts().with_k(10),
             seed: 5,
         };
@@ -174,21 +198,27 @@ mod tests {
 
     #[test]
     fn vehicles_spec_ranks_by_freshness() {
-        let spec =
-            WorkloadSpec::vehicles(VehiclesSpec::compact(500, 3), DbConfig::exact_counts());
+        let spec = WorkloadSpec::vehicles(VehiclesSpec::compact(500, 3), DbConfig::exact_counts());
         let db = spec.build();
         let resp = db.execute(&ConjunctiveQuery::empty()).unwrap();
         assert!(!resp.overflow, "500 < k = 1000");
         // First row must have the maximum score measure.
-        let max_score =
-            resp.rows.iter().map(|r| r.measures[2]).fold(f64::MIN, f64::max);
+        let max_score = resp
+            .rows
+            .iter()
+            .map(|r| r.measures[2])
+            .fold(f64::MIN, f64::max);
         assert_eq!(resp.rows[0].measures[2], max_score);
     }
 
     #[test]
     fn budget_flows_through() {
         let spec = WorkloadSpec {
-            data: DataSpec::BooleanIid { m: 4, n: 50, p: 0.5 },
+            data: DataSpec::BooleanIid {
+                m: 4,
+                n: 50,
+                p: 0.5,
+            },
             db: DbConfig::no_counts().with_budget(1),
             seed: 1,
         };
@@ -199,8 +229,7 @@ mod tests {
 
     #[test]
     fn spec_serde_roundtrip() {
-        let spec =
-            WorkloadSpec::vehicles(VehiclesSpec::full(1000, 9), DbConfig::default());
+        let spec = WorkloadSpec::vehicles(VehiclesSpec::full(1000, 9), DbConfig::default());
         let json = serde_json::to_string(&spec).unwrap();
         let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
@@ -209,7 +238,11 @@ mod tests {
     #[test]
     fn same_spec_same_database() {
         let spec = WorkloadSpec {
-            data: DataSpec::ZipfCategorical { domain_sizes: vec![4, 4, 4], n: 100, theta: 1.0 },
+            data: DataSpec::ZipfCategorical {
+                domain_sizes: vec![4, 4, 4],
+                n: 100,
+                theta: 1.0,
+            },
             db: DbConfig::exact_counts(),
             seed: 77,
         };

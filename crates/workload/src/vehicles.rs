@@ -58,8 +58,16 @@ pub fn is_japanese_make(m: usize) -> bool {
 }
 
 /// Body styles (domain of the `body` attribute).
-pub const BODY_STYLES: [&str; 8] =
-    ["sedan", "coupe", "hatchback", "SUV", "truck", "minivan", "wagon", "convertible"];
+pub const BODY_STYLES: [&str; 8] = [
+    "sedan",
+    "coupe",
+    "hatchback",
+    "SUV",
+    "truck",
+    "minivan",
+    "wagon",
+    "convertible",
+];
 
 const SEDAN: usize = 0;
 const COUPE: usize = 1;
@@ -73,24 +81,132 @@ const CONVERTIBLE: usize = 7;
 /// Five models per make: `(name, body style, base price in $1000)`.
 /// In-make popularity weights are [`MODEL_WEIGHTS`].
 pub const MODELS: [[(&str, usize, f64); 5]; 18] = [
-    [("Camry", SEDAN, 24.0), ("Corolla", SEDAN, 17.0), ("RAV4", SUV, 23.0), ("Tacoma", TRUCK, 22.0), ("Prius", HATCH, 23.5)],
-    [("Accord", SEDAN, 23.0), ("Civic", SEDAN, 17.5), ("CR-V", SUV, 22.5), ("Odyssey", MINIVAN, 27.0), ("Pilot", SUV, 29.0)],
-    [("Altima", SEDAN, 21.5), ("Sentra", SEDAN, 16.0), ("Maxima", SEDAN, 28.5), ("Pathfinder", SUV, 27.5), ("Frontier", TRUCK, 19.5)],
-    [("Mazda3", SEDAN, 17.0), ("Mazda6", SEDAN, 20.5), ("CX-7", SUV, 24.5), ("MX-5", CONVERTIBLE, 23.0), ("Tribute", SUV, 20.0)],
-    [("Outback", WAGON, 23.0), ("Forester", SUV, 21.5), ("Impreza", SEDAN, 17.5), ("Legacy", SEDAN, 20.5), ("Tribeca", SUV, 30.5)],
-    [("Lancer", SEDAN, 15.5), ("Outlander", SUV, 21.0), ("Eclipse", COUPE, 20.0), ("Galant", SEDAN, 19.5), ("Endeavor", SUV, 26.0)],
-    [("F-150", TRUCK, 24.0), ("Focus", SEDAN, 15.0), ("Escape", SUV, 20.5), ("Explorer", SUV, 26.5), ("Mustang", COUPE, 21.0)],
-    [("Silverado", TRUCK, 23.5), ("Impala", SEDAN, 22.0), ("Malibu", SEDAN, 19.0), ("Tahoe", SUV, 34.5), ("Cobalt", COUPE, 14.5)],
-    [("Ram", TRUCK, 22.5), ("Charger", SEDAN, 23.0), ("Grand Caravan", MINIVAN, 22.0), ("Durango", SUV, 27.0), ("Avenger", SEDAN, 18.5)],
-    [("300", SEDAN, 26.0), ("Town & Country", MINIVAN, 25.0), ("Sebring", SEDAN, 19.0), ("PT Cruiser", WAGON, 15.5), ("Pacifica", WAGON, 25.5)],
-    [("Grand Cherokee", SUV, 28.5), ("Wrangler", SUV, 20.5), ("Liberty", SUV, 21.0), ("Compass", SUV, 17.0), ("Patriot", SUV, 16.5)],
-    [("Escalade", SUV, 57.0), ("CTS", SEDAN, 33.0), ("DTS", SEDAN, 42.0), ("SRX", SUV, 37.0), ("STS", SEDAN, 46.0)],
-    [("Jetta", SEDAN, 17.5), ("Passat", SEDAN, 24.0), ("Golf", HATCH, 16.5), ("New Beetle", HATCH, 18.0), ("Touareg", SUV, 39.5)],
-    [("3 Series", SEDAN, 33.0), ("5 Series", SEDAN, 45.0), ("X5", SUV, 47.0), ("X3", SUV, 38.5), ("7 Series", SEDAN, 72.0)],
-    [("C-Class", SEDAN, 32.0), ("E-Class", SEDAN, 51.0), ("M-Class", SUV, 44.5), ("S-Class", SEDAN, 86.0), ("GL-Class", SUV, 55.0)],
-    [("A4", SEDAN, 30.5), ("A6", SEDAN, 42.0), ("Q7", SUV, 43.0), ("A3", HATCH, 26.0), ("TT", COUPE, 35.0)],
-    [("Sonata", SEDAN, 18.5), ("Elantra", SEDAN, 14.5), ("Santa Fe", SUV, 21.5), ("Accent", HATCH, 11.0), ("Tucson", SUV, 18.0)],
-    [("Optima", SEDAN, 17.0), ("Spectra", SEDAN, 13.5), ("Sorento", SUV, 22.0), ("Sportage", SUV, 17.5), ("Rio", SEDAN, 11.5)],
+    [
+        ("Camry", SEDAN, 24.0),
+        ("Corolla", SEDAN, 17.0),
+        ("RAV4", SUV, 23.0),
+        ("Tacoma", TRUCK, 22.0),
+        ("Prius", HATCH, 23.5),
+    ],
+    [
+        ("Accord", SEDAN, 23.0),
+        ("Civic", SEDAN, 17.5),
+        ("CR-V", SUV, 22.5),
+        ("Odyssey", MINIVAN, 27.0),
+        ("Pilot", SUV, 29.0),
+    ],
+    [
+        ("Altima", SEDAN, 21.5),
+        ("Sentra", SEDAN, 16.0),
+        ("Maxima", SEDAN, 28.5),
+        ("Pathfinder", SUV, 27.5),
+        ("Frontier", TRUCK, 19.5),
+    ],
+    [
+        ("Mazda3", SEDAN, 17.0),
+        ("Mazda6", SEDAN, 20.5),
+        ("CX-7", SUV, 24.5),
+        ("MX-5", CONVERTIBLE, 23.0),
+        ("Tribute", SUV, 20.0),
+    ],
+    [
+        ("Outback", WAGON, 23.0),
+        ("Forester", SUV, 21.5),
+        ("Impreza", SEDAN, 17.5),
+        ("Legacy", SEDAN, 20.5),
+        ("Tribeca", SUV, 30.5),
+    ],
+    [
+        ("Lancer", SEDAN, 15.5),
+        ("Outlander", SUV, 21.0),
+        ("Eclipse", COUPE, 20.0),
+        ("Galant", SEDAN, 19.5),
+        ("Endeavor", SUV, 26.0),
+    ],
+    [
+        ("F-150", TRUCK, 24.0),
+        ("Focus", SEDAN, 15.0),
+        ("Escape", SUV, 20.5),
+        ("Explorer", SUV, 26.5),
+        ("Mustang", COUPE, 21.0),
+    ],
+    [
+        ("Silverado", TRUCK, 23.5),
+        ("Impala", SEDAN, 22.0),
+        ("Malibu", SEDAN, 19.0),
+        ("Tahoe", SUV, 34.5),
+        ("Cobalt", COUPE, 14.5),
+    ],
+    [
+        ("Ram", TRUCK, 22.5),
+        ("Charger", SEDAN, 23.0),
+        ("Grand Caravan", MINIVAN, 22.0),
+        ("Durango", SUV, 27.0),
+        ("Avenger", SEDAN, 18.5),
+    ],
+    [
+        ("300", SEDAN, 26.0),
+        ("Town & Country", MINIVAN, 25.0),
+        ("Sebring", SEDAN, 19.0),
+        ("PT Cruiser", WAGON, 15.5),
+        ("Pacifica", WAGON, 25.5),
+    ],
+    [
+        ("Grand Cherokee", SUV, 28.5),
+        ("Wrangler", SUV, 20.5),
+        ("Liberty", SUV, 21.0),
+        ("Compass", SUV, 17.0),
+        ("Patriot", SUV, 16.5),
+    ],
+    [
+        ("Escalade", SUV, 57.0),
+        ("CTS", SEDAN, 33.0),
+        ("DTS", SEDAN, 42.0),
+        ("SRX", SUV, 37.0),
+        ("STS", SEDAN, 46.0),
+    ],
+    [
+        ("Jetta", SEDAN, 17.5),
+        ("Passat", SEDAN, 24.0),
+        ("Golf", HATCH, 16.5),
+        ("New Beetle", HATCH, 18.0),
+        ("Touareg", SUV, 39.5),
+    ],
+    [
+        ("3 Series", SEDAN, 33.0),
+        ("5 Series", SEDAN, 45.0),
+        ("X5", SUV, 47.0),
+        ("X3", SUV, 38.5),
+        ("7 Series", SEDAN, 72.0),
+    ],
+    [
+        ("C-Class", SEDAN, 32.0),
+        ("E-Class", SEDAN, 51.0),
+        ("M-Class", SUV, 44.5),
+        ("S-Class", SEDAN, 86.0),
+        ("GL-Class", SUV, 55.0),
+    ],
+    [
+        ("A4", SEDAN, 30.5),
+        ("A6", SEDAN, 42.0),
+        ("Q7", SUV, 43.0),
+        ("A3", HATCH, 26.0),
+        ("TT", COUPE, 35.0),
+    ],
+    [
+        ("Sonata", SEDAN, 18.5),
+        ("Elantra", SEDAN, 14.5),
+        ("Santa Fe", SUV, 21.5),
+        ("Accent", HATCH, 11.0),
+        ("Tucson", SUV, 18.0),
+    ],
+    [
+        ("Optima", SEDAN, 17.0),
+        ("Spectra", SEDAN, 13.5),
+        ("Sorento", SUV, 22.0),
+        ("Sportage", SUV, 17.5),
+        ("Rio", SEDAN, 11.5),
+    ],
 ];
 
 /// In-make model popularity.
@@ -155,7 +271,10 @@ fn price_buckets() -> Vec<Bucket> {
         (32_000.0, 45_000.0, "$32k–$45k"),
         (45_000.0, f64::INFINITY, "over $45k"),
     ];
-    edges.iter().map(|&(lo, hi, l)| Bucket::new(lo, hi, l)).collect()
+    edges
+        .iter()
+        .map(|&(lo, hi, l)| Bucket::new(lo, hi, l))
+        .collect()
 }
 
 /// Mileage buckets as the search form exposes them.
@@ -169,7 +288,10 @@ fn mileage_buckets() -> Vec<Bucket> {
         (100_000.0, 140_000.0, "100k–140k mi"),
         (140_000.0, f64::INFINITY, "over 140k mi"),
     ];
-    edges.iter().map(|&(lo, hi, l)| Bucket::new(lo, hi, l)).collect()
+    edges
+        .iter()
+        .map(|&(lo, hi, l)| Bucket::new(lo, hi, l))
+        .collect()
 }
 
 /// Which attributes the generated form exposes.
@@ -198,12 +320,20 @@ pub struct VehiclesSpec {
 impl VehiclesSpec {
     /// Full-schema inventory of `n` listings.
     pub fn full(n: usize, seed: u64) -> Self {
-        VehiclesSpec { n, seed, variant: VehiclesVariant::Full }
+        VehiclesSpec {
+            n,
+            seed,
+            variant: VehiclesVariant::Full,
+        }
     }
 
     /// Compact-schema inventory of `n` listings.
     pub fn compact(n: usize, seed: u64) -> Self {
-        VehiclesSpec { n, seed, variant: VehiclesVariant::Compact }
+        VehiclesSpec {
+            n,
+            seed,
+            variant: VehiclesVariant::Compact,
+        }
     }
 
     /// Generate the schema and tuples.
@@ -252,13 +382,29 @@ fn sample_listing(
     // Condition correlates with age.
     let condition = if age == 0.0 {
         let r: f64 = rng.gen();
-        if r < 0.85 { 0 } else if r < 0.95 { 2 } else { 1 }
+        if r < 0.85 {
+            0
+        } else if r < 0.95 {
+            2
+        } else {
+            1
+        }
     } else if age <= 3.0 {
         let r: f64 = rng.gen();
-        if r < 0.03 { 0 } else if r < 0.30 { 2 } else { 1 }
+        if r < 0.03 {
+            0
+        } else if r < 0.30 {
+            2
+        } else {
+            1
+        }
     } else {
         let r: f64 = rng.gen();
-        if r < 0.08 { 2 } else { 1 }
+        if r < 0.08 {
+            2
+        } else {
+            1
+        }
     };
 
     // Price: base price depreciated by age with log-normal dispersion;
@@ -272,8 +418,9 @@ fn sample_listing(
     let mileage = if condition == 0 {
         rng.gen_range(5.0..250.0)
     } else {
-        let per_year = rng.gen_range(8_000.0..16_000.0);
-        (age.max(0.3) * per_year * rng.gen_range(0.75..1.25)).max(30.0)
+        let per_year: f64 = rng.gen_range(8_000.0..16_000.0);
+        let dispersion: f64 = rng.gen_range(0.75..1.25);
+        (age.max(0.3) * per_year * dispersion).max(30.0)
     };
 
     // Fuel: Prius is always hybrid; other recent Toyota/Honda occasionally;
@@ -284,9 +431,7 @@ fn sample_listing(
         let r: f64 = rng.gen();
         if make <= 1 && age <= 4.0 && r < 0.05 {
             2
-        } else if (12..=15).contains(&make) && r < 0.10 {
-            1
-        } else if body == TRUCK && r < 0.15 {
+        } else if ((12..=15).contains(&make) && r < 0.10) || (body == TRUCK && r < 0.15) {
             1
         } else if age <= 1.0 && r < 0.002 {
             3
@@ -307,12 +452,14 @@ fn sample_listing(
     let doors_ix = match body {
         COUPE | CONVERTIBLE => 0,
         TRUCK => {
-            if rng.gen_bool(0.55) { 0 } else { 1 }
+            if rng.gen_bool(0.55) {
+                0
+            } else {
+                1
+            }
         }
         SEDAN => 1,
-        SUV | WAGON => {
-            if rng.gen_bool(0.6) { 1 } else { 2 }
-        }
+        SUV | WAGON if rng.gen_bool(0.6) => 1,
         _ => 2,
     };
 
@@ -343,8 +490,7 @@ fn listings(n: usize, seed: u64) -> Vec<Listing> {
     let make_dist = WeightedIndex::new(MAKES.iter().map(|&(_, w)| w)).expect("valid weights");
     let model_dist = WeightedIndex::new(MODEL_WEIGHTS).expect("valid weights");
     let color_dist = WeightedIndex::new(COLORS.iter().map(|&(_, w)| w)).expect("valid weights");
-    let region_dist =
-        WeightedIndex::new(REGIONS.iter().map(|&(_, w)| w)).expect("valid weights");
+    let region_dist = WeightedIndex::new(REGIONS.iter().map(|&(_, w)| w)).expect("valid weights");
     // Inventory age profile: lots of 2–6 year old cars, a new-car spike,
     // a long tail of old listings.
     let year_weights: Vec<f64> = YEARS
@@ -360,7 +506,16 @@ fn listings(n: usize, seed: u64) -> Vec<Listing> {
     let year_dist = WeightedIndex::new(&year_weights).expect("valid weights");
 
     (0..n)
-        .map(|_| sample_listing(&mut rng, &make_dist, &model_dist, &color_dist, &region_dist, &year_dist))
+        .map(|_| {
+            sample_listing(
+                &mut rng,
+                &make_dist,
+                &model_dist,
+                &color_dist,
+                &region_dist,
+                &year_dist,
+            )
+        })
         .collect()
 }
 
@@ -371,7 +526,9 @@ pub fn vehicles_full_schema() -> Arc<Schema> {
         .iter()
         .enumerate()
         .flat_map(|(mk, models)| {
-            models.iter().map(move |(name, _, _)| format!("{} {}", MAKES[mk].0, name))
+            models
+                .iter()
+                .map(move |(name, _, _)| format!("{} {}", MAKES[mk].0, name))
         })
         .collect();
     SchemaBuilder::new()
@@ -437,8 +594,14 @@ pub fn vehicles_full(n: usize, seed: u64) -> (Arc<Schema>, Vec<Tuple>) {
                 l.make as u16,
                 l.model_global as u16,
                 l.year_ix as u16,
-                schema.attr_unchecked(price_attr).bucket_of(l.price).expect("in range"),
-                schema.attr_unchecked(mileage_attr).bucket_of(l.mileage).expect("in range"),
+                schema
+                    .attr_unchecked(price_attr)
+                    .bucket_of(l.price)
+                    .expect("in range"),
+                schema
+                    .attr_unchecked(mileage_attr)
+                    .bucket_of(l.mileage)
+                    .expect("in range"),
                 l.color as u16,
                 l.condition as u16,
                 l.transmission as u16,
@@ -463,7 +626,10 @@ pub fn vehicles_compact(n: usize, seed: u64) -> (Arc<Schema>, Vec<Tuple>) {
             let values = vec![
                 l.make as u16,
                 l.year_ix as u16,
-                schema.attr_unchecked(price_attr).bucket_of(l.price).expect("in range"),
+                schema
+                    .attr_unchecked(price_attr)
+                    .bucket_of(l.price)
+                    .expect("in range"),
                 l.condition as u16,
                 l.transmission as u16,
                 l.body as u16,
@@ -532,7 +698,10 @@ mod tests {
         let (schema, tuples) = vehicles_full(3_000, 9);
         let price_attr = schema.attr_by_name("price").unwrap();
         for t in &tuples {
-            let bucket = schema.attr_unchecked(price_attr).bucket_of(t.measures()[0]).unwrap();
+            let bucket = schema
+                .attr_unchecked(price_attr)
+                .bucket_of(t.measures()[0])
+                .unwrap();
             assert_eq!(t.values()[price_attr.index()], bucket);
         }
     }
@@ -569,8 +738,7 @@ mod tests {
             .map(|t| (t.measures()[2], t.values()[year_attr.index()]))
             .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-        let top_years: f64 =
-            scored[..100].iter().map(|&(_, y)| y as f64).sum::<f64>() / 100.0;
+        let top_years: f64 = scored[..100].iter().map(|&(_, y)| y as f64).sum::<f64>() / 100.0;
         let all_years: f64 =
             scored.iter().map(|&(_, y)| y as f64).sum::<f64>() / scored.len() as f64;
         assert!(
@@ -582,7 +750,11 @@ mod tests {
     #[test]
     fn compact_domain_product_is_brute_forceable() {
         let schema = vehicles_compact_schema();
-        assert!(schema.domain_product() < 100_000.0, "B = {}", schema.domain_product());
+        assert!(
+            schema.domain_product() < 100_000.0,
+            "B = {}",
+            schema.domain_product()
+        );
         let (schema, tuples) = vehicles_compact(1_000, 1);
         assert_eq!(schema.arity(), 6);
         for t in &tuples {
@@ -593,7 +765,11 @@ mod tests {
     #[test]
     fn full_domain_product_is_hopeless_for_brute_force() {
         let schema = vehicles_full_schema();
-        assert!(schema.domain_product() > 1e10, "B = {}", schema.domain_product());
+        assert!(
+            schema.domain_product() > 1e10,
+            "B = {}",
+            schema.domain_product()
+        );
     }
 
     #[test]
@@ -612,7 +788,10 @@ mod tests {
                 assert_eq!(t.values()[fuel_attr.index()], 2, "Prius must be hybrid");
             }
         }
-        assert!(n_prius > 50, "expected a reasonable Prius population, got {n_prius}");
+        assert!(
+            n_prius > 50,
+            "expected a reasonable Prius population, got {n_prius}"
+        );
     }
 
     #[test]

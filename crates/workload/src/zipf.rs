@@ -53,7 +53,10 @@ impl Distribution<usize> for Zipf {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x: f64 = rng.gen::<f64>() * total;
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -93,8 +96,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..6 {
-            let emp = counts[i] as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
             assert!(
                 (emp - z.pmf(i)).abs() < 0.005,
                 "rank {i}: empirical {emp} vs pmf {}",

@@ -19,8 +19,7 @@ fn main() {
     let oracle = db.oracle();
 
     let mut sampler = hdsampler::uniform_sampler(&db, 23);
-    let samples =
-        SamplingSession::new(800).run(&mut sampler, |_| {}).samples;
+    let samples = SamplingSession::new(800).run(&mut sampler, |_| {}).samples;
     println!("{} uniform samples drawn\n", samples.len());
     let est = Estimator::new(&samples);
 
@@ -41,7 +40,10 @@ fn main() {
     let manual = schema.attr_by_name("transmission").unwrap();
     let avg_manual = est.avg(price, |r| r.values[manual.index()] == 1);
     let truth_avg = oracle
-        .avg(&ConjunctiveQuery::from_named(&schema, [("transmission", "manual")]).unwrap(), price)
+        .avg(
+            &ConjunctiveQuery::from_named(&schema, [("transmission", "manual")]).unwrap(),
+            price,
+        )
         .expect("manual cars exist");
     println!(
         "AVG price of manual cars    ${:8.0} ± {:5.0}   (truth ${:8.0}, covered: {})",
@@ -87,5 +89,8 @@ fn main() {
     let cond = schema.attr_by_name("condition").unwrap();
     let trans = schema.attr_by_name("transmission").unwrap();
     let cube = DataCube::from_rows(&schema, cond, trans, samples.rows());
-    println!("\ncondition × transmission (joint % of inventory):\n{}", cube.render());
+    println!(
+        "\ncondition × transmission (joint % of inventory):\n{}",
+        cube.render()
+    );
 }

@@ -63,7 +63,9 @@ fn main() {
 
     // At ~150 ms per HTTP round trip, that corresponds to:
     let minutes = stats.queries_issued as f64 * 0.150 / 60.0;
-    println!("At 150 ms/query this is ≈ {minutes:.1} minutes of wall-clock — 'a matter of minutes'.\n");
+    println!(
+        "At 150 ms/query this is ≈ {minutes:.1} minutes of wall-clock — 'a matter of minutes'.\n"
+    );
 
     // --- Figure 4: histograms on the samples --------------------------
     for attr_name in ["make", "year", "price", "condition"] {
@@ -80,8 +82,8 @@ fn main() {
 
     // --- The §1 aggregate --------------------------------------------
     use hdsampler::workload::vehicles::{is_japanese_make, N_JAPANESE_MAKES};
-    let est = Estimator::new(&outcome.samples)
-        .proportion(|r| is_japanese_make(r.values[0] as usize));
+    let est =
+        Estimator::new(&outcome.samples).proportion(|r| is_japanese_make(r.values[0] as usize));
     let make = schema.attr_by_name("make").unwrap();
     let truth: f64 = db.oracle().marginal(make)[..N_JAPANESE_MAKES].iter().sum();
     println!(

@@ -35,7 +35,9 @@ fn profile(name: &'static str, db: &Arc<HiddenDb>, seed: u64) -> SiteReport {
     SiteReport {
         name,
         size_estimate: capture_recapture(samples.len(), samples.distinct()),
-        japanese_share: est.proportion(|r| is_japanese_make(r.values[0] as usize)).value,
+        japanese_share: est
+            .proportion(|r| is_japanese_make(r.values[0] as usize))
+            .value,
         avg_price: est.avg(price, |_| true).value,
         used_share: est.proportion(|r| r.values[cond.index()] == 1).value,
         queries_spent: sampler.stats().queries_issued,
@@ -49,7 +51,10 @@ fn main() {
     // inventory mix; smaller stock).
     let site_b = hdsampler::simulated_site(2_500, 50, 2002);
 
-    let reports = [profile("MegaMotors", &site_a, 1), profile("ThriftyAuto", &site_b, 2)];
+    let reports = [
+        profile("MegaMotors", &site_a, 1),
+        profile("ThriftyAuto", &site_b, 2),
+    ];
 
     println!(
         "{:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
@@ -59,7 +64,8 @@ fn main() {
         println!(
             "{:>12} {:>12} {:>9.1}% {:>10.0} {:>9.1}% {:>9}",
             r.name,
-            r.size_estimate.map_or("n/a".to_string(), |n| format!("{n:.0}")),
+            r.size_estimate
+                .map_or("n/a".to_string(), |n| format!("{n:.0}")),
             r.japanese_share * 100.0,
             r.avg_price,
             r.used_share * 100.0,
@@ -73,7 +79,10 @@ fn main() {
         let size = r.size_estimate.unwrap_or(1_000.0);
         size * r.japanese_share * r.used_share / r.avg_price
     };
-    let best = reports.iter().max_by(|a, b| score(a).partial_cmp(&score(b)).unwrap()).unwrap();
+    let best = reports
+        .iter()
+        .max_by(|a, b| score(a).partial_cmp(&score(b)).unwrap())
+        .unwrap();
     println!(
         "\nMeta-search routing decision for 'cheap used Japanese cars': {}",
         best.name

@@ -15,8 +15,7 @@ fn main() {
 
     // The site renders its search form (Figure 3's machine counterpart)…
     let iface = hdsampler::webform_stack(&db);
-    let site_form =
-        hdsampler::webform::WebForm::new(std::sync::Arc::clone(&schema), "/search");
+    let site_form = hdsampler::webform::WebForm::new(std::sync::Arc::clone(&schema), "/search");
     let form_html = site_form.render_html();
     println!(
         "The site's search form ({} lines of HTML, one <select> per attribute):\n",
@@ -29,8 +28,7 @@ fn main() {
 
     // …and one raw results page, as the scraper sees it:
     let example_query =
-        ConjunctiveQuery::from_named(&schema, [("make", "Toyota"), ("condition", "new")])
-            .unwrap();
+        ConjunctiveQuery::from_named(&schema, [("make", "Toyota"), ("condition", "new")]).unwrap();
     let path = site_form.request_path(&example_query);
     println!("GET {path}\n");
     let page = iface.transport().fetch(&path).expect("site is up");

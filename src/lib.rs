@@ -67,8 +67,8 @@ pub mod prelude {
     };
     pub use hdsampler_hidden_db::{CountMode, HiddenDb, QueryBudget, RankSpec};
     pub use hdsampler_model::{
-        AttrId, Attribute, Classification, ConjunctiveQuery, FormInterface, MeasureId, Row,
-        Schema, SchemaBuilder, TupleId,
+        AttrId, Attribute, Classification, ConjunctiveQuery, FormInterface, MeasureId, Row, Schema,
+        SchemaBuilder, TupleId,
     };
     pub use hdsampler_webform::{LatencyTransport, LocalSite, Transport, WebFormInterface};
     pub use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
@@ -86,8 +86,11 @@ pub fn simulated_google_base(n: usize, seed: u64) -> Arc<HiddenDb> {
 /// brute-force validation (§3.4 / §4 backup plan).
 pub fn simulated_site(n: usize, k: usize, seed: u64) -> Arc<HiddenDb> {
     Arc::new(
-        WorkloadSpec::vehicles(VehiclesSpec::compact(n, seed), DbConfig::exact_counts().with_k(k))
-            .build(),
+        WorkloadSpec::vehicles(
+            VehiclesSpec::compact(n, seed),
+            DbConfig::exact_counts().with_k(k),
+        )
+        .build(),
     )
 }
 
@@ -97,8 +100,11 @@ pub fn uniform_sampler(
     db: &Arc<HiddenDb>,
     seed: u64,
 ) -> HdsSampler<CachingExecutor<Arc<HiddenDb>>> {
-    HdsSampler::new(CachingExecutor::new(Arc::clone(db)), SamplerConfig::seeded(seed))
-        .expect("default configuration is valid for any schema")
+    HdsSampler::new(
+        CachingExecutor::new(Arc::clone(db)),
+        SamplerConfig::seeded(seed),
+    )
+    .expect("default configuration is valid for any schema")
 }
 
 /// A slider-configured HIDDEN-DB-SAMPLER (`0.0` = lowest skew, `1.0` =
@@ -150,8 +156,7 @@ mod tests {
     fn webform_stack_serves_samplers() {
         let db = simulated_site(500, 50, 9);
         let iface = webform_stack(&db);
-        let mut s =
-            HdsSampler::new(DirectExecutor::new(&iface), SamplerConfig::seeded(1)).unwrap();
+        let mut s = HdsSampler::new(DirectExecutor::new(&iface), SamplerConfig::seeded(1)).unwrap();
         let sample = s.next_sample().unwrap();
         assert!(db.oracle().tuple_by_key(sample.row.key).is_some());
     }

@@ -7,8 +7,11 @@ use std::sync::Arc;
 
 fn build_db(seed: u64) -> Arc<HiddenDb> {
     Arc::new(
-        WorkloadSpec::vehicles(VehiclesSpec::compact(6_000, seed), DbConfig::no_counts().with_k(200))
-            .build(),
+        WorkloadSpec::vehicles(
+            VehiclesSpec::compact(6_000, seed),
+            DbConfig::no_counts().with_k(200),
+        )
+        .build(),
     )
 }
 
@@ -17,20 +20,29 @@ fn cached_and_uncached_sample_streams_are_identical() {
     let n_samples = 300;
 
     let db_plain = build_db(77);
-    let mut plain =
-        HdsSampler::new(DirectExecutor::new(Arc::clone(&db_plain)), SamplerConfig::seeded(3))
-            .unwrap();
-    let plain_keys: Vec<u64> =
-        (0..n_samples).map(|_| plain.next_sample().unwrap().row.key).collect();
+    let mut plain = HdsSampler::new(
+        DirectExecutor::new(Arc::clone(&db_plain)),
+        SamplerConfig::seeded(3),
+    )
+    .unwrap();
+    let plain_keys: Vec<u64> = (0..n_samples)
+        .map(|_| plain.next_sample().unwrap().row.key)
+        .collect();
 
     let db_cached = build_db(77);
-    let mut cached =
-        HdsSampler::new(CachingExecutor::new(Arc::clone(&db_cached)), SamplerConfig::seeded(3))
-            .unwrap();
-    let cached_keys: Vec<u64> =
-        (0..n_samples).map(|_| cached.next_sample().unwrap().row.key).collect();
+    let mut cached = HdsSampler::new(
+        CachingExecutor::new(Arc::clone(&db_cached)),
+        SamplerConfig::seeded(3),
+    )
+    .unwrap();
+    let cached_keys: Vec<u64> = (0..n_samples)
+        .map(|_| cached.next_sample().unwrap().row.key)
+        .collect();
 
-    assert_eq!(plain_keys, cached_keys, "inference must not change any decision");
+    assert_eq!(
+        plain_keys, cached_keys,
+        "inference must not change any decision"
+    );
     let (p, c) = (plain.stats(), cached.stats());
     assert_eq!(p.walks, c.walks);
     assert_eq!(p.requests, c.requests, "same logical request sequence");
@@ -67,20 +79,31 @@ fn cache_equivalence_under_scrambled_orders_and_slider() {
 #[test]
 fn cache_equivalence_for_count_sampler() {
     let spec = WorkloadSpec {
-        data: DataSpec::BooleanIid { m: 10, n: 400, p: 0.5 },
+        data: DataSpec::BooleanIid {
+            m: 10,
+            n: 400,
+            p: 0.5,
+        },
         db: DbConfig::exact_counts().with_k(8),
         seed: 9,
     };
     let db_a = Arc::new(spec.build());
     let db_b = Arc::new(spec.build());
-    let mut a =
-        CountWalkSampler::new(DirectExecutor::new(Arc::clone(&db_a)), SamplerConfig::seeded(2))
-            .unwrap();
-    let mut b =
-        CountWalkSampler::new(CachingExecutor::new(Arc::clone(&db_b)), SamplerConfig::seeded(2))
-            .unwrap();
+    let mut a = CountWalkSampler::new(
+        DirectExecutor::new(Arc::clone(&db_a)),
+        SamplerConfig::seeded(2),
+    )
+    .unwrap();
+    let mut b = CountWalkSampler::new(
+        CachingExecutor::new(Arc::clone(&db_b)),
+        SamplerConfig::seeded(2),
+    )
+    .unwrap();
     for _ in 0..200 {
-        assert_eq!(a.next_sample().unwrap().row.key, b.next_sample().unwrap().row.key);
+        assert_eq!(
+            a.next_sample().unwrap().row.key,
+            b.next_sample().unwrap().row.key
+        );
     }
     assert!(
         b.stats().queries_issued < a.stats().queries_issued,
@@ -95,9 +118,11 @@ fn eviction_preserves_correctness_not_performance() {
     // A pathologically small cache evicts constantly; samples must still
     // match the uncached stream.
     let db_a = build_db(31);
-    let mut a =
-        HdsSampler::new(DirectExecutor::new(Arc::clone(&db_a)), SamplerConfig::seeded(6))
-            .unwrap();
+    let mut a = HdsSampler::new(
+        DirectExecutor::new(Arc::clone(&db_a)),
+        SamplerConfig::seeded(6),
+    )
+    .unwrap();
     let db_b = build_db(31);
     let mut b = HdsSampler::new(
         CachingExecutor::with_capacity(Arc::clone(&db_b), 8),
@@ -105,7 +130,10 @@ fn eviction_preserves_correctness_not_performance() {
     )
     .unwrap();
     for _ in 0..100 {
-        assert_eq!(a.next_sample().unwrap().row.key, b.next_sample().unwrap().row.key);
+        assert_eq!(
+            a.next_sample().unwrap().row.key,
+            b.next_sample().unwrap().row.key
+        );
     }
     assert!(
         b.executor().history_stats().evictions > 0,

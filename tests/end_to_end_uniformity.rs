@@ -29,17 +29,18 @@ fn assert_uniform_by_chi_square(db: &HiddenDb, keys: &[u64], n_tuples: usize) {
 fn hds_uniform_through_webform_stack() {
     // Small Boolean DB so per-tuple statistics are meaningful.
     let spec = WorkloadSpec {
-        data: DataSpec::BooleanIid { m: 9, n: 120, p: 0.5 },
+        data: DataSpec::BooleanIid {
+            m: 9,
+            n: 120,
+            p: 0.5,
+        },
         db: DbConfig::no_counts().with_k(5),
         seed: 21,
     };
     let db = Arc::new(spec.build());
     let iface = hdsampler::webform_stack(&db);
-    let mut sampler = HdsSampler::new(
-        CachingExecutor::new(&iface),
-        SamplerConfig::seeded(99),
-    )
-    .unwrap();
+    let mut sampler =
+        HdsSampler::new(CachingExecutor::new(&iface), SamplerConfig::seeded(99)).unwrap();
 
     let mut keys = Vec::new();
     for _ in 0..3_000 {
@@ -51,7 +52,11 @@ fn hds_uniform_through_webform_stack() {
 #[test]
 fn count_sampler_uniform_and_rejection_free() {
     let spec = WorkloadSpec {
-        data: DataSpec::BooleanIid { m: 9, n: 120, p: 0.5 },
+        data: DataSpec::BooleanIid {
+            m: 9,
+            n: 120,
+            p: 0.5,
+        },
         db: DbConfig::exact_counts().with_k(5),
         seed: 22,
     };
@@ -74,7 +79,11 @@ fn count_sampler_uniform_and_rejection_free() {
 #[test]
 fn brute_force_uniform() {
     let spec = WorkloadSpec {
-        data: DataSpec::BooleanIid { m: 8, n: 60, p: 0.5 },
+        data: DataSpec::BooleanIid {
+            m: 8,
+            n: 60,
+            p: 0.5,
+        },
         db: DbConfig::no_counts().with_k(3),
         seed: 23,
     };
@@ -104,10 +113,14 @@ fn raw_walk_is_demonstrably_skewed() {
             .with_acceptance(AcceptancePolicy::AcceptAll),
     )
     .unwrap();
-    let keys: Vec<u64> =
-        (0..2_000).map(|_| sampler.next_sample().unwrap().row.key).collect();
+    let keys: Vec<u64> = (0..2_000)
+        .map(|_| sampler.next_sample().unwrap().row.key)
+        .collect();
     let freq = db.oracle().frequency_by_tuple(&keys);
     let counts: Vec<u64> = freq.values().copied().collect();
     let chi = hdsampler::estimator::chi_square_uniform(&counts, 4, keys.len() as u64);
-    assert!(chi > 100.0, "raw walk skew must be detected (χ² = {chi:.1})");
+    assert!(
+        chi > 100.0,
+        "raw walk skew must be detected (χ² = {chi:.1})"
+    );
 }

@@ -18,8 +18,11 @@ fn metered_db(budget: u64) -> Arc<HiddenDb> {
 #[test]
 fn budget_exhaustion_mid_session_keeps_partial_samples() {
     let db = metered_db(400);
-    let mut sampler =
-        HdsSampler::new(DirectExecutor::new(Arc::clone(&db)), SamplerConfig::seeded(1)).unwrap();
+    let mut sampler = HdsSampler::new(
+        DirectExecutor::new(Arc::clone(&db)),
+        SamplerConfig::seeded(1),
+    )
+    .unwrap();
     let session = SamplingSession::new(100_000);
     let outcome = session.run(&mut sampler, |_| {});
     assert_eq!(outcome.reason, StopReason::BudgetExhausted);
@@ -34,16 +37,26 @@ fn budget_exhaustion_mid_session_keeps_partial_samples() {
 fn cache_stretches_a_fixed_budget() {
     // Same budget, cache on: strictly more samples before exhaustion.
     let db_plain = metered_db(400);
-    let mut plain =
-        HdsSampler::new(DirectExecutor::new(Arc::clone(&db_plain)), SamplerConfig::seeded(1))
-            .unwrap();
-    let n_plain = SamplingSession::new(100_000).run(&mut plain, |_| {}).samples.len();
+    let mut plain = HdsSampler::new(
+        DirectExecutor::new(Arc::clone(&db_plain)),
+        SamplerConfig::seeded(1),
+    )
+    .unwrap();
+    let n_plain = SamplingSession::new(100_000)
+        .run(&mut plain, |_| {})
+        .samples
+        .len();
 
     let db_cached = metered_db(400);
-    let mut cached =
-        HdsSampler::new(CachingExecutor::new(Arc::clone(&db_cached)), SamplerConfig::seeded(1))
-            .unwrap();
-    let n_cached = SamplingSession::new(100_000).run(&mut cached, |_| {}).samples.len();
+    let mut cached = HdsSampler::new(
+        CachingExecutor::new(Arc::clone(&db_cached)),
+        SamplerConfig::seeded(1),
+    )
+    .unwrap();
+    let n_cached = SamplingSession::new(100_000)
+        .run(&mut cached, |_| {})
+        .samples
+        .len();
 
     assert!(
         n_cached > 2 * n_plain,
@@ -54,11 +67,17 @@ fn cache_stretches_a_fixed_budget() {
 #[test]
 fn kill_switch_stops_a_running_session_from_another_thread() {
     let db = Arc::new(
-        WorkloadSpec::vehicles(VehiclesSpec::compact(4_000, 9), DbConfig::no_counts().with_k(150))
-            .build(),
+        WorkloadSpec::vehicles(
+            VehiclesSpec::compact(4_000, 9),
+            DbConfig::no_counts().with_k(150),
+        )
+        .build(),
     );
-    let mut sampler =
-        HdsSampler::new(CachingExecutor::new(Arc::clone(&db)), SamplerConfig::seeded(2)).unwrap();
+    let mut sampler = HdsSampler::new(
+        CachingExecutor::new(Arc::clone(&db)),
+        SamplerConfig::seeded(2),
+    )
+    .unwrap();
     let session = SamplingSession::new(usize::MAX);
     let kill = session.kill_switch();
 
@@ -91,8 +110,11 @@ fn parallel_session_shares_one_cache_and_budget() {
 #[test]
 fn scoped_sampling_respects_figure3_style_bindings() {
     let db = Arc::new(
-        WorkloadSpec::vehicles(VehiclesSpec::compact(6_000, 3), DbConfig::no_counts().with_k(150))
-            .build(),
+        WorkloadSpec::vehicles(
+            VehiclesSpec::compact(6_000, 3),
+            DbConfig::no_counts().with_k(150),
+        )
+        .build(),
     );
     let schema = db.schema().clone();
     let scope = ConjunctiveQuery::from_named(&schema, [("condition", "used")]).unwrap();
@@ -124,8 +146,11 @@ fn scoped_sampling_respects_figure3_style_bindings() {
 #[test]
 fn drill_attribute_restriction_limits_queries_to_those_attributes() {
     let db = Arc::new(
-        WorkloadSpec::vehicles(VehiclesSpec::compact(2_000, 5), DbConfig::no_counts().with_k(50))
-            .build(),
+        WorkloadSpec::vehicles(
+            VehiclesSpec::compact(2_000, 5),
+            DbConfig::no_counts().with_k(50),
+        )
+        .build(),
     );
     let cfg = SamplerConfig::seeded(6).with_drill_attrs(["make", "year", "price"]);
     let mut sampler = HdsSampler::new(DirectExecutor::new(Arc::clone(&db)), cfg).unwrap();

@@ -44,14 +44,21 @@ fn sampler_config_json_roundtrip() {
 #[test]
 fn seeded_sessions_replay_exactly() {
     let db = Arc::new(
-        WorkloadSpec::vehicles(VehiclesSpec::compact(3_000, 5), DbConfig::no_counts().with_k(100))
-            .build(),
+        WorkloadSpec::vehicles(
+            VehiclesSpec::compact(3_000, 5),
+            DbConfig::no_counts().with_k(100),
+        )
+        .build(),
     );
     let run = || {
-        let mut s =
-            HdsSampler::new(CachingExecutor::new(Arc::clone(&db)), SamplerConfig::seeded(42))
-                .unwrap();
-        (0..100).map(|_| s.next_sample().unwrap().row.key).collect::<Vec<_>>()
+        let mut s = HdsSampler::new(
+            CachingExecutor::new(Arc::clone(&db)),
+            SamplerConfig::seeded(42),
+        )
+        .unwrap();
+        (0..100)
+            .map(|_| s.next_sample().unwrap().row.key)
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run(), "same seed, same site ⇒ same sample stream");
 }
@@ -59,14 +66,21 @@ fn seeded_sessions_replay_exactly() {
 #[test]
 fn different_seeds_differ() {
     let db = Arc::new(
-        WorkloadSpec::vehicles(VehiclesSpec::compact(3_000, 5), DbConfig::no_counts().with_k(100))
-            .build(),
+        WorkloadSpec::vehicles(
+            VehiclesSpec::compact(3_000, 5),
+            DbConfig::no_counts().with_k(100),
+        )
+        .build(),
     );
     let run = |seed| {
-        let mut s =
-            HdsSampler::new(CachingExecutor::new(Arc::clone(&db)), SamplerConfig::seeded(seed))
-                .unwrap();
-        (0..50).map(|_| s.next_sample().unwrap().row.key).collect::<Vec<_>>()
+        let mut s = HdsSampler::new(
+            CachingExecutor::new(Arc::clone(&db)),
+            SamplerConfig::seeded(seed),
+        )
+        .unwrap();
+        (0..50)
+            .map(|_| s.next_sample().unwrap().row.key)
+            .collect::<Vec<_>>()
     };
     assert_ne!(run(1), run(2));
 }

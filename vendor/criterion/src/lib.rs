@@ -1,0 +1,291 @@
+//! Minimal vendored stand-in for `criterion`, written for offline builds.
+//!
+//! Implements the API surface this workspace's benches use: `Criterion`
+//! with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter` /
+//! `Bencher::iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros (both plain and
+//! `name = ...; config = ...; targets = ...` forms).
+//!
+//! Timing model: per sample, the routine runs in a batch sized so one batch
+//! takes roughly `measurement_time / sample_size`; the reported estimate is
+//! the median of per-iteration batch means, printed in a criterion-like
+//! `time: [low mid high]` line.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub sizes batches itself;
+/// the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batched aggressively).
+    SmallInput,
+    /// Large per-iteration inputs (small batches).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Per-function measurement driver.
+pub struct Bencher {
+    samples: usize,
+    target_sample_time: Duration,
+    warm_up_time: Duration,
+    /// Collected per-iteration nanosecond estimates (one per sample).
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize, measurement_time: Duration, warm_up_time: Duration) -> Self {
+        Bencher {
+            samples,
+            target_sample_time: measurement_time / samples.max(1) as u32,
+            warm_up_time,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, measuring a rough
+        // per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch = ((self.target_sample_time.as_nanos() as f64 / per_iter.max(1.0)).ceil() as u64)
+            .clamp(1, 10_000_000);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            self.results.push(elapsed / batch as f64);
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`, excluding setup
+    /// cost per batch (the stub runs one setup per measured iteration).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+            if warm_iters >= 100_000 {
+                break;
+            }
+        }
+
+        self.results.clear();
+        let per_sample = ((self.target_sample_time.as_nanos() as f64
+            / (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0))
+        .ceil() as u64)
+            .clamp(1, 100_000);
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            self.results.push(elapsed / per_sample as f64);
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, results: &mut [f64]) {
+    if results.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let lo = results[results.len() / 10];
+    let mid = results[results.len() / 2];
+    let hi = results[results.len() - 1 - results.len() / 10];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        format_time(lo),
+        format_time(mid),
+        format_time(hi)
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time, self.warm_up_time);
+        f(&mut b);
+        report(name, &mut b.results);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the group's measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        // Should not panic and should print a report line.
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut g = c.benchmark_group("group");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(12.3456), "12.35 ns");
+        assert_eq!(format_time(1_234.0), "1.23 µs");
+        assert_eq!(format_time(12_345_678.0), "12.35 ms");
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal vendored stand-in for `crossbeam`, written for offline builds.
+//!
+//! Provides the two pieces this workspace uses: `channel::unbounded` (backed
+//! by `std::sync::mpsc`) and `thread::scope` (backed by `std::thread::scope`,
+//! with crossbeam's closure-takes-scope calling convention and `Result`
+//! return).
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; errors iff every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; errors iff every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// The scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam convention).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope, enabling
+        /// nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before returning.
+    ///
+    /// Unlike crossbeam, a panicking child propagates through
+    /// `std::thread::scope` and unwinds here rather than surfacing in the
+    /// returned `Result` — callers that `.expect()` the result (the only
+    /// pattern in this workspace) behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        thread::scope(|scope| {
+            for i in 0..4u32 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+            assert!(rx.recv().is_err(), "all senders dropped");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scoped_threads_borrow() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|scope| {
+            let h = scope.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

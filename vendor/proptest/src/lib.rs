@@ -1,0 +1,480 @@
+//! Minimal vendored stand-in for `proptest`, written for offline builds.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`), range and
+//! tuple strategies, `prop::collection::vec`, `prop::option::of`,
+//! `any::<T>()`, string strategies (any printable string, regardless of the
+//! regex supplied), and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (deterministic across runs), failures panic immediately
+//! like plain `assert!`, and there is **no shrinking** — a failing case
+//! prints its inputs via the panic message's `Debug` formatting of
+//! assertion operands instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let x = rng.next_u64() as u128;
+                    self.start.wrapping_add(((x * span) >> 64) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128).wrapping_sub(start as u128) + 1;
+                    let x = rng.next_u64() as u128;
+                    start.wrapping_add(((x * span) >> 64) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+
+    /// String strategies: the real crate interprets these as regexes; the
+    /// stub generates arbitrary printable strings, which is what every
+    /// `"\\PC*"`-style use in this workspace wants.
+    impl Strategy for str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = (rng.next_u64() % 12) as usize;
+            (0..len)
+                .map(|_| {
+                    // Mostly ASCII printable, occasionally a multibyte char.
+                    match rng.next_u64() % 8 {
+                        0 => 'é',
+                        1 => 'λ',
+                        _ => (0x20 + (rng.next_u64() % 0x5f) as u8) as char,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($($name:ident : $ix:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple!(A: 0);
+    impl_tuple!(A: 0, B: 1);
+    impl_tuple!(A: 0, B: 1, C: 2);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix small values (edge-heavy) with full-width ones.
+                    match rng.next_u64() % 4 {
+                        0 => (rng.next_u64() % 16) as $t,
+                        1 => <$t>::MAX - (rng.next_u64() % 16) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+    /// Strategy for `any::<T>()`.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification for [`vec`]: an exact count or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    (rng.next_u64() % span) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)`: a vector of `size` elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `of(element)`: `None` a quarter of the time, otherwise `Some`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+pub mod test_runner {
+    /// Per-test PRNG (SplitMix64): deterministic across runs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded constructor.
+        pub fn seeded(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        #[allow(clippy::should_implement_trait)]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Stable hash of a test name, used to give every test its own seed.
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+
+    /// Result of running one generated case's body.
+    pub enum CaseOutcome {
+        /// The body ran to completion (assertions passed).
+        Pass,
+        /// A `prop_assume!` rejected the inputs; the case is not counted.
+        Reject,
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 48 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests. Supports the common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(0u16..4, 0..30)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::seeded(
+                $crate::test_runner::seed_of(stringify!($name)),
+            );
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(20).max(100);
+            while __accepted < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __max_attempts,
+                    "prop_assume! rejected too many cases in {}",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome = (|| -> $crate::test_runner::CaseOutcome {
+                    $body
+                    $crate::test_runner::CaseOutcome::Pass
+                })();
+                if let $crate::test_runner::CaseOutcome::Pass = __outcome {
+                    __accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a property test (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Reject the current generated case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Reject;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u16..9, y in -5i32..5, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u16..4, 2..6), exact in prop::collection::vec(any::<bool>(), 3)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn tuples_and_options(pair in (0u16..6, 0u16..4), opt in prop::option::of(0u64..10)) {
+            prop_assert!(pair.0 < 6 && pair.1 < 4);
+            if let Some(x) = opt {
+                prop_assert!(x < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::seeded(1);
+        let mut b = crate::test_runner::TestRng::seeded(1);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stub.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote` available
+//! offline) and emits `to_value`/`from_value` impls over `serde::Value`.
+//! Supported shapes — the ones this workspace uses:
+//!
+//! * named structs (with `#[serde(skip)]` fields → `Default::default()`);
+//! * tuple structs (newtypes serialize as their inner value);
+//! * enums with unit / tuple / struct variants, externally tagged like
+//!   real serde: `"Variant"`, `{"Variant": value}`, `{"Variant": {…}}`.
+//!
+//! Generic items are intentionally unsupported and panic with a clear
+//! message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Does an attribute group (the `[...]` after `#`) spell `serde(skip)`?
+fn attr_is_serde_skip(g: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip leading attributes at `i`, reporting whether any was `serde(skip)`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if attr_is_serde_skip(g) {
+                skip = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+/// Skip a `pub` / `pub(...)` visibility marker at `i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past a type expression, stopping at a top-level `,`.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse `{ field: Ty, ... }` contents into fields.
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(name) = toks.get(i).and_then(ident_of) else {
+            break;
+        };
+        i += 1;
+        // ':'
+        i += 1;
+        skip_type(&toks, &mut i);
+        // ','
+        i += 1;
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count fields of a tuple payload `( Ty, Ty, ... )`.
+fn count_tuple_fields(g: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        n += 1;
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = toks.get(i).and_then(ident_of).expect("struct/enum keyword");
+    i += 1;
+    let name = toks.get(i).and_then(ident_of).expect("item name");
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (item `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = toks.get(i) else {
+                panic!("enum body")
+            };
+            let vt: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut j = 0;
+            let mut variants = Vec::new();
+            while j < vt.len() {
+                skip_attrs(&vt, &mut j);
+                let Some(vname) = vt.get(j).and_then(ident_of) else {
+                    break;
+                };
+                j += 1;
+                let shape = match vt.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        Shape::Tuple(count_tuple_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Shape::Named(parse_named_fields(g))
+                    }
+                    _ => Shape::Unit,
+                };
+                // ','
+                j += 1;
+                variants.push(Variant { name: vname, shape });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn map_push(out: &mut String, key: &str, value_expr: &str) {
+    out.push_str(&format!("__m.push(({key:?}.to_string(), {value_expr}));\n"));
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut b =
+                        String::from("let mut __m: Vec<(String, serde::Value)> = Vec::new();\n");
+                    for f in fields.iter().filter(|f| !f.skip) {
+                        map_push(
+                            &mut b,
+                            &f.name,
+                            &format!("serde::Serialize::to_value(&self.{})", f.name),
+                        );
+                    }
+                    b.push_str("serde::Value::Map(__m)");
+                    b
+                }
+                Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Map(vec![({vn:?}.to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let mut inner = String::from(
+                            "{ let mut __m: Vec<(String, serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            map_push(
+                                &mut inner,
+                                &f.name,
+                                &format!("serde::Serialize::to_value({})", f.name),
+                            );
+                        }
+                        inner.push_str("serde::Value::Map(__m) }");
+                        let pat = if binds.is_empty() {
+                            "..".to_string()
+                        } else {
+                            format!("{}, ..", binds.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => serde::Value::Map(vec![({vn:?}.to_string(), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> serde::Value {{\n\
+                     match self {{\n{arms}}}\n}}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Expression rebuilding one named-field set from a map value `__v`.
+fn named_fields_ctor(fields: &[Field]) -> String {
+    let mut parts = Vec::new();
+    for f in fields {
+        if f.skip {
+            parts.push(format!("{}: Default::default()", f.name));
+        } else {
+            parts.push(format!(
+                "{0}: serde::Deserialize::from_value(__v.get({0:?}).ok_or_else(|| serde::DeError(format!(\"missing field `{0}`\")))?)?",
+                f.name
+            ));
+        }
+    }
+    parts.join(",\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    format!("Ok({name} {{\n{}\n}})", named_fields_ctor(fields))
+                }
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match __v {{\n\
+                           serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}({})),\n\
+                           _ => Err(serde::DeError(format!(\"expected {n}-element sequence for {name}\"))),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Shape::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => return Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => return Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("serde::Deserialize::from_value(&__items[{k}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                               let serde::Value::Seq(__items) = __inner else {{\n\
+                                 return Err(serde::DeError(format!(\"expected sequence payload for {name}::{vn}\")));\n\
+                               }};\n\
+                               if __items.len() != {n} {{\n\
+                                 return Err(serde::DeError(format!(\"wrong payload arity for {name}::{vn}\")));\n\
+                               }}\n\
+                               return Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = {
+                            let mut parts = Vec::new();
+                            for f in fields {
+                                if f.skip {
+                                    parts.push(format!("{}: Default::default()", f.name));
+                                } else {
+                                    parts.push(format!(
+                                        "{0}: serde::Deserialize::from_value(__inner.get({0:?}).ok_or_else(|| serde::DeError(format!(\"missing field `{0}`\")))?)?",
+                                        f.name
+                                    ));
+                                }
+                            }
+                            parts.join(",\n")
+                        };
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => return Ok({name}::{vn} {{\n{ctor}\n}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                     if let serde::Value::Str(__tag) = __v {{\n\
+                       match __tag.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                     }}\n\
+                     if let serde::Value::Map(__m) = __v {{\n\
+                       if __m.len() == 1 {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         let _ = &__inner;\n\
+                         match __tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n\
+                       }}\n\
+                     }}\n\
+                     Err(serde::DeError(format!(\"no variant of {name} matches {{:?}}\", __v)))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
