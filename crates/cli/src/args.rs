@@ -12,6 +12,7 @@ COMMANDS:
   sample      run an incremental sampling session and print histograms
   aggregate   estimate aggregates (proportion / count / avg / sum)
   validate    compare sampled marginals against the simulation's truth
+  multi-site  drive a fleet of simulated sites concurrently (virtual wire)
 
 COMMON OPTIONS:
   --source <vehicles-full|vehicles-compact|boolean>   data source (default vehicles-compact)
@@ -33,6 +34,13 @@ aggregate:
 
 validate:
   --attr <attr>        attribute to validate (default: first)
+
+multi-site:
+  --sites <S>          number of simulated sites                (default 4)
+  --walkers <W>        walker threads (connections) per site    (default 2)
+  --latency <MS>       virtual per-request latency in ms        (default 100)
+  --driver <concurrent|serial|both>  driving mode               (default concurrent)
+  (--samples is the per-site target; --budget the per-site query cap)
 ";
 
 /// Parsed command line.
@@ -66,6 +74,28 @@ pub enum Command {
         /// Attribute to validate.
         attr: Option<String>,
     },
+    /// Fleet driving: S sites × W walkers over the virtual wire.
+    MultiSite {
+        /// Number of simulated sites.
+        sites: usize,
+        /// Walker threads (= virtual connections) per site.
+        walkers: usize,
+        /// Virtual per-request latency in milliseconds.
+        latency_ms: u64,
+        /// Driving mode.
+        mode: DriverMode,
+    },
+}
+
+/// How the `multi-site` command drives the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverMode {
+    /// All sites concurrently (per-site walker pools).
+    Concurrent,
+    /// One site after another, single connection each (baseline).
+    Serial,
+    /// Both, reporting the speedup.
+    Both,
 }
 
 /// Options shared by all subcommands.
@@ -126,6 +156,10 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut proportions = Vec::new();
     let mut avgs = Vec::new();
     let mut validate_attr = None;
+    let mut sites = 4usize;
+    let mut walkers = 2usize;
+    let mut latency_ms = 100u64;
+    let mut mode = DriverMode::Concurrent;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -168,6 +202,40 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
                 common.counts = v;
             }
+            "--sites" => {
+                sites = value("--sites")?
+                    .parse()
+                    .map_err(|_| "--sites: not a number")?;
+                if sites == 0 {
+                    return Err("--sites must be at least 1".into());
+                }
+            }
+            "--walkers" => {
+                walkers = value("--walkers")?
+                    .parse()
+                    .map_err(|_| "--walkers: not a number")?;
+                if walkers == 0 {
+                    return Err("--walkers must be at least 1".into());
+                }
+            }
+            "--latency" => {
+                latency_ms = value("--latency")?
+                    .parse()
+                    .map_err(|_| "--latency: not a number")?;
+                if latency_ms == 0 {
+                    return Err(
+                        "--latency must be at least 1 ms (the wire model bills round trips)".into(),
+                    );
+                }
+            }
+            "--driver" => {
+                mode = match value("--driver")?.as_str() {
+                    "concurrent" => DriverMode::Concurrent,
+                    "serial" => DriverMode::Serial,
+                    "both" => DriverMode::Both,
+                    other => return Err(format!("--driver: unknown mode `{other}`")),
+                }
+            }
             "--histogram" => histograms.push(value("--histogram")?.clone()),
             "--proportion" => proportions.push(split_kv(value("--proportion")?, "--proportion")?),
             "--avg" => avgs.push(value("--avg")?.clone()),
@@ -182,6 +250,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         "aggregate" => Command::Aggregate { proportions, avgs },
         "validate" => Command::Validate {
             attr: validate_attr,
+        },
+        "multi-site" => Command::MultiSite {
+            sites,
+            walkers,
+            latency_ms,
+            mode,
         },
         other => return Err(format!("unknown command `{other}`")),
     };
@@ -266,6 +340,52 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_site_flags() {
+        let cli = parse(&argv(&[
+            "multi-site",
+            "--sites",
+            "16",
+            "--walkers",
+            "4",
+            "--latency",
+            "150",
+            "--driver",
+            "both",
+            "--samples",
+            "80",
+            "--budget",
+            "2000",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::MultiSite {
+                sites: 16,
+                walkers: 4,
+                latency_ms: 150,
+                mode: DriverMode::Both,
+            }
+        );
+        assert_eq!(cli.common.samples, 80);
+        assert_eq!(cli.common.budget, Some(2000));
+
+        let defaults = parse(&argv(&["multi-site"])).unwrap();
+        assert_eq!(
+            defaults.command,
+            Command::MultiSite {
+                sites: 4,
+                walkers: 2,
+                latency_ms: 100,
+                mode: DriverMode::Concurrent,
+            }
+        );
+        assert!(parse(&argv(&["multi-site", "--sites", "0"])).is_err());
+        assert!(parse(&argv(&["multi-site", "--walkers", "0"])).is_err());
+        assert!(parse(&argv(&["multi-site", "--latency", "0"])).is_err());
+        assert!(parse(&argv(&["multi-site", "--driver", "psychic"])).is_err());
     }
 
     #[test]

@@ -9,20 +9,20 @@ use hdsampler_core::{
 use hdsampler_estimator::{Estimator, Histogram, MarginalComparison};
 use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
-use hdsampler_webform::WebForm;
+use hdsampler_webform::{
+    FleetConfig, LatencyTransport, LocalSite, MultiSiteDriver, SiteTask, WebForm, WebFormInterface,
+};
 use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
 
-use crate::args::{Cli, Command, Common};
+use crate::args::{Cli, Command, Common, DriverMode};
 use crate::display;
 
-/// Build the simulated site from the common options.
-fn build_site(common: &Common) -> Result<Arc<HiddenDb>, String> {
+/// Build one simulated hidden database from the common options with an
+/// explicit seed (multi-site fleets give every site its own data).
+fn build_db(common: &Common, seed: u64) -> Result<HiddenDb, String> {
     let count_mode = match common.counts.as_str() {
         "exact" => CountMode::Exact,
-        "noisy" => CountMode::Noisy {
-            sigma: 0.15,
-            seed: common.seed,
-        },
+        "noisy" => CountMode::Noisy { sigma: 0.15, seed },
         _ => CountMode::Absent,
     };
     let mut db_cfg = DbConfig {
@@ -33,8 +33,8 @@ fn build_site(common: &Common) -> Result<Arc<HiddenDb>, String> {
         db_cfg = db_cfg.with_budget(b);
     }
     let data = match common.source.as_str() {
-        "vehicles-full" => DataSpec::Vehicles(VehiclesSpec::full(common.n, common.seed)),
-        "vehicles-compact" => DataSpec::Vehicles(VehiclesSpec::compact(common.n, common.seed)),
+        "vehicles-full" => DataSpec::Vehicles(VehiclesSpec::full(common.n, seed)),
+        "vehicles-compact" => DataSpec::Vehicles(VehiclesSpec::compact(common.n, seed)),
         "boolean" => DataSpec::BooleanIid {
             m: 14,
             n: common.n,
@@ -42,14 +42,17 @@ fn build_site(common: &Common) -> Result<Arc<HiddenDb>, String> {
         },
         other => return Err(format!("unknown source `{other}`")),
     };
-    Ok(Arc::new(
-        WorkloadSpec {
-            data,
-            db: db_cfg,
-            seed: common.seed,
-        }
-        .build(),
-    ))
+    Ok(WorkloadSpec {
+        data,
+        db: db_cfg,
+        seed,
+    }
+    .build())
+}
+
+/// Build the simulated site from the common options.
+fn build_site(common: &Common) -> Result<Arc<HiddenDb>, String> {
+    Ok(Arc::new(build_db(common, common.seed)?))
 }
 
 fn scope_query(schema: &Schema, binds: &[(String, String)]) -> Result<ConjunctiveQuery, String> {
@@ -93,7 +96,88 @@ pub fn run(cli: Cli) -> Result<(), String> {
         Command::Sample { histograms } => sample(&cli.common, &histograms),
         Command::Aggregate { proportions, avgs } => aggregate(&cli.common, &proportions, &avgs),
         Command::Validate { attr } => validate(&cli.common, attr.as_deref()),
+        Command::MultiSite {
+            sites,
+            walkers,
+            latency_ms,
+            mode,
+        } => multi_site(&cli.common, sites, walkers, latency_ms, mode),
     }
+}
+
+/// Build one fleet of `sites` scraper stacks, each over its own seeded
+/// data behind a latency-decorated wire.
+fn build_fleet(
+    common: &Common,
+    sites: usize,
+    latency_ms: u64,
+) -> Result<Vec<SiteTask<LocalSite<HiddenDb>>>, String> {
+    (0..sites)
+        .map(|i| {
+            let db = build_db(common, common.seed.wrapping_add(i as u64))?;
+            let schema = Arc::new(db.schema().clone());
+            let k = db.result_limit();
+            let supports_count = db.supports_count();
+            let site = LocalSite::new(db, Arc::clone(&schema));
+            let wire = LatencyTransport::new(site, latency_ms);
+            Ok(SiteTask::new(
+                format!("site-{i}"),
+                WebFormInterface::new(wire, schema, k, supports_count),
+            ))
+        })
+        .collect()
+}
+
+fn multi_site(
+    common: &Common,
+    sites: usize,
+    walkers: usize,
+    latency_ms: u64,
+    mode: DriverMode,
+) -> Result<(), String> {
+    // Build one fleet up front: its schema validates the --bind scope
+    // (the sites share a schema structure, so ids resolve fleet-wide).
+    let fleet = build_fleet(common, sites, latency_ms)?;
+    let scope = scope_query(fleet[0].iface.schema(), &common.binds)?;
+    let driver = MultiSiteDriver::new(FleetConfig {
+        walkers_per_site: walkers,
+        target_per_site: common.samples,
+        seed: common.seed,
+        slider: common.slider,
+        scope,
+    });
+    println!(
+        "fleet: {sites} × `{}` (n = {} each) at {latency_ms} ms virtual latency, \
+         {} samples per site, {walkers} walker(s) per site",
+        common.source, common.n, common.samples
+    );
+    let concurrent = match mode {
+        DriverMode::Serial => None,
+        DriverMode::Concurrent | DriverMode::Both => {
+            let report = driver.run_concurrent(&fleet);
+            println!("\n{}", display::fleet_report(&report));
+            Some(report)
+        }
+    };
+    let serial = match mode {
+        DriverMode::Concurrent => None,
+        DriverMode::Serial | DriverMode::Both => {
+            let report = driver.run_serial(&build_fleet(common, sites, latency_ms)?);
+            println!("\n{}", display::fleet_report(&report));
+            Some(report)
+        }
+    };
+    if let (Some(c), Some(s)) = (concurrent, serial) {
+        if c.fleet_elapsed_ms > 0 {
+            println!(
+                "speedup: {:.1}× (serial {:.1} s → concurrent {:.1} s of virtual wall clock)",
+                s.fleet_elapsed_ms as f64 / c.fleet_elapsed_ms as f64,
+                s.fleet_elapsed_ms as f64 / 1_000.0,
+                c.fleet_elapsed_ms as f64 / 1_000.0,
+            );
+        }
+    }
+    Ok(())
 }
 
 fn describe(common: &Common) -> Result<(), String> {
@@ -262,6 +346,50 @@ mod tests {
     fn end_to_end_validate_command() {
         validate(&quick_common(), Some("make")).unwrap();
         assert!(validate(&quick_common(), Some("bogus")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_multi_site_command() {
+        let common = Common {
+            n: 300,
+            k: 50,
+            samples: 15,
+            ..Common::default()
+        };
+        multi_site(&common, 3, 2, 100, DriverMode::Both).unwrap();
+    }
+
+    #[test]
+    fn multi_site_applies_and_validates_binds() {
+        let common = Common {
+            n: 300,
+            k: 50,
+            samples: 10,
+            binds: vec![("condition".to_string(), "used".to_string())],
+            ..Common::default()
+        };
+        multi_site(&common, 2, 1, 100, DriverMode::Concurrent).unwrap();
+        let bad = Common {
+            binds: vec![("condition".to_string(), "imaginary".to_string())],
+            ..common
+        };
+        assert!(multi_site(&bad, 2, 1, 100, DriverMode::Concurrent).is_err());
+    }
+
+    #[test]
+    fn multi_site_fleet_sites_have_distinct_data() {
+        let common = quick_common();
+        let fleet = build_fleet(&common, 2, 50).unwrap();
+        let a = fleet[0].iface.transport().inner().backend();
+        let b = fleet[1].iface.transport().inner().backend();
+        // Different seeds ⇒ (almost surely) different marginals; check a
+        // cheap fingerprint rather than whole tables.
+        assert_eq!(a.n_tuples(), b.n_tuples());
+        let fp = |db: &HiddenDb| {
+            let attr = db.schema().attr_ids().next().unwrap();
+            db.oracle().marginal(attr)
+        };
+        assert_ne!(fp(a), fp(b), "sites must simulate distinct databases");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Terminal rendering helpers.
 
 use hdsampler_core::SamplerStats;
+use hdsampler_webform::FleetReport;
 
 /// A one-line progress string (the AJAX live counter of the original UI).
 #[allow(dead_code)] // kept for front ends that stream stats live
@@ -30,6 +31,45 @@ pub fn summary(stats: &SamplerStats) -> String {
         stats.leaf_overflows,
         stats.rejected,
     )
+}
+
+/// Per-site table plus fleet summary for a `multi-site` run.
+pub fn fleet_report(report: &FleetReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mode = if report.concurrent {
+        "concurrent"
+    } else {
+        "serial"
+    };
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>8} {:>9} {:>10} {:>8} {:>11}  stopped",
+        "site", "samples", "fetches", "requests", "hits", "virtual s"
+    );
+    for site in &report.sites {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>9} {:>10} {:>8} {:>11.1}  {:?}",
+            site.name,
+            site.samples.len(),
+            site.queries_issued,
+            site.requests,
+            site.history_hits,
+            site.virtual_elapsed_ms as f64 / 1_000.0,
+            site.stopped,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  fleet ({mode}): {} samples over {} sites in {:.1} virtual s — {:.1} samples/s, {} fetches",
+        report.total_samples(),
+        report.sites.len(),
+        report.fleet_elapsed_ms as f64 / 1_000.0,
+        report.samples_per_vsec(),
+        report.total_fetches(),
+    );
+    out
 }
 
 #[cfg(test)]

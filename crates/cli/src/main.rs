@@ -10,6 +10,7 @@
 //! hdsampler aggregate --source vehicles-compact --n 5000 --samples 400 \
 //!                     --proportion make=Toyota --avg price_usd
 //! hdsampler validate  --source vehicles-compact --n 5000 --samples 400 --attr make
+//! hdsampler multi-site --sites 16 --walkers 4 --latency 100 --samples 100 --driver both
 //! ```
 
 mod args;

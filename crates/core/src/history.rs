@@ -53,8 +53,12 @@ pub struct HistoryStats {
     pub count_memo_hits: u64,
     /// Requests that had to be charged at the interface.
     pub misses: u64,
-    /// Entries evicted by the capacity bound.
+    /// Capacity-bound eviction passes (any layer).
     pub evictions: u64,
+    /// Eviction passes that had to cold-restart a whole shard —
+    /// containment facts alone busted the bound, so even the protected
+    /// empty/overflow sets were dropped.
+    pub cold_restarts: u64,
 }
 
 impl HistoryStats {
@@ -189,6 +193,18 @@ impl ContainmentSet {
     }
 }
 
+/// What an eviction pass had to shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Eviction {
+    /// Capacity not reached; nothing evicted.
+    None,
+    /// Rederivable layers (memo, rule-4 rows, oldest counts) made room;
+    /// the empty/overflow containment facts survived.
+    Layered,
+    /// Containment facts alone busted the bound: whole-shard cold restart.
+    ColdRestart,
+}
+
 /// Interior cache state.
 #[derive(Debug, Default)]
 struct HistoryInner {
@@ -204,6 +220,9 @@ struct HistoryInner {
     /// Count memo (exact counts learned from valid/empty responses are
     /// inserted here too).
     counts: FnvMap<ConjunctiveQuery, u64>,
+    /// Insertion order of `counts` keys (oldest first), so count pressure
+    /// evicts the stalest memoized counts instead of the whole shard.
+    count_order: std::collections::VecDeque<ConjunctiveQuery>,
 }
 
 impl HistoryInner {
@@ -219,20 +238,43 @@ impl HistoryInner {
             + self.valids.len()
     }
 
-    /// Make room for one charged insert. Layered: drop the memo first —
-    /// its entries (many of them derived-inference conveniences) are all
-    /// rederivable — and only if the counts alone still bust the bound,
-    /// cold-restart the whole shard. Learned containment facts are never
-    /// sacrificed for memo pressure. Returns whether anything was evicted.
-    fn evict_for_insert(&mut self, capacity: usize) -> bool {
+    /// Record a count, tracking first-insert order for layered eviction.
+    fn learn_count(&mut self, query: &ConjunctiveQuery, count: u64) {
+        if self.counts.insert(query.clone(), count).is_none() {
+            self.count_order.push_back(query.clone());
+        }
+    }
+
+    /// Make room for one charged insert, shedding state in layers of
+    /// increasing preciousness. The memo goes first — every entry is
+    /// rederivable, from the containment sets or by re-asking. Next the
+    /// rule-4 support (`valids` + `valid_rows`; without its rows a valid
+    /// ancestor has no inference power, so the two always go together —
+    /// the exact counts those rows taught stay in `counts`). Then the
+    /// oldest memoized counts, one by one. The empty/overflow containment
+    /// facts — each one a budgeted page fetch whose classification powers
+    /// rules 2 and 3 — are dropped only in the final cold restart, when
+    /// they alone bust the bound.
+    fn evict_for_insert(&mut self, capacity: usize) -> Eviction {
         if self.entries() < capacity {
-            return false;
+            return Eviction::None;
         }
         self.memo.clear();
         if self.entries() >= capacity {
-            self.clear();
+            self.valids.clear();
+            self.valid_rows.clear();
         }
-        true
+        while self.entries() >= capacity {
+            let Some(oldest) = self.count_order.pop_front() else {
+                break;
+            };
+            self.counts.remove(&oldest);
+        }
+        if self.entries() >= capacity {
+            self.clear();
+            return Eviction::ColdRestart;
+        }
+        Eviction::Layered
     }
 
     fn clear(&mut self) {
@@ -242,6 +284,7 @@ impl HistoryInner {
         self.valids.clear();
         self.valid_rows.clear();
         self.counts.clear();
+        self.count_order.clear();
     }
 }
 
@@ -276,6 +319,7 @@ pub struct CachingExecutor<F> {
     count_memo_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    cold_restarts: AtomicU64,
 }
 
 /// Default cache capacity (entries across memo + counts).
@@ -300,9 +344,12 @@ impl<F: FormInterface> CachingExecutor<F> {
     /// of two). `shards = 1` reproduces the old single-lock layout, which
     /// the contention benchmark uses as its baseline.
     ///
-    /// When a shard exceeds its share of `capacity`, that shard alone is
-    /// dropped (cold restart of 1/N of the cache) — crude but bounded and
-    /// side-effect free; the eviction counter records it.
+    /// When a shard exceeds its share of `capacity`, it sheds state in
+    /// layers of increasing preciousness — memo, then rule-4 rows, then
+    /// the oldest memoized counts — and cold-restarts the whole shard only
+    /// when the empty/overflow containment facts alone bust the bound
+    /// (each of those cost a budgeted page fetch to learn). The eviction
+    /// counters record both kinds of pass.
     pub fn with_shards(interface: F, capacity: usize, shards: usize) -> Self {
         let shard_count = shards.max(1).next_power_of_two();
         let charge_baseline = interface.queries_issued();
@@ -322,6 +369,7 @@ impl<F: FormInterface> CachingExecutor<F> {
             count_memo_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            cold_restarts: AtomicU64::new(0),
         }
     }
 
@@ -365,6 +413,21 @@ impl<F: FormInterface> CachingExecutor<F> {
             count_memo_hits: self.count_memo_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            cold_restarts: self.cold_restarts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bump the eviction counters for one eviction pass.
+    fn record_eviction(&self, outcome: Eviction) {
+        match outcome {
+            Eviction::None => {}
+            Eviction::Layered => {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            Eviction::ColdRestart => {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.cold_restarts.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -466,9 +529,7 @@ impl<F: FormInterface> CachingExecutor<F> {
     /// Record a charged response in `query`'s shard.
     fn remember(&self, query: &ConjunctiveQuery, result: &Classified) {
         let mut inner = self.shard_of(query).write();
-        if inner.evict_for_insert(self.capacity_per_shard) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        self.record_eviction(inner.evict_for_insert(self.capacity_per_shard));
         match result.class {
             Classification::Empty => {
                 // Keep the set minimal-ish: skip if already implied within
@@ -477,7 +538,7 @@ impl<F: FormInterface> CachingExecutor<F> {
                 if !inner.empties.any_subset_of(query) {
                     inner.empties.insert(query);
                 }
-                inner.counts.insert(query.clone(), 0);
+                inner.learn_count(query, 0);
             }
             Classification::Overflow => {
                 if !inner.overflows.any_superset_of(query) {
@@ -486,7 +547,7 @@ impl<F: FormInterface> CachingExecutor<F> {
             }
             Classification::Valid => {
                 let rows = result.rows.clone().expect("valid carries rows");
-                inner.counts.insert(query.clone(), rows.len() as u64);
+                inner.learn_count(query, rows.len() as u64);
                 if !inner.valid_rows.contains_key(query) {
                     inner.valids.insert(query);
                     inner.valid_rows.insert(query.clone(), rows);
@@ -532,17 +593,15 @@ impl<F: FormInterface> QueryExecutor for CachingExecutor<F> {
             self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
             let mut inner = self.shard_of(query).write();
             if inner.entries() < self.capacity_per_shard {
-                inner.counts.insert(query.clone(), 0);
+                inner.learn_count(query, 0);
             }
             return Ok(0);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let c = self.interface.count(query)?;
         let mut inner = self.shard_of(query).write();
-        if inner.evict_for_insert(self.capacity_per_shard) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        inner.counts.insert(query.clone(), c);
+        self.record_eviction(inner.evict_for_insert(self.capacity_per_shard));
+        inner.learn_count(query, c);
         Ok(c)
     }
 
@@ -769,6 +828,77 @@ mod tests {
         // Still correct after eviction.
         let c = exec.classify(&q(&[(0, 1)])).unwrap();
         assert_eq!(c.class, Classification::Valid);
+    }
+
+    #[test]
+    fn count_pressure_sheds_layers_not_containment_facts() {
+        use hdsampler_hidden_db::{CountMode, HiddenDb};
+        use hdsampler_model::{Attribute, SchemaBuilder, Tuple};
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .attribute(Attribute::boolean("y"))
+            .attribute(Attribute::boolean("z"))
+            .attribute(Attribute::boolean("w"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(std::sync::Arc::clone(&schema))
+            .result_limit(1)
+            .count_mode(CountMode::Exact);
+        for vals in [[0u16, 0, 0, 0], [0, 1, 0, 0], [0, 1, 1, 0]] {
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
+        }
+        let db = b.finish();
+        // Single shard with a bound the count flood below must bust.
+        let exec = CachingExecutor::with_shards(&db, 8, 1);
+
+        // Two charged containment facts: x=1 is empty, y=1 overflows.
+        assert_eq!(
+            exec.classify(&q(&[(0, 1)])).unwrap().class,
+            Classification::Empty
+        );
+        assert_eq!(
+            exec.classify(&q(&[(1, 1)])).unwrap().class,
+            Classification::Overflow
+        );
+
+        // Count flood over z/w: 8 distinct memoized counts on a capacity-8
+        // shard force layered eviction passes.
+        for &(a, v) in &[(2u16, 0u16), (2, 1), (3, 0), (3, 1)] {
+            exec.count(&q(&[(a, v)])).unwrap();
+        }
+        for v in 0..2u16 {
+            for w in 0..2u16 {
+                exec.count(&q(&[(2, v), (3, w)])).unwrap();
+            }
+        }
+
+        let stats = exec.history_stats();
+        assert!(stats.evictions >= 1, "count flood must bust the bound");
+        assert_eq!(
+            stats.cold_restarts, 0,
+            "containment facts never pay for count pressure"
+        );
+
+        // Both facts still answer derived queries without a charge.
+        let charged = exec.queries_issued();
+        assert_eq!(
+            exec.classify(&q(&[(0, 1), (2, 1)])).unwrap().class,
+            Classification::Empty,
+            "refinement of the empty fact"
+        );
+        assert_eq!(
+            exec.classify(&ConjunctiveQuery::empty()).unwrap().class,
+            Classification::Overflow,
+            "broadening of the overflow fact"
+        );
+        assert_eq!(
+            exec.count(&q(&[(0, 1), (3, 1)])).unwrap(),
+            0,
+            "evicted count memo rederives from the surviving empty fact"
+        );
+        assert_eq!(exec.queries_issued(), charged, "all answered from history");
     }
 
     #[test]

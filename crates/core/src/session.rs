@@ -120,7 +120,12 @@ impl SamplingSession {
     /// merge their samples until the global target is met.
     ///
     /// Ordering of the merged samples is nondeterministic; the *set* is
-    /// reproducible only under a single worker.
+    /// reproducible only under a single worker. The outcome's stats merge
+    /// every worker's counters ([`SamplerStats::merge_worker`]):
+    /// sampler-local counters sum, the executor-view counters take the max
+    /// (exact when the workers share one executor). `accepted` counts
+    /// samples *produced*, which can exceed the collected set when workers
+    /// overshoot the target before the kill switch reaches them.
     pub fn run_parallel<S, F>(&self, workers: usize, make_sampler: F) -> SessionOutcome
     where
         S: Sampler,
@@ -136,10 +141,11 @@ impl SamplingSession {
         let mut merged_stats = SamplerStats::default();
 
         crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let tx = tx.clone();
                 let make_sampler = &make_sampler;
-                scope.spawn(move |_| {
+                handles.push(scope.spawn(move |_| {
                     let mut sampler = make_sampler(w);
                     loop {
                         if kill.load(Ordering::Relaxed) {
@@ -151,11 +157,9 @@ impl SamplingSession {
                             break;
                         }
                     }
-                    // Stats are merged via a final sentinel-free protocol:
-                    // workers push their stats through a side channel below.
                     drop(tx);
                     sampler.stats()
-                });
+                }));
             }
             drop(tx);
 
@@ -181,17 +185,16 @@ impl SamplingSession {
             if self.kill.load(Ordering::Relaxed) && samples.len() < target {
                 reason = StopReason::Killed;
             }
-            // Stop workers and drain.
+            // Stop workers, then collect each worker's final counters.
             kill.store(true, Ordering::Relaxed);
+            for handle in handles {
+                let worker_stats = handle.join().expect("worker panicked");
+                merged_stats.merge_worker(&worker_stats);
+            }
             while rx.try_recv().is_ok() {}
         })
         .expect("worker panicked");
 
-        // Note: per-worker stats cannot be read back from the scope result
-        // without collecting join handles; we approximate by reporting the
-        // aggregate the samples imply. Callers needing exact counters use a
-        // shared executor and read its counters directly.
-        merged_stats.accepted = samples.len() as u64;
         SessionOutcome {
             samples,
             reason,
@@ -272,6 +275,7 @@ mod tests {
 
     #[test]
     fn parallel_session_reaches_target_on_shared_cache() {
+        use crate::executor::QueryExecutor as _;
         use crate::history::CachingExecutor;
         let db = figure1_db(1);
         let exec = Arc::new(CachingExecutor::new(&db));
@@ -286,5 +290,12 @@ mod tests {
         for row in out.samples.rows() {
             assert!(db.oracle().tuple_by_key(row.key).is_some());
         }
+        // Merged worker stats are real counters, not approximations:
+        // every collected sample was produced by some worker, and the
+        // shared-executor charge figure matches the executor exactly.
+        assert!(out.stats.accepted >= out.samples.len() as u64);
+        assert!(out.stats.walks >= out.stats.accepted);
+        assert_eq!(out.stats.queries_issued, exec.queries_issued());
+        assert_eq!(out.stats.requests, exec.requests());
     }
 }

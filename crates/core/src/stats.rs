@@ -65,6 +65,25 @@ impl SamplerStats {
             self.queries_saved() as f64 / self.requests as f64
         }
     }
+
+    /// Fold another worker's counters into this one (parallel sessions).
+    ///
+    /// Sampler-local counters (walks, candidates, accepted, …) add up.
+    /// The executor-view counters (`requests`, `queries_issued`) take the
+    /// **max**: workers sharing one executor each report the same
+    /// cumulative figures, so summing would multi-count. For workers on a
+    /// shared executor the merged figure is exact; for independent
+    /// executors it is a lower bound.
+    pub fn merge_worker(&mut self, other: &SamplerStats) {
+        self.walks += other.walks;
+        self.dead_ends += other.dead_ends;
+        self.leaf_overflows += other.leaf_overflows;
+        self.candidates += other.candidates;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.requests = self.requests.max(other.requests);
+        self.queries_issued = self.queries_issued.max(other.queries_issued);
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +107,36 @@ mod tests {
         assert!((s.acceptance_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.queries_saved(), 200);
         assert!((s.savings_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_local_and_maxes_shared_counters() {
+        let mut a = SamplerStats {
+            walks: 10,
+            dead_ends: 2,
+            leaf_overflows: 1,
+            candidates: 7,
+            accepted: 5,
+            rejected: 2,
+            requests: 40,
+            queries_issued: 30,
+        };
+        let b = SamplerStats {
+            walks: 4,
+            dead_ends: 1,
+            leaf_overflows: 0,
+            candidates: 3,
+            accepted: 2,
+            rejected: 1,
+            requests: 42,
+            queries_issued: 31,
+        };
+        a.merge_worker(&b);
+        assert_eq!(a.walks, 14);
+        assert_eq!(a.accepted, 7);
+        assert_eq!(a.rejected, 3);
+        assert_eq!(a.requests, 42, "shared executor view: max, not sum");
+        assert_eq!(a.queries_issued, 31);
     }
 
     #[test]

@@ -144,6 +144,75 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
+    /// Layered eviction protects learned containment facts: whatever mix
+    /// of classify/count traffic floods a capacity-bounded shard, the
+    /// charged empty/overflow facts (each one a budgeted page fetch) keep
+    /// answering for free — only the rederivable layers (memo, rule-4
+    /// rows, memoized counts) are sacrificed, and the shard never
+    /// cold-restarts unless containment facts alone bust the bound.
+    #[test]
+    fn containment_facts_survive_memo_and_count_pressure(
+        rows in prop::collection::vec(0u32..16, 10..80),
+        qs in prop::collection::vec((0u32..16, 0u32..16), 0..30),
+    ) {
+        let m = 6;
+        // Rows use only the low four attributes: a4 = a5 = 0 everywhere.
+        let db = build_db(m, &rows, 1, CountMode::Exact);
+        // Single shard, capacity 80: the flood below stores at most ~32
+        // containment facts, so a cold restart is structurally impossible
+        // while the count flood guarantees capacity pressure.
+        let exec = CachingExecutor::with_shards(&db, 80, 1);
+
+        // Two charged facts worth one page fetch each.
+        let empty_fact = decode_query(m, 0b10_0000, 0b10_0000); // a5 = 1
+        let overflow_fact = decode_query(m, 0b11_0000, 0); // a4 = 0 ∧ a5 = 0
+        prop_assert_eq!(
+            exec.classify(&empty_fact).unwrap().class,
+            hdsampler_model::Classification::Empty
+        );
+        prop_assert_eq!(
+            exec.classify(&overflow_fact).unwrap().class,
+            hdsampler_model::Classification::Overflow,
+            "k = 1 with ≥10 rows overflows"
+        );
+
+        // Random classify flood over the low attributes…
+        for &(mask, values) in &qs {
+            exec.classify(&decode_query(4, mask, values)).unwrap();
+        }
+        // …then a deterministic count flood: all 3⁴ = 81 queries over the
+        // low attributes, one memoized count each — more than capacity.
+        for mask in 0u32..16 {
+            for values in 0u32..16 {
+                if values & !mask == 0 {
+                    exec.count(&decode_query(4, mask, values)).unwrap();
+                }
+            }
+        }
+
+        let stats = exec.history_stats();
+        prop_assert!(stats.evictions >= 1, "the flood must bust capacity");
+        prop_assert_eq!(stats.cold_restarts, 0, "containment facts alone never bust it");
+
+        // The charged facts still answer derived queries without a fetch.
+        let charged = exec.queries_issued();
+        let refined_empty = decode_query(m, 0b10_0001, 0b10_0000); // a5=1 ∧ a0=0
+        prop_assert_eq!(
+            exec.classify(&refined_empty).unwrap().class,
+            hdsampler_model::Classification::Empty
+        );
+        let broadened_overflow = decode_query(m, 0b01_0000, 0); // a4 = 0
+        prop_assert_eq!(
+            exec.classify(&broadened_overflow).unwrap().class,
+            hdsampler_model::Classification::Overflow
+        );
+        prop_assert_eq!(
+            exec.queries_issued(),
+            charged,
+            "surviving facts must answer for free after eviction pressure"
+        );
+    }
+
     /// Sharding is an implementation detail: for any database and query
     /// mix, a 16-shard cache answers identically to a single-lock cache
     /// and reports identical hit/miss counters per rule — the observable

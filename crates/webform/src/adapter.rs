@@ -17,9 +17,32 @@ use std::sync::Arc;
 
 use hdsampler_model::{ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse, Schema};
 
+use crate::aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
 use crate::form::WebForm;
 use crate::scrape::scrape_results_page;
 use crate::transport::Transport;
+
+/// Token for one in-flight query on the non-blocking execute path.
+#[derive(Debug)]
+pub struct QueryHandle {
+    fetch: FetchHandle,
+}
+
+impl QueryHandle {
+    /// The connection the query's fetch occupies.
+    pub fn conn(&self) -> ConnId {
+        self.fetch.conn()
+    }
+}
+
+/// Outcome of a non-blocking [`WebFormInterface::poll_query`].
+#[derive(Debug)]
+pub enum QueryPoll {
+    /// The fetch is still in flight; the handle is handed back.
+    Pending(QueryHandle),
+    /// Done: the scraped response, or the transport/parse error.
+    Ready(Result<QueryResponse, InterfaceError>),
+}
 
 /// Scraper-side interface over a web form.
 #[derive(Debug)]
@@ -55,6 +78,50 @@ impl<T: Transport> WebFormInterface<T> {
     /// Pages fetched by this scraper.
     pub fn fetches(&self) -> u64 {
         self.fetches.load(Ordering::Relaxed)
+    }
+}
+
+/// The non-blocking execute path: submit a query on an explicit virtual
+/// connection, poll or complete it later. One thread can keep several
+/// sites' (or one site's) queries in flight; the wire bills them as
+/// overlapping.
+impl<T: AsyncTransport> WebFormInterface<T> {
+    /// Open a fresh virtual connection on the underlying transport.
+    pub fn connect(&self) -> ConnId {
+        self.transport.connect()
+    }
+
+    /// Begin executing `query` on `conn` without blocking.
+    pub fn submit_query(&self, conn: ConnId, query: &ConjunctiveQuery) -> QueryHandle {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        let path = self.form.request_path(query);
+        QueryHandle {
+            fetch: self.transport.submit(conn, &path),
+        }
+    }
+
+    /// Check a submitted query for completion without advancing virtual
+    /// time.
+    pub fn poll_query(&self, handle: QueryHandle) -> QueryPoll {
+        match self.transport.poll(handle.fetch) {
+            FetchPoll::Pending(fetch) => QueryPoll::Pending(QueryHandle { fetch }),
+            FetchPoll::Ready(page) => QueryPoll::Ready(
+                page.and_then(|html| scrape_results_page(self.form.schema(), &html)),
+            ),
+        }
+    }
+
+    /// Advance the connection's clock to the query's completion and scrape
+    /// the page.
+    pub fn complete_query(&self, handle: QueryHandle) -> Result<QueryResponse, InterfaceError> {
+        let page = self.transport.complete(handle.fetch)?;
+        scrape_results_page(self.form.schema(), &page)
+    }
+
+    /// Abandon a submitted query, releasing its buffered page. The fetch
+    /// still happened (and was charged); only the result is discarded.
+    pub fn cancel_query(&self, handle: QueryHandle) {
+        self.transport.cancel(handle.fetch);
     }
 }
 
@@ -183,6 +250,60 @@ mod tests {
         assert_eq!(iface.queries_issued(), 2);
         // The backend charged the same number.
         assert_eq!(iface.transport().backend().queries_issued(), 2);
+    }
+
+    #[test]
+    fn non_blocking_execute_path_overlaps_queries() {
+        use crate::transport::LatencyTransport;
+        use hdsampler_model::Classification;
+
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("a1"))
+            .attribute(Attribute::boolean("a2"))
+            .attribute(Attribute::boolean("a3"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(1);
+        for vals in [[0u16, 0, 1], [0, 1, 0], [0, 1, 1], [1, 1, 0]] {
+            b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
+        }
+        let site = LocalSite::new(b.finish(), Arc::clone(&schema));
+        let wire = LatencyTransport::new(site, 100);
+        let iface = WebFormInterface::new(wire, Arc::clone(&schema), 1, false);
+
+        // Three queries in flight on three connections from one thread.
+        let handles: Vec<_> = [q(&[(0, 0)]), q(&[(0, 1)]), q(&[(0, 1), (1, 0)])]
+            .iter()
+            .map(|query| {
+                let conn = iface.connect();
+                iface.submit_query(conn, query)
+            })
+            .collect();
+        let mut classes = Vec::new();
+        for h in handles {
+            // Unadvanced clock: still pending.
+            let h = match iface.poll_query(h) {
+                QueryPoll::Pending(h) => h,
+                QueryPoll::Ready(_) => panic!("no completion before the clock advances"),
+            };
+            classes.push(iface.complete_query(h).unwrap().classification());
+        }
+        assert_eq!(
+            classes,
+            vec![
+                Classification::Overflow,
+                Classification::Valid,
+                Classification::Empty
+            ]
+        );
+        assert_eq!(iface.fetches(), 3);
+        assert_eq!(
+            iface.transport().virtual_elapsed_ms(),
+            100,
+            "three overlapping queries cost one RTT"
+        );
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Non-blocking fetches over per-connection virtual clocks.
+//!
+//! The wire in this reproduction is simulated, so "async" here is an
+//! explicit poll/completion design rather than a real reactor: a fetch is
+//! *submitted* on a virtual connection, stays *pending* until the
+//! connection's clock is advanced past its completion time, and is then
+//! *completed*. What the design buys is the paper's actual cost model —
+//! round trips, not CPU: requests on one connection serialize (HTTP
+//! keep-alive semantics), requests on different connections overlap, and
+//! the fleet's virtual wall clock is the **maximum** over connection
+//! clocks, never the sum over fetches.
+//!
+//! Two faces share this machinery (see
+//! [`LatencyTransport`](crate::transport::LatencyTransport)):
+//!
+//! * the blocking [`Transport`](crate::transport::Transport) face binds one
+//!   connection per OS thread, so an unmodified sampler stack running on W
+//!   walker threads gets W overlapping connections for free;
+//! * the [`AsyncTransport`] face hands out explicit [`ConnId`]s, letting a
+//!   single thread pipeline several requests and harvest completions in
+//!   any order.
+
+use hdsampler_model::InterfaceError;
+use parking_lot::Mutex;
+
+/// Identifier of one virtual connection (scraper → site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(pub(crate) u32);
+
+impl ConnId {
+    /// The connection's index within its transport.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Token for one in-flight fetch.
+///
+/// The handle is affine: polling consumes it and returns it back only while
+/// the fetch is still pending, so a completed fetch cannot be polled twice.
+/// A handle that is no longer wanted must be passed to
+/// [`AsyncTransport::cancel`] — simply dropping it leaves the buffered
+/// result parked in the transport until the transport itself drops.
+#[derive(Debug)]
+pub struct FetchHandle {
+    pub(crate) conn: ConnId,
+    pub(crate) id: u64,
+    pub(crate) ready_at: u64,
+}
+
+impl FetchHandle {
+    /// The connection this fetch occupies.
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// Completion time on the connection's virtual clock (ms).
+    pub fn ready_at_ms(&self) -> u64 {
+        self.ready_at
+    }
+}
+
+/// Outcome of a non-blocking [`AsyncTransport::poll`].
+#[derive(Debug)]
+pub enum FetchPoll {
+    /// The connection's clock has not reached the completion time; the
+    /// handle is handed back for re-polling (or completion).
+    Pending(FetchHandle),
+    /// Done: the page body, or the transport error the site produced.
+    Ready(Result<String, InterfaceError>),
+}
+
+/// A non-blocking page fetcher with explicit poll/completion.
+///
+/// Contract: `submit` never blocks and never advances any clock; `poll`
+/// reports `Ready` only once the connection's clock has passed the fetch's
+/// completion time (typically because an earlier `complete` on the same
+/// connection advanced it); `complete` advances the connection's clock to
+/// the completion time and returns the result.
+pub trait AsyncTransport: Send + Sync {
+    /// Open a fresh virtual connection.
+    fn connect(&self) -> ConnId;
+
+    /// Begin fetching `path` (path + query string) on `conn`.
+    ///
+    /// Requests submitted on one connection serialize: each departs when
+    /// the previous one completes.
+    fn submit(&self, conn: ConnId, path: &str) -> FetchHandle;
+
+    /// Check for completion without advancing virtual time.
+    fn poll(&self, handle: FetchHandle) -> FetchPoll;
+
+    /// Advance the connection's clock to the fetch's completion time and
+    /// take the result.
+    fn complete(&self, handle: FetchHandle) -> Result<String, InterfaceError>;
+
+    /// Abandon an in-flight fetch, releasing its buffered result without
+    /// advancing any clock. The connection time the request occupied stays
+    /// occupied — the request was sent; cancelling does not un-send it.
+    fn cancel(&self, handle: FetchHandle);
+
+    /// Virtual wall clock so far: the maximum completion time any
+    /// connection has observed (max over connections, not sum over
+    /// fetches).
+    fn virtual_elapsed_ms(&self) -> u64;
+}
+
+impl<A: AsyncTransport + ?Sized> AsyncTransport for &A {
+    fn connect(&self) -> ConnId {
+        (**self).connect()
+    }
+    fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
+        (**self).submit(conn, path)
+    }
+    fn poll(&self, handle: FetchHandle) -> FetchPoll {
+        (**self).poll(handle)
+    }
+    fn complete(&self, handle: FetchHandle) -> Result<String, InterfaceError> {
+        (**self).complete(handle)
+    }
+    fn cancel(&self, handle: FetchHandle) {
+        (**self).cancel(handle)
+    }
+    fn virtual_elapsed_ms(&self) -> u64 {
+        (**self).virtual_elapsed_ms()
+    }
+}
+
+impl<A: AsyncTransport + ?Sized> AsyncTransport for std::sync::Arc<A> {
+    fn connect(&self) -> ConnId {
+        (**self).connect()
+    }
+    fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
+        (**self).submit(conn, path)
+    }
+    fn poll(&self, handle: FetchHandle) -> FetchPoll {
+        (**self).poll(handle)
+    }
+    fn complete(&self, handle: FetchHandle) -> Result<String, InterfaceError> {
+        (**self).complete(handle)
+    }
+    fn cancel(&self, handle: FetchHandle) {
+        (**self).cancel(handle)
+    }
+    fn virtual_elapsed_ms(&self) -> u64 {
+        (**self).virtual_elapsed_ms()
+    }
+}
+
+/// One connection's timeline.
+#[derive(Debug, Default, Clone, Copy)]
+struct ConnState {
+    /// Virtual "now" as observed by completions on this connection.
+    clock: u64,
+    /// When the connection's last submitted request completes.
+    busy_until: u64,
+}
+
+/// The per-connection virtual clocks behind a transport.
+///
+/// Each connection carries two marks: `busy_until` (when its last
+/// submitted request will complete — submissions serialize behind it) and
+/// `clock` (the latest completion it has *observed*). The fleet's elapsed
+/// time is the maximum observed clock.
+#[derive(Debug, Default)]
+pub(crate) struct ConnClocks {
+    conns: Mutex<Vec<ConnState>>,
+}
+
+impl ConnClocks {
+    /// Open a new connection with both marks at zero.
+    pub(crate) fn connect(&self) -> ConnId {
+        let mut conns = self.conns.lock();
+        let id = u32::try_from(conns.len()).expect("connection count fits u32");
+        conns.push(ConnState::default());
+        ConnId(id)
+    }
+
+    /// Occupy `conn` for `service_ms` of virtual time; returns the
+    /// completion time.
+    pub(crate) fn schedule(&self, conn: ConnId, service_ms: u64) -> u64 {
+        let mut conns = self.conns.lock();
+        let state = &mut conns[conn.index()];
+        state.busy_until += service_ms;
+        state.busy_until
+    }
+
+    /// Move `conn`'s observed clock forward to `to_ms` (never backwards).
+    pub(crate) fn advance_to(&self, conn: ConnId, to_ms: u64) {
+        let mut conns = self.conns.lock();
+        let state = &mut conns[conn.index()];
+        state.clock = state.clock.max(to_ms);
+    }
+
+    /// `conn`'s observed clock.
+    pub(crate) fn observed(&self, conn: ConnId) -> u64 {
+        self.conns.lock()[conn.index()].clock
+    }
+
+    /// Fleet elapsed: max observed clock over all connections.
+    pub(crate) fn elapsed(&self) -> u64 {
+        self.conns.lock().iter().map(|c| c.clock).max().unwrap_or(0)
+    }
+
+    /// Number of connections opened so far.
+    pub(crate) fn connections(&self) -> usize {
+        self.conns.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_serialize_per_connection_and_overlap_across() {
+        let clocks = ConnClocks::default();
+        let a = clocks.connect();
+        let b = clocks.connect();
+        assert_eq!(clocks.connections(), 2);
+
+        // Two requests on `a` serialize; one on `b` overlaps both.
+        assert_eq!(clocks.schedule(a, 100), 100);
+        assert_eq!(clocks.schedule(a, 100), 200);
+        assert_eq!(clocks.schedule(b, 150), 150);
+
+        clocks.advance_to(a, 200);
+        clocks.advance_to(b, 150);
+        assert_eq!(clocks.observed(a), 200);
+        assert_eq!(clocks.elapsed(), 200, "max over connections, not 350");
+
+        // Clocks never run backwards.
+        clocks.advance_to(a, 10);
+        assert_eq!(clocks.observed(a), 200);
+    }
+
+    #[test]
+    fn empty_fleet_has_zero_elapsed() {
+        let clocks = ConnClocks::default();
+        assert_eq!(clocks.elapsed(), 0);
+        assert_eq!(clocks.connections(), 0);
+    }
+}

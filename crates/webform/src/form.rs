@@ -54,10 +54,17 @@ impl WebForm {
 
     /// Decode a GET request path back into a query (server side).
     ///
+    /// An empty-valued pair (`make=`) is the form's own "any" default — a
+    /// browser submitting the rendered form sends every field, so empty
+    /// values are skipped as unconstrained rather than rejected. Duplicate
+    /// fields binding the same value collapse to one predicate; duplicates
+    /// binding different values are contradictory and rejected.
+    ///
     /// # Errors
-    /// [`ModelError`] when a field or value does not belong to the schema;
-    /// malformed encodings surface as [`ModelError::UnknownAttribute`] with
-    /// the raw text.
+    /// [`ModelError`] when a field or value does not belong to the schema
+    /// or a field is bound to two different values
+    /// ([`ModelError::ConflictingPredicate`]); malformed encodings surface
+    /// as [`ModelError::UnknownAttribute`] with the raw text.
     pub fn parse_request_path(&self, path: &str) -> Result<ConjunctiveQuery, ModelError> {
         let qs = match path.split_once('?') {
             None => return Ok(ConjunctiveQuery::empty()),
@@ -68,7 +75,12 @@ impl WebForm {
         })?;
         let mut query = ConjunctiveQuery::empty();
         for (name, label) in &pairs {
+            // The field must exist even when left at "any" — a field the
+            // form never rendered is still a bad request.
             let attr = self.schema.attr_by_name(name)?;
+            if label.is_empty() {
+                continue;
+            }
             let value = self
                 .schema
                 .attr_unchecked(attr)
@@ -154,6 +166,53 @@ mod tests {
         assert_eq!(
             f.parse_request_path("/search").unwrap(),
             ConjunctiveQuery::empty()
+        );
+    }
+
+    #[test]
+    fn default_form_submission_is_the_empty_query() {
+        // A browser submitting the rendered form with every select left on
+        // "any" sends `?make=&price=` — that is the unconstrained query,
+        // not a 400.
+        let f = form();
+        assert_eq!(
+            f.parse_request_path("/search?make=&price=").unwrap(),
+            ConjunctiveQuery::empty()
+        );
+        // Partially constrained: only the non-empty field binds.
+        let q = f.parse_request_path("/search?make=Toyota&price=").unwrap();
+        assert_eq!(
+            q,
+            ConjunctiveQuery::from_named(f.schema(), [("make", "Toyota")]).unwrap()
+        );
+        // An unknown field is rejected even when left at "any".
+        assert!(f.parse_request_path("/search?colour=").is_err());
+    }
+
+    #[test]
+    fn duplicate_fields_dedupe_or_conflict() {
+        let f = form();
+        // Identical duplicate collapses to one predicate.
+        let q = f
+            .parse_request_path("/search?make=Toyota&make=Toyota")
+            .unwrap();
+        assert_eq!(
+            q,
+            ConjunctiveQuery::from_named(f.schema(), [("make", "Toyota")]).unwrap()
+        );
+        // Conflicting duplicate is a clear 400-class error.
+        let err = f
+            .parse_request_path("/search?make=Toyota&make=Town%20%26%20Country%20style")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            hdsampler_model::ModelError::ConflictingPredicate { .. }
+        ));
+        // An "any" next to a real binding is not a conflict.
+        let q = f.parse_request_path("/search?make=&make=Toyota").unwrap();
+        assert_eq!(
+            q,
+            ConjunctiveQuery::from_named(f.schema(), [("make", "Toyota")]).unwrap()
         );
     }
 

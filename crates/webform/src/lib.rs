@@ -19,16 +19,27 @@
 //! * [`transport`] — the wire: a [`Transport`] trait, the in-process
 //!   [`LocalSite`] server, and a virtual-latency decorator for
 //!   time-to-insight experiments;
+//! * [`aio`] — the non-blocking wire: poll/completion fetches over
+//!   per-connection virtual clocks, so overlapping requests are billed as
+//!   overlapping (elapsed = max over connections, not sum over fetches);
 //! * [`adapter`] — [`WebFormInterface`], a full
-//!   [`FormInterface`](hdsampler_model::FormInterface) over HTML.
+//!   [`FormInterface`](hdsampler_model::FormInterface) over HTML, with a
+//!   non-blocking execute path over any [`AsyncTransport`];
+//! * [`driver`] — [`MultiSiteDriver`], one process driving S simulated
+//!   sites × W walkers concurrently with per-site history caches, budgets
+//!   and throughput accounting.
 
 pub mod adapter;
+pub mod aio;
+pub mod driver;
 pub mod form;
 pub mod render;
 pub mod scrape;
 pub mod transport;
 pub mod urlenc;
 
-pub use adapter::WebFormInterface;
+pub use adapter::{QueryHandle, QueryPoll, WebFormInterface};
+pub use aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
+pub use driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
 pub use form::WebForm;
 pub use transport::{LatencyTransport, LocalSite, Transport};

@@ -1,19 +1,26 @@
 //! The simulated wire between scraper and site.
 //!
 //! [`Transport`] abstracts "fetch this path, get a page". [`LocalSite`]
-//! is the in-process server: it parses the request with the site's
+//! is the in-process server: it routes the request (anything off the
+//! form's action 404s, like a real site), parses it with the site's
 //! [`WebForm`], executes it on the backing
 //! [`FormInterface`](hdsampler_model::FormInterface) (typically a
 //! [`HiddenDb`](hdsampler_hidden_db::HiddenDb), which enforces top-k,
 //! budgets and count noise), and renders the page. [`LatencyTransport`]
-//! adds a *virtual* per-request latency so time-to-insight experiments can
-//! report wall-clock numbers without actually sleeping.
+//! adds *virtual* per-request latency over per-connection clocks
+//! ([`crate::aio`]) so time-to-insight experiments can report wall-clock
+//! numbers without actually sleeping — and so overlapping requests are
+//! billed like overlapping requests.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 use hdsampler_model::{FormInterface, InterfaceError, Schema};
+use parking_lot::Mutex;
 
+use crate::aio::{AsyncTransport, ConnClocks, ConnId, FetchHandle, FetchPoll};
 use crate::form::WebForm;
 use crate::render::render_results_page;
 
@@ -53,6 +60,15 @@ impl<F: FormInterface> LocalSite<F> {
 
 impl<F: FormInterface> Transport for LocalSite<F> {
     fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
+        // Route first: only the form's action is served. A request off it
+        // (e.g. `/nosuchpage?make=Honda`) is a 404, not a form parse.
+        let route = path.split_once('?').map_or(path, |(p, _)| p);
+        if route != self.form.action() {
+            return Err(InterfaceError::Transport(format!(
+                "404 not found: `{route}` (this site serves `{}`)",
+                self.form.action()
+            )));
+        }
         let query = self
             .form
             .parse_request_path(path)
@@ -66,17 +82,35 @@ impl<F: FormInterface> Transport for LocalSite<F> {
     }
 }
 
-/// Decorator adding fixed virtual latency per fetch.
+/// Decorator adding fixed virtual latency per fetch, billed per
+/// connection.
 ///
 /// Latency is *accounted*, not slept: [`LatencyTransport::virtual_elapsed_ms`]
-/// returns what the wall clock would have shown at ~`latency_ms` per
-/// round trip — the way the paper's "matter of minutes" claim is checked
-/// without a multi-minute benchmark.
+/// returns what the wall clock would have shown — the way the paper's
+/// "matter of minutes" claim is checked without a multi-minute benchmark.
+/// Each connection has its own virtual clock; requests on one connection
+/// serialize while requests on different connections overlap, so the
+/// elapsed figure is the **max over connections**, never the sum over
+/// fetches (10 concurrent 150 ms fetches cost 150 ms, not 1500 ms).
+///
+/// Two ways to ride a connection:
+///
+/// * blocking [`Transport::fetch`] binds one connection per calling OS
+///   thread — a multi-threaded walker pool overlaps automatically;
+/// * the [`AsyncTransport`] face hands out explicit [`ConnId`]s with
+///   non-blocking submit/poll/complete, so one thread can keep several
+///   requests in flight.
 #[derive(Debug)]
 pub struct LatencyTransport<T> {
     inner: T,
     latency_ms: u64,
-    elapsed_ms: AtomicU64,
+    clocks: ConnClocks,
+    /// Blocking-face binding: one connection per calling thread.
+    by_thread: Mutex<HashMap<ThreadId, ConnId>>,
+    /// Results of submitted fetches awaiting poll/complete.
+    in_flight: Mutex<HashMap<u64, Result<String, InterfaceError>>>,
+    next_fetch: AtomicU64,
+    charged_ms: AtomicU64,
 }
 
 impl<T: Transport> LatencyTransport<T> {
@@ -85,26 +119,106 @@ impl<T: Transport> LatencyTransport<T> {
         LatencyTransport {
             inner,
             latency_ms,
-            elapsed_ms: AtomicU64::new(0),
+            clocks: ConnClocks::default(),
+            by_thread: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashMap::new()),
+            next_fetch: AtomicU64::new(0),
+            charged_ms: AtomicU64::new(0),
         }
     }
 
-    /// Virtual wall-clock consumed so far.
+    /// Virtual wall-clock consumed so far: the maximum over all
+    /// connections' clocks (overlapping requests overlap).
     pub fn virtual_elapsed_ms(&self) -> u64 {
-        self.elapsed_ms.load(Ordering::Relaxed)
+        self.clocks.elapsed()
+    }
+
+    /// Total latency charged across all fetches (the old serial
+    /// accounting: sum over fetches). Useful as a cost figure; not a wall
+    /// clock.
+    pub fn total_charged_ms(&self) -> u64 {
+        self.charged_ms.load(Ordering::Relaxed)
+    }
+
+    /// Number of virtual connections opened (threads and explicit
+    /// [`AsyncTransport::connect`] calls).
+    pub fn connections(&self) -> usize {
+        self.clocks.connections()
+    }
+
+    /// Submitted fetches whose results have not yet been taken
+    /// (completed or cancelled). A figure that grows without bound means
+    /// some caller drops handles instead of cancelling them.
+    pub fn pending_fetches(&self) -> usize {
+        self.in_flight.lock().len()
     }
 
     /// The wrapped transport.
     pub fn inner(&self) -> &T {
         &self.inner
     }
+
+    /// The connection bound to the calling thread (opened on first use).
+    fn thread_conn(&self) -> ConnId {
+        let tid = std::thread::current().id();
+        let mut map = self.by_thread.lock();
+        *map.entry(tid).or_insert_with(|| self.clocks.connect())
+    }
 }
 
 impl<T: Transport> Transport for LatencyTransport<T> {
     fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
-        self.elapsed_ms
+        let conn = self.thread_conn();
+        let handle = self.submit(conn, path);
+        self.complete(handle)
+    }
+}
+
+impl<T: Transport> AsyncTransport for LatencyTransport<T> {
+    fn connect(&self) -> ConnId {
+        self.clocks.connect()
+    }
+
+    fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
+        let ready_at = self.clocks.schedule(conn, self.latency_ms);
+        self.charged_ms
             .fetch_add(self.latency_ms, Ordering::Relaxed);
-        self.inner.fetch(path)
+        // The inner fetch is CPU work; only the wire is virtual. Executing
+        // it eagerly keeps submit non-blocking in virtual time while the
+        // result waits for the clock to catch up.
+        let result = self.inner.fetch(path);
+        let id = self.next_fetch.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.lock().insert(id, result);
+        FetchHandle { conn, id, ready_at }
+    }
+
+    fn poll(&self, handle: FetchHandle) -> FetchPoll {
+        if self.clocks.observed(handle.conn) >= handle.ready_at {
+            let result = self
+                .in_flight
+                .lock()
+                .remove(&handle.id)
+                .expect("pending fetch has a stored result");
+            FetchPoll::Ready(result)
+        } else {
+            FetchPoll::Pending(handle)
+        }
+    }
+
+    fn complete(&self, handle: FetchHandle) -> Result<String, InterfaceError> {
+        self.clocks.advance_to(handle.conn, handle.ready_at);
+        self.in_flight
+            .lock()
+            .remove(&handle.id)
+            .expect("pending fetch has a stored result")
+    }
+
+    fn cancel(&self, handle: FetchHandle) {
+        self.in_flight.lock().remove(&handle.id);
+    }
+
+    fn virtual_elapsed_ms(&self) -> u64 {
+        self.clocks.elapsed()
     }
 }
 
@@ -151,10 +265,36 @@ mod tests {
     }
 
     #[test]
+    fn default_form_submission_is_served() {
+        // Regression: the site's own rendered form submits `make=` for the
+        // "any" default; a browser pressing Search untouched must get the
+        // unconstrained results page, not a 400.
+        let site = site();
+        let page = site.fetch("/search?make=").unwrap();
+        assert!(page.contains("<table class=\"results\">"));
+        assert!(page.contains("class=\"overflow\""), "root query overflows");
+    }
+
+    #[test]
     fn bad_requests_are_transport_errors() {
         let site = site();
         let err = site.fetch("/search?bogus=1").unwrap_err();
         assert!(matches!(err, InterfaceError::Transport(msg) if msg.contains("400")));
+    }
+
+    #[test]
+    fn requests_off_the_form_action_are_404() {
+        let site = site();
+        // A valid query string does not rescue a wrong path.
+        for path in ["/nosuchpage?make=Honda", "/", "/search/extra", "/Search"] {
+            let err = site.fetch(path).unwrap_err();
+            assert!(
+                matches!(&err, InterfaceError::Transport(msg) if msg.contains("404")),
+                "path {path:?} must 404, got {err:?}"
+            );
+        }
+        // The bare action (no query string) is still served.
+        assert!(site.fetch("/search").is_ok());
     }
 
     #[test]
@@ -165,10 +305,96 @@ mod tests {
         for _ in 0..10 {
             t.fetch("/search?make=Honda").unwrap();
         }
+        // One thread = one connection: sequential fetches serialize.
         assert_eq!(t.virtual_elapsed_ms(), 1_500);
+        assert_eq!(t.total_charged_ms(), 1_500);
+        assert_eq!(t.connections(), 1);
         assert!(
             before.elapsed().as_millis() < 1_000,
             "must not actually sleep"
         );
+    }
+
+    #[test]
+    fn overlapping_fetches_cost_max_not_sum() {
+        // Regression for the serial accounting bug: 10 concurrent fetches
+        // at 150 ms must report ~150 ms of virtual wall clock, not 1500 ms.
+        let site = site();
+        let t = LatencyTransport::new(&site, 150);
+        std::thread::scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|| t.fetch("/search?make=Honda").unwrap());
+            }
+        });
+        assert_eq!(t.virtual_elapsed_ms(), 150, "overlap bills the max");
+        assert_eq!(t.total_charged_ms(), 1_500, "total cost still sums");
+        assert_eq!(t.connections(), 10, "one connection per thread");
+    }
+
+    #[test]
+    fn async_face_pipelines_on_one_connection() {
+        let site = site();
+        let t = LatencyTransport::new(&site, 100);
+        let conn = t.connect();
+        let first = t.submit(conn, "/search?make=Honda");
+        let second = t.submit(conn, "/search?make=Toyota");
+        assert_eq!(first.ready_at_ms(), 100);
+        assert_eq!(second.ready_at_ms(), 200, "same connection serializes");
+
+        // Nothing has advanced the clock: both are pending.
+        let first = match t.poll(first) {
+            FetchPoll::Pending(h) => h,
+            FetchPoll::Ready(_) => panic!("clock has not advanced"),
+        };
+        // Completing the *second* advances the clock past the first.
+        let page2 = t.complete(second).unwrap();
+        assert!(page2.contains("overflow"));
+        match t.poll(first) {
+            FetchPoll::Ready(Ok(page1)) => assert!(page1.contains("Honda")),
+            other => panic!("first fetch must now be ready, got {other:?}"),
+        }
+        assert_eq!(t.virtual_elapsed_ms(), 200);
+    }
+
+    #[test]
+    fn async_connections_overlap() {
+        let site = site();
+        let t = LatencyTransport::new(&site, 150);
+        let handles: Vec<_> = (0..10)
+            .map(|_| {
+                let conn = t.connect();
+                t.submit(conn, "/search?make=Honda")
+            })
+            .collect();
+        for h in handles {
+            t.complete(h).unwrap();
+        }
+        assert_eq!(t.virtual_elapsed_ms(), 150, "ten connections, one RTT");
+    }
+
+    #[test]
+    fn cancel_releases_buffered_results() {
+        let site = site();
+        let t = LatencyTransport::new(&site, 100);
+        let conn = t.connect();
+        let keep = t.submit(conn, "/search?make=Honda");
+        let abandon = t.submit(conn, "/search?make=Toyota");
+        assert_eq!(t.pending_fetches(), 2);
+        t.cancel(abandon);
+        assert_eq!(t.pending_fetches(), 1, "cancel frees the buffered page");
+        t.complete(keep).unwrap();
+        assert_eq!(t.pending_fetches(), 0);
+        // Cancelling does not un-send: the connection time stays occupied.
+        assert_eq!(t.total_charged_ms(), 200);
+    }
+
+    #[test]
+    fn async_face_propagates_errors() {
+        let site = site();
+        let t = LatencyTransport::new(&site, 50);
+        let conn = t.connect();
+        let h = t.submit(conn, "/nosuchpage");
+        let err = t.complete(h).unwrap_err();
+        assert!(matches!(err, InterfaceError::Transport(msg) if msg.contains("404")));
     }
 }

@@ -68,6 +68,29 @@ proptest! {
         prop_assert_eq!(back, resp);
     }
 
+    /// Arbitrary label strings — including `&`, `=`, `%` and multi-byte
+    /// UTF-8, which the generator over-weights — survive the full
+    /// request-path round trip when used as a form's domain labels.
+    #[test]
+    fn form_label_strings_roundtrip(l1 in "\\PC*", l2 in "\\PC*") {
+        // Empty labels are indistinguishable from the form's "any"
+        // default, and duplicate labels are rejected at schema build time.
+        prop_assume!(!l1.is_empty() && !l2.is_empty() && l1 != l2);
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::categorical("attr", [l1.as_str(), l2.as_str()]).unwrap())
+            .finish()
+            .unwrap()
+            .into_shared();
+        let form = WebForm::new(Arc::clone(&schema), "/search");
+        for v in 0..2u16 {
+            let q = hdsampler_model::ConjunctiveQuery::empty()
+                .refine(hdsampler_model::AttrId(0), v)
+                .unwrap();
+            let path = form.request_path(&q);
+            prop_assert_eq!(form.parse_request_path(&path).unwrap(), q, "label round trip");
+        }
+    }
+
     /// Form request paths round-trip arbitrary (valid) queries.
     #[test]
     fn request_path_roundtrip(make in prop::option::of(0u16..3), used in prop::option::of(0u16..2)) {
@@ -88,6 +111,88 @@ proptest! {
         let path = form.request_path(&q);
         prop_assert_eq!(form.parse_request_path(&path).unwrap(), q);
     }
+}
+
+#[test]
+fn urlenc_adversarial_separators_and_multibyte() {
+    // The characters that break naive query-string handling: separators,
+    // the escape character itself, and 2-/3-/4-byte UTF-8 sequences.
+    for s in [
+        "&",
+        "=",
+        "%",
+        "&&==%%",
+        "a&b=c%d",
+        "%2",
+        "%ZZ",
+        "100% legit",
+        "–",
+        "✓",
+        "日本語",
+        "🚗",
+        "k–v=🚗&%",
+        "",
+    ] {
+        assert_eq!(
+            urlenc::decode(&urlenc::encode(s)).as_deref(),
+            Some(s),
+            "encode/decode round trip of {s:?}"
+        );
+    }
+    let pairs: Vec<(String, String)> = vec![
+        ("a&b".into(), "c=d".into()),
+        ("%".into(), "&".into()),
+        ("日本語".into(), "–🚗–".into()),
+        ("".into(), "=&%".into()),
+    ];
+    let qs = urlenc::build_query(&pairs);
+    assert_eq!(urlenc::parse_query(&qs), Some(pairs), "query string {qs:?}");
+}
+
+#[test]
+fn truncated_results_table_is_a_parse_error() {
+    // A site that dies mid-response (or a scraper that read a partial
+    // body) must surface a parse error, not a silently shortened page.
+    let schema = SchemaBuilder::new()
+        .attribute(Attribute::boolean("x"))
+        .finish()
+        .unwrap();
+    let resp = QueryResponse {
+        rows: vec![Row::new(1, vec![0], vec![]), Row::new(2, vec![1], vec![])],
+        overflow: false,
+        reported_count: None,
+    };
+    let full = render_results_page(&schema, &resp, 10);
+    let cut = full
+        .find("</table>")
+        .expect("rendered page closes its table");
+    let truncated = &full[..cut];
+    let err = scrape_results_page(&schema, truncated).unwrap_err();
+    assert!(
+        matches!(&err, hdsampler_model::InterfaceError::Parse(msg) if msg.contains("unterminated")),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn entity_bearing_headers_scrape_cleanly() {
+    // Attribute and measure names carrying HTML metacharacters are
+    // escaped into the header row; the scraper must still align columns.
+    let schema = SchemaBuilder::new()
+        .attribute(Attribute::categorical("make & \"model\"", ["a<b", "c&d"]).unwrap())
+        .attribute(Attribute::boolean("<used>"))
+        .measure(Measure::new("price & tax"))
+        .finish()
+        .unwrap();
+    let resp = QueryResponse {
+        rows: vec![Row::new(7, vec![1, 0], vec![1.5])],
+        overflow: true,
+        reported_count: Some(12),
+    };
+    let html = render_results_page(&schema, &resp, 5);
+    assert!(html.contains("&amp;"), "entities present in the page");
+    let back = scrape_results_page(&schema, &html).unwrap();
+    assert_eq!(back, resp);
 }
 
 #[test]

@@ -75,20 +75,28 @@ pub mod strategy {
 
     /// String strategies: the real crate interprets these as regexes; the
     /// stub generates arbitrary printable strings, which is what every
-    /// `"\\PC*"`-style use in this workspace wants.
+    /// `"\\PC*"`-style use in this workspace wants. The character pool
+    /// over-weights URL/HTML metacharacters (`&`, `=`, `%`, `<`, `"`) and
+    /// multi-byte UTF-8 (2-, 3- and 4-byte sequences) because this
+    /// workspace's round-trip properties live or die on exactly those.
     impl Strategy for str {
         type Value = String;
 
         fn generate(&self, rng: &mut TestRng) -> String {
             let len = (rng.next_u64() % 12) as usize;
             (0..len)
-                .map(|_| {
-                    // Mostly ASCII printable, occasionally a multibyte char.
-                    match rng.next_u64() % 8 {
-                        0 => 'é',
-                        1 => 'λ',
-                        _ => (0x20 + (rng.next_u64() % 0x5f) as u8) as char,
-                    }
+                .map(|_| match rng.next_u64() % 16 {
+                    0 => '&',
+                    1 => '=',
+                    2 => '%',
+                    3 => '<',
+                    4 => '"',
+                    5 => 'é',         // 2-byte UTF-8
+                    6 => 'λ',         // 2-byte UTF-8
+                    7 => '–',         // 3-byte UTF-8 (en dash, "$5k–$10k")
+                    8 => '日',        // 3-byte UTF-8
+                    9 => '\u{1F697}', // 4-byte UTF-8 (🚗)
+                    _ => (0x20 + (rng.next_u64() % 0x5f) as u8) as char,
                 })
                 .collect()
         }
