@@ -30,7 +30,7 @@ const TARGET_PER_SITE: usize = 100;
 const BUDGET_PER_SITE: u64 = 5_000;
 const WALKERS_PER_SITE: usize = 4;
 
-fn build_fleet(sites: usize) -> Vec<SiteTask<LocalSite<HiddenDb>>> {
+fn build_fleet(sites: usize) -> Vec<SiteTask<LatencyTransport<LocalSite<HiddenDb>>>> {
     (0..sites)
         .map(|i| {
             let db = WorkloadSpec::vehicles(

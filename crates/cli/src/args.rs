@@ -12,10 +12,12 @@ COMMANDS:
   sample      run an incremental sampling session and print histograms
   aggregate   estimate aggregates (proportion / count / avg / sum)
   validate    compare sampled marginals against the simulation's truth
-  multi-site  drive a fleet of simulated sites concurrently (virtual wire)
+  multi-site  drive a fleet of sites concurrently (virtual or real wire)
+  serve       put the simulated site behind a real HTTP front door
 
 COMMON OPTIONS:
   --source <vehicles-full|vehicles-compact|boolean>   data source (default vehicles-compact)
+  --dataset <...>      alias for --source
   --n <N>              number of tuples to simulate        (default 8000)
   --k <K>              top-k display limit                 (default 250)
   --seed <S>           data + sampler seed                 (default 2009)
@@ -27,6 +29,9 @@ COMMON OPTIONS:
 
 sample:
   --histogram <attr>   attribute(s) to display (repeatable; default: first)
+  --remote <addr>      sample a live `hdsampler serve` at host:port instead
+                       of the in-process site (schema flags must match the
+                       served dataset)
 
 aggregate:
   --proportion attr=label   estimate a proportion (repeatable)
@@ -38,9 +43,19 @@ validate:
 multi-site:
   --sites <S>          number of simulated sites                (default 4)
   --walkers <W>        walker threads (connections) per site    (default 2)
-  --latency <MS>       virtual per-request latency in ms        (default 100)
+  --latency <MS[,MS,...]>  per-request latency in ms; a comma list assigns
+                       site i the i-th value, cycling           (default 100)
+  --jitter <MS>        ± uniform jitter around each site's latency (default 0)
   --driver <concurrent|serial|both>  driving mode               (default concurrent)
+  --remote <addr[,addr,...]>  drive live servers (one site per address;
+                       latency/jitter flags do not apply — the wire is real)
   (--samples is the per-site target; --budget the per-site query cap)
+
+serve:
+  --port <P>           TCP port on 127.0.0.1 (default 8000; 0 = ephemeral)
+  --workers <W>        connection worker threads                (default 4)
+  --serve-for <SECS>   shut down gracefully after SECS (default: run until
+                       killed)
 ";
 
 /// Parsed command line.
@@ -74,16 +89,29 @@ pub enum Command {
         /// Attribute to validate.
         attr: Option<String>,
     },
-    /// Fleet driving: S sites × W walkers over the virtual wire.
+    /// Fleet driving: S sites × W walkers over the virtual or real wire.
     MultiSite {
         /// Number of simulated sites.
         sites: usize,
         /// Walker threads (= virtual connections) per site.
         walkers: usize,
-        /// Virtual per-request latency in milliseconds.
-        latency_ms: u64,
+        /// Per-site latency list in milliseconds (site i uses entry
+        /// `i % len`).
+        latencies_ms: Vec<u64>,
+        /// ± uniform jitter half-width around each site's latency.
+        jitter_ms: u64,
         /// Driving mode.
         mode: DriverMode,
+    },
+    /// Serve the simulated site over real HTTP.
+    Serve {
+        /// Port on 127.0.0.1 (0 picks an ephemeral port).
+        port: u16,
+        /// Connection worker threads.
+        workers: usize,
+        /// Graceful shutdown after this many seconds (None: run until
+        /// killed).
+        serve_for: Option<u64>,
     },
 }
 
@@ -119,6 +147,9 @@ pub struct Common {
     pub budget: Option<u64>,
     /// Count banner mode.
     pub counts: String,
+    /// Live server address(es) — `host:port`, comma-separated for
+    /// multi-site — instead of the in-process wire.
+    pub remote: Option<String>,
 }
 
 impl Default for Common {
@@ -133,6 +164,7 @@ impl Default for Common {
             binds: Vec::new(),
             budget: None,
             counts: "absent".into(),
+            remote: None,
         }
     }
 }
@@ -158,8 +190,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut validate_attr = None;
     let mut sites = 4usize;
     let mut walkers = 2usize;
-    let mut latency_ms = 100u64;
+    let mut latencies_ms = vec![100u64];
+    let mut jitter_ms = 0u64;
     let mut mode = DriverMode::Concurrent;
+    let mut port = 8000u16;
+    let mut serve_workers = 4usize;
+    let mut serve_for = None;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -167,6 +203,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         };
         match flag.as_str() {
             "--source" => common.source = value("--source")?.clone(),
+            "--dataset" => common.source = value("--dataset")?.clone(),
             "--n" => common.n = value("--n")?.parse().map_err(|_| "--n: not a number")?,
             "--k" => common.k = value("--k")?.parse().map_err(|_| "--k: not a number")?,
             "--seed" => {
@@ -219,14 +256,43 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
             }
             "--latency" => {
-                latency_ms = value("--latency")?
-                    .parse()
-                    .map_err(|_| "--latency: not a number")?;
-                if latency_ms == 0 {
+                latencies_ms = value("--latency")?
+                    .split(',')
+                    .map(|part| part.trim().parse::<u64>())
+                    .collect::<Result<Vec<u64>, _>>()
+                    .map_err(|_| "--latency: expects ms or a comma list of ms")?;
+                if latencies_ms.is_empty() || latencies_ms.contains(&0) {
                     return Err(
-                        "--latency must be at least 1 ms (the wire model bills round trips)".into(),
+                        "--latency entries must be at least 1 ms (the wire model bills round trips)"
+                            .into(),
                     );
                 }
+            }
+            "--jitter" => {
+                jitter_ms = value("--jitter")?
+                    .parse()
+                    .map_err(|_| "--jitter: not a number")?
+            }
+            "--remote" => common.remote = Some(value("--remote")?.clone()),
+            "--port" => {
+                port = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port: not a port number")?
+            }
+            "--workers" => {
+                serve_workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: not a number")?;
+                if serve_workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--serve-for" => {
+                serve_for = Some(
+                    value("--serve-for")?
+                        .parse()
+                        .map_err(|_| "--serve-for: not a number of seconds")?,
+                )
             }
             "--driver" => {
                 mode = match value("--driver")?.as_str() {
@@ -254,8 +320,14 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         "multi-site" => Command::MultiSite {
             sites,
             walkers,
-            latency_ms,
+            latencies_ms,
+            jitter_ms,
             mode,
+        },
+        "serve" => Command::Serve {
+            port,
+            workers: serve_workers,
+            serve_for,
         },
         other => return Err(format!("unknown command `{other}`")),
     };
@@ -365,7 +437,8 @@ mod tests {
             Command::MultiSite {
                 sites: 16,
                 walkers: 4,
-                latency_ms: 150,
+                latencies_ms: vec![150],
+                jitter_ms: 0,
                 mode: DriverMode::Both,
             }
         );
@@ -378,7 +451,8 @@ mod tests {
             Command::MultiSite {
                 sites: 4,
                 walkers: 2,
-                latency_ms: 100,
+                latencies_ms: vec![100],
+                jitter_ms: 0,
                 mode: DriverMode::Concurrent,
             }
         );
@@ -386,6 +460,73 @@ mod tests {
         assert!(parse(&argv(&["multi-site", "--walkers", "0"])).is_err());
         assert!(parse(&argv(&["multi-site", "--latency", "0"])).is_err());
         assert!(parse(&argv(&["multi-site", "--driver", "psychic"])).is_err());
+    }
+
+    #[test]
+    fn multi_site_heterogeneous_latency_and_jitter() {
+        let cli = parse(&argv(&[
+            "multi-site",
+            "--latency",
+            "50,100, 250",
+            "--jitter",
+            "20",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::MultiSite {
+                sites: 4,
+                walkers: 2,
+                latencies_ms: vec![50, 100, 250],
+                jitter_ms: 20,
+                mode: DriverMode::Concurrent,
+            }
+        );
+        assert!(parse(&argv(&["multi-site", "--latency", "50,0,100"])).is_err());
+        assert!(parse(&argv(&["multi-site", "--latency", ""])).is_err());
+        assert!(parse(&argv(&["multi-site", "--latency", "50,,100"])).is_err());
+    }
+
+    #[test]
+    fn serve_and_remote_flags() {
+        let cli = parse(&argv(&[
+            "serve",
+            "--port",
+            "9090",
+            "--workers",
+            "8",
+            "--serve-for",
+            "30",
+            "--dataset",
+            "boolean",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                port: 9090,
+                workers: 8,
+                serve_for: Some(30),
+            }
+        );
+        assert_eq!(cli.common.source, "boolean", "--dataset aliases --source");
+
+        let defaults = parse(&argv(&["serve"])).unwrap();
+        assert_eq!(
+            defaults.command,
+            Command::Serve {
+                port: 8000,
+                workers: 4,
+                serve_for: None,
+            }
+        );
+        assert!(parse(&argv(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--port", "99999"])).is_err());
+
+        let remote = parse(&argv(&["sample", "--remote", "127.0.0.1:9090"])).unwrap();
+        assert_eq!(remote.common.remote.as_deref(), Some("127.0.0.1:9090"));
+        let fleet = parse(&argv(&["multi-site", "--remote", "h1:1,h2:2"])).unwrap();
+        assert_eq!(fleet.common.remote.as_deref(), Some("h1:1,h2:2"));
     }
 
     #[test]

@@ -9,8 +9,10 @@ use hdsampler_core::{
 use hdsampler_estimator::{Estimator, Histogram, MarginalComparison};
 use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
+use hdsampler_server::{HttpServer, ServerConfig};
 use hdsampler_webform::{
-    FleetConfig, LatencyTransport, LocalSite, MultiSiteDriver, SiteTask, WebForm, WebFormInterface,
+    Clocked as _, FleetConfig, HttpTransport, LatencyTransport, LocalSite, MultiSiteDriver,
+    SiteTask, WebForm, WebFormInterface,
 };
 use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
 
@@ -60,17 +62,19 @@ fn scope_query(schema: &Schema, binds: &[(String, String)]) -> Result<Conjunctiv
         .map_err(|e| e.to_string())
 }
 
-fn run_session(
-    db: &Arc<HiddenDb>,
+/// Run one sampling session over any interface (the in-process database
+/// or a scraped remote site) behind a history cache.
+fn run_session_on<F: FormInterface>(
+    iface: F,
+    schema: &Schema,
     common: &Common,
 ) -> Result<(SampleSet, hdsampler_core::SamplerStats), String> {
-    let schema = db.schema().clone();
-    let scope = scope_query(&schema, &common.binds)?;
+    let scope = scope_query(schema, &common.binds)?;
     let cfg = SamplerConfig::seeded(common.seed)
         .with_slider(common.slider)
         .with_scope(scope);
-    let mut sampler =
-        HdsSampler::new(CachingExecutor::new(Arc::clone(db)), cfg).map_err(|e| e.to_string())?;
+    let exec = CachingExecutor::new(iface);
+    let mut sampler = HdsSampler::new(&exec, cfg).map_err(|e| e.to_string())?;
     let session = SamplingSession::new(common.samples);
     let mut out = std::io::stdout();
     let outcome = session.run(&mut sampler, |event| {
@@ -83,10 +87,55 @@ fn run_session(
     });
     println!();
     println!("{}", display::summary(&outcome.stats));
-    if !matches!(outcome.reason, hdsampler_core::StopReason::TargetReached) {
-        println!("note: session stopped early ({:?})", outcome.reason);
+    let hist = exec.history_stats();
+    println!(
+        "history cache: {} shards (autotuned), {} hits, {} evictions",
+        hist.shard_count,
+        hist.total_hits(),
+        hist.evictions
+    );
+    match &outcome.reason {
+        hdsampler_core::StopReason::TargetReached => {}
+        // A failed session (e.g. the remote server refused connections) is
+        // a command failure, not a short result — scripts polling
+        // `sample --remote` rely on the exit code.
+        hdsampler_core::StopReason::Failed(e) => {
+            return Err(format!("session failed: {e}"));
+        }
+        early => println!("note: session stopped early ({early:?})"),
     }
     Ok((outcome.samples, outcome.stats))
+}
+
+fn run_session(
+    db: &Arc<HiddenDb>,
+    common: &Common,
+) -> Result<(SampleSet, hdsampler_core::SamplerStats), String> {
+    let schema = db.schema().clone();
+    run_session_on(Arc::clone(db), &schema, common)
+}
+
+/// Scraper stack for one live server: the local workload flags rebuild
+/// the served schema (the scraper "reads the site's documentation"), the
+/// wire is real TCP.
+fn remote_iface(common: &Common, addr: &str) -> Result<WebFormInterface<HttpTransport>, String> {
+    // Only the schema/k/count-mode are needed locally; simulate a single
+    // tuple instead of the full dataset to derive them.
+    let skeleton = Common {
+        n: common.n.min(1),
+        ..common.clone()
+    };
+    let twin = build_db(&skeleton, common.seed)?;
+    let schema = Arc::new(twin.schema().clone());
+    let k = twin.result_limit();
+    let supports_count = twin.supports_count();
+    drop(twin);
+    Ok(WebFormInterface::new(
+        HttpTransport::new(addr),
+        schema,
+        k,
+        supports_count,
+    ))
 }
 
 /// Execute a parsed command.
@@ -99,19 +148,75 @@ pub fn run(cli: Cli) -> Result<(), String> {
         Command::MultiSite {
             sites,
             walkers,
-            latency_ms,
+            latencies_ms,
+            jitter_ms,
             mode,
-        } => multi_site(&cli.common, sites, walkers, latency_ms, mode),
+        } => multi_site(&cli.common, sites, walkers, &latencies_ms, jitter_ms, mode),
+        Command::Serve {
+            port,
+            workers,
+            serve_for,
+        } => serve(&cli.common, port, workers, serve_for),
     }
 }
 
+/// Put the simulated site behind a real HTTP front door on 127.0.0.1.
+fn serve(common: &Common, port: u16, workers: usize, serve_for: Option<u64>) -> Result<(), String> {
+    let db = build_db(common, common.seed)?;
+    let schema = Arc::new(db.schema().clone());
+    let n = db.n_tuples();
+    let k = db.result_limit();
+    let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
+    let action = site.form().action().to_string();
+    let handle = HttpServer::serve(
+        ServerConfig {
+            addr: format!("127.0.0.1:{port}"),
+            workers,
+            ..ServerConfig::default()
+        },
+        site,
+    )
+    .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    println!(
+        "serving `{}` (n = {n}, top-{k}) on http://{} — form at /, results at {action}",
+        common.source,
+        handle.addr()
+    );
+    match serve_for {
+        Some(secs) => {
+            println!("shutting down gracefully after {secs} s");
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let stats = handle.shutdown();
+            println!(
+                "served {} requests on {} connections ({} ok / {} client-error / {} server-error), {} bytes out",
+                stats.requests,
+                stats.connections,
+                stats.responses_ok,
+                stats.responses_client_error,
+                stats.responses_server_error,
+                stats.bytes_out,
+            );
+        }
+        None => {
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Build one fleet of `sites` scraper stacks, each over its own seeded
-/// data behind a latency-decorated wire.
+/// data behind a latency-decorated wire. Site `i` gets latency
+/// `latencies_ms[i % len] ± jitter_ms` (heterogeneous fleets: pass a
+/// comma list to `--latency`).
 fn build_fleet(
     common: &Common,
     sites: usize,
-    latency_ms: u64,
-) -> Result<Vec<SiteTask<LocalSite<HiddenDb>>>, String> {
+    latencies_ms: &[u64],
+    jitter_ms: u64,
+) -> Result<Vec<SiteTask<LatencyTransport<LocalSite<HiddenDb>>>>, String> {
     (0..sites)
         .map(|i| {
             let db = build_db(common, common.seed.wrapping_add(i as u64))?;
@@ -119,7 +224,13 @@ fn build_fleet(
             let k = db.result_limit();
             let supports_count = db.supports_count();
             let site = LocalSite::new(db, Arc::clone(&schema));
-            let wire = LatencyTransport::new(site, latency_ms);
+            let latency = latencies_ms[i % latencies_ms.len()];
+            let wire = LatencyTransport::with_jitter(
+                site,
+                latency,
+                jitter_ms,
+                common.seed.wrapping_add(i as u64),
+            );
             Ok(SiteTask::new(
                 format!("site-{i}"),
                 WebFormInterface::new(wire, schema, k, supports_count),
@@ -128,16 +239,31 @@ fn build_fleet(
         .collect()
 }
 
+/// Build a fleet of scraper stacks over live servers, one per address.
+fn build_remote_fleet(
+    common: &Common,
+    addrs: &[&str],
+) -> Result<Vec<SiteTask<HttpTransport>>, String> {
+    addrs
+        .iter()
+        .map(|addr| Ok(SiteTask::new(addr.to_string(), remote_iface(common, addr)?)))
+        .collect()
+}
+
 fn multi_site(
     common: &Common,
     sites: usize,
     walkers: usize,
-    latency_ms: u64,
+    latencies_ms: &[u64],
+    jitter_ms: u64,
     mode: DriverMode,
 ) -> Result<(), String> {
+    if let Some(remote) = &common.remote {
+        return multi_site_remote(common, remote, walkers, mode);
+    }
     // Build one fleet up front: its schema validates the --bind scope
     // (the sites share a schema structure, so ids resolve fleet-wide).
-    let fleet = build_fleet(common, sites, latency_ms)?;
+    let fleet = build_fleet(common, sites, latencies_ms, jitter_ms)?;
     let scope = scope_query(fleet[0].iface.schema(), &common.binds)?;
     let driver = MultiSiteDriver::new(FleetConfig {
         walkers_per_site: walkers,
@@ -146,8 +272,13 @@ fn multi_site(
         slider: common.slider,
         scope,
     });
+    let latency_desc = if latencies_ms.len() == 1 {
+        format!("{} ms", latencies_ms[0])
+    } else {
+        format!("{latencies_ms:?} ms (cycling)")
+    };
     println!(
-        "fleet: {sites} × `{}` (n = {} each) at {latency_ms} ms virtual latency, \
+        "fleet: {sites} × `{}` (n = {} each) at {latency_desc} ± {jitter_ms} ms virtual latency, \
          {} samples per site, {walkers} walker(s) per site",
         common.source, common.n, common.samples
     );
@@ -162,7 +293,7 @@ fn multi_site(
     let serial = match mode {
         DriverMode::Concurrent => None,
         DriverMode::Serial | DriverMode::Both => {
-            let report = driver.run_serial(&build_fleet(common, sites, latency_ms)?);
+            let report = driver.run_serial(&build_fleet(common, sites, latencies_ms, jitter_ms)?);
             println!("\n{}", display::fleet_report(&report));
             Some(report)
         }
@@ -176,6 +307,45 @@ fn multi_site(
                 c.fleet_elapsed_ms as f64 / 1_000.0,
             );
         }
+    }
+    Ok(())
+}
+
+/// `multi-site --remote a,b,c`: one site per live server address, real
+/// wall clock instead of the virtual one.
+fn multi_site_remote(
+    common: &Common,
+    remote: &str,
+    walkers: usize,
+    mode: DriverMode,
+) -> Result<(), String> {
+    let addrs: Vec<&str> = remote.split(',').map(str::trim).collect();
+    if addrs.iter().any(|a| a.is_empty()) {
+        return Err("--remote: empty address in list".into());
+    }
+    let fleet = build_remote_fleet(common, &addrs)?;
+    let scope = scope_query(fleet[0].iface.schema(), &common.binds)?;
+    let driver = MultiSiteDriver::new(FleetConfig {
+        walkers_per_site: walkers,
+        target_per_site: common.samples,
+        seed: common.seed,
+        slider: common.slider,
+        scope,
+    });
+    println!(
+        "fleet: {} live server(s) over real TCP, {} samples per site, {walkers} walker(s) per site",
+        addrs.len(),
+        common.samples
+    );
+    if matches!(mode, DriverMode::Concurrent | DriverMode::Both) {
+        let report = driver.run_concurrent(&fleet);
+        println!("\n{}", display::fleet_report(&report));
+    }
+    if matches!(mode, DriverMode::Serial | DriverMode::Both) {
+        // A fresh fleet for the serial pass: each transport's real clock
+        // starts at zero, like the virtual-wire path rebuilds its fleet.
+        let report = driver.run_serial(&build_remote_fleet(common, &addrs)?);
+        println!("\n{}", display::fleet_report(&report));
     }
     Ok(())
 }
@@ -217,9 +387,29 @@ fn describe(common: &Common) -> Result<(), String> {
 }
 
 fn sample(common: &Common, histograms: &[String]) -> Result<(), String> {
-    let db = build_site(common)?;
-    let schema = db.schema().clone();
-    let (samples, _) = run_session(&db, common)?;
+    let (samples, schema) = match &common.remote {
+        Some(addr) => {
+            let iface = remote_iface(common, addr)?;
+            let schema = iface.schema().clone();
+            println!("sampling live server http://{addr} over real TCP");
+            let (samples, _) = run_session_on(&iface, &schema, common)?;
+            let t = iface.transport();
+            println!(
+                "wire: {} requests on {} connection(s), {} bytes received, {} ms",
+                t.requests_sent(),
+                t.connections(),
+                t.bytes_received(),
+                t.elapsed_ms()
+            );
+            (samples, schema)
+        }
+        None => {
+            let db = build_site(common)?;
+            let schema = db.schema().clone();
+            let (samples, _) = run_session(&db, common)?;
+            (samples, schema)
+        }
+    };
     let wanted: Vec<String> = if histograms.is_empty() {
         vec![schema.attributes()[0].name().to_owned()]
     } else {
@@ -356,7 +546,37 @@ mod tests {
             samples: 15,
             ..Common::default()
         };
-        multi_site(&common, 3, 2, 100, DriverMode::Both).unwrap();
+        multi_site(&common, 3, 2, &[100], 0, DriverMode::Both).unwrap();
+    }
+
+    #[test]
+    fn sample_remote_round_trip() {
+        // Boot a real server on an ephemeral port and point `sample
+        // --remote` at it.
+        let common = quick_common();
+        let db = build_db(&common, common.seed).unwrap();
+        let schema = Arc::new(db.schema().clone());
+        let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
+        let handle = HttpServer::serve(ServerConfig::default(), site).unwrap();
+        let remote_common = Common {
+            remote: Some(handle.addr().to_string()),
+            ..common
+        };
+        sample(&remote_common, &["make".into()]).unwrap();
+        let stats = handle.shutdown();
+        assert!(stats.requests > 0, "the session must hit the live server");
+        assert_eq!(stats.responses_server_error, 0);
+    }
+
+    #[test]
+    fn end_to_end_multi_site_heterogeneous_latency() {
+        let common = Common {
+            n: 300,
+            k: 50,
+            samples: 10,
+            ..Common::default()
+        };
+        multi_site(&common, 3, 2, &[50, 100, 250], 20, DriverMode::Concurrent).unwrap();
     }
 
     #[test]
@@ -368,18 +588,18 @@ mod tests {
             binds: vec![("condition".to_string(), "used".to_string())],
             ..Common::default()
         };
-        multi_site(&common, 2, 1, 100, DriverMode::Concurrent).unwrap();
+        multi_site(&common, 2, 1, &[100], 0, DriverMode::Concurrent).unwrap();
         let bad = Common {
             binds: vec![("condition".to_string(), "imaginary".to_string())],
             ..common
         };
-        assert!(multi_site(&bad, 2, 1, 100, DriverMode::Concurrent).is_err());
+        assert!(multi_site(&bad, 2, 1, &[100], 0, DriverMode::Concurrent).is_err());
     }
 
     #[test]
     fn multi_site_fleet_sites_have_distinct_data() {
         let common = quick_common();
-        let fleet = build_fleet(&common, 2, 50).unwrap();
+        let fleet = build_fleet(&common, 2, &[50], 0).unwrap();
         let a = fleet[0].iface.transport().inner().backend();
         let b = fleet[1].iface.transport().inner().backend();
         // Different seeds ⇒ (almost surely) different marginals; check a

@@ -45,7 +45,7 @@ pub fn fleet_report(report: &FleetReport) -> String {
     let _ = writeln!(
         out,
         "  {:<10} {:>8} {:>9} {:>10} {:>8} {:>11}  stopped",
-        "site", "samples", "fetches", "requests", "hits", "virtual s"
+        "site", "samples", "fetches", "requests", "hits", "elapsed s"
     );
     for site in &report.sites {
         let _ = writeln!(
@@ -56,13 +56,13 @@ pub fn fleet_report(report: &FleetReport) -> String {
             site.queries_issued,
             site.requests,
             site.history_hits,
-            site.virtual_elapsed_ms as f64 / 1_000.0,
+            site.elapsed_ms as f64 / 1_000.0,
             site.stopped,
         );
     }
     let _ = writeln!(
         out,
-        "  fleet ({mode}): {} samples over {} sites in {:.1} virtual s — {:.1} samples/s, {} fetches",
+        "  fleet ({mode}): {} samples over {} sites in {:.1} s — {:.1} samples/s, {} fetches",
         report.total_samples(),
         report.sites.len(),
         report.fleet_elapsed_ms as f64 / 1_000.0,

@@ -41,6 +41,10 @@ use crate::executor::{Classified, QueryExecutor};
 /// Cache-hit counters, by rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HistoryStats {
+    /// Number of shards the cache state is split into (autotuned from the
+    /// host topology unless overridden via
+    /// [`CachingExecutor::with_shards`]).
+    pub shard_count: usize,
     /// Rule 1 hits (exact memo).
     pub memo_hits: u64,
     /// Rule 2 hits (empty-subset).
@@ -292,7 +296,7 @@ impl HistoryInner {
 ///
 /// Thread-safe: concurrent walkers share one cache (`&CachingExecutor`
 /// implements `QueryExecutor` via the blanket impl). The state is split
-/// into [`DEFAULT_SHARD_COUNT`] signature-keyed shards, each behind its own
+/// into [`autotuned_shard_count`] signature-keyed shards, each behind its own
 /// `RwLock`: the exact-match structures (memo, counts) of a query live in
 /// the shard its hash selects, so the common warm-cache path — a memo hit —
 /// touches exactly one lock, and concurrent walkers' *writes* land on
@@ -325,9 +329,23 @@ pub struct CachingExecutor<F> {
 /// Default cache capacity (entries across memo + counts).
 pub const DEFAULT_CACHE_CAPACITY: usize = 250_000;
 
-/// Default shard count: enough to spread 8–32 walkers with negligible
-/// memory overhead.
-pub const DEFAULT_SHARD_COUNT: usize = 16;
+/// Upper bound on the autotuned shard count: past this, the all-shard
+/// scans of the containment rules (2–4) cost more than the extra write
+/// spread buys, even on very wide hosts.
+pub const MAX_AUTOTUNED_SHARDS: usize = 64;
+
+/// Shard count derived from the host: twice the available parallelism
+/// (walkers outnumbering cores still spread their writes), rounded up to a
+/// power of two and capped at [`MAX_AUTOTUNED_SHARDS`]. Falls back to 16 —
+/// the old fixed `DEFAULT_SHARD_COUNT` — when the topology is unreadable.
+/// Override per cache via [`CachingExecutor::with_shards`]; the chosen
+/// count is reported in [`HistoryStats::shard_count`].
+pub fn autotuned_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_mul(2).next_power_of_two())
+        .unwrap_or(16)
+        .clamp(1, MAX_AUTOTUNED_SHARDS)
+}
 
 impl<F: FormInterface> CachingExecutor<F> {
     /// Wrap an interface with an inference cache of default capacity.
@@ -335,9 +353,9 @@ impl<F: FormInterface> CachingExecutor<F> {
         Self::with_capacity(interface, DEFAULT_CACHE_CAPACITY)
     }
 
-    /// Wrap with an explicit entry capacity and the default shard count.
+    /// Wrap with an explicit entry capacity and the autotuned shard count.
     pub fn with_capacity(interface: F, capacity: usize) -> Self {
-        Self::with_shards(interface, capacity, DEFAULT_SHARD_COUNT)
+        Self::with_shards(interface, capacity, autotuned_shard_count())
     }
 
     /// Wrap with explicit capacity and shard count (rounded up to a power
@@ -406,6 +424,7 @@ impl<F: FormInterface> CachingExecutor<F> {
     /// Hit/miss counters.
     pub fn history_stats(&self) -> HistoryStats {
         HistoryStats {
+            shard_count: self.shards.len(),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             empty_rule_hits: self.empty_rule_hits.load(Ordering::Relaxed),
             overflow_rule_hits: self.overflow_rule_hits.load(Ordering::Relaxed),
@@ -636,6 +655,21 @@ mod tests {
 
     fn q(pairs: &[(u16, u16)]) -> ConjunctiveQuery {
         ConjunctiveQuery::from_pairs(pairs.iter().map(|&(a, v)| (AttrId(a), v))).unwrap()
+    }
+
+    #[test]
+    fn autotune_picks_a_bounded_power_of_two() {
+        let n = autotuned_shard_count();
+        assert!(n.is_power_of_two(), "{n} must be a power of two");
+        assert!((1..=MAX_AUTOTUNED_SHARDS).contains(&n));
+        // The default constructors adopt it and report it in stats.
+        let db = figure1_db(1);
+        let exec = CachingExecutor::new(&db);
+        assert_eq!(exec.shard_count(), n);
+        assert_eq!(exec.history_stats().shard_count, n);
+        // An explicit override wins.
+        let pinned = CachingExecutor::with_shards(&db, 1_000, 4);
+        assert_eq!(pinned.history_stats().shard_count, 4);
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub use config::SamplerConfig;
 pub use count::CountWalkSampler;
 pub use executor::{Classified, DirectExecutor, QueryExecutor};
 pub use hds::HdsSampler;
-pub use history::{CachingExecutor, HistoryStats, DEFAULT_CACHE_CAPACITY, DEFAULT_SHARD_COUNT};
+pub use history::{
+    autotuned_shard_count, CachingExecutor, HistoryStats, DEFAULT_CACHE_CAPACITY,
+    MAX_AUTOTUNED_SHARDS,
+};
 pub use order::OrderStrategy;
 pub use sample::{Sample, SampleMeta, SampleSet, Sampler, SamplerError};
 pub use session::{SamplingSession, SessionEvent, SessionOutcome, StopReason};

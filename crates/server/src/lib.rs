@@ -1,0 +1,43 @@
+//! # hdsampler-server
+//!
+//! A real HTTP front door for a hidden database's web form — the
+//! deployment half the original demo ran on Apache + PHP (§3.5), rebuilt
+//! dependency-free on `std::net`.
+//!
+//! After PR 2 every byte still moved in-process: `LocalSite` was a
+//! function call and `LatencyTransport` billed virtual clocks. This crate
+//! puts the form behind a real socket: a hand-rolled HTTP/1.1 server
+//! (request parsing with hard limits, keep-alive, `Content-Length` and
+//! chunked responses, a bounded thread-per-connection pool with graceful
+//! shutdown) that mounts any [`SiteBehavior`] — in particular any
+//! [`LocalSite`](hdsampler_webform::LocalSite) — as real GET endpoints:
+//!
+//! * `/` — the rendered form (the demo's Figure 3 landing page);
+//! * the form action (e.g. `/search?make=Honda`) — results pages, with
+//!   200/400/404 semantics *identical* to `WebForm::parse_request_path`
+//!   (the mounting delegates to `LocalSite::fetch`, so parity holds by
+//!   construction);
+//! * budget exhaustion — `429` with machine-readable headers the
+//!   [`HttpTransport`](hdsampler_webform::HttpTransport) client maps back
+//!   onto `InterfaceError::BudgetExhausted`.
+//!
+//! The unmodified walker/driver/session stack samples a served site
+//! end-to-end over loopback TCP via `HttpTransport`; `hdsampler serve`
+//! plus `hdsampler sample --remote <addr>` is the two-terminal quickstart.
+//!
+//! * [`http`] — request parsing, response writing, limits;
+//! * [`site`] — [`SiteBehavior`] and the `LocalSite` mounting;
+//! * [`pool`] — the bounded worker pool (backpressure via a bounded
+//!   queue, not unbounded thread growth);
+//! * [`server`] — the accept loop, keep-alive connection handling,
+//!   graceful shutdown, and live [`ServerStats`].
+
+pub mod http;
+pub mod pool;
+pub mod server;
+pub mod site;
+
+pub use http::{parse_request, write_response, HttpVersion, Request, RequestError, Response};
+pub use pool::ThreadPool;
+pub use server::{HttpServer, ServerConfig, ServerHandle, ServerStats};
+pub use site::{SiteBehavior, ERROR_HEADER, ISSUED_HEADER};

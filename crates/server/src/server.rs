@@ -1,0 +1,308 @@
+//! The TCP front door: accept loop, keep-alive connection handling,
+//! bounded worker pool, graceful shutdown.
+
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::http::{parse_request, write_response, Request, Response, DEFAULT_CHUNK_THRESHOLD};
+use crate::site::SiteBehavior;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`] for the chosen one).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// acceptor itself blocks (backpressure).
+    pub queue_depth: usize,
+    /// Idle time after which a keep-alive connection is closed; also the
+    /// per-request read deadline (slowloris guard).
+    pub keep_alive_timeout: Duration,
+    /// Bodies above this size are sent chunked instead of Content-Length.
+    pub chunk_threshold: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 8,
+            keep_alive_timeout: Duration::from_secs(5),
+            chunk_threshold: DEFAULT_CHUNK_THRESHOLD,
+        }
+    }
+}
+
+/// Monotonic counters kept by a running server.
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_client_error: AtomicU64,
+    responses_server_error: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// TCP connections accepted.
+    pub connections: u64,
+    /// Requests parsed off those connections.
+    pub requests: u64,
+    /// 2xx responses written.
+    pub responses_ok: u64,
+    /// 4xx responses written.
+    pub responses_client_error: u64,
+    /// 5xx responses written.
+    pub responses_server_error: u64,
+    /// Response bytes written (headers + bodies + chunk framing).
+    pub bytes_out: u64,
+}
+
+/// The HTTP/1.1 server: binds a listener and serves a mounted site.
+pub struct HttpServer;
+
+impl HttpServer {
+    /// Bind `cfg.addr` and serve `site` until [`ServerHandle::shutdown`].
+    pub fn serve<S: SiteBehavior + 'static>(
+        cfg: ServerConfig,
+        site: Arc<S>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("hds-http-accept".into())
+                .spawn(move || {
+                    let mut pool = crate::pool::ThreadPool::new(cfg.workers, cfg.queue_depth);
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let site = Arc::clone(&site);
+                        let stats = Arc::clone(&stats);
+                        let stop = Arc::clone(&stop);
+                        let cfg = cfg.clone();
+                        if !pool.execute(move || {
+                            serve_connection(stream, &*site, &stats, &stop, &cfg);
+                        }) {
+                            break;
+                        }
+                    }
+                    // Joining here lets in-flight (and queued) connections
+                    // finish their current requests before shutdown
+                    // completes.
+                    pool.shutdown();
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            stats,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// Handle to a running server: the bound address, live stats, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            responses_ok: self.stats.responses_ok.load(Ordering::Relaxed),
+            responses_client_error: self.stats.responses_client_error.load(Ordering::Relaxed),
+            responses_server_error: self.stats.responses_server_error.load(Ordering::Relaxed),
+            bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let every worker finish its
+    /// in-flight request, close idle keep-alive connections, join all
+    /// threads. Returns the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor blocks in `accept`; a throwaway connection wakes it
+        // so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How often an idle keep-alive connection re-checks the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Serve one connection until it closes, errs, times out idle, or the
+/// server shuts down.
+fn serve_connection(
+    stream: TcpStream,
+    site: &dyn SiteBehavior,
+    stats: &StatsInner,
+    stop: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    stats.connections.fetch_add(1, Ordering::Relaxed);
+    let mut stream = stream;
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    'conn: loop {
+        // Phase 1: wait for one complete request.
+        let deadline = Instant::now() + cfg.keep_alive_timeout;
+        let (req, consumed) = loop {
+            match parse_request(&buf) {
+                Ok(Some(rc)) => break rc,
+                Ok(None) => {}
+                Err(e) => {
+                    let (status, reason) = e.status();
+                    let resp = Response::text(status, reason, format!("{status} {e}"));
+                    write_and_count(&mut stream, &resp, false, false, cfg, stats);
+                    break 'conn;
+                }
+            }
+            // A quiet shutdown point: nothing (or only a partial request)
+            // buffered and the server is stopping.
+            if stop.load(Ordering::SeqCst) && buf.is_empty() {
+                break 'conn;
+            }
+            if Instant::now() >= deadline {
+                if !buf.is_empty() {
+                    let resp = Response::text(408, "Request Timeout", "408 request timeout".into());
+                    write_and_count(&mut stream, &resp, false, false, cfg, stats);
+                }
+                break 'conn;
+            }
+            match stream.read(&mut tmp) {
+                Ok(0) => break 'conn,
+                Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break 'conn,
+            }
+        };
+        buf.drain(..consumed);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        // A body-bearing request would desynchronize the framing: this
+        // server never reads bodies, so the unread bytes would be parsed
+        // as the next request (request smuggling). Refuse AND close — a
+        // keep-alive 400 here would serve the body as a request.
+        let has_body = req
+            .header("content-length")
+            .is_some_and(|v| v.trim() != "0")
+            || req.header("transfer-encoding").is_some();
+        if has_body {
+            let resp = Response::text(
+                400,
+                "Bad Request",
+                "400 request bodies are not accepted".into(),
+            );
+            write_and_count(&mut stream, &resp, false, false, cfg, stats);
+            break;
+        }
+
+        // Phase 2: answer it. Chunked framing is HTTP/1.1-only; a 1.0
+        // client gets Content-Length regardless of body size.
+        let keep_alive = req.wants_keep_alive() && !stop.load(Ordering::SeqCst);
+        let allow_chunked = req.version == crate::http::HttpVersion::H11;
+        let resp = route(site, &req);
+        if !write_and_count(&mut stream, &resp, keep_alive, allow_chunked, cfg, stats)
+            || !keep_alive
+        {
+            break;
+        }
+    }
+}
+
+/// Method gate in front of the site.
+fn route(site: &dyn SiteBehavior, req: &Request) -> Response {
+    if req.method != "GET" {
+        let mut resp = Response::text(
+            405,
+            "Method Not Allowed",
+            format!("405 method `{}` not allowed (GET only)", req.method),
+        );
+        resp.extra_headers.push(("Allow".into(), "GET".into()));
+        return resp;
+    }
+    site.get(&req.target)
+}
+
+/// Write a response, bump the status-class and byte counters; `false` when
+/// the connection is no longer writable.
+fn write_and_count(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+    allow_chunked: bool,
+    cfg: &ServerConfig,
+    stats: &StatsInner,
+) -> bool {
+    let counter = match resp.status {
+        200..=299 => &stats.responses_ok,
+        400..=499 => &stats.responses_client_error,
+        _ => &stats.responses_server_error,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    let chunk_threshold = if allow_chunked {
+        cfg.chunk_threshold
+    } else {
+        usize::MAX
+    };
+    match write_response(stream, resp, keep_alive, chunk_threshold) {
+        Ok(n) => {
+            stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+            true
+        }
+        Err(_) => false,
+    }
+}

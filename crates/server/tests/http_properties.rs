@@ -1,0 +1,182 @@
+//! Property tests for the HTTP layer: the server's request handling is
+//! observably identical to `WebForm::parse_request_path` (the same
+//! 200/400/404 outcomes on the same targets), the parser survives
+//! arbitrary split points and garbage bytes, and every size limit holds.
+
+use std::sync::Arc;
+
+use hdsampler_hidden_db::HiddenDb;
+use hdsampler_model::{Attribute, SchemaBuilder, Tuple};
+use hdsampler_server::http::{parse_request, RequestError, MAX_HEADER_SECTION_BYTES};
+use hdsampler_server::SiteBehavior;
+use hdsampler_webform::{urlenc, LocalSite, WebForm};
+use proptest::prelude::*;
+
+/// A site whose labels exercise percent-encoding: separators, spaces,
+/// multi-byte UTF-8, HTML-significant characters.
+fn tricky_site() -> LocalSite<HiddenDb> {
+    let schema = SchemaBuilder::new()
+        .attribute(
+            Attribute::categorical("make", ["Toyota", "Town & Country", "A=B?C", "100%"]).unwrap(),
+        )
+        .attribute(Attribute::categorical("price", ["under $5k", "$5k–$10k"]).unwrap())
+        .finish()
+        .unwrap()
+        .into_shared();
+    let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(2);
+    for (m, p) in [(0u16, 0u16), (1, 0), (2, 1), (3, 1), (0, 1)] {
+        b.push(&Tuple::new(&schema, vec![m, p], vec![]).unwrap())
+            .unwrap();
+    }
+    LocalSite::new(b.finish(), schema)
+}
+
+/// The status `WebForm::parse_request_path` semantics prescribe for a
+/// target on this site (no budget, so execute never fails).
+fn expected_status(form: &WebForm, target: &str) -> u16 {
+    let route = target.split_once('?').map_or(target, |(p, _)| p);
+    if route == "/" {
+        return 200; // landing page
+    }
+    if route != form.action() {
+        return 404;
+    }
+    match form.parse_request_path(target) {
+        Ok(_) => 200,
+        Err(_) => 400,
+    }
+}
+
+/// Drive a target through the real request parser + site mounting and
+/// return the response status — the full server-side path minus the
+/// socket.
+fn served_status(site: &LocalSite<HiddenDb>, target: &str) -> u16 {
+    let raw = format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n");
+    let (req, consumed) = parse_request(raw.as_bytes())
+        .expect("well-formed request")
+        .expect("complete request");
+    assert_eq!(consumed, raw.len());
+    assert_eq!(req.target, target, "target must survive the request line");
+    site.get(&req.target).status
+}
+
+proptest! {
+    /// Any query string built from schema labels (valid or not, empty or
+    /// not) gets the same 200/400 outcome over HTTP as from
+    /// `parse_request_path` directly — and any off-action route 404s.
+    #[test]
+    fn server_statuses_match_form_parsing(
+        pairs in prop::collection::vec((0usize..4, 0usize..8), 0..5),
+        route_ix in 0usize..4,
+    ) {
+        let site = tricky_site();
+        let form = site.form();
+        // Keys/values drawn from real labels, wrong-attribute labels, and
+        // garbage — percent-encoded exactly as a browser would.
+        let keys = ["make", "price", "colour", "make"];
+        let values = [
+            "Toyota", "Town & Country", "A=B?C", "100%", "under $5k", "$5k–$10k", "", "bogus",
+        ];
+        let routes = ["/search", "/", "/nosuchpage", "/search/extra"];
+        let qs = urlenc::build_query(
+            &pairs
+                .iter()
+                .map(|&(k, v)| (keys[k].to_string(), values[v].to_string()))
+                .collect::<Vec<_>>(),
+        );
+        let target = if qs.is_empty() {
+            routes[route_ix].to_string()
+        } else {
+            format!("{}?{qs}", routes[route_ix])
+        };
+        prop_assert_eq!(
+            served_status(&site, &target),
+            expected_status(form, &target),
+            "target {:?}",
+            target
+        );
+    }
+
+    /// Feeding a valid request to the parser in arbitrary splits yields
+    /// `Incomplete` until the last byte, then exactly the one-shot result.
+    #[test]
+    fn split_reads_reassemble(
+        cut_points in prop::collection::vec(0usize..1000, 1..6),
+        target_ix in 0usize..3,
+    ) {
+        let targets = ["/search?make=Toyota", "/", "/search?price=under%20%245k"];
+        let raw = format!(
+            "GET {} HTTP/1.1\r\nHost: split\r\nUser-Agent: prop\r\n\r\n",
+            targets[target_ix]
+        );
+        let bytes = raw.as_bytes();
+        let mut cuts: Vec<usize> = cut_points.iter().map(|&c| c % bytes.len()).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut fed: Vec<u8> = Vec::new();
+        let mut prev = 0;
+        for &cut in &cuts {
+            if cut == 0 { continue; }
+            fed.extend_from_slice(&bytes[prev..cut]);
+            prev = cut;
+            prop_assert!(
+                parse_request(&fed).unwrap().is_none(),
+                "prefix of {} bytes must be incomplete",
+                fed.len()
+            );
+        }
+        fed.extend_from_slice(&bytes[prev..]);
+        let (req, consumed) = parse_request(&fed).unwrap().expect("complete");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(req.target.as_str(), targets[target_ix]);
+    }
+
+    /// The parser never panics on arbitrary printable garbage, and never
+    /// claims to have consumed more bytes than it was given.
+    #[test]
+    fn garbage_never_panics(line in "\\PC*") {
+        let raw = format!("{line}\r\n\r\n");
+        if let Ok(Some((_, consumed))) = parse_request(raw.as_bytes()) {
+            prop_assert!(consumed <= raw.len());
+        }
+    }
+
+    /// Oversized header sections are rejected with the limit error, never
+    /// accepted and never treated as merely incomplete once over budget.
+    #[test]
+    fn oversized_headers_rejected(extra in 1usize..2000, with_terminator in any::<bool>()) {
+        let mut raw = format!(
+            "GET / HTTP/1.1\r\nbig: {}\r\n",
+            "x".repeat(MAX_HEADER_SECTION_BYTES + extra)
+        );
+        if with_terminator {
+            raw.push_str("\r\n");
+        }
+        prop_assert_eq!(
+            parse_request(raw.as_bytes()).unwrap_err(),
+            RequestError::TooLarge
+        );
+    }
+}
+
+/// Not a property but the matching exhaustive check: every documented
+/// malformation class maps to the right status code.
+#[test]
+fn malformation_statuses() {
+    let cases: &[(&[u8], u16)] = &[
+        (b"GET /a /b HTTP/1.1\r\n\r\n", 400),
+        (b"FR@B / HTTP/1.1\r\n\r\n", 400),
+        (b"GET relative HTTP/1.1\r\n\r\n", 400),
+        (b"GET / HTTP/9.9\r\n\r\n", 505),
+        (b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+    ];
+    for (raw, status) in cases {
+        let err = parse_request(raw).unwrap_err();
+        assert_eq!(
+            err.status().0,
+            *status,
+            "{:?}",
+            String::from_utf8_lossy(raw)
+        );
+    }
+}

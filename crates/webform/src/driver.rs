@@ -25,20 +25,26 @@ use hdsampler_core::{
 };
 
 use crate::adapter::WebFormInterface;
-use crate::transport::{LatencyTransport, Transport};
+use crate::transport::{Clocked, Transport};
 
 /// One site to drive: a name plus the scraper stack pointed at it.
+///
+/// The wire is any [`Transport`] that reports elapsed time ([`Clocked`]):
+/// a [`LatencyTransport`](crate::transport::LatencyTransport) bills a
+/// virtual clock, an [`HttpTransport`](crate::httpc::HttpTransport) spends
+/// real wall-clock time against a live server — the driver code is
+/// identical.
 #[derive(Debug)]
 pub struct SiteTask<T> {
     /// Display name (reports and tables).
     pub name: String,
-    /// The scraper-side interface over the site's latency-decorated wire.
-    pub iface: WebFormInterface<LatencyTransport<T>>,
+    /// The scraper-side interface over the site's wire.
+    pub iface: WebFormInterface<T>,
 }
 
-impl<T: Transport> SiteTask<T> {
+impl<T: Transport + Clocked> SiteTask<T> {
     /// Name a site task.
-    pub fn new(name: impl Into<String>, iface: WebFormInterface<LatencyTransport<T>>) -> Self {
+    pub fn new(name: impl Into<String>, iface: WebFormInterface<T>) -> Self {
         SiteTask {
             name: name.into(),
             iface,
@@ -87,8 +93,9 @@ pub struct SiteReport {
     pub queries_issued: u64,
     /// Requests the site's shared history cache absorbed.
     pub history_hits: u64,
-    /// The site's virtual wall clock: max over its connections.
-    pub virtual_elapsed_ms: u64,
+    /// The site's wall clock (virtual for simulated wires — max over its
+    /// connections — real for TCP ones).
+    pub elapsed_ms: u64,
     /// Why the site's session ended.
     pub stopped: StopReason,
 }
@@ -159,7 +166,7 @@ impl MultiSiteDriver {
 
     /// Drive one site to the target with `walkers` threads sharing the
     /// site's history cache.
-    fn drive_site<T: Transport>(
+    fn drive_site<T: Transport + Clocked>(
         &self,
         task: &SiteTask<T>,
         site_ix: usize,
@@ -183,14 +190,14 @@ impl MultiSiteDriver {
             requests: exec.requests(),
             queries_issued: exec.queries_issued(),
             history_hits: exec.history_stats().total_hits(),
-            virtual_elapsed_ms: task.iface.transport().virtual_elapsed_ms(),
+            elapsed_ms: task.iface.transport().elapsed_ms(),
             stopped: outcome.reason,
         }
     }
 
     /// Drive every site concurrently: one runner thread per site, W walker
     /// threads per runner, fleet elapsed = max over sites.
-    pub fn run_concurrent<T: Transport>(&self, sites: &[SiteTask<T>]) -> FleetReport {
+    pub fn run_concurrent<T: Transport + Clocked>(&self, sites: &[SiteTask<T>]) -> FleetReport {
         let walkers = self.cfg.walkers_per_site.max(1);
         let reports: Vec<SiteReport> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = sites
@@ -204,11 +211,7 @@ impl MultiSiteDriver {
                 .collect()
         })
         .expect("fleet scope");
-        let fleet_elapsed_ms = reports
-            .iter()
-            .map(|r| r.virtual_elapsed_ms)
-            .max()
-            .unwrap_or(0);
+        let fleet_elapsed_ms = reports.iter().map(|r| r.elapsed_ms).max().unwrap_or(0);
         FleetReport {
             sites: reports,
             fleet_elapsed_ms,
@@ -218,13 +221,13 @@ impl MultiSiteDriver {
 
     /// The serial baseline: sites driven one after another, one walker and
     /// one connection each, fleet elapsed = sum over sites.
-    pub fn run_serial<T: Transport>(&self, sites: &[SiteTask<T>]) -> FleetReport {
+    pub fn run_serial<T: Transport + Clocked>(&self, sites: &[SiteTask<T>]) -> FleetReport {
         let reports: Vec<SiteReport> = sites
             .iter()
             .enumerate()
             .map(|(i, task)| self.drive_site(task, i, 1))
             .collect();
-        let fleet_elapsed_ms = reports.iter().map(|r| r.virtual_elapsed_ms).sum();
+        let fleet_elapsed_ms = reports.iter().map(|r| r.elapsed_ms).sum();
         FleetReport {
             sites: reports,
             fleet_elapsed_ms,
@@ -236,13 +239,16 @@ impl MultiSiteDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::LocalSite;
+    use crate::transport::{LatencyTransport, LocalSite};
     use hdsampler_hidden_db::HiddenDb;
     use hdsampler_model::{Attribute, FormInterface, SchemaBuilder, Tuple};
     use hdsampler_workload::figure1_db;
     use std::sync::Arc;
 
-    fn figure1_task(name: &str, latency_ms: u64) -> SiteTask<LocalSite<HiddenDb>> {
+    fn figure1_task(
+        name: &str,
+        latency_ms: u64,
+    ) -> SiteTask<LatencyTransport<LocalSite<HiddenDb>>> {
         let db = figure1_db(1);
         let schema = Arc::new(db.schema().clone());
         let site = LocalSite::new(db, Arc::clone(&schema));
@@ -250,7 +256,11 @@ mod tests {
         SiteTask::new(name, WebFormInterface::new(wire, schema, 1, false))
     }
 
-    fn budgeted_task(name: &str, latency_ms: u64, budget: u64) -> SiteTask<LocalSite<HiddenDb>> {
+    fn budgeted_task(
+        name: &str,
+        latency_ms: u64,
+        budget: u64,
+    ) -> SiteTask<LatencyTransport<LocalSite<HiddenDb>>> {
         // Four Boolean attributes with every combination present: the
         // query tree is far too large to cache within a small budget, so
         // exhaustion is guaranteed (a tiny database would be fully learned
@@ -293,11 +303,7 @@ mod tests {
         assert_eq!(serial.total_samples(), 75);
         assert_eq!(
             serial.fleet_elapsed_ms,
-            serial
-                .sites
-                .iter()
-                .map(|s| s.virtual_elapsed_ms)
-                .sum::<u64>(),
+            serial.sites.iter().map(|s| s.elapsed_ms).sum::<u64>(),
             "serial fleet time sums over sites"
         );
 
@@ -309,12 +315,7 @@ mod tests {
         assert_eq!(concurrent.total_samples(), 75);
         assert_eq!(
             concurrent.fleet_elapsed_ms,
-            concurrent
-                .sites
-                .iter()
-                .map(|s| s.virtual_elapsed_ms)
-                .max()
-                .unwrap(),
+            concurrent.sites.iter().map(|s| s.elapsed_ms).max().unwrap(),
             "concurrent fleet time is the max over sites"
         );
         assert!(

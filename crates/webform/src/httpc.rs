@@ -1,0 +1,690 @@
+//! A real-TCP HTTP/1.1 client transport.
+//!
+//! [`HttpTransport`] is the live-wire counterpart of
+//! [`LatencyTransport`](crate::transport::LatencyTransport): it implements
+//! the blocking [`Transport`] face (one keep-alive TCP connection per
+//! calling OS thread) *and* the explicit-connection [`AsyncTransport`]
+//! face (one TCP connection per [`ConnId`], requests pipelined in FIFO
+//! order, completions harvested by non-blocking polls) — so the unmodified
+//! walker/driver/session stack samples a live
+//! [`hdsampler-server`](https://docs.rs/hdsampler-server) end-to-end over
+//! loopback or a real network.
+//!
+//! The client is dependency-free: request writing, response parsing
+//! (`Content-Length` and `chunked` bodies), keep-alive reuse and
+//! reconnect-on-stale-connection are hand-rolled on `std::net::TcpStream`.
+//!
+//! ## Error fidelity
+//!
+//! The server encodes site-side failures so this client can reconstruct
+//! the *same* [`InterfaceError`] values the in-process
+//! [`LocalSite`](crate::transport::LocalSite) produces: `404`/`400` bodies
+//! carry the exact in-process message text (returned as
+//! [`InterfaceError::Transport`]), and `429` responses carry an
+//! `x-hds-issued` header from which [`InterfaceError::BudgetExhausted`] is
+//! rebuilt — so a remote sampling session stops with the same
+//! `StopReason::BudgetExhausted` a local one would.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use hdsampler_model::InterfaceError;
+use parking_lot::Mutex;
+
+use crate::aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
+use crate::transport::{Clocked, Transport};
+
+/// Hard ceiling on a single response's size (64 MiB): a runaway or
+/// malicious server must not balloon the scraper's memory.
+const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+/// How long [`AsyncTransport::complete`] (and therefore a blocking fetch)
+/// waits for a response before giving up.
+const COMPLETE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One TCP connection's client-side state.
+struct HttpConn {
+    stream: Option<TcpStream>,
+    /// Unparsed response bytes read so far.
+    rx: Vec<u8>,
+    /// Fetch ids awaiting responses on this connection, in request order —
+    /// HTTP/1.1 answers pipelined requests strictly FIFO.
+    outstanding: VecDeque<u64>,
+    /// Resolved fetches not yet taken by poll/complete.
+    done: HashMap<u64, Result<String, InterfaceError>>,
+    /// Fetches abandoned via `cancel`; their responses are drained off the
+    /// wire (FIFO alignment) and dropped.
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl HttpConn {
+    fn new() -> Self {
+        HttpConn {
+            stream: None,
+            rx: Vec::new(),
+            outstanding: VecDeque::new(),
+            done: HashMap::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+}
+
+/// A page fetcher over real TCP to an `hdsampler serve` front door.
+pub struct HttpTransport {
+    /// `host:port` of the server.
+    addr: String,
+    conns: Mutex<Vec<Arc<Mutex<HttpConn>>>>,
+    /// Blocking-face binding: one connection per calling thread.
+    by_thread: Mutex<HashMap<ThreadId, ConnId>>,
+    next_fetch: AtomicU64,
+    requests: AtomicU64,
+    bytes_received: AtomicU64,
+    /// Wall clock of the first submitted request, set once.
+    start: Mutex<Option<Instant>>,
+    /// Milliseconds from `start` to the most recent completion.
+    last_done_ms: AtomicU64,
+}
+
+impl std::fmt::Debug for HttpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpTransport")
+            .field("addr", &self.addr)
+            .field("requests", &self.requests.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl HttpTransport {
+    /// A transport that will fetch pages from `addr` (`host:port`).
+    /// Connections are opened lazily, one per thread (blocking face) or
+    /// per [`AsyncTransport::connect`] call.
+    pub fn new(addr: impl Into<String>) -> Self {
+        HttpTransport {
+            addr: addr.into(),
+            conns: Mutex::new(Vec::new()),
+            by_thread: Mutex::new(HashMap::new()),
+            next_fetch: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            start: Mutex::new(None),
+            last_done_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// The server address this transport talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Requests written to the wire so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Response bytes received so far (headers + bodies).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// TCP connections opened so far.
+    pub fn connections(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    fn conn(&self, id: ConnId) -> Arc<Mutex<HttpConn>> {
+        Arc::clone(&self.conns.lock()[id.index()])
+    }
+
+    /// The connection bound to the calling thread (opened on first use).
+    fn thread_conn(&self) -> ConnId {
+        let tid = std::thread::current().id();
+        let mut map = self.by_thread.lock();
+        *map.entry(tid).or_insert_with(|| self.connect())
+    }
+
+    fn note_start(&self) {
+        let mut start = self.start.lock();
+        if start.is_none() {
+            *start = Some(Instant::now());
+        }
+    }
+
+    fn note_done(&self) {
+        if let Some(start) = *self.start.lock() {
+            let ms = start.elapsed().as_millis() as u64;
+            self.last_done_ms.fetch_max(ms.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Ensure `c` has a live stream, (re)connecting if needed.
+    fn ensure_stream(&self, c: &mut HttpConn) -> std::io::Result<()> {
+        if c.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(COMPLETE_TIMEOUT))?;
+            c.stream = Some(stream);
+            c.rx.clear();
+        }
+        Ok(())
+    }
+
+    /// Write one GET request for `path` on `c`'s stream.
+    fn write_request(&self, c: &mut HttpConn, path: &str) -> std::io::Result<()> {
+        self.ensure_stream(c)?;
+        let req = format!(
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nUser-Agent: hdsampler\r\nConnection: keep-alive\r\n\r\n",
+            self.addr
+        );
+        let stream = c.stream.as_mut().expect("stream ensured above");
+        stream.write_all(req.as_bytes())?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read whatever the stream will give (respecting its blocking mode)
+    /// and resolve complete responses FIFO. Returns `false` once the
+    /// connection is unusable (EOF or I/O error), after failing every
+    /// still-outstanding fetch.
+    fn pump(&self, c: &mut HttpConn) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            // Resolve as many buffered responses as possible first, so a
+            // closed connection still yields everything it delivered.
+            loop {
+                match try_parse_response(&c.rx) {
+                    Ok(None) => break,
+                    Ok(Some((resp, consumed))) => {
+                        c.rx.drain(..consumed);
+                        let keep_alive = !resp.connection_close;
+                        let result = response_to_result(resp);
+                        if let Some(id) = c.outstanding.pop_front() {
+                            if !c.cancelled.remove(&id) {
+                                c.done.insert(id, result);
+                            }
+                            self.note_done();
+                        }
+                        if !keep_alive {
+                            c.stream = None;
+                        }
+                        if c.stream.is_none() {
+                            return self.fail_outstanding(c, "server closed the connection");
+                        }
+                    }
+                    Err(msg) => {
+                        return self.fail_outstanding(c, &format!("malformed response: {msg}"));
+                    }
+                }
+            }
+            if c.outstanding.is_empty() {
+                return true;
+            }
+            let Some(stream) = c.stream.as_mut() else {
+                return self.fail_outstanding(c, "connection lost");
+            };
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    return self.fail_outstanding(c, "server closed the connection");
+                }
+                Ok(n) => {
+                    if c.rx.len() + n > MAX_RESPONSE_BYTES {
+                        c.stream = None;
+                        return self.fail_outstanding(c, "response exceeds size limit");
+                    }
+                    c.rx.extend_from_slice(&buf[..n]);
+                    self.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    c.stream = None;
+                    return self.fail_outstanding(c, &format!("read failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Fail every outstanding fetch on `c` with a transport error. Always
+    /// returns `false` (the connection is gone).
+    fn fail_outstanding(&self, c: &mut HttpConn, why: &str) -> bool {
+        c.stream = None;
+        while let Some(id) = c.outstanding.pop_front() {
+            if !c.cancelled.remove(&id) {
+                c.done.insert(
+                    id,
+                    Err(InterfaceError::Transport(format!(
+                        "connection to {}: {why}",
+                        self.addr
+                    ))),
+                );
+            }
+        }
+        false
+    }
+
+    /// Switch `c`'s stream between blocking and non-blocking mode.
+    fn set_blocking(c: &mut HttpConn, blocking: bool) {
+        if let Some(stream) = c.stream.as_ref() {
+            let _ = stream.set_nonblocking(!blocking);
+        }
+    }
+
+    /// Submit on an explicit connection, recording failures as the fetch's
+    /// result (submit itself never errors, matching the trait contract).
+    fn submit_on(&self, conn: ConnId, path: &str) -> FetchHandle {
+        self.note_start();
+        let id = self.next_fetch.fetch_add(1, Ordering::Relaxed);
+        let cell = self.conn(conn);
+        let mut c = cell.lock();
+        Self::set_blocking(&mut c, true);
+        match self.write_request(&mut c, path) {
+            Ok(()) => {
+                c.outstanding.push_back(id);
+            }
+            Err(e) => {
+                c.stream = None;
+                c.done.insert(
+                    id,
+                    Err(InterfaceError::Transport(format!(
+                        "connection to {}: write failed: {e}",
+                        self.addr
+                    ))),
+                );
+            }
+        }
+        FetchHandle {
+            conn,
+            id,
+            ready_at: 0,
+        }
+    }
+}
+
+impl AsyncTransport for HttpTransport {
+    fn connect(&self) -> ConnId {
+        let mut conns = self.conns.lock();
+        let id = u32::try_from(conns.len()).expect("connection count fits u32");
+        conns.push(Arc::new(Mutex::new(HttpConn::new())));
+        ConnId(id)
+    }
+
+    fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
+        self.submit_on(conn, path)
+    }
+
+    fn poll(&self, handle: FetchHandle) -> FetchPoll {
+        let cell = self.conn(handle.conn);
+        let mut c = cell.lock();
+        if let Some(result) = c.done.remove(&handle.id) {
+            return FetchPoll::Ready(result);
+        }
+        // Non-blocking progress: drain what the socket has, no more.
+        Self::set_blocking(&mut c, false);
+        self.pump(&mut c);
+        Self::set_blocking(&mut c, true);
+        match c.done.remove(&handle.id) {
+            Some(result) => FetchPoll::Ready(result),
+            None => FetchPoll::Pending(handle),
+        }
+    }
+
+    fn complete(&self, handle: FetchHandle) -> Result<String, InterfaceError> {
+        let cell = self.conn(handle.conn);
+        let deadline = Instant::now() + COMPLETE_TIMEOUT;
+        loop {
+            let mut c = cell.lock();
+            if let Some(result) = c.done.remove(&handle.id) {
+                return result;
+            }
+            // Blocking progress: the stream's read timeout bounds each
+            // wait, the deadline bounds the whole completion.
+            Self::set_blocking(&mut c, true);
+            self.pump(&mut c);
+            if let Some(result) = c.done.remove(&handle.id) {
+                return result;
+            }
+            if !c.outstanding.contains(&handle.id) {
+                // Failed and consumed by an earlier error path.
+                return Err(InterfaceError::Transport(format!(
+                    "connection to {}: fetch was dropped",
+                    self.addr
+                )));
+            }
+            if Instant::now() >= deadline {
+                return Err(InterfaceError::Transport(format!(
+                    "connection to {}: response timed out",
+                    self.addr
+                )));
+            }
+        }
+    }
+
+    fn cancel(&self, handle: FetchHandle) {
+        let cell = self.conn(handle.conn);
+        let mut c = cell.lock();
+        if c.done.remove(&handle.id).is_none() && c.outstanding.contains(&handle.id) {
+            c.cancelled.insert(handle.id);
+        }
+    }
+
+    fn virtual_elapsed_ms(&self) -> u64 {
+        self.last_done_ms.load(Ordering::Relaxed)
+    }
+}
+
+impl Transport for HttpTransport {
+    fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
+        let conn = self.thread_conn();
+        let handle = self.submit_on(conn, path);
+        let result = self.complete(handle);
+        match result {
+            // A stale keep-alive connection (server idled us out between
+            // fetches) surfaces as a closed-connection error on an
+            // otherwise quiet connection; GET is idempotent, so retry once
+            // on a fresh connection.
+            Err(InterfaceError::Transport(ref msg)) if msg.contains("closed the connection") => {
+                let handle = self.submit_on(conn, path);
+                self.complete(handle)
+            }
+            other => other,
+        }
+    }
+}
+
+impl Clocked for HttpTransport {
+    fn elapsed_ms(&self) -> u64 {
+        self.last_done_ms.load(Ordering::Relaxed)
+    }
+}
+
+/// One parsed HTTP response.
+struct ParsedResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    connection_close: bool,
+}
+
+impl ParsedResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Map a parsed response onto the `Transport::fetch` result space,
+/// reconstructing the in-process error values (see module docs).
+fn response_to_result(resp: ParsedResponse) -> Result<String, InterfaceError> {
+    let body = String::from_utf8_lossy(&resp.body).into_owned();
+    match resp.status {
+        200 => Ok(body),
+        429 => {
+            let issued = resp
+                .header("x-hds-issued")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            Err(InterfaceError::BudgetExhausted { issued })
+        }
+        status => Err(InterfaceError::Transport(if body.is_empty() {
+            format!("HTTP {status}")
+        } else {
+            body
+        })),
+    }
+}
+
+/// Find the end of an HTTP header section; returns the offset *past* the
+/// blank line. Accepts both CRLF and bare-LF line endings. Shared with the
+/// server crate (`hdsampler-server`), whose request parser must agree with
+/// this client byte for byte on where headers stop.
+pub fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Try to parse one complete response from the front of `buf`.
+///
+/// Returns `Ok(Some((response, bytes_consumed)))` when complete,
+/// `Ok(None)` when more bytes are needed, `Err` on malformed data.
+fn try_parse_response(buf: &[u8]) -> Result<Option<(ParsedResponse, usize)>, String> {
+    let Some(header_end) = find_header_end(buf) else {
+        if buf.len() > 64 * 1024 {
+            return Err("header section exceeds 64 KiB".into());
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-UTF-8 header bytes")?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let status_line = lines.next().ok_or("missing status line")?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("bad version `{version}`"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or("missing status code")?
+        .parse()
+        .map_err(|_| "non-numeric status code")?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or("header line without colon")?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    };
+    let connection_close = header("connection")
+        .map(|v| v.eq_ignore_ascii_case("close"))
+        .unwrap_or(false);
+
+    let chunked = header("transfer-encoding")
+        .map(|v| v.eq_ignore_ascii_case("chunked"))
+        .unwrap_or(false);
+    if chunked {
+        let Some((body, consumed_body)) = parse_chunked_body(&buf[header_end..])? else {
+            return Ok(None);
+        };
+        return Ok(Some((
+            ParsedResponse {
+                status,
+                headers,
+                body,
+                connection_close,
+            },
+            header_end + consumed_body,
+        )));
+    }
+
+    let len: usize = match header("content-length") {
+        Some(v) => v.parse().map_err(|_| "bad content-length")?,
+        None => 0,
+    };
+    if len > MAX_RESPONSE_BYTES {
+        return Err("content-length exceeds size limit".into());
+    }
+    if buf.len() < header_end + len {
+        return Ok(None);
+    }
+    Ok(Some((
+        ParsedResponse {
+            status,
+            headers,
+            body: buf[header_end..header_end + len].to_vec(),
+            connection_close,
+        },
+        header_end + len,
+    )))
+}
+
+/// Parse a chunked body from `buf`; `Ok(Some((body, consumed)))` when the
+/// terminating 0-chunk (and trailing blank line) is present.
+fn parse_chunked_body(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>, String> {
+    let mut body = Vec::new();
+    let mut i = 0;
+    loop {
+        // Chunk-size line.
+        let Some(nl) = buf[i..].iter().position(|&b| b == b'\n') else {
+            return Ok(None);
+        };
+        let line = std::str::from_utf8(&buf[i..i + nl])
+            .map_err(|_| "non-UTF-8 chunk size")?
+            .trim_end_matches('\r');
+        // Chunk extensions (";ext=...") are allowed by the grammar; strip.
+        let size_str = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| "bad chunk size")?;
+        if body.len() + size > MAX_RESPONSE_BYTES {
+            return Err("chunked body exceeds size limit".into());
+        }
+        i += nl + 1;
+        if size == 0 {
+            // Optional trailers, then a blank line.
+            loop {
+                let Some(nl) = buf[i..].iter().position(|&b| b == b'\n') else {
+                    return Ok(None);
+                };
+                let line = &buf[i..i + nl];
+                i += nl + 1;
+                if line.is_empty() || line == b"\r" {
+                    return Ok(Some((body, i)));
+                }
+            }
+        }
+        // Chunk data + CRLF.
+        if buf.len() < i + size + 1 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[i..i + size]);
+        i += size;
+        // Consume the chunk's trailing CRLF (or LF).
+        if buf.get(i) == Some(&b'\r') {
+            i += 1;
+        }
+        match buf.get(i) {
+            Some(&b'\n') => i += 1,
+            Some(_) => return Err("chunk data not followed by CRLF".into()),
+            None => return Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> (ParsedResponse, usize) {
+        try_parse_response(bytes)
+            .expect("well-formed")
+            .expect("complete")
+    }
+
+    #[test]
+    fn content_length_response_parses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 5\r\n\r\nhello";
+        let (resp, used) = parse_all(raw);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello");
+        assert_eq!(used, raw.len());
+        assert!(!resp.connection_close);
+    }
+
+    #[test]
+    fn chunked_response_parses() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let (resp, used) = parse_all(raw);
+        assert_eq!(resp.body, b"hello world");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn partial_responses_ask_for_more() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhell";
+        assert!(try_parse_response(raw).unwrap().is_none());
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Len";
+        assert!(try_parse_response(raw).unwrap().is_none());
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel";
+        assert!(try_parse_response(raw).unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_responses_split_correctly() {
+        let one = b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nA".to_vec();
+        let two = b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nBB".to_vec();
+        let mut both = one.clone();
+        both.extend_from_slice(&two);
+        let (first, used) = parse_all(&both);
+        assert_eq!(first.body, b"A");
+        let (second, used2) = parse_all(&both[used..]);
+        assert_eq!(second.status, 404);
+        assert_eq!(second.body, b"BB");
+        assert_eq!(used + used2, both.len());
+    }
+
+    #[test]
+    fn malformed_responses_are_errors() {
+        assert!(try_parse_response(b"NOPE 200\r\n\r\n").is_err());
+        assert!(try_parse_response(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(try_parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n").is_err());
+        assert!(
+            try_parse_response(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn status_mapping_reconstructs_interface_errors() {
+        let ok = ParsedResponse {
+            status: 200,
+            headers: vec![],
+            body: b"page".to_vec(),
+            connection_close: false,
+        };
+        assert_eq!(response_to_result(ok).unwrap(), "page");
+
+        let budget = ParsedResponse {
+            status: 429,
+            headers: vec![("x-hds-issued".into(), "42".into())],
+            body: b"query budget exhausted after 42 queries".to_vec(),
+            connection_close: false,
+        };
+        assert_eq!(
+            response_to_result(budget).unwrap_err(),
+            InterfaceError::BudgetExhausted { issued: 42 }
+        );
+
+        let not_found = ParsedResponse {
+            status: 404,
+            headers: vec![],
+            body: b"404 not found: `/x` (this site serves `/search`)".to_vec(),
+            connection_close: false,
+        };
+        match response_to_result(not_found).unwrap_err() {
+            InterfaceError::Transport(msg) => assert!(msg.starts_with("404 not found")),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+}

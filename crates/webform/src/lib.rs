@@ -25,14 +25,19 @@
 //! * [`adapter`] — [`WebFormInterface`], a full
 //!   [`FormInterface`](hdsampler_model::FormInterface) over HTML, with a
 //!   non-blocking execute path over any [`AsyncTransport`];
-//! * [`driver`] — [`MultiSiteDriver`], one process driving S simulated
-//!   sites × W walkers concurrently with per-site history caches, budgets
-//!   and throughput accounting.
+//! * [`httpc`] — [`HttpTransport`], the *real* wire: a dependency-free
+//!   HTTP/1.1 client on `std::net::TcpStream` implementing both transport
+//!   faces, so the same sampler stack walks a live `hdsampler serve`
+//!   front door over loopback or a network;
+//! * [`driver`] — [`MultiSiteDriver`], one process driving S sites
+//!   (simulated or live) × W walkers concurrently with per-site history
+//!   caches, budgets and throughput accounting.
 
 pub mod adapter;
 pub mod aio;
 pub mod driver;
 pub mod form;
+pub mod httpc;
 pub mod render;
 pub mod scrape;
 pub mod transport;
@@ -42,4 +47,5 @@ pub use adapter::{QueryHandle, QueryPoll, WebFormInterface};
 pub use aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
 pub use driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
 pub use form::WebForm;
-pub use transport::{LatencyTransport, LocalSite, Transport};
+pub use httpc::HttpTransport;
+pub use transport::{Clocked, LatencyTransport, LocalSite, Transport};

@@ -30,6 +30,28 @@ pub trait Transport: Send + Sync {
     fn fetch(&self, path: &str) -> Result<String, InterfaceError>;
 }
 
+/// A transport that can report the wall-clock time its traffic consumed —
+/// *virtual* for simulated wires ([`LatencyTransport`]), *real* for TCP
+/// ones ([`HttpTransport`](crate::httpc::HttpTransport)). The fleet driver
+/// ([`crate::driver`]) only needs this figure, so it drives simulated and
+/// live sites through one code path.
+pub trait Clocked {
+    /// Elapsed milliseconds attributable to this transport's traffic.
+    fn elapsed_ms(&self) -> u64;
+}
+
+impl<T: Clocked + ?Sized> Clocked for &T {
+    fn elapsed_ms(&self) -> u64 {
+        (**self).elapsed_ms()
+    }
+}
+
+impl<T: Clocked + ?Sized> Clocked for Arc<T> {
+    fn elapsed_ms(&self) -> u64 {
+        (**self).elapsed_ms()
+    }
+}
+
 /// The in-process web site serving a hidden database as HTML.
 #[derive(Debug)]
 pub struct LocalSite<F> {
@@ -104,6 +126,10 @@ impl<F: FormInterface> Transport for LocalSite<F> {
 pub struct LatencyTransport<T> {
     inner: T,
     latency_ms: u64,
+    /// Half-width of the per-request jitter band around `latency_ms`.
+    jitter_ms: u64,
+    /// State of the jitter RNG (a splitmix64 stream keyed off the seed).
+    jitter_state: AtomicU64,
     clocks: ConnClocks,
     /// Blocking-face binding: one connection per calling thread.
     by_thread: Mutex<HashMap<ThreadId, ConnId>>,
@@ -114,17 +140,47 @@ pub struct LatencyTransport<T> {
 }
 
 impl<T: Transport> LatencyTransport<T> {
-    /// Wrap `inner` with `latency_ms` per request.
+    /// Wrap `inner` with a fixed `latency_ms` per request.
     pub fn new(inner: T, latency_ms: u64) -> Self {
+        Self::with_jitter(inner, latency_ms, 0, 0)
+    }
+
+    /// Wrap `inner` with per-request latency drawn uniformly from
+    /// `latency_ms ± jitter_ms` (clamped to ≥ 1 ms), deterministically from
+    /// `seed`. Heterogeneous fleets give every site its own base latency
+    /// and jitter, so the concurrent driver's win is measured against
+    /// realistic straggler sites rather than a lock-step wire.
+    pub fn with_jitter(inner: T, latency_ms: u64, jitter_ms: u64, seed: u64) -> Self {
         LatencyTransport {
             inner,
             latency_ms,
+            jitter_ms,
+            jitter_state: AtomicU64::new(seed),
             clocks: ConnClocks::default(),
             by_thread: Mutex::new(HashMap::new()),
             in_flight: Mutex::new(HashMap::new()),
             next_fetch: AtomicU64::new(0),
             charged_ms: AtomicU64::new(0),
         }
+    }
+
+    /// The latency to bill for the next request: the fixed base, or a draw
+    /// from the jitter band. Atomic counter + splitmix64 keeps draws
+    /// deterministic in *aggregate* across threads (each request consumes
+    /// exactly one stream position) without a lock.
+    fn draw_latency_ms(&self) -> u64 {
+        if self.jitter_ms == 0 {
+            return self.latency_ms;
+        }
+        let n = self.jitter_state.fetch_add(1, Ordering::Relaxed);
+        let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let span = 2 * self.jitter_ms + 1;
+        (self.latency_ms + z % span)
+            .saturating_sub(self.jitter_ms)
+            .max(1)
     }
 
     /// Virtual wall-clock consumed so far: the maximum over all
@@ -174,15 +230,21 @@ impl<T: Transport> Transport for LatencyTransport<T> {
     }
 }
 
+impl<T: Transport> Clocked for LatencyTransport<T> {
+    fn elapsed_ms(&self) -> u64 {
+        self.virtual_elapsed_ms()
+    }
+}
+
 impl<T: Transport> AsyncTransport for LatencyTransport<T> {
     fn connect(&self) -> ConnId {
         self.clocks.connect()
     }
 
     fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
-        let ready_at = self.clocks.schedule(conn, self.latency_ms);
-        self.charged_ms
-            .fetch_add(self.latency_ms, Ordering::Relaxed);
+        let latency_ms = self.draw_latency_ms();
+        let ready_at = self.clocks.schedule(conn, latency_ms);
+        self.charged_ms.fetch_add(latency_ms, Ordering::Relaxed);
         // The inner fetch is CPU work; only the wire is virtual. Executing
         // it eagerly keeps submit non-blocking in virtual time while the
         // result waits for the clock to catch up.
@@ -386,6 +448,36 @@ mod tests {
         assert_eq!(t.pending_fetches(), 0);
         // Cancelling does not un-send: the connection time stays occupied.
         assert_eq!(t.total_charged_ms(), 200);
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        let run = |seed: u64| {
+            let site = site();
+            let t = LatencyTransport::with_jitter(&site, 100, 30, seed);
+            let mut charges = Vec::new();
+            let mut prev_total = 0;
+            for _ in 0..50 {
+                t.fetch("/search?make=Honda").unwrap();
+                let total = t.total_charged_ms();
+                charges.push(total - prev_total);
+                prev_total = total;
+            }
+            charges
+        };
+        let a = run(7);
+        assert!(a.iter().all(|&ms| (70..=130).contains(&ms)), "{a:?}");
+        assert!(
+            a.iter().collect::<std::collections::HashSet<_>>().len() > 5,
+            "jitter must actually vary: {a:?}"
+        );
+        assert_eq!(a, run(7), "same seed, same draws");
+        assert_ne!(a, run(8), "different seed, different draws");
+        // Zero jitter is the old fixed-latency behaviour.
+        let site = site();
+        let t = LatencyTransport::with_jitter(&site, 100, 0, 9);
+        t.fetch("/search?make=Honda").unwrap();
+        assert_eq!(t.total_charged_ms(), 100);
     }
 
     #[test]
