@@ -32,6 +32,12 @@ sample:
   --remote <addr>      sample a live `hdsampler serve` at host:port instead
                        of the in-process site (schema flags must match the
                        served dataset)
+  --coop-walkers <W>   with --remote: drive W cooperative walker machines
+                       from one thread, pipelined over the wire (optionally
+                       share connections via --coop-conns)
+  --coop-conns <C>     with --coop-walkers: TCP connections to share
+                       (default 4 — a live server serves at most
+                       `serve --workers` keep-alive connections at once)
 
 aggregate:
   --proportion attr=label   estimate a proportion (repeatable)
@@ -46,9 +52,14 @@ multi-site:
   --latency <MS[,MS,...]>  per-request latency in ms; a comma list assigns
                        site i the i-th value, cycling           (default 100)
   --jitter <MS>        ± uniform jitter around each site's latency (default 0)
-  --driver <concurrent|serial|both>  driving mode               (default concurrent)
+  --driver <concurrent|serial|both|coop>  driving mode          (default concurrent)
+                       coop: one thread multiplexes all sites' walkers over
+                       pipelined connections instead of W threads per site
   --remote <addr[,addr,...]>  drive live servers (one site per address;
                        latency/jitter flags do not apply — the wire is real)
+  --coop-conns <C>     with --driver coop: wire connections per site
+                       (default: 1/walker on the virtual wire, 4 on live
+                       servers)
   (--samples is the per-site target; --budget the per-site query cap)
 
 serve:
@@ -76,6 +87,12 @@ pub enum Command {
     Sample {
         /// Attributes to display as histograms.
         histograms: Vec<String>,
+        /// With `--remote`: drive this many cooperative walker machines
+        /// from one thread instead of a single blocking sampler.
+        coop_walkers: Option<usize>,
+        /// With `--coop-walkers`: wire connections to share (default: one
+        /// per walker).
+        coop_conns: Option<usize>,
     },
     /// Aggregate console.
     Aggregate {
@@ -102,6 +119,12 @@ pub enum Command {
         jitter_ms: u64,
         /// Driving mode.
         mode: DriverMode,
+        /// With `--driver coop`: wire connections per site the walkers
+        /// share. Defaults to one per walker on the virtual wire and a
+        /// small pipelined handful on live servers (a thread-per-
+        /// connection server serves at most `--workers` keep-alive
+        /// connections at once).
+        coop_conns: Option<usize>,
     },
     /// Serve the simulated site over real HTTP.
     Serve {
@@ -124,6 +147,8 @@ pub enum DriverMode {
     Serial,
     /// Both, reporting the speedup.
     Both,
+    /// Cooperative: every site's walkers multiplexed from one thread.
+    Coop,
 }
 
 /// Options shared by all subcommands.
@@ -196,6 +221,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut port = 8000u16;
     let mut serve_workers = 4usize;
     let mut serve_for = None;
+    let mut coop_walkers = None;
+    let mut coop_conns = None;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -299,8 +326,27 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                     "concurrent" => DriverMode::Concurrent,
                     "serial" => DriverMode::Serial,
                     "both" => DriverMode::Both,
+                    "coop" => DriverMode::Coop,
                     other => return Err(format!("--driver: unknown mode `{other}`")),
                 }
+            }
+            "--coop-walkers" => {
+                let w: usize = value("--coop-walkers")?
+                    .parse()
+                    .map_err(|_| "--coop-walkers: not a number")?;
+                if w == 0 {
+                    return Err("--coop-walkers must be at least 1".into());
+                }
+                coop_walkers = Some(w);
+            }
+            "--coop-conns" => {
+                let c: usize = value("--coop-conns")?
+                    .parse()
+                    .map_err(|_| "--coop-conns: not a number")?;
+                if c == 0 {
+                    return Err("--coop-conns must be at least 1".into());
+                }
+                coop_conns = Some(c);
             }
             "--histogram" => histograms.push(value("--histogram")?.clone()),
             "--proportion" => proportions.push(split_kv(value("--proportion")?, "--proportion")?),
@@ -310,20 +356,53 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         }
     }
 
+    // The coop flags belong to specific commands; anywhere else they
+    // would parse and then be silently ignored — reject instead.
+    if coop_walkers.is_some() && command_word != "sample" {
+        return Err(
+            "--coop-walkers is a `sample` flag (multi-site sizes its cooperative \
+             fleet with --walkers)"
+                .into(),
+        );
+    }
+    if coop_conns.is_some() && !matches!(command_word.as_str(), "sample" | "multi-site") {
+        return Err(format!("--coop-conns does not apply to `{command_word}`"));
+    }
+
     let command = match command_word.as_str() {
         "describe" => Command::Describe,
-        "sample" => Command::Sample { histograms },
+        "sample" => {
+            if coop_walkers.is_some() && common.remote.is_none() {
+                return Err("--coop-walkers requires --remote (the cooperative \
+                            sampler drives a live server)"
+                    .into());
+            }
+            if coop_conns.is_some() && coop_walkers.is_none() {
+                return Err("--coop-conns requires --coop-walkers".into());
+            }
+            Command::Sample {
+                histograms,
+                coop_walkers,
+                coop_conns,
+            }
+        }
         "aggregate" => Command::Aggregate { proportions, avgs },
         "validate" => Command::Validate {
             attr: validate_attr,
         },
-        "multi-site" => Command::MultiSite {
-            sites,
-            walkers,
-            latencies_ms,
-            jitter_ms,
-            mode,
-        },
+        "multi-site" => {
+            if coop_conns.is_some() && mode != DriverMode::Coop {
+                return Err("--coop-conns requires --driver coop".into());
+            }
+            Command::MultiSite {
+                sites,
+                walkers,
+                latencies_ms,
+                jitter_ms,
+                mode,
+                coop_conns,
+            }
+        }
         "serve" => Command::Serve {
             port,
             workers: serve_workers,
@@ -380,7 +459,9 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Sample {
-                histograms: vec!["make".into(), "year".into()]
+                histograms: vec!["make".into(), "year".into()],
+                coop_walkers: None,
+                coop_conns: None,
             }
         );
     }
@@ -440,6 +521,7 @@ mod tests {
                 latencies_ms: vec![150],
                 jitter_ms: 0,
                 mode: DriverMode::Both,
+                coop_conns: None,
             }
         );
         assert_eq!(cli.common.samples, 80);
@@ -454,6 +536,7 @@ mod tests {
                 latencies_ms: vec![100],
                 jitter_ms: 0,
                 mode: DriverMode::Concurrent,
+                coop_conns: None,
             }
         );
         assert!(parse(&argv(&["multi-site", "--sites", "0"])).is_err());
@@ -480,6 +563,7 @@ mod tests {
                 latencies_ms: vec![50, 100, 250],
                 jitter_ms: 20,
                 mode: DriverMode::Concurrent,
+                coop_conns: None,
             }
         );
         assert!(parse(&argv(&["multi-site", "--latency", "50,0,100"])).is_err());
@@ -527,6 +611,66 @@ mod tests {
         assert_eq!(remote.common.remote.as_deref(), Some("127.0.0.1:9090"));
         let fleet = parse(&argv(&["multi-site", "--remote", "h1:1,h2:2"])).unwrap();
         assert_eq!(fleet.common.remote.as_deref(), Some("h1:1,h2:2"));
+    }
+
+    #[test]
+    fn coop_flags() {
+        let cli = parse(&argv(&[
+            "sample",
+            "--remote",
+            "127.0.0.1:9090",
+            "--coop-walkers",
+            "64",
+            "--coop-conns",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Sample {
+                histograms: vec![],
+                coop_walkers: Some(64),
+                coop_conns: Some(4),
+            }
+        );
+        let fleet = parse(&argv(&["multi-site", "--driver", "coop"])).unwrap();
+        assert!(matches!(
+            fleet.command,
+            Command::MultiSite {
+                mode: DriverMode::Coop,
+                ..
+            }
+        ));
+        // The cooperative sampler needs a wire to pipeline on.
+        assert!(parse(&argv(&["sample", "--coop-walkers", "4"])).is_err());
+        assert!(parse(&argv(&["sample", "--remote", "h:1", "--coop-walkers", "0"])).is_err());
+        assert!(parse(&argv(&["sample", "--remote", "h:1", "--coop-conns", "2"])).is_err());
+        // Coop flags are never silently ignored by other commands.
+        assert!(parse(&argv(&[
+            "multi-site",
+            "--driver",
+            "coop",
+            "--coop-walkers",
+            "64"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["multi-site", "--coop-conns", "2"])).is_err());
+        assert!(parse(&argv(&["serve", "--coop-conns", "2"])).is_err());
+        let with_conns = parse(&argv(&[
+            "multi-site",
+            "--driver",
+            "coop",
+            "--coop-conns",
+            "8",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            with_conns.command,
+            Command::MultiSite {
+                coop_conns: Some(8),
+                ..
+            }
+        ));
     }
 
     #[test]

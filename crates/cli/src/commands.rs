@@ -11,8 +11,8 @@ use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
 use hdsampler_server::{HttpServer, ServerConfig};
 use hdsampler_webform::{
-    Clocked as _, FleetConfig, HttpTransport, LatencyTransport, LocalSite, MultiSiteDriver,
-    SiteTask, WebForm, WebFormInterface,
+    Clocked as _, CoopDriver, FleetConfig, HttpTransport, LatencyTransport, LocalSite,
+    MultiSiteDriver, SiteTask, WebForm, WebFormInterface,
 };
 use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
 
@@ -142,7 +142,11 @@ fn remote_iface(common: &Common, addr: &str) -> Result<WebFormInterface<HttpTran
 pub fn run(cli: Cli) -> Result<(), String> {
     match cli.command {
         Command::Describe => describe(&cli.common),
-        Command::Sample { histograms } => sample(&cli.common, &histograms),
+        Command::Sample {
+            histograms,
+            coop_walkers,
+            coop_conns,
+        } => sample(&cli.common, &histograms, coop_walkers, coop_conns),
         Command::Aggregate { proportions, avgs } => aggregate(&cli.common, &proportions, &avgs),
         Command::Validate { attr } => validate(&cli.common, attr.as_deref()),
         Command::MultiSite {
@@ -151,7 +155,16 @@ pub fn run(cli: Cli) -> Result<(), String> {
             latencies_ms,
             jitter_ms,
             mode,
-        } => multi_site(&cli.common, sites, walkers, &latencies_ms, jitter_ms, mode),
+            coop_conns,
+        } => multi_site(
+            &cli.common,
+            sites,
+            walkers,
+            &latencies_ms,
+            jitter_ms,
+            mode,
+            coop_conns,
+        ),
         Command::Serve {
             port,
             workers,
@@ -257,9 +270,10 @@ fn multi_site(
     latencies_ms: &[u64],
     jitter_ms: u64,
     mode: DriverMode,
+    coop_conns: Option<usize>,
 ) -> Result<(), String> {
     if let Some(remote) = &common.remote {
-        return multi_site_remote(common, remote, walkers, mode);
+        return multi_site_remote(common, remote, walkers, mode, coop_conns);
     }
     // Build one fleet up front: its schema validates the --bind scope
     // (the sites share a schema structure, so ids resolve fleet-wide).
@@ -282,8 +296,20 @@ fn multi_site(
          {} samples per site, {walkers} walker(s) per site",
         common.source, common.n, common.samples
     );
+    if mode == DriverMode::Coop {
+        // The virtual wire serves any number of connections; default to
+        // one per walker unless the user shared them explicitly.
+        let mut coop = CoopDriver::new(driver.config().clone());
+        if let Some(c) = coop_conns {
+            coop = coop.with_connections(c);
+        }
+        println!("driver: cooperative — one thread multiplexes every site's walkers");
+        let report = coop.run(&fleet);
+        println!("\n{}", display::fleet_report(&report));
+        return Ok(());
+    }
     let concurrent = match mode {
-        DriverMode::Serial => None,
+        DriverMode::Serial | DriverMode::Coop => None,
         DriverMode::Concurrent | DriverMode::Both => {
             let report = driver.run_concurrent(&fleet);
             println!("\n{}", display::fleet_report(&report));
@@ -291,7 +317,7 @@ fn multi_site(
         }
     };
     let serial = match mode {
-        DriverMode::Concurrent => None,
+        DriverMode::Concurrent | DriverMode::Coop => None,
         DriverMode::Serial | DriverMode::Both => {
             let report = driver.run_serial(&build_fleet(common, sites, latencies_ms, jitter_ms)?);
             println!("\n{}", display::fleet_report(&report));
@@ -313,11 +339,19 @@ fn multi_site(
 
 /// `multi-site --remote a,b,c`: one site per live server address, real
 /// wall clock instead of the virtual one.
+/// Pipelined connections per live site when `--driver coop` is used
+/// without `--coop-conns`: the server side is thread-per-connection
+/// (`serve --workers`, default 4), so a handful of deeply-pipelined
+/// connections serves hundreds of walkers where one-per-walker would
+/// starve the worker pool and trip keep-alive idle timeouts.
+const DEFAULT_REMOTE_COOP_CONNS: usize = 4;
+
 fn multi_site_remote(
     common: &Common,
     remote: &str,
     walkers: usize,
     mode: DriverMode,
+    coop_conns: Option<usize>,
 ) -> Result<(), String> {
     let addrs: Vec<&str> = remote.split(',').map(str::trim).collect();
     if addrs.iter().any(|a| a.is_empty()) {
@@ -337,6 +371,20 @@ fn multi_site_remote(
         addrs.len(),
         common.samples
     );
+    if mode == DriverMode::Coop {
+        let conns = coop_conns
+            .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
+            .min(walkers.max(1));
+        println!(
+            "driver: cooperative — one thread, {walkers} walker(s) pipelined over \
+             {conns} connection(s) per site"
+        );
+        let report = CoopDriver::new(driver.config().clone())
+            .with_connections(conns)
+            .run(&fleet);
+        println!("\n{}", display::fleet_report(&report));
+        return Ok(());
+    }
     if matches!(mode, DriverMode::Concurrent | DriverMode::Both) {
         let report = driver.run_concurrent(&fleet);
         println!("\n{}", display::fleet_report(&report));
@@ -386,9 +434,73 @@ fn describe(common: &Common) -> Result<(), String> {
     Ok(())
 }
 
-fn sample(common: &Common, histograms: &[String]) -> Result<(), String> {
-    let (samples, schema) = match &common.remote {
-        Some(addr) => {
+/// `sample --remote --coop-walkers W`: drive W cooperative walker
+/// machines from this one thread, requests pipelined over the wire.
+fn sample_remote_coop(
+    common: &Common,
+    addr: &str,
+    walkers: usize,
+    conns: Option<usize>,
+) -> Result<(SampleSet, Schema), String> {
+    let iface = remote_iface(common, addr)?;
+    let schema = iface.schema().clone();
+    let scope = scope_query(&schema, &common.binds)?;
+    // Without an explicit --coop-conns, pipeline over a handful of
+    // connections: the server side is thread-per-connection, so
+    // one-socket-per-walker starves its worker pool once W exceeds
+    // `serve --workers`.
+    let conns = conns
+        .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
+        .min(walkers.max(1));
+    println!(
+        "sampling live server http://{addr}: {walkers} cooperative walker(s) on one thread, \
+         {conns} pipelined connection(s)"
+    );
+    let driver = CoopDriver::new(FleetConfig {
+        walkers_per_site: walkers,
+        target_per_site: common.samples,
+        seed: common.seed,
+        slider: common.slider,
+        scope,
+    })
+    .with_connections(conns);
+    let task = SiteTask::new(addr.to_string(), iface);
+    let (mut report, details) = driver.run_with_details(std::slice::from_ref(&task));
+    let site = report.sites.remove(0);
+    let detail = &details[0];
+    println!("{}", display::summary(&detail.stats));
+    println!(
+        "coop: {} walker machine(s) over {} pipelined connection(s), {} history hits",
+        walkers, detail.connections, site.history_hits
+    );
+    let t = task.iface.transport();
+    println!(
+        "wire: {} requests on {} connection(s) ({} left open after idle reap), {} bytes received, {} ms",
+        t.requests_sent(),
+        t.connections(),
+        t.open_connections(),
+        t.bytes_received(),
+        t.elapsed_ms()
+    );
+    match site.stopped {
+        hdsampler_core::StopReason::TargetReached => {}
+        hdsampler_core::StopReason::Failed(e) => {
+            return Err(format!("session failed: {e}"));
+        }
+        early => println!("note: session stopped early ({early:?})"),
+    }
+    Ok((site.samples, schema))
+}
+
+fn sample(
+    common: &Common,
+    histograms: &[String],
+    coop_walkers: Option<usize>,
+    coop_conns: Option<usize>,
+) -> Result<(), String> {
+    let (samples, schema) = match (&common.remote, coop_walkers) {
+        (Some(addr), Some(walkers)) => sample_remote_coop(common, addr, walkers, coop_conns)?,
+        (Some(addr), None) => {
             let iface = remote_iface(common, addr)?;
             let schema = iface.schema().clone();
             println!("sampling live server http://{addr} over real TCP");
@@ -403,7 +515,7 @@ fn sample(common: &Common, histograms: &[String]) -> Result<(), String> {
             );
             (samples, schema)
         }
-        None => {
+        (None, _) => {
             let db = build_site(common)?;
             let schema = db.schema().clone();
             let (samples, _) = run_session(&db, common)?;
@@ -516,7 +628,7 @@ mod tests {
     #[test]
     fn end_to_end_sample_command() {
         let common = quick_common();
-        sample(&common, &["make".into()]).unwrap();
+        sample(&common, &["make".into()], None, None).unwrap();
     }
 
     #[test]
@@ -546,7 +658,7 @@ mod tests {
             samples: 15,
             ..Common::default()
         };
-        multi_site(&common, 3, 2, &[100], 0, DriverMode::Both).unwrap();
+        multi_site(&common, 3, 2, &[100], 0, DriverMode::Both, None).unwrap();
     }
 
     #[test]
@@ -562,10 +674,44 @@ mod tests {
             remote: Some(handle.addr().to_string()),
             ..common
         };
-        sample(&remote_common, &["make".into()]).unwrap();
+        sample(&remote_common, &["make".into()], None, None).unwrap();
         let stats = handle.shutdown();
         assert!(stats.requests > 0, "the session must hit the live server");
         assert_eq!(stats.responses_server_error, 0);
+    }
+
+    #[test]
+    fn sample_remote_coop_round_trip() {
+        // The cooperative path against a live server: 16 walker machines
+        // pipelined over 2 TCP connections, one client thread.
+        let common = quick_common();
+        let db = build_db(&common, common.seed).unwrap();
+        let schema = Arc::new(db.schema().clone());
+        let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
+        let handle = HttpServer::serve(ServerConfig::default(), site).unwrap();
+        let remote_common = Common {
+            remote: Some(handle.addr().to_string()),
+            ..common
+        };
+        sample(&remote_common, &["make".into()], Some(16), Some(2)).unwrap();
+        let stats = handle.shutdown();
+        assert!(stats.requests > 0);
+        assert_eq!(stats.responses_server_error, 0);
+        assert_eq!(
+            stats.connections, 2,
+            "16 walkers must share exactly the 2 requested connections"
+        );
+    }
+
+    #[test]
+    fn end_to_end_multi_site_coop_command() {
+        let common = Common {
+            n: 300,
+            k: 50,
+            samples: 15,
+            ..Common::default()
+        };
+        multi_site(&common, 3, 4, &[100], 0, DriverMode::Coop, None).unwrap();
     }
 
     #[test]
@@ -576,7 +722,16 @@ mod tests {
             samples: 10,
             ..Common::default()
         };
-        multi_site(&common, 3, 2, &[50, 100, 250], 20, DriverMode::Concurrent).unwrap();
+        multi_site(
+            &common,
+            3,
+            2,
+            &[50, 100, 250],
+            20,
+            DriverMode::Concurrent,
+            None,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -588,12 +743,12 @@ mod tests {
             binds: vec![("condition".to_string(), "used".to_string())],
             ..Common::default()
         };
-        multi_site(&common, 2, 1, &[100], 0, DriverMode::Concurrent).unwrap();
+        multi_site(&common, 2, 1, &[100], 0, DriverMode::Concurrent, None).unwrap();
         let bad = Common {
             binds: vec![("condition".to_string(), "imaginary".to_string())],
             ..common
         };
-        assert!(multi_site(&bad, 2, 1, &[100], 0, DriverMode::Concurrent).is_err());
+        assert!(multi_site(&bad, 2, 1, &[100], 0, DriverMode::Concurrent, None).is_err());
     }
 
     #[test]

@@ -60,13 +60,21 @@ pub fn fleet_report(report: &FleetReport) -> String {
             site.stopped,
         );
     }
+    // Belt and braces: `samples_per_vsec` returns 0.0 for a zero-elapsed
+    // fleet these days, but a non-finite value must never reach the table
+    // (it used to print a literal `NaN`).
+    let rate = report.samples_per_vsec();
+    let rate = if report.fleet_elapsed_ms == 0 || !rate.is_finite() {
+        "n/a".to_string()
+    } else {
+        format!("{rate:.1}")
+    };
     let _ = writeln!(
         out,
-        "  fleet ({mode}): {} samples over {} sites in {:.1} s — {:.1} samples/s, {} fetches",
+        "  fleet ({mode}): {} samples over {} sites in {:.1} s — {rate} samples/s, {} fetches",
         report.total_samples(),
         report.sites.len(),
         report.fleet_elapsed_ms as f64 / 1_000.0,
-        report.samples_per_vsec(),
         report.total_fetches(),
     );
     out
@@ -95,6 +103,20 @@ mod tests {
         assert!(line.starts_with('\r'));
         assert!(line.contains("5/10"));
         assert!(!line.trim_start_matches('\r').contains('\n'));
+    }
+
+    #[test]
+    fn zero_elapsed_fleet_prints_na_not_nan() {
+        // Regression: a fleet served entirely from history has 0 elapsed
+        // ms; the table used to print `NaN samples/s`.
+        let report = FleetReport {
+            sites: vec![],
+            fleet_elapsed_ms: 0,
+            concurrent: true,
+        };
+        let text = fleet_report(&report);
+        assert!(text.contains("n/a samples/s"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
     }
 
     #[test]

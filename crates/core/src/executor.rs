@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hdsampler_model::{
-    Classification, ConjunctiveQuery, FormInterface, InterfaceError, Row, Schema,
+    Classification, ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse, Row, Schema,
 };
 
 /// A response reduced to sampler-legal information.
@@ -30,6 +30,18 @@ impl Classified {
     /// formula), 0 otherwise.
     pub fn result_size(&self) -> usize {
         self.rows.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// Reduce a full interface response to sampler-legal information:
+    /// rows are kept only when the response is valid (top-k rows of an
+    /// overflowing query would bias any sample, §2).
+    pub fn from_response(resp: QueryResponse) -> Self {
+        let class = resp.classification();
+        let rows = match class {
+            Classification::Valid => Some(Arc::from(resp.rows)),
+            _ => None,
+        };
+        Classified { class, rows }
     }
 }
 
@@ -89,13 +101,7 @@ impl<F: FormInterface> DirectExecutor<F> {
 impl<F: FormInterface> QueryExecutor for DirectExecutor<F> {
     fn classify(&self, query: &ConjunctiveQuery) -> Result<Classified, InterfaceError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let resp = self.interface.execute(query)?;
-        let class = resp.classification();
-        let rows = match class {
-            Classification::Valid => Some(Arc::from(resp.rows)),
-            _ => None,
-        };
-        Ok(Classified { class, rows })
+        Ok(Classified::from_response(self.interface.execute(query)?))
     }
 
     fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {

@@ -7,26 +7,26 @@
 //! of the (scoped) database is emitted with identical probability per walk.
 
 use hdsampler_model::AttrId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::acceptance::acceptance_probability;
 use crate::config::SamplerConfig;
 use crate::executor::QueryExecutor;
-use crate::sample::{Sample, SampleMeta, Sampler, SamplerError};
+use crate::machine::{WalkMachine, WalkStep};
+use crate::sample::{Sample, Sampler, SamplerError};
 use crate::stats::SamplerStats;
-use crate::walk::{domain_product, random_walk, resolve_drill_attrs, WalkOutcome};
 
 /// The HIDDEN-DB-SAMPLER.
+///
+/// A thin synchronous loop over [`WalkMachine`]: every
+/// [`WalkStep::NeedCount`] the machine yields is answered by a blocking
+/// [`QueryExecutor::classify`] call. The cooperative driver in
+/// `hdsampler-webform` runs the *same* machine with the answers arriving
+/// from a pipelined wire instead — both paths consume the machine's RNG
+/// identically, so, seed for seed, they produce the identical sample
+/// sequence.
 #[derive(Debug)]
 pub struct HdsSampler<E> {
     exec: E,
-    cfg: SamplerConfig,
-    drill: Vec<AttrId>,
-    b_product: f64,
-    c_factor: f64,
-    rng: StdRng,
-    stats: SamplerStats,
+    machine: WalkMachine,
 }
 
 impl<E: QueryExecutor> HdsSampler<E> {
@@ -35,107 +35,45 @@ impl<E: QueryExecutor> HdsSampler<E> {
     /// # Errors
     /// [`SamplerError::Config`] on invalid scope/drill configuration.
     pub fn new(exec: E, cfg: SamplerConfig) -> Result<Self, SamplerError> {
-        cfg.scope
-            .validate(exec.schema())
-            .map_err(|e| SamplerError::Config(e.to_string()))?;
-        let drill = resolve_drill_attrs(exec.schema(), &cfg.scope, cfg.drill_attrs.as_deref())?;
-        let b_product = domain_product(exec.schema(), &drill);
-        let c_factor = cfg.acceptance.resolve_c(b_product);
-        let rng = StdRng::seed_from_u64(cfg.seed);
-        Ok(HdsSampler {
-            exec,
-            cfg,
-            drill,
-            b_product,
-            c_factor,
-            rng,
-            stats: SamplerStats::default(),
-        })
+        let machine = WalkMachine::new(exec.schema(), cfg)?;
+        Ok(HdsSampler { exec, machine })
     }
 
     /// The resolved scaling factor `C`.
     pub fn c_factor(&self) -> f64 {
-        self.c_factor
+        self.machine.c_factor()
     }
 
     /// The domain product `B` over the drillable attributes.
     pub fn domain_product(&self) -> f64 {
-        self.b_product
+        self.machine.domain_product()
     }
 
     /// The drillable attributes in schema order.
     pub fn drill_attrs(&self) -> &[AttrId] {
-        &self.drill
+        self.machine.drill_attrs()
     }
 
     /// Access the underlying executor (e.g. to read cache statistics).
     pub fn executor(&self) -> &E {
         &self.exec
     }
-
-    fn refresh_query_counters(&mut self) {
-        self.stats.requests = self.exec.requests();
-        self.stats.queries_issued = self.exec.queries_issued();
-    }
 }
 
 impl<E: QueryExecutor> Sampler for HdsSampler<E> {
     fn next_sample(&mut self) -> Result<Sample, SamplerError> {
-        let mut walks_this_sample = 0u64;
+        let mut step = self.machine.step();
         loop {
-            if walks_this_sample >= self.cfg.max_walks_per_sample {
-                self.refresh_query_counters();
-                return Err(SamplerError::WalkLimit {
-                    walks: walks_this_sample,
-                });
-            }
-            walks_this_sample += 1;
-            self.stats.walks += 1;
-
-            let order = self.cfg.order.make_order(&self.drill, &mut self.rng);
-            let outcome =
-                random_walk(&self.exec, &self.cfg.scope, &order, &mut self.rng).map_err(|e| {
-                    self.refresh_query_counters();
-                    SamplerError::from(e)
-                })?;
-
-            match outcome {
-                WalkOutcome::EmptyScope => {
-                    self.refresh_query_counters();
-                    return Err(SamplerError::EmptyScope);
-                }
-                WalkOutcome::DeadEnd { .. } => self.stats.dead_ends += 1,
-                WalkOutcome::LeafOverflow { .. } => self.stats.leaf_overflows += 1,
-                WalkOutcome::Candidate(cand) => {
-                    self.stats.candidates += 1;
-                    let a = acceptance_probability(
-                        self.c_factor,
-                        cand.branch_product,
-                        cand.result_size,
-                        self.b_product,
-                    );
-                    if a >= 1.0 || self.rng.gen_bool(a) {
-                        self.stats.accepted += 1;
-                        self.refresh_query_counters();
-                        return Ok(Sample {
-                            row: cand.row,
-                            weight: 1.0,
-                            meta: SampleMeta {
-                                depth: cand.depth,
-                                result_size: cand.result_size,
-                                acceptance: a,
-                                walks: walks_this_sample,
-                            },
-                        });
-                    }
-                    self.stats.rejected += 1;
-                }
+            match step {
+                WalkStep::NeedCount(q) => step = self.machine.resume(self.exec.classify(&q)),
+                WalkStep::Sample(s) => return Ok(s),
+                WalkStep::Failed(e) => return Err(e),
             }
         }
     }
 
     fn stats(&self) -> SamplerStats {
-        let mut s = self.stats;
+        let mut s = self.machine.stats();
         s.requests = self.exec.requests();
         s.queries_issued = self.exec.queries_issued();
         s

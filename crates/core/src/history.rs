@@ -545,6 +545,30 @@ impl<F: FormInterface> CachingExecutor<F> {
         Some(derived)
     }
 
+    /// Non-blocking half of [`QueryExecutor::classify`] for cooperative
+    /// drivers: count the request and answer from history when inference
+    /// allows. `None` means the query must be fetched over the wire — the
+    /// miss is already counted, and the wire result must be fed back
+    /// through [`CachingExecutor::record_response`] so the history keeps
+    /// learning. `try_classify` + `record_response` is
+    /// counter-for-counter equivalent to one `classify` call; the only
+    /// difference is that the wire fetch happens outside the cache, where
+    /// a single-threaded driver can keep hundreds of them in flight.
+    pub fn try_classify(&self, query: &ConjunctiveQuery) -> Option<Classified> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self.infer(query) {
+            return Some(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Feed back a wire-fetched response for a query
+    /// [`try_classify`](CachingExecutor::try_classify) missed on.
+    pub fn record_response(&self, query: &ConjunctiveQuery, result: &Classified) {
+        self.remember(query, result);
+    }
+
     /// Record a charged response in `query`'s shard.
     fn remember(&self, query: &ConjunctiveQuery, result: &Classified) {
         let mut inner = self.shard_of(query).write();
@@ -584,13 +608,7 @@ impl<F: FormInterface> QueryExecutor for CachingExecutor<F> {
             return Ok(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let resp = self.interface.execute(query)?;
-        let class = resp.classification();
-        let rows = match class {
-            Classification::Valid => Some(Arc::<[Row]>::from(resp.rows)),
-            _ => None,
-        };
-        let result = Classified { class, rows };
+        let result = Classified::from_response(self.interface.execute(query)?);
         self.remember(query, &result);
         Ok(result)
     }

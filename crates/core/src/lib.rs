@@ -12,6 +12,7 @@
 //! | paper concept | module |
 //! |---|---|
 //! | random drill-down (§2) | [`walk`] |
+//! | resumable walk state machine | [`machine`] |
 //! | attribute-order scrambling (ref [1]) | [`order`] |
 //! | acceptance–rejection + slider (§3.1, §3.3) | [`acceptance`] |
 //! | HIDDEN-DB-SAMPLER | [`hds`] |
@@ -32,6 +33,7 @@ pub mod count;
 pub mod executor;
 pub mod hds;
 pub mod history;
+pub mod machine;
 pub mod order;
 pub mod sample;
 pub mod session;
@@ -48,6 +50,7 @@ pub use history::{
     autotuned_shard_count, CachingExecutor, HistoryStats, DEFAULT_CACHE_CAPACITY,
     MAX_AUTOTUNED_SHARDS,
 };
+pub use machine::{WalkMachine, WalkStep};
 pub use order::OrderStrategy;
 pub use sample::{Sample, SampleMeta, SampleSet, Sampler, SamplerError};
 pub use session::{SamplingSession, SessionEvent, SessionOutcome, StopReason};

@@ -134,6 +134,13 @@ impl SamplingSession {
         assert!(workers >= 1, "need at least one worker");
         let (tx, rx) = crossbeam::channel::unbounded::<Result<Sample, SamplerError>>();
         let kill = &self.kill;
+        // Run-local stop flag. Workers are told to wind down through this,
+        // *never* by storing into the user-facing kill switch: the session
+        // (and every `kill_switch()` handle a UI holds) must stay reusable
+        // for another run, and a latched kill switch would make every later
+        // run return 0 samples as `Killed`.
+        let stop = AtomicBool::new(false);
+        let stop = &stop;
         let target = self.target;
 
         let mut samples = SampleSet::new();
@@ -148,7 +155,7 @@ impl SamplingSession {
                 handles.push(scope.spawn(move |_| {
                     let mut sampler = make_sampler(w);
                     loop {
-                        if kill.load(Ordering::Relaxed) {
+                        if stop.load(Ordering::Relaxed) || kill.load(Ordering::Relaxed) {
                             break;
                         }
                         let out = sampler.next_sample();
@@ -186,7 +193,7 @@ impl SamplingSession {
                 reason = StopReason::Killed;
             }
             // Stop workers, then collect each worker's final counters.
-            kill.store(true, Ordering::Relaxed);
+            stop.store(true, Ordering::Relaxed);
             for handle in handles {
                 let worker_stats = handle.join().expect("worker panicked");
                 merged_stats.merge_worker(&worker_stats);
@@ -271,6 +278,51 @@ mod tests {
         assert_eq!(out.reason, StopReason::BudgetExhausted);
         assert!(!out.samples.is_empty(), "partial results survive");
         assert!(out.samples.len() < 10_000);
+    }
+
+    #[test]
+    fn session_is_reusable_after_run_parallel() {
+        // Regression: `run_parallel` used to stop its workers by latching
+        // `self.kill` to true and never resetting it, so a second
+        // `run`/`run_parallel` on the same session returned 0 samples with
+        // `StopReason::Killed` — and every `kill_switch()` Arc handed to a
+        // UI read as permanently tripped.
+        use crate::history::CachingExecutor;
+        let db = figure1_db(1);
+        let exec = Arc::new(CachingExecutor::new(&db));
+        let session = SamplingSession::new(20);
+        let kill = session.kill_switch();
+
+        let first = session.run_parallel(3, |w| {
+            HdsSampler::new(Arc::clone(&exec), SamplerConfig::seeded(500 + w as u64))
+                .expect("valid config")
+        });
+        assert_eq!(first.reason, StopReason::TargetReached);
+        assert_eq!(first.samples.len(), 20);
+        assert!(
+            !kill.load(Ordering::Relaxed),
+            "finishing a run must not trip the user-facing kill switch"
+        );
+
+        // Same session object, second parallel run: must reach the target
+        // again instead of dying instantly as Killed.
+        let second = session.run_parallel(3, |w| {
+            HdsSampler::new(Arc::clone(&exec), SamplerConfig::seeded(900 + w as u64))
+                .expect("valid config")
+        });
+        assert_eq!(second.reason, StopReason::TargetReached);
+        assert_eq!(second.samples.len(), 20);
+
+        // And the single-threaded entry point still works on it too.
+        let mut s = HdsSampler::new(Arc::clone(&exec), SamplerConfig::seeded(7)).unwrap();
+        let third = session.run(&mut s, |_| {});
+        assert_eq!(third.reason, StopReason::TargetReached);
+        assert_eq!(third.samples.len(), 20);
+
+        // The kill switch itself still functions after all that.
+        kill.store(true, Ordering::Relaxed);
+        let killed = session.run(&mut s, |_| {});
+        assert_eq!(killed.reason, StopReason::Killed);
     }
 
     #[test]

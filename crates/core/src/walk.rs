@@ -16,10 +16,10 @@
 //! ([`WalkOutcome::LeafOverflow`]); the data-shape experiment measures this
 //! "invisible mass".
 
-use hdsampler_model::{AttrId, Classification, ConjunctiveQuery, InterfaceError, Row};
+use hdsampler_model::{AttrId, Classification, ConjunctiveQuery, InterfaceError, Row, Schema};
 use rand::Rng;
 
-use crate::executor::QueryExecutor;
+use crate::executor::{Classified, QueryExecutor};
 
 /// A candidate sample produced by a successful walk.
 #[derive(Debug, Clone)]
@@ -53,6 +53,71 @@ pub enum WalkOutcome {
     EmptyScope,
 }
 
+/// What one classification does to a walk in progress.
+///
+/// This is THE drill-down transition (paper §2): [`random_walk`] folds it
+/// over a blocking executor, and
+/// [`WalkMachine`](crate::machine::WalkMachine) applies it once per
+/// resumption — both consume the RNG identically because both call this
+/// single implementation.
+#[derive(Debug)]
+pub(crate) enum DrillStep {
+    /// The walk terminated with an outcome.
+    Outcome(WalkOutcome),
+    /// The node overflows and a fresh predicate was drawn: descend.
+    Descend {
+        /// The refined query for the next level.
+        query: ConjunctiveQuery,
+        /// Updated `∏ |Dom(π_i)|` along the path.
+        branch_product: f64,
+    },
+}
+
+/// Apply one classification to the walk state at `depth`.
+pub(crate) fn drill_step<R: Rng>(
+    schema: &Schema,
+    resp: &Classified,
+    query: &ConjunctiveQuery,
+    order: &[AttrId],
+    depth: usize,
+    branch_product: f64,
+    rng: &mut R,
+) -> DrillStep {
+    match resp.class {
+        Classification::Empty => DrillStep::Outcome(if depth == 0 {
+            WalkOutcome::EmptyScope
+        } else {
+            WalkOutcome::DeadEnd { depth }
+        }),
+        Classification::Valid => {
+            let rows = resp.rows.as_ref().expect("valid responses carry rows");
+            let j = rows.len();
+            debug_assert!(j >= 1);
+            let row = rows[rng.gen_range(0..j)].clone();
+            DrillStep::Outcome(WalkOutcome::Candidate(Candidate {
+                row,
+                depth,
+                result_size: j,
+                branch_product,
+            }))
+        }
+        Classification::Overflow => {
+            if depth == order.len() {
+                return DrillStep::Outcome(WalkOutcome::LeafOverflow { depth });
+            }
+            let attr = order[depth];
+            let dom = schema.domain_size(attr);
+            let value = rng.gen_range(0..dom) as u16;
+            DrillStep::Descend {
+                query: query
+                    .refine(attr, value)
+                    .expect("drill attributes are unbound by construction"),
+                branch_product: branch_product * dom as f64,
+            }
+        }
+    }
+}
+
 /// Perform one random drill-down walk.
 ///
 /// `order` must list the drillable attributes (none of them bound by
@@ -69,41 +134,18 @@ pub fn random_walk<E: QueryExecutor, R: Rng>(
 
     for depth in 0..=order.len() {
         let resp = exec.classify(&query)?;
-        match resp.class {
-            Classification::Empty => {
-                return Ok(if depth == 0 {
-                    WalkOutcome::EmptyScope
-                } else {
-                    WalkOutcome::DeadEnd { depth }
-                });
-            }
-            Classification::Valid => {
-                let rows = resp.rows.as_ref().expect("valid responses carry rows");
-                let j = rows.len();
-                debug_assert!(j >= 1);
-                let row = rows[rng.gen_range(0..j)].clone();
-                return Ok(WalkOutcome::Candidate(Candidate {
-                    row,
-                    depth,
-                    result_size: j,
-                    branch_product,
-                }));
-            }
-            Classification::Overflow => {
-                if depth == order.len() {
-                    return Ok(WalkOutcome::LeafOverflow { depth });
-                }
-                let attr = order[depth];
-                let dom = schema.domain_size(attr);
-                let value = rng.gen_range(0..dom) as u16;
-                branch_product *= dom as f64;
-                query = query
-                    .refine(attr, value)
-                    .expect("drill attributes are unbound by construction");
+        match drill_step(schema, &resp, &query, order, depth, branch_product, rng) {
+            DrillStep::Outcome(outcome) => return Ok(outcome),
+            DrillStep::Descend {
+                query: refined,
+                branch_product: b,
+            } => {
+                query = refined;
+                branch_product = b;
             }
         }
     }
-    unreachable!("loop returns on every classification");
+    unreachable!("the transition terminates at depth == order.len()");
 }
 
 /// Domain product `B = ∏ |Dom(a)|` over a set of drillable attributes.

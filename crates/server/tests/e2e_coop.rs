@@ -1,0 +1,197 @@
+//! End-to-end: the cooperative pipelined walker drives a *live*
+//! `hdsampler-server` over loopback TCP — hundreds of in-flight requests
+//! multiplexed onto a handful of connections by one thread — and each
+//! walker's sample sequence equals what the thread-per-walker stack
+//! produces for the same (site, walker) seed.
+
+use std::sync::Arc;
+
+use hdsampler_core::{DirectExecutor, HdsSampler, Sampler, StopReason};
+use hdsampler_hidden_db::HiddenDb;
+use hdsampler_model::{FormInterface, Schema};
+use hdsampler_server::{HttpServer, ServerConfig, ServerHandle};
+use hdsampler_webform::{
+    CoopDriver, FleetConfig, HttpTransport, LocalSite, SiteTask, Transport as _, WebFormInterface,
+};
+use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
+
+fn vehicles_db(seed: u64) -> HiddenDb {
+    WorkloadSpec::vehicles(
+        VehiclesSpec::compact(600, seed),
+        DbConfig::no_counts().with_k(50),
+    )
+    .build()
+}
+
+fn serve(db: HiddenDb) -> (ServerHandle, Arc<Schema>, usize) {
+    let schema = Arc::new(db.schema().clone());
+    let k = db.result_limit();
+    let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
+    let handle = HttpServer::serve(ServerConfig::default(), site).expect("bind loopback");
+    (handle, schema, k)
+}
+
+fn remote_task(server: &ServerHandle, schema: &Arc<Schema>, k: usize) -> SiteTask<HttpTransport> {
+    SiteTask::new(
+        "live",
+        WebFormInterface::new(
+            HttpTransport::new(server.addr().to_string()),
+            Arc::clone(schema),
+            k,
+            false,
+        ),
+    )
+}
+
+#[test]
+fn coop_sequences_over_tcp_match_per_walker_seeds() {
+    // The cooperative driver over a real socket must produce, per walker,
+    // exactly the sample sequence a standalone thread-style HdsSampler
+    // produces for the same FleetConfig::walker_config seed — the
+    // interchangeability guarantee between the two drivers, now checked
+    // through HTTP parsing, scraping and the shared history cache.
+    let (server, schema, k) = serve(vehicles_db(4242));
+    let cfg = FleetConfig {
+        walkers_per_site: 4,
+        target_per_site: 48,
+        seed: 2009,
+        slider: 0.5,
+        ..FleetConfig::default()
+    };
+    let task = remote_task(&server, &schema, k);
+    let (report, details) =
+        CoopDriver::new(cfg.clone()).run_with_details(std::slice::from_ref(&task));
+    assert_eq!(report.sites[0].stopped, StopReason::TargetReached);
+    assert_eq!(report.total_samples(), 48);
+
+    let per_walker = &details[0].per_walker_keys;
+    assert_eq!(per_walker.len(), 4);
+    assert!(per_walker.iter().filter(|k| !k.is_empty()).count() >= 2);
+
+    for (w, keys) in per_walker.iter().enumerate() {
+        // In-process twin with the same data seed, driven synchronously.
+        let twin = vehicles_db(4242);
+        let twin_schema = Arc::new(twin.schema().clone());
+        let iface = WebFormInterface::new(
+            LocalSite::new(twin, Arc::clone(&twin_schema)),
+            twin_schema,
+            k,
+            false,
+        );
+        let mut reference =
+            HdsSampler::new(DirectExecutor::new(&iface), cfg.walker_config(0, w)).unwrap();
+        let expect: Vec<u64> = (0..keys.len())
+            .map(|_| reference.next_sample().unwrap().row.key)
+            .collect();
+        assert_eq!(keys, &expect, "walker {w} diverged over the real wire");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.responses_server_error, 0);
+    assert_eq!(
+        stats.requests, report.sites[0].queries_issued,
+        "every charged fetch is a served request"
+    );
+}
+
+#[test]
+fn hundreds_of_pipelined_walkers_on_a_handful_of_connections() {
+    // 256 walker machines, 4 TCP connections, one client thread: up to
+    // 256 requests in flight, pipelined 64-deep per connection.
+    let (server, schema, k) = serve(vehicles_db(99));
+    let cfg = FleetConfig {
+        walkers_per_site: 256,
+        target_per_site: 200,
+        seed: 7,
+        slider: 0.4,
+        ..FleetConfig::default()
+    };
+    let task = remote_task(&server, &schema, k);
+    let (report, details) = CoopDriver::new(cfg)
+        .with_connections(4)
+        .run_with_details(std::slice::from_ref(&task));
+
+    let site = &report.sites[0];
+    assert_eq!(site.stopped, StopReason::TargetReached);
+    assert_eq!(site.samples.len(), 200);
+    assert_eq!(details[0].connections, 4);
+    assert!(
+        site.queries_issued >= 200,
+        "200 fresh-site samples need at least one fetch each"
+    );
+
+    let t = task.iface.transport();
+    assert_eq!(
+        t.connections(),
+        4,
+        "exactly the 4 requested TCP connections"
+    );
+    assert_eq!(
+        t.open_connections(),
+        0,
+        "the driver reaps idle keep-alive sockets when the site finishes"
+    );
+
+    let stats = server.shutdown();
+    // The server-side count is the leak check: 256 walkers over one run
+    // must have cost 4 TCP connections, not 4-per-walker-thread.
+    assert_eq!(
+        stats.connections, 4,
+        "no reconnect churn and no per-walker sockets"
+    );
+    assert_eq!(stats.responses_server_error, 0);
+    // Every charged fetch was written to the wire; the server parses all
+    // of them except the (≤ walkers) in-flight ones cancelled when the
+    // target landed, whose sockets closed before they were read.
+    assert!(
+        stats.requests <= site.queries_issued
+            && stats.requests >= site.queries_issued.saturating_sub(256),
+        "served {} of {} charged fetches",
+        stats.requests,
+        site.queries_issued
+    );
+}
+
+#[test]
+fn dead_walker_threads_do_not_strand_sockets() {
+    // Regression (connection leak): the blocking face binds one
+    // connection per ThreadId forever; dead walker threads used to strand
+    // open keep-alive sockets and map entries for the life of the
+    // transport. `close_idle` reaps both.
+    let (server, schema, k) = serve(vehicles_db(5));
+    let iface = Arc::new(WebFormInterface::new(
+        HttpTransport::new(server.addr().to_string()),
+        Arc::clone(&schema),
+        k,
+        false,
+    ));
+
+    // Eight short-lived walker threads, each doing one blocking fetch.
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let iface = Arc::clone(&iface);
+            s.spawn(move || {
+                iface.transport().fetch("/search").expect("page served");
+            });
+        }
+    });
+    let t = iface.transport();
+    assert_eq!(t.connections(), 8, "one connection per walker thread");
+    assert_eq!(t.open_connections(), 8, "all 8 sockets stranded open");
+    assert_eq!(t.thread_bindings(), 8, "all 8 dead threads still bound");
+
+    // The fix: reap between sites.
+    assert_eq!(t.close_idle(), 8);
+    assert_eq!(t.open_connections(), 0);
+    assert_eq!(t.thread_bindings(), 0);
+
+    // The transport stays usable: the next fetch simply rebinds.
+    t.fetch("/search").expect("page served after reap");
+    assert_eq!(t.thread_bindings(), 1);
+    assert_eq!(t.open_connections(), 1);
+    t.close_idle();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.responses_server_error, 0);
+    assert_eq!(stats.connections, 9, "8 walker sockets + 1 rebind");
+}

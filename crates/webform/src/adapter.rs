@@ -33,6 +33,12 @@ impl QueryHandle {
     pub fn conn(&self) -> ConnId {
         self.fetch.conn()
     }
+
+    /// Completion time on the connection's virtual clock (ms); `0` for
+    /// real-wire transports, whose completions arrive in physical time.
+    pub fn ready_at_ms(&self) -> u64 {
+        self.fetch.ready_at_ms()
+    }
 }
 
 /// Outcome of a non-blocking [`WebFormInterface::poll_query`].

@@ -99,6 +99,15 @@ pub trait AsyncTransport: Send + Sync {
     /// occupied — the request was sent; cancelling does not un-send it.
     fn cancel(&self, handle: FetchHandle);
 
+    /// Declare that the next submitter on `conn` has observed virtual time
+    /// `now_ms` — e.g. a cooperative walker that just consumed a
+    /// history-cache hit derived from a completion on *another*
+    /// connection. Virtual-clock transports floor `conn`'s future
+    /// departures at this time so a request can never depart before the
+    /// result that motivated it (causality); real-wire transports ignore
+    /// it — physical time cannot be rewound in the first place.
+    fn observe_now(&self, _conn: ConnId, _now_ms: u64) {}
+
     /// Virtual wall clock so far: the maximum completion time any
     /// connection has observed (max over connections, not sum over
     /// fetches).
@@ -121,6 +130,9 @@ impl<A: AsyncTransport + ?Sized> AsyncTransport for &A {
     fn cancel(&self, handle: FetchHandle) {
         (**self).cancel(handle)
     }
+    fn observe_now(&self, conn: ConnId, now_ms: u64) {
+        (**self).observe_now(conn, now_ms)
+    }
     fn virtual_elapsed_ms(&self) -> u64 {
         (**self).virtual_elapsed_ms()
     }
@@ -141,6 +153,9 @@ impl<A: AsyncTransport + ?Sized> AsyncTransport for std::sync::Arc<A> {
     }
     fn cancel(&self, handle: FetchHandle) {
         (**self).cancel(handle)
+    }
+    fn observe_now(&self, conn: ConnId, now_ms: u64) {
+        (**self).observe_now(conn, now_ms)
     }
     fn virtual_elapsed_ms(&self) -> u64 {
         (**self).virtual_elapsed_ms()
@@ -178,10 +193,20 @@ impl ConnClocks {
 
     /// Occupy `conn` for `service_ms` of virtual time; returns the
     /// completion time.
+    ///
+    /// Departure is floored at the connection's *observed* clock, not just
+    /// its queue tail: a fresh or idle connection whose submitter has
+    /// already observed time `t` (its previous completion, or a
+    /// cross-connection fact propagated via
+    /// [`AsyncTransport::observe_now`]) cannot send a request into the
+    /// past. Without the floor, a cooperative walker that learned a result
+    /// at t = 200 on one connection could depart a follow-up at t = 0 on
+    /// another — time-travel that undercharges the fleet clock.
     pub(crate) fn schedule(&self, conn: ConnId, service_ms: u64) -> u64 {
         let mut conns = self.conns.lock();
         let state = &mut conns[conn.index()];
-        state.busy_until += service_ms;
+        let departs = state.busy_until.max(state.clock);
+        state.busy_until = departs + service_ms;
         state.busy_until
     }
 
@@ -232,6 +257,37 @@ mod tests {
         // Clocks never run backwards.
         clocks.advance_to(a, 10);
         assert_eq!(clocks.observed(a), 200);
+    }
+
+    #[test]
+    fn departures_are_floored_at_the_observed_clock() {
+        // Regression (causality): a connection whose submitter has
+        // observed t = 200 must not depart a new request at t = 0.
+        let clocks = ConnClocks::default();
+        let a = clocks.connect();
+        let b = clocks.connect();
+
+        // One round trip on `a` completes at 200.
+        assert_eq!(clocks.schedule(a, 200), 200);
+        clocks.advance_to(a, 200);
+
+        // `b` is fresh, but its submitter learned the motivating result at
+        // t = 200 (e.g. via a shared history cache); propagating that
+        // knowledge floors the departure.
+        clocks.advance_to(b, 200);
+        assert_eq!(
+            clocks.schedule(b, 50),
+            250,
+            "fresh connection departs at its observed clock, not 0"
+        );
+
+        // An idle (fully drained) connection behaves the same.
+        clocks.advance_to(a, 300);
+        assert_eq!(
+            clocks.schedule(a, 50),
+            350,
+            "idle connection departs at its observed clock, not its stale queue tail"
+        );
     }
 
     #[test]

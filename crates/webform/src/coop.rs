@@ -1,0 +1,736 @@
+//! [`CoopDriver`]: one OS thread, hundreds of in-flight form submissions.
+//!
+//! The threaded [`MultiSiteDriver`](crate::driver::MultiSiteDriver) buys
+//! request overlap by spending one OS thread per walker — each blocking
+//! [`Transport::fetch`] parks a whole stack while its single request rides
+//! the wire. That is the wrong currency for a scraper whose cost model is
+//! round trips: at fleet scale the interesting number is how many
+//! submissions are in flight, and threads cap it at "how many stacks fit".
+//!
+//! This driver multiplexes instead. Every walker is a
+//! [`WalkMachine`](hdsampler_core::WalkMachine) — the HIDDEN-DB-SAMPLER
+//! walk as a resumable state machine — parked whenever its next query is
+//! on the wire:
+//!
+//! * a machine yields `NeedCount(query)`; the site's shared history cache
+//!   is consulted first ([`CachingExecutor::try_classify`]) — a hit
+//!   resumes the machine immediately without touching the wire;
+//! * on a miss the query is submitted on the walker's [`ConnId`] of the
+//!   site's [`AsyncTransport`] and the machine parks;
+//! * completions are harvested with non-blocking polls and resumed in
+//!   completion order; when nothing is ready, the driver blocks on (or,
+//!   for virtual wires, advances to) the earliest outstanding completion.
+//!
+//! Causality is preserved across the cache: when a machine consumes a
+//! cached fact, its connection's observed clock is floored at the site's
+//! knowledge time ([`AsyncTransport::observe_now`]), so a follow-up
+//! request can never depart before the completion whose result motivated
+//! it — virtual wires would otherwise bill time-travelling walks.
+//!
+//! Seed for seed, walker (s, w) produces the *identical* sample sequence
+//! under this driver and under the thread-per-walker driver: both run the
+//! same machine over the same [`FleetConfig::walker_config`] seeds, and
+//! the history cache answers are semantically equal to the wire's.
+
+use hdsampler_core::{
+    CachingExecutor, Classified, QueryExecutor, SampleSet, SamplerError, SamplerStats, StopReason,
+    WalkMachine, WalkStep,
+};
+use hdsampler_model::{ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse};
+
+use crate::adapter::{QueryHandle, QueryPoll, WebFormInterface};
+use crate::aio::{AsyncTransport, ConnId};
+use crate::driver::{FleetConfig, FleetReport, SiteReport, SiteTask};
+use crate::transport::{Clocked, Transport};
+
+/// One in-flight fetch a walker is parked on.
+struct Pending {
+    handle: QueryHandle,
+    query: ConjunctiveQuery,
+    /// Virtual completion time (0 on real wires).
+    ready_at: u64,
+    /// Site-wide submission sequence number (completion-order tie-break).
+    seq: u64,
+}
+
+/// One cooperative walker: a parked or runnable walk machine riding a
+/// connection.
+struct Walker {
+    machine: WalkMachine,
+    conn: ConnId,
+    pending: Option<Pending>,
+    /// Listing keys of this walker's samples, in production order.
+    keys: Vec<u64>,
+}
+
+/// Everything one site needs while being driven.
+struct SiteState<'a, T: Transport + Clocked> {
+    task: &'a SiteTask<T>,
+    exec: CachingExecutor<&'a WebFormInterface<T>>,
+    walkers: Vec<Walker>,
+    samples: SampleSet,
+    /// Highest completion time any of this site's fetches has reached —
+    /// the causal floor for cache-hit resumes.
+    knowledge_ms: u64,
+    connections: usize,
+    stopped: Option<StopReason>,
+    next_seq: u64,
+}
+
+/// A harvested completion, processed in completion order.
+struct Harvested {
+    wix: usize,
+    query: ConjunctiveQuery,
+    ready_at: u64,
+    seq: u64,
+    result: Result<QueryResponse, InterfaceError>,
+}
+
+/// Per-site detail only the cooperative driver can report.
+#[derive(Debug)]
+pub struct CoopSiteDetail {
+    /// Each walker's sample keys in production order — deterministic per
+    /// (seed, site, walker), and identical to what the same walker
+    /// produces under the thread-per-walker driver.
+    pub per_walker_keys: Vec<Vec<u64>>,
+    /// Wire connections the site's walkers shared.
+    pub connections: usize,
+    /// Merged walker statistics (executor-view counters from the site's
+    /// shared cache).
+    pub stats: SamplerStats,
+}
+
+/// Drives S sites × W walker machines from a single thread.
+#[derive(Debug)]
+pub struct CoopDriver {
+    cfg: FleetConfig,
+    conns_per_site: Option<usize>,
+}
+
+impl CoopDriver {
+    /// Cooperative driver with the given fleet configuration. By default
+    /// every walker rides its own connection.
+    pub fn new(cfg: FleetConfig) -> Self {
+        CoopDriver {
+            cfg,
+            conns_per_site: None,
+        }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Share `conns` wire connections per site among the walkers
+    /// (round-robin). Fewer connections than walkers pipelines several
+    /// requests per connection — HTTP/1.1 FIFO on real wires, serialized
+    /// virtual service on simulated ones.
+    pub fn with_connections(mut self, conns: usize) -> Self {
+        assert!(conns >= 1, "need at least one connection per site");
+        self.conns_per_site = Some(conns);
+        self
+    }
+
+    /// Drive every site to its target from the calling thread.
+    pub fn run<T>(&self, sites: &[SiteTask<T>]) -> FleetReport
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        self.run_with_details(sites).0
+    }
+
+    /// [`CoopDriver::run`], also returning per-walker detail.
+    pub fn run_with_details<T>(&self, sites: &[SiteTask<T>]) -> (FleetReport, Vec<CoopSiteDetail>)
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        let walkers_per_site = self.cfg.walkers_per_site.max(1);
+        let conns_per_site = self
+            .conns_per_site
+            .unwrap_or(walkers_per_site)
+            .min(walkers_per_site);
+
+        let mut states: Vec<SiteState<'_, T>> = sites
+            .iter()
+            .enumerate()
+            .map(|(six, task)| {
+                let conn_ids: Vec<ConnId> =
+                    (0..conns_per_site).map(|_| task.iface.connect()).collect();
+                let walkers = (0..walkers_per_site)
+                    .map(|w| Walker {
+                        machine: WalkMachine::new(
+                            task.iface.schema(),
+                            self.cfg.walker_config(six, w),
+                        )
+                        .expect("fleet walker configuration is valid"),
+                        conn: conn_ids[w % conn_ids.len()],
+                        pending: None,
+                        keys: Vec::new(),
+                    })
+                    .collect();
+                SiteState {
+                    task,
+                    exec: CachingExecutor::new(&task.iface),
+                    walkers,
+                    samples: SampleSet::new(),
+                    knowledge_ms: 0,
+                    connections: conns_per_site,
+                    stopped: if self.cfg.target_per_site == 0 {
+                        Some(StopReason::TargetReached)
+                    } else {
+                        None
+                    },
+                    next_seq: 0,
+                }
+            })
+            .collect();
+
+        // Kick-off: run every machine until it parks on the wire (or the
+        // site finishes straight from history).
+        for st in &mut states {
+            for wix in 0..st.walkers.len() {
+                if st.stopped.is_some() {
+                    break;
+                }
+                let step = st.walkers[wix].machine.step();
+                self.advance(st, wix, step);
+            }
+        }
+
+        loop {
+            let mut all_done = true;
+            let mut progress = false;
+            for st in &mut states {
+                if st.stopped.is_none() {
+                    progress |= self.harvest(st);
+                }
+                all_done &= st.stopped.is_some();
+            }
+            if all_done {
+                break;
+            }
+            if !progress {
+                // Nothing pollable anywhere: block on (real wire) or
+                // advance to (virtual wire) the earliest outstanding
+                // completion, keeping the fleet in causal order.
+                self.force_earliest(&mut states);
+            }
+        }
+
+        let mut reports = Vec::with_capacity(states.len());
+        let mut details = Vec::with_capacity(states.len());
+        for st in states {
+            // Walkers are parked for good; reap their keep-alive sockets.
+            st.task.iface.transport().close_idle();
+            let mut stats = SamplerStats::default();
+            for w in &st.walkers {
+                stats.merge_worker(&w.machine.stats());
+            }
+            stats.requests = st.exec.requests();
+            stats.queries_issued = st.exec.queries_issued();
+            details.push(CoopSiteDetail {
+                per_walker_keys: st.walkers.into_iter().map(|w| w.keys).collect(),
+                connections: st.connections,
+                stats,
+            });
+            reports.push(SiteReport {
+                name: st.task.name.clone(),
+                samples: st.samples,
+                requests: st.exec.requests(),
+                queries_issued: st.exec.queries_issued(),
+                history_hits: st.exec.history_stats().total_hits(),
+                elapsed_ms: st.task.iface.transport().elapsed_ms(),
+                stopped: st
+                    .stopped
+                    .expect("driver loop ends with every site stopped"),
+            });
+        }
+        let fleet_elapsed_ms = reports.iter().map(|r| r.elapsed_ms).max().unwrap_or(0);
+        (
+            FleetReport {
+                sites: reports,
+                fleet_elapsed_ms,
+                concurrent: true,
+            },
+            details,
+        )
+    }
+
+    /// Run one walker until it parks on the wire, produces past the site
+    /// target, or fails. History hits are consumed inline — they cost no
+    /// wire time, only a causal floor on the walker's clock.
+    fn advance<T>(&self, st: &mut SiteState<'_, T>, wix: usize, mut step: WalkStep)
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        loop {
+            if st.stopped.is_some() {
+                return;
+            }
+            match step {
+                WalkStep::NeedCount(query) => {
+                    if let Some(hit) = st.exec.try_classify(&query) {
+                        // Resumed from history without touching the wire.
+                        // The fact may derive from a completion on another
+                        // connection; floor this walker's clock at the
+                        // site's knowledge time so its next wire request
+                        // cannot depart before its cause.
+                        st.task
+                            .iface
+                            .transport()
+                            .observe_now(st.walkers[wix].conn, st.knowledge_ms);
+                        step = st.walkers[wix].machine.resume(Ok(hit));
+                    } else {
+                        let handle = st.task.iface.submit_query(st.walkers[wix].conn, &query);
+                        let ready_at = handle.ready_at_ms();
+                        let seq = st.next_seq;
+                        st.next_seq += 1;
+                        st.walkers[wix].pending = Some(Pending {
+                            handle,
+                            query,
+                            ready_at,
+                            seq,
+                        });
+                        return;
+                    }
+                }
+                WalkStep::Sample(s) => {
+                    st.walkers[wix].keys.push(s.row.key);
+                    st.samples.push(s);
+                    if st.samples.len() >= self.cfg.target_per_site {
+                        Self::stop_site(st, StopReason::TargetReached);
+                        return;
+                    }
+                    step = st.walkers[wix].machine.step();
+                }
+                WalkStep::Failed(e) => {
+                    let reason = match e {
+                        SamplerError::BudgetExhausted { .. } => StopReason::BudgetExhausted,
+                        other => StopReason::Failed(other),
+                    };
+                    Self::stop_site(st, reason);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Poll this site's parked walkers, one pass per *connection*, and
+    /// resume the completed ones in completion order. Returns whether
+    /// anything completed.
+    ///
+    /// Requests on one connection resolve FIFO (HTTP/1.1 pipelining; the
+    /// virtual clocks serialize identically), so walkers are visited in
+    /// submission order per connection and a connection is abandoned for
+    /// the sweep at its first still-pending fetch — later fetches cannot
+    /// be ready, and re-polling them would re-drain an already-drained
+    /// socket once per walker instead of once per connection.
+    fn harvest<T>(&self, st: &mut SiteState<'_, T>) -> bool
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        let mut parked: Vec<usize> = (0..st.walkers.len())
+            .filter(|&wix| st.walkers[wix].pending.is_some())
+            .collect();
+        parked.sort_by_key(|&wix| {
+            let p = st.walkers[wix].pending.as_ref().expect("filtered parked");
+            (st.walkers[wix].conn.index(), p.seq)
+        });
+
+        let mut ready: Vec<Harvested> = Vec::new();
+        let mut skip_conn: Option<usize> = None;
+        for wix in parked {
+            let conn_ix = st.walkers[wix].conn.index();
+            if skip_conn == Some(conn_ix) {
+                continue;
+            }
+            let p = st.walkers[wix].pending.take().expect("walker is parked");
+            let Pending {
+                handle,
+                query,
+                ready_at,
+                seq,
+            } = p;
+            match st.task.iface.poll_query(handle) {
+                QueryPoll::Pending(handle) => {
+                    st.walkers[wix].pending = Some(Pending {
+                        handle,
+                        query,
+                        ready_at,
+                        seq,
+                    });
+                    skip_conn = Some(conn_ix);
+                }
+                QueryPoll::Ready(result) => ready.push(Harvested {
+                    wix,
+                    query,
+                    ready_at,
+                    seq,
+                    result,
+                }),
+            }
+        }
+        if ready.is_empty() {
+            return false;
+        }
+        // Completion order keeps the knowledge clock honest: a resume only
+        // ever sees facts learned at or before its own floor.
+        ready.sort_by_key(|h| (h.ready_at, h.seq));
+        for h in ready {
+            self.finish_fetch(st, h);
+        }
+        true
+    }
+
+    /// Feed one wire completion back: teach the cache, then run the
+    /// owning walker until it parks again.
+    fn finish_fetch<T>(&self, st: &mut SiteState<'_, T>, h: Harvested)
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        st.knowledge_ms = st.knowledge_ms.max(h.ready_at);
+        if st.stopped.is_some() {
+            // The site finished while this page was in flight; the fetch
+            // was charged either way — only the result is discarded.
+            return;
+        }
+        let answer = match h.result {
+            Ok(resp) => {
+                let classified = Classified::from_response(resp);
+                st.exec.record_response(&h.query, &classified);
+                Ok(classified)
+            }
+            Err(e) => Err(e),
+        };
+        let step = st.walkers[h.wix].machine.resume(answer);
+        self.advance(st, h.wix, step);
+    }
+
+    /// Complete the causally-earliest outstanding fetch fleet-wide (min
+    /// virtual completion time, then submission order).
+    fn force_earliest<T>(&self, states: &mut [SiteState<'_, T>])
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        let mut best: Option<(usize, usize, u64, u64)> = None;
+        for (six, st) in states.iter().enumerate() {
+            if st.stopped.is_some() {
+                continue;
+            }
+            for (wix, w) in st.walkers.iter().enumerate() {
+                if let Some(p) = &w.pending {
+                    if best.is_none_or(|(_, _, ra, sq)| (p.ready_at, p.seq) < (ra, sq)) {
+                        best = Some((six, wix, p.ready_at, p.seq));
+                    }
+                }
+            }
+        }
+        let Some((six, wix, ..)) = best else {
+            unreachable!("an unstopped site always has a parked walker");
+        };
+        let st = &mut states[six];
+        let p = st.walkers[wix]
+            .pending
+            .take()
+            .expect("selected walker is parked");
+        let result = st.task.iface.complete_query(p.handle);
+        self.finish_fetch(
+            st,
+            Harvested {
+                wix,
+                query: p.query,
+                ready_at: p.ready_at,
+                seq: p.seq,
+                result,
+            },
+        );
+    }
+
+    /// End a site: record why and cancel every in-flight fetch (the pages
+    /// were charged; only their buffered results are released).
+    fn stop_site<T>(st: &mut SiteState<'_, T>, reason: StopReason)
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        st.stopped = Some(reason);
+        for w in &mut st.walkers {
+            if let Some(p) = w.pending.take() {
+                st.task.iface.cancel_query(p.handle);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{LatencyTransport, LocalSite};
+    use hdsampler_core::{DirectExecutor, HdsSampler, Sampler};
+    use hdsampler_hidden_db::HiddenDb;
+    use hdsampler_workload::figure1_db;
+    use std::sync::Arc;
+
+    fn figure1_task(
+        name: &str,
+        latency_ms: u64,
+    ) -> SiteTask<LatencyTransport<LocalSite<HiddenDb>>> {
+        let db = figure1_db(1);
+        let schema = Arc::new(db.schema().clone());
+        let site = LocalSite::new(db, Arc::clone(&schema));
+        let wire = LatencyTransport::new(site, latency_ms);
+        SiteTask::new(name, WebFormInterface::new(wire, schema, 1, false))
+    }
+
+    fn vehicles_task(
+        name: &str,
+        seed: u64,
+        latency_ms: u64,
+        budget: Option<u64>,
+    ) -> SiteTask<LatencyTransport<LocalSite<HiddenDb>>> {
+        use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
+        let mut db_cfg = DbConfig::no_counts().with_k(50);
+        if let Some(b) = budget {
+            db_cfg = db_cfg.with_budget(b);
+        }
+        let db = WorkloadSpec::vehicles(VehiclesSpec::compact(500, seed), db_cfg).build();
+        let schema = Arc::new(db.schema().clone());
+        let k = db.result_limit();
+        let site = LocalSite::new(db, Arc::clone(&schema));
+        let wire = LatencyTransport::new(site, latency_ms);
+        SiteTask::new(name, WebFormInterface::new(wire, schema, k, false))
+    }
+
+    #[test]
+    fn coop_driver_reaches_targets_on_one_thread() {
+        let cfg = FleetConfig {
+            walkers_per_site: 4,
+            target_per_site: 40,
+            seed: 11,
+            ..FleetConfig::default()
+        };
+        let sites: Vec<_> = (0..3)
+            .map(|i| vehicles_task(&format!("s{i}"), 90 + i as u64, 100, None))
+            .collect();
+        let (report, details) = CoopDriver::new(cfg).run_with_details(&sites);
+        assert_eq!(report.total_samples(), 120);
+        assert!(report.concurrent);
+        for (site, detail) in report.sites.iter().zip(&details) {
+            assert_eq!(site.stopped, StopReason::TargetReached);
+            assert_eq!(detail.connections, 4);
+            assert_eq!(
+                detail.per_walker_keys.iter().map(Vec::len).sum::<usize>(),
+                site.samples.len(),
+                "every sample is attributed to exactly one walker"
+            );
+            assert!(site.requests >= site.queries_issued);
+        }
+        assert_eq!(
+            report.fleet_elapsed_ms,
+            report.sites.iter().map(|s| s.elapsed_ms).max().unwrap(),
+            "coop fleet time is the max over sites"
+        );
+    }
+
+    #[test]
+    fn per_walker_sequences_match_the_thread_walker_sampler() {
+        // Walker (s, w) must produce the identical seeded sample sequence
+        // under the cooperative driver and under a standalone HdsSampler
+        // with the same FleetConfig::walker_config seed — the guarantee
+        // that makes the two drivers interchangeable.
+        let cfg = FleetConfig {
+            walkers_per_site: 3,
+            target_per_site: 45,
+            seed: 77,
+            slider: 0.2,
+            ..FleetConfig::default()
+        };
+        let sites = vec![vehicles_task("seq", 5, 50, None)];
+        let (_, details) = CoopDriver::new(cfg.clone()).run_with_details(&sites);
+        let per_walker = &details[0].per_walker_keys;
+        assert!(per_walker.iter().any(|k| !k.is_empty()));
+
+        for (w, keys) in per_walker.iter().enumerate() {
+            // A fresh in-process twin with the same data seed.
+            let twin = vehicles_task("twin", 5, 50, None);
+            let mut reference =
+                HdsSampler::new(DirectExecutor::new(&twin.iface), cfg.walker_config(0, w)).unwrap();
+            let expect: Vec<u64> = (0..keys.len())
+                .map(|_| reference.next_sample().unwrap().row.key)
+                .collect();
+            assert_eq!(keys, &expect, "walker {w} diverged from its seed");
+        }
+    }
+
+    #[test]
+    fn shared_connections_pipeline_and_serialize() {
+        // 8 walkers on 2 connections: requests pipeline 4-deep per
+        // connection; the virtual elapsed must exceed a single RTT (they
+        // serialize per connection) but be far below the serial sum.
+        let cfg = FleetConfig {
+            walkers_per_site: 8,
+            target_per_site: 32,
+            seed: 3,
+            ..FleetConfig::default()
+        };
+        let sites = vec![figure1_task("pipe", 100)];
+        let (report, details) = CoopDriver::new(cfg)
+            .with_connections(2)
+            .run_with_details(&sites);
+        assert_eq!(details[0].connections, 2);
+        assert_eq!(report.total_samples(), 32);
+        let site = &report.sites[0];
+        assert!(site.elapsed_ms >= 100);
+        // 2 connections must not be slower than 2 serial walkers' worth.
+        let serial_bound = site.queries_issued * 100 / 2 + 100;
+        assert!(
+            site.elapsed_ms <= serial_bound,
+            "pipelining must overlap: {} vs {serial_bound}",
+            site.elapsed_ms
+        );
+    }
+
+    #[test]
+    fn one_thread_matches_threaded_driver_throughput_at_equal_walkers() {
+        let cfg = FleetConfig {
+            walkers_per_site: 4,
+            target_per_site: 60,
+            seed: 21,
+            slider: 0.3,
+            ..FleetConfig::default()
+        };
+        let threaded =
+            MultiSiteDriver::new(cfg.clone()).run_concurrent(&[vehicles_task("t", 9, 100, None)]);
+        let coop = CoopDriver::new(cfg).run(&[vehicles_task("c", 9, 100, None)]);
+        assert_eq!(threaded.total_samples(), coop.total_samples());
+        // The cooperative driver pays an honest causal floor on cache-hit
+        // resumes that the threaded driver cannot account; parity within
+        // 25% (it is usually well within a few percent).
+        assert!(
+            coop.samples_per_vsec() >= threaded.samples_per_vsec() * 0.75,
+            "coop {:.1} smp/vs vs threaded {:.1} smp/vs",
+            coop.samples_per_vsec(),
+            threaded.samples_per_vsec()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_a_site_with_partial_results() {
+        let cfg = FleetConfig {
+            walkers_per_site: 4,
+            target_per_site: 10_000,
+            seed: 5,
+            ..FleetConfig::default()
+        };
+        let sites = [
+            vehicles_task("starved", 1, 50, Some(60)),
+            vehicles_task("ok", 2, 50, None),
+        ];
+        let cfg_ok = FleetConfig {
+            target_per_site: 25,
+            ..cfg.clone()
+        };
+        // Drive the starved site alone first (mixed targets need two
+        // runs; the driver applies one target fleet-wide).
+        let report = CoopDriver::new(cfg).run(&sites[..1]);
+        assert_eq!(report.sites[0].stopped, StopReason::BudgetExhausted);
+        assert!(report.sites[0].samples.len() < 10_000);
+        assert!(
+            !report.sites[0].samples.is_empty(),
+            "partial results survive"
+        );
+        // A healthy site is unaffected by the starved one's existence.
+        let report = CoopDriver::new(cfg_ok).run(&sites[1..]);
+        assert_eq!(report.sites[0].stopped, StopReason::TargetReached);
+    }
+
+    #[test]
+    fn warm_history_resumes_without_touching_the_wire() {
+        // Figure 1 has 8 possible queries; after a warm-up pass the cache
+        // can answer whole walks. Charged fetches must plateau while
+        // samples keep flowing — the "history hits resume immediately"
+        // half of the design.
+        let cfg = FleetConfig {
+            walkers_per_site: 2,
+            target_per_site: 200,
+            seed: 13,
+            ..FleetConfig::default()
+        };
+        let sites = vec![figure1_task("warm", 100)];
+        let report = CoopDriver::new(cfg).run(&sites);
+        let site = &report.sites[0];
+        assert_eq!(site.samples.len(), 200);
+        assert!(
+            site.history_hits > site.queries_issued,
+            "a tiny site must be answered mostly from history: {} hits vs {} fetches",
+            site.history_hits,
+            site.queries_issued
+        );
+        // All 200 samples in far fewer round trips than walks.
+        assert!(site.queries_issued < 100);
+    }
+
+    use crate::driver::MultiSiteDriver;
+
+    #[test]
+    fn empty_scope_fails_the_site() {
+        use hdsampler_model::{AttrId, ConjunctiveQuery};
+        let cfg = FleetConfig {
+            walkers_per_site: 2,
+            target_per_site: 10,
+            seed: 1,
+            scope: ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 0)]).unwrap(),
+            ..FleetConfig::default()
+        };
+        let sites = vec![figure1_task("empty", 10)];
+        let report = CoopDriver::new(cfg).run(&sites);
+        assert!(matches!(
+            report.sites[0].stopped,
+            StopReason::Failed(SamplerError::EmptyScope)
+        ));
+        assert!(report.sites[0].samples.is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(24))]
+
+        /// Property: across random seeds, walker counts and latencies the
+        /// coop driver's virtual elapsed time respects the wire's
+        /// serialization bounds — no fetch is billed into the past. (The
+        /// departure-level causality property lives in
+        /// `tests/causality_properties.rs` against the transport itself.)
+        #[test]
+        fn coop_elapsed_respects_serialization_bounds(
+            seed in 0u64..500,
+            walkers in 1usize..6,
+            latency in 20u64..200,
+        ) {
+            let cfg = FleetConfig {
+                walkers_per_site: walkers,
+                target_per_site: 30,
+                seed,
+                ..FleetConfig::default()
+            };
+            let sites = vec![vehicles_task("p", seed ^ 0xABCD, latency, None)];
+            let (report, _) = CoopDriver::new(cfg).run_with_details(&sites);
+            let site = &report.sites[0];
+            proptest::prop_assert!(site.samples.len() == 30);
+            if site.queries_issued > 0 {
+                // At least one full round trip on the critical path, and
+                // at least the most-loaded connection's serial chain of
+                // *completed* fetches (up to one in-flight fetch per
+                // walker is charged but cancelled when the target lands,
+                // and a cancelled fetch advances no clock).
+                proptest::prop_assert!(site.elapsed_ms >= latency);
+                let completed = site.queries_issued.saturating_sub(walkers as u64);
+                let per_conn_lower = latency * completed.div_ceil(walkers as u64);
+                proptest::prop_assert!(
+                    site.elapsed_ms >= per_conn_lower,
+                    "elapsed {} below the per-connection serialization bound {}",
+                    site.elapsed_ms,
+                    per_conn_lower
+                );
+            }
+        }
+    }
+}

@@ -80,6 +80,26 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// Per-(site, walker) sampler configuration with a distinct seed.
+    ///
+    /// Shared by every driver — the threaded [`MultiSiteDriver`] and the
+    /// cooperative [`CoopDriver`](crate::coop::CoopDriver) — so walker
+    /// (s, w) walks the identical seeded sequence no matter which driver
+    /// runs it. Golden-ratio mixing keeps (site, walker) seeds distinct
+    /// without any two sites' walkers ever colliding for realistic fleet
+    /// sizes.
+    pub fn walker_config(&self, site_ix: usize, walker: usize) -> SamplerConfig {
+        let seed = self
+            .seed
+            .wrapping_add((site_ix as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(walker as u64);
+        SamplerConfig::seeded(seed)
+            .with_slider(self.slider)
+            .with_scope(self.scope.clone())
+    }
+}
+
 /// Per-site outcome of a fleet run.
 #[derive(Debug)]
 pub struct SiteReport {
@@ -123,10 +143,13 @@ impl FleetReport {
         self.sites.iter().map(|s| s.queries_issued).sum()
     }
 
-    /// Fleet throughput in samples per virtual second.
+    /// Fleet throughput in samples per virtual second. A fleet that spent
+    /// no wire time (everything answered from history, or nothing ran)
+    /// reports `0.0` — a throughput figure, never `NaN` (which used to
+    /// leak all the way into the CLI table).
     pub fn samples_per_vsec(&self) -> f64 {
         if self.fleet_elapsed_ms == 0 {
-            f64::NAN
+            0.0
         } else {
             self.total_samples() as f64 / (self.fleet_elapsed_ms as f64 / 1_000.0)
         }
@@ -150,20 +173,6 @@ impl MultiSiteDriver {
         &self.cfg
     }
 
-    /// Per-(site, walker) sampler configuration with a distinct seed.
-    fn walker_config(&self, site_ix: usize, walker: usize) -> SamplerConfig {
-        // Golden-ratio mixing keeps (site, walker) seeds distinct without
-        // any two sites' walkers ever colliding for realistic fleet sizes.
-        let seed = self
-            .cfg
-            .seed
-            .wrapping_add((site_ix as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add(walker as u64);
-        SamplerConfig::seeded(seed)
-            .with_slider(self.cfg.slider)
-            .with_scope(self.cfg.scope.clone())
-    }
-
     /// Drive one site to the target with `walkers` threads sharing the
     /// site's history cache.
     fn drive_site<T: Transport + Clocked>(
@@ -175,15 +184,19 @@ impl MultiSiteDriver {
         let exec = CachingExecutor::new(&task.iface);
         let session = SamplingSession::new(self.cfg.target_per_site);
         let outcome: SessionOutcome = if walkers <= 1 {
-            let mut sampler = HdsSampler::new(&exec, self.walker_config(site_ix, 0))
+            let mut sampler = HdsSampler::new(&exec, self.cfg.walker_config(site_ix, 0))
                 .expect("fleet walker configuration is valid");
             session.run(&mut sampler, |_| {})
         } else {
             session.run_parallel(walkers, |w| {
-                HdsSampler::new(&exec, self.walker_config(site_ix, w))
+                HdsSampler::new(&exec, self.cfg.walker_config(site_ix, w))
                     .expect("fleet walker configuration is valid")
             })
         };
+        // The walker threads are gone; reap their idle keep-alive
+        // connections (real-TCP transports) instead of stranding the
+        // sockets for the transport's lifetime.
+        task.iface.transport().close_idle();
         SiteReport {
             name: task.name.clone(),
             samples: outcome.samples,
@@ -332,6 +345,25 @@ mod tests {
                 "cache hits never exceed requests"
             );
         }
+    }
+
+    #[test]
+    fn zero_elapsed_fleet_reports_zero_throughput_not_nan() {
+        // Regression: a fleet that never touched the wire (e.g. every
+        // request served from history) used to report NaN samples/s, and
+        // the CLI printed it verbatim.
+        let report = FleetReport {
+            sites: vec![],
+            fleet_elapsed_ms: 0,
+            concurrent: true,
+        };
+        assert_eq!(report.samples_per_vsec(), 0.0);
+        let report = FleetReport {
+            sites: vec![],
+            fleet_elapsed_ms: 2_000,
+            concurrent: false,
+        };
+        assert_eq!(report.samples_per_vsec(), 0.0, "0 samples / 2 s = 0");
     }
 
     #[test]

@@ -136,6 +136,54 @@ impl HttpTransport {
         self.conns.lock().len()
     }
 
+    /// Connections whose TCP socket is currently open.
+    pub fn open_connections(&self) -> usize {
+        self.conns
+            .lock()
+            .iter()
+            .filter(|cell| cell.lock().stream.is_some())
+            .count()
+    }
+
+    /// Live `ThreadId → ConnId` bindings held by the blocking face.
+    pub fn thread_bindings(&self) -> usize {
+        self.by_thread.lock().len()
+    }
+
+    /// Close every connection with no outstanding fetch and drop all
+    /// per-thread bindings; returns the number of sockets closed.
+    ///
+    /// The blocking face binds one connection per calling `ThreadId` and
+    /// — threads being unobservable once gone — used to keep both the
+    /// binding and its open keep-alive socket for the life of the
+    /// transport, so every dead walker thread stranded a TCP connection.
+    /// Drivers call this between sites (and at the end of a run): sockets
+    /// close, the map empties, and a thread that fetches again simply
+    /// rebinds to a fresh connection on first use. Connections with an
+    /// *awaited* in-flight request are left untouched; outstanding
+    /// fetches that were all cancelled hold nothing anyone will take, so
+    /// their connection closes too (the unread responses die with the
+    /// socket).
+    pub fn close_idle(&self) -> usize {
+        // Take the binding map first so no new fetch can ride a connection
+        // this sweep is about to close.
+        self.by_thread.lock().clear();
+        let conns = self.conns.lock();
+        let mut closed = 0;
+        for cell in conns.iter() {
+            let mut c = cell.lock();
+            let awaited = c.outstanding.iter().any(|id| !c.cancelled.contains(id));
+            if !awaited && c.stream.is_some() {
+                c.stream = None;
+                c.rx.clear();
+                c.outstanding.clear();
+                c.cancelled.clear();
+                closed += 1;
+            }
+        }
+        closed
+    }
+
     fn conn(&self, id: ConnId) -> Arc<Mutex<HttpConn>> {
         Arc::clone(&self.conns.lock()[id.index()])
     }
@@ -377,6 +425,10 @@ impl AsyncTransport for HttpTransport {
 }
 
 impl Transport for HttpTransport {
+    fn close_idle(&self) -> usize {
+        HttpTransport::close_idle(self)
+    }
+
     fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
         let conn = self.thread_conn();
         let handle = self.submit_on(conn, path);

@@ -31,10 +31,15 @@
 //!   front door over loopback or a network;
 //! * [`driver`] — [`MultiSiteDriver`], one process driving S sites
 //!   (simulated or live) × W walkers concurrently with per-site history
-//!   caches, budgets and throughput accounting.
+//!   caches, budgets and throughput accounting;
+//! * [`coop`] — [`CoopDriver`], the cooperative alternative: one OS
+//!   thread multiplexing S × W resumable walk machines over explicit
+//!   connections, pipelining hundreds of in-flight submissions where the
+//!   threaded driver would need hundreds of stacks.
 
 pub mod adapter;
 pub mod aio;
+pub mod coop;
 pub mod driver;
 pub mod form;
 pub mod httpc;
@@ -45,6 +50,7 @@ pub mod urlenc;
 
 pub use adapter::{QueryHandle, QueryPoll, WebFormInterface};
 pub use aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
+pub use coop::{CoopDriver, CoopSiteDetail};
 pub use driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
 pub use form::WebForm;
 pub use httpc::HttpTransport;

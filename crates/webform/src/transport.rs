@@ -28,6 +28,16 @@ use crate::render::render_results_page;
 pub trait Transport: Send + Sync {
     /// Fetch `path` (path + query string) and return the page body.
     fn fetch(&self, path: &str) -> Result<String, InterfaceError>;
+
+    /// Close idle keep-alive connections (those with no outstanding work),
+    /// releasing their sockets and any per-thread bindings; returns how
+    /// many were closed. Drivers call this between sites so a transport
+    /// whose walker threads have exited does not strand open sockets for
+    /// its whole lifetime. Virtual and in-process wires hold no OS
+    /// resources per connection, so the default closes nothing.
+    fn close_idle(&self) -> usize {
+        0
+    }
 }
 
 /// A transport that can report the wall-clock time its traffic consumed —
@@ -279,6 +289,10 @@ impl<T: Transport> AsyncTransport for LatencyTransport<T> {
         self.in_flight.lock().remove(&handle.id);
     }
 
+    fn observe_now(&self, conn: ConnId, now_ms: u64) {
+        self.clocks.advance_to(conn, now_ms);
+    }
+
     fn virtual_elapsed_ms(&self) -> u64 {
         self.clocks.elapsed()
     }
@@ -288,11 +302,17 @@ impl<T: Transport + ?Sized> Transport for &T {
     fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
         (**self).fetch(path)
     }
+    fn close_idle(&self) -> usize {
+        (**self).close_idle()
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for Arc<T> {
     fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
         (**self).fetch(path)
+    }
+    fn close_idle(&self) -> usize {
+        (**self).close_idle()
     }
 }
 

@@ -1,0 +1,139 @@
+//! Property tests for virtual-clock causality.
+//!
+//! The regression these guard: `ConnClocks::schedule` used to compute a
+//! departure as `busy_until += service`, so a request submitted on a fresh
+//! or fully-drained connection departed at the connection's stale queue
+//! tail — virtual time 0 in the worst case — even when its submitter had
+//! just consumed (via the shared history cache) a result that only
+//! completed at t = 200 on *another* connection. A cooperative walker
+//! multiplexing many connections would time-travel and undercharge the
+//! fleet clock. The fix floors every departure at the connection's
+//! observed clock, which [`AsyncTransport::observe_now`] advances when
+//! cross-connection knowledge is consumed.
+
+use hdsampler_model::InterfaceError;
+use hdsampler_webform::{AsyncTransport, LatencyTransport, Transport};
+use proptest::prelude::*;
+
+/// A wire whose pages are irrelevant — these tests only watch the clocks.
+struct NullSite;
+
+impl Transport for NullSite {
+    fn fetch(&self, _path: &str) -> Result<String, InterfaceError> {
+        Ok(String::new())
+    }
+}
+
+const LATENCY_MS: u64 = 100;
+
+proptest! {
+    /// No fetch ever departs before the completion that caused it: after
+    /// a completion at time `t` is propagated to a connection (the
+    /// submitting walker observed it — directly or through a cache hit),
+    /// every later submission on that connection departs at or after `t`.
+    #[test]
+    fn no_fetch_departs_before_the_completion_that_caused_it(
+        ops in prop::collection::vec((0u8..3, 0usize..4), 1..120),
+    ) {
+        let t = LatencyTransport::new(NullSite, LATENCY_MS);
+        let conns: Vec<_> = (0..4).map(|_| t.connect()).collect();
+        // What each connection's submitter has observed: its own
+        // completions plus any knowledge propagated via observe_now.
+        let mut observed = [0u64; 4];
+        // In-flight fetches: (conn index, handle).
+        let mut outstanding: Vec<(usize, hdsampler_webform::FetchHandle)> = Vec::new();
+        // Highest completion time any fetch has reached (the "site
+        // knowledge" a shared history cache would carry).
+        let mut knowledge = 0u64;
+
+        for (op, c) in ops {
+            match op {
+                // Submit on connection c.
+                0 => {
+                    let handle = t.submit(conns[c], "/x");
+                    let departs = handle.ready_at_ms() - LATENCY_MS;
+                    prop_assert!(
+                        departs >= observed[c],
+                        "fetch departs at {departs} but connection {c}'s submitter \
+                         already observed t = {} — time travel",
+                        observed[c]
+                    );
+                    outstanding.push((c, handle));
+                }
+                // Complete the earliest outstanding fetch (the order a
+                // cooperative driver uses).
+                1 => {
+                    if outstanding.is_empty() {
+                        continue;
+                    }
+                    let ix = outstanding
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, h))| h.ready_at_ms())
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let (c, handle) = outstanding.remove(ix);
+                    let done_at = handle.ready_at_ms();
+                    t.complete(handle).unwrap();
+                    observed[c] = observed[c].max(done_at);
+                    knowledge = knowledge.max(done_at);
+                }
+                // Connection c's submitter consumes cross-connection
+                // knowledge (a history-cache hit derived from another
+                // connection's completion).
+                _ => {
+                    t.observe_now(conns[c], knowledge);
+                    observed[c] = observed[c].max(knowledge);
+                }
+            }
+        }
+
+        // Elapsed never exceeds what completions actually observed, and
+        // knowledge propagation alone never inflates it.
+        prop_assert!(t.virtual_elapsed_ms() <= knowledge);
+    }
+
+    /// Submissions on one connection still serialize: each departs no
+    /// earlier than the previous request's completion on that connection.
+    #[test]
+    fn same_connection_requests_serialize(n in 1usize..30) {
+        let t = LatencyTransport::new(NullSite, LATENCY_MS);
+        let conn = t.connect();
+        let mut prev_ready = 0u64;
+        for _ in 0..n {
+            let h = t.submit(conn, "/x");
+            let departs = h.ready_at_ms() - LATENCY_MS;
+            prop_assert!(departs >= prev_ready.saturating_sub(LATENCY_MS));
+            prop_assert!(h.ready_at_ms() >= prev_ready + LATENCY_MS);
+            prev_ready = h.ready_at_ms();
+            // Leave the fetch un-completed: pipelined queue depth must
+            // not matter.
+        }
+        prop_assert_eq!(prev_ready, n as u64 * LATENCY_MS);
+    }
+}
+
+/// The concrete time-travel scenario from the bug report, as a plain
+/// regression test: learn at t = 200 on connection A, submit on fresh
+/// connection B — the fetch must depart at 200, not 0.
+#[test]
+fn fresh_connection_cannot_depart_at_time_zero_after_learning() {
+    let t = LatencyTransport::new(NullSite, 200);
+    let a = t.connect();
+    let b = t.connect();
+    let first = t.submit(a, "/cause");
+    assert_eq!(first.ready_at_ms(), 200);
+    t.complete(first).unwrap();
+
+    // The walker about to use `b` consumed the result of the fetch above
+    // (e.g. as a history-cache fact) — propagate that knowledge.
+    t.observe_now(b, 200);
+    let second = t.submit(b, "/effect");
+    assert_eq!(
+        second.ready_at_ms(),
+        400,
+        "the effect departs at t = 200 (its cause's completion), not t = 0"
+    );
+    assert_eq!(t.complete(second).unwrap(), "");
+    assert_eq!(t.virtual_elapsed_ms(), 400);
+}
