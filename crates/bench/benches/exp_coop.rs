@@ -70,17 +70,17 @@ fn main() {
 
     // Baseline: the threaded driver at W = 4 (1 runner thread per site +
     // 4 walker threads per site).
-    let threaded4 = MultiSiteDriver::new(cfg(4)).run_concurrent(&build_fleet(SITES));
+    let threaded4 = MultiSiteDriver::new(cfg(4)).run_concurrent(&mut build_fleet(SITES));
     assert_eq!(threaded4.total_samples(), SITES * TARGET_PER_SITE);
     let threaded4_threads = SITES * (4 + 1);
 
     // Cooperative at the same W = 4 (1 thread total).
-    let coop4 = CoopDriver::new(cfg(4)).run(&build_fleet(SITES));
+    let coop4 = CoopDriver::new(cfg(4)).run(&mut build_fleet(SITES));
     assert_eq!(coop4.total_samples(), SITES * TARGET_PER_SITE);
 
     // Cooperative at W = 64: one OS thread, 64 pipelined connections per
     // site.
-    let coop64 = CoopDriver::new(cfg(64)).run(&build_fleet(SITES));
+    let coop64 = CoopDriver::new(cfg(64)).run(&mut build_fleet(SITES));
     assert_eq!(coop64.total_samples(), SITES * TARGET_PER_SITE);
     for site in &coop64.sites {
         assert!(
@@ -93,7 +93,7 @@ fn main() {
     // several requests deep per connection.
     let coop64x8 = CoopDriver::new(cfg(64))
         .with_connections(8)
-        .run(&build_fleet(SITES));
+        .run(&mut build_fleet(SITES));
     assert_eq!(coop64x8.total_samples(), SITES * TARGET_PER_SITE);
 
     let rows = vec![

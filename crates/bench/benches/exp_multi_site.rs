@@ -70,8 +70,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut speedup_at = Vec::new();
     for sites in [1usize, 4, 16] {
-        let serial = driver.run_serial(&build_fleet(sites));
-        let concurrent = driver.run_concurrent(&build_fleet(sites));
+        let serial = driver.run_serial(&mut build_fleet(sites));
+        let concurrent = driver.run_concurrent(&mut build_fleet(sites));
         assert_eq!(serial.total_samples(), sites * TARGET_PER_SITE);
         assert_eq!(concurrent.total_samples(), sites * TARGET_PER_SITE);
         for report in [&serial, &concurrent] {

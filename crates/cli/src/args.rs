@@ -29,6 +29,8 @@ COMMON OPTIONS:
 
 sample:
   --histogram <attr>   attribute(s) to display (repeatable; default: first)
+  --watch              re-render live histograms from streaming snapshots
+                       every 25 samples while the session runs
   --remote <addr>      sample a live `hdsampler serve` at host:port instead
                        of the in-process site (schema flags must match the
                        served dataset)
@@ -57,6 +59,8 @@ multi-site:
                        pipelined connections instead of W threads per site
   --remote <addr[,addr,...]>  drive live servers (one site per address;
                        latency/jitter flags do not apply — the wire is real)
+  --watch              re-render fleet-wide live histograms while the run
+                       progresses
   --coop-conns <C>     with --driver coop: wire connections per site
                        (default: 1/walker on the virtual wire, 4 on live
                        servers)
@@ -93,6 +97,8 @@ pub enum Command {
         /// With `--coop-walkers`: wire connections to share (default: one
         /// per walker).
         coop_conns: Option<usize>,
+        /// Re-render live histograms from streaming snapshots mid-run.
+        watch: bool,
     },
     /// Aggregate console.
     Aggregate {
@@ -125,6 +131,8 @@ pub enum Command {
         /// connection server serves at most `--workers` keep-alive
         /// connections at once).
         coop_conns: Option<usize>,
+        /// Re-render fleet-wide live histograms mid-run.
+        watch: bool,
     },
     /// Serve the simulated site over real HTTP.
     Serve {
@@ -223,6 +231,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut serve_for = None;
     let mut coop_walkers = None;
     let mut coop_conns = None;
+    let mut watch = false;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -348,6 +357,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
                 coop_conns = Some(c);
             }
+            "--watch" => watch = true,
             "--histogram" => histograms.push(value("--histogram")?.clone()),
             "--proportion" => proportions.push(split_kv(value("--proportion")?, "--proportion")?),
             "--avg" => avgs.push(value("--avg")?.clone()),
@@ -368,6 +378,9 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     if coop_conns.is_some() && !matches!(command_word.as_str(), "sample" | "multi-site") {
         return Err(format!("--coop-conns does not apply to `{command_word}`"));
     }
+    if watch && !matches!(command_word.as_str(), "sample" | "multi-site") {
+        return Err(format!("--watch does not apply to `{command_word}`"));
+    }
 
     let command = match command_word.as_str() {
         "describe" => Command::Describe,
@@ -384,6 +397,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 histograms,
                 coop_walkers,
                 coop_conns,
+                watch,
             }
         }
         "aggregate" => Command::Aggregate { proportions, avgs },
@@ -401,6 +415,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 jitter_ms,
                 mode,
                 coop_conns,
+                watch,
             }
         }
         "serve" => Command::Serve {
@@ -462,6 +477,7 @@ mod tests {
                 histograms: vec!["make".into(), "year".into()],
                 coop_walkers: None,
                 coop_conns: None,
+                watch: false,
             }
         );
     }
@@ -522,6 +538,7 @@ mod tests {
                 jitter_ms: 0,
                 mode: DriverMode::Both,
                 coop_conns: None,
+                watch: false,
             }
         );
         assert_eq!(cli.common.samples, 80);
@@ -537,6 +554,7 @@ mod tests {
                 jitter_ms: 0,
                 mode: DriverMode::Concurrent,
                 coop_conns: None,
+                watch: false,
             }
         );
         assert!(parse(&argv(&["multi-site", "--sites", "0"])).is_err());
@@ -564,6 +582,7 @@ mod tests {
                 jitter_ms: 20,
                 mode: DriverMode::Concurrent,
                 coop_conns: None,
+                watch: false,
             }
         );
         assert!(parse(&argv(&["multi-site", "--latency", "50,0,100"])).is_err());
@@ -631,6 +650,7 @@ mod tests {
                 histograms: vec![],
                 coop_walkers: Some(64),
                 coop_conns: Some(4),
+                watch: false,
             }
         );
         let fleet = parse(&argv(&["multi-site", "--driver", "coop"])).unwrap();
@@ -671,6 +691,20 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn watch_flag() {
+        let cli = parse(&argv(&["sample", "--watch"])).unwrap();
+        assert!(matches!(cli.command, Command::Sample { watch: true, .. }));
+        let fleet = parse(&argv(&["multi-site", "--watch"])).unwrap();
+        assert!(matches!(
+            fleet.command,
+            Command::MultiSite { watch: true, .. }
+        ));
+        // --watch is never silently ignored by other commands.
+        assert!(parse(&argv(&["serve", "--watch"])).is_err());
+        assert!(parse(&argv(&["aggregate", "--watch"])).is_err());
     }
 
     #[test]

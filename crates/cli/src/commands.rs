@@ -6,18 +6,18 @@ use std::sync::Arc;
 use hdsampler_core::{
     CachingExecutor, HdsSampler, SampleSet, SamplerConfig, SamplingSession, SessionEvent,
 };
-use hdsampler_estimator::{Estimator, Histogram, MarginalComparison};
+use hdsampler_estimator::{fmt_stat, Estimator, Histogram, MarginalComparison, OnlineFrequencies};
 use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
 use hdsampler_server::{HttpServer, ServerConfig};
 use hdsampler_webform::{
-    Clocked as _, CoopDriver, FleetConfig, HttpTransport, LatencyTransport, LocalSite,
-    MultiSiteDriver, SiteTask, WebForm, WebFormInterface,
+    AsyncTransport, Clocked, Driver, HttpTransport, LatencyTransport, LocalSite, RunPlan,
+    RunReport, SiteReport, SiteTask, Transport, WebForm, WebFormInterface,
 };
 use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
 
 use crate::args::{Cli, Command, Common, DriverMode};
-use crate::display;
+use crate::display::{self, ProgressSink, WatchSink};
 
 /// Build one simulated hidden database from the common options with an
 /// explicit seed (multi-site fleets give every site its own data).
@@ -78,7 +78,10 @@ fn run_session_on<F: FormInterface>(
     let session = SamplingSession::new(common.samples);
     let mut out = std::io::stdout();
     let outcome = session.run(&mut sampler, |event| {
-        if let SessionEvent::SampleAccepted { collected, target } = event {
+        if let SessionEvent::SampleAccepted {
+            collected, target, ..
+        } = event
+        {
             if collected % 25 == 0 || *collected == *target {
                 let _ = write!(out, "\r  samples {collected}/{target}   ");
                 let _ = out.flush();
@@ -146,7 +149,8 @@ pub fn run(cli: Cli) -> Result<(), String> {
             histograms,
             coop_walkers,
             coop_conns,
-        } => sample(&cli.common, &histograms, coop_walkers, coop_conns),
+            watch,
+        } => sample(&cli.common, &histograms, coop_walkers, coop_conns, watch),
         Command::Aggregate { proportions, avgs } => aggregate(&cli.common, &proportions, &avgs),
         Command::Validate { attr } => validate(&cli.common, attr.as_deref()),
         Command::MultiSite {
@@ -156,6 +160,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
             jitter_ms,
             mode,
             coop_conns,
+            watch,
         } => multi_site(
             &cli.common,
             sites,
@@ -164,6 +169,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
             jitter_ms,
             mode,
             coop_conns,
+            watch,
         ),
         Command::Serve {
             port,
@@ -263,6 +269,7 @@ fn build_remote_fleet(
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn multi_site(
     common: &Common,
     sites: usize,
@@ -271,21 +278,24 @@ fn multi_site(
     jitter_ms: u64,
     mode: DriverMode,
     coop_conns: Option<usize>,
+    watch: bool,
 ) -> Result<(), String> {
     if let Some(remote) = &common.remote {
-        return multi_site_remote(common, remote, walkers, mode, coop_conns);
+        return multi_site_remote(common, remote, walkers, mode, coop_conns, watch);
     }
     // Build one fleet up front: its schema validates the --bind scope
     // (the sites share a schema structure, so ids resolve fleet-wide).
-    let fleet = build_fleet(common, sites, latencies_ms, jitter_ms)?;
-    let scope = scope_query(fleet[0].iface.schema(), &common.binds)?;
-    let driver = MultiSiteDriver::new(FleetConfig {
-        walkers_per_site: walkers,
-        target_per_site: common.samples,
-        seed: common.seed,
-        slider: common.slider,
-        scope,
-    });
+    let mut fleet = build_fleet(common, sites, latencies_ms, jitter_ms)?;
+    let schema = fleet[0].iface.schema().clone();
+    let scope = scope_query(&schema, &common.binds)?;
+    let plan_for = |driver: Driver| {
+        RunPlan::target(common.samples)
+            .walkers(walkers)
+            .seed(common.seed)
+            .slider(common.slider)
+            .scope(scope.clone())
+            .driver(driver)
+    };
     let latency_desc = if latencies_ms.len() == 1 {
         format!("{} ms", latencies_ms[0])
     } else {
@@ -296,45 +306,62 @@ fn multi_site(
          {} samples per site, {walkers} walker(s) per site",
         common.source, common.n, common.samples
     );
+    let mut watch_sink = watch.then(|| fleet_watch_sink(&schema)).transpose()?;
     if mode == DriverMode::Coop {
-        // The virtual wire serves any number of connections; default to
-        // one per walker unless the user shared them explicitly.
-        let mut coop = CoopDriver::new(driver.config().clone());
-        if let Some(c) = coop_conns {
-            coop = coop.with_connections(c);
-        }
         println!("driver: cooperative — one thread multiplexes every site's walkers");
-        let report = coop.run(&fleet);
-        println!("\n{}", display::fleet_report(&report));
+        let mut plan = plan_for(Driver::Coop { conns: coop_conns });
+        if let Some(w) = watch_sink.as_mut() {
+            plan = plan.attach(w);
+        }
+        let report = plan.run(&mut fleet);
+        println!("\n{}", display::fleet_report(&report.fleet));
         return Ok(());
     }
     let concurrent = match mode {
         DriverMode::Serial | DriverMode::Coop => None,
         DriverMode::Concurrent | DriverMode::Both => {
-            let report = driver.run_concurrent(&fleet);
-            println!("\n{}", display::fleet_report(&report));
+            let mut plan = plan_for(Driver::Threaded);
+            if let Some(w) = watch_sink.as_mut() {
+                plan = plan.attach(w);
+            }
+            let report = plan.run(&mut fleet);
+            println!("\n{}", display::fleet_report(&report.fleet));
             Some(report)
         }
     };
     let serial = match mode {
         DriverMode::Concurrent | DriverMode::Coop => None,
         DriverMode::Serial | DriverMode::Both => {
-            let report = driver.run_serial(&build_fleet(common, sites, latencies_ms, jitter_ms)?);
-            println!("\n{}", display::fleet_report(&report));
+            let mut plan = plan_for(Driver::Serial);
+            if let Some(w) = watch_sink.as_mut() {
+                plan = plan.attach(w);
+            }
+            let report = plan.run(&mut build_fleet(common, sites, latencies_ms, jitter_ms)?);
+            println!("\n{}", display::fleet_report(&report.fleet));
             Some(report)
         }
     };
     if let (Some(c), Some(s)) = (concurrent, serial) {
-        if c.fleet_elapsed_ms > 0 {
+        if c.fleet.fleet_elapsed_ms > 0 {
             println!(
                 "speedup: {:.1}× (serial {:.1} s → concurrent {:.1} s of virtual wall clock)",
-                s.fleet_elapsed_ms as f64 / c.fleet_elapsed_ms as f64,
-                s.fleet_elapsed_ms as f64 / 1_000.0,
-                c.fleet_elapsed_ms as f64 / 1_000.0,
+                s.fleet.fleet_elapsed_ms as f64 / c.fleet.fleet_elapsed_ms as f64,
+                s.fleet.fleet_elapsed_ms as f64 / 1_000.0,
+                c.fleet.fleet_elapsed_ms as f64 / 1_000.0,
             );
         }
     }
     Ok(())
+}
+
+/// The fleet-wide `--watch` sink: live histograms over the schema's
+/// first attribute, re-rendered every 25 samples.
+fn fleet_watch_sink(schema: &Schema) -> Result<WatchSink, String> {
+    let attr = schema
+        .attr_ids()
+        .next()
+        .ok_or("schema has no attributes to watch")?;
+    Ok(WatchSink::new(vec![Histogram::new(schema, attr)], 25, 40))
 }
 
 /// `multi-site --remote a,b,c`: one site per live server address, real
@@ -352,25 +379,29 @@ fn multi_site_remote(
     walkers: usize,
     mode: DriverMode,
     coop_conns: Option<usize>,
+    watch: bool,
 ) -> Result<(), String> {
     let addrs: Vec<&str> = remote.split(',').map(str::trim).collect();
     if addrs.iter().any(|a| a.is_empty()) {
         return Err("--remote: empty address in list".into());
     }
-    let fleet = build_remote_fleet(common, &addrs)?;
-    let scope = scope_query(fleet[0].iface.schema(), &common.binds)?;
-    let driver = MultiSiteDriver::new(FleetConfig {
-        walkers_per_site: walkers,
-        target_per_site: common.samples,
-        seed: common.seed,
-        slider: common.slider,
-        scope,
-    });
+    let mut fleet = build_remote_fleet(common, &addrs)?;
+    let schema = fleet[0].iface.schema().clone();
+    let scope = scope_query(&schema, &common.binds)?;
+    let plan_for = |driver: Driver| {
+        RunPlan::target(common.samples)
+            .walkers(walkers)
+            .seed(common.seed)
+            .slider(common.slider)
+            .scope(scope.clone())
+            .driver(driver)
+    };
     println!(
         "fleet: {} live server(s) over real TCP, {} samples per site, {walkers} walker(s) per site",
         addrs.len(),
         common.samples
     );
+    let mut watch_sink = watch.then(|| fleet_watch_sink(&schema)).transpose()?;
     if mode == DriverMode::Coop {
         let conns = coop_conns
             .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
@@ -379,21 +410,31 @@ fn multi_site_remote(
             "driver: cooperative — one thread, {walkers} walker(s) pipelined over \
              {conns} connection(s) per site"
         );
-        let report = CoopDriver::new(driver.config().clone())
-            .with_connections(conns)
-            .run(&fleet);
-        println!("\n{}", display::fleet_report(&report));
+        let mut plan = plan_for(Driver::Coop { conns: Some(conns) });
+        if let Some(w) = watch_sink.as_mut() {
+            plan = plan.attach(w);
+        }
+        let report = plan.run(&mut fleet);
+        println!("\n{}", display::fleet_report(&report.fleet));
         return Ok(());
     }
     if matches!(mode, DriverMode::Concurrent | DriverMode::Both) {
-        let report = driver.run_concurrent(&fleet);
-        println!("\n{}", display::fleet_report(&report));
+        let mut plan = plan_for(Driver::Threaded);
+        if let Some(w) = watch_sink.as_mut() {
+            plan = plan.attach(w);
+        }
+        let report = plan.run(&mut fleet);
+        println!("\n{}", display::fleet_report(&report.fleet));
     }
     if matches!(mode, DriverMode::Serial | DriverMode::Both) {
         // A fresh fleet for the serial pass: each transport's real clock
         // starts at zero, like the virtual-wire path rebuilds its fleet.
-        let report = driver.run_serial(&build_remote_fleet(common, &addrs)?);
-        println!("\n{}", display::fleet_report(&report));
+        let mut plan = plan_for(Driver::Serial);
+        if let Some(w) = watch_sink.as_mut() {
+            plan = plan.attach(w);
+        }
+        let report = plan.run(&mut build_remote_fleet(common, &addrs)?);
+        println!("\n{}", display::fleet_report(&report.fleet));
     }
     Ok(())
 }
@@ -434,62 +475,101 @@ fn describe(common: &Common) -> Result<(), String> {
     Ok(())
 }
 
-/// `sample --remote --coop-walkers W`: drive W cooperative walker
-/// machines from this one thread, requests pipelined over the wire.
-fn sample_remote_coop(
-    common: &Common,
-    addr: &str,
-    walkers: usize,
-    conns: Option<usize>,
-) -> Result<(SampleSet, Schema), String> {
-    let iface = remote_iface(common, addr)?;
-    let schema = iface.schema().clone();
-    let scope = scope_query(&schema, &common.binds)?;
-    // Without an explicit --coop-conns, pipeline over a handful of
-    // connections: the server side is thread-per-connection, so
-    // one-socket-per-walker starves its worker pool once W exceeds
-    // `serve --workers`.
-    let conns = conns
-        .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
-        .min(walkers.max(1));
-    println!(
-        "sampling live server http://{addr}: {walkers} cooperative walker(s) on one thread, \
-         {conns} pipelined connection(s)"
-    );
-    let driver = CoopDriver::new(FleetConfig {
-        walkers_per_site: walkers,
-        target_per_site: common.samples,
-        seed: common.seed,
-        slider: common.slider,
-        scope,
-    })
-    .with_connections(conns);
-    let task = SiteTask::new(addr.to_string(), iface);
-    let (mut report, details) = driver.run_with_details(std::slice::from_ref(&task));
-    let site = report.sites.remove(0);
-    let detail = &details[0];
-    println!("{}", display::summary(&detail.stats));
-    println!(
-        "coop: {} walker machine(s) over {} pipelined connection(s), {} history hits",
-        walkers, detail.connections, site.history_hits
-    );
-    let t = task.iface.transport();
-    println!(
-        "wire: {} requests on {} connection(s) ({} left open after idle reap), {} bytes received, {} ms",
-        t.requests_sent(),
-        t.connections(),
-        t.open_connections(),
-        t.bytes_received(),
-        t.elapsed_ms()
-    );
-    match site.stopped {
-        hdsampler_core::StopReason::TargetReached => {}
-        hdsampler_core::StopReason::Failed(e) => {
-            return Err(format!("session failed: {e}"));
+/// Report a site's stop reason: failure is a command failure (scripts
+/// polling `sample --remote` rely on the exit code), early stops are
+/// noted, the target is silent.
+fn check_site_stopped(site: &SiteReport) -> Result<(), String> {
+    match &site.stopped {
+        hdsampler_core::StopReason::TargetReached => Ok(()),
+        hdsampler_core::StopReason::Failed(e) => Err(format!("session failed: {e}")),
+        early => {
+            println!("note: session stopped early ({early:?})");
+            Ok(())
         }
-        early => println!("note: session stopped early ({early:?})"),
     }
-    Ok((site.samples, schema))
+}
+
+/// The in-process `sample` site behind the full webform stack: LocalSite
+/// under a 1 ms virtual-latency wire (the wire only needs a clock, not a
+/// delay model — virtual time never sleeps).
+fn local_task(common: &Common) -> Result<SiteTask<LatencyTransport<LocalSite<HiddenDb>>>, String> {
+    let db = build_db(common, common.seed)?;
+    let schema = Arc::new(db.schema().clone());
+    let k = db.result_limit();
+    let supports_count = db.supports_count();
+    let site = LocalSite::new(db, Arc::clone(&schema));
+    let wire = LatencyTransport::new(site, 1);
+    Ok(SiteTask::new(
+        "local",
+        WebFormInterface::new(wire, schema, k, supports_count),
+    ))
+}
+
+/// Resolve the histogram attribute list (default: the first attribute).
+fn wanted_histograms(schema: &Schema, requested: &[String]) -> Result<Vec<Histogram>, String> {
+    let names: Vec<String> = if requested.is_empty() {
+        vec![schema.attributes()[0].name().to_owned()]
+    } else {
+        requested.to_vec()
+    };
+    names
+        .iter()
+        .map(|name| {
+            schema
+                .attr_by_name(name)
+                .map(|attr| Histogram::new(schema, attr))
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// Run one `sample` plan over a single site task, streaming progress and
+/// live histograms through attached sinks, and return the report plus
+/// the final (online-built) histograms.
+fn run_sample_plan<T>(
+    common: &Common,
+    task: &mut SiteTask<T>,
+    schema: &Schema,
+    requested: &[String],
+    driver: Driver,
+    walkers: usize,
+    watch: bool,
+) -> Result<(RunReport, Vec<Histogram>), String>
+where
+    T: Transport + AsyncTransport + Clocked + Send,
+{
+    let scope = scope_query(schema, &common.binds)?;
+    let mut hists = wanted_histograms(schema, requested)?;
+    let mut progress = ProgressSink::new(25);
+    let mut watch_sink = watch.then(|| WatchSink::new(hists.clone(), 25, 40));
+    let mut plan = RunPlan::target(common.samples)
+        .walkers(walkers)
+        .seed(common.seed)
+        .slider(common.slider)
+        .scope(scope)
+        .driver(driver)
+        .attach(&mut progress);
+    for hist in hists.iter_mut() {
+        plan = plan.attach(hist);
+    }
+    if let Some(w) = watch_sink.as_mut() {
+        plan = plan.attach(w);
+    }
+    let report = plan.run(std::slice::from_mut(task));
+    println!();
+    Ok((report, hists))
+}
+
+/// The per-session summary + history-cache lines shared by every
+/// `sample` surface.
+fn print_session_block(site: &SiteReport) {
+    println!("{}", display::summary(&site.stats));
+    println!(
+        "history cache: {} shards (autotuned), {} hits, {} evictions",
+        site.history.shard_count,
+        site.history.total_hits(),
+        site.history.evictions
+    );
 }
 
 fn sample(
@@ -497,39 +577,85 @@ fn sample(
     histograms: &[String],
     coop_walkers: Option<usize>,
     coop_conns: Option<usize>,
+    watch: bool,
 ) -> Result<(), String> {
-    let (samples, schema) = match (&common.remote, coop_walkers) {
-        (Some(addr), Some(walkers)) => sample_remote_coop(common, addr, walkers, coop_conns)?,
-        (Some(addr), None) => {
-            let iface = remote_iface(common, addr)?;
-            let schema = iface.schema().clone();
-            println!("sampling live server http://{addr} over real TCP");
-            let (samples, _) = run_session_on(&iface, &schema, common)?;
-            let t = iface.transport();
+    let (report, hists) = match (&common.remote, coop_walkers) {
+        (Some(addr), walkers) => {
+            let mut task = SiteTask::new(addr.to_string(), remote_iface(common, addr)?);
+            let schema = task.iface.schema().clone();
+            let (driver, walker_count) = match walkers {
+                Some(w) => {
+                    // Without an explicit --coop-conns, pipeline over a
+                    // handful of connections: the server side is
+                    // thread-per-connection, so one-socket-per-walker
+                    // starves its worker pool once W exceeds
+                    // `serve --workers`.
+                    let conns = coop_conns
+                        .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
+                        .min(w.max(1));
+                    println!(
+                        "sampling live server http://{addr}: {w} cooperative walker(s) on one \
+                         thread, {conns} pipelined connection(s)"
+                    );
+                    (Driver::Coop { conns: Some(conns) }, w)
+                }
+                None => {
+                    println!("sampling live server http://{addr} over real TCP");
+                    (Driver::Threaded, 1)
+                }
+            };
+            let (report, hists) = run_sample_plan(
+                common,
+                &mut task,
+                &schema,
+                histograms,
+                driver,
+                walker_count,
+                watch,
+            )?;
+            let site = report.site();
+            print_session_block(site);
+            if let Some(details) = &report.details {
+                println!(
+                    "coop: {} walker machine(s) over {} pipelined connection(s), {} history hits",
+                    walker_count, details[0].connections, site.history_hits
+                );
+            }
+            let t = task.iface.transport();
             println!(
-                "wire: {} requests on {} connection(s), {} bytes received, {} ms",
+                "wire: {} requests on {} connection(s) ({} left open after idle reap), \
+                 {} bytes received, {} ms",
                 t.requests_sent(),
                 t.connections(),
+                t.open_connections(),
                 t.bytes_received(),
                 t.elapsed_ms()
             );
-            (samples, schema)
+            check_site_stopped(site)?;
+            (report, hists)
         }
         (None, _) => {
-            let db = build_site(common)?;
-            let schema = db.schema().clone();
-            let (samples, _) = run_session(&db, common)?;
-            (samples, schema)
+            let mut task = local_task(common)?;
+            let schema = task.iface.schema().clone();
+            let (report, hists) = run_sample_plan(
+                common,
+                &mut task,
+                &schema,
+                histograms,
+                Driver::Threaded,
+                1,
+                watch,
+            )?;
+            let site = report.site();
+            print_session_block(site);
+            check_site_stopped(site)?;
+            (report, hists)
         }
     };
-    let wanted: Vec<String> = if histograms.is_empty() {
-        vec![schema.attributes()[0].name().to_owned()]
-    } else {
-        histograms.to_vec()
-    };
-    for name in &wanted {
-        let attr = schema.attr_by_name(name).map_err(|e| e.to_string())?;
-        let hist = Histogram::from_rows(&schema, attr, samples.rows());
+    drop(report);
+    // The histograms were built online, sample by sample, by the attached
+    // sinks — rendering them is a pure snapshot read.
+    for hist in &hists {
         println!("\n{}", hist.render(40));
     }
     Ok(())
@@ -588,6 +714,19 @@ fn validate(common: &Common, attr_name: Option<&str>) -> Result<(), String> {
         db.oracle().marginal(attr),
     );
     println!("\n{}", cmp.render(0.01));
+    // Per-tuple skew metrics over the same stream (online face). Both can
+    // go non-finite (χ² needs draws, KL is ∞ when the estimate puts mass
+    // where the truth has none) — `fmt_stat` renders inf/n-a table-safe.
+    let mut freq = OnlineFrequencies::new();
+    for row in samples.rows() {
+        freq.add(row.key);
+    }
+    println!(
+        "skew: chi^2 vs uniform = {} over {} tuples | KL(sampled ‖ truth) = {}",
+        fmt_stat(freq.chi_square_uniform(db.n_tuples()), 1),
+        db.n_tuples(),
+        fmt_stat(cmp.kl(), 4),
+    );
     Ok(())
 }
 
@@ -628,7 +767,7 @@ mod tests {
     #[test]
     fn end_to_end_sample_command() {
         let common = quick_common();
-        sample(&common, &["make".into()], None, None).unwrap();
+        sample(&common, &["make".into()], None, None, false).unwrap();
     }
 
     #[test]
@@ -658,7 +797,7 @@ mod tests {
             samples: 15,
             ..Common::default()
         };
-        multi_site(&common, 3, 2, &[100], 0, DriverMode::Both, None).unwrap();
+        multi_site(&common, 3, 2, &[100], 0, DriverMode::Both, None, false).unwrap();
     }
 
     #[test]
@@ -674,7 +813,7 @@ mod tests {
             remote: Some(handle.addr().to_string()),
             ..common
         };
-        sample(&remote_common, &["make".into()], None, None).unwrap();
+        sample(&remote_common, &["make".into()], None, None, false).unwrap();
         let stats = handle.shutdown();
         assert!(stats.requests > 0, "the session must hit the live server");
         assert_eq!(stats.responses_server_error, 0);
@@ -693,7 +832,7 @@ mod tests {
             remote: Some(handle.addr().to_string()),
             ..common
         };
-        sample(&remote_common, &["make".into()], Some(16), Some(2)).unwrap();
+        sample(&remote_common, &["make".into()], Some(16), Some(2), false).unwrap();
         let stats = handle.shutdown();
         assert!(stats.requests > 0);
         assert_eq!(stats.responses_server_error, 0);
@@ -711,7 +850,7 @@ mod tests {
             samples: 15,
             ..Common::default()
         };
-        multi_site(&common, 3, 4, &[100], 0, DriverMode::Coop, None).unwrap();
+        multi_site(&common, 3, 4, &[100], 0, DriverMode::Coop, None, false).unwrap();
     }
 
     #[test]
@@ -730,6 +869,7 @@ mod tests {
             20,
             DriverMode::Concurrent,
             None,
+            false,
         )
         .unwrap();
     }
@@ -743,12 +883,22 @@ mod tests {
             binds: vec![("condition".to_string(), "used".to_string())],
             ..Common::default()
         };
-        multi_site(&common, 2, 1, &[100], 0, DriverMode::Concurrent, None).unwrap();
+        multi_site(
+            &common,
+            2,
+            1,
+            &[100],
+            0,
+            DriverMode::Concurrent,
+            None,
+            false,
+        )
+        .unwrap();
         let bad = Common {
             binds: vec![("condition".to_string(), "imaginary".to_string())],
             ..common
         };
-        assert!(multi_site(&bad, 2, 1, &[100], 0, DriverMode::Concurrent, None).is_err());
+        assert!(multi_site(&bad, 2, 1, &[100], 0, DriverMode::Concurrent, None, false).is_err());
     }
 
     #[test]

@@ -1,7 +1,132 @@
-//! Terminal rendering helpers.
+//! Terminal rendering helpers, including the CLI's streaming
+//! [`SampleSink`]s: [`ProgressSink`] (the AJAX live counter) and
+//! [`WatchSink`] (`--watch`: live histogram re-rendering mid-run).
 
-use hdsampler_core::SamplerStats;
+use std::any::Any;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+use hdsampler_core::{merged, SampleEvent, SampleSink, SamplerStats};
+use hdsampler_estimator::{fmt_stat, Histogram};
 use hdsampler_webform::FleetReport;
+
+/// Streaming progress printer: re-renders the `\r  samples c/t` line
+/// every `every`-th sample and at the target. Forks share the terminal,
+/// so merging is a no-op.
+#[derive(Debug, Clone)]
+pub struct ProgressSink {
+    every: usize,
+}
+
+impl ProgressSink {
+    /// Print every `every`-th sample (and the final one).
+    pub fn new(every: usize) -> Self {
+        ProgressSink {
+            every: every.max(1),
+        }
+    }
+}
+
+impl SampleSink for ProgressSink {
+    fn observe(&mut self, event: &SampleEvent<'_>) {
+        if event.collected.is_multiple_of(self.every) || event.collected == event.target {
+            let mut out = std::io::stdout();
+            let _ = write!(out, "\r  samples {}/{}   ", event.collected, event.target);
+            let _ = out.flush();
+        }
+    }
+
+    fn fork(&self) -> Box<dyn SampleSink> {
+        Box::new(self.clone())
+    }
+
+    fn merge(&mut self, other: Box<dyn SampleSink>) {
+        let _ = merged::<ProgressSink>(other);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+struct WatchState {
+    hists: Vec<Histogram>,
+    every: usize,
+    seen: usize,
+}
+
+/// `--watch`: maintains live histograms over the sample stream and
+/// re-renders them every `every`-th observed sample — the demo's headline
+/// AJAX behavior, previously impossible mid-run. Forks return a handle to
+/// the same shared state (concurrently driven sites all feed one
+/// display), so merging is a no-op.
+pub struct WatchSink {
+    state: Arc<Mutex<WatchState>>,
+    width: usize,
+}
+
+impl WatchSink {
+    /// Watch the given (empty) histograms, re-rendering every `every`
+    /// samples with `width`-column bars.
+    pub fn new(hists: Vec<Histogram>, every: usize, width: usize) -> Self {
+        WatchSink {
+            state: Arc::new(Mutex::new(WatchState {
+                hists,
+                every: every.max(1),
+                seen: 0,
+            })),
+            width,
+        }
+    }
+
+    /// Snapshot of the live histograms.
+    #[allow(dead_code)] // exercised by tests; kept for front ends reading the live state
+    pub fn histograms(&self) -> Vec<Histogram> {
+        self.state.lock().expect("watch state").hists.clone()
+    }
+}
+
+impl SampleSink for WatchSink {
+    fn observe(&mut self, event: &SampleEvent<'_>) {
+        let mut st = self.state.lock().expect("watch state");
+        for h in &mut st.hists {
+            h.add(&event.sample.row, event.sample.weight);
+        }
+        st.seen += 1;
+        if st.seen.is_multiple_of(st.every) {
+            let mut out = String::new();
+            out.push_str(&format!("\n── live after {} samples ──\n", st.seen));
+            for h in &st.hists {
+                out.push_str(&h.snapshot().render(self.width));
+            }
+            print!("{out}");
+            let _ = std::io::stdout().flush();
+        }
+    }
+
+    fn fork(&self) -> Box<dyn SampleSink> {
+        Box::new(WatchSink {
+            state: Arc::clone(&self.state),
+            width: self.width,
+        })
+    }
+
+    fn merge(&mut self, _other: Box<dyn SampleSink>) {
+        // Forks share this sink's state; nothing to fold back.
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
 
 /// A one-line progress string (the AJAX live counter of the original UI).
 #[allow(dead_code)] // kept for front ends that stream stats live
@@ -13,20 +138,21 @@ pub fn progress_line(collected: usize, target: usize, stats: &SamplerStats) -> S
     )
 }
 
-/// Final session summary block.
+/// Final session summary block. Per-sample ratios are NaN before the
+/// first sample; they render as `n/a`, never raw float debug output.
 pub fn summary(stats: &SamplerStats) -> String {
     format!(
         "session: {} samples | {} walks | {} queries charged ({} requests, {:.0}% from history)\n\
-         per sample: {:.2} queries, {:.2} walks | acceptance rate {:.3}\n\
+         per sample: {} queries, {} walks | acceptance rate {}\n\
          dead ends {} | leaf overflows {} | rejected {}",
         stats.accepted,
         stats.walks,
         stats.queries_issued,
         stats.requests,
         stats.savings_rate() * 100.0,
-        stats.queries_per_sample(),
-        stats.walks_per_sample(),
-        stats.acceptance_rate(),
+        fmt_stat(stats.queries_per_sample(), 2),
+        fmt_stat(stats.walks_per_sample(), 2),
+        fmt_stat(stats.acceptance_rate(), 3),
         stats.dead_ends,
         stats.leaf_overflows,
         stats.rejected,
@@ -125,5 +251,45 @@ mod tests {
         assert!(text.contains("20 samples"));
         assert!(text.contains("100 queries charged"));
         assert!(text.contains("50%"));
+        assert!(text.contains("5.00 queries"), "{text}");
+    }
+
+    #[test]
+    fn empty_session_summary_prints_na_not_nan() {
+        // Zero accepted samples make every per-sample ratio NaN; the
+        // summary must say `n/a`, never raw float debug output.
+        let text = summary(&SamplerStats::default());
+        assert!(text.contains("n/a queries"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn watch_sink_maintains_live_histograms_across_forks() {
+        use hdsampler_core::{Sample, SampleMeta};
+        use hdsampler_model::{AttrId, Attribute, Row, SchemaBuilder};
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::categorical("make", ["Toyota", "Honda"]).unwrap())
+            .finish()
+            .unwrap();
+        let mut watch = WatchSink::new(vec![Histogram::new(&schema, AttrId(0))], 1000, 10);
+        let mut forked = watch.fork();
+        let s = Sample {
+            row: Row::new(1, vec![1], vec![]),
+            weight: 1.0,
+            meta: SampleMeta::default(),
+        };
+        let ev = SampleEvent {
+            sample: &s,
+            site: 0,
+            walker: 0,
+            collected: 1,
+            target: 100,
+        };
+        watch.observe(&ev);
+        forked.observe(&ev);
+        watch.merge(forked);
+        let hists = watch.histograms();
+        assert_eq!(hists[0].total(), 2.0, "fork shares the live state");
+        assert_eq!(hists[0].counts()[1], 2.0);
     }
 }

@@ -37,6 +37,7 @@ pub mod machine;
 pub mod order;
 pub mod sample;
 pub mod session;
+pub mod sink;
 pub mod stats;
 pub mod walk;
 
@@ -54,4 +55,5 @@ pub use machine::{WalkMachine, WalkStep};
 pub use order::OrderStrategy;
 pub use sample::{Sample, SampleMeta, SampleSet, Sampler, SamplerError};
 pub use session::{SamplingSession, SessionEvent, SessionOutcome, StopReason};
+pub use sink::{merged, observe_all, NullSink, SampleEvent, SampleSetSink, SampleSink};
 pub use stats::SamplerStats;

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::sample::{Sample, SampleSet, Sampler, SamplerError};
+use crate::sink::{observe_all, SampleEvent, SampleSink};
 use crate::stats::SamplerStats;
 
 /// Why a session ended.
@@ -35,9 +36,12 @@ pub enum StopReason {
 /// Progress notifications emitted while a session runs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SessionEvent {
-    /// A sample was accepted (carries the running total).
+    /// A sample was accepted (carries the sample itself and the running
+    /// total — the AJAX live-update payload).
     SampleAccepted {
-        /// Samples collected so far.
+        /// The accepted sample.
+        sample: Sample,
+        /// Samples collected so far (including this one).
         collected: usize,
         /// Target count.
         target: usize,
@@ -57,9 +61,11 @@ pub struct SessionOutcome {
     pub stats: SamplerStats,
 }
 
-/// An incremental sampling run with kill switch and progress events.
+/// An incremental sampling run with kill switch, progress events and
+/// streaming [`SampleSink`] observers.
 pub struct SamplingSession {
     target: usize,
+    site: usize,
     kill: Arc<AtomicBool>,
 }
 
@@ -68,8 +74,16 @@ impl SamplingSession {
     pub fn new(target: usize) -> Self {
         SamplingSession {
             target,
+            site: 0,
             kill: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Label every emitted [`SampleEvent`] with this site index (fleet
+    /// drivers run one session per site; default 0).
+    pub fn with_site(mut self, site: usize) -> Self {
+        self.site = site;
+        self
     }
 
     /// Handle that stops the session from another thread (the demo UI's
@@ -83,6 +97,18 @@ impl SamplingSession {
     pub fn run<S: Sampler>(
         &self,
         sampler: &mut S,
+        on_event: impl FnMut(&SessionEvent),
+    ) -> SessionOutcome {
+        self.run_observed(sampler, &mut [], on_event)
+    }
+
+    /// [`SamplingSession::run`], additionally streaming every accepted
+    /// sample into `sinks` at the moment it is collected. The sinks' final
+    /// state describes exactly the outcome's sample set, in order.
+    pub fn run_observed<S: Sampler>(
+        &self,
+        sampler: &mut S,
+        sinks: &mut [&mut dyn SampleSink],
         mut on_event: impl FnMut(&SessionEvent),
     ) -> SessionOutcome {
         let mut samples = SampleSet::new();
@@ -95,11 +121,23 @@ impl SamplingSession {
             }
             match sampler.next_sample() {
                 Ok(s) => {
-                    samples.push(s);
+                    let collected = samples.len() + 1;
+                    observe_all(
+                        sinks,
+                        &SampleEvent {
+                            sample: &s,
+                            site: self.site,
+                            walker: 0,
+                            collected,
+                            target: self.target,
+                        },
+                    );
                     on_event(&SessionEvent::SampleAccepted {
-                        collected: samples.len(),
+                        sample: s.clone(),
+                        collected,
                         target: self.target,
                     });
+                    samples.push(s);
                 }
                 Err(SamplerError::BudgetExhausted { .. }) => {
                     break StopReason::BudgetExhausted;
@@ -131,8 +169,36 @@ impl SamplingSession {
         S: Sampler,
         F: Fn(usize) -> S + Sync,
     {
+        self.run_parallel_observed(workers, make_sampler, &mut [])
+    }
+
+    /// [`SamplingSession::run_parallel`] with streaming observation: each
+    /// sink is [`fork`](SampleSink::fork)ed once per worker, a worker's
+    /// accepted samples are observed into its fork (in that worker's
+    /// production order, as the collector admits them to the shared set),
+    /// and the forks are [`merge`](SampleSink::merge)d back in worker
+    /// order on join. As in the single-threaded path, the sinks' final
+    /// state describes exactly the collected sample set — overshoot
+    /// samples a worker produced after the target was met are observed by
+    /// no sink.
+    pub fn run_parallel_observed<S, F>(
+        &self,
+        workers: usize,
+        make_sampler: F,
+        sinks: &mut [&mut dyn SampleSink],
+    ) -> SessionOutcome
+    where
+        S: Sampler,
+        F: Fn(usize) -> S + Sync,
+    {
         assert!(workers >= 1, "need at least one worker");
-        let (tx, rx) = crossbeam::channel::unbounded::<Result<Sample, SamplerError>>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<Sample, SamplerError>)>();
+        // One fork per (sink, worker); merged back in worker order after
+        // the scope joins.
+        let mut forks: Vec<Vec<Box<dyn SampleSink>>> = sinks
+            .iter()
+            .map(|s| (0..workers).map(|_| s.fork()).collect())
+            .collect();
         let kill = &self.kill;
         // Run-local stop flag. Workers are told to wind down through this,
         // *never* by storing into the user-facing kill switch: the session
@@ -160,7 +226,7 @@ impl SamplingSession {
                         }
                         let out = sampler.next_sample();
                         let is_err = out.is_err();
-                        if tx.send(out).is_err() || is_err {
+                        if tx.send((w, out)).is_err() || is_err {
                             break;
                         }
                     }
@@ -172,12 +238,25 @@ impl SamplingSession {
 
             while samples.len() < target {
                 match rx.recv() {
-                    Ok(Ok(s)) => samples.push(s),
-                    Ok(Err(SamplerError::BudgetExhausted { .. })) => {
+                    Ok((w, Ok(s))) => {
+                        let collected = samples.len() + 1;
+                        let ev = SampleEvent {
+                            sample: &s,
+                            site: self.site,
+                            walker: w,
+                            collected,
+                            target,
+                        };
+                        for worker_forks in forks.iter_mut() {
+                            worker_forks[w].observe(&ev);
+                        }
+                        samples.push(s);
+                    }
+                    Ok((_, Err(SamplerError::BudgetExhausted { .. }))) => {
                         reason = StopReason::BudgetExhausted;
                         break;
                     }
-                    Ok(Err(e)) => {
+                    Ok((_, Err(e))) => {
                         reason = StopReason::Failed(e);
                         break;
                     }
@@ -201,6 +280,12 @@ impl SamplingSession {
             while rx.try_recv().is_ok() {}
         })
         .expect("worker panicked");
+
+        for (sink, worker_forks) in sinks.iter_mut().zip(forks) {
+            for fork in worker_forks {
+                sink.merge(fork);
+            }
+        }
 
         SessionOutcome {
             samples,
@@ -323,6 +408,73 @@ mod tests {
         kill.store(true, Ordering::Relaxed);
         let killed = session.run(&mut s, |_| {});
         assert_eq!(killed.reason, StopReason::Killed);
+    }
+
+    #[test]
+    fn observed_run_streams_every_collected_sample() {
+        use crate::sink::{SampleSetSink, SampleSink as _};
+        let db = figure1_db(1);
+        let mut s = HdsSampler::new(DirectExecutor::new(&db), SamplerConfig::seeded(4)).unwrap();
+        let session = SamplingSession::new(30).with_site(7);
+        let mut collector = SampleSetSink::new();
+        let mut events = Vec::new();
+        let out = {
+            let mut sinks: Vec<&mut dyn crate::sink::SampleSink> = vec![&mut collector];
+            session.run_observed(&mut s, &mut sinks, |e| {
+                if let SessionEvent::SampleAccepted {
+                    sample, collected, ..
+                } = e
+                {
+                    events.push((sample.row.key, *collected));
+                }
+            })
+        };
+        assert_eq!(out.reason, StopReason::TargetReached);
+        // The sink saw exactly the collected set, in order.
+        assert_eq!(collector.set().keys(), out.samples.keys());
+        // The session event carries the sample payload and running count.
+        assert_eq!(
+            events,
+            out.samples
+                .keys()
+                .into_iter()
+                .zip(1..=30)
+                .collect::<Vec<_>>()
+        );
+        // fork/merge of the set sink concatenates.
+        let forked = collector.fork();
+        collector.merge(forked);
+        assert_eq!(collector.set().len(), 30);
+    }
+
+    #[test]
+    fn parallel_observed_sinks_describe_the_collected_set() {
+        use crate::history::CachingExecutor;
+        use crate::sink::{SampleSetSink, SampleSink};
+        let db = figure1_db(1);
+        let exec = Arc::new(CachingExecutor::new(&db));
+        let session = SamplingSession::new(40);
+        let mut collector = SampleSetSink::new();
+        let out = {
+            let mut sinks: Vec<&mut dyn SampleSink> = vec![&mut collector];
+            session.run_parallel_observed(
+                3,
+                |w| {
+                    HdsSampler::new(Arc::clone(&exec), SamplerConfig::seeded(40 + w as u64))
+                        .expect("valid config")
+                },
+                &mut sinks,
+            )
+        };
+        assert_eq!(out.reason, StopReason::TargetReached);
+        // Same multiset of samples: merge groups per worker, so only the
+        // (key-sorted) contents are comparable, not the interleaving.
+        let mut observed = collector.set().keys();
+        let mut collected = out.samples.keys();
+        observed.sort_unstable();
+        collected.sort_unstable();
+        assert_eq!(observed, collected);
+        assert_eq!(collector.set().len(), 40, "no overshoot reaches the sink");
     }
 
     #[test]

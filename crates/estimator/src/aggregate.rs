@@ -9,8 +9,18 @@
 //! threshold on the raw measure, …) that the conjunctive *interface* could
 //! never express, which is exactly what makes samples more useful than
 //! targeted queries.
+//!
+//! Each aggregate has an online face — [`OnlineProportion`],
+//! [`OnlineCount`], [`OnlineAvg`], [`OnlineSum`] — a [`SampleSink`]
+//! accumulating the sufficient statistics one sample at a time with a
+//! [`snapshot`](OnlineProportion::snapshot) view. The batch [`Estimator`]
+//! methods are thin wrappers that feed the sample set through the same
+//! accumulators, so a live snapshot taken after the last sample is
+//! bit-identical to the post-hoc batch estimate.
 
-use hdsampler_core::SampleSet;
+use std::any::Any;
+
+use hdsampler_core::{merged, Sample, SampleSet, SampleSink};
 use hdsampler_model::{MeasureId, Row};
 
 /// A point estimate with a symmetric 95 % normal-approximation interval.
@@ -44,6 +54,325 @@ impl AggregateEstimate {
 
 const Z95: f64 = 1.959964;
 
+/// Implement [`SampleSink`] for an online aggregate: forks clone the
+/// predicate/config with zeroed accumulators, merges add the sufficient
+/// statistics (order-independent up to float association).
+macro_rules! impl_aggregate_sink {
+    ($name:ident { $($sum:ident),+ $(,)? }) => {
+        impl<P> SampleSink for $name<P>
+        where
+            P: Fn(&Row) -> bool + Clone + Send + 'static,
+        {
+            fn observe(&mut self, event: &hdsampler_core::SampleEvent<'_>) {
+                self.add(event.sample);
+            }
+
+            fn fork(&self) -> Box<dyn SampleSink> {
+                let mut fork = self.clone();
+                $(fork.$sum = Default::default();)+
+                Box::new(fork)
+            }
+
+            fn merge(&mut self, other: Box<dyn SampleSink>) {
+                let other = merged::<$name<P>>(other);
+                $(self.$sum += other.$sum;)+
+            }
+
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+
+            fn into_any(self: Box<Self>) -> Box<dyn Any> {
+                self
+            }
+        }
+    };
+}
+
+/// Online estimated fraction of tuples satisfying a predicate.
+///
+/// Accumulates `(Σw over hits, Σw, Σw², n)` per observed sample; the
+/// inherent `add`/`snapshot` methods need only `P: Fn(&Row) -> bool`, the
+/// [`SampleSink`] impl additionally `Clone + Send + 'static` (forks must
+/// carry the predicate to other workers).
+#[derive(Debug, Clone)]
+pub struct OnlineProportion<P> {
+    pred: P,
+    hit_w: f64,
+    total_w: f64,
+    sum_w2: f64,
+    n: usize,
+}
+
+impl<P: Fn(&Row) -> bool> OnlineProportion<P> {
+    /// Empty accumulator for `pred`.
+    pub fn new(pred: P) -> Self {
+        OnlineProportion {
+            pred,
+            hit_w: 0.0,
+            total_w: 0.0,
+            sum_w2: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Fold in one sample. Non-finite weights are rejected and the
+    /// observation skipped — the same guard as
+    /// [`Histogram::add`](crate::histogram::Histogram::add): one NaN
+    /// importance weight must not poison every later snapshot.
+    pub fn add(&mut self, s: &Sample) {
+        if !s.weight.is_finite() {
+            return;
+        }
+        self.total_w += s.weight;
+        self.sum_w2 += s.weight * s.weight;
+        if (self.pred)(&s.row) {
+            self.hit_w += s.weight;
+        }
+        self.n += 1;
+    }
+
+    /// The current estimate (NaN before the first sample).
+    pub fn snapshot(&self) -> AggregateEstimate {
+        if self.n == 0 {
+            return AggregateEstimate {
+                value: f64::NAN,
+                half_width: f64::NAN,
+                n: 0,
+            };
+        }
+        let p = self.hit_w / self.total_w;
+        // Effective sample size for weighted data: (Σw)² / Σw².
+        let n_eff = self.total_w * self.total_w / self.sum_w2;
+        let half = Z95 * (p * (1.0 - p) / n_eff).sqrt();
+        AggregateEstimate {
+            value: p,
+            half_width: half,
+            n: self.n,
+        }
+    }
+}
+
+impl_aggregate_sink!(OnlineProportion {
+    hit_w,
+    total_w,
+    sum_w2,
+    n
+});
+
+/// Online estimated COUNT: an [`OnlineProportion`] scaled by the database
+/// size `n_total` (known, site-reported, or estimated via
+/// [`capture_recapture`](crate::size::capture_recapture)).
+#[derive(Debug, Clone)]
+pub struct OnlineCount<P> {
+    inner: OnlineProportion<P>,
+    n_total: f64,
+}
+
+impl<P: Fn(&Row) -> bool> OnlineCount<P> {
+    /// Empty accumulator scaling by `n_total`.
+    pub fn new(n_total: f64, pred: P) -> Self {
+        OnlineCount {
+            inner: OnlineProportion::new(pred),
+            n_total,
+        }
+    }
+
+    /// Fold in one sample.
+    pub fn add(&mut self, s: &Sample) {
+        self.inner.add(s);
+    }
+
+    /// The current estimate.
+    pub fn snapshot(&self) -> AggregateEstimate {
+        let p = self.inner.snapshot();
+        AggregateEstimate {
+            value: p.value * self.n_total,
+            half_width: p.half_width * self.n_total,
+            n: p.n,
+        }
+    }
+}
+
+impl<P> SampleSink for OnlineCount<P>
+where
+    P: Fn(&Row) -> bool + Clone + Send + 'static,
+{
+    fn observe(&mut self, event: &hdsampler_core::SampleEvent<'_>) {
+        self.add(event.sample);
+    }
+
+    fn fork(&self) -> Box<dyn SampleSink> {
+        let mut fork = self.clone();
+        fork.inner = OnlineProportion::new(fork.inner.pred.clone());
+        Box::new(fork)
+    }
+
+    fn merge(&mut self, other: Box<dyn SampleSink>) {
+        // Delegate to the inner proportion's own merge so a future field
+        // cannot be silently dropped here.
+        let other = merged::<OnlineCount<P>>(other);
+        self.inner.merge(Box::new(other.inner));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Online estimated AVG of a measure over tuples satisfying a predicate:
+/// self-normalized weighted mean with a sufficient-statistics variance
+/// (`Σw(x−x̄)² = Σwx² − x̄·Σwx`).
+#[derive(Debug, Clone)]
+pub struct OnlineAvg<P> {
+    pred: P,
+    m: MeasureId,
+    n: usize,
+    w: f64,
+    wx: f64,
+    wx2: f64,
+    w2: f64,
+}
+
+impl<P: Fn(&Row) -> bool> OnlineAvg<P> {
+    /// Empty accumulator for measure `m` over `pred`.
+    pub fn new(m: MeasureId, pred: P) -> Self {
+        OnlineAvg {
+            pred,
+            m,
+            n: 0,
+            w: 0.0,
+            wx: 0.0,
+            wx2: 0.0,
+            w2: 0.0,
+        }
+    }
+
+    /// Fold in one sample (ignored unless the predicate selects it;
+    /// non-finite weights are rejected like everywhere else).
+    pub fn add(&mut self, s: &Sample) {
+        if !s.weight.is_finite() || !(self.pred)(&s.row) {
+            return;
+        }
+        let x = s.row.measures[self.m.index()];
+        let w = s.weight;
+        self.n += 1;
+        self.w += w;
+        self.wx += x * w;
+        self.wx2 += x * x * w;
+        self.w2 += w * w;
+    }
+
+    /// The current estimate (NaN value before the first selected sample,
+    /// NaN half-width before the second).
+    pub fn snapshot(&self) -> AggregateEstimate {
+        if self.n == 0 {
+            return AggregateEstimate {
+                value: f64::NAN,
+                half_width: f64::NAN,
+                n: 0,
+            };
+        }
+        let mean = self.wx / self.w;
+        if self.n < 2 {
+            return AggregateEstimate {
+                value: mean,
+                half_width: f64::NAN,
+                n: self.n,
+            };
+        }
+        // Self-normalized weighted variance; clamped at 0 against the
+        // cancellation the sufficient-statistics form can produce.
+        let var = ((self.wx2 - mean * self.wx) / self.w).max(0.0);
+        let n_eff = self.w * self.w / self.w2;
+        let half = Z95 * (var / n_eff).sqrt();
+        AggregateEstimate {
+            value: mean,
+            half_width: half,
+            n: self.n,
+        }
+    }
+}
+
+impl_aggregate_sink!(OnlineAvg { n, w, wx, wx2, w2 });
+
+/// Online estimated SUM of a measure over tuples satisfying a predicate,
+/// scaled by the database size: `SUM = N · E[x · 1_pred]`, estimated over
+/// *all* samples (zero contribution where the predicate fails) so the CI
+/// reflects both sources of variance.
+#[derive(Debug, Clone)]
+pub struct OnlineSum<P> {
+    pred: P,
+    m: MeasureId,
+    n_total: f64,
+    n: usize,
+    w: f64,
+    s1: f64,
+    s2: f64,
+    w2: f64,
+}
+
+impl<P: Fn(&Row) -> bool> OnlineSum<P> {
+    /// Empty accumulator for measure `m` over `pred`, scaling by
+    /// `n_total`.
+    pub fn new(n_total: f64, m: MeasureId, pred: P) -> Self {
+        OnlineSum {
+            pred,
+            m,
+            n_total,
+            n: 0,
+            w: 0.0,
+            s1: 0.0,
+            s2: 0.0,
+            w2: 0.0,
+        }
+    }
+
+    /// Fold in one sample (non-finite weights rejected).
+    pub fn add(&mut self, s: &Sample) {
+        if !s.weight.is_finite() {
+            return;
+        }
+        let c = if (self.pred)(&s.row) {
+            s.row.measures[self.m.index()]
+        } else {
+            0.0
+        };
+        let w = s.weight;
+        self.n += 1;
+        self.w += w;
+        self.s1 += c * w;
+        self.s2 += c * c * w;
+        self.w2 += w * w;
+    }
+
+    /// The current estimate (NaN before the first sample).
+    pub fn snapshot(&self) -> AggregateEstimate {
+        if self.n == 0 {
+            return AggregateEstimate {
+                value: f64::NAN,
+                half_width: f64::NAN,
+                n: 0,
+            };
+        }
+        let mean = self.s1 / self.w;
+        let var = (self.s2 / self.w - mean * mean).max(0.0);
+        let n_eff = self.w * self.w / self.w2;
+        let half = Z95 * (var / n_eff).sqrt() * self.n_total;
+        AggregateEstimate {
+            value: mean * self.n_total,
+            half_width: half,
+            n: self.n,
+        }
+    }
+}
+
+impl_aggregate_sink!(OnlineSum { n, w, s1, s2, w2 });
+
 /// Aggregate-query answering over a sample set.
 ///
 /// Weighted samples (count-sampler under noisy counts) are handled by
@@ -59,152 +388,51 @@ impl<'a> Estimator<'a> {
         Estimator { samples }
     }
 
-    /// Estimated fraction of tuples satisfying `pred`.
+    /// Estimated fraction of tuples satisfying `pred` (batch convenience
+    /// over [`OnlineProportion`]).
     pub fn proportion(&self, pred: impl Fn(&Row) -> bool) -> AggregateEstimate {
-        let n = self.samples.len();
-        if n == 0 {
-            return AggregateEstimate {
-                value: f64::NAN,
-                half_width: f64::NAN,
-                n: 0,
-            };
+        let mut acc = OnlineProportion::new(pred);
+        for s in self.samples.samples() {
+            acc.add(s);
         }
-        let total_w = self.samples.total_weight();
-        let hit_w: f64 = self
-            .samples
-            .samples()
-            .iter()
-            .filter(|s| pred(&s.row))
-            .map(|s| s.weight)
-            .sum();
-        let p = hit_w / total_w;
-        // Effective sample size for weighted data: (Σw)² / Σw².
-        let sum_w2: f64 = self
-            .samples
-            .samples()
-            .iter()
-            .map(|s| s.weight * s.weight)
-            .sum();
-        let n_eff = total_w * total_w / sum_w2;
-        let half = Z95 * (p * (1.0 - p) / n_eff).sqrt();
-        AggregateEstimate {
-            value: p,
-            half_width: half,
-            n,
-        }
+        acc.snapshot()
     }
 
     /// Estimated COUNT of tuples satisfying `pred`, given the database size
     /// `n_total` (known, reported by the site, or estimated via
-    /// [`capture_recapture`](crate::size::capture_recapture)).
+    /// [`capture_recapture`](crate::size::capture_recapture)) — a batch
+    /// convenience over [`OnlineCount`].
     pub fn count(&self, n_total: f64, pred: impl Fn(&Row) -> bool) -> AggregateEstimate {
-        let p = self.proportion(pred);
-        AggregateEstimate {
-            value: p.value * n_total,
-            half_width: p.half_width * n_total,
-            n: p.n,
+        let mut acc = OnlineCount::new(n_total, pred);
+        for s in self.samples.samples() {
+            acc.add(s);
         }
+        acc.snapshot()
     }
 
-    /// Estimated AVG of measure `m` over tuples satisfying `pred`.
+    /// Estimated AVG of measure `m` over tuples satisfying `pred` (batch
+    /// convenience over [`OnlineAvg`]).
     pub fn avg(&self, m: MeasureId, pred: impl Fn(&Row) -> bool) -> AggregateEstimate {
-        let selected: Vec<(f64, f64)> = self
-            .samples
-            .samples()
-            .iter()
-            .filter(|s| pred(&s.row))
-            .map(|s| (s.row.measures[m.index()], s.weight))
-            .collect();
-        let n = selected.len();
-        if n == 0 {
-            return AggregateEstimate {
-                value: f64::NAN,
-                half_width: f64::NAN,
-                n: 0,
-            };
+        let mut acc = OnlineAvg::new(m, pred);
+        for s in self.samples.samples() {
+            acc.add(s);
         }
-        let w_total: f64 = selected.iter().map(|&(_, w)| w).sum();
-        let mean: f64 = selected.iter().map(|&(x, w)| x * w).sum::<f64>() / w_total;
-        if n < 2 {
-            return AggregateEstimate {
-                value: mean,
-                half_width: f64::NAN,
-                n,
-            };
-        }
-        // Weighted variance (self-normalized); reduces to the sample
-        // variance when all weights are 1.
-        let var: f64 = selected
-            .iter()
-            .map(|&(x, w)| w * (x - mean) * (x - mean))
-            .sum::<f64>()
-            / w_total;
-        let n_eff = w_total * w_total / selected.iter().map(|&(_, w)| w * w).sum::<f64>();
-        let half = Z95 * (var / n_eff).sqrt();
-        AggregateEstimate {
-            value: mean,
-            half_width: half,
-            n,
-        }
+        acc.snapshot()
     }
 
     /// Estimated SUM of measure `m` over tuples satisfying `pred`, given
-    /// the database size.
+    /// the database size (batch convenience over [`OnlineSum`]).
     pub fn sum(
         &self,
         n_total: f64,
         m: MeasureId,
         pred: impl Fn(&Row) -> bool,
     ) -> AggregateEstimate {
-        // SUM = N · E[x · 1_pred]; estimate the per-tuple contribution mean
-        // over *all* samples (zeros where the predicate fails) so the CI
-        // reflects both sources of variance.
-        let n = self.samples.len();
-        if n == 0 {
-            return AggregateEstimate {
-                value: f64::NAN,
-                half_width: f64::NAN,
-                n: 0,
-            };
+        let mut acc = OnlineSum::new(n_total, m, pred);
+        for s in self.samples.samples() {
+            acc.add(s);
         }
-        let w_total = self.samples.total_weight();
-        let contrib = |s: &hdsampler_core::Sample| {
-            if pred(&s.row) {
-                s.row.measures[m.index()]
-            } else {
-                0.0
-            }
-        };
-        let mean: f64 = self
-            .samples
-            .samples()
-            .iter()
-            .map(|s| contrib(s) * s.weight)
-            .sum::<f64>()
-            / w_total;
-        let var: f64 = self
-            .samples
-            .samples()
-            .iter()
-            .map(|s| {
-                let d = contrib(s) - mean;
-                s.weight * d * d
-            })
-            .sum::<f64>()
-            / w_total;
-        let n_eff = w_total * w_total
-            / self
-                .samples
-                .samples()
-                .iter()
-                .map(|s| s.weight * s.weight)
-                .sum::<f64>();
-        let half = Z95 * (var / n_eff).sqrt() * n_total;
-        AggregateEstimate {
-            value: mean * n_total,
-            half_width: half,
-            n,
-        }
+        acc.snapshot()
     }
 }
 
@@ -212,6 +440,33 @@ impl<'a> Estimator<'a> {
 mod tests {
     use super::*;
     use hdsampler_core::{Sample, SampleMeta};
+
+    #[test]
+    fn non_finite_weights_are_skipped_by_every_aggregate_sink() {
+        // Same policy as Histogram::add: a NaN/∞ importance weight is
+        // rejected at add, not allowed to poison the snapshot.
+        let good = sample(1, 10.0, 2.0);
+        let nan = sample(1, 10.0, f64::NAN);
+        let inf = sample(1, 10.0, f64::INFINITY);
+        let pred = |r: &Row| r.values[0] == 1;
+
+        let mut p = OnlineProportion::new(pred);
+        let mut c = OnlineCount::new(100.0, pred);
+        let mut a = OnlineAvg::new(MeasureId(0), pred);
+        let mut s = OnlineSum::new(100.0, MeasureId(0), pred);
+        for smp in [&good, &nan, &inf] {
+            p.add(smp);
+            c.add(smp);
+            a.add(smp);
+            s.add(smp);
+        }
+        assert_eq!(p.snapshot().n, 1);
+        assert!((p.snapshot().value - 1.0).abs() < 1e-12);
+        assert!((c.snapshot().value - 100.0).abs() < 1e-12);
+        assert_eq!(a.snapshot().n, 1);
+        assert!((a.snapshot().value - 10.0).abs() < 1e-12);
+        assert!((s.snapshot().value - 1000.0).abs() < 1e-12);
+    }
 
     fn sample(v: u16, measure: f64, weight: f64) -> Sample {
         Sample {

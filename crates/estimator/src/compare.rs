@@ -9,7 +9,23 @@
 
 use hdsampler_model::{AttrId, Schema};
 
-use crate::skew::tv_distance;
+use crate::skew::{kl_divergence, tv_distance};
+
+/// Table-safe rendering of a statistic that may be non-finite: `inf` /
+/// `-inf` for infinities, `n/a` for NaN, fixed-point otherwise — raw
+/// float debug output (`NaN`, `inf` formatted by `{:?}`) never reaches a
+/// table.
+pub fn fmt_stat(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else if x == f64::INFINITY {
+        "inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
 
 /// Comparison of an estimated marginal against a reference distribution.
 #[derive(Debug, Clone)]
@@ -43,6 +59,12 @@ impl MarginalComparison {
         tv_distance(&self.estimated, &self.reference)
     }
 
+    /// KL divergence of the estimate from the reference (infinite when
+    /// the estimate puts mass where the reference has none).
+    pub fn kl(&self) -> f64 {
+        kl_divergence(&self.estimated, &self.reference)
+    }
+
     /// Largest absolute per-value error.
     pub fn max_abs_error(&self) -> f64 {
         self.estimated
@@ -68,11 +90,8 @@ impl MarginalComparison {
     pub fn render(&self, min_share: f64) -> String {
         use std::fmt::Write as _;
         let mut order: Vec<usize> = (0..self.labels.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.reference[b]
-                .partial_cmp(&self.reference[a])
-                .expect("finite")
-        });
+        // Total order: a NaN reference share must not abort the table.
+        order.sort_by(|&a, &b| self.reference[b].total_cmp(&self.reference[a]));
         let label_w = self
             .labels
             .iter()
@@ -113,7 +132,13 @@ impl MarginalComparison {
                 (other.0 - other.1).abs() * 100.0,
             );
         }
-        let _ = writeln!(out, "{:label_w$} TV distance = {:.4}", "", self.tv());
+        let _ = writeln!(
+            out,
+            "{:label_w$} TV distance = {} | KL divergence = {}",
+            "",
+            fmt_stat(self.tv(), 4),
+            fmt_stat(self.kl(), 4),
+        );
         out
     }
 }
@@ -163,5 +188,25 @@ mod tests {
     fn arity_mismatch_panics() {
         let s = schema();
         let _ = MarginalComparison::new(&s, AttrId(0), vec![1.0], vec![0.3, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn fmt_stat_handles_non_finite() {
+        assert_eq!(fmt_stat(f64::NAN, 2), "n/a");
+        assert_eq!(fmt_stat(f64::INFINITY, 2), "inf");
+        assert_eq!(fmt_stat(f64::NEG_INFINITY, 2), "-inf");
+        assert_eq!(fmt_stat(1.2345, 2), "1.23");
+    }
+
+    #[test]
+    fn infinite_kl_renders_as_inf_not_debug_float() {
+        // The estimate puts mass where the reference has none → KL = ∞.
+        // The table must say `inf`, never `{:?}`-style raw float output.
+        let s = schema();
+        let c = MarginalComparison::new(&s, AttrId(0), vec![0.5, 0.5, 0.0], vec![1.0, 0.0, 0.0]);
+        assert_eq!(c.kl(), f64::INFINITY);
+        let table = c.render(0.0);
+        assert!(table.contains("KL divergence = inf"), "{table}");
+        assert!(!table.contains("NaN"), "{table}");
     }
 }

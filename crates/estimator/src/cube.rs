@@ -1,11 +1,18 @@
 //! Small group-by data cubes from samples (§3.4): "for example, to execute
 //! approximate aggregate queries on a resultant data cube".
+//!
+//! Like [`Histogram`](crate::histogram::Histogram), [`DataCube`] is its
+//! own online face: it implements [`SampleSink`] and the batch
+//! constructor is a thin wrapper over the incremental [`DataCube::add`].
 
+use std::any::Any;
+
+use hdsampler_core::{merged, SampleEvent, SampleSink};
 use hdsampler_model::{AttrId, Row, Schema};
 
 /// A two-dimensional (attribute × attribute) weighted count cube built from
 /// samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataCube {
     row_attr: AttrId,
     col_attr: AttrId,
@@ -46,12 +53,21 @@ impl DataCube {
         cube
     }
 
-    /// Add one observation.
+    /// Add one observation. Non-finite weights are rejected (same guard
+    /// as [`Histogram::add`](crate::histogram::Histogram::add)).
     pub fn add(&mut self, row: &Row, weight: f64) {
+        if !weight.is_finite() {
+            return;
+        }
         let r = row.values[self.row_attr.index()] as usize;
         let c = row.values[self.col_attr.index()] as usize;
         self.cells[r][c] += weight;
         self.total += weight;
+    }
+
+    /// The current state as an owned value (the live-display snapshot).
+    pub fn snapshot(&self) -> DataCube {
+        self.clone()
     }
 
     /// Estimated joint proportion of cell `(r, c)`.
@@ -129,6 +145,44 @@ impl DataCube {
             let _ = writeln!(out);
         }
         out
+    }
+}
+
+impl SampleSink for DataCube {
+    fn observe(&mut self, event: &SampleEvent<'_>) {
+        self.add(&event.sample.row, event.sample.weight);
+    }
+
+    fn fork(&self) -> Box<dyn SampleSink> {
+        let mut empty = self.clone();
+        for row in &mut empty.cells {
+            row.iter_mut().for_each(|c| *c = 0.0);
+        }
+        empty.total = 0.0;
+        Box::new(empty)
+    }
+
+    fn merge(&mut self, other: Box<dyn SampleSink>) {
+        let other = merged::<DataCube>(other);
+        assert_eq!(
+            (self.row_attr, self.col_attr),
+            (other.row_attr, other.col_attr),
+            "merge requires the same attribute pair"
+        );
+        for (row, orow) in self.cells.iter_mut().zip(&other.cells) {
+            for (c, o) in row.iter_mut().zip(orow) {
+                *c += o;
+            }
+        }
+        self.total += other.total;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 

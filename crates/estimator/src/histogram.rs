@@ -1,5 +1,14 @@
 //! Marginal histograms — the demo's headline display (Figure 4).
+//!
+//! [`Histogram`] is itself the online face: it implements
+//! [`SampleSink`], so it can be attached to any run and updated live as
+//! samples arrive; the batch constructors are thin wrappers over the same
+//! incremental [`Histogram::add`] path, which is what makes the online
+//! snapshot bit-identical to the post-hoc batch build.
 
+use std::any::Any;
+
+use hdsampler_core::{merged, SampleEvent, SampleSink};
 use hdsampler_model::{AttrId, Row, Schema};
 
 /// A (weighted) histogram over one attribute's domain.
@@ -53,10 +62,22 @@ impl Histogram {
 
     /// Add one observation with the given weight (incremental updates —
     /// the demo refreshes histograms live as samples arrive).
+    ///
+    /// Non-finite weights (NaN, ±∞) are rejected and the observation is
+    /// skipped: a single NaN-weighted importance sample would otherwise
+    /// poison every proportion and abort [`Histogram::render`].
     pub fn add(&mut self, row: &Row, weight: f64) {
+        if !weight.is_finite() {
+            return;
+        }
         let v = row.values[self.attr.index()] as usize;
         self.weights[v] += weight;
         self.total += weight;
+    }
+
+    /// The current state as an owned value (the live-display snapshot).
+    pub fn snapshot(&self) -> Histogram {
+        self.clone()
     }
 
     /// The attribute this histogram describes.
@@ -98,7 +119,10 @@ impl Histogram {
         use std::fmt::Write as _;
         let props = self.proportions();
         let mut order: Vec<usize> = (0..props.len()).collect();
-        order.sort_by(|&a, &b| props[b].partial_cmp(&props[a]).expect("finite"));
+        // `total_cmp` is a total order: even if a non-finite weight ever
+        // reaches the counts (e.g. through a future constructor), sorting
+        // must not abort the display.
+        order.sort_by(|&a, &b| props[b].total_cmp(&props[a]));
         let label_w = self
             .labels
             .iter()
@@ -124,6 +148,36 @@ impl Histogram {
             );
         }
         out
+    }
+}
+
+impl SampleSink for Histogram {
+    fn observe(&mut self, event: &SampleEvent<'_>) {
+        self.add(&event.sample.row, event.sample.weight);
+    }
+
+    fn fork(&self) -> Box<dyn SampleSink> {
+        let mut empty = self.clone();
+        empty.weights.iter_mut().for_each(|w| *w = 0.0);
+        empty.total = 0.0;
+        Box::new(empty)
+    }
+
+    fn merge(&mut self, other: Box<dyn SampleSink>) {
+        let other = merged::<Histogram>(other);
+        assert_eq!(self.attr, other.attr, "merge requires the same attribute");
+        for (w, o) in self.weights.iter_mut().zip(&other.weights) {
+            *w += o;
+        }
+        self.total += other.total;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 
@@ -181,6 +235,62 @@ mod tests {
             inc.add(r, 1.0);
         }
         assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_and_render_survives() {
+        // Regression: a NaN-weighted importance sample used to poison the
+        // proportions, and `render`'s `partial_cmp(..).expect("finite")`
+        // aborted the whole display.
+        let s = schema();
+        let mut h = Histogram::new(&s, AttrId(0));
+        h.add(&row(0), 2.0);
+        h.add(&row(1), f64::NAN);
+        h.add(&row(1), f64::INFINITY);
+        h.add(&row(1), f64::NEG_INFINITY);
+        h.add(&row(1), 1.0);
+        assert_eq!(h.counts(), &[2.0, 1.0, 0.0], "non-finite adds skipped");
+        assert_eq!(h.total(), 3.0);
+        let text = h.render(20);
+        assert!(text.contains("Toyota"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn sink_fork_merge_matches_single_stream() {
+        let s = schema();
+        let rows = [row(0), row(2), row(1), row(0), row(2)];
+        let batch = Histogram::from_rows(&s, AttrId(0), rows.iter());
+
+        let mut parent = Histogram::new(&s, AttrId(0));
+        let sample = |r: &Row| hdsampler_core::Sample {
+            row: r.clone(),
+            weight: 1.0,
+            meta: hdsampler_core::SampleMeta::default(),
+        };
+        fn ev<'a>(smp: &'a hdsampler_core::Sample, i: usize, n: usize) -> SampleEvent<'a> {
+            SampleEvent {
+                sample: smp,
+                site: 0,
+                walker: 0,
+                collected: i + 1,
+                target: n,
+            }
+        }
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        for (i, r) in rows.iter().enumerate() {
+            let smp = sample(r);
+            if i % 2 == 0 {
+                a.observe(&ev(&smp, i, rows.len()));
+            } else {
+                b.observe(&ev(&smp, i, rows.len()));
+            }
+        }
+        parent.merge(b);
+        parent.merge(a);
+        assert_eq!(parent, batch, "merge order is irrelevant for counts");
+        assert_eq!(parent.snapshot(), batch);
     }
 
     #[test]

@@ -20,6 +20,18 @@
 //!   truth (the §3.4 "Results Validation" methodology);
 //! * [`cube`] — small group-by data cubes from samples ("approximate
 //!   aggregate queries on a resultant data cube", §3.4).
+//!
+//! ## Streaming faces
+//!
+//! Every estimator has an online face implementing
+//! [`SampleSink`](hdsampler_core::SampleSink), so it can be attached to a
+//! run and updated live as samples arrive, with a `snapshot()` view at
+//! any time: [`Histogram`] and [`DataCube`] are their own sinks;
+//! [`OnlineMarginal`], [`OnlineProportion`], [`OnlineCount`],
+//! [`OnlineAvg`], [`OnlineSum`], [`OnlineSize`] and [`OnlineFrequencies`]
+//! wrap the rest. The batch constructors are thin wrappers over the same
+//! incremental path — feeding a stream through a sink and snapshotting at
+//! the end is bit-identical to the post-hoc batch computation.
 
 pub mod aggregate;
 pub mod compare;
@@ -29,10 +41,14 @@ pub mod marginal;
 pub mod size;
 pub mod skew;
 
-pub use aggregate::{AggregateEstimate, Estimator};
-pub use compare::MarginalComparison;
+pub use aggregate::{
+    AggregateEstimate, Estimator, OnlineAvg, OnlineCount, OnlineProportion, OnlineSum,
+};
+pub use compare::{fmt_stat, MarginalComparison};
 pub use cube::DataCube;
 pub use histogram::Histogram;
-pub use marginal::MarginalEstimate;
-pub use size::capture_recapture;
-pub use skew::{chi_square_uniform, kl_divergence, skew_coefficient, tv_distance};
+pub use marginal::{MarginalEstimate, OnlineMarginal};
+pub use size::{capture_recapture, OnlineSize};
+pub use skew::{
+    chi_square_uniform, kl_divergence, skew_coefficient, tv_distance, OnlineFrequencies,
+};

@@ -1,10 +1,20 @@
 //! Marginal distribution estimates with confidence intervals.
+//!
+//! [`OnlineMarginal`] is the streaming face: a [`SampleSink`] that keeps
+//! per-value counts as samples arrive and produces a [`MarginalEstimate`]
+//! snapshot at any time. [`MarginalEstimate::from_rows`] is a thin
+//! wrapper over it, so batch and online results are identical by
+//! construction. The marginal is an *unweighted* estimator — every
+//! observed sample counts once, matching the batch constructor.
 
+use std::any::Any;
+
+use hdsampler_core::{merged, SampleEvent, SampleSink};
 use hdsampler_model::{AttrId, Row, Schema};
 
 /// Estimated marginal distribution of one attribute, with per-value Wilson
 /// score intervals.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MarginalEstimate {
     attr: AttrId,
     n: usize,
@@ -27,38 +37,109 @@ pub fn wilson_interval(successes: f64, n: f64, z: f64) -> (f64, f64) {
     ((centre - half).max(0.0), (centre + half).min(1.0))
 }
 
-impl MarginalEstimate {
-    /// Estimate the marginal of `attr` from unweighted sample rows at 95 %
-    /// confidence.
-    pub fn from_rows<'a>(
-        schema: &Schema,
-        attr: AttrId,
-        rows: impl IntoIterator<Item = &'a Row>,
-    ) -> Self {
-        let dom = schema.domain_size(attr);
-        let mut counts = vec![0usize; dom];
-        let mut n = 0usize;
-        for row in rows {
-            counts[row.values[attr.index()] as usize] += 1;
-            n += 1;
+/// The streaming face of [`MarginalEstimate`]: per-value counts updated
+/// sample by sample, snapshottable into the full interval estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineMarginal {
+    attr: AttrId,
+    counts: Vec<usize>,
+    n: usize,
+}
+
+impl OnlineMarginal {
+    /// Empty counter for attribute `attr` of `schema`.
+    pub fn new(schema: &Schema, attr: AttrId) -> Self {
+        OnlineMarginal {
+            attr,
+            counts: vec![0; schema.domain_size(attr)],
+            n: 0,
         }
+    }
+
+    /// Count one observed row.
+    pub fn add(&mut self, row: &Row) {
+        self.counts[row.values[self.attr.index()] as usize] += 1;
+        self.n += 1;
+    }
+
+    /// Samples counted so far.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current state as a full [`MarginalEstimate`] (95 % Wilson
+    /// intervals) — exactly what [`MarginalEstimate::from_rows`] would
+    /// compute over the same stream.
+    pub fn snapshot(&self) -> MarginalEstimate {
+        let dom = self.counts.len();
         let mut proportions = Vec::with_capacity(dom);
         let mut lo = Vec::with_capacity(dom);
         let mut hi = Vec::with_capacity(dom);
-        for &c in &counts {
-            let p = if n == 0 { 0.0 } else { c as f64 / n as f64 };
-            let (l, h) = wilson_interval(c as f64, n as f64, 1.96);
+        for &c in &self.counts {
+            let p = if self.n == 0 {
+                0.0
+            } else {
+                c as f64 / self.n as f64
+            };
+            let (l, h) = wilson_interval(c as f64, self.n as f64, 1.96);
             proportions.push(p);
             lo.push(l);
             hi.push(h);
         }
         MarginalEstimate {
-            attr,
-            n,
+            attr: self.attr,
+            n: self.n,
             proportions,
             lo,
             hi,
         }
+    }
+}
+
+impl SampleSink for OnlineMarginal {
+    fn observe(&mut self, event: &SampleEvent<'_>) {
+        self.add(&event.sample.row);
+    }
+
+    fn fork(&self) -> Box<dyn SampleSink> {
+        Box::new(OnlineMarginal {
+            attr: self.attr,
+            counts: vec![0; self.counts.len()],
+            n: 0,
+        })
+    }
+
+    fn merge(&mut self, other: Box<dyn SampleSink>) {
+        let other = merged::<OnlineMarginal>(other);
+        assert_eq!(self.attr, other.attr, "merge requires the same attribute");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.n += other.n;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl MarginalEstimate {
+    /// Estimate the marginal of `attr` from unweighted sample rows at 95 %
+    /// confidence (a batch convenience over [`OnlineMarginal`]).
+    pub fn from_rows<'a>(
+        schema: &Schema,
+        attr: AttrId,
+        rows: impl IntoIterator<Item = &'a Row>,
+    ) -> Self {
+        let mut online = OnlineMarginal::new(schema, attr);
+        for row in rows {
+            online.add(row);
+        }
+        online.snapshot()
     }
 
     /// The attribute estimated.

@@ -26,6 +26,68 @@ pub fn capture_recapture(n_draws: usize, n_distinct: usize) -> Option<f64> {
     Some(n_draws as f64 * (n_draws as f64 - 1.0) / (2.0 * collisions))
 }
 
+/// The streaming face of [`capture_recapture`]: tracks draws and distinct
+/// listing keys as samples arrive, so the size estimate can refresh live
+/// mid-run.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineSize {
+    draws: usize,
+    seen: std::collections::HashSet<u64>,
+}
+
+impl OnlineSize {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one draw of listing key `key`.
+    pub fn add(&mut self, key: u64) {
+        self.draws += 1;
+        self.seen.insert(key);
+    }
+
+    /// Draws recorded so far.
+    pub fn draws(&self) -> usize {
+        self.draws
+    }
+
+    /// Distinct listing keys seen so far.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The current size estimate — exactly
+    /// `capture_recapture(draws, distinct)`.
+    pub fn snapshot(&self) -> Option<f64> {
+        capture_recapture(self.draws, self.seen.len())
+    }
+}
+
+impl hdsampler_core::SampleSink for OnlineSize {
+    fn observe(&mut self, event: &hdsampler_core::SampleEvent<'_>) {
+        self.add(event.sample.row.key);
+    }
+
+    fn fork(&self) -> Box<dyn hdsampler_core::SampleSink> {
+        Box::new(OnlineSize::new())
+    }
+
+    fn merge(&mut self, other: Box<dyn hdsampler_core::SampleSink>) {
+        let other = hdsampler_core::merged::<OnlineSize>(other);
+        self.draws += other.draws;
+        self.seen.extend(other.seen);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +134,49 @@ mod tests {
         let few = capture_recapture(1000, 995).unwrap();
         let many = capture_recapture(1000, 900).unwrap();
         assert!(many < few);
+    }
+
+    #[test]
+    fn online_size_matches_batch() {
+        use hdsampler_core::SampleSink as _;
+        let keys = [3u64, 7, 3, 9, 7, 7, 11];
+        let mut online = OnlineSize::new();
+        for &k in &keys {
+            online.add(k);
+        }
+        assert_eq!(online.draws(), 7);
+        assert_eq!(online.distinct(), 4);
+        assert_eq!(online.snapshot(), capture_recapture(7, 4));
+
+        // fork/merge unions the key sets exactly.
+        let mut parent = OnlineSize::new();
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let as_size = |sink: &mut Box<dyn hdsampler_core::SampleSink>, k: u64| {
+            use hdsampler_core::{Sample, SampleEvent, SampleMeta};
+            let s = Sample {
+                row: hdsampler_model::Row::new(k, vec![0], vec![]),
+                weight: 1.0,
+                meta: SampleMeta::default(),
+            };
+            sink.observe(&SampleEvent {
+                sample: &s,
+                site: 0,
+                walker: 0,
+                collected: 1,
+                target: 7,
+            });
+        };
+        for &k in &keys[..4] {
+            as_size(&mut a, k);
+        }
+        for &k in &keys[4..] {
+            as_size(&mut b, k);
+        }
+        parent.merge(b);
+        parent.merge(a);
+        assert_eq!(parent.draws(), 7);
+        assert_eq!(parent.distinct(), 4);
+        assert_eq!(parent.snapshot(), online.snapshot());
     }
 }

@@ -65,6 +65,80 @@ pub fn chi_square_uniform(observed_counts: &[u64], n_tuples: usize, samples: u64
     observed_sum + unobserved as f64 * expected
 }
 
+/// The streaming face of the per-tuple frequency metrics: accumulates
+/// per-listing-key observation counts as samples arrive, and snapshots
+/// into [`chi_square_uniform`] / [`skew_coefficient`] at any time.
+///
+/// The snapshot iterates counts in key order, so two trackers that saw
+/// the same multiset of keys produce bit-identical statistics regardless
+/// of arrival order or fork/merge regrouping.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineFrequencies {
+    counts: std::collections::BTreeMap<u64, u64>,
+    samples: u64,
+}
+
+impl OnlineFrequencies {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of listing key `key`.
+    pub fn add(&mut self, key: u64) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.samples += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Observed per-tuple counts in key order.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts.values().copied().collect()
+    }
+
+    /// χ² against uniform over a population of `n_tuples`
+    /// (= [`chi_square_uniform`] over the current counts).
+    pub fn chi_square_uniform(&self, n_tuples: usize) -> f64 {
+        chi_square_uniform(&self.counts(), n_tuples, self.samples)
+    }
+
+    /// Skew coefficient over a population of `n_tuples`
+    /// (= [`skew_coefficient`] over the current counts).
+    pub fn skew_coefficient(&self, n_tuples: usize) -> f64 {
+        skew_coefficient(&self.counts(), n_tuples, self.samples)
+    }
+}
+
+impl hdsampler_core::SampleSink for OnlineFrequencies {
+    fn observe(&mut self, event: &hdsampler_core::SampleEvent<'_>) {
+        self.add(event.sample.row.key);
+    }
+
+    fn fork(&self) -> Box<dyn hdsampler_core::SampleSink> {
+        Box::new(OnlineFrequencies::new())
+    }
+
+    fn merge(&mut self, other: Box<dyn hdsampler_core::SampleSink>) {
+        let other = hdsampler_core::merged::<OnlineFrequencies>(other);
+        for (key, c) in other.counts {
+            *self.counts.entry(key).or_insert(0) += c;
+        }
+        self.samples += other.samples;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// SIGMOD'07-style skew coefficient: the coefficient of variation of the
 /// per-tuple selection probabilities, estimated from sample frequencies.
 /// 0 for a perfectly uniform sampler; grows with clipping (larger `C`).
@@ -136,6 +210,42 @@ mod tests {
         // mean 2, deviations (6, -2, -2, -2): var = (36+12)/4 = 12 → cv =
         // sqrt(12)/2 ≈ 1.732.
         assert!((skew - 12f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_frequencies_match_batch_metrics() {
+        let mut online = OnlineFrequencies::new();
+        for key in [1u64, 2, 1, 1, 3, 2, 1, 1] {
+            online.add(key);
+        }
+        assert_eq!(online.samples(), 8);
+        assert_eq!(online.counts(), vec![5, 2, 1]);
+        assert_eq!(
+            online.chi_square_uniform(4).to_bits(),
+            chi_square_uniform(&[5, 2, 1], 4, 8).to_bits()
+        );
+        assert_eq!(
+            online.skew_coefficient(4).to_bits(),
+            skew_coefficient(&[5, 2, 1], 4, 8).to_bits()
+        );
+
+        // fork/merge regrouping is order-independent: counts land on the
+        // same keys and the snapshot iterates in key order.
+        use hdsampler_core::SampleSink as _;
+        let mut parent = OnlineFrequencies::new();
+        let mut child = OnlineFrequencies::new();
+        for key in [1u64, 2, 1, 1] {
+            child.add(key);
+        }
+        for key in [3u64, 2, 1, 1] {
+            parent.add(key);
+        }
+        parent.merge(Box::new(child));
+        assert_eq!(parent.counts(), online.counts());
+        assert_eq!(
+            parent.chi_square_uniform(4).to_bits(),
+            online.chi_square_uniform(4).to_bits()
+        );
     }
 
     #[test]

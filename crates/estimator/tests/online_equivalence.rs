@@ -1,0 +1,268 @@
+//! Batch ≡ online equivalence: every estimator's streaming face, fed a
+//! random sample stream through the [`SampleSink`] interface, must agree
+//! with its batch constructor —
+//!
+//! * **bit-exact** when observed sequentially (the batch constructors are
+//!   thin wrappers over the same accumulation, in the same order), and
+//! * up to float re-association when the stream is split at arbitrary
+//!   points across forked sinks and merged back in arbitrary worker
+//!   order (parallel-worker order-independence).
+
+use hdsampler_core::{Sample, SampleEvent, SampleMeta, SampleSet, SampleSink};
+use hdsampler_estimator::{
+    capture_recapture, AggregateEstimate, DataCube, Estimator, Histogram, MarginalEstimate,
+    OnlineAvg, OnlineCount, OnlineFrequencies, OnlineMarginal, OnlineProportion, OnlineSize,
+    OnlineSum,
+};
+use hdsampler_model::{AttrId, Attribute, Measure, MeasureId, Row, Schema, SchemaBuilder};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    SchemaBuilder::new()
+        .attribute(Attribute::categorical("make", ["Toyota", "Honda", "Ford"]).unwrap())
+        .attribute(Attribute::categorical("cond", ["new", "used"]).unwrap())
+        .measure(Measure::new("price"))
+        .finish()
+        .unwrap()
+}
+
+/// One random sample: `(make, cond, price, weight, key)` — keys collide
+/// on purpose so the size/frequency estimators see repeats.
+fn sample(spec: &(u16, u16, f64, f64)) -> Sample {
+    let (make, cond, price, weight) = *spec;
+    Sample {
+        row: Row::new(
+            (make as u64) * 2 + cond as u64, // 6 possible keys → collisions
+            vec![make % 3, cond % 2],
+            vec![price],
+        ),
+        weight,
+        meta: SampleMeta::default(),
+    }
+}
+
+/// Observe `samples[range]` into `sink` through the SampleSink interface.
+fn observe_into(sink: &mut dyn SampleSink, samples: &[Sample], target: usize) {
+    for (i, s) in samples.iter().enumerate() {
+        sink.observe(&SampleEvent {
+            sample: s,
+            site: 0,
+            walker: 0,
+            collected: i + 1,
+            target,
+        });
+    }
+}
+
+/// Split the stream at `cuts` into up to three forked children of
+/// `parent`, then merge back in reversed order — the regrouped state a
+/// parallel run would produce.
+fn fork_split_merge<S: SampleSink + Clone>(
+    parent_template: &S,
+    samples: &[Sample],
+    cut_a: usize,
+    cut_b: usize,
+) -> S {
+    let mut parent = parent_template.clone();
+    let a = cut_a.min(samples.len());
+    let b = cut_b.clamp(a, samples.len());
+    let mut forks = vec![parent.fork(), parent.fork(), parent.fork()];
+    observe_into(&mut *forks[0], &samples[..a], samples.len());
+    observe_into(&mut *forks[1], &samples[a..b], samples.len());
+    observe_into(&mut *forks[2], &samples[b..], samples.len());
+    // Reverse merge order: the result must not depend on which worker
+    // joined first.
+    for fork in forks.into_iter().rev() {
+        parent.merge(fork);
+    }
+    parent
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    let ok = (a.is_nan() && b.is_nan()) || a == b || (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+    assert!(ok, "{what}: {a} vs {b}");
+}
+
+fn assert_estimates_close(a: &AggregateEstimate, b: &AggregateEstimate, what: &str) {
+    assert_eq!(a.n, b.n, "{what}: n");
+    assert_close(a.value, b.value, &format!("{what}: value"));
+    assert_close(a.half_width, b.half_width, &format!("{what}: half_width"));
+}
+
+fn assert_estimates_bit_identical(a: &AggregateEstimate, b: &AggregateEstimate, what: &str) {
+    assert_eq!(a.n, b.n, "{what}: n");
+    assert_eq!(a.value.to_bits(), b.value.to_bits(), "{what}: value bits");
+    assert_eq!(
+        a.half_width.to_bits(),
+        b.half_width.to_bits(),
+        "{what}: half_width bits"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Histogram / DataCube: sequential observation is bit-identical to
+    /// the batch constructors; fork/merge splits agree to within float
+    /// re-association (exactly, for unit weights).
+    #[test]
+    fn histogram_and_cube_online_equals_batch(
+        specs in prop::collection::vec((0u16..3, 0u16..2, 0.0f64..500.0, 0.1f64..4.0), 0..60),
+        cut_a in 0usize..60,
+        cut_b in 0usize..60,
+        unit_weights in prop::collection::vec(0u16..2, 1..2),
+    ) {
+        let s = schema();
+        let unit = unit_weights[0] == 0;
+        let samples: Vec<Sample> = specs
+            .iter()
+            .map(|spec| {
+                let mut smp = sample(spec);
+                if unit {
+                    smp.weight = 1.0;
+                }
+                smp
+            })
+            .collect();
+
+        // Sequential ≡ batch, bit for bit.
+        let batch = Histogram::from_weighted(
+            &s,
+            AttrId(0),
+            samples.iter().map(|smp| (&smp.row, smp.weight)),
+        );
+        let mut online = Histogram::new(&s, AttrId(0));
+        observe_into(&mut online, &samples, samples.len());
+        prop_assert_eq!(&online, &batch);
+
+        let cube_batch = {
+            let mut c = DataCube::new(&s, AttrId(0), AttrId(1));
+            for smp in &samples {
+                c.add(&smp.row, smp.weight);
+            }
+            c
+        };
+        let mut cube_online = DataCube::new(&s, AttrId(0), AttrId(1));
+        observe_into(&mut cube_online, &samples, samples.len());
+        prop_assert_eq!(&cube_online, &cube_batch);
+
+        // Arbitrary fork/merge split points, reversed merge order.
+        let split = fork_split_merge(&Histogram::new(&s, AttrId(0)), &samples, cut_a, cut_b);
+        if unit {
+            prop_assert_eq!(&split, &batch, "unit weights regroup exactly");
+        } else {
+            for (a, b) in split.counts().iter().zip(batch.counts()) {
+                assert_close(*a, *b, "histogram fork/merge");
+            }
+        }
+        let cube_split =
+            fork_split_merge(&DataCube::new(&s, AttrId(0), AttrId(1)), &samples, cut_a, cut_b);
+        assert_close(cube_split.total(), cube_batch.total(), "cube fork/merge total");
+    }
+
+    /// Marginal: integer counts — bit-identical sequentially AND across
+    /// arbitrary fork/merge splits.
+    #[test]
+    fn marginal_online_equals_batch(
+        specs in prop::collection::vec((0u16..3, 0u16..2, 0.0f64..10.0, 0.1f64..4.0), 0..60),
+        cut_a in 0usize..60,
+        cut_b in 0usize..60,
+    ) {
+        let s = schema();
+        let samples: Vec<Sample> = specs.iter().map(sample).collect();
+        let rows: Vec<&Row> = samples.iter().map(|smp| &smp.row).collect();
+        let batch = MarginalEstimate::from_rows(&s, AttrId(0), rows.iter().copied());
+
+        let mut online = OnlineMarginal::new(&s, AttrId(0));
+        observe_into(&mut online, &samples, samples.len());
+        prop_assert_eq!(online.snapshot(), batch.clone());
+
+        let split = fork_split_merge(&OnlineMarginal::new(&s, AttrId(0)), &samples, cut_a, cut_b);
+        prop_assert_eq!(split.snapshot(), batch);
+    }
+
+    /// Aggregates (proportion / count / avg / sum): sequential snapshots
+    /// are bit-identical to the batch Estimator; fork/merge splits agree
+    /// to within float re-association. Weighted samples throughout.
+    #[test]
+    fn aggregates_online_equal_batch(
+        specs in prop::collection::vec((0u16..3, 0u16..2, 0.0f64..500.0, 0.1f64..4.0), 0..60),
+        cut_a in 0usize..60,
+        cut_b in 0usize..60,
+    ) {
+        let samples: Vec<Sample> = specs.iter().map(sample).collect();
+        let set: SampleSet = samples.iter().cloned().collect();
+        let est = Estimator::new(&set);
+        let pred = |r: &Row| r.values[0] == 1;
+        let n_total = 10_000.0;
+        let m = MeasureId(0);
+
+        let batch = [
+            est.proportion(pred),
+            est.count(n_total, pred),
+            est.avg(m, pred),
+            est.sum(n_total, m, pred),
+        ];
+
+        // Sequential online == batch, bit for bit.
+        let mut p = OnlineProportion::new(pred);
+        let mut c = OnlineCount::new(n_total, pred);
+        let mut a = OnlineAvg::new(m, pred);
+        let mut su = OnlineSum::new(n_total, m, pred);
+        for smp in &samples {
+            p.add(smp);
+            c.add(smp);
+            a.add(smp);
+            su.add(smp);
+        }
+        let online = [p.snapshot(), c.snapshot(), a.snapshot(), su.snapshot()];
+        for ((b, o), what) in batch.iter().zip(&online).zip(["prop", "count", "avg", "sum"]) {
+            assert_estimates_bit_identical(o, b, what);
+        }
+
+        // fork/merge splits via the SampleSink face.
+        let splits = [
+            fork_split_merge(&OnlineProportion::new(pred), &samples, cut_a, cut_b).snapshot(),
+            fork_split_merge(&OnlineCount::new(n_total, pred), &samples, cut_a, cut_b).snapshot(),
+            fork_split_merge(&OnlineAvg::new(m, pred), &samples, cut_a, cut_b).snapshot(),
+            fork_split_merge(&OnlineSum::new(n_total, m, pred), &samples, cut_a, cut_b).snapshot(),
+        ];
+        for ((b, o), what) in batch.iter().zip(&splits).zip(["prop", "count", "avg", "sum"]) {
+            assert_estimates_close(o, b, &format!("{what} (split)"));
+        }
+    }
+
+    /// Size and per-tuple frequencies: integer state — exact under any
+    /// split/merge regrouping.
+    #[test]
+    fn size_and_frequencies_online_equal_batch(
+        specs in prop::collection::vec((0u16..3, 0u16..2, 0.0f64..10.0, 0.1f64..4.0), 0..60),
+        cut_a in 0usize..60,
+        cut_b in 0usize..60,
+    ) {
+        let samples: Vec<Sample> = specs.iter().map(sample).collect();
+        let set: SampleSet = samples.iter().cloned().collect();
+
+        let batch_size = capture_recapture(set.len(), set.distinct());
+        let mut online = OnlineSize::new();
+        observe_into(&mut online, &samples, samples.len());
+        prop_assert_eq!(online.snapshot(), batch_size);
+        let split = fork_split_merge(&OnlineSize::new(), &samples, cut_a, cut_b);
+        prop_assert_eq!(split.snapshot(), batch_size);
+
+        let mut freq = OnlineFrequencies::new();
+        observe_into(&mut freq, &samples, samples.len());
+        let freq_split = fork_split_merge(&OnlineFrequencies::new(), &samples, cut_a, cut_b);
+        prop_assert_eq!(freq.counts(), freq_split.counts());
+        if !samples.is_empty() {
+            prop_assert_eq!(
+                freq.chi_square_uniform(6).to_bits(),
+                freq_split.chi_square_uniform(6).to_bits()
+            );
+            prop_assert_eq!(
+                freq.skew_coefficient(6).to_bits(),
+                freq_split.skew_coefficient(6).to_bits()
+            );
+        }
+    }
+}

@@ -58,9 +58,9 @@ fn coop_sequences_over_tcp_match_per_walker_seeds() {
         slider: 0.5,
         ..FleetConfig::default()
     };
-    let task = remote_task(&server, &schema, k);
+    let mut task = remote_task(&server, &schema, k);
     let (report, details) =
-        CoopDriver::new(cfg.clone()).run_with_details(std::slice::from_ref(&task));
+        CoopDriver::new(cfg.clone()).run_with_details(std::slice::from_mut(&mut task));
     assert_eq!(report.sites[0].stopped, StopReason::TargetReached);
     assert_eq!(report.total_samples(), 48);
 
@@ -106,10 +106,10 @@ fn hundreds_of_pipelined_walkers_on_a_handful_of_connections() {
         slider: 0.4,
         ..FleetConfig::default()
     };
-    let task = remote_task(&server, &schema, k);
+    let mut task = remote_task(&server, &schema, k);
     let (report, details) = CoopDriver::new(cfg)
         .with_connections(4)
-        .run_with_details(std::slice::from_ref(&task));
+        .run_with_details(std::slice::from_mut(&mut task));
 
     let site = &report.sites[0];
     assert_eq!(site.stopped, StopReason::TargetReached);

@@ -90,7 +90,7 @@ fn multi_site_driver_samples_live_servers() {
     // drives both over real TCP.
     let (s0, schema, k) = serve(vehicles_db(40, None));
     let (s1, _, _) = serve(vehicles_db(41, None));
-    let tasks: Vec<SiteTask<HttpTransport>> = [&s0, &s1]
+    let mut tasks: Vec<SiteTask<HttpTransport>> = [&s0, &s1]
         .iter()
         .enumerate()
         .map(|(i, s)| {
@@ -111,7 +111,7 @@ fn multi_site_driver_samples_live_servers() {
         seed: 5,
         ..FleetConfig::default()
     });
-    let report = driver.run_concurrent(&tasks);
+    let report = driver.run_concurrent(&mut tasks);
     assert_eq!(report.total_samples(), 30);
     for site in &report.sites {
         assert_eq!(site.stopped, hdsampler_core::StopReason::TargetReached);

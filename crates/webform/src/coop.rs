@@ -33,8 +33,8 @@
 //! the history cache answers are semantically equal to the wire's.
 
 use hdsampler_core::{
-    CachingExecutor, Classified, QueryExecutor, SampleSet, SamplerError, SamplerStats, StopReason,
-    WalkMachine, WalkStep,
+    CachingExecutor, Classified, QueryExecutor, SampleEvent, SampleSet, SampleSink, SamplerError,
+    SamplerStats, StopReason, WalkMachine, WalkStep,
 };
 use hdsampler_model::{ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse};
 
@@ -65,7 +65,12 @@ struct Walker {
 
 /// Everything one site needs while being driven.
 struct SiteState<'a, T: Transport + Clocked> {
-    task: &'a SiteTask<T>,
+    six: usize,
+    name: &'a str,
+    iface: &'a WebFormInterface<T>,
+    /// The task's per-site streaming sink, observed at every accepted
+    /// sample.
+    sink: Option<&'a mut dyn SampleSink>,
     exec: CachingExecutor<&'a WebFormInterface<T>>,
     walkers: Vec<Walker>,
     samples: SampleSet,
@@ -133,15 +138,34 @@ impl CoopDriver {
     }
 
     /// Drive every site to its target from the calling thread.
-    pub fn run<T>(&self, sites: &[SiteTask<T>]) -> FleetReport
+    pub fn run<T>(&self, sites: &mut [SiteTask<T>]) -> FleetReport
     where
         T: Transport + AsyncTransport + Clocked,
     {
-        self.run_with_details(sites).0
+        self.run_observed(sites, &mut []).0
     }
 
     /// [`CoopDriver::run`], also returning per-walker detail.
-    pub fn run_with_details<T>(&self, sites: &[SiteTask<T>]) -> (FleetReport, Vec<CoopSiteDetail>)
+    pub fn run_with_details<T>(
+        &self,
+        sites: &mut [SiteTask<T>],
+    ) -> (FleetReport, Vec<CoopSiteDetail>)
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        self.run_observed(sites, &mut [])
+    }
+
+    /// [`CoopDriver::run`] with streaming observation. Per-site
+    /// [`SiteTask`] sinks observe their site's samples in acceptance
+    /// order; `run_sinks` observe every site's samples in the fleet's
+    /// global completion order. The driver is single-threaded, so the
+    /// run-level sinks are observed directly — no forking.
+    pub fn run_observed<T>(
+        &self,
+        sites: &mut [SiteTask<T>],
+        run_sinks: &mut [&mut dyn SampleSink],
+    ) -> (FleetReport, Vec<CoopSiteDetail>)
     where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -152,26 +176,27 @@ impl CoopDriver {
             .min(walkers_per_site);
 
         let mut states: Vec<SiteState<'_, T>> = sites
-            .iter()
+            .iter_mut()
             .enumerate()
             .map(|(six, task)| {
-                let conn_ids: Vec<ConnId> =
-                    (0..conns_per_site).map(|_| task.iface.connect()).collect();
+                let SiteTask { name, iface, sink } = task;
+                let iface: &WebFormInterface<T> = iface;
+                let conn_ids: Vec<ConnId> = (0..conns_per_site).map(|_| iface.connect()).collect();
                 let walkers = (0..walkers_per_site)
                     .map(|w| Walker {
-                        machine: WalkMachine::new(
-                            task.iface.schema(),
-                            self.cfg.walker_config(six, w),
-                        )
-                        .expect("fleet walker configuration is valid"),
+                        machine: WalkMachine::new(iface.schema(), self.cfg.walker_config(six, w))
+                            .expect("fleet walker configuration is valid"),
                         conn: conn_ids[w % conn_ids.len()],
                         pending: None,
                         keys: Vec::new(),
                     })
                     .collect();
                 SiteState {
-                    task,
-                    exec: CachingExecutor::new(&task.iface),
+                    six,
+                    name,
+                    iface,
+                    sink: sink.as_deref_mut(),
+                    exec: CachingExecutor::new(iface),
                     walkers,
                     samples: SampleSet::new(),
                     knowledge_ms: 0,
@@ -194,7 +219,7 @@ impl CoopDriver {
                     break;
                 }
                 let step = st.walkers[wix].machine.step();
-                self.advance(st, wix, step);
+                self.advance(st, wix, step, run_sinks);
             }
         }
 
@@ -203,7 +228,7 @@ impl CoopDriver {
             let mut progress = false;
             for st in &mut states {
                 if st.stopped.is_none() {
-                    progress |= self.harvest(st);
+                    progress |= self.harvest(st, run_sinks);
                 }
                 all_done &= st.stopped.is_some();
             }
@@ -214,7 +239,7 @@ impl CoopDriver {
                 // Nothing pollable anywhere: block on (real wire) or
                 // advance to (virtual wire) the earliest outstanding
                 // completion, keeping the fleet in causal order.
-                self.force_earliest(&mut states);
+                self.force_earliest(&mut states, run_sinks);
             }
         }
 
@@ -222,7 +247,7 @@ impl CoopDriver {
         let mut details = Vec::with_capacity(states.len());
         for st in states {
             // Walkers are parked for good; reap their keep-alive sockets.
-            st.task.iface.transport().close_idle();
+            st.iface.transport().close_idle();
             let mut stats = SamplerStats::default();
             for w in &st.walkers {
                 stats.merge_worker(&w.machine.stats());
@@ -235,15 +260,17 @@ impl CoopDriver {
                 stats,
             });
             reports.push(SiteReport {
-                name: st.task.name.clone(),
+                name: st.name.to_owned(),
                 samples: st.samples,
                 requests: st.exec.requests(),
                 queries_issued: st.exec.queries_issued(),
                 history_hits: st.exec.history_stats().total_hits(),
-                elapsed_ms: st.task.iface.transport().elapsed_ms(),
+                elapsed_ms: st.iface.transport().elapsed_ms(),
                 stopped: st
                     .stopped
                     .expect("driver loop ends with every site stopped"),
+                stats,
+                history: st.exec.history_stats(),
             });
         }
         let fleet_elapsed_ms = reports.iter().map(|r| r.elapsed_ms).max().unwrap_or(0);
@@ -259,9 +286,16 @@ impl CoopDriver {
 
     /// Run one walker until it parks on the wire, produces past the site
     /// target, or fails. History hits are consumed inline — they cost no
-    /// wire time, only a causal floor on the walker's clock.
-    fn advance<T>(&self, st: &mut SiteState<'_, T>, wix: usize, mut step: WalkStep)
-    where
+    /// wire time, only a causal floor on the walker's clock. Accepted
+    /// samples stream into the site's sink and the run-level sinks at the
+    /// moment they are collected.
+    fn advance<T>(
+        &self,
+        st: &mut SiteState<'_, T>,
+        wix: usize,
+        mut step: WalkStep,
+        run_sinks: &mut [&mut dyn SampleSink],
+    ) where
         T: Transport + AsyncTransport + Clocked,
     {
         loop {
@@ -276,13 +310,12 @@ impl CoopDriver {
                         // connection; floor this walker's clock at the
                         // site's knowledge time so its next wire request
                         // cannot depart before its cause.
-                        st.task
-                            .iface
+                        st.iface
                             .transport()
                             .observe_now(st.walkers[wix].conn, st.knowledge_ms);
                         step = st.walkers[wix].machine.resume(Ok(hit));
                     } else {
-                        let handle = st.task.iface.submit_query(st.walkers[wix].conn, &query);
+                        let handle = st.iface.submit_query(st.walkers[wix].conn, &query);
                         let ready_at = handle.ready_at_ms();
                         let seq = st.next_seq;
                         st.next_seq += 1;
@@ -297,6 +330,19 @@ impl CoopDriver {
                 }
                 WalkStep::Sample(s) => {
                     st.walkers[wix].keys.push(s.row.key);
+                    let ev = SampleEvent {
+                        sample: &s,
+                        site: st.six,
+                        walker: wix,
+                        collected: st.samples.len() + 1,
+                        target: self.cfg.target_per_site,
+                    };
+                    if let Some(sink) = st.sink.as_deref_mut() {
+                        sink.observe(&ev);
+                    }
+                    for sink in run_sinks.iter_mut() {
+                        sink.observe(&ev);
+                    }
                     st.samples.push(s);
                     if st.samples.len() >= self.cfg.target_per_site {
                         Self::stop_site(st, StopReason::TargetReached);
@@ -326,7 +372,7 @@ impl CoopDriver {
     /// the sweep at its first still-pending fetch — later fetches cannot
     /// be ready, and re-polling them would re-drain an already-drained
     /// socket once per walker instead of once per connection.
-    fn harvest<T>(&self, st: &mut SiteState<'_, T>) -> bool
+    fn harvest<T>(&self, st: &mut SiteState<'_, T>, run_sinks: &mut [&mut dyn SampleSink]) -> bool
     where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -352,7 +398,7 @@ impl CoopDriver {
                 ready_at,
                 seq,
             } = p;
-            match st.task.iface.poll_query(handle) {
+            match st.iface.poll_query(handle) {
                 QueryPoll::Pending(handle) => {
                     st.walkers[wix].pending = Some(Pending {
                         handle,
@@ -378,15 +424,19 @@ impl CoopDriver {
         // ever sees facts learned at or before its own floor.
         ready.sort_by_key(|h| (h.ready_at, h.seq));
         for h in ready {
-            self.finish_fetch(st, h);
+            self.finish_fetch(st, h, run_sinks);
         }
         true
     }
 
     /// Feed one wire completion back: teach the cache, then run the
     /// owning walker until it parks again.
-    fn finish_fetch<T>(&self, st: &mut SiteState<'_, T>, h: Harvested)
-    where
+    fn finish_fetch<T>(
+        &self,
+        st: &mut SiteState<'_, T>,
+        h: Harvested,
+        run_sinks: &mut [&mut dyn SampleSink],
+    ) where
         T: Transport + AsyncTransport + Clocked,
     {
         st.knowledge_ms = st.knowledge_ms.max(h.ready_at);
@@ -404,13 +454,16 @@ impl CoopDriver {
             Err(e) => Err(e),
         };
         let step = st.walkers[h.wix].machine.resume(answer);
-        self.advance(st, h.wix, step);
+        self.advance(st, h.wix, step, run_sinks);
     }
 
     /// Complete the causally-earliest outstanding fetch fleet-wide (min
     /// virtual completion time, then submission order).
-    fn force_earliest<T>(&self, states: &mut [SiteState<'_, T>])
-    where
+    fn force_earliest<T>(
+        &self,
+        states: &mut [SiteState<'_, T>],
+        run_sinks: &mut [&mut dyn SampleSink],
+    ) where
         T: Transport + AsyncTransport + Clocked,
     {
         let mut best: Option<(usize, usize, u64, u64)> = None;
@@ -434,7 +487,7 @@ impl CoopDriver {
             .pending
             .take()
             .expect("selected walker is parked");
-        let result = st.task.iface.complete_query(p.handle);
+        let result = st.iface.complete_query(p.handle);
         self.finish_fetch(
             st,
             Harvested {
@@ -444,6 +497,7 @@ impl CoopDriver {
                 seq: p.seq,
                 result,
             },
+            run_sinks,
         );
     }
 
@@ -456,7 +510,7 @@ impl CoopDriver {
         st.stopped = Some(reason);
         for w in &mut st.walkers {
             if let Some(p) = w.pending.take() {
-                st.task.iface.cancel_query(p.handle);
+                st.iface.cancel_query(p.handle);
             }
         }
     }
@@ -509,10 +563,10 @@ mod tests {
             seed: 11,
             ..FleetConfig::default()
         };
-        let sites: Vec<_> = (0..3)
+        let mut sites: Vec<_> = (0..3)
             .map(|i| vehicles_task(&format!("s{i}"), 90 + i as u64, 100, None))
             .collect();
-        let (report, details) = CoopDriver::new(cfg).run_with_details(&sites);
+        let (report, details) = CoopDriver::new(cfg).run_with_details(&mut sites);
         assert_eq!(report.total_samples(), 120);
         assert!(report.concurrent);
         for (site, detail) in report.sites.iter().zip(&details) {
@@ -545,8 +599,8 @@ mod tests {
             slider: 0.2,
             ..FleetConfig::default()
         };
-        let sites = vec![vehicles_task("seq", 5, 50, None)];
-        let (_, details) = CoopDriver::new(cfg.clone()).run_with_details(&sites);
+        let mut sites = vec![vehicles_task("seq", 5, 50, None)];
+        let (_, details) = CoopDriver::new(cfg.clone()).run_with_details(&mut sites);
         let per_walker = &details[0].per_walker_keys;
         assert!(per_walker.iter().any(|k| !k.is_empty()));
 
@@ -573,10 +627,10 @@ mod tests {
             seed: 3,
             ..FleetConfig::default()
         };
-        let sites = vec![figure1_task("pipe", 100)];
+        let mut sites = vec![figure1_task("pipe", 100)];
         let (report, details) = CoopDriver::new(cfg)
             .with_connections(2)
-            .run_with_details(&sites);
+            .run_with_details(&mut sites);
         assert_eq!(details[0].connections, 2);
         assert_eq!(report.total_samples(), 32);
         let site = &report.sites[0];
@@ -599,9 +653,9 @@ mod tests {
             slider: 0.3,
             ..FleetConfig::default()
         };
-        let threaded =
-            MultiSiteDriver::new(cfg.clone()).run_concurrent(&[vehicles_task("t", 9, 100, None)]);
-        let coop = CoopDriver::new(cfg).run(&[vehicles_task("c", 9, 100, None)]);
+        let threaded = MultiSiteDriver::new(cfg.clone())
+            .run_concurrent(&mut [vehicles_task("t", 9, 100, None)]);
+        let coop = CoopDriver::new(cfg).run(&mut [vehicles_task("c", 9, 100, None)]);
         assert_eq!(threaded.total_samples(), coop.total_samples());
         // The cooperative driver pays an honest causal floor on cache-hit
         // resumes that the threaded driver cannot account; parity within
@@ -622,7 +676,7 @@ mod tests {
             seed: 5,
             ..FleetConfig::default()
         };
-        let sites = [
+        let mut sites = [
             vehicles_task("starved", 1, 50, Some(60)),
             vehicles_task("ok", 2, 50, None),
         ];
@@ -632,7 +686,7 @@ mod tests {
         };
         // Drive the starved site alone first (mixed targets need two
         // runs; the driver applies one target fleet-wide).
-        let report = CoopDriver::new(cfg).run(&sites[..1]);
+        let report = CoopDriver::new(cfg).run(&mut sites[..1]);
         assert_eq!(report.sites[0].stopped, StopReason::BudgetExhausted);
         assert!(report.sites[0].samples.len() < 10_000);
         assert!(
@@ -640,7 +694,7 @@ mod tests {
             "partial results survive"
         );
         // A healthy site is unaffected by the starved one's existence.
-        let report = CoopDriver::new(cfg_ok).run(&sites[1..]);
+        let report = CoopDriver::new(cfg_ok).run(&mut sites[1..]);
         assert_eq!(report.sites[0].stopped, StopReason::TargetReached);
     }
 
@@ -656,8 +710,8 @@ mod tests {
             seed: 13,
             ..FleetConfig::default()
         };
-        let sites = vec![figure1_task("warm", 100)];
-        let report = CoopDriver::new(cfg).run(&sites);
+        let mut sites = vec![figure1_task("warm", 100)];
+        let report = CoopDriver::new(cfg).run(&mut sites);
         let site = &report.sites[0];
         assert_eq!(site.samples.len(), 200);
         assert!(
@@ -682,8 +736,8 @@ mod tests {
             scope: ConjunctiveQuery::from_pairs([(AttrId(0), 1), (AttrId(1), 0)]).unwrap(),
             ..FleetConfig::default()
         };
-        let sites = vec![figure1_task("empty", 10)];
-        let report = CoopDriver::new(cfg).run(&sites);
+        let mut sites = vec![figure1_task("empty", 10)];
+        let report = CoopDriver::new(cfg).run(&mut sites);
         assert!(matches!(
             report.sites[0].stopped,
             StopReason::Failed(SamplerError::EmptyScope)
@@ -711,8 +765,8 @@ mod tests {
                 seed,
                 ..FleetConfig::default()
             };
-            let sites = vec![vehicles_task("p", seed ^ 0xABCD, latency, None)];
-            let (report, _) = CoopDriver::new(cfg).run_with_details(&sites);
+            let mut sites = vec![vehicles_task("p", seed ^ 0xABCD, latency, None)];
+            let (report, _) = CoopDriver::new(cfg).run_with_details(&mut sites);
             let site = &report.sites[0];
             proptest::prop_assert!(site.samples.len() == 30);
             if site.queries_issued > 0 {

@@ -20,26 +20,29 @@
 //! buys.
 
 use hdsampler_core::{
-    CachingExecutor, HdsSampler, QueryExecutor, SampleSet, SamplerConfig, SamplingSession,
-    SessionOutcome, StopReason,
+    CachingExecutor, HdsSampler, HistoryStats, QueryExecutor, SampleSet, SampleSink, SamplerConfig,
+    SamplerStats, SamplingSession, SessionOutcome, StopReason,
 };
 
 use crate::adapter::WebFormInterface;
 use crate::transport::{Clocked, Transport};
 
-/// One site to drive: a name plus the scraper stack pointed at it.
+/// One site to drive: a name, the scraper stack pointed at it, and an
+/// optional per-site [`SampleSink`] observing every sample the site's
+/// walkers accept, live.
 ///
 /// The wire is any [`Transport`] that reports elapsed time ([`Clocked`]):
 /// a [`LatencyTransport`](crate::transport::LatencyTransport) bills a
 /// virtual clock, an [`HttpTransport`](crate::httpc::HttpTransport) spends
 /// real wall-clock time against a live server — the driver code is
 /// identical.
-#[derive(Debug)]
 pub struct SiteTask<T> {
     /// Display name (reports and tables).
     pub name: String,
     /// The scraper-side interface over the site's wire.
     pub iface: WebFormInterface<T>,
+    /// Streaming observer of this site's accepted samples.
+    pub(crate) sink: Option<Box<dyn SampleSink>>,
 }
 
 impl<T: Transport + Clocked> SiteTask<T> {
@@ -48,7 +51,37 @@ impl<T: Transport + Clocked> SiteTask<T> {
         SiteTask {
             name: name.into(),
             iface,
+            sink: None,
         }
+    }
+
+    /// Attach a per-site streaming sink; it observes every sample this
+    /// site accepts, in acceptance order, and can be inspected or taken
+    /// back after the run.
+    pub fn with_sink(mut self, sink: Box<dyn SampleSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached sink, if any (down-cast via
+    /// [`SampleSink::as_any`] to read its state).
+    pub fn sink(&self) -> Option<&dyn SampleSink> {
+        self.sink.as_deref()
+    }
+
+    /// Detach and return the sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn SampleSink>> {
+        self.sink.take()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SiteTask<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteTask")
+            .field("name", &self.name)
+            .field("iface", &self.iface)
+            .field("sink", &self.sink.as_ref().map(|_| "<sink>"))
+            .finish()
     }
 }
 
@@ -118,6 +151,11 @@ pub struct SiteReport {
     pub elapsed_ms: u64,
     /// Why the site's session ended.
     pub stopped: StopReason,
+    /// The site's merged sampler counters (walks, acceptance, …).
+    pub stats: SamplerStats,
+    /// The site's history-cache statistics (shards, hits by rule,
+    /// evictions).
+    pub history: HistoryStats,
 }
 
 /// Outcome of a whole fleet run.
@@ -174,56 +212,110 @@ impl MultiSiteDriver {
     }
 
     /// Drive one site to the target with `walkers` threads sharing the
-    /// site's history cache.
+    /// site's history cache. `extra` sinks (forks of run-level sinks)
+    /// observe alongside the task's own sink.
     fn drive_site<T: Transport + Clocked>(
         &self,
-        task: &SiteTask<T>,
+        task: &mut SiteTask<T>,
         site_ix: usize,
         walkers: usize,
+        extra: &mut [&mut dyn SampleSink],
     ) -> SiteReport {
-        let exec = CachingExecutor::new(&task.iface);
-        let session = SamplingSession::new(self.cfg.target_per_site);
+        // Split the task: the interface is shared by the executor, the
+        // sink needs exclusive access for observation.
+        let SiteTask { name, iface, sink } = task;
+        let iface: &WebFormInterface<T> = iface;
+        let mut sinks: Vec<&mut dyn SampleSink> = Vec::with_capacity(1 + extra.len());
+        if let Some(s) = sink.as_deref_mut() {
+            sinks.push(s);
+        }
+        for s in extra.iter_mut() {
+            sinks.push(&mut **s);
+        }
+
+        let exec = CachingExecutor::new(iface);
+        let session = SamplingSession::new(self.cfg.target_per_site).with_site(site_ix);
         let outcome: SessionOutcome = if walkers <= 1 {
             let mut sampler = HdsSampler::new(&exec, self.cfg.walker_config(site_ix, 0))
                 .expect("fleet walker configuration is valid");
-            session.run(&mut sampler, |_| {})
+            session.run_observed(&mut sampler, &mut sinks, |_| {})
         } else {
-            session.run_parallel(walkers, |w| {
-                HdsSampler::new(&exec, self.cfg.walker_config(site_ix, w))
-                    .expect("fleet walker configuration is valid")
-            })
+            session.run_parallel_observed(
+                walkers,
+                |w| {
+                    HdsSampler::new(&exec, self.cfg.walker_config(site_ix, w))
+                        .expect("fleet walker configuration is valid")
+                },
+                &mut sinks,
+            )
         };
         // The walker threads are gone; reap their idle keep-alive
         // connections (real-TCP transports) instead of stranding the
         // sockets for the transport's lifetime.
-        task.iface.transport().close_idle();
+        iface.transport().close_idle();
         SiteReport {
-            name: task.name.clone(),
+            name: name.clone(),
             samples: outcome.samples,
             requests: exec.requests(),
             queries_issued: exec.queries_issued(),
             history_hits: exec.history_stats().total_hits(),
-            elapsed_ms: task.iface.transport().elapsed_ms(),
+            elapsed_ms: iface.transport().elapsed_ms(),
             stopped: outcome.reason,
+            stats: outcome.stats,
+            history: exec.history_stats(),
         }
     }
 
     /// Drive every site concurrently: one runner thread per site, W walker
     /// threads per runner, fleet elapsed = max over sites.
-    pub fn run_concurrent<T: Transport + Clocked>(&self, sites: &[SiteTask<T>]) -> FleetReport {
+    pub fn run_concurrent<T: Transport + Clocked + Send>(
+        &self,
+        sites: &mut [SiteTask<T>],
+    ) -> FleetReport {
+        self.run_concurrent_observed(sites, &mut [])
+    }
+
+    /// [`MultiSiteDriver::run_concurrent`] with run-level streaming
+    /// observation: each sink in `run_sinks` is forked once per site, the
+    /// forks ride the site runner threads, and they are merged back in
+    /// site order after the join (per-site [`SiteTask`] sinks observe as
+    /// well, on their own site's thread).
+    pub fn run_concurrent_observed<T: Transport + Clocked + Send>(
+        &self,
+        sites: &mut [SiteTask<T>],
+        run_sinks: &mut [&mut dyn SampleSink],
+    ) -> FleetReport {
         let walkers = self.cfg.walkers_per_site.max(1);
-        let reports: Vec<SiteReport> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = sites
-                .iter()
-                .enumerate()
-                .map(|(i, task)| scope.spawn(move |_| self.drive_site(task, i, walkers)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("site runner panicked"))
-                .collect()
-        })
-        .expect("fleet scope");
+        let results: Vec<(SiteReport, Vec<Box<dyn SampleSink>>)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = sites
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, task)| {
+                        let mut forks: Vec<Box<dyn SampleSink>> =
+                            run_sinks.iter().map(|s| s.fork()).collect();
+                        scope.spawn(move |_| {
+                            let mut refs: Vec<&mut dyn SampleSink> =
+                                forks.iter_mut().map(|b| &mut **b).collect();
+                            let report = self.drive_site(task, i, walkers, &mut refs);
+                            drop(refs);
+                            (report, forks)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("site runner panicked"))
+                    .collect()
+            })
+            .expect("fleet scope");
+        let mut reports = Vec::with_capacity(results.len());
+        for (report, forks) in results {
+            for (sink, fork) in run_sinks.iter_mut().zip(forks) {
+                sink.merge(fork);
+            }
+            reports.push(report);
+        }
         let fleet_elapsed_ms = reports.iter().map(|r| r.elapsed_ms).max().unwrap_or(0);
         FleetReport {
             sites: reports,
@@ -234,12 +326,24 @@ impl MultiSiteDriver {
 
     /// The serial baseline: sites driven one after another, one walker and
     /// one connection each, fleet elapsed = sum over sites.
-    pub fn run_serial<T: Transport + Clocked>(&self, sites: &[SiteTask<T>]) -> FleetReport {
-        let reports: Vec<SiteReport> = sites
-            .iter()
-            .enumerate()
-            .map(|(i, task)| self.drive_site(task, i, 1))
-            .collect();
+    pub fn run_serial<T: Transport + Clocked>(&self, sites: &mut [SiteTask<T>]) -> FleetReport {
+        self.run_serial_observed(sites, &mut [])
+    }
+
+    /// [`MultiSiteDriver::run_serial`] with run-level streaming
+    /// observation. Sites run sequentially, so the sinks observe the
+    /// whole run directly — no forking.
+    pub fn run_serial_observed<T: Transport + Clocked>(
+        &self,
+        sites: &mut [SiteTask<T>],
+        run_sinks: &mut [&mut dyn SampleSink],
+    ) -> FleetReport {
+        let mut reports = Vec::with_capacity(sites.len());
+        for (i, task) in sites.iter_mut().enumerate() {
+            let mut refs: Vec<&mut dyn SampleSink> =
+                run_sinks.iter_mut().map(|s| &mut **s).collect();
+            reports.push(self.drive_site(task, i, 1, &mut refs));
+        }
         let fleet_elapsed_ms = reports.iter().map(|r| r.elapsed_ms).sum();
         FleetReport {
             sites: reports,
@@ -308,10 +412,10 @@ mod tests {
         };
         let driver = MultiSiteDriver::new(cfg);
 
-        let serial_sites: Vec<_> = (0..3)
+        let mut serial_sites: Vec<_> = (0..3)
             .map(|i| figure1_task(&format!("s{i}"), 100))
             .collect();
-        let serial = driver.run_serial(&serial_sites);
+        let serial = driver.run_serial(&mut serial_sites);
         assert!(!serial.concurrent);
         assert_eq!(serial.total_samples(), 75);
         assert_eq!(
@@ -320,10 +424,10 @@ mod tests {
             "serial fleet time sums over sites"
         );
 
-        let conc_sites: Vec<_> = (0..3)
+        let mut conc_sites: Vec<_> = (0..3)
             .map(|i| figure1_task(&format!("c{i}"), 100))
             .collect();
-        let concurrent = driver.run_concurrent(&conc_sites);
+        let concurrent = driver.run_concurrent(&mut conc_sites);
         assert!(concurrent.concurrent);
         assert_eq!(concurrent.total_samples(), 75);
         assert_eq!(
@@ -377,8 +481,8 @@ mod tests {
             ..FleetConfig::default()
         };
         let driver = MultiSiteDriver::new(cfg);
-        let sites: Vec<_> = (0..2).map(|i| figure1_task(&format!("s{i}"), 50)).collect();
-        let report = driver.run_concurrent(&sites);
+        let mut sites: Vec<_> = (0..2).map(|i| figure1_task(&format!("s{i}"), 50)).collect();
+        let report = driver.run_concurrent(&mut sites);
         for site in &report.sites {
             assert_eq!(site.stopped, StopReason::TargetReached);
             for row in site.samples.rows() {
@@ -398,8 +502,8 @@ mod tests {
         let driver = MultiSiteDriver::new(cfg);
         // One starving site next to a healthy one: the budgeted site stops
         // early with partial results, the rest of the fleet is unaffected.
-        let sites = vec![budgeted_task("starved", 50, 12), figure1_task("ok", 50)];
-        let report = driver.run_concurrent(&sites);
+        let mut sites = vec![budgeted_task("starved", 50, 12), figure1_task("ok", 50)];
+        let report = driver.run_concurrent(&mut sites);
         let starved = &report.sites[0];
         assert_eq!(starved.stopped, StopReason::BudgetExhausted);
         assert!(starved.samples.len() < 1_000);

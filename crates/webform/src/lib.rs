@@ -35,7 +35,13 @@
 //! * [`coop`] — [`CoopDriver`], the cooperative alternative: one OS
 //!   thread multiplexing S × W resumable walk machines over explicit
 //!   connections, pipelining hundreds of in-flight submissions where the
-//!   threaded driver would need hundreds of stacks.
+//!   threaded driver would need hundreds of stacks;
+//! * [`plan`] — [`RunPlan`], the single front door: one builder
+//!   (`target → walkers → driver → attach(sink)`) that executes any of
+//!   the drivers over simulated or live sites, streaming every accepted
+//!   sample into attached
+//!   [`SampleSink`](hdsampler_core::SampleSink)s and returning one
+//!   [`RunReport`].
 
 pub mod adapter;
 pub mod aio;
@@ -43,6 +49,7 @@ pub mod coop;
 pub mod driver;
 pub mod form;
 pub mod httpc;
+pub mod plan;
 pub mod render;
 pub mod scrape;
 pub mod transport;
@@ -54,4 +61,5 @@ pub use coop::{CoopDriver, CoopSiteDetail};
 pub use driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
 pub use form::WebForm;
 pub use httpc::HttpTransport;
+pub use plan::{Driver, RunPlan, RunReport};
 pub use transport::{Clocked, LatencyTransport, LocalSite, Transport};

@@ -1,0 +1,339 @@
+//! [`RunPlan`]: one front door for every execution path.
+//!
+//! PRs past grew four ways to run a sampling fleet —
+//! [`SamplingSession::run`](hdsampler_core::SamplingSession::run) and its
+//! parallel variant, [`MultiSiteDriver`]'s concurrent/serial modes, and
+//! the cooperative [`CoopDriver`] — each with its own config plumbing and
+//! report shape. [`RunPlan`] normalizes them: one builder describing
+//! *what* to run (target, walkers, seed, slider, scope), *how* to run it
+//! ([`Driver`]), and *who watches* (attached
+//! [`SampleSink`](hdsampler_core::SampleSink)s observing every accepted
+//! sample live), returning one [`RunReport`] whichever driver executed.
+//!
+//! ```no_run
+//! # use hdsampler_webform::{RunPlan, Driver, SiteTask, LatencyTransport, LocalSite};
+//! # fn demo(mut fleet: Vec<SiteTask<LatencyTransport<LocalSite<std::sync::Arc<()>>>>>) {
+//! # }
+//! ```
+//!
+//! Typical use:
+//!
+//! ```text
+//! let report = RunPlan::target(200)
+//!     .walkers(8)
+//!     .driver(Driver::Coop { conns: Some(4) })
+//!     .seed(2009)
+//!     .attach(&mut histogram)     // any SampleSink, updated live
+//!     .run(&mut fleet);
+//! ```
+
+use std::sync::Arc;
+
+use hdsampler_core::SampleSink;
+use hdsampler_model::{ConjunctiveQuery, Schema};
+
+use crate::adapter::WebFormInterface;
+use crate::aio::AsyncTransport;
+use crate::coop::{CoopDriver, CoopSiteDetail};
+use crate::driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
+use crate::httpc::HttpTransport;
+use crate::transport::{Clocked, Transport};
+
+/// Which execution engine a [`RunPlan`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Thread-per-walker: one runner thread per site, W walker threads
+    /// per runner ([`MultiSiteDriver::run_concurrent`]). With one site
+    /// and one walker this is the plain blocking session.
+    Threaded,
+    /// The serial baseline: sites one after another, one walker each
+    /// ([`MultiSiteDriver::run_serial`]).
+    Serial,
+    /// Cooperative: one OS thread multiplexing every site's walker
+    /// machines over `conns` pipelined connections per site (`None` =
+    /// one connection per walker) — [`CoopDriver`].
+    Coop {
+        /// Wire connections per site the walkers share.
+        conns: Option<usize>,
+    },
+}
+
+/// Outcome of a [`RunPlan`]: the fleet report plus which driver ran and,
+/// for the cooperative driver, its per-walker detail.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Which engine executed the plan.
+    pub driver: Driver,
+    /// Per-site outcomes and fleet clocks.
+    pub fleet: FleetReport,
+    /// Per-walker sequences and connection counts (cooperative driver
+    /// only).
+    pub details: Option<Vec<CoopSiteDetail>>,
+}
+
+impl RunReport {
+    /// The first (often only) site's report.
+    pub fn site(&self) -> &SiteReport {
+        &self.fleet.sites[0]
+    }
+
+    /// Samples collected across the fleet.
+    pub fn total_samples(&self) -> usize {
+        self.fleet.total_samples()
+    }
+}
+
+/// A single builder describing one sampling run, whatever the driver.
+///
+/// The lifetime `'a` covers attached sinks: the caller keeps ownership
+/// and reads their final (or, for a live display, mid-run) state after
+/// [`RunPlan::run`] returns.
+pub struct RunPlan<'a> {
+    target: usize,
+    walkers: usize,
+    seed: u64,
+    slider: f64,
+    scope: ConjunctiveQuery,
+    driver: Driver,
+    sinks: Vec<&'a mut dyn SampleSink>,
+}
+
+impl<'a> RunPlan<'a> {
+    /// Plan a run collecting `target` samples per site.
+    pub fn target(target: usize) -> Self {
+        RunPlan {
+            target,
+            walkers: 1,
+            seed: 2009,
+            slider: 0.0,
+            scope: ConjunctiveQuery::empty(),
+            driver: Driver::Threaded,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Walkers per site (threads for [`Driver::Threaded`], machines for
+    /// [`Driver::Coop`]; ignored by [`Driver::Serial`], which is
+    /// single-walker by definition).
+    pub fn walkers(mut self, walkers: usize) -> Self {
+        self.walkers = walkers.max(1);
+        self
+    }
+
+    /// Base RNG seed ([`FleetConfig::walker_config`] derives per-walker
+    /// seeds).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Efficiency ↔ skew slider position for every walker.
+    pub fn slider(mut self, slider: f64) -> Self {
+        self.slider = slider;
+        self
+    }
+
+    /// Pinned bindings applied fleet-wide.
+    pub fn scope(mut self, scope: ConjunctiveQuery) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Which engine runs the plan.
+    pub fn driver(mut self, driver: Driver) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// Attach a streaming sink observing every accepted sample across the
+    /// whole fleet, live. Repeatable. The caller keeps ownership and
+    /// inspects the sink after the run.
+    pub fn attach(mut self, sink: &'a mut dyn SampleSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// The [`FleetConfig`] this plan resolves to (what the drivers see).
+    pub fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            walkers_per_site: self.walkers,
+            target_per_site: self.target,
+            seed: self.seed,
+            slider: self.slider,
+            scope: self.scope.clone(),
+        }
+    }
+
+    /// Execute the plan over `sites` — simulated wires or live TCP, any
+    /// transport implementing both the blocking and the explicit-
+    /// connection face. Per-site [`SiteTask`] sinks observe alongside the
+    /// plan's attached run-level sinks.
+    pub fn run<T>(mut self, sites: &mut [SiteTask<T>]) -> RunReport
+    where
+        T: Transport + AsyncTransport + Clocked + Send,
+    {
+        let cfg = self.fleet_config();
+        let mut run_sinks: Vec<&mut dyn SampleSink> =
+            self.sinks.drain(..).map(|s| &mut *s).collect();
+        match self.driver {
+            Driver::Threaded => RunReport {
+                driver: self.driver,
+                fleet: MultiSiteDriver::new(cfg).run_concurrent_observed(sites, &mut run_sinks),
+                details: None,
+            },
+            Driver::Serial => RunReport {
+                driver: self.driver,
+                fleet: MultiSiteDriver::new(cfg).run_serial_observed(sites, &mut run_sinks),
+                details: None,
+            },
+            Driver::Coop { conns } => {
+                let mut coop = CoopDriver::new(cfg);
+                if let Some(c) = conns {
+                    coop = coop.with_connections(c);
+                }
+                let (fleet, details) = coop.run_observed(sites, &mut run_sinks);
+                RunReport {
+                    driver: self.driver,
+                    fleet,
+                    details: Some(details),
+                }
+            }
+        }
+    }
+
+    /// Build one [`SiteTask`] per live server address over real TCP and
+    /// execute the plan against them. `schema`/`k`/`supports_count`
+    /// describe the served form (the scraper "reads the site's
+    /// documentation"). Returns the report and the tasks, so wire
+    /// statistics and per-site sinks remain inspectable.
+    pub fn run_remote(
+        self,
+        addrs: &[&str],
+        schema: Arc<Schema>,
+        k: usize,
+        supports_count: bool,
+    ) -> Result<(RunReport, Vec<SiteTask<HttpTransport>>), String> {
+        if addrs.is_empty() || addrs.iter().any(|a| a.trim().is_empty()) {
+            return Err("run_remote: empty address list or blank address".into());
+        }
+        let mut tasks: Vec<SiteTask<HttpTransport>> = addrs
+            .iter()
+            .map(|addr| {
+                SiteTask::new(
+                    addr.to_string(),
+                    WebFormInterface::new(
+                        HttpTransport::new(*addr),
+                        Arc::clone(&schema),
+                        k,
+                        supports_count,
+                    ),
+                )
+            })
+            .collect();
+        let report = self.run(&mut tasks);
+        Ok((report, tasks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{LatencyTransport, LocalSite};
+    use hdsampler_core::{SampleSetSink, StopReason};
+    use hdsampler_hidden_db::HiddenDb;
+    use hdsampler_model::FormInterface as _;
+    use hdsampler_workload::figure1_db;
+
+    fn figure1_task(
+        name: &str,
+        latency_ms: u64,
+    ) -> SiteTask<LatencyTransport<LocalSite<HiddenDb>>> {
+        let db = figure1_db(1);
+        let schema = Arc::new(db.schema().clone());
+        let site = LocalSite::new(db, Arc::clone(&schema));
+        let wire = LatencyTransport::new(site, latency_ms);
+        SiteTask::new(name, WebFormInterface::new(wire, schema, 1, false))
+    }
+
+    #[test]
+    fn one_front_door_runs_all_three_drivers() {
+        for driver in [
+            Driver::Threaded,
+            Driver::Serial,
+            Driver::Coop { conns: Some(2) },
+        ] {
+            let mut fleet = vec![figure1_task("a", 50), figure1_task("b", 50)];
+            let mut collected = SampleSetSink::new();
+            let report = RunPlan::target(20)
+                .walkers(3)
+                .seed(5)
+                .driver(driver)
+                .attach(&mut collected)
+                .run(&mut fleet);
+            assert_eq!(report.driver, driver);
+            assert_eq!(report.total_samples(), 40, "{driver:?}");
+            assert_eq!(
+                collected.set().len(),
+                40,
+                "run-level sink sees the whole fleet under {driver:?}"
+            );
+            for site in &report.fleet.sites {
+                assert_eq!(site.stopped, StopReason::TargetReached);
+                assert!(site.stats.accepted >= 20);
+                assert!(site.history.shard_count > 0);
+            }
+            assert_eq!(
+                report.details.is_some(),
+                matches!(driver, Driver::Coop { .. })
+            );
+        }
+    }
+
+    #[test]
+    fn per_site_and_run_level_sinks_compose() {
+        let mut fleet = vec![
+            figure1_task("a", 30).with_sink(Box::new(SampleSetSink::new())),
+            figure1_task("b", 30).with_sink(Box::new(SampleSetSink::new())),
+        ];
+        let mut all = SampleSetSink::new();
+        let report = RunPlan::target(15)
+            .walkers(2)
+            .driver(Driver::Coop { conns: None })
+            .attach(&mut all)
+            .run(&mut fleet);
+        assert_eq!(all.set().len(), 30);
+        for (task, site) in fleet.iter_mut().zip(&report.fleet.sites) {
+            let sink = task.take_sink().expect("sink attached");
+            let sink = sink
+                .as_any()
+                .downcast_ref::<SampleSetSink>()
+                .expect("concrete type");
+            assert_eq!(
+                sink.set().keys(),
+                site.samples.keys(),
+                "per-site sink saw exactly the site's samples, in order"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_config_resolves_the_builder() {
+        let plan = RunPlan::target(7).walkers(3).seed(42).slider(0.5);
+        let cfg = plan.fleet_config();
+        assert_eq!(cfg.target_per_site, 7);
+        assert_eq!(cfg.walkers_per_site, 3);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.slider, 0.5);
+    }
+
+    #[test]
+    fn run_remote_rejects_blank_addresses() {
+        let schema = Arc::new(figure1_db(1).schema().clone());
+        assert!(RunPlan::target(1)
+            .run_remote(&[], schema.clone(), 1, false)
+            .is_err());
+        assert!(RunPlan::target(1)
+            .run_remote(&["a:1", " "], schema, 1, false)
+            .is_err());
+    }
+}

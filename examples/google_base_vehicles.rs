@@ -46,7 +46,10 @@ fn main() {
 
     let session = SamplingSession::new(600);
     let outcome = session.run(&mut sampler, |event| {
-        if let SessionEvent::SampleAccepted { collected, target } = event {
+        if let SessionEvent::SampleAccepted {
+            collected, target, ..
+        } = event
+        {
             if collected % 150 == 0 {
                 println!("  … {collected}/{target}");
             }

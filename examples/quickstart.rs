@@ -25,7 +25,10 @@ fn main() {
     let mut sampler = hdsampler::uniform_sampler(&db, 7);
     let session = SamplingSession::new(400);
     let outcome = session.run(&mut sampler, |event| {
-        if let SessionEvent::SampleAccepted { collected, target } = event {
+        if let SessionEvent::SampleAccepted {
+            collected, target, ..
+        } = event
+        {
             if collected % 100 == 0 {
                 println!("  … {collected}/{target} samples");
             }

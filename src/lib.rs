@@ -58,19 +58,24 @@ use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
 pub mod prelude {
     pub use hdsampler_core::{
         AcceptancePolicy, BruteForceSampler, CachingExecutor, CountWalkSampler, DirectExecutor,
-        HdsSampler, OrderStrategy, QueryExecutor, Sample, SampleSet, Sampler, SamplerConfig,
-        SamplerError, SamplingSession, SessionEvent, StopReason,
+        HdsSampler, NullSink, OrderStrategy, QueryExecutor, Sample, SampleEvent, SampleSet,
+        SampleSetSink, SampleSink, Sampler, SamplerConfig, SamplerError, SamplingSession,
+        SessionEvent, StopReason,
     };
     pub use hdsampler_estimator::{
-        capture_recapture, tv_distance, DataCube, Estimator, Histogram, MarginalComparison,
-        MarginalEstimate,
+        capture_recapture, fmt_stat, tv_distance, DataCube, Estimator, Histogram,
+        MarginalComparison, MarginalEstimate, OnlineAvg, OnlineCount, OnlineFrequencies,
+        OnlineMarginal, OnlineProportion, OnlineSize, OnlineSum,
     };
     pub use hdsampler_hidden_db::{CountMode, HiddenDb, QueryBudget, RankSpec};
     pub use hdsampler_model::{
         AttrId, Attribute, Classification, ConjunctiveQuery, FormInterface, MeasureId, Row, Schema,
         SchemaBuilder, TupleId,
     };
-    pub use hdsampler_webform::{LatencyTransport, LocalSite, Transport, WebFormInterface};
+    pub use hdsampler_webform::{
+        CoopDriver, Driver, FleetConfig, LatencyTransport, LocalSite, MultiSiteDriver, RunPlan,
+        RunReport, SiteTask, Transport, WebFormInterface,
+    };
     pub use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
 }
 
