@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing (no external parser dependencies).
 
+use hdsampler_webform::ChaosSpec;
+
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
 HDSampler — sampling hidden databases behind top-k web forms
@@ -64,6 +66,13 @@ multi-site:
   --coop-conns <C>     with --driver coop: wire connections per site
                        (default: 1/walker on the virtual wire, 4 on live
                        servers)
+  --chaos <spec>       make every simulated site adversarial: seeded faults
+                       on the virtual wire (not valid with --remote — serve
+                       the adversary with `serve --chaos` instead), e.g.
+                       seed=7,latency=40,throttle=0.2,retry_after=250,
+                       fail=0.1,drop=0.05,slow=400x50,jitter=30,count_noise=0.3
+  --steal              with --driver coop: when a site finishes, reassign its
+                       walkers to the hungriest site still sampling
   (--samples is the per-site target; --budget the per-site query cap)
 
 serve:
@@ -71,6 +80,8 @@ serve:
   --workers <W>        connection worker threads                (default 4)
   --serve-for <SECS>   shut down gracefully after SECS (default: run until
                        killed)
+  --chaos <spec>       serve through a fault-injecting adversary (grammar as
+                       under multi-site; sleeps are real wall-clock here)
 ";
 
 /// Parsed command line.
@@ -133,6 +144,12 @@ pub enum Command {
         coop_conns: Option<usize>,
         /// Re-render fleet-wide live histograms mid-run.
         watch: bool,
+        /// Seeded fault schedule wrapped around every simulated site's
+        /// wire (never valid with `--remote`).
+        chaos: Option<ChaosSpec>,
+        /// With `--driver coop`: reassign finished sites' walkers to the
+        /// hungriest site still sampling.
+        steal: bool,
     },
     /// Serve the simulated site over real HTTP.
     Serve {
@@ -143,6 +160,8 @@ pub enum Command {
         /// Graceful shutdown after this many seconds (None: run until
         /// killed).
         serve_for: Option<u64>,
+        /// Seeded fault schedule the served site hides behind.
+        chaos: Option<ChaosSpec>,
     },
 }
 
@@ -232,6 +251,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut coop_walkers = None;
     let mut coop_conns = None;
     let mut watch = false;
+    let mut chaos = None;
+    let mut steal = false;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -358,6 +379,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 coop_conns = Some(c);
             }
             "--watch" => watch = true,
+            "--chaos" => chaos = Some(ChaosSpec::parse(value("--chaos")?)?),
+            "--steal" => steal = true,
             "--histogram" => histograms.push(value("--histogram")?.clone()),
             "--proportion" => proportions.push(split_kv(value("--proportion")?, "--proportion")?),
             "--avg" => avgs.push(value("--avg")?.clone()),
@@ -380,6 +403,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     }
     if watch && !matches!(command_word.as_str(), "sample" | "multi-site") {
         return Err(format!("--watch does not apply to `{command_word}`"));
+    }
+    if chaos.is_some() && !matches!(command_word.as_str(), "multi-site" | "serve") {
+        return Err(format!("--chaos does not apply to `{command_word}`"));
+    }
+    if steal && command_word != "multi-site" {
+        return Err(format!("--steal does not apply to `{command_word}`"));
     }
 
     let command = match command_word.as_str() {
@@ -408,6 +437,17 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             if coop_conns.is_some() && mode != DriverMode::Coop {
                 return Err("--coop-conns requires --driver coop".into());
             }
+            if steal && mode != DriverMode::Coop {
+                return Err("--steal requires --driver coop (only the cooperative \
+                            driver can move walkers between sites)"
+                    .into());
+            }
+            if chaos.is_some() && common.remote.is_some() {
+                return Err("--chaos wraps the simulated wire and cannot apply to \
+                            --remote servers; serve the adversary itself with \
+                            `hdsampler serve --chaos ...`"
+                    .into());
+            }
             Command::MultiSite {
                 sites,
                 walkers,
@@ -416,12 +456,15 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 mode,
                 coop_conns,
                 watch,
+                chaos,
+                steal,
             }
         }
         "serve" => Command::Serve {
             port,
             workers: serve_workers,
             serve_for,
+            chaos,
         },
         other => return Err(format!("unknown command `{other}`")),
     };
@@ -539,6 +582,8 @@ mod tests {
                 mode: DriverMode::Both,
                 coop_conns: None,
                 watch: false,
+                chaos: None,
+                steal: false,
             }
         );
         assert_eq!(cli.common.samples, 80);
@@ -555,6 +600,8 @@ mod tests {
                 mode: DriverMode::Concurrent,
                 coop_conns: None,
                 watch: false,
+                chaos: None,
+                steal: false,
             }
         );
         assert!(parse(&argv(&["multi-site", "--sites", "0"])).is_err());
@@ -583,6 +630,8 @@ mod tests {
                 mode: DriverMode::Concurrent,
                 coop_conns: None,
                 watch: false,
+                chaos: None,
+                steal: false,
             }
         );
         assert!(parse(&argv(&["multi-site", "--latency", "50,0,100"])).is_err());
@@ -610,6 +659,7 @@ mod tests {
                 port: 9090,
                 workers: 8,
                 serve_for: Some(30),
+                chaos: None,
             }
         );
         assert_eq!(cli.common.source, "boolean", "--dataset aliases --source");
@@ -621,6 +671,7 @@ mod tests {
                 port: 8000,
                 workers: 4,
                 serve_for: None,
+                chaos: None,
             }
         );
         assert!(parse(&argv(&["serve", "--workers", "0"])).is_err());
@@ -691,6 +742,52 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn chaos_and_steal_flags() {
+        let fleet = parse(&argv(&[
+            "multi-site",
+            "--driver",
+            "coop",
+            "--steal",
+            "--chaos",
+            "seed=7,throttle=0.2,retry_after=250,fail=0.1,drop=0.05",
+        ]))
+        .unwrap();
+        match fleet.command {
+            Command::MultiSite { chaos, steal, .. } => {
+                let spec = chaos.expect("--chaos parsed");
+                assert_eq!(spec.seed, 7);
+                assert_eq!(spec.throttle, 0.2);
+                assert_eq!(spec.retry_after_ms, 250);
+                assert!(steal);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let served = parse(&argv(&["serve", "--chaos", "latency=30,fail=0.1"])).unwrap();
+        match served.command {
+            Command::Serve { chaos, .. } => {
+                let spec = chaos.expect("--chaos parsed");
+                assert_eq!(spec.latency_ms, 30);
+                assert_eq!(spec.fail, 0.1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Strictness: bad grammar, wrong commands, wrong driver, real wire.
+        assert!(parse(&argv(&["serve", "--chaos", "throttle=2.0"])).is_err());
+        assert!(parse(&argv(&["serve", "--chaos", "psychic=1"])).is_err());
+        assert!(parse(&argv(&["sample", "--chaos", "fail=0.1"])).is_err());
+        assert!(parse(&argv(&["multi-site", "--steal"])).is_err());
+        assert!(parse(&argv(&["serve", "--steal"])).is_err());
+        assert!(parse(&argv(&[
+            "multi-site",
+            "--remote",
+            "h1:1",
+            "--chaos",
+            "fail=0.1"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -9,10 +9,11 @@ use hdsampler_core::{
 use hdsampler_estimator::{fmt_stat, Estimator, Histogram, MarginalComparison, OnlineFrequencies};
 use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
-use hdsampler_server::{HttpServer, ServerConfig};
+use hdsampler_server::{Adversary, HttpServer, ServerConfig};
 use hdsampler_webform::{
-    AsyncTransport, Clocked, Driver, HttpTransport, LatencyTransport, LocalSite, RunPlan,
-    RunReport, SiteReport, SiteTask, Transport, WebForm, WebFormInterface,
+    AsyncTransport, ChaosSpec, ChaosTransport, Clocked, Driver, HttpTransport, LatencyTransport,
+    LocalSite, RetryPolicy, RunPlan, RunReport, SiteReport, SiteTask, Transport, WebForm,
+    WebFormInterface,
 };
 use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
 
@@ -161,6 +162,8 @@ pub fn run(cli: Cli) -> Result<(), String> {
             mode,
             coop_conns,
             watch,
+            chaos,
+            steal,
         } => multi_site(
             &cli.common,
             sites,
@@ -170,37 +173,67 @@ pub fn run(cli: Cli) -> Result<(), String> {
             mode,
             coop_conns,
             watch,
+            chaos,
+            steal,
         ),
         Command::Serve {
             port,
             workers,
             serve_for,
-        } => serve(&cli.common, port, workers, serve_for),
+            chaos,
+        } => serve(&cli.common, port, workers, serve_for, chaos),
     }
 }
 
-/// Put the simulated site behind a real HTTP front door on 127.0.0.1.
-fn serve(common: &Common, port: u16, workers: usize, serve_for: Option<u64>) -> Result<(), String> {
+/// Put the simulated site behind a real HTTP front door on 127.0.0.1,
+/// optionally hidden behind a fault-injecting [`Adversary`].
+fn serve(
+    common: &Common,
+    port: u16,
+    workers: usize,
+    serve_for: Option<u64>,
+    chaos: Option<ChaosSpec>,
+) -> Result<(), String> {
     let db = build_db(common, common.seed)?;
     let schema = Arc::new(db.schema().clone());
     let n = db.n_tuples();
     let k = db.result_limit();
     let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
     let action = site.form().action().to_string();
-    let handle = HttpServer::serve(
-        ServerConfig {
-            addr: format!("127.0.0.1:{port}"),
-            workers,
-            ..ServerConfig::default()
-        },
-        site,
-    )
+    let cfg = ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers,
+        ..ServerConfig::default()
+    };
+    // The adversary (when any) is kept on this side too, so the shutdown
+    // report can print what it injected.
+    let adversary = chaos.map(|spec| Arc::new(Adversary::new(Arc::clone(&site), spec)));
+    let handle = match &adversary {
+        Some(adv) => HttpServer::serve(cfg, Arc::clone(adv)),
+        None => HttpServer::serve(cfg, site),
+    }
     .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
     println!(
         "serving `{}` (n = {n}, top-{k}) on http://{} — form at /, results at {action}",
         common.source,
         handle.addr()
     );
+    if let Some(adv) = &adversary {
+        let spec = adv.spec();
+        println!(
+            "adversary: seed {} — throttle {:.0}%, fail {:.0}%, drop {:.0}%, \
+             latency {} ms, slow-start {} ms × {}, jitter ±{} ms, count-noise {:.0}%",
+            spec.seed,
+            spec.throttle * 100.0,
+            spec.fail * 100.0,
+            spec.drop * 100.0,
+            spec.latency_ms,
+            spec.slow_start_ms,
+            spec.slow_warmup,
+            spec.jitter_ms,
+            spec.count_noise * 100.0,
+        );
+    }
     match serve_for {
         Some(secs) => {
             println!("shutting down gracefully after {secs} s");
@@ -215,6 +248,14 @@ fn serve(common: &Common, port: u16, workers: usize, serve_for: Option<u64>) -> 
                 stats.responses_server_error,
                 stats.bytes_out,
             );
+            if let Some(adv) = &adversary {
+                let c = adv.counters();
+                println!(
+                    "injected: {} throttles, {} transient failures, {} dropped connections, \
+                     {} noisy pages, {} ms extra delay",
+                    c.throttles, c.transient_fails, c.drops, c.noisy_pages, c.extra_delay_ms,
+                );
+            }
         }
         None => {
             println!("press Ctrl-C to stop");
@@ -258,6 +299,50 @@ fn build_fleet(
         .collect()
 }
 
+/// Build an adversarial fleet: the same seeded per-site data, but each
+/// wire is a [`ChaosTransport`] injecting the `--chaos` schedule. Site `i`
+/// faults on its own stream (the spec seed is offset per site, so the
+/// fleet never throttles in lockstep); a spec without `latency=` inherits
+/// the site's `--latency` entry as its base service time.
+fn build_chaos_fleet(
+    common: &Common,
+    sites: usize,
+    latencies_ms: &[u64],
+    spec: &ChaosSpec,
+) -> Result<Vec<SiteTask<ChaosTransport<LocalSite<HiddenDb>>>>, String> {
+    (0..sites)
+        .map(|i| {
+            let db = build_db(common, common.seed.wrapping_add(i as u64))?;
+            let schema = Arc::new(db.schema().clone());
+            let k = db.result_limit();
+            let supports_count = db.supports_count();
+            let site = LocalSite::new(db, Arc::clone(&schema));
+            let mut site_spec = ChaosSpec {
+                seed: spec.seed.wrapping_add(i as u64),
+                ..spec.clone()
+            };
+            if site_spec.latency_ms == 0 {
+                site_spec.latency_ms = latencies_ms[i % latencies_ms.len()];
+            }
+            let wire = ChaosTransport::new(site, site_spec);
+            Ok(SiteTask::new(
+                format!("site-{i}"),
+                WebFormInterface::new(wire, schema, k, supports_count)
+                    .with_retry(CHAOS_RETRY_POLICY),
+            ))
+        })
+        .collect()
+}
+
+/// The retry policy an adversarial fleet runs under: patient enough to
+/// ride out bursts at the default fault rates, still bounded so a dead
+/// site fails instead of spinning.
+const CHAOS_RETRY_POLICY: RetryPolicy = RetryPolicy {
+    max_retries: 12,
+    base_backoff_ms: 25,
+    max_backoff_ms: 2_000,
+};
+
 /// Build a fleet of scraper stacks over live servers, one per address.
 fn build_remote_fleet(
     common: &Common,
@@ -269,23 +354,26 @@ fn build_remote_fleet(
         .collect()
 }
 
-#[allow(clippy::too_many_arguments)]
-fn multi_site(
+/// Drive one fleet through the chosen mode(s): the shared back half of
+/// `multi-site`, generic over the wire (virtual, chaos-wrapped, or real).
+/// `build` is called once up front and again for the serial pass of
+/// `--driver both` (each pass gets fresh clocks).
+fn drive_fleet<T, B>(
     common: &Common,
-    sites: usize,
+    build: B,
     walkers: usize,
-    latencies_ms: &[u64],
-    jitter_ms: u64,
     mode: DriverMode,
     coop_conns: Option<usize>,
     watch: bool,
-) -> Result<(), String> {
-    if let Some(remote) = &common.remote {
-        return multi_site_remote(common, remote, walkers, mode, coop_conns, watch);
-    }
+    steal: bool,
+) -> Result<(), String>
+where
+    T: Transport + AsyncTransport + Clocked + Send,
+    B: Fn() -> Result<Vec<SiteTask<T>>, String>,
+{
     // Build one fleet up front: its schema validates the --bind scope
     // (the sites share a schema structure, so ids resolve fleet-wide).
-    let mut fleet = build_fleet(common, sites, latencies_ms, jitter_ms)?;
+    let mut fleet = build()?;
     let schema = fleet[0].iface.schema().clone();
     let scope = scope_query(&schema, &common.binds)?;
     let plan_for = |driver: Driver| {
@@ -295,20 +383,14 @@ fn multi_site(
             .slider(common.slider)
             .scope(scope.clone())
             .driver(driver)
+            .steal(steal)
     };
-    let latency_desc = if latencies_ms.len() == 1 {
-        format!("{} ms", latencies_ms[0])
-    } else {
-        format!("{latencies_ms:?} ms (cycling)")
-    };
-    println!(
-        "fleet: {sites} × `{}` (n = {} each) at {latency_desc} ± {jitter_ms} ms virtual latency, \
-         {} samples per site, {walkers} walker(s) per site",
-        common.source, common.n, common.samples
-    );
     let mut watch_sink = watch.then(|| fleet_watch_sink(&schema)).transpose()?;
     if mode == DriverMode::Coop {
-        println!("driver: cooperative — one thread multiplexes every site's walkers");
+        println!(
+            "driver: cooperative — one thread multiplexes every site's walkers{}",
+            if steal { ", stealing enabled" } else { "" }
+        );
         let mut plan = plan_for(Driver::Coop { conns: coop_conns });
         if let Some(w) = watch_sink.as_mut() {
             plan = plan.attach(w);
@@ -336,7 +418,7 @@ fn multi_site(
             if let Some(w) = watch_sink.as_mut() {
                 plan = plan.attach(w);
             }
-            let report = plan.run(&mut build_fleet(common, sites, latencies_ms, jitter_ms)?);
+            let report = plan.run(&mut build()?);
             println!("\n{}", display::fleet_report(&report.fleet));
             Some(report)
         }
@@ -352,6 +434,71 @@ fn multi_site(
         }
     }
     Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn multi_site(
+    common: &Common,
+    sites: usize,
+    walkers: usize,
+    latencies_ms: &[u64],
+    jitter_ms: u64,
+    mode: DriverMode,
+    coop_conns: Option<usize>,
+    watch: bool,
+    chaos: Option<ChaosSpec>,
+    steal: bool,
+) -> Result<(), String> {
+    if let Some(remote) = &common.remote {
+        return multi_site_remote(common, remote, walkers, mode, coop_conns, watch, steal);
+    }
+    let latency_desc = if latencies_ms.len() == 1 {
+        format!("{} ms", latencies_ms[0])
+    } else {
+        format!("{latencies_ms:?} ms (cycling)")
+    };
+    match chaos {
+        Some(spec) => {
+            println!(
+                "fleet: {sites} × `{}` (n = {} each) behind adversarial wires \
+                 (seed {} — throttle {:.0}%, fail {:.0}%, drop {:.0}%, count-noise {:.0}%), \
+                 {} samples per site, {walkers} walker(s) per site",
+                common.source,
+                common.n,
+                spec.seed,
+                spec.throttle * 100.0,
+                spec.fail * 100.0,
+                spec.drop * 100.0,
+                spec.count_noise * 100.0,
+                common.samples
+            );
+            drive_fleet(
+                common,
+                || build_chaos_fleet(common, sites, latencies_ms, &spec),
+                walkers,
+                mode,
+                coop_conns,
+                watch,
+                steal,
+            )
+        }
+        None => {
+            println!(
+                "fleet: {sites} × `{}` (n = {} each) at {latency_desc} ± {jitter_ms} ms \
+                 virtual latency, {} samples per site, {walkers} walker(s) per site",
+                common.source, common.n, common.samples
+            );
+            drive_fleet(
+                common,
+                || build_fleet(common, sites, latencies_ms, jitter_ms),
+                walkers,
+                mode,
+                coop_conns,
+                watch,
+                steal,
+            )
+        }
+    }
 }
 
 /// The fleet-wide `--watch` sink: live histograms over the schema's
@@ -380,6 +527,7 @@ fn multi_site_remote(
     mode: DriverMode,
     coop_conns: Option<usize>,
     watch: bool,
+    steal: bool,
 ) -> Result<(), String> {
     let addrs: Vec<&str> = remote.split(',').map(str::trim).collect();
     if addrs.iter().any(|a| a.is_empty()) {
@@ -395,6 +543,7 @@ fn multi_site_remote(
             .slider(common.slider)
             .scope(scope.clone())
             .driver(driver)
+            .steal(steal)
     };
     println!(
         "fleet: {} live server(s) over real TCP, {} samples per site, {walkers} walker(s) per site",
@@ -797,7 +946,59 @@ mod tests {
             samples: 15,
             ..Common::default()
         };
-        multi_site(&common, 3, 2, &[100], 0, DriverMode::Both, None, false).unwrap();
+        multi_site(
+            &common,
+            3,
+            2,
+            &[100],
+            0,
+            DriverMode::Both,
+            None,
+            false,
+            None,
+            false,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_multi_site_chaos_command() {
+        let common = Common {
+            n: 300,
+            k: 50,
+            samples: 15,
+            ..Common::default()
+        };
+        let spec =
+            ChaosSpec::parse("seed=3,throttle=0.15,retry_after=80,fail=0.05,drop=0.03").unwrap();
+        // The adversarial fleet still converges, under both the threaded
+        // and the cooperative (stealing) drivers.
+        multi_site(
+            &common,
+            3,
+            2,
+            &[40],
+            0,
+            DriverMode::Concurrent,
+            None,
+            false,
+            Some(spec.clone()),
+            false,
+        )
+        .unwrap();
+        multi_site(
+            &common,
+            3,
+            2,
+            &[40],
+            0,
+            DriverMode::Coop,
+            None,
+            false,
+            Some(spec),
+            true,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -843,6 +1044,32 @@ mod tests {
     }
 
     #[test]
+    fn sample_remote_rides_out_a_served_adversary() {
+        // The `serve --chaos` analogue: a live server answering through an
+        // Adversary, sampled over real TCP with the default retry policy.
+        let common = quick_common();
+        let db = build_db(&common, common.seed).unwrap();
+        let schema = Arc::new(db.schema().clone());
+        let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
+        let spec =
+            ChaosSpec::parse("seed=11,throttle=0.15,retry_after=40,fail=0.05,drop=0.05").unwrap();
+        let adversary = Arc::new(Adversary::new(site, spec));
+        let handle = HttpServer::serve(ServerConfig::default(), Arc::clone(&adversary)).unwrap();
+        let remote_common = Common {
+            remote: Some(handle.addr().to_string()),
+            ..common
+        };
+        sample(&remote_common, &["make".into()], None, None, false).unwrap();
+        let stats = handle.shutdown();
+        let injected = adversary.counters();
+        assert!(
+            injected.throttles + injected.transient_fails + injected.drops > 0,
+            "the schedule must actually have fired: {injected:?}"
+        );
+        assert_eq!(stats.connections_dropped, injected.drops);
+    }
+
+    #[test]
     fn end_to_end_multi_site_coop_command() {
         let common = Common {
             n: 300,
@@ -850,7 +1077,19 @@ mod tests {
             samples: 15,
             ..Common::default()
         };
-        multi_site(&common, 3, 4, &[100], 0, DriverMode::Coop, None, false).unwrap();
+        multi_site(
+            &common,
+            3,
+            4,
+            &[100],
+            0,
+            DriverMode::Coop,
+            None,
+            false,
+            None,
+            false,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -868,6 +1107,8 @@ mod tests {
             &[50, 100, 250],
             20,
             DriverMode::Concurrent,
+            None,
+            false,
             None,
             false,
         )
@@ -892,13 +1133,27 @@ mod tests {
             DriverMode::Concurrent,
             None,
             false,
+            None,
+            false,
         )
         .unwrap();
         let bad = Common {
             binds: vec![("condition".to_string(), "imaginary".to_string())],
             ..common
         };
-        assert!(multi_site(&bad, 2, 1, &[100], 0, DriverMode::Concurrent, None, false).is_err());
+        assert!(multi_site(
+            &bad,
+            2,
+            1,
+            &[100],
+            0,
+            DriverMode::Concurrent,
+            None,
+            false,
+            None,
+            false
+        )
+        .is_err());
     }
 
     #[test]

@@ -170,18 +170,29 @@ pub fn fleet_report(report: &FleetReport) -> String {
     };
     let _ = writeln!(
         out,
-        "  {:<10} {:>8} {:>9} {:>10} {:>8} {:>11}  stopped",
-        "site", "samples", "fetches", "requests", "hits", "elapsed s"
+        "  {:<10} {:>8} {:>9} {:>10} {:>8} {:>8} {:>10} {:>7} {:>11}  stopped",
+        "site",
+        "samples",
+        "fetches",
+        "requests",
+        "hits",
+        "retries",
+        "backoff s",
+        "steals",
+        "elapsed s"
     );
     for site in &report.sites {
         let _ = writeln!(
             out,
-            "  {:<10} {:>8} {:>9} {:>10} {:>8} {:>11.1}  {:?}",
+            "  {:<10} {:>8} {:>9} {:>10} {:>8} {:>8} {:>10.1} {:>7} {:>11.1}  {:?}",
             site.name,
             site.samples.len(),
             site.queries_issued,
             site.requests,
             site.history_hits,
+            site.retries,
+            site.backoff_vms as f64 / 1_000.0,
+            site.steals,
             site.elapsed_ms as f64 / 1_000.0,
             site.stopped,
         );
@@ -203,6 +214,16 @@ pub fn fleet_report(report: &FleetReport) -> String {
         report.fleet_elapsed_ms as f64 / 1_000.0,
         report.total_fetches(),
     );
+    // The resilience line only earns its place when something went wrong
+    // (or walkers moved): a clean run keeps the clean summary.
+    if report.total_retries() > 0 || report.total_steals() > 0 {
+        let _ = writeln!(
+            out,
+            "  resilience: {} retries (budget never double-charged), {} walkers stolen",
+            report.total_retries(),
+            report.total_steals(),
+        );
+    }
     out
 }
 
@@ -220,6 +241,8 @@ mod tests {
             rejected: 20,
             requests: 200,
             queries_issued: 100,
+            retries: 0,
+            backoff_ms: 0,
         }
     }
 
@@ -243,6 +266,42 @@ mod tests {
         let text = fleet_report(&report);
         assert!(text.contains("n/a samples/s"), "{text}");
         assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn fleet_table_shows_resilience_columns() {
+        use hdsampler_core::{SampleSet, StopReason};
+        use hdsampler_webform::SiteReport;
+        let site = SiteReport {
+            name: "site-0".into(),
+            samples: SampleSet::default(),
+            requests: 120,
+            queries_issued: 100,
+            history_hits: 20,
+            elapsed_ms: 4_200,
+            retries: 7,
+            backoff_vms: 1_500,
+            steals: 2,
+            stopped: StopReason::TargetReached,
+            stats: stats(),
+            history: Default::default(),
+        };
+        let report = FleetReport {
+            sites: vec![site],
+            fleet_elapsed_ms: 4_200,
+            concurrent: true,
+        };
+        let text = fleet_report(&report);
+        assert!(text.contains("retries"), "{text}");
+        assert!(text.contains("steals"), "{text}");
+        assert!(text.contains("1.5"), "backoff in seconds: {text}");
+        assert!(text.contains("resilience: 7 retries"), "{text}");
+        assert!(text.contains("2 walkers stolen"), "{text}");
+        // A clean fleet keeps the clean summary.
+        let mut clean = report;
+        clean.sites[0].retries = 0;
+        clean.sites[0].steals = 0;
+        assert!(!fleet_report(&clean).contains("resilience"));
     }
 
     #[test]

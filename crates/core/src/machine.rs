@@ -160,6 +160,13 @@ impl WalkMachine {
 
     /// Feed the answer to the pending [`WalkStep::NeedCount`] and advance.
     ///
+    /// The machine itself never retries: transient-failure handling
+    /// (backoff on `Throttled`/5xx, see the webform drivers) lives in
+    /// whoever answers the `NeedCount`. An error fed here — e.g. a
+    /// [`InterfaceError::Throttled`] whose retry budget the driver has
+    /// exhausted — terminally fails the walk as
+    /// [`WalkStep::Failed`]`(`[`SamplerError::Interface`]`)`.
+    ///
     /// # Panics
     /// If the machine is not blocked on a query (misuse: `resume` without
     /// a preceding `NeedCount`).
@@ -391,6 +398,29 @@ mod tests {
         assert!(matches!(
             step,
             WalkStep::Failed(SamplerError::BudgetExhausted { issued: 7 })
+        ));
+        assert!(!m.is_awaiting(), "failure resets the machine");
+    }
+
+    #[test]
+    fn exhausted_retry_throttle_fails_the_walk() {
+        // The retrying drivers only feed a Throttled error to the machine
+        // once their retry budget is spent — at which point it must be
+        // terminal, not silently swallowed.
+        let db = figure1_db(1);
+        let schema = hdsampler_model::FormInterface::schema(&db).clone();
+        let mut m = WalkMachine::new(&schema, SamplerConfig::seeded(6)).unwrap();
+        let WalkStep::NeedCount(_) = m.step() else {
+            panic!("must block on the scope query");
+        };
+        let step = m.resume(Err(InterfaceError::Throttled {
+            retry_after_ms: 250,
+        }));
+        assert!(matches!(
+            step,
+            WalkStep::Failed(SamplerError::Interface(InterfaceError::Throttled {
+                retry_after_ms: 250
+            }))
         ));
         assert!(!m.is_awaiting(), "failure resets the machine");
     }

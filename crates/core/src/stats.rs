@@ -21,6 +21,13 @@ pub struct SamplerStats {
     pub requests: u64,
     /// Queries actually charged at the interface.
     pub queries_issued: u64,
+    /// Transient-failure retries (throttles, 5xx, dropped connections).
+    /// Charged separately from `queries_issued`: a retried query is still
+    /// one logical query.
+    pub retries: u64,
+    /// Total backoff waited before those retries, in wire milliseconds
+    /// (virtual on simulated wires, real on live ones).
+    pub backoff_ms: u64,
 }
 
 impl SamplerStats {
@@ -83,6 +90,8 @@ impl SamplerStats {
         self.rejected += other.rejected;
         self.requests = self.requests.max(other.requests);
         self.queries_issued = self.queries_issued.max(other.queries_issued);
+        self.retries = self.retries.max(other.retries);
+        self.backoff_ms = self.backoff_ms.max(other.backoff_ms);
     }
 }
 
@@ -101,6 +110,8 @@ mod tests {
             rejected: 40,
             requests: 500,
             queries_issued: 300,
+            retries: 0,
+            backoff_ms: 0,
         };
         assert_eq!(s.queries_per_sample(), 15.0);
         assert_eq!(s.walks_per_sample(), 5.0);
@@ -120,6 +131,8 @@ mod tests {
             rejected: 2,
             requests: 40,
             queries_issued: 30,
+            retries: 4,
+            backoff_ms: 120,
         };
         let b = SamplerStats {
             walks: 4,
@@ -130,6 +143,8 @@ mod tests {
             rejected: 1,
             requests: 42,
             queries_issued: 31,
+            retries: 3,
+            backoff_ms: 200,
         };
         a.merge_worker(&b);
         assert_eq!(a.walks, 14);
@@ -137,6 +152,8 @@ mod tests {
         assert_eq!(a.rejected, 3);
         assert_eq!(a.requests, 42, "shared executor view: max, not sum");
         assert_eq!(a.queries_issued, 31);
+        assert_eq!(a.retries, 4, "interface view: max, not sum");
+        assert_eq!(a.backoff_ms, 200);
     }
 
     #[test]

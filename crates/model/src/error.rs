@@ -143,6 +143,16 @@ pub enum InterfaceError {
         /// Queries charged before exhaustion.
         issued: u64,
     },
+    /// The site rate-limited the request (429 + `Retry-After`, *without*
+    /// the budget headers). Unlike [`BudgetExhausted`], this is transient:
+    /// the same query succeeds once the client backs off for the advertised
+    /// interval.
+    ///
+    /// [`BudgetExhausted`]: InterfaceError::BudgetExhausted
+    Throttled {
+        /// Server-advertised backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The query refers to attributes/values this interface does not expose.
     InvalidQuery(ModelError),
     /// The transport layer failed (timeouts, connection reset — simulated).
@@ -160,6 +170,9 @@ impl std::fmt::Display for InterfaceError {
             InterfaceError::BudgetExhausted { issued } => {
                 write!(f, "query budget exhausted after {issued} queries")
             }
+            InterfaceError::Throttled { retry_after_ms } => {
+                write!(f, "rate limited: retry after {retry_after_ms} ms")
+            }
             InterfaceError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
             InterfaceError::Transport(msg) => write!(f, "transport failure: {msg}"),
             InterfaceError::Parse(msg) => write!(f, "result page parse failure: {msg}"),
@@ -173,6 +186,49 @@ impl std::error::Error for InterfaceError {}
 impl From<ModelError> for InterfaceError {
     fn from(e: ModelError) -> Self {
         InterfaceError::InvalidQuery(e)
+    }
+}
+
+impl InterfaceError {
+    /// Whether retrying the same query may succeed.
+    ///
+    /// Throttling is transient by definition — the server itself names the
+    /// backoff. Transport failures are transient when they look like the
+    /// wire hiccuping (5xx service errors, dropped/reset/closed
+    /// connections, read timeouts) rather than the peer being structurally
+    /// unreachable. Everything else — budget exhaustion, invalid queries,
+    /// parse failures, unsupported operations — is terminal: no amount of
+    /// waiting changes the answer.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            InterfaceError::Throttled { .. } => true,
+            InterfaceError::Transport(msg) => {
+                // A connection that died *mid-response* is never transient:
+                // the server already served (and charged) the request, so a
+                // blind retry would double-charge it — even though the
+                // embedded cause below would otherwise look retryable.
+                if msg.contains("mid-response") {
+                    return false;
+                }
+                msg.starts_with("503")
+                    || msg.contains("503 ")
+                    || msg.contains("service unavailable")
+                    || msg.contains("closed the connection")
+                    || msg.contains("connection reset")
+                    || msg.contains("connection lost")
+                    || msg.contains("read failed")
+                    || msg.contains("timed out")
+            }
+            _ => false,
+        }
+    }
+
+    /// The server-advertised backoff, when the error carries one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            InterfaceError::Throttled { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
     }
 }
 
@@ -192,6 +248,37 @@ mod tests {
 
         let ie = InterfaceError::BudgetExhausted { issued: 42 };
         assert!(ie.to_string().contains("42"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(InterfaceError::Throttled {
+            retry_after_ms: 250
+        }
+        .is_transient());
+        assert!(InterfaceError::Transport("503 service unavailable".into()).is_transient());
+        assert!(InterfaceError::Transport(
+            "connection to 127.0.0.1:80: server closed the connection".into()
+        )
+        .is_transient());
+        assert!(InterfaceError::Transport("connection reset by peer".into()).is_transient());
+        assert!(!InterfaceError::Transport(
+            "connection to 127.0.0.1:80: connection died mid-response (partial bytes \
+             discarded; server closed the connection)"
+                .into()
+        )
+        .is_transient());
+        assert!(!InterfaceError::BudgetExhausted { issued: 1 }.is_transient());
+        assert!(!InterfaceError::Parse("bad page".into()).is_transient());
+        assert!(!InterfaceError::Unsupported("count").is_transient());
+        assert_eq!(
+            InterfaceError::Throttled { retry_after_ms: 99 }.retry_after_ms(),
+            Some(99)
+        );
+        assert_eq!(
+            InterfaceError::Transport("503".into()).retry_after_ms(),
+            None
+        );
     }
 
     #[test]

@@ -202,6 +202,10 @@ pub struct Response {
     pub extra_headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// When set, the server writes *nothing* and severs the connection —
+    /// the peer sees an abrupt close mid-exchange (fault injection; see
+    /// the `Adversary` site decorator). Status/body are ignored.
+    pub drop_connection: bool,
 }
 
 impl Response {
@@ -213,6 +217,7 @@ impl Response {
             content_type: "text/html; charset=utf-8",
             extra_headers: Vec::new(),
             body: body.into_bytes(),
+            drop_connection: false,
         }
     }
 
@@ -224,7 +229,15 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             extra_headers: Vec::new(),
             body: body.into_bytes(),
+            drop_connection: false,
         }
+    }
+
+    /// A response that kills the connection instead of answering.
+    pub fn sever() -> Self {
+        let mut resp = Response::text(503, "Service Unavailable", String::new());
+        resp.drop_connection = true;
+        resp
     }
 }
 

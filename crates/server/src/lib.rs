@@ -27,16 +27,21 @@
 //!
 //! * [`http`] — request parsing, response writing, limits;
 //! * [`site`] — [`SiteBehavior`] and the `LocalSite` mounting;
+//! * [`adversary`] — [`Adversary`], seeded fault injection (throttles,
+//!   transient 5xx, dropped connections, slow starts, count noise) in
+//!   front of any mounted site;
 //! * [`pool`] — the bounded worker pool (backpressure via a bounded
 //!   queue, not unbounded thread growth);
 //! * [`server`] — the accept loop, keep-alive connection handling,
 //!   graceful shutdown, and live [`ServerStats`].
 
+pub mod adversary;
 pub mod http;
 pub mod pool;
 pub mod server;
 pub mod site;
 
+pub use adversary::Adversary;
 pub use http::{parse_request, write_response, HttpVersion, Request, RequestError, Response};
 pub use pool::ThreadPool;
 pub use server::{HttpServer, ServerConfig, ServerHandle, ServerStats};

@@ -49,6 +49,7 @@ struct StatsInner {
     responses_ok: AtomicU64,
     responses_client_error: AtomicU64,
     responses_server_error: AtomicU64,
+    connections_dropped: AtomicU64,
     bytes_out: AtomicU64,
 }
 
@@ -65,6 +66,8 @@ pub struct ServerStats {
     pub responses_client_error: u64,
     /// 5xx responses written.
     pub responses_server_error: u64,
+    /// Connections severed without a response (injected drops).
+    pub connections_dropped: u64,
     /// Response bytes written (headers + bodies + chunk framing).
     pub bytes_out: u64,
 }
@@ -144,6 +147,7 @@ impl ServerHandle {
             responses_ok: self.stats.responses_ok.load(Ordering::Relaxed),
             responses_client_error: self.stats.responses_client_error.load(Ordering::Relaxed),
             responses_server_error: self.stats.responses_server_error.load(Ordering::Relaxed),
+            connections_dropped: self.stats.connections_dropped.load(Ordering::Relaxed),
             bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
         }
     }
@@ -255,6 +259,13 @@ fn serve_connection(
         let keep_alive = req.wants_keep_alive() && !stop.load(Ordering::SeqCst);
         let allow_chunked = req.version == crate::http::HttpVersion::H11;
         let resp = route(site, &req);
+        if resp.drop_connection {
+            // Injected drop: sever without writing a byte — the peer sees
+            // the close as a reset/EOF mid-exchange and must classify it
+            // as transient.
+            stats.connections_dropped.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
         if !write_and_count(&mut stream, &resp, keep_alive, allow_chunked, cfg, stats)
             || !keep_alive
         {

@@ -18,6 +18,13 @@
 //! | unparseable query string | `400`, body = in-process message |
 //! | backend budget exhausted | `429` + `x-hds-issued` header |
 //! | any other backend error | `500` |
+//!
+//! Wrapping a site in [`Adversary`](crate::adversary::Adversary) adds
+//! three injected outcomes on top of this table: a rate-limit `429`
+//! (`x-hds-error: throttled`, `Retry-After`, *no* `x-hds-issued`), a
+//! transient `503` (`x-hds-error: transient`), and a severed connection
+//! (no response at all) — all transient to a retrying client, unlike the
+//! terminal budget `429`.
 
 use hdsampler_model::{FormInterface, InterfaceError};
 use hdsampler_webform::render::escape_html;

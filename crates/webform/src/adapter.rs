@@ -18,6 +18,7 @@ use std::sync::Arc;
 use hdsampler_model::{ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse, Schema};
 
 use crate::aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
+use crate::chaos::RetryPolicy;
 use crate::form::WebForm;
 use crate::scrape::scrape_results_page;
 use crate::transport::Transport;
@@ -59,21 +60,45 @@ pub struct WebFormInterface<T> {
     /// documentation or by observation; here it is configured).
     k: usize,
     supports_count: bool,
+    retry: RetryPolicy,
     fetches: AtomicU64,
+    /// Extra attempts beyond each query's first (transient failures
+    /// retried). Charged separately from `fetches`: a retried query is
+    /// still *one* query against the site's budget.
+    retries: AtomicU64,
+    /// Total backoff waited between retries, ms (virtual or real,
+    /// whichever clock the transport runs on).
+    backoff_ms: AtomicU64,
 }
 
 impl<T: Transport> WebFormInterface<T> {
     /// Build a scraper over `transport` for a site exposing `schema` with
     /// display limit `k`. `supports_count` declares whether the site prints
-    /// a count banner.
+    /// a count banner. Transient failures (throttles, 503s, dropped
+    /// connections) are retried under [`RetryPolicy::default`]; tune or
+    /// disable with [`with_retry`](WebFormInterface::with_retry).
     pub fn new(transport: T, schema: Arc<Schema>, k: usize, supports_count: bool) -> Self {
         WebFormInterface {
             transport,
             form: WebForm::new(schema, "/search"),
             k,
             supports_count,
+            retry: RetryPolicy::default(),
             fetches: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            backoff_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Replace the retry policy ([`RetryPolicy::none`] fails fast).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The transport (e.g. to read virtual latency).
@@ -81,9 +106,26 @@ impl<T: Transport> WebFormInterface<T> {
         &self.transport
     }
 
-    /// Pages fetched by this scraper.
+    /// Pages fetched by this scraper (logical queries, not attempts).
     pub fn fetches(&self) -> u64 {
         self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Extra attempts spent retrying transient failures.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total backoff waited between retries (ms).
+    pub fn backoff_ms(&self) -> u64 {
+        self.backoff_ms.load(Ordering::Relaxed)
+    }
+
+    /// Record one driver-level retry attempt (cooperative drivers resubmit
+    /// faulted queries themselves rather than through the blocking path).
+    pub fn note_retry(&self, backoff_ms: u64) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_ms.fetch_add(backoff_ms, Ordering::Relaxed);
     }
 }
 
@@ -104,6 +146,21 @@ impl<T: AsyncTransport> WebFormInterface<T> {
         QueryHandle {
             fetch: self.transport.submit(conn, &path),
         }
+    }
+
+    /// Resubmit a query whose previous attempt failed transiently. Counted
+    /// as a retry, not a fresh fetch — the query was already charged once.
+    pub fn resubmit_query(&self, conn: ConnId, query: &ConjunctiveQuery) -> QueryHandle {
+        let path = self.form.request_path(query);
+        QueryHandle {
+            fetch: self.transport.submit(conn, &path),
+        }
+    }
+
+    /// Whether the underlying wire's clock is virtual (see
+    /// [`AsyncTransport::wire_is_virtual`]).
+    pub fn wire_is_virtual(&self) -> bool {
+        self.transport.wire_is_virtual()
     }
 
     /// Check a submitted query for completion without advancing virtual
@@ -143,8 +200,19 @@ impl<T: Transport> FormInterface for WebFormInterface<T> {
     fn execute(&self, query: &ConjunctiveQuery) -> Result<QueryResponse, InterfaceError> {
         self.fetches.fetch_add(1, Ordering::Relaxed);
         let path = self.form.request_path(query);
-        let page = self.transport.fetch(&path)?;
-        scrape_results_page(self.form.schema(), &page)
+        let mut attempt = 0u32;
+        loop {
+            match self.transport.fetch(&path) {
+                Ok(page) => return scrape_results_page(self.form.schema(), &page),
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    let wait = self.retry.backoff_ms(attempt, e.retry_after_ms());
+                    self.note_retry(wait);
+                    self.transport.backoff(wait);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {
@@ -310,6 +378,104 @@ mod tests {
             100,
             "three overlapping queries cost one RTT"
         );
+    }
+
+    #[test]
+    fn transient_failures_retry_and_are_charged_separately() {
+        use crate::chaos::{ChaosSpec, ChaosTransport};
+        let (schema, _iface) = stack(1, CountMode::Absent);
+        // Every request is throttled: retries exhaust and the error
+        // surfaces, but the query is charged once and the attempts land in
+        // the retry counters.
+        let site = {
+            let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(1);
+            b.push(&Tuple::new(&schema, vec![0, 0, 1], vec![]).unwrap())
+                .unwrap();
+            LocalSite::new(b.finish(), Arc::clone(&schema))
+        };
+        let chaos = ChaosTransport::new(
+            site,
+            ChaosSpec {
+                throttle: 1.0,
+                retry_after_ms: 40,
+                ..ChaosSpec::default()
+            },
+        );
+        let iface = WebFormInterface::new(chaos, Arc::clone(&schema), 1, false);
+        let err = iface.execute(&q(&[(0, 0)])).unwrap_err();
+        assert!(matches!(err, InterfaceError::Throttled { .. }));
+        let policy = iface.retry_policy();
+        assert_eq!(iface.fetches(), 1, "one logical query");
+        assert_eq!(
+            iface.queries_issued(),
+            1,
+            "budget view unchanged by retries"
+        );
+        assert_eq!(iface.retries(), policy.max_retries as u64);
+        assert_eq!(
+            iface.backoff_ms(),
+            policy.max_retries as u64 * 40,
+            "Retry-After honored per attempt"
+        );
+        assert_eq!(
+            iface.transport().inner().backend().queries_issued(),
+            0,
+            "throttled attempts never reach the backend"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(16))]
+
+        /// Satellite: retry accounting never double-charges the site's
+        /// query budget — however many attempts chaos forces, the backend
+        /// is charged once per *successful* logical query and the
+        /// interface's budget view counts logical queries, never attempts.
+        #[test]
+        fn retries_never_double_charge_the_budget(
+            seed in 0u64..10_000,
+            throttle in 0.0f64..0.35,
+            fail in 0.0f64..0.25,
+            drop in 0.0f64..0.2,
+        ) {
+            use crate::chaos::{ChaosSpec, ChaosTransport, RetryPolicy};
+            let schema = SchemaBuilder::new()
+                .attribute(Attribute::boolean("a1"))
+                .attribute(Attribute::boolean("a2"))
+                .finish()
+                .unwrap()
+                .into_shared();
+            let mut b = HiddenDb::builder(Arc::clone(&schema)).result_limit(1);
+            for vals in [[0u16, 1], [1, 0], [1, 1]] {
+                b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap()).unwrap();
+            }
+            let site = LocalSite::new(b.finish(), Arc::clone(&schema));
+            let chaos = ChaosTransport::new(site, ChaosSpec {
+                seed,
+                throttle,
+                retry_after_ms: 10,
+                fail,
+                drop,
+                ..ChaosSpec::default()
+            });
+            let iface = WebFormInterface::new(chaos, Arc::clone(&schema), 1, false)
+                .with_retry(RetryPolicy { max_retries: 12, base_backoff_ms: 1, max_backoff_ms: 8 });
+            let queries = [q(&[(0, 0)]), q(&[(0, 1)]), q(&[(1, 0)]), q(&[(1, 1)])];
+            let mut successes = 0u64;
+            for i in 0..40 {
+                if iface.execute(&queries[i % queries.len()]).is_ok() {
+                    successes += 1;
+                }
+            }
+            proptest::prop_assert_eq!(iface.fetches(), 40, "one charge per logical query");
+            proptest::prop_assert_eq!(iface.queries_issued(), 40);
+            let backend_charges = iface.transport().inner().backend().queries_issued();
+            proptest::prop_assert_eq!(
+                backend_charges, successes,
+                "backend charged exactly once per served query"
+            );
+            proptest::prop_assert!(backend_charges <= iface.fetches());
+        }
     }
 
     #[test]

@@ -112,6 +112,14 @@ pub trait AsyncTransport: Send + Sync {
     /// connection has observed (max over connections, not sum over
     /// fetches).
     fn virtual_elapsed_ms(&self) -> u64;
+
+    /// Whether this wire's clock is virtual (simulated) rather than
+    /// physical. Cooperative drivers waiting out a retry backoff can jump
+    /// a virtual clock forward for free, but must genuinely wait on a
+    /// real one.
+    fn wire_is_virtual(&self) -> bool {
+        true
+    }
 }
 
 impl<A: AsyncTransport + ?Sized> AsyncTransport for &A {
@@ -136,6 +144,9 @@ impl<A: AsyncTransport + ?Sized> AsyncTransport for &A {
     fn virtual_elapsed_ms(&self) -> u64 {
         (**self).virtual_elapsed_ms()
     }
+    fn wire_is_virtual(&self) -> bool {
+        (**self).wire_is_virtual()
+    }
 }
 
 impl<A: AsyncTransport + ?Sized> AsyncTransport for std::sync::Arc<A> {
@@ -159,6 +170,9 @@ impl<A: AsyncTransport + ?Sized> AsyncTransport for std::sync::Arc<A> {
     }
     fn virtual_elapsed_ms(&self) -> u64 {
         (**self).virtual_elapsed_ms()
+    }
+    fn wire_is_virtual(&self) -> bool {
+        (**self).wire_is_virtual()
     }
 }
 

@@ -31,6 +31,27 @@
 //! under this driver and under the thread-per-walker driver: both run the
 //! same machine over the same [`FleetConfig::walker_config`] seeds, and
 //! the history cache answers are semantically equal to the wire's.
+//!
+//! ## Adversarial sites: backoff and work-stealing
+//!
+//! Against a hostile wire (throttling 429s, transient 5xx, dropped
+//! connections — see [`crate::chaos`]) the driver retries instead of
+//! failing the site: a transiently-failed fetch parks its walker in
+//! *backoff* for the server-advertised `Retry-After` (or an exponential
+//! schedule from the interface's [`RetryPolicy`](crate::chaos::RetryPolicy))
+//! and resubmits the same logical query afterwards. On virtual wires the
+//! wait is billed by flooring the walker's connection clock — no real time
+//! passes; on real wires the walker genuinely waits out the interval while
+//! the rest of the fleet keeps harvesting. Retries are charged to separate
+//! `retries`/`backoff_vms` counters, never as extra logical queries.
+//!
+//! With [`CoopDriver::with_stealing`] enabled, sites that finish early
+//! donate their walker slots to the hungriest still-running site: a fresh
+//! seeded machine is spawned on a fresh connection whose clock is floored
+//! at `max(receiver knowledge, donor elapsed)` — the stolen walker cannot
+//! pretend to have started before the donor actually freed it. Stealing is
+//! a data-structure move (a `Walker` pushed onto another site's vector),
+//! not a thread handoff.
 
 use hdsampler_core::{
     CachingExecutor, Classified, QueryExecutor, SampleEvent, SampleSet, SampleSink, SamplerError,
@@ -53,12 +74,27 @@ struct Pending {
     seq: u64,
 }
 
+/// A walker waiting out a retry backoff on a *real* wire. (Virtual wires
+/// never park here: their backoff is billed by flooring the connection
+/// clock and the query is resubmitted immediately.)
+struct Backoff {
+    /// The logical query to resubmit — already charged once; the retry
+    /// goes through [`WebFormInterface::resubmit_query`].
+    query: ConjunctiveQuery,
+    /// Wall-clock instant the walker may hit the site again.
+    release_at: std::time::Instant,
+}
+
 /// One cooperative walker: a parked or runnable walk machine riding a
 /// connection.
 struct Walker {
     machine: WalkMachine,
     conn: ConnId,
     pending: Option<Pending>,
+    /// Set while waiting out a retry backoff (real wires only).
+    backoff: Option<Backoff>,
+    /// Consecutive transient failures of the current logical query.
+    attempts: u32,
     /// Listing keys of this walker's samples, in production order.
     keys: Vec<u64>,
 }
@@ -80,6 +116,10 @@ struct SiteState<'a, T: Transport + Clocked> {
     connections: usize,
     stopped: Option<StopReason>,
     next_seq: u64,
+    /// Walkers stolen *into* this site from finished donors.
+    steals: u64,
+    /// Walker slots this site has donated since stopping.
+    donated: usize,
 }
 
 /// A harvested completion, processed in completion order.
@@ -110,21 +150,34 @@ pub struct CoopSiteDetail {
 pub struct CoopDriver {
     cfg: FleetConfig,
     conns_per_site: Option<usize>,
+    steal: bool,
 }
 
 impl CoopDriver {
     /// Cooperative driver with the given fleet configuration. By default
-    /// every walker rides its own connection.
+    /// every walker rides its own connection and work-stealing is off.
     pub fn new(cfg: FleetConfig) -> Self {
         CoopDriver {
             cfg,
             conns_per_site: None,
+            steal: false,
         }
     }
 
     /// The fleet configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.cfg
+    }
+
+    /// Enable cross-site work-stealing: when a site finishes (target
+    /// reached, budget exhausted, or failed), its walker slots are donated
+    /// to the hungriest still-running site. Each stolen slot spawns a
+    /// fresh seeded [`WalkMachine`] on a fresh connection floored at
+    /// `max(receiver knowledge, donor elapsed)`, and bumps the receiving
+    /// site's `steals` counter.
+    pub fn with_stealing(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
     }
 
     /// Share `conns` wire connections per site among the walkers
@@ -188,6 +241,8 @@ impl CoopDriver {
                             .expect("fleet walker configuration is valid"),
                         conn: conn_ids[w % conn_ids.len()],
                         pending: None,
+                        backoff: None,
+                        attempts: 0,
                         keys: Vec::new(),
                     })
                     .collect();
@@ -207,6 +262,8 @@ impl CoopDriver {
                         None
                     },
                     next_seq: 0,
+                    steals: 0,
+                    donated: 0,
                 }
             })
             .collect();
@@ -235,6 +292,9 @@ impl CoopDriver {
             if all_done {
                 break;
             }
+            if self.steal {
+                self.rebalance(&mut states, run_sinks);
+            }
             if !progress {
                 // Nothing pollable anywhere: block on (real wire) or
                 // advance to (virtual wire) the earliest outstanding
@@ -254,6 +314,8 @@ impl CoopDriver {
             }
             stats.requests = st.exec.requests();
             stats.queries_issued = st.exec.queries_issued();
+            stats.retries = st.iface.retries();
+            stats.backoff_ms = st.iface.backoff_ms();
             details.push(CoopSiteDetail {
                 per_walker_keys: st.walkers.into_iter().map(|w| w.keys).collect(),
                 connections: st.connections,
@@ -266,6 +328,9 @@ impl CoopDriver {
                 queries_issued: st.exec.queries_issued(),
                 history_hits: st.exec.history_stats().total_hits(),
                 elapsed_ms: st.iface.transport().elapsed_ms(),
+                retries: stats.retries,
+                backoff_vms: stats.backoff_ms,
+                steals: st.steals,
                 stopped: st
                     .stopped
                     .expect("driver loop ends with every site stopped"),
@@ -376,6 +441,21 @@ impl CoopDriver {
     where
         T: Transport + AsyncTransport + Clocked,
     {
+        // Release real-wire backoffs whose waits have elapsed — the
+        // resubmission parks the walker again, so it joins this sweep's
+        // polls.
+        let mut released = false;
+        for wix in 0..st.walkers.len() {
+            let due = st.walkers[wix]
+                .backoff
+                .as_ref()
+                .is_some_and(|b| std::time::Instant::now() >= b.release_at);
+            if due {
+                Self::release_backoff(st, wix);
+                released = true;
+            }
+        }
+
         let mut parked: Vec<usize> = (0..st.walkers.len())
             .filter(|&wix| st.walkers[wix].pending.is_some())
             .collect();
@@ -418,7 +498,7 @@ impl CoopDriver {
             }
         }
         if ready.is_empty() {
-            return false;
+            return released;
         }
         // Completion order keeps the knowledge clock honest: a resume only
         // ever sees facts learned at or before its own floor.
@@ -427,6 +507,28 @@ impl CoopDriver {
             self.finish_fetch(st, h, run_sinks);
         }
         true
+    }
+
+    /// Resubmit a walker whose retry backoff has elapsed (real wires
+    /// only): same logical query, new fetch, no new query charge.
+    fn release_backoff<T>(st: &mut SiteState<'_, T>, wix: usize)
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        let b = st.walkers[wix]
+            .backoff
+            .take()
+            .expect("walker is backing off");
+        let handle = st.iface.resubmit_query(st.walkers[wix].conn, &b.query);
+        let ready_at = handle.ready_at_ms();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.walkers[wix].pending = Some(Pending {
+            handle,
+            query: b.query,
+            ready_at,
+            seq,
+        });
     }
 
     /// Feed one wire completion back: teach the cache, then run the
@@ -447,11 +549,53 @@ impl CoopDriver {
         }
         let answer = match h.result {
             Ok(resp) => {
+                st.walkers[h.wix].attempts = 0;
                 let classified = Classified::from_response(resp);
                 st.exec.record_response(&h.query, &classified);
                 Ok(classified)
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                let policy = st.iface.retry_policy();
+                if e.is_transient() && st.walkers[h.wix].attempts < policy.max_retries {
+                    // Retry instead of failing the walk: back off for the
+                    // server-advertised interval (or the policy's
+                    // exponential schedule) and resubmit the same logical
+                    // query. The retry is charged to the interface's
+                    // retry/backoff counters, never as a new query.
+                    let wait = policy.backoff_ms(st.walkers[h.wix].attempts, e.retry_after_ms());
+                    st.walkers[h.wix].attempts += 1;
+                    st.iface.note_retry(wait);
+                    if st.iface.wire_is_virtual() {
+                        // Bill the wait by flooring the walker's connection
+                        // clock at the release time, then resubmit now —
+                        // virtual time jumps forward for free.
+                        st.iface
+                            .transport()
+                            .observe_now(st.walkers[h.wix].conn, h.ready_at.saturating_add(wait));
+                        let handle = st.iface.resubmit_query(st.walkers[h.wix].conn, &h.query);
+                        let ready_at = handle.ready_at_ms();
+                        let seq = st.next_seq;
+                        st.next_seq += 1;
+                        st.walkers[h.wix].pending = Some(Pending {
+                            handle,
+                            query: h.query,
+                            ready_at,
+                            seq,
+                        });
+                    } else {
+                        // A real server means a real wait: park the walker
+                        // until the interval has genuinely elapsed.
+                        st.walkers[h.wix].backoff = Some(Backoff {
+                            query: h.query,
+                            release_at: std::time::Instant::now()
+                                + std::time::Duration::from_millis(wait),
+                        });
+                    }
+                    return;
+                }
+                st.walkers[h.wix].attempts = 0;
+                Err(e)
+            }
         };
         let step = st.walkers[h.wix].machine.resume(answer);
         self.advance(st, h.wix, step, run_sinks);
@@ -480,7 +624,31 @@ impl CoopDriver {
             }
         }
         let Some((six, wix, ..)) = best else {
-            unreachable!("an unstopped site always has a parked walker");
+            // No fetch in flight anywhere: every unstopped site's walkers
+            // are waiting out retry backoffs on a real wire. Sleep to the
+            // earliest release and resubmit that walker.
+            let mut due: Option<(usize, usize, std::time::Instant)> = None;
+            for (six, st) in states.iter().enumerate() {
+                if st.stopped.is_some() {
+                    continue;
+                }
+                for (wix, w) in st.walkers.iter().enumerate() {
+                    if let Some(b) = &w.backoff {
+                        if due.is_none_or(|(.., at)| b.release_at < at) {
+                            due = Some((six, wix, b.release_at));
+                        }
+                    }
+                }
+            }
+            let Some((six, wix, at)) = due else {
+                unreachable!("an unstopped site always has a parked or backing-off walker");
+            };
+            let now = std::time::Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+            Self::release_backoff(&mut states[six], wix);
+            return;
         };
         let st = &mut states[six];
         let p = st.walkers[wix]
@@ -512,6 +680,62 @@ impl CoopDriver {
             if let Some(p) = w.pending.take() {
                 st.iface.cancel_query(p.handle);
             }
+            w.backoff = None;
+            w.attempts = 0;
+        }
+    }
+
+    /// Donate finished sites' walker slots to the hungriest running
+    /// sites. Each freed slot spawns one fresh seeded machine on a fresh
+    /// connection of the receiving site, floored at `max(receiver
+    /// knowledge, donor elapsed)` — the stolen walker cannot pretend to
+    /// have started before the donor actually freed it.
+    fn rebalance<T>(&self, states: &mut [SiteState<'_, T>], run_sinks: &mut [&mut dyn SampleSink])
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        // Newly-freed slots, each carrying its donor's elapsed time.
+        let mut free: Vec<u64> = Vec::new();
+        for st in states.iter_mut() {
+            if st.stopped.is_some() && st.donated < st.walkers.len() {
+                let elapsed = st.iface.transport().elapsed_ms();
+                for _ in st.donated..st.walkers.len() {
+                    free.push(elapsed);
+                }
+                st.donated = st.walkers.len();
+            }
+        }
+        for donor_elapsed in free {
+            // The hungriest site: most samples still to collect.
+            let Some(rix) = states
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.stopped.is_none())
+                .max_by_key(|(_, st)| self.cfg.target_per_site.saturating_sub(st.samples.len()))
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let st = &mut states[rix];
+            let wix = st.walkers.len();
+            let machine = WalkMachine::new(st.iface.schema(), self.cfg.walker_config(st.six, wix))
+                .expect("fleet walker configuration is valid");
+            let conn = st.iface.connect();
+            st.iface
+                .transport()
+                .observe_now(conn, st.knowledge_ms.max(donor_elapsed));
+            st.walkers.push(Walker {
+                machine,
+                conn,
+                pending: None,
+                backoff: None,
+                attempts: 0,
+                keys: Vec::new(),
+            });
+            st.connections += 1;
+            st.steals += 1;
+            let step = st.walkers[wix].machine.step();
+            self.advance(st, wix, step, run_sinks);
         }
     }
 }
@@ -725,6 +949,142 @@ mod tests {
     }
 
     use crate::driver::MultiSiteDriver;
+
+    fn chaos_task(
+        name: &str,
+        db_seed: u64,
+        spec: crate::chaos::ChaosSpec,
+    ) -> SiteTask<crate::chaos::ChaosTransport<LocalSite<HiddenDb>>> {
+        use crate::chaos::{ChaosTransport, RetryPolicy};
+        use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
+        let db = WorkloadSpec::vehicles(
+            VehiclesSpec::compact(500, db_seed),
+            DbConfig::no_counts().with_k(50),
+        )
+        .build();
+        let schema = Arc::new(db.schema().clone());
+        let k = db.result_limit();
+        let site = LocalSite::new(db, Arc::clone(&schema));
+        let wire = ChaosTransport::new(site, spec);
+        SiteTask::new(
+            name,
+            WebFormInterface::new(wire, schema, k, false).with_retry(RetryPolicy {
+                max_retries: 12,
+                base_backoff_ms: 25,
+                max_backoff_ms: 800,
+            }),
+        )
+    }
+
+    #[test]
+    fn backoff_rides_out_a_hostile_site() {
+        use crate::chaos::ChaosSpec;
+        let cfg = FleetConfig {
+            walkers_per_site: 3,
+            target_per_site: 40,
+            seed: 9,
+            ..FleetConfig::default()
+        };
+        let spec = ChaosSpec {
+            seed: 1,
+            latency_ms: 20,
+            throttle: 0.25,
+            retry_after_ms: 100,
+            fail: 0.1,
+            drop: 0.05,
+            ..ChaosSpec::default()
+        };
+        let run = || {
+            let mut sites = vec![chaos_task("hostile", 77, spec.clone())];
+            let report = CoopDriver::new(cfg.clone()).run(&mut sites);
+            let counters = sites[0].iface.transport().counters();
+            (report, counters)
+        };
+        let (report, counters) = run();
+        let site = &report.sites[0];
+        assert_eq!(site.stopped, StopReason::TargetReached);
+        assert_eq!(site.samples.len(), 40);
+        assert!(
+            counters.throttles > 0 && counters.transient_fails > 0 && counters.drops > 0,
+            "every enabled fault class fired: {counters:?}"
+        );
+        // Every fault is retried exactly once, except faults on fetches
+        // still in flight when the target landed (discarded, ≤ 1/walker).
+        let faults = counters.throttles + counters.transient_fails + counters.drops;
+        assert!(
+            site.retries <= faults && site.retries + cfg.walkers_per_site as u64 >= faults,
+            "retries {} vs faults {faults}",
+            site.retries
+        );
+        assert!(site.backoff_vms > 0, "backoff time is billed");
+        assert_eq!(site.stats.retries, site.retries);
+        assert_eq!(site.stats.backoff_ms, site.backoff_vms);
+        // Backoff is billed on the connection clocks: elapsed (max over
+        // connections) is at least the per-connection share of the total.
+        assert!(
+            site.elapsed_ms >= site.backoff_vms / cfg.walkers_per_site as u64,
+            "virtual backoff appears on the wire clock: {} vs {}",
+            site.elapsed_ms,
+            site.backoff_vms
+        );
+        // Chaos is a pure function of (seed, request index) and the driver
+        // is deterministic: the whole run replays identically.
+        let (again, counters_again) = run();
+        assert_eq!(counters, counters_again);
+        assert_eq!(again.sites[0].retries, site.retries);
+        assert_eq!(
+            again.sites[0].samples.keys(),
+            site.samples.keys(),
+            "same seed, same samples — faults and all"
+        );
+    }
+
+    #[test]
+    fn stealing_reassigns_finished_sites_walkers() {
+        use crate::chaos::ChaosSpec;
+        let cfg = FleetConfig {
+            walkers_per_site: 4,
+            target_per_site: 60,
+            seed: 2,
+            ..FleetConfig::default()
+        };
+        let throttled = ChaosSpec {
+            seed: 5,
+            latency_ms: 40,
+            throttle: 0.4,
+            retry_after_ms: 400,
+            ..ChaosSpec::default()
+        };
+        let clean = ChaosSpec {
+            latency_ms: 40,
+            ..ChaosSpec::default()
+        };
+        let run = |steal: bool| {
+            let mut sites = vec![
+                chaos_task("fast", 31, clean.clone()),
+                chaos_task("slow", 32, throttled.clone()),
+            ];
+            CoopDriver::new(cfg.clone())
+                .with_stealing(steal)
+                .run(&mut sites)
+        };
+        let without = run(false);
+        let with = run(true);
+        assert_eq!(with.total_samples(), 120);
+        assert_eq!(without.total_samples(), 120);
+        assert!(
+            with.sites[1].steals > 0,
+            "the finished fast site donates its walkers to the throttled one"
+        );
+        assert_eq!(with.sites[0].steals, 0, "the donor steals nothing");
+        assert_eq!(without.total_steals(), 0, "stealing is opt-in");
+        assert!(
+            with.fleet_elapsed_ms < without.fleet_elapsed_ms,
+            "extra walkers must shorten the throttled tail: {} vs {}",
+            with.fleet_elapsed_ms,
+            without.fleet_elapsed_ms
+        );
+    }
 
     #[test]
     fn empty_scope_fails_the_site() {

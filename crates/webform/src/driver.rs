@@ -149,6 +149,16 @@ pub struct SiteReport {
     /// The site's wall clock (virtual for simulated wires — max over its
     /// connections — real for TCP ones).
     pub elapsed_ms: u64,
+    /// Transient failures retried against this site (throttles, 5xx,
+    /// dropped connections). Retries are charged here, never as extra
+    /// logical queries.
+    pub retries: u64,
+    /// Total backoff the site's walkers waited before retrying, in wire
+    /// milliseconds (virtual on simulated wires).
+    pub backoff_vms: u64,
+    /// Walkers stolen *into* this site from sites that finished early
+    /// (cooperative driver with work-stealing enabled; 0 elsewhere).
+    pub steals: u64,
     /// Why the site's session ended.
     pub stopped: StopReason,
     /// The site's merged sampler counters (walks, acceptance, …).
@@ -179,6 +189,16 @@ impl FleetReport {
     /// Page fetches charged across the fleet.
     pub fn total_fetches(&self) -> u64 {
         self.sites.iter().map(|s| s.queries_issued).sum()
+    }
+
+    /// Transient-failure retries across the fleet.
+    pub fn total_retries(&self) -> u64 {
+        self.sites.iter().map(|s| s.retries).sum()
+    }
+
+    /// Walkers stolen across the fleet (cooperative driver only).
+    pub fn total_steals(&self) -> u64 {
+        self.sites.iter().map(|s| s.steals).sum()
     }
 
     /// Fleet throughput in samples per virtual second. A fleet that spent
@@ -253,6 +273,9 @@ impl MultiSiteDriver {
         // connections (real-TCP transports) instead of stranding the
         // sockets for the transport's lifetime.
         iface.transport().close_idle();
+        let mut stats = outcome.stats;
+        stats.retries = iface.retries();
+        stats.backoff_ms = iface.backoff_ms();
         SiteReport {
             name: name.clone(),
             samples: outcome.samples,
@@ -260,8 +283,11 @@ impl MultiSiteDriver {
             queries_issued: exec.queries_issued(),
             history_hits: exec.history_stats().total_hits(),
             elapsed_ms: iface.transport().elapsed_ms(),
+            retries: stats.retries,
+            backoff_vms: stats.backoff_ms,
+            steals: 0,
             stopped: outcome.reason,
-            stats: outcome.stats,
+            stats,
             history: exec.history_stats(),
         }
     }

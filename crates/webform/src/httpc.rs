@@ -298,18 +298,32 @@ impl HttpTransport {
 
     /// Fail every outstanding fetch on `c` with a transport error. Always
     /// returns `false` (the connection is gone).
+    ///
+    /// Unresolved bytes in the receive buffer belong to the front-of-FIFO
+    /// fetch: its response started arriving, so the server *did* serve it
+    /// (and charged for it) before the connection died. That fetch fails
+    /// with a distinct "mid-response" message that no retry path treats as
+    /// retryable — resubmitting it would double-charge the site and, under
+    /// the old blanket message, desync the pipelined FIFO. The fetches
+    /// behind it never got a byte and stay safely retryable.
     fn fail_outstanding(&self, c: &mut HttpConn, why: &str) -> bool {
         c.stream = None;
+        let mut partial = !c.rx.is_empty();
+        c.rx.clear();
         while let Some(id) = c.outstanding.pop_front() {
             if !c.cancelled.remove(&id) {
-                c.done.insert(
-                    id,
-                    Err(InterfaceError::Transport(format!(
-                        "connection to {}: {why}",
+                let msg = if partial {
+                    format!(
+                        "connection to {}: connection died mid-response (partial bytes \
+                         discarded; {why})",
                         self.addr
-                    ))),
-                );
+                    )
+                } else {
+                    format!("connection to {}: {why}", self.addr)
+                };
+                c.done.insert(id, Err(InterfaceError::Transport(msg)));
             }
+            partial = false;
         }
         false
     }
@@ -422,6 +436,11 @@ impl AsyncTransport for HttpTransport {
     fn virtual_elapsed_ms(&self) -> u64 {
         self.last_done_ms.load(Ordering::Relaxed)
     }
+
+    fn wire_is_virtual(&self) -> bool {
+        // TCP runs on the physical clock: backoffs must genuinely wait.
+        false
+    }
 }
 
 impl Transport for HttpTransport {
@@ -437,8 +456,13 @@ impl Transport for HttpTransport {
             // A stale keep-alive connection (server idled us out between
             // fetches) surfaces as a closed-connection error on an
             // otherwise quiet connection; GET is idempotent, so retry once
-            // on a fresh connection.
-            Err(InterfaceError::Transport(ref msg)) if msg.contains("closed the connection") => {
+            // on a fresh connection. Never after partial response bytes
+            // were consumed ("mid-response"): the server already served —
+            // and charged — that request, so resubmitting it would
+            // double-charge the site.
+            Err(InterfaceError::Transport(ref msg))
+                if msg.contains("closed the connection") && !msg.contains("mid-response") =>
+            {
                 let handle = self.submit_on(conn, path);
                 self.complete(handle)
             }
@@ -476,13 +500,27 @@ fn response_to_result(resp: ParsedResponse) -> Result<String, InterfaceError> {
     let body = String::from_utf8_lossy(&resp.body).into_owned();
     match resp.status {
         200 => Ok(body),
-        429 => {
-            let issued = resp
-                .header("x-hds-issued")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0);
-            Err(InterfaceError::BudgetExhausted { issued })
-        }
+        // Two different 429s come down this wire. A budget 429 carries the
+        // server's `x-hds-issued` header and is terminal: the site will
+        // never answer this client again. A throttle 429 carries only
+        // `Retry-After` (exact milliseconds in `x-hds-retry-after-ms` when
+        // the adversary supplies them) and is an invitation to back off
+        // and retry.
+        429 => match resp.header("x-hds-issued").and_then(|v| v.parse().ok()) {
+            Some(issued) => Err(InterfaceError::BudgetExhausted { issued }),
+            None => {
+                let retry_after_ms = resp
+                    .header("x-hds-retry-after-ms")
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| {
+                        resp.header("retry-after")
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .map(|secs| secs * 1_000)
+                    })
+                    .unwrap_or(1_000);
+                Err(InterfaceError::Throttled { retry_after_ms })
+            }
+        },
         status => Err(InterfaceError::Transport(if body.is_empty() {
             format!("HTTP {status}")
         } else {
@@ -738,5 +776,149 @@ mod tests {
             InterfaceError::Transport(msg) => assert!(msg.starts_with("404 not found")),
             other => panic!("wrong error {other:?}"),
         }
+    }
+
+    #[test]
+    fn throttle_429_is_distinct_from_budget_429() {
+        // Only an `x-hds-issued`-bearing 429 is budget exhaustion.
+        let throttled = ParsedResponse {
+            status: 429,
+            headers: vec![
+                ("Retry-After".into(), "2".into()),
+                ("x-hds-retry-after-ms".into(), "250".into()),
+            ],
+            body: b"slow down".to_vec(),
+            connection_close: false,
+        };
+        assert_eq!(
+            response_to_result(throttled).unwrap_err(),
+            InterfaceError::Throttled {
+                retry_after_ms: 250
+            },
+            "exact-ms header wins"
+        );
+        let coarse = ParsedResponse {
+            status: 429,
+            headers: vec![("Retry-After".into(), "2".into())],
+            body: Vec::new(),
+            connection_close: false,
+        };
+        assert_eq!(
+            response_to_result(coarse).unwrap_err(),
+            InterfaceError::Throttled {
+                retry_after_ms: 2_000
+            },
+            "Retry-After seconds convert to ms"
+        );
+        let bare = ParsedResponse {
+            status: 429,
+            headers: vec![],
+            body: Vec::new(),
+            connection_close: false,
+        };
+        assert!(matches!(
+            response_to_result(bare).unwrap_err(),
+            InterfaceError::Throttled { .. }
+        ));
+        assert!(response_to_result(ParsedResponse {
+            status: 429,
+            headers: vec![("x-hds-issued".into(), "7".into())],
+            body: Vec::new(),
+            connection_close: false,
+        })
+        .unwrap_err()
+        .eq(&InterfaceError::BudgetExhausted { issued: 7 }));
+    }
+
+    #[test]
+    fn mid_response_death_is_never_retried() {
+        // Regression (pipelined-FIFO desync): a server dribbling part of a
+        // response and dying must fail the fetch terminally — retrying a
+        // request the server already served would double-charge the site.
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpListener;
+        use std::sync::atomic::AtomicUsize;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let accepted_srv = Arc::clone(&accepted);
+        let srv = std::thread::spawn(move || {
+            // Serve exactly one connection: read the request, dribble a
+            // partial response, die mid-body. The listener then drops, so
+            // any retry attempt would surface as a different error.
+            let (mut s, _) = listener.accept().unwrap();
+            accepted_srv.fetch_add(1, Ordering::Relaxed);
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\n")
+                .unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            s.write_all(b"only the start of the body").unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            // Drop: FIN mid-body.
+        });
+
+        let t = HttpTransport::new(addr);
+        let err = t.fetch("/search").unwrap_err();
+        srv.join().unwrap();
+        match &err {
+            InterfaceError::Transport(msg) => {
+                assert!(msg.contains("mid-response"), "got: {msg}");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert!(!err.is_transient(), "mid-response death is terminal");
+        assert_eq!(
+            accepted.load(Ordering::Relaxed),
+            1,
+            "the request must not have been resubmitted"
+        );
+        assert_eq!(t.requests_sent(), 1);
+    }
+
+    #[test]
+    fn stale_keep_alive_clean_close_still_retries() {
+        // The good half of the retry-once heuristic must survive the
+        // mid-response fix: a keep-alive connection the server idled out
+        // *between* requests (zero response bytes) is retried on a fresh
+        // connection, invisibly to the caller.
+        use std::io::{Read as _, Write as _};
+        use std::net::{Shutdown, TcpListener};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let srv = std::thread::spawn(move || {
+            let page = |body: &str| {
+                format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                )
+            };
+            // Connection 1: serve one response, then half-close (FIN) and
+            // drain — the client's next request lands on a stale socket
+            // and reads a clean EOF, never an RST.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            s.write_all(page("first").as_bytes()).unwrap();
+            s.shutdown(Shutdown::Write).unwrap();
+            while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+            // Connection 2: the retry; serve it for real.
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.read(&mut buf);
+            s.write_all(page("second").as_bytes()).unwrap();
+        });
+
+        let t = HttpTransport::new(addr);
+        assert_eq!(t.fetch("/a").unwrap(), "first");
+        // Give the FIN time to arrive so the staleness is guaranteed.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(t.fetch("/b").unwrap(), "second", "retried transparently");
+        srv.join().unwrap();
+        assert_eq!(t.requests_sent(), 3, "two fetches, one retry");
     }
 }

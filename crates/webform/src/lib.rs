@@ -45,6 +45,7 @@
 
 pub mod adapter;
 pub mod aio;
+pub mod chaos;
 pub mod coop;
 pub mod driver;
 pub mod form;
@@ -57,6 +58,7 @@ pub mod urlenc;
 
 pub use adapter::{QueryHandle, QueryPoll, WebFormInterface};
 pub use aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
+pub use chaos::{ChaosCounters, ChaosSpec, ChaosTransport, Decision, Fault, RetryPolicy};
 pub use coop::{CoopDriver, CoopSiteDetail};
 pub use driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
 pub use form::WebForm;

@@ -95,6 +95,7 @@ pub struct RunPlan<'a> {
     slider: f64,
     scope: ConjunctiveQuery,
     driver: Driver,
+    steal: bool,
     sinks: Vec<&'a mut dyn SampleSink>,
 }
 
@@ -108,6 +109,7 @@ impl<'a> RunPlan<'a> {
             slider: 0.0,
             scope: ConjunctiveQuery::empty(),
             driver: Driver::Threaded,
+            steal: false,
             sinks: Vec::new(),
         }
     }
@@ -142,6 +144,15 @@ impl<'a> RunPlan<'a> {
     /// Which engine runs the plan.
     pub fn driver(mut self, driver: Driver) -> Self {
         self.driver = driver;
+        self
+    }
+
+    /// Enable cross-site work-stealing: sites that finish early donate
+    /// their walker slots to the hungriest still-running site
+    /// ([`CoopDriver::with_stealing`]). Only the cooperative driver
+    /// steals; the flag is ignored by the others.
+    pub fn steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
         self
     }
 
@@ -187,7 +198,7 @@ impl<'a> RunPlan<'a> {
                 details: None,
             },
             Driver::Coop { conns } => {
-                let mut coop = CoopDriver::new(cfg);
+                let mut coop = CoopDriver::new(cfg).with_stealing(self.steal);
                 if let Some(c) = conns {
                     coop = coop.with_connections(c);
                 }

@@ -38,6 +38,15 @@ pub trait Transport: Send + Sync {
     fn close_idle(&self) -> usize {
         0
     }
+
+    /// Wait out a retry backoff of `ms` milliseconds on whatever clock
+    /// this wire runs on. Real wires sleep; virtual wires advance the
+    /// calling thread's connection clock instead, so backoff is *billed*
+    /// (it delays later departures and raises the site's elapsed figure)
+    /// without slowing the experiment down.
+    fn backoff(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
 }
 
 /// A transport that can report the wall-clock time its traffic consumed —
@@ -238,6 +247,14 @@ impl<T: Transport> Transport for LatencyTransport<T> {
         let handle = self.submit(conn, path);
         self.complete(handle)
     }
+
+    fn backoff(&self, ms: u64) {
+        // Virtual wire: bill the wait on the calling thread's connection
+        // clock instead of sleeping.
+        let conn = self.thread_conn();
+        let now = self.clocks.observed(conn);
+        self.clocks.advance_to(conn, now + ms);
+    }
 }
 
 impl<T: Transport> Clocked for LatencyTransport<T> {
@@ -305,6 +322,9 @@ impl<T: Transport + ?Sized> Transport for &T {
     fn close_idle(&self) -> usize {
         (**self).close_idle()
     }
+    fn backoff(&self, ms: u64) {
+        (**self).backoff(ms)
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for Arc<T> {
@@ -313,6 +333,9 @@ impl<T: Transport + ?Sized> Transport for Arc<T> {
     }
     fn close_idle(&self) -> usize {
         (**self).close_idle()
+    }
+    fn backoff(&self, ms: u64) {
+        (**self).backoff(ms)
     }
 }
 

@@ -73,8 +73,9 @@ pub mod prelude {
         SchemaBuilder, TupleId,
     };
     pub use hdsampler_webform::{
-        CoopDriver, Driver, FleetConfig, LatencyTransport, LocalSite, MultiSiteDriver, RunPlan,
-        RunReport, SiteTask, Transport, WebFormInterface,
+        ChaosCounters, ChaosSpec, ChaosTransport, CoopDriver, Driver, FleetConfig,
+        LatencyTransport, LocalSite, MultiSiteDriver, RetryPolicy, RunPlan, RunReport, SiteTask,
+        Transport, WebFormInterface,
     };
     pub use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
 }

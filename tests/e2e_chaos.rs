@@ -1,0 +1,203 @@
+//! End-to-end chaos run: a cooperative fleet behind adversarial wires —
+//! every fault class firing at once (throttles, transient 503s, dropped
+//! connections, slow-start + jitter delays, noisy count banners) — still
+//! reaches its full sample target, never double-charges a retried query
+//! against the budget, steals walkers from sites that finish early, keeps
+//! its online estimators byte-identical to the post-hoc batch build, and
+//! replays bit-identically from the same seeds.
+
+use std::sync::Arc;
+
+use hdsampler::prelude::*;
+
+type Wire = ChaosTransport<LocalSite<Arc<HiddenDb>>>;
+
+/// Patient enough to ride out bursts at these fault rates, still bounded.
+const PATIENT: RetryPolicy = RetryPolicy {
+    max_retries: 12,
+    base_backoff_ms: 25,
+    max_backoff_ms: 800,
+};
+
+/// Every fault class enabled. `hostility` scales the rates so the fleet
+/// can mix mildly and severely adversarial sites.
+fn hostile_spec(seed: u64, hostility: f64) -> ChaosSpec {
+    ChaosSpec {
+        seed,
+        throttle: 0.15 * hostility,
+        retry_after_ms: 120,
+        fail: 0.08 * hostility,
+        drop: 0.04 * hostility,
+        slow_start_ms: 300,
+        slow_warmup: 40,
+        jitter_ms: 25,
+        count_noise: 0.5,
+        latency_ms: 30,
+    }
+}
+
+fn site_task(name: &str, n: usize, db_seed: u64, spec: ChaosSpec) -> SiteTask<Wire> {
+    // Exact-count sites: the pages carry an "About N results" banner for
+    // the count-noise episodes to corrupt. The scraper is told not to
+    // trust it (`supports_count = false`), so the noise is observable on
+    // the wire yet can never bias the sampler.
+    let db = hdsampler::simulated_site(n, 60, db_seed);
+    let schema = Arc::new(db.schema().clone());
+    let k = db.result_limit();
+    let site = LocalSite::new(Arc::clone(&db), Arc::clone(&schema));
+    let wire = ChaosTransport::new(site, spec);
+    SiteTask::new(
+        name,
+        WebFormInterface::new(wire, schema, k, false).with_retry(PATIENT),
+    )
+}
+
+/// One hostile site among calmer peers: the calm sites finish first and
+/// donate their walkers to the hostile one.
+fn fleet() -> Vec<SiteTask<Wire>> {
+    vec![
+        site_task("calm-a", 600, 11, hostile_spec(1, 0.3)),
+        site_task("hostile", 600, 22, hostile_spec(2, 2.0)),
+        site_task("calm-b", 600, 33, hostile_spec(3, 0.3)),
+    ]
+}
+
+const TARGET: usize = 60;
+
+fn run_fleet(fleet: &mut [SiteTask<Wire>]) -> RunReport {
+    RunPlan::target(TARGET)
+        .walkers(3)
+        .seed(2009)
+        .driver(Driver::Coop { conns: Some(3) })
+        .steal(true)
+        .run(fleet)
+}
+
+#[test]
+fn adversarial_fleet_converges_with_every_fault_class_firing() {
+    let make = AttrId(0);
+    let schema = hdsampler::simulated_site(50, 60, 1).schema().clone();
+
+    let mut fleet = fleet();
+    let mut stream = SampleSetSink::new();
+    let mut hist = Histogram::new(&schema, make);
+    let pred = |r: &Row| r.values[0] == 0;
+    let mut prop = OnlineProportion::new(pred);
+    let report = RunPlan::target(TARGET)
+        .walkers(3)
+        .seed(2009)
+        .driver(Driver::Coop { conns: Some(3) })
+        .steal(true)
+        .attach(&mut stream)
+        .attach(&mut hist)
+        .attach(&mut prop)
+        .run(&mut fleet);
+
+    // The fleet rode it all out: full target everywhere, no failures, and
+    // in particular no throttle mistaken for budget exhaustion.
+    assert_eq!(report.total_samples(), 3 * TARGET);
+    for site in &report.fleet.sites {
+        assert_eq!(site.stopped, StopReason::TargetReached, "{}", site.name);
+        assert_eq!(site.samples.len(), TARGET, "{}", site.name);
+    }
+
+    // Every fault class actually fired somewhere in the fleet.
+    let counters: Vec<ChaosCounters> = fleet
+        .iter()
+        .map(|t| t.iface.transport().counters())
+        .collect();
+    let total = |f: fn(&ChaosCounters) -> u64| counters.iter().map(f).sum::<u64>();
+    assert!(total(|c| c.throttles) > 0, "throttles fired: {counters:?}");
+    assert!(total(|c| c.transient_fails) > 0, "503s fired: {counters:?}");
+    assert!(total(|c| c.drops) > 0, "drops fired: {counters:?}");
+    assert!(
+        total(|c| c.noisy_pages) > 0,
+        "count noise fired: {counters:?}"
+    );
+    assert!(
+        total(|c| c.extra_delay_ms) > 0,
+        "slow-start/jitter delayed requests: {counters:?}"
+    );
+
+    // Retries rode the faults out and were billed as retries — never as
+    // extra logical queries against the site's budget.
+    assert!(report.fleet.total_retries() > 0);
+    for (task, site) in fleet.iter().zip(&report.fleet.sites) {
+        assert_eq!(
+            site.queries_issued,
+            task.iface.fetches(),
+            "{}: budget view counts logical queries only",
+            site.name
+        );
+        assert_eq!(site.stats.retries, site.retries, "{}", site.name);
+        if site.retries > 0 {
+            assert!(site.backoff_vms > 0, "{}: retries waited", site.name);
+        }
+    }
+
+    // The calm sites finished early and donated walkers to the hostile
+    // one — stealing shows up exactly where the pressure was.
+    assert!(
+        report.fleet.total_steals() > 0,
+        "walkers moved: {:?}",
+        report
+            .fleet
+            .sites
+            .iter()
+            .map(|s| (&s.name, s.steals))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.fleet.sites[1].steals,
+        report.fleet.total_steals(),
+        "only the hostile site received walkers"
+    );
+
+    // Online estimators over the chaotic stream are still byte-identical
+    // to the post-hoc batch build — faults shake the wire, not the math.
+    let observed = stream.set();
+    assert_eq!(observed.len(), 3 * TARGET);
+    let batch_hist = Histogram::from_weighted(
+        &schema,
+        make,
+        observed.samples().iter().map(|s| (&s.row, s.weight)),
+    );
+    assert_eq!(hist.counts().len(), batch_hist.counts().len());
+    for (i, (x, y)) in hist.counts().iter().zip(batch_hist.counts()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "histogram bucket {i}");
+    }
+    let est = Estimator::new(observed);
+    let batch_prop = est.proportion(pred);
+    let online = prop.snapshot();
+    assert_eq!(online.n, batch_prop.n);
+    assert_eq!(online.value.to_bits(), batch_prop.value.to_bits());
+    assert_eq!(online.half_width.to_bits(), batch_prop.half_width.to_bits());
+}
+
+#[test]
+fn chaos_runs_replay_bit_identically() {
+    // Same seeds, same fleet, same plan ⇒ the same samples, the same
+    // faults, the same steals, the same clocks. Chaos is reproducible.
+    let fingerprint = || {
+        let mut tasks = fleet();
+        let report = run_fleet(&mut tasks);
+        let keys: Vec<Vec<u64>> = report
+            .fleet
+            .sites
+            .iter()
+            .map(|s| s.samples.keys())
+            .collect();
+        let counters: Vec<ChaosCounters> = tasks
+            .iter()
+            .map(|t| t.iface.transport().counters())
+            .collect();
+        let resilience: Vec<(u64, u64, u64)> = report
+            .fleet
+            .sites
+            .iter()
+            .map(|s| (s.retries, s.backoff_vms, s.steals))
+            .collect();
+        (keys, counters, resilience, report.fleet.fleet_elapsed_ms)
+    };
+    assert_eq!(fingerprint(), fingerprint());
+}
