@@ -18,7 +18,8 @@ COMMANDS:
   serve       put the simulated site behind a real HTTP front door
 
 COMMON OPTIONS:
-  --source <vehicles-full|vehicles-compact|boolean>   data source (default vehicles-compact)
+  --source <name>      dataset registry name: vehicles-compact, vehicles-full,
+                       boolean, boolean-correlated (default vehicles-compact)
   --dataset <...>      alias for --source
   --n <N>              number of tuples to simulate        (default 8000)
   --k <K>              top-k display limit                 (default 250)
@@ -30,12 +31,19 @@ COMMON OPTIONS:
   --counts <absent|exact|noisy>  count banner mode         (default absent)
 
 sample:
+  <locator>            sample any site named by one locator string instead of
+                       the flag-built in-process site:
+                         local:<dataset>[?n=..&k=..&seed=..&counts=..&budget=..&latency=..&jitter=..]
+                         http://host:port     (schema discovered by scraping /)
+                         replay:<tape.jsonl>  (recorded tape served offline — no server)
+  --record <path>      write every exchange to a JSONL tape; replay it later
+                       with `sample replay:<path>` (no server needed)
   --histogram <attr>   attribute(s) to display (repeatable; default: first)
   --watch              re-render live histograms from streaming snapshots
                        every 25 samples while the session runs
-  --remote <addr>      sample a live `hdsampler serve` at host:port instead
-                       of the in-process site (schema flags must match the
-                       served dataset)
+  --remote <addr>      sample a live `hdsampler serve` at host:port — sugar
+                       for the `http://<addr>` locator (the schema is
+                       discovered by scraping /, never configured)
   --coop-walkers <W>   with --remote: drive W cooperative walker machines
                        from one thread, pipelined over the wire (optionally
                        share connections via --coop-conns)
@@ -51,6 +59,9 @@ validate:
   --attr <attr>        attribute to validate (default: first)
 
 multi-site:
+  --site <locator>     add one fleet leg by locator (repeatable) — mixes
+                       local:, http:// and replay: legs in a single run;
+                       replaces --sites/--latency/--jitter/--chaos/--remote
   --sites <S>          number of simulated sites                (default 4)
   --walkers <W>        walker threads (connections) per site    (default 2)
   --latency <MS[,MS,...]>  per-request latency in ms; a comma list assigns
@@ -100,8 +111,14 @@ pub enum Command {
     Describe,
     /// Incremental sampling with live histograms.
     Sample {
+        /// Positional site locator (`local:…`, `http://…`, `replay:…`).
+        /// `None` falls back to the flag-built in-process site (or
+        /// `--remote`, which is sugar for an `http://` locator).
+        locator: Option<String>,
         /// Attributes to display as histograms.
         histograms: Vec<String>,
+        /// Record every exchange to this JSONL tape for `replay:`.
+        record: Option<String>,
         /// With `--remote`: drive this many cooperative walker machines
         /// from one thread instead of a single blocking sampler.
         coop_walkers: Option<usize>,
@@ -125,6 +142,9 @@ pub enum Command {
     },
     /// Fleet driving: S sites × W walkers over the virtual or real wire.
     MultiSite {
+        /// Heterogeneous fleet legs by locator (`--site`, repeatable).
+        /// Non-empty supersedes `sites`/`latencies_ms`/`jitter_ms`.
+        site_locators: Vec<String>,
         /// Number of simulated sites.
         sites: usize,
         /// Walker threads (= virtual connections) per site.
@@ -253,6 +273,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut watch = false;
     let mut chaos = None;
     let mut steal = false;
+    let mut locator = None;
+    let mut site_locators: Vec<String> = Vec::new();
+    let mut record = None;
+    let mut sites_set = false;
+    let mut latency_set = false;
+    let mut jitter_set = false;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -297,6 +323,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 common.counts = v;
             }
             "--sites" => {
+                sites_set = true;
                 sites = value("--sites")?
                     .parse()
                     .map_err(|_| "--sites: not a number")?;
@@ -313,6 +340,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
             }
             "--latency" => {
+                latency_set = true;
                 latencies_ms = value("--latency")?
                     .split(',')
                     .map(|part| part.trim().parse::<u64>())
@@ -326,6 +354,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
             }
             "--jitter" => {
+                jitter_set = true;
                 jitter_ms = value("--jitter")?
                     .parse()
                     .map_err(|_| "--jitter: not a number")?
@@ -385,6 +414,22 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             "--proportion" => proportions.push(split_kv(value("--proportion")?, "--proportion")?),
             "--avg" => avgs.push(value("--avg")?.clone()),
             "--attr" => validate_attr = Some(value("--attr")?.clone()),
+            "--site" => site_locators.push(value("--site")?.clone()),
+            "--record" => record = Some(value("--record")?.clone()),
+            other if !other.starts_with('-') => {
+                // A bare word is `sample`'s positional locator — nothing
+                // else takes positionals.
+                if command_word != "sample" {
+                    return Err(format!(
+                        "unexpected argument `{other}` (only `sample` takes a \
+                         positional locator)"
+                    ));
+                }
+                if locator.is_some() {
+                    return Err(format!("unexpected second locator `{other}`"));
+                }
+                locator = Some(other.to_string());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -410,20 +455,39 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     if steal && command_word != "multi-site" {
         return Err(format!("--steal does not apply to `{command_word}`"));
     }
+    if !site_locators.is_empty() && command_word != "multi-site" {
+        return Err("--site is a `multi-site` flag (sample one site by passing \
+                    the locator positionally: `sample <locator>`)"
+            .into());
+    }
+    if record.is_some() && command_word != "sample" {
+        return Err(format!(
+            "--record does not apply to `{command_word}` (record one site's \
+             exchanges with `sample <locator> --record <path>`)"
+        ));
+    }
 
     let command = match command_word.as_str() {
         "describe" => Command::Describe,
         "sample" => {
-            if coop_walkers.is_some() && common.remote.is_none() {
-                return Err("--coop-walkers requires --remote (the cooperative \
-                            sampler drives a live server)"
+            if locator.is_some() && common.remote.is_some() {
+                return Err("pass a locator or --remote, not both (a locator \
+                            already names the wire; --remote <addr> is sugar \
+                            for `sample http://<addr>`)"
+                    .into());
+            }
+            if coop_walkers.is_some() && common.remote.is_none() && locator.is_none() {
+                return Err("--coop-walkers needs a wire to pipeline on (pass \
+                            a locator or --remote)"
                     .into());
             }
             if coop_conns.is_some() && coop_walkers.is_none() {
                 return Err("--coop-conns requires --coop-walkers".into());
             }
             Command::Sample {
+                locator,
                 histograms,
+                record,
                 coop_walkers,
                 coop_conns,
                 watch,
@@ -434,6 +498,41 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             attr: validate_attr,
         },
         "multi-site" => {
+            if !site_locators.is_empty() {
+                // A locator list *is* the fleet: every flag that sizes or
+                // decorates the simulated fleet contradicts it.
+                if sites_set {
+                    return Err("--sites counts simulated sites; with --site, \
+                                the locator list is the fleet"
+                        .into());
+                }
+                if latency_set || jitter_set {
+                    return Err("--latency/--jitter configure simulated wires; \
+                                bake them into the locator instead \
+                                (local:<dataset>?latency=..&jitter=..)"
+                        .into());
+                }
+                if common.remote.is_some() {
+                    return Err("--remote and --site both name fleet legs; use --site \
+                         http://<addr>"
+                        .into());
+                }
+                if chaos.is_some() {
+                    return Err("--chaos wraps the flag-built simulated fleet \
+                                and does not apply to --site locator legs"
+                        .into());
+                }
+                if watch {
+                    return Err("--watch needs one fleet-wide schema; --site \
+                                legs have per-site schemas"
+                        .into());
+                }
+                if mode == DriverMode::Both {
+                    return Err("--driver both does not combine with --site \
+                                (run the drivers as two invocations)"
+                        .into());
+                }
+            }
             if coop_conns.is_some() && mode != DriverMode::Coop {
                 return Err("--coop-conns requires --driver coop".into());
             }
@@ -449,6 +548,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                     .into());
             }
             Command::MultiSite {
+                site_locators,
                 sites,
                 walkers,
                 latencies_ms,
@@ -517,7 +617,9 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Sample {
+                locator: None,
                 histograms: vec!["make".into(), "year".into()],
+                record: None,
                 coop_walkers: None,
                 coop_conns: None,
                 watch: false,
@@ -575,6 +677,7 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::MultiSite {
+                site_locators: vec![],
                 sites: 16,
                 walkers: 4,
                 latencies_ms: vec![150],
@@ -593,6 +696,7 @@ mod tests {
         assert_eq!(
             defaults.command,
             Command::MultiSite {
+                site_locators: vec![],
                 sites: 4,
                 walkers: 2,
                 latencies_ms: vec![100],
@@ -623,6 +727,7 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::MultiSite {
+                site_locators: vec![],
                 sites: 4,
                 walkers: 2,
                 latencies_ms: vec![50, 100, 250],
@@ -698,7 +803,9 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Sample {
+                locator: None,
                 histograms: vec![],
+                record: None,
                 coop_walkers: Some(64),
                 coop_conns: Some(4),
                 watch: false,
@@ -802,6 +909,97 @@ mod tests {
         // --watch is never silently ignored by other commands.
         assert!(parse(&argv(&["serve", "--watch"])).is_err());
         assert!(parse(&argv(&["aggregate", "--watch"])).is_err());
+    }
+
+    #[test]
+    fn locator_and_site_flags() {
+        // `sample` takes one positional locator, any scheme.
+        let cli = parse(&argv(&["sample", "local:boolean?n=500", "--samples", "40"])).unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Sample { locator: Some(ref l), .. } if l == "local:boolean?n=500"
+        ));
+        let cli = parse(&argv(&["sample", "http://127.0.0.1:8080"])).unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Sample { locator: Some(ref l), .. } if l == "http://127.0.0.1:8080"
+        ));
+        // --record rides along; locators make --coop-walkers legal.
+        let cli = parse(&argv(&[
+            "sample",
+            "http://h:1",
+            "--record",
+            "tape.jsonl",
+            "--coop-walkers",
+            "8",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Sample {
+                record: Some(ref r),
+                coop_walkers: Some(8),
+                ..
+            } if r == "tape.jsonl"
+        ));
+        // Repeatable --site builds a heterogeneous fleet.
+        let cli = parse(&argv(&[
+            "multi-site",
+            "--site",
+            "replay:tape.jsonl",
+            "--site",
+            "local:boolean",
+            "--site",
+            "http://h:1",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::MultiSite { site_locators, .. } => assert_eq!(
+                site_locators,
+                vec!["replay:tape.jsonl", "local:boolean", "http://h:1"]
+            ),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Contradictions fail loudly instead of being silently ignored.
+        assert!(parse(&argv(&["sample", "http://h:1", "--remote", "h:2"])).is_err());
+        assert!(parse(&argv(&["sample", "a", "b"])).is_err());
+        assert!(parse(&argv(&["describe", "local:boolean"])).is_err());
+        assert!(parse(&argv(&["serve", "--site", "local:boolean"])).is_err());
+        assert!(parse(&argv(&["multi-site", "--record", "t.jsonl"])).is_err());
+        assert!(parse(&argv(&["multi-site", "--site", "local:b", "--sites", "2"])).is_err());
+        assert!(parse(&argv(&[
+            "multi-site",
+            "--site",
+            "local:b",
+            "--latency",
+            "50"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "multi-site",
+            "--site",
+            "local:b",
+            "--remote",
+            "h:1"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "multi-site",
+            "--site",
+            "local:b",
+            "--chaos",
+            "fail=0.1"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["multi-site", "--site", "local:b", "--watch"])).is_err());
+        assert!(parse(&argv(&[
+            "multi-site",
+            "--site",
+            "local:b",
+            "--driver",
+            "both"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -11,11 +11,11 @@ use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
 use hdsampler_server::{Adversary, HttpServer, ServerConfig};
 use hdsampler_webform::{
-    AsyncTransport, ChaosSpec, ChaosTransport, Clocked, Driver, HttpTransport, LatencyTransport,
-    LocalSite, RetryPolicy, RunPlan, RunReport, SiteReport, SiteTask, Transport, WebForm,
-    WebFormInterface,
+    AsyncTransport, BoxTransport, ChaosSpec, ChaosTransport, Clocked, ConnectOptions,
+    ConnectorRegistry, Driver, LatencyTransport, LocalSite, RetryPolicy, RunPlan, RunReport,
+    SiteLocator, SiteReport, SiteTask, Transport, WebForm, WebFormInterface,
 };
-use hdsampler_workload::{DataSpec, DbConfig, VehiclesSpec, WorkloadSpec};
+use hdsampler_workload::{resolve_dataset, DbConfig, WorkloadSpec};
 
 use crate::args::{Cli, Command, Common, DriverMode};
 use crate::display::{self, ProgressSink, WatchSink};
@@ -35,16 +35,9 @@ fn build_db(common: &Common, seed: u64) -> Result<HiddenDb, String> {
     if let Some(b) = common.budget {
         db_cfg = db_cfg.with_budget(b);
     }
-    let data = match common.source.as_str() {
-        "vehicles-full" => DataSpec::Vehicles(VehiclesSpec::full(common.n, seed)),
-        "vehicles-compact" => DataSpec::Vehicles(VehiclesSpec::compact(common.n, seed)),
-        "boolean" => DataSpec::BooleanIid {
-            m: 14,
-            n: common.n,
-            p: 0.5,
-        },
-        other => return Err(format!("unknown source `{other}`")),
-    };
+    // The registry rejects unknown names early, listing every valid one
+    // (plus a nearest-match hint) — no string-matched dispatch here.
+    let data = resolve_dataset(&common.source)?.data_spec(common.n, seed);
     Ok(WorkloadSpec {
         data,
         db: db_cfg,
@@ -119,27 +112,37 @@ fn run_session(
     run_session_on(Arc::clone(db), &schema, common)
 }
 
-/// Scraper stack for one live server: the local workload flags rebuild
-/// the served schema (the scraper "reads the site's documentation"), the
-/// wire is real TCP.
-fn remote_iface(common: &Common, addr: &str) -> Result<WebFormInterface<HttpTransport>, String> {
-    // Only the schema/k/count-mode are needed locally; simulate a single
-    // tuple instead of the full dataset to derive them.
-    let skeleton = Common {
-        n: common.n.min(1),
-        ..common.clone()
-    };
-    let twin = build_db(&skeleton, common.seed)?;
-    let schema = Arc::new(twin.schema().clone());
-    let k = twin.result_limit();
-    let supports_count = twin.supports_count();
-    drop(twin);
-    Ok(WebFormInterface::new(
-        HttpTransport::new(addr),
-        schema,
-        k,
-        supports_count,
-    ))
+/// The locator a `sample` invocation means: the positional locator wins,
+/// `--remote <addr>` is sugar for `http://<addr>`, and bare flags name an
+/// in-process `local:` site (so every path goes through the connector
+/// registry and its scrape-based schema discovery).
+fn effective_locator(common: &Common, locator: Option<&str>) -> Result<SiteLocator, String> {
+    if let Some(s) = locator {
+        return SiteLocator::parse(s);
+    }
+    if let Some(addr) = &common.remote {
+        return SiteLocator::parse(&format!("http://{addr}"));
+    }
+    Ok(local_locator_from_flags(common))
+}
+
+/// Translate the classic workload flags into their `local:` locator.
+fn local_locator_from_flags(common: &Common) -> SiteLocator {
+    let mut params = vec![
+        ("n".to_string(), common.n.to_string()),
+        ("k".to_string(), common.k.to_string()),
+        ("seed".to_string(), common.seed.to_string()),
+    ];
+    if common.counts != "absent" {
+        params.push(("counts".into(), common.counts.clone()));
+    }
+    if let Some(b) = common.budget {
+        params.push(("budget".into(), b.to_string()));
+    }
+    SiteLocator::Local {
+        dataset: common.source.clone(),
+        params,
+    }
 }
 
 /// Execute a parsed command.
@@ -147,14 +150,25 @@ pub fn run(cli: Cli) -> Result<(), String> {
     match cli.command {
         Command::Describe => describe(&cli.common),
         Command::Sample {
+            locator,
             histograms,
+            record,
             coop_walkers,
             coop_conns,
             watch,
-        } => sample(&cli.common, &histograms, coop_walkers, coop_conns, watch),
+        } => sample(
+            &cli.common,
+            locator.as_deref(),
+            &histograms,
+            record.as_deref(),
+            coop_walkers,
+            coop_conns,
+            watch,
+        ),
         Command::Aggregate { proportions, avgs } => aggregate(&cli.common, &proportions, &avgs),
         Command::Validate { attr } => validate(&cli.common, attr.as_deref()),
         Command::MultiSite {
+            site_locators,
             sites,
             walkers,
             latencies_ms,
@@ -164,18 +178,30 @@ pub fn run(cli: Cli) -> Result<(), String> {
             watch,
             chaos,
             steal,
-        } => multi_site(
-            &cli.common,
-            sites,
-            walkers,
-            &latencies_ms,
-            jitter_ms,
-            mode,
-            coop_conns,
-            watch,
-            chaos,
-            steal,
-        ),
+        } => {
+            if !site_locators.is_empty() {
+                return multi_site_locators(
+                    &cli.common,
+                    &site_locators,
+                    walkers,
+                    mode,
+                    coop_conns,
+                    steal,
+                );
+            }
+            multi_site(
+                &cli.common,
+                sites,
+                walkers,
+                &latencies_ms,
+                jitter_ms,
+                mode,
+                coop_conns,
+                watch,
+                chaos,
+                steal,
+            )
+        }
         Command::Serve {
             port,
             workers,
@@ -343,15 +369,71 @@ const CHAOS_RETRY_POLICY: RetryPolicy = RetryPolicy {
     max_backoff_ms: 2_000,
 };
 
-/// Build a fleet of scraper stacks over live servers, one per address.
-fn build_remote_fleet(
-    common: &Common,
-    addrs: &[&str],
-) -> Result<Vec<SiteTask<HttpTransport>>, String> {
+/// Build a fleet of scraper stacks over live servers, one per address,
+/// each schema discovered by scraping the server's landing page — no
+/// local schema flags needed.
+fn build_remote_fleet(addrs: &[&str]) -> Result<Vec<SiteTask<BoxTransport>>, String> {
+    let registry = ConnectorRegistry::standard();
     addrs
         .iter()
-        .map(|addr| Ok(SiteTask::new(addr.to_string(), remote_iface(common, addr)?)))
+        .map(|addr| {
+            let loc = SiteLocator::parse(&format!("http://{addr}"))?;
+            registry.connect(&loc, &ConnectOptions::default())
+        })
         .collect()
+}
+
+/// `multi-site --site a --site b …`: a heterogeneous fleet where every
+/// leg is its own locator — mixed `local:`, `http://` and `replay:` wires
+/// with per-site schemas, all resolved through the connector registry and
+/// driven by one [`RunPlan`].
+fn multi_site_locators(
+    common: &Common,
+    locs: &[String],
+    walkers: usize,
+    mode: DriverMode,
+    coop_conns: Option<usize>,
+    steal: bool,
+) -> Result<(), String> {
+    if !common.binds.is_empty() {
+        return Err("--bind does not combine with --site: fleet legs have \
+                    per-site schemas, and the scope is fleet-wide"
+            .into());
+    }
+    let locators: Vec<SiteLocator> = locs
+        .iter()
+        .map(|s| SiteLocator::parse(s))
+        .collect::<Result<_, String>>()?;
+    let driver = match mode {
+        DriverMode::Concurrent => Driver::Threaded,
+        DriverMode::Serial => Driver::Serial,
+        DriverMode::Coop => Driver::Coop { conns: coop_conns },
+        // Rejected at parse time: `both` would need to rebuild the fleet.
+        DriverMode::Both => return Err("--driver both does not combine with --site".into()),
+    };
+    println!(
+        "fleet: {} site(s) by locator, {} samples per site, {walkers} walker(s) per site",
+        locators.len(),
+        common.samples
+    );
+    for loc in &locators {
+        println!("  - {loc}");
+    }
+    if mode == DriverMode::Coop {
+        println!(
+            "driver: cooperative — one thread multiplexes every site's walkers{}",
+            if steal { ", stealing enabled" } else { "" }
+        );
+    }
+    let (report, _fleet) = RunPlan::target(common.samples)
+        .walkers(walkers)
+        .seed(common.seed)
+        .slider(common.slider)
+        .driver(driver)
+        .steal(steal)
+        .run_locators(&locators)?;
+    println!("\n{}", display::fleet_report(&report.fleet));
+    Ok(())
 }
 
 /// Drive one fleet through the chosen mode(s): the shared back half of
@@ -533,7 +615,7 @@ fn multi_site_remote(
     if addrs.iter().any(|a| a.is_empty()) {
         return Err("--remote: empty address in list".into());
     }
-    let mut fleet = build_remote_fleet(common, &addrs)?;
+    let mut fleet = build_remote_fleet(&addrs)?;
     let schema = fleet[0].iface.schema().clone();
     let scope = scope_query(&schema, &common.binds)?;
     let plan_for = |driver: Driver| {
@@ -582,7 +664,7 @@ fn multi_site_remote(
         if let Some(w) = watch_sink.as_mut() {
             plan = plan.attach(w);
         }
-        let report = plan.run(&mut build_remote_fleet(common, &addrs)?);
+        let report = plan.run(&mut build_remote_fleet(&addrs)?);
         println!("\n{}", display::fleet_report(&report.fleet));
     }
     Ok(())
@@ -636,22 +718,6 @@ fn check_site_stopped(site: &SiteReport) -> Result<(), String> {
             Ok(())
         }
     }
-}
-
-/// The in-process `sample` site behind the full webform stack: LocalSite
-/// under a 1 ms virtual-latency wire (the wire only needs a clock, not a
-/// delay model — virtual time never sleeps).
-fn local_task(common: &Common) -> Result<SiteTask<LatencyTransport<LocalSite<HiddenDb>>>, String> {
-    let db = build_db(common, common.seed)?;
-    let schema = Arc::new(db.schema().clone());
-    let k = db.result_limit();
-    let supports_count = db.supports_count();
-    let site = LocalSite::new(db, Arc::clone(&schema));
-    let wire = LatencyTransport::new(site, 1);
-    Ok(SiteTask::new(
-        "local",
-        WebFormInterface::new(wire, schema, k, supports_count),
-    ))
 }
 
 /// Resolve the histogram attribute list (default: the first attribute).
@@ -723,85 +789,72 @@ fn print_session_block(site: &SiteReport) {
 
 fn sample(
     common: &Common,
+    locator: Option<&str>,
     histograms: &[String],
+    record: Option<&str>,
     coop_walkers: Option<usize>,
     coop_conns: Option<usize>,
     watch: bool,
 ) -> Result<(), String> {
-    let (report, hists) = match (&common.remote, coop_walkers) {
-        (Some(addr), walkers) => {
-            let mut task = SiteTask::new(addr.to_string(), remote_iface(common, addr)?);
-            let schema = task.iface.schema().clone();
-            let (driver, walker_count) = match walkers {
-                Some(w) => {
-                    // Without an explicit --coop-conns, pipeline over a
-                    // handful of connections: the server side is
-                    // thread-per-connection, so one-socket-per-walker
-                    // starves its worker pool once W exceeds
-                    // `serve --workers`.
-                    let conns = coop_conns
-                        .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
-                        .min(w.max(1));
-                    println!(
-                        "sampling live server http://{addr}: {w} cooperative walker(s) on one \
-                         thread, {conns} pipelined connection(s)"
-                    );
-                    (Driver::Coop { conns: Some(conns) }, w)
-                }
-                None => {
-                    println!("sampling live server http://{addr} over real TCP");
-                    (Driver::Threaded, 1)
-                }
-            };
-            let (report, hists) = run_sample_plan(
-                common,
-                &mut task,
-                &schema,
-                histograms,
-                driver,
-                walker_count,
-                watch,
-            )?;
-            let site = report.site();
-            print_session_block(site);
-            if let Some(details) = &report.details {
-                println!(
-                    "coop: {} walker machine(s) over {} pipelined connection(s), {} history hits",
-                    walker_count, details[0].connections, site.history_hits
-                );
-            }
-            let t = task.iface.transport();
-            println!(
-                "wire: {} requests on {} connection(s) ({} left open after idle reap), \
-                 {} bytes received, {} ms",
-                t.requests_sent(),
-                t.connections(),
-                t.open_connections(),
-                t.bytes_received(),
-                t.elapsed_ms()
-            );
-            check_site_stopped(site)?;
-            (report, hists)
-        }
-        (None, _) => {
-            let mut task = local_task(common)?;
-            let schema = task.iface.schema().clone();
-            let (report, hists) = run_sample_plan(
-                common,
-                &mut task,
-                &schema,
-                histograms,
-                Driver::Threaded,
-                1,
-                watch,
-            )?;
-            let site = report.site();
-            print_session_block(site);
-            check_site_stopped(site)?;
-            (report, hists)
-        }
+    let loc = effective_locator(common, locator)?;
+    let opts = ConnectOptions {
+        record: record.map(str::to_string),
     };
-    drop(report);
+    // Every wire goes through the same connector: the schema, k and count
+    // support are discovered by scraping the site's `/`, never configured.
+    let mut task = ConnectorRegistry::standard().connect(&loc, &opts)?;
+    let schema = task.iface.schema().clone();
+    if locator.is_some() {
+        println!(
+            "site {loc}: discovered a {}-attribute form off `/`",
+            schema.arity()
+        );
+    }
+    let (driver, walker_count) = match (&loc, coop_walkers) {
+        (SiteLocator::Http { addr }, Some(w)) => {
+            // Without an explicit --coop-conns, pipeline over a handful of
+            // connections: the server side is thread-per-connection, so
+            // one-socket-per-walker starves its worker pool once W exceeds
+            // `serve --workers`.
+            let conns = coop_conns
+                .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
+                .min(w.max(1));
+            println!(
+                "sampling live server http://{addr}: {w} cooperative walker(s) on one \
+                 thread, {conns} pipelined connection(s)"
+            );
+            (Driver::Coop { conns: Some(conns) }, w)
+        }
+        (SiteLocator::Http { addr }, None) => {
+            println!("sampling live server http://{addr} over real TCP");
+            (Driver::Threaded, 1)
+        }
+        (_, Some(w)) => (Driver::Coop { conns: coop_conns }, w),
+        (_, None) => (Driver::Threaded, 1),
+    };
+    let (report, hists) = run_sample_plan(
+        common,
+        &mut task,
+        &schema,
+        histograms,
+        driver,
+        walker_count,
+        watch,
+    )?;
+    let site = report.site();
+    print_session_block(site);
+    if let Some(details) = &report.details {
+        println!(
+            "coop: {} walker machine(s) over {} pipelined connection(s), {} history hits",
+            walker_count, details[0].connections, site.history_hits
+        );
+    }
+    check_site_stopped(site)?;
+    if let Some(path) = record {
+        println!(
+            "tape: exchanges recorded to `{path}` — replay offline with `sample replay:{path}`"
+        );
+    }
     // The histograms were built online, sample by sample, by the attached
     // sinks — rendering them is a pure snapshot read.
     for hist in &hists {
@@ -916,7 +969,72 @@ mod tests {
     #[test]
     fn end_to_end_sample_command() {
         let common = quick_common();
-        sample(&common, &["make".into()], None, None, false).unwrap();
+        sample(&common, None, &["make".into()], None, None, None, false).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_sample_with_locator() {
+        // The positional-locator path: dataset, n, k and seed all live in
+        // the locator; schema comes off the scraped landing page.
+        let common = Common {
+            samples: 15,
+            ..Common::default()
+        };
+        sample(
+            &common,
+            Some("local:vehicles-compact?n=400&k=50&seed=9"),
+            &["make".into()],
+            None,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        // Unknown datasets fail early with the registry's hint.
+        let err = sample(
+            &common,
+            Some("local:vehicles-compat?n=400"),
+            &[],
+            None,
+            None,
+            None,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("did you mean `vehicles-compact`?"), "{err}");
+    }
+
+    #[test]
+    fn end_to_end_record_then_replay() {
+        // `sample <local> --record tape` then `sample replay:tape` with no
+        // flags at all: the tape carries discovery and every page.
+        let tape = std::env::temp_dir().join(format!("hds_cli_tape_{}.jsonl", std::process::id()));
+        let tape_str = tape.to_str().unwrap().to_string();
+        let common = Common {
+            samples: 10,
+            ..Common::default()
+        };
+        sample(
+            &common,
+            Some("local:vehicles-compact?n=400&k=50&seed=4"),
+            &["make".into()],
+            Some(&tape_str),
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        sample(
+            &common,
+            Some(&format!("replay:{tape_str}")),
+            &["make".into()],
+            None,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        std::fs::remove_file(&tape).ok();
     }
 
     #[test]
@@ -1014,7 +1132,16 @@ mod tests {
             remote: Some(handle.addr().to_string()),
             ..common
         };
-        sample(&remote_common, &["make".into()], None, None, false).unwrap();
+        sample(
+            &remote_common,
+            None,
+            &["make".into()],
+            None,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
         let stats = handle.shutdown();
         assert!(stats.requests > 0, "the session must hit the live server");
         assert_eq!(stats.responses_server_error, 0);
@@ -1033,13 +1160,23 @@ mod tests {
             remote: Some(handle.addr().to_string()),
             ..common
         };
-        sample(&remote_common, &["make".into()], Some(16), Some(2), false).unwrap();
+        sample(
+            &remote_common,
+            None,
+            &["make".into()],
+            None,
+            Some(16),
+            Some(2),
+            false,
+        )
+        .unwrap();
         let stats = handle.shutdown();
         assert!(stats.requests > 0);
         assert_eq!(stats.responses_server_error, 0);
         assert_eq!(
-            stats.connections, 2,
-            "16 walkers must share exactly the 2 requested connections"
+            stats.connections, 3,
+            "schema discovery dials one connection, then 16 walkers share \
+             exactly the 2 requested pipelined connections"
         );
     }
 
@@ -1059,7 +1196,16 @@ mod tests {
             remote: Some(handle.addr().to_string()),
             ..common
         };
-        sample(&remote_common, &["make".into()], None, None, false).unwrap();
+        sample(
+            &remote_common,
+            None,
+            &["make".into()],
+            None,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
         let stats = handle.shutdown();
         let injected = adversary.counters();
         assert!(

@@ -155,6 +155,14 @@ pub enum InterfaceError {
     },
     /// The query refers to attributes/values this interface does not expose.
     InvalidQuery(ModelError),
+    /// The submitted request does not fit the *served* form — the client's
+    /// schema has drifted from the site (unknown field, unknown value,
+    /// conflicting duplicates). Terminal: every further query built from
+    /// the same stale schema would fail identically, so drivers must stop
+    /// instead of burning budget. Over HTTP this is a `400` whose body is
+    /// carried here verbatim, so in-process and remote failures read the
+    /// same.
+    SchemaMismatch(String),
     /// The transport layer failed (timeouts, connection reset — simulated).
     Transport(String),
     /// A result page could not be parsed back into rows.
@@ -174,6 +182,12 @@ impl std::fmt::Display for InterfaceError {
                 write!(f, "rate limited: retry after {retry_after_ms} ms")
             }
             InterfaceError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            InterfaceError::SchemaMismatch(msg) => {
+                write!(
+                    f,
+                    "schema mismatch (client schema drifted from the served form): {msg}"
+                )
+            }
             InterfaceError::Transport(msg) => write!(f, "transport failure: {msg}"),
             InterfaceError::Parse(msg) => write!(f, "result page parse failure: {msg}"),
             InterfaceError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
@@ -269,6 +283,10 @@ mod tests {
         )
         .is_transient());
         assert!(!InterfaceError::BudgetExhausted { issued: 1 }.is_transient());
+        assert!(
+            !InterfaceError::SchemaMismatch("400 bad request: no such field".into()).is_transient(),
+            "a drifted schema never heals by retrying"
+        );
         assert!(!InterfaceError::Parse("bad page".into()).is_transient());
         assert!(!InterfaceError::Unsupported("count").is_transient());
         assert_eq!(

@@ -57,14 +57,19 @@ impl<S: SiteBehavior + ?Sized> SiteBehavior for std::sync::Arc<S> {
     }
 }
 
-/// The landing page: the rendered form wrapped in a minimal document.
+/// The landing page: the self-describing form (schema, top-k limit and
+/// count support all machine-readable) wrapped in a minimal document, so
+/// one fetch of `/` is enough for a client to configure itself.
 fn landing_page<F: FormInterface>(site: &LocalSite<F>) -> String {
     format!(
         "<html><head><title>HDSampler search</title></head><body>\n\
          <h1>Search listings</h1>\n{}\
          <p>{} listings behind a top-{} interface.</p>\n\
          </body></html>\n",
-        site.form().render_html(),
+        site.form().render_html_with_meta(
+            site.backend().result_limit(),
+            site.backend().supports_count()
+        ),
         escape_html(&site.backend().schema().domain_product().to_string()),
         site.backend().result_limit(),
     )
@@ -82,6 +87,12 @@ impl<F: FormInterface> SiteBehavior for LocalSite<F> {
                 let mut resp = Response::text(404, "Not Found", msg);
                 resp.extra_headers
                     .push((ERROR_HEADER.into(), "not-found".into()));
+                resp
+            }
+            Err(InterfaceError::SchemaMismatch(msg)) => {
+                let mut resp = Response::text(400, "Bad Request", msg);
+                resp.extra_headers
+                    .push((ERROR_HEADER.into(), "schema-mismatch".into()));
                 resp
             }
             Err(InterfaceError::Transport(msg)) if msg.starts_with("400") => {
@@ -168,6 +179,36 @@ mod tests {
         let body = String::from_utf8(site.get("/").body).unwrap();
         assert!(body.contains("<form action=\"/search\""));
         assert!(body.contains(">Honda</option>"));
+    }
+
+    #[test]
+    fn landing_page_is_discoverable() {
+        // The served `/` must scrape back to the exact schema plus the
+        // site's k and count support — the contract `sample http://addr`
+        // relies on when run with zero schema flags.
+        let site = site(None);
+        let body = String::from_utf8(site.get("/").body).unwrap();
+        let form = hdsampler_webform::scrape_form_page(&body).unwrap();
+        assert_eq!(&form.schema, site.form().schema().as_ref());
+        assert_eq!(form.action, "/search");
+        assert_eq!(form.k, 1);
+        assert!(!form.supports_count);
+    }
+
+    #[test]
+    fn schema_mismatch_maps_to_400_with_marker() {
+        let site = site(None);
+        let resp = site.get("/search?bogus=1");
+        assert_eq!(resp.status, 400);
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(n, v)| n == ERROR_HEADER && v == "schema-mismatch"));
+        let body = String::from_utf8(resp.body).unwrap();
+        match site.fetch("/search?bogus=1").unwrap_err() {
+            InterfaceError::SchemaMismatch(msg) => assert_eq!(msg, body),
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
     }
 
     #[test]

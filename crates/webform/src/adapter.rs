@@ -78,9 +78,21 @@ impl<T: Transport> WebFormInterface<T> {
     /// connections) are retried under [`RetryPolicy::default`]; tune or
     /// disable with [`with_retry`](WebFormInterface::with_retry).
     pub fn new(transport: T, schema: Arc<Schema>, k: usize, supports_count: bool) -> Self {
+        Self::with_form(
+            transport,
+            WebForm::new(schema, "/search"),
+            k,
+            supports_count,
+        )
+    }
+
+    /// Like [`new`](WebFormInterface::new), but with an explicit
+    /// [`WebForm`] — the constructor schema discovery uses, since a scraped
+    /// landing page names its own action rather than assuming `/search`.
+    pub fn with_form(transport: T, form: WebForm, k: usize, supports_count: bool) -> Self {
         WebFormInterface {
             transport,
-            form: WebForm::new(schema, "/search"),
+            form,
             k,
             supports_count,
             retry: RetryPolicy::default(),

@@ -1,0 +1,466 @@
+//! Connecting a [`SiteLocator`] to a ready-to-walk [`SiteTask`].
+//!
+//! A locator only *names* a site. The [`ConnectorRegistry`] turns the name
+//! into a running stack: it builds (or dials, or loads) the wire, fetches
+//! the site's landing page `/` through it, scrapes the page into a typed
+//! schema plus the advertised `k` and count support
+//! ([`scrape_form_page`](crate::scrape::scrape_form_page)), and assembles a
+//! [`WebFormInterface`] configured entirely from what the site *said* —
+//! zero schema flags, for every scheme:
+//!
+//! * `local:` — resolves the dataset in the workload registry, builds the
+//!   [`HiddenDb`](hdsampler_hidden_db::HiddenDb) from the locator's
+//!   parameters, and serves it in-process behind a virtual-latency wire;
+//! * `http://` — dials the address with
+//!   [`HttpTransport`](crate::HttpTransport);
+//! * `replay:` — loads the JSONL tape into a [`ReplaySite`]; since the
+//!   tape contains the recorded discovery page, replayed discovery is
+//!   byte-identical to the original.
+//!
+//! Every connector returns the same concrete type, `SiteTask<BoxTransport>`
+//! — which is what lets one [`RunPlan`](crate::RunPlan) drive a
+//! *heterogeneous* fleet (simulated + live + replayed legs, each with its
+//! own schema) through a single `run` call. Passing
+//! [`ConnectOptions::record`] interposes a [`RecordingTransport`] under
+//! the scraper, so the whole session — discovery included — lands on a
+//! tape a later `replay:` locator can serve.
+
+use std::fmt;
+use std::sync::Arc;
+
+use hdsampler_hidden_db::CountMode;
+use hdsampler_model::{FormInterface as _, InterfaceError};
+use hdsampler_workload::{DbConfig, WorkloadSpec};
+
+use crate::adapter::WebFormInterface;
+use crate::aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
+use crate::chaos::RetryPolicy;
+use crate::driver::SiteTask;
+use crate::form::WebForm;
+use crate::httpc::HttpTransport;
+use crate::locator::SiteLocator;
+use crate::replay::{RecordingTransport, ReplaySite};
+use crate::scrape::scrape_form_page;
+use crate::transport::{Clocked, LatencyTransport, LocalSite, Transport};
+
+/// The full wire contract a connected site rides on: both transport faces
+/// plus a clock, behind one vtable.
+trait DynTransport: Transport + AsyncTransport + Clocked + fmt::Debug {}
+
+impl<T: Transport + AsyncTransport + Clocked + fmt::Debug> DynTransport for T {}
+
+/// A type-erased wire. Whatever the connector built — virtual-latency
+/// in-process site, live TCP, replayed tape, with or without a recorder —
+/// this is the one concrete transport type a heterogeneous fleet shares.
+pub struct BoxTransport(Box<dyn DynTransport>);
+
+impl BoxTransport {
+    /// Erase `transport`.
+    pub fn new<T: Transport + AsyncTransport + Clocked + fmt::Debug + 'static>(
+        transport: T,
+    ) -> Self {
+        BoxTransport(Box::new(transport))
+    }
+}
+
+impl fmt::Debug for BoxTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoxTransport({:?})", self.0)
+    }
+}
+
+impl Transport for BoxTransport {
+    fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
+        self.0.fetch(path)
+    }
+    fn close_idle(&self) -> usize {
+        self.0.close_idle()
+    }
+    fn backoff(&self, ms: u64) {
+        self.0.backoff(ms)
+    }
+}
+
+impl AsyncTransport for BoxTransport {
+    fn connect(&self) -> ConnId {
+        self.0.connect()
+    }
+    fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
+        self.0.submit(conn, path)
+    }
+    fn poll(&self, handle: FetchHandle) -> FetchPoll {
+        self.0.poll(handle)
+    }
+    fn complete(&self, handle: FetchHandle) -> Result<String, InterfaceError> {
+        self.0.complete(handle)
+    }
+    fn cancel(&self, handle: FetchHandle) {
+        self.0.cancel(handle)
+    }
+    fn observe_now(&self, conn: ConnId, now_ms: u64) {
+        self.0.observe_now(conn, now_ms)
+    }
+    fn virtual_elapsed_ms(&self) -> u64 {
+        self.0.virtual_elapsed_ms()
+    }
+    fn wire_is_virtual(&self) -> bool {
+        self.0.wire_is_virtual()
+    }
+}
+
+impl Clocked for BoxTransport {
+    fn elapsed_ms(&self) -> u64 {
+        self.0.elapsed_ms()
+    }
+}
+
+/// Options shared by every connector.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectOptions {
+    /// Record every exchange (discovery page included) to this JSONL tape,
+    /// ready for a later `replay:` locator.
+    pub record: Option<String>,
+}
+
+/// How a scheme connects: locator + options in, ready task out.
+pub type ConnectFn = fn(&SiteLocator, &ConnectOptions) -> Result<SiteTask<BoxTransport>, String>;
+
+/// One registered scheme.
+#[derive(Clone, Copy)]
+pub struct Connector {
+    /// The locator scheme this connector serves (`local`, `http`,
+    /// `replay`).
+    pub scheme: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    connect: ConnectFn,
+}
+
+/// The scheme → connector table.
+pub struct ConnectorRegistry {
+    connectors: Vec<Connector>,
+}
+
+impl ConnectorRegistry {
+    /// The standard registry: `local:`, `http://` and `replay:`.
+    pub fn standard() -> Self {
+        ConnectorRegistry {
+            connectors: vec![
+                Connector {
+                    scheme: "local",
+                    summary: "in-process simulated site over a named dataset",
+                    connect: connect_local,
+                },
+                Connector {
+                    scheme: "http",
+                    summary: "live HTTP front door",
+                    connect: connect_http,
+                },
+                Connector {
+                    scheme: "replay",
+                    summary: "recorded tape served offline",
+                    connect: connect_replay,
+                },
+            ],
+        }
+    }
+
+    /// The registered schemes, in listing order.
+    pub fn schemes(&self) -> Vec<&'static str> {
+        self.connectors.iter().map(|c| c.scheme).collect()
+    }
+
+    /// Resolve `locator` to a ready [`SiteTask`]: build/dial/load the
+    /// wire, discover the schema off `/`, assemble the scraper.
+    ///
+    /// # Errors
+    /// Anything the connector hit: unknown dataset, bad parameter,
+    /// unreachable host, missing tape, unscrapable landing page.
+    pub fn connect(
+        &self,
+        locator: &SiteLocator,
+        opts: &ConnectOptions,
+    ) -> Result<SiteTask<BoxTransport>, String> {
+        let scheme = locator.scheme();
+        let connector = self
+            .connectors
+            .iter()
+            .find(|c| c.scheme == scheme)
+            .ok_or_else(|| format!("no connector registered for scheme `{scheme}:`"))?;
+        (connector.connect)(locator, opts)
+    }
+}
+
+/// Erase a built wire, interposing a recorder when asked.
+fn erase<T: Transport + AsyncTransport + Clocked + fmt::Debug + 'static>(
+    transport: T,
+    opts: &ConnectOptions,
+) -> Result<BoxTransport, String> {
+    Ok(match &opts.record {
+        Some(tape) => BoxTransport::new(RecordingTransport::create(transport, tape)?),
+        None => BoxTransport::new(transport),
+    })
+}
+
+/// Scrape-based schema discovery: fetch `/`, then assemble a scraper
+/// configured entirely from the page — schema, action, k, count support.
+/// The fetch rides out transient faults (throttles, 503s, severed
+/// connections) the way the sampler's own fetches do, so one unlucky
+/// request against an adversarial site does not kill the connect.
+fn discover(transport: BoxTransport, who: &str) -> Result<SiteTask<BoxTransport>, String> {
+    let retry = RetryPolicy {
+        max_retries: 8,
+        ..RetryPolicy::default()
+    };
+    let mut attempt = 0u32;
+    let page = loop {
+        match transport.fetch("/") {
+            Ok(page) => break page,
+            Err(e) if e.is_transient() && attempt < retry.max_retries => {
+                transport.backoff(retry.backoff_ms(attempt, e.retry_after_ms()));
+                attempt += 1;
+            }
+            Err(e) => return Err(format!("{who}: schema discovery failed fetching `/`: {e}")),
+        }
+    };
+    let found = scrape_form_page(&page)
+        .map_err(|e| format!("{who}: landing page is not a discoverable form: {e}"))?;
+    let form = WebForm::new(Arc::new(found.schema), found.action);
+    Ok(SiteTask::new(
+        who,
+        WebFormInterface::with_form(transport, form, found.k, found.supports_count),
+    ))
+}
+
+/// `local:` parameters, with the same defaults the CLI's flags have.
+struct LocalParams {
+    n: usize,
+    k: usize,
+    seed: u64,
+    counts: CountMode,
+    budget: Option<u64>,
+    latency: u64,
+    jitter: u64,
+}
+
+fn parse_local_params(params: &[(String, String)], who: &str) -> Result<LocalParams, String> {
+    let mut out = LocalParams {
+        n: 8_000,
+        k: 250,
+        seed: 2_009,
+        counts: CountMode::Absent,
+        budget: None,
+        latency: 1,
+        jitter: 0,
+    };
+    for (key, value) in params {
+        let parse_num = |what: &str| -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("{who}: parameter `{key}={value}` is not a valid {what}"))
+        };
+        match key.as_str() {
+            "n" => out.n = parse_num("tuple count")? as usize,
+            "k" => out.k = parse_num("top-k limit")? as usize,
+            "seed" => out.seed = parse_num("seed")?,
+            "budget" => out.budget = Some(parse_num("query budget")?),
+            "latency" => out.latency = parse_num("latency (ms)")?,
+            "jitter" => out.jitter = parse_num("jitter (ms)")?,
+            "counts" => {
+                out.counts = match value.as_str() {
+                    "absent" => CountMode::Absent,
+                    "exact" => CountMode::Exact,
+                    "noisy" => CountMode::Noisy {
+                        sigma: 0.15,
+                        seed: out.seed,
+                    },
+                    other => {
+                        return Err(format!(
+                            "{who}: counts=`{other}` (valid: absent, exact, noisy)"
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "{who}: unknown parameter `{other}` \
+                     (valid: n, k, seed, counts, budget, latency, jitter)"
+                ))
+            }
+        }
+    }
+    // `counts=noisy` before `seed=…` must still use the final seed.
+    if let CountMode::Noisy { sigma, .. } = out.counts {
+        out.counts = CountMode::Noisy {
+            sigma,
+            seed: out.seed,
+        };
+    }
+    Ok(out)
+}
+
+fn connect_local(
+    locator: &SiteLocator,
+    opts: &ConnectOptions,
+) -> Result<SiteTask<BoxTransport>, String> {
+    let SiteLocator::Local { dataset, params } = locator else {
+        return Err(format!(
+            "local connector got a {} locator",
+            locator.scheme()
+        ));
+    };
+    let who = locator.to_string();
+    let p = parse_local_params(params, &who)?;
+    let def = hdsampler_workload::resolve_dataset(dataset).map_err(|e| format!("{who}: {e}"))?;
+    let mut db_cfg = DbConfig {
+        count_mode: p.counts,
+        ..DbConfig::no_counts().with_k(p.k)
+    };
+    if let Some(b) = p.budget {
+        db_cfg = db_cfg.with_budget(b);
+    }
+    let db = WorkloadSpec {
+        data: def.data_spec(p.n, p.seed),
+        db: db_cfg,
+        seed: p.seed,
+    }
+    .build();
+    let schema = Arc::new(db.schema().clone());
+    let site = LocalSite::new(db, schema);
+    let wire = LatencyTransport::with_jitter(site, p.latency.max(1), p.jitter, p.seed);
+    discover(erase(wire, opts)?, &who)
+}
+
+fn connect_http(
+    locator: &SiteLocator,
+    opts: &ConnectOptions,
+) -> Result<SiteTask<BoxTransport>, String> {
+    let SiteLocator::Http { addr } = locator else {
+        return Err(format!("http connector got a {} locator", locator.scheme()));
+    };
+    let who = locator.to_string();
+    discover(erase(HttpTransport::new(addr), opts)?, &who)
+}
+
+fn connect_replay(
+    locator: &SiteLocator,
+    opts: &ConnectOptions,
+) -> Result<SiteTask<BoxTransport>, String> {
+    let SiteLocator::Replay { path } = locator else {
+        return Err(format!(
+            "replay connector got a {} locator",
+            locator.scheme()
+        ));
+    };
+    let who = locator.to_string();
+    let site = ReplaySite::load(path)?;
+    // A tape is a blocking-face site; the 1 ms virtual wire grants it the
+    // async face and a clock, same as an in-process site.
+    let wire = LatencyTransport::new(site, 1);
+    discover(erase(wire, opts)?, &who)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connect(s: &str) -> Result<SiteTask<BoxTransport>, String> {
+        let loc = SiteLocator::parse(s)?;
+        ConnectorRegistry::standard().connect(&loc, &ConnectOptions::default())
+    }
+
+    #[test]
+    fn local_connector_discovers_everything_from_the_page() {
+        let task = connect("local:boolean?n=200&k=20&seed=3&counts=exact").unwrap();
+        assert_eq!(task.name, "local:boolean?n=200&k=20&seed=3&counts=exact");
+        assert_eq!(task.iface.schema().arity(), 14, "m=14 Boolean dataset");
+        assert_eq!(task.iface.result_limit(), 20, "k scraped off the page");
+        assert!(
+            task.iface.supports_count(),
+            "count mode scraped off the page"
+        );
+        // The stack works end to end: the unconstrained query overflows.
+        let resp = task
+            .iface
+            .execute(&hdsampler_model::ConjunctiveQuery::empty())
+            .unwrap();
+        assert_eq!(resp.rows.len(), 20);
+    }
+
+    #[test]
+    fn local_defaults_mirror_the_cli() {
+        let task = connect("local:vehicles-compact?n=300").unwrap();
+        assert_eq!(task.iface.result_limit(), 250, "default k");
+        assert!(!task.iface.supports_count(), "default counts=absent");
+    }
+
+    #[test]
+    fn bad_locators_fail_with_the_registry_message() {
+        let err = connect("local:vehicles-compat?n=100").unwrap_err();
+        assert!(err.contains("unknown dataset"), "{err}");
+        assert!(err.contains("did you mean `vehicles-compact`?"), "{err}");
+
+        let err = connect("local:boolean?frobnicate=1").unwrap_err();
+        assert!(err.contains("unknown parameter `frobnicate`"), "{err}");
+        assert!(err.contains("valid: n, k, seed"), "{err}");
+
+        let err = connect("local:boolean?n=many").unwrap_err();
+        assert!(err.contains("n=many"), "{err}");
+
+        let err = connect("local:boolean?counts=sometimes").unwrap_err();
+        assert!(err.contains("valid: absent, exact, noisy"), "{err}");
+
+        assert!(connect("replay:/nonexistent/tape.jsonl").is_err());
+    }
+
+    #[test]
+    fn record_then_replay_locators_round_trip() {
+        let tape =
+            std::env::temp_dir().join(format!("hds_connect_tape_{}.jsonl", std::process::id()));
+        let tape_str = tape.to_str().unwrap().to_string();
+
+        // Record a session against a local site: discovery plus two pages.
+        let loc = SiteLocator::parse("local:boolean?n=120&k=10&seed=5").unwrap();
+        let recorded = ConnectorRegistry::standard()
+            .connect(
+                &loc,
+                &ConnectOptions {
+                    record: Some(tape_str.clone()),
+                },
+            )
+            .unwrap();
+        let q = hdsampler_model::ConjunctiveQuery::from_named(
+            &recorded.iface.schema().clone(),
+            [("a1", "yes")],
+        )
+        .unwrap();
+        let live_root = recorded
+            .iface
+            .execute(&hdsampler_model::ConjunctiveQuery::empty())
+            .unwrap();
+        let live_q = recorded.iface.execute(&q).unwrap();
+
+        // Replay it with zero knowledge beyond the tape path: discovery
+        // comes off the tape, and the pages come back byte-identical.
+        let replayed = connect(&format!("replay:{tape_str}")).unwrap();
+        assert_eq!(replayed.iface.schema(), recorded.iface.schema());
+        assert_eq!(replayed.iface.result_limit(), 10);
+        assert_eq!(
+            replayed
+                .iface
+                .execute(&hdsampler_model::ConjunctiveQuery::empty())
+                .unwrap(),
+            live_root
+        );
+        assert_eq!(replayed.iface.execute(&q).unwrap(), live_q);
+        std::fs::remove_file(&tape).ok();
+    }
+
+    #[test]
+    fn standard_registry_lists_its_schemes() {
+        assert_eq!(
+            ConnectorRegistry::standard().schemes(),
+            vec!["local", "http", "replay"]
+        );
+    }
+}

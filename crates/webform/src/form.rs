@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use hdsampler_model::{ConjunctiveQuery, ModelError, Schema};
+use hdsampler_model::{AttrKind, ConjunctiveQuery, ModelError, Schema};
 
 use crate::render::escape_html;
 use crate::urlenc;
@@ -97,26 +97,81 @@ impl WebForm {
 
     /// Render the form as HTML (`<select>` per attribute) — the Figure 3
     /// page.
+    ///
+    /// The markup is self-describing: every `<select>` carries a
+    /// `data-kind` (`boolean` / `categorical` / `numeric`), numeric options
+    /// carry their bucket bounds as `data-lo`/`data-hi` (Debug-formatted
+    /// floats, which round-trip exactly), and the site's measures are
+    /// listed in a `<ul class="measures">`. A scraper can therefore
+    /// reconstruct the *typed* schema from the page alone — see
+    /// [`scrape_form_page`](crate::scrape::scrape_form_page).
     pub fn render_html(&self) -> String {
+        self.render_html_inner(None)
+    }
+
+    /// [`render_html`](WebForm::render_html) plus site metadata on the
+    /// `<form>` tag: `data-hds-k` (the top-k display limit) and
+    /// `data-hds-count` (`yes`/`no` count-banner support). Served landing
+    /// pages use this variant so schema discovery needs nothing beyond one
+    /// fetch of `/`.
+    pub fn render_html_with_meta(&self, k: usize, supports_count: bool) -> String {
+        self.render_html_inner(Some((k, supports_count)))
+    }
+
+    fn render_html_inner(&self, meta: Option<(usize, bool)>) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "<form action=\"{}\" method=\"get\">",
+            "<form action=\"{}\" method=\"get\"",
             escape_html(&self.action)
         );
+        if let Some((k, supports_count)) = meta {
+            let _ = write!(
+                out,
+                " data-hds-k=\"{k}\" data-hds-count=\"{}\"",
+                if supports_count { "yes" } else { "no" }
+            );
+        }
+        let _ = writeln!(out, ">");
         for (_, attr) in self.schema.iter() {
             let name = escape_html(attr.name());
+            let kind = match attr.kind() {
+                AttrKind::Boolean => "boolean",
+                AttrKind::Categorical { .. } => "categorical",
+                AttrKind::Numeric { .. } => "numeric",
+            };
             let _ = writeln!(out, "  <label for=\"{name}\">{name}</label>");
-            let _ = writeln!(out, "  <select name=\"{name}\" id=\"{name}\">");
+            let _ = writeln!(
+                out,
+                "  <select name=\"{name}\" id=\"{name}\" data-kind=\"{kind}\">"
+            );
             let _ = writeln!(out, "    <option value=\"\" selected>any</option>");
-            for v in attr.domain() {
-                let label = escape_html(&attr.label(v));
-                let _ = writeln!(out, "    <option value=\"{label}\">{label}</option>");
+            if let AttrKind::Numeric { buckets } = attr.kind() {
+                for b in buckets {
+                    let label = escape_html(&b.label);
+                    let _ = writeln!(
+                        out,
+                        "    <option value=\"{label}\" data-lo=\"{:?}\" data-hi=\"{:?}\">{label}</option>",
+                        b.lo, b.hi
+                    );
+                }
+            } else {
+                for v in attr.domain() {
+                    let label = escape_html(&attr.label(v));
+                    let _ = writeln!(out, "    <option value=\"{label}\">{label}</option>");
+                }
             }
             let _ = writeln!(out, "  </select>");
         }
         let _ = writeln!(out, "  <input type=\"submit\" value=\"Search\"/>");
+        if !self.schema.measures().is_empty() {
+            let _ = writeln!(out, "  <ul class=\"measures\">");
+            for m in self.schema.measures() {
+                let _ = writeln!(out, "    <li>{}</li>", escape_html(m.name()));
+            }
+            let _ = writeln!(out, "  </ul>");
+        }
         let _ = writeln!(out, "</form>");
         out
     }

@@ -521,6 +521,15 @@ fn response_to_result(resp: ParsedResponse) -> Result<String, InterfaceError> {
                 Err(InterfaceError::Throttled { retry_after_ms })
             }
         },
+        // A 400 is the server refusing the *request shape* itself — the
+        // client's schema has drifted from the served form. Rebuild the
+        // terminal in-process error (body carried verbatim) so remote
+        // drivers fail as fast as in-process ones instead of retrying.
+        400 => Err(InterfaceError::SchemaMismatch(if body.is_empty() {
+            "HTTP 400".into()
+        } else {
+            body
+        })),
         status => Err(InterfaceError::Transport(if body.is_empty() {
             format!("HTTP {status}")
         } else {

@@ -36,6 +36,13 @@
 //!   thread multiplexing S × W resumable walk machines over explicit
 //!   connections, pipelining hundreds of in-flight submissions where the
 //!   threaded driver would need hundreds of stacks;
+//! * [`locator`] — [`SiteLocator`], the one-string site grammar
+//!   (`local:…`, `http://…`, `replay:…`);
+//! * [`connect`] — the [`ConnectorRegistry`] resolving locators to ready
+//!   [`SiteTask`]s via scrape-based schema discovery off each site's `/`;
+//! * [`replay`] — [`RecordingTransport`] writing every exchange to a
+//!   JSONL tape, and [`ReplaySite`] serving one back byte-identically
+//!   with no server at all;
 //! * [`plan`] — [`RunPlan`], the single front door: one builder
 //!   (`target → walkers → driver → attach(sink)`) that executes any of
 //!   the drivers over simulated or live sites, streaming every accepted
@@ -46,12 +53,15 @@
 pub mod adapter;
 pub mod aio;
 pub mod chaos;
+pub mod connect;
 pub mod coop;
 pub mod driver;
 pub mod form;
 pub mod httpc;
+pub mod locator;
 pub mod plan;
 pub mod render;
+pub mod replay;
 pub mod scrape;
 pub mod transport;
 pub mod urlenc;
@@ -59,9 +69,13 @@ pub mod urlenc;
 pub use adapter::{QueryHandle, QueryPoll, WebFormInterface};
 pub use aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
 pub use chaos::{ChaosCounters, ChaosSpec, ChaosTransport, Decision, Fault, RetryPolicy};
+pub use connect::{BoxTransport, ConnectOptions, Connector, ConnectorRegistry};
 pub use coop::{CoopDriver, CoopSiteDetail};
 pub use driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
 pub use form::WebForm;
 pub use httpc::HttpTransport;
+pub use locator::SiteLocator;
 pub use plan::{Driver, RunPlan, RunReport};
+pub use replay::{RecordingTransport, ReplaySite, TapeEntry};
+pub use scrape::{scrape_form_page, DiscoveredForm};
 pub use transport::{Clocked, LatencyTransport, LocalSite, Transport};

@@ -34,9 +34,11 @@ use hdsampler_model::{ConjunctiveQuery, Schema};
 
 use crate::adapter::WebFormInterface;
 use crate::aio::AsyncTransport;
+use crate::connect::{BoxTransport, ConnectOptions, ConnectorRegistry};
 use crate::coop::{CoopDriver, CoopSiteDetail};
 use crate::driver::{FleetConfig, FleetReport, MultiSiteDriver, SiteReport, SiteTask};
 use crate::httpc::HttpTransport;
+use crate::locator::SiteLocator;
 use crate::transport::{Clocked, Transport};
 
 /// Which execution engine a [`RunPlan`] uses.
@@ -210,6 +212,45 @@ impl<'a> RunPlan<'a> {
                 }
             }
         }
+    }
+
+    /// Connect every locator through the standard
+    /// [`ConnectorRegistry`] — building in-process sites, dialing live
+    /// servers, loading tapes, discovering each site's schema off its own
+    /// `/` — and execute the plan over the resulting *heterogeneous*
+    /// fleet. Returns the report and the tasks, so wire statistics and
+    /// per-site sinks remain inspectable.
+    ///
+    /// The fleet shares one [`FleetConfig`]; with per-site schemas, the
+    /// plan's `scope` must be empty or resolvable against every site.
+    ///
+    /// # Errors
+    /// The first locator that fails to connect (unknown dataset,
+    /// unreachable host, missing tape, unscrapable landing page).
+    pub fn run_locators(
+        self,
+        locators: &[SiteLocator],
+    ) -> Result<(RunReport, Vec<SiteTask<BoxTransport>>), String> {
+        self.run_locators_with(locators, &ConnectOptions::default())
+    }
+
+    /// [`run_locators`](RunPlan::run_locators) with explicit
+    /// [`ConnectOptions`] (e.g. recording the session to a tape).
+    pub fn run_locators_with(
+        self,
+        locators: &[SiteLocator],
+        opts: &ConnectOptions,
+    ) -> Result<(RunReport, Vec<SiteTask<BoxTransport>>), String> {
+        if locators.is_empty() {
+            return Err("run_locators: empty locator list".into());
+        }
+        let registry = ConnectorRegistry::standard();
+        let mut tasks = locators
+            .iter()
+            .map(|loc| registry.connect(loc, opts))
+            .collect::<Result<Vec<_>, String>>()?;
+        let report = self.run(&mut tasks);
+        Ok((report, tasks))
     }
 
     /// Build one [`SiteTask`] per live server address over real TCP and

@@ -7,7 +7,9 @@
 //! [`InterfaceError::Parse`] — the error a real scraper must handle when a
 //! site changes its markup.
 
-use hdsampler_model::{DomIx, InterfaceError, QueryResponse, Row, Schema};
+use hdsampler_model::{
+    Attribute, Bucket, DomIx, InterfaceError, Measure, QueryResponse, Row, Schema, SchemaBuilder,
+};
 
 use crate::render::unescape_html;
 
@@ -115,6 +117,188 @@ pub fn scrape_results_page(schema: &Schema, html: &str) -> Result<QueryResponse,
         rows,
         overflow,
         reported_count,
+    })
+}
+
+/// Everything schema discovery learns from one fetch of a site's form
+/// page: the typed schema (attribute kinds, vocabularies, numeric bucket
+/// bounds, measures), the submit action, and the site's interface
+/// parameters (top-k limit, count-banner support).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredForm {
+    /// The reconstructed schema.
+    pub schema: Schema,
+    /// The form's submit path (e.g. `/search`).
+    pub action: String,
+    /// The advertised top-k display limit (`data-hds-k`).
+    pub k: usize,
+    /// Whether the site prints a count banner (`data-hds-count`).
+    pub supports_count: bool,
+}
+
+/// Extract the value of `name="..."` from one tag's attribute text.
+///
+/// The needle must start the text or follow whitespace, so `lo` never
+/// matches inside `data-lo`. Values are entity-unescaped; a literal `"`
+/// can never appear inside one (it renders as `&quot;`), so the closing
+/// quote is unambiguous.
+fn tag_attr(tag: &str, name: &str) -> Option<String> {
+    let needle = format!("{name}=\"");
+    let mut pos = 0;
+    while let Some(rel) = tag[pos..].find(&needle) {
+        let start = pos + rel;
+        let vstart = start + needle.len();
+        let vend = tag[vstart..].find('"')? + vstart;
+        if start == 0 || tag[..start].ends_with(|c: char| c.is_whitespace()) {
+            return Some(unescape_html(&tag[vstart..vend]));
+        }
+        pos = vend + 1;
+    }
+    None
+}
+
+/// All elements `<tag ...>inner</tag>` within `fragment`, as
+/// `(attribute_text, inner_text)` pairs (non-nested, as rendered).
+fn elements<'a>(fragment: &'a str, tag: &str) -> Vec<(&'a str, &'a str)> {
+    let open_prefix = format!("<{tag}");
+    let close = format!("</{tag}>");
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(rel) = fragment[pos..].find(&open_prefix) {
+        let tag_start = pos + rel;
+        let attrs_start = tag_start + open_prefix.len();
+        let Some(gt) = fragment[attrs_start..].find('>') else {
+            break;
+        };
+        let content_start = attrs_start + gt + 1;
+        let Some(rel_end) = fragment[content_start..].find(&close) else {
+            break;
+        };
+        out.push((
+            &fragment[attrs_start..attrs_start + gt],
+            &fragment[content_start..content_start + rel_end],
+        ));
+        pos = content_start + rel_end + close.len();
+    }
+    out
+}
+
+fn parse_err(msg: impl Into<String>) -> InterfaceError {
+    InterfaceError::Parse(msg.into())
+}
+
+/// Rebuild one attribute from its `<select>` element.
+fn scrape_select(attrs: &str, inner: &str) -> Result<Attribute, InterfaceError> {
+    let name = tag_attr(attrs, "name").ok_or_else(|| parse_err("form select carries no name"))?;
+    let kind = tag_attr(attrs, "data-kind")
+        .ok_or_else(|| parse_err(format!("select `{name}` carries no data-kind")))?;
+    let mut labels: Vec<String> = Vec::new();
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for (o_attrs, _) in elements(inner, "option") {
+        let value = tag_attr(o_attrs, "value")
+            .ok_or_else(|| parse_err(format!("option of `{name}` carries no value")))?;
+        if value.is_empty() {
+            // The "any" placeholder — not a domain value.
+            continue;
+        }
+        if kind == "numeric" {
+            let bound = |which: &str| -> Result<f64, InterfaceError> {
+                tag_attr(o_attrs, which)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| {
+                        parse_err(format!(
+                            "numeric option `{value}` of `{name}` has no parseable {which}"
+                        ))
+                    })
+            };
+            buckets.push(Bucket::new(bound("data-lo")?, bound("data-hi")?, value));
+        } else {
+            labels.push(value);
+        }
+    }
+    match kind.as_str() {
+        "boolean" => {
+            if labels != ["no", "yes"] {
+                return Err(parse_err(format!(
+                    "boolean select `{name}` lists {labels:?}, expected [\"no\", \"yes\"]"
+                )));
+            }
+            Ok(Attribute::boolean(name))
+        }
+        "categorical" => Attribute::categorical(&name, labels)
+            .map_err(|e| parse_err(format!("select `{name}`: {e}"))),
+        "numeric" => Attribute::numeric(&name, buckets)
+            .map_err(|e| parse_err(format!("select `{name}`: {e}"))),
+        other => Err(parse_err(format!(
+            "select `{name}` has unknown data-kind `{other}`"
+        ))),
+    }
+}
+
+/// Scrape a served form page back into a [`DiscoveredForm`] — the typed
+/// schema, submit action, k, and count support, reconstructed from the
+/// markup [`WebForm::render_html_with_meta`](crate::form::WebForm::render_html_with_meta)
+/// emits. This is the whole of schema discovery: a connector fetches `/`
+/// once and needs no configuration beyond the site's address.
+///
+/// # Errors
+/// [`InterfaceError::Parse`] when the page has no form, the form lacks
+/// the `data-hds-k`/`data-hds-count` metadata, or any select/option is
+/// malformed.
+pub fn scrape_form_page(html: &str) -> Result<DiscoveredForm, InterfaceError> {
+    let form_start = html
+        .find("<form")
+        .ok_or_else(|| parse_err("page carries no <form>"))?;
+    let form_tag_end = html[form_start..]
+        .find('>')
+        .map(|e| form_start + e)
+        .ok_or_else(|| parse_err("form tag unterminated"))?;
+    let form_attrs = &html[form_start + "<form".len()..form_tag_end];
+    let form_end = html[form_tag_end..]
+        .find("</form>")
+        .map(|e| form_tag_end + e)
+        .ok_or_else(|| parse_err("form unterminated"))?;
+    let form_body = &html[form_tag_end + 1..form_end];
+
+    let action =
+        tag_attr(form_attrs, "action").ok_or_else(|| parse_err("form carries no action"))?;
+    let k: usize = tag_attr(form_attrs, "data-hds-k")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("form advertises no top-k limit (data-hds-k)"))?;
+    let supports_count = match tag_attr(form_attrs, "data-hds-count").as_deref() {
+        Some("yes") => true,
+        Some("no") => false,
+        _ => {
+            return Err(parse_err(
+                "form advertises no count support (data-hds-count)",
+            ))
+        }
+    };
+
+    let mut builder = SchemaBuilder::new();
+    let selects = elements(form_body, "select");
+    if selects.is_empty() {
+        return Err(parse_err("form has no select fields"));
+    }
+    for (attrs, inner) in selects {
+        builder = builder.attribute(scrape_select(attrs, inner)?);
+    }
+    if let Some((_, ul)) = elements(form_body, "ul")
+        .into_iter()
+        .find(|(attrs, _)| tag_attr(attrs, "class").as_deref() == Some("measures"))
+    {
+        for li in cell_texts(ul, "li") {
+            builder = builder.measure(Measure::new(unescape_html(li.trim())));
+        }
+    }
+    let schema = builder
+        .finish()
+        .map_err(|e| parse_err(format!("scraped form is not a valid schema: {e}")))?;
+    Ok(DiscoveredForm {
+        schema,
+        action,
+        k,
+        supports_count,
     })
 }
 

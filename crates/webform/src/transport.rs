@@ -101,9 +101,19 @@ impl<F: FormInterface> LocalSite<F> {
 
 impl<F: FormInterface> Transport for LocalSite<F> {
     fn fetch(&self, path: &str) -> Result<String, InterfaceError> {
-        // Route first: only the form's action is served. A request off it
-        // (e.g. `/nosuchpage?make=Honda`) is a 404, not a form parse.
+        // Route first: only the form's action (and the landing page) is
+        // served. A request off them (e.g. `/nosuchpage?make=Honda`) is a
+        // 404, not a form parse.
         let route = path.split_once('?').map_or(path, |(p, _)| p);
+        if route == "/" && self.form.action() != "/" {
+            // The landing page: the self-describing form, the same markup a
+            // live server's `/` serves — so schema discovery works
+            // identically against in-process, HTTP and replayed sites.
+            return Ok(self.form.render_html_with_meta(
+                self.backend.result_limit(),
+                self.backend.supports_count(),
+            ));
+        }
         if route != self.form.action() {
             return Err(InterfaceError::Transport(format!(
                 "404 not found: `{route}` (this site serves `{}`)",
@@ -113,7 +123,7 @@ impl<F: FormInterface> Transport for LocalSite<F> {
         let query = self
             .form
             .parse_request_path(path)
-            .map_err(|e| InterfaceError::Transport(format!("400 bad request: {e}")))?;
+            .map_err(|e| InterfaceError::SchemaMismatch(format!("400 bad request: {e}")))?;
         let response = self.backend.execute(&query)?;
         Ok(render_results_page(
             self.form.schema(),
@@ -381,17 +391,28 @@ mod tests {
     }
 
     #[test]
-    fn bad_requests_are_transport_errors() {
+    fn bad_requests_are_schema_mismatches() {
         let site = site();
         let err = site.fetch("/search?bogus=1").unwrap_err();
-        assert!(matches!(err, InterfaceError::Transport(msg) if msg.contains("400")));
+        assert!(matches!(err, InterfaceError::SchemaMismatch(msg) if msg.contains("400")));
+    }
+
+    #[test]
+    fn landing_page_serves_the_discoverable_form() {
+        let site = site();
+        let page = site.fetch("/").unwrap();
+        let form = crate::scrape::scrape_form_page(&page).unwrap();
+        assert_eq!(&form.schema, site.form().schema().as_ref());
+        assert_eq!(form.action, "/search");
+        assert_eq!(form.k, 1);
+        assert!(!form.supports_count);
     }
 
     #[test]
     fn requests_off_the_form_action_are_404() {
         let site = site();
         // A valid query string does not rescue a wrong path.
-        for path in ["/nosuchpage?make=Honda", "/", "/search/extra", "/Search"] {
+        for path in ["/nosuchpage?make=Honda", "/search/extra", "/Search"] {
             let err = site.fetch(path).unwrap_err();
             assert!(
                 matches!(&err, InterfaceError::Transport(msg) if msg.contains("404")),

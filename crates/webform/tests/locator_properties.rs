@@ -1,0 +1,133 @@
+//! Property tests for the locator grammar and scrape-based schema
+//! discovery.
+//!
+//! * parse ∘ Display is the identity on every structurally valid
+//!   [`SiteLocator`] — locators survive being printed into reports and CI
+//!   logs and pasted back;
+//! * [`SiteLocator::parse`] never panics, whatever junk it is fed;
+//! * a form page rendered with [`WebForm::render_html_with_meta`] scrapes
+//!   back ([`scrape_form_page`]) to the *exact* original schema —
+//!   vocabularies, bucket bounds, measures — plus the advertised k and
+//!   count support, which is the invariant `sample http://addr` with zero
+//!   schema flags rests on.
+
+use std::sync::Arc;
+
+use hdsampler_model::{Attribute, Bucket, Measure, SchemaBuilder};
+use hdsampler_webform::{scrape_form_page, SiteLocator, WebForm};
+use proptest::prelude::*;
+
+/// Map indices onto the dataset-name charset `[A-Za-z0-9._-]`.
+fn dataset_name(ix: &[usize]) -> String {
+    const POOL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    ix.iter().map(|&i| POOL[i % POOL.len()] as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(Display(loc)) == loc for every structurally valid locator,
+    /// including parameter keys/values full of `&`, `=`, `%` and
+    /// multi-byte UTF-8 (percent-encoding shields them).
+    #[test]
+    fn locator_display_parse_identity(
+        variant in 0u8..3,
+        name_ix in prop::collection::vec(0usize..1000, 1..12),
+        params in prop::collection::vec(("\\PC*", "\\PC*"), 0..5),
+        port in 1u32..60_000,
+        path in "\\PC*",
+    ) {
+        let loc = match variant {
+            0 => SiteLocator::Local {
+                dataset: dataset_name(&name_ix),
+                // Keys must be non-empty; an index prefix guarantees it.
+                params: params
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (k, v))| (format!("k{i}{k}"), v))
+                    .collect(),
+            },
+            1 => SiteLocator::Http {
+                addr: format!("10.1.2.3:{port}"),
+            },
+            _ => {
+                prop_assume!(!path.is_empty());
+                SiteLocator::Replay { path }
+            }
+        };
+        let printed = loc.to_string();
+        prop_assert_eq!(SiteLocator::parse(&printed).unwrap(), loc, "{}", printed);
+    }
+
+    /// Arbitrary junk — bare, or behind each scheme prefix — parses to
+    /// `Ok` or `Err`, never a panic.
+    #[test]
+    fn junk_never_panics(s in "\\PC*", prefix in 0u8..5) {
+        let candidate = match prefix {
+            0 => s,
+            1 => format!("local:{s}"),
+            2 => format!("http://{s}"),
+            3 => format!("replay:{s}"),
+            _ => format!("{s}:{s}"),
+        };
+        let _ = SiteLocator::parse(&candidate);
+    }
+
+    /// Scrape-based discovery is lossless: rendered form page → scraped
+    /// [`DiscoveredForm`](hdsampler_webform::DiscoveredForm) reproduces
+    /// the schema (labels, bucket bounds, measures), k and count support
+    /// exactly.
+    #[test]
+    fn discovery_reconstructs_the_schema(
+        kinds in prop::collection::vec(0u8..3, 1..6),
+        labels in prop::collection::vec("\\PC*", 18),
+        starts in prop::collection::vec(-1.0e6f64..1.0e6, 6),
+        widths in prop::collection::vec(0.5f64..1.0e3, 18),
+        measures in prop::collection::vec("\\PC*", 0..4),
+        k in 1usize..5_000,
+        supports_count in any::<bool>(),
+    ) {
+        let mut builder = SchemaBuilder::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            let attr = match kind {
+                0 => Attribute::boolean(format!("attr{i}")),
+                1 => {
+                    // A numbered prefix keeps generated labels unique and
+                    // non-empty; the generator supplies the hostile part.
+                    let ls: Vec<String> = (0..3)
+                        .map(|j| format!("{j}#{}", labels[(i * 3 + j) % labels.len()]))
+                        .collect();
+                    Attribute::categorical(
+                        format!("attr{i}"),
+                        ls.iter().map(|s| s.as_str()),
+                    )
+                    .unwrap()
+                }
+                _ => {
+                    let mut lo = starts[i % starts.len()];
+                    let buckets: Vec<Bucket> = (0..3)
+                        .map(|j| {
+                            let hi = lo + widths[(i * 3 + j) % widths.len()];
+                            let b = Bucket::new(lo, hi, format!("{lo:?} to {hi:?}"));
+                            lo = hi;
+                            b
+                        })
+                        .collect();
+                    Attribute::numeric(format!("attr{i}"), buckets).unwrap()
+                }
+            };
+            builder = builder.attribute(attr);
+        }
+        for (i, m) in measures.iter().enumerate() {
+            builder = builder.measure(Measure::new(format!("m{i}{m}")));
+        }
+        let schema = builder.finish().unwrap().into_shared();
+        let form = WebForm::new(Arc::clone(&schema), "/search");
+        let page = form.render_html_with_meta(k, supports_count);
+        let found = scrape_form_page(&page).unwrap();
+        prop_assert_eq!(&found.schema, schema.as_ref());
+        prop_assert_eq!(found.action.as_str(), "/search");
+        prop_assert_eq!(found.k, k);
+        prop_assert_eq!(found.supports_count, supports_count);
+    }
+}

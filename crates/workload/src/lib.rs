@@ -19,11 +19,15 @@
 //! * [`paper`] — the literal 4-tuple database of the paper's Figure 1;
 //! * [`spec`] — serializable workload descriptions that build complete
 //!   [`HiddenDb`](hdsampler_hidden_db::HiddenDb) instances reproducibly
-//!   from a seed.
+//!   from a seed;
+//! * [`registry`] — the named dataset table every surface (CLI flags,
+//!   `local:` site locators) resolves through, with early rejection and
+//!   nearest-match hints for unknown names.
 
 pub mod boolean;
 pub mod categorical;
 pub mod paper;
+pub mod registry;
 pub mod spec;
 pub mod vehicles;
 pub mod zipf;
@@ -31,6 +35,7 @@ pub mod zipf;
 pub use boolean::{boolean_correlated, boolean_iid};
 pub use categorical::zipf_categorical;
 pub use paper::figure1_db;
+pub use registry::{dataset_names, resolve as resolve_dataset, DatasetDef};
 pub use spec::{DataSpec, DbConfig, WorkloadSpec};
 pub use vehicles::{vehicles_compact, vehicles_full, VehiclesSpec};
 pub use zipf::Zipf;
