@@ -16,6 +16,7 @@ COMMANDS:
   validate    compare sampled marginals against the simulation's truth
   multi-site  drive a fleet of sites concurrently (virtual or real wire)
   serve       put the simulated site behind a real HTTP front door
+  trace       analyze a trace journal or follow a live /events stream
 
 COMMON OPTIONS:
   --source <name>      dataset registry name: vehicles-compact, vehicles-full,
@@ -29,6 +30,19 @@ COMMON OPTIONS:
   --bind attr=label    pin a binding (repeatable; Figure 3 style scoping)
   --budget <Q>         per-session query limit
   --counts <absent|exact|noisy>  count banner mode         (default absent)
+
+OBSERVABILITY (sample, multi-site, serve):
+  --trace <path>       journal trace events to JSONL — sample/multi-site:
+                       the run's span stream (full fidelity under --driver
+                       coop, accepted samples otherwise); serve: the
+                       per-request log, written at graceful shutdown.
+                       Seeded virtual-wire journals replay bit-identically
+  --metrics <value>    sample/multi-site: loopback port for a live
+                       telemetry server exposing /metrics + /events while
+                       the run progresses (0 = ephemeral, address printed);
+                       serve: file path receiving the final Prometheus
+                       exposition at shutdown (the live /metrics endpoint
+                       is always on)
 
 sample:
   <locator>            sample any site named by one locator string instead of
@@ -93,6 +107,14 @@ serve:
                        killed)
   --chaos <spec>       serve through a fault-injecting adversary (grammar as
                        under multi-site; sleeps are real wall-clock here)
+
+trace:
+  report <journal.jsonl>   per-stage latency breakdown (queue/service/
+                           backoff), cache hit rates and the critical-path
+                           summary of a --trace journal
+  watch <host:port>        follow a live server's /events stream — the
+                           remote face of --watch, printing the streaming
+                           progress line for every accepted-sample event
 ";
 
 /// Parsed command line.
@@ -127,6 +149,11 @@ pub enum Command {
         coop_conns: Option<usize>,
         /// Re-render live histograms from streaming snapshots mid-run.
         watch: bool,
+        /// Journal the run's trace events to this JSONL path.
+        trace: Option<String>,
+        /// Loopback port for a live telemetry server (`/metrics` +
+        /// `/events`) over the run.
+        metrics: Option<String>,
     },
     /// Aggregate console.
     Aggregate {
@@ -170,6 +197,11 @@ pub enum Command {
         /// With `--driver coop`: reassign finished sites' walkers to the
         /// hungriest site still sampling.
         steal: bool,
+        /// Journal the run's trace events to this JSONL path.
+        trace: Option<String>,
+        /// Loopback port for a live telemetry server (`/metrics` +
+        /// `/events`) over the run.
+        metrics: Option<String>,
     },
     /// Serve the simulated site over real HTTP.
     Serve {
@@ -182,6 +214,30 @@ pub enum Command {
         serve_for: Option<u64>,
         /// Seeded fault schedule the served site hides behind.
         chaos: Option<ChaosSpec>,
+        /// Journal the per-request log to this JSONL path at shutdown.
+        trace: Option<String>,
+        /// Write the final `/metrics` exposition to this file at shutdown.
+        metrics: Option<String>,
+    },
+    /// Observability tooling over journals and live event streams.
+    Trace {
+        /// What to do.
+        action: TraceAction,
+    },
+}
+
+/// The `trace` subcommand's actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceAction {
+    /// Summarize a `--trace` journal: per-stage latency and critical path.
+    Report {
+        /// Path to the JSONL journal.
+        journal: String,
+    },
+    /// Follow a live server's `/events` stream (`--watch`'s remote mode).
+    Watch {
+        /// `host:port` of a running `hdsampler serve` or `--metrics` plane.
+        addr: String,
     },
 }
 
@@ -276,6 +332,9 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut locator = None;
     let mut site_locators: Vec<String> = Vec::new();
     let mut record = None;
+    let mut trace_path = None;
+    let mut metrics = None;
+    let mut trace_words: Vec<String> = Vec::new();
     let mut sites_set = false;
     let mut latency_set = false;
     let mut jitter_set = false;
@@ -416,9 +475,21 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             "--attr" => validate_attr = Some(value("--attr")?.clone()),
             "--site" => site_locators.push(value("--site")?.clone()),
             "--record" => record = Some(value("--record")?.clone()),
+            "--trace" => trace_path = Some(value("--trace")?.clone()),
+            "--metrics" => metrics = Some(value("--metrics")?.clone()),
             other if !other.starts_with('-') => {
-                // A bare word is `sample`'s positional locator — nothing
-                // else takes positionals.
+                // A bare word is `sample`'s positional locator or one of
+                // `trace`'s action words — nothing else takes positionals.
+                if command_word == "trace" {
+                    if trace_words.len() == 2 {
+                        return Err(format!(
+                            "unexpected argument `{other}` (trace takes an action \
+                             and one operand)"
+                        ));
+                    }
+                    trace_words.push(other.to_string());
+                    continue;
+                }
                 if command_word != "sample" {
                     return Err(format!(
                         "unexpected argument `{other}` (only `sample` takes a \
@@ -466,6 +537,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
              exchanges with `sample <locator> --record <path>`)"
         ));
     }
+    if trace_path.is_some() && !matches!(command_word.as_str(), "sample" | "multi-site" | "serve") {
+        return Err(format!("--trace does not apply to `{command_word}`"));
+    }
+    if metrics.is_some() && !matches!(command_word.as_str(), "sample" | "multi-site" | "serve") {
+        return Err(format!("--metrics does not apply to `{command_word}`"));
+    }
 
     let command = match command_word.as_str() {
         "describe" => Command::Describe,
@@ -491,6 +568,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 coop_walkers,
                 coop_conns,
                 watch,
+                trace: trace_path,
+                metrics,
             }
         }
         "aggregate" => Command::Aggregate { proportions, avgs },
@@ -558,6 +637,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 watch,
                 chaos,
                 steal,
+                trace: trace_path,
+                metrics,
             }
         }
         "serve" => Command::Serve {
@@ -565,7 +646,42 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             workers: serve_workers,
             serve_for,
             chaos,
+            trace: trace_path,
+            metrics,
         },
+        "trace" => {
+            let mut words = trace_words.into_iter();
+            let action = match (words.next(), words.next()) {
+                (Some(a), Some(operand)) => match a.as_str() {
+                    "report" => TraceAction::Report { journal: operand },
+                    "watch" => TraceAction::Watch { addr: operand },
+                    other => {
+                        return Err(format!(
+                            "unknown trace action `{other}` (expected `report` or `watch`)"
+                        ))
+                    }
+                },
+                (Some(a), None) => {
+                    return Err(match a.as_str() {
+                        "report" => "trace report needs a journal path \
+                                     (`trace report <journal.jsonl>`)"
+                            .into(),
+                        "watch" => {
+                            "trace watch needs an address (`trace watch <host:port>`)".into()
+                        }
+                        other => {
+                            format!("unknown trace action `{other}` (expected `report` or `watch`)")
+                        }
+                    })
+                }
+                (None, _) => {
+                    return Err("trace needs an action: `trace report <journal.jsonl>` \
+                                or `trace watch <host:port>`"
+                        .into())
+                }
+            };
+            Command::Trace { action }
+        }
         other => return Err(format!("unknown command `{other}`")),
     };
     Ok(Cli { command, common })
@@ -623,6 +739,8 @@ mod tests {
                 coop_walkers: None,
                 coop_conns: None,
                 watch: false,
+                trace: None,
+                metrics: None,
             }
         );
     }
@@ -687,6 +805,8 @@ mod tests {
                 watch: false,
                 chaos: None,
                 steal: false,
+                trace: None,
+                metrics: None,
             }
         );
         assert_eq!(cli.common.samples, 80);
@@ -706,6 +826,8 @@ mod tests {
                 watch: false,
                 chaos: None,
                 steal: false,
+                trace: None,
+                metrics: None,
             }
         );
         assert!(parse(&argv(&["multi-site", "--sites", "0"])).is_err());
@@ -737,6 +859,8 @@ mod tests {
                 watch: false,
                 chaos: None,
                 steal: false,
+                trace: None,
+                metrics: None,
             }
         );
         assert!(parse(&argv(&["multi-site", "--latency", "50,0,100"])).is_err());
@@ -765,6 +889,8 @@ mod tests {
                 workers: 8,
                 serve_for: Some(30),
                 chaos: None,
+                trace: None,
+                metrics: None,
             }
         );
         assert_eq!(cli.common.source, "boolean", "--dataset aliases --source");
@@ -777,6 +903,8 @@ mod tests {
                 workers: 4,
                 serve_for: None,
                 chaos: None,
+                trace: None,
+                metrics: None,
             }
         );
         assert!(parse(&argv(&["serve", "--workers", "0"])).is_err());
@@ -809,6 +937,8 @@ mod tests {
                 coop_walkers: Some(64),
                 coop_conns: Some(4),
                 watch: false,
+                trace: None,
+                metrics: None,
             }
         );
         let fleet = parse(&argv(&["multi-site", "--driver", "coop"])).unwrap();
@@ -1000,6 +1130,72 @@ mod tests {
             "both"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_flags() {
+        let cli = parse(&argv(&["sample", "--trace", "run.jsonl", "--metrics", "0"])).unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Sample {
+                trace: Some(ref t),
+                metrics: Some(ref m),
+                ..
+            } if t == "run.jsonl" && m == "0"
+        ));
+        let fleet = parse(&argv(&["multi-site", "--trace", "fleet.jsonl"])).unwrap();
+        assert!(matches!(
+            fleet.command,
+            Command::MultiSite { trace: Some(ref t), .. } if t == "fleet.jsonl"
+        ));
+        let served = parse(&argv(&[
+            "serve",
+            "--trace",
+            "requests.jsonl",
+            "--metrics",
+            "final.prom",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            served.command,
+            Command::Serve {
+                trace: Some(ref t),
+                metrics: Some(ref m),
+                ..
+            } if t == "requests.jsonl" && m == "final.prom"
+        ));
+        // Never silently ignored elsewhere.
+        assert!(parse(&argv(&["describe", "--trace", "x.jsonl"])).is_err());
+        assert!(parse(&argv(&["aggregate", "--metrics", "0"])).is_err());
+        assert!(parse(&argv(&["validate", "--trace", "x.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn trace_subcommand() {
+        let report = parse(&argv(&["trace", "report", "run.jsonl"])).unwrap();
+        assert_eq!(
+            report.command,
+            Command::Trace {
+                action: TraceAction::Report {
+                    journal: "run.jsonl".into()
+                }
+            }
+        );
+        let watch = parse(&argv(&["trace", "watch", "127.0.0.1:8000"])).unwrap();
+        assert_eq!(
+            watch.command,
+            Command::Trace {
+                action: TraceAction::Watch {
+                    addr: "127.0.0.1:8000".into()
+                }
+            }
+        );
+        // Missing or bogus actions and operands fail loudly.
+        assert!(parse(&argv(&["trace"])).is_err());
+        assert!(parse(&argv(&["trace", "report"])).is_err());
+        assert!(parse(&argv(&["trace", "watch"])).is_err());
+        assert!(parse(&argv(&["trace", "psychic", "x"])).is_err());
+        assert!(parse(&argv(&["trace", "report", "a.jsonl", "b.jsonl"])).is_err());
     }
 
     #[test]

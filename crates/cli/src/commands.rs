@@ -4,21 +4,26 @@ use std::io::Write as _;
 use std::sync::Arc;
 
 use hdsampler_core::{
-    CachingExecutor, HdsSampler, SampleSet, SamplerConfig, SamplingSession, SessionEvent,
+    CachingExecutor, HdsSampler, MetricsRegistry, MetricsSink, SampleSet, SamplerConfig,
+    SamplerStats, SamplingSession, SessionEvent, TraceEvent, TraceLog,
 };
 use hdsampler_estimator::{fmt_stat, Estimator, Histogram, MarginalComparison, OnlineFrequencies};
 use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
-use hdsampler_server::{Adversary, HttpServer, ServerConfig};
+use hdsampler_server::{
+    render_server_metrics, Adversary, BridgeSink, HttpServer, Response, ServerConfig, ServerHandle,
+    SiteBehavior,
+};
 use hdsampler_webform::{
-    AsyncTransport, BoxTransport, ChaosSpec, ChaosTransport, Clocked, ConnectOptions,
-    ConnectorRegistry, Driver, LatencyTransport, LocalSite, RetryPolicy, RunPlan, RunReport,
-    SiteLocator, SiteReport, SiteTask, Transport, WebForm, WebFormInterface,
+    read_journal, summarize, watch_events, write_journal, AsyncTransport, BoxTransport, ChaosSpec,
+    ChaosTransport, Clocked, ConnectOptions, ConnectorRegistry, Driver, LatencyTransport,
+    LocalSite, RetryPolicy, RunPlan, RunReport, SiteLocator, SiteReport, SiteTask, Transport,
+    WebForm, WebFormInterface,
 };
 use hdsampler_workload::{resolve_dataset, DbConfig, WorkloadSpec};
 
-use crate::args::{Cli, Command, Common, DriverMode};
-use crate::display::{self, ProgressSink, WatchSink};
+use crate::args::{Cli, Command, Common, DriverMode, TraceAction};
+use crate::display::{self, progress_line, ProgressSink, WatchSink};
 
 /// Build one simulated hidden database from the common options with an
 /// explicit seed (multi-site fleets give every site its own data).
@@ -145,6 +150,134 @@ fn local_locator_from_flags(common: &Common) -> SiteLocator {
     }
 }
 
+/// The `--trace` / `--metrics` options a run surface carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryOpts {
+    /// `--trace <path>`: journal the run's trace events to JSONL.
+    pub trace: Option<String>,
+    /// `--metrics <port>`: loopback port for a live telemetry server
+    /// exposing `/metrics` and `/events` over the run.
+    pub metrics: Option<String>,
+}
+
+impl TelemetryOpts {
+    fn new(trace: Option<String>, metrics: Option<String>) -> Self {
+        TelemetryOpts { trace, metrics }
+    }
+}
+
+/// The landing page of the embedded telemetry plane. `/metrics` and
+/// `/events` are answered by the server itself before routing reaches
+/// the site, so the only job here is pointing a browser at them.
+struct TelemetrySite;
+
+impl SiteBehavior for TelemetrySite {
+    fn get(&self, _target: &str) -> Response {
+        Response::text(
+            200,
+            "OK",
+            "hdsampler telemetry plane — scrape /metrics, stream /events\n".to_string(),
+        )
+    }
+}
+
+/// The live half of a run's observability, resolved from
+/// [`TelemetryOpts`]: a journal accumulator for `--trace`, and (for
+/// `--metrics <port>`) an embedded telemetry server whose registry
+/// aggregates the same trace stream and whose `/events` hub mirrors
+/// every accepted sample to remote watchers.
+struct PlanTelemetry {
+    journal: Option<String>,
+    log: TraceLog,
+    metrics_sink: Option<MetricsSink>,
+    bridge: Option<BridgeSink>,
+    plane: Option<ServerHandle>,
+}
+
+impl PlanTelemetry {
+    /// Resolve the flags, booting the telemetry server if one was asked
+    /// for (`--metrics 0` picks an ephemeral port; the bound address is
+    /// printed so a second terminal can `trace watch` it).
+    fn start(opts: &TelemetryOpts) -> Result<Self, String> {
+        let served = match &opts.metrics {
+            Some(port) => {
+                let port: u16 = port.parse().map_err(|_| {
+                    format!(
+                        "--metrics: `{port}` is not a port number (sample/multi-site \
+                         serve a live telemetry plane; 0 = ephemeral)"
+                    )
+                })?;
+                let registry = MetricsRegistry::new();
+                let cfg = ServerConfig {
+                    addr: format!("127.0.0.1:{port}"),
+                    workers: 2,
+                    metrics: Some(registry.clone()),
+                    ..ServerConfig::default()
+                };
+                let handle = HttpServer::serve(cfg, Arc::new(TelemetrySite))
+                    .map_err(|e| format!("cannot bind telemetry plane on 127.0.0.1:{port}: {e}"))?;
+                println!(
+                    "telemetry: http://{0} — scrape /metrics, stream /events \
+                     (`hdsampler trace watch {0}`)",
+                    handle.addr()
+                );
+                Some((handle, registry))
+            }
+            None => None,
+        };
+        let (plane, metrics_sink, bridge) = match served {
+            Some((handle, registry)) => {
+                let bridge = BridgeSink::new(handle.events());
+                (Some(handle), Some(MetricsSink::new(registry)), Some(bridge))
+            }
+            None => (None, None, None),
+        };
+        Ok(PlanTelemetry {
+            journal: opts.trace.clone(),
+            log: TraceLog::new(),
+            metrics_sink,
+            bridge,
+            plane,
+        })
+    }
+
+    /// Attach the resolved sinks to one plan. Called once per driver pass
+    /// (the journal accumulates across passes of `--driver both`).
+    fn attach<'a>(&'a mut self, mut plan: RunPlan<'a>) -> RunPlan<'a> {
+        if let Some(b) = self.bridge.as_mut() {
+            plan = plan.attach(b);
+        }
+        if self.journal.is_some() {
+            plan = plan.attach_trace(&mut self.log);
+        }
+        if let Some(m) = self.metrics_sink.as_mut() {
+            plan = plan.attach_trace(m);
+        }
+        plan
+    }
+
+    /// Write the journal and retire the telemetry server (ending any
+    /// `/events` watcher's stream cleanly).
+    fn finish(self) -> Result<(), String> {
+        if let Some(path) = &self.journal {
+            write_journal(std::path::Path::new(path), self.log.events())
+                .map_err(|e| format!("cannot write trace journal `{path}`: {e}"))?;
+            println!(
+                "trace: {} event(s) journaled to `{path}` — inspect with `trace report {path}`",
+                self.log.events().len()
+            );
+        }
+        if let Some(handle) = self.plane {
+            let stats = handle.shutdown();
+            println!(
+                "telemetry: plane served {} request(s) on {} connection(s)",
+                stats.requests, stats.connections
+            );
+        }
+        Ok(())
+    }
+}
+
 /// Execute a parsed command.
 pub fn run(cli: Cli) -> Result<(), String> {
     match cli.command {
@@ -156,6 +289,8 @@ pub fn run(cli: Cli) -> Result<(), String> {
             coop_walkers,
             coop_conns,
             watch,
+            trace,
+            metrics,
         } => sample(
             &cli.common,
             locator.as_deref(),
@@ -164,6 +299,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
             coop_walkers,
             coop_conns,
             watch,
+            &TelemetryOpts::new(trace, metrics),
         ),
         Command::Aggregate { proportions, avgs } => aggregate(&cli.common, &proportions, &avgs),
         Command::Validate { attr } => validate(&cli.common, attr.as_deref()),
@@ -178,7 +314,10 @@ pub fn run(cli: Cli) -> Result<(), String> {
             watch,
             chaos,
             steal,
+            trace,
+            metrics,
         } => {
+            let telemetry = TelemetryOpts::new(trace, metrics);
             if !site_locators.is_empty() {
                 return multi_site_locators(
                     &cli.common,
@@ -187,6 +326,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
                     mode,
                     coop_conns,
                     steal,
+                    &telemetry,
                 );
             }
             multi_site(
@@ -200,6 +340,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
                 watch,
                 chaos,
                 steal,
+                &telemetry,
             )
         }
         Command::Serve {
@@ -207,8 +348,49 @@ pub fn run(cli: Cli) -> Result<(), String> {
             workers,
             serve_for,
             chaos,
-        } => serve(&cli.common, port, workers, serve_for, chaos),
+            trace,
+            metrics,
+        } => serve(
+            &cli.common,
+            port,
+            workers,
+            serve_for,
+            chaos,
+            &TelemetryOpts::new(trace, metrics),
+        ),
+        Command::Trace { action } => match action {
+            TraceAction::Report { journal } => trace_report(&journal),
+            TraceAction::Watch { addr } => trace_watch(&addr),
+        },
     }
+}
+
+/// `trace report <journal.jsonl>`: per-stage latency breakdown and the
+/// critical-path summary of a `--trace` journal.
+fn trace_report(journal: &str) -> Result<(), String> {
+    let events = read_journal(std::path::Path::new(journal))?;
+    println!("{}", summarize(&events));
+    Ok(())
+}
+
+/// `trace watch <host:port>`: `--watch`'s remote mode — follow a live
+/// server's `/events` stream, re-rendering the streaming progress line
+/// for every accepted-sample event until the server closes the stream.
+fn trace_watch(addr: &str) -> Result<(), String> {
+    println!("watching http://{addr}/events — ends when the server closes the stream");
+    let mut out = std::io::stdout();
+    let delivered = watch_events(addr, |ev| {
+        let stats = SamplerStats {
+            queries_issued: ev.queries,
+            requests: ev.requests,
+            ..SamplerStats::default()
+        };
+        let _ = write!(out, "{}", progress_line(ev.collected, ev.target, &stats));
+        let _ = out.flush();
+        true
+    })?;
+    println!("\nstream closed after {delivered} accepted-sample event(s)");
+    Ok(())
 }
 
 /// Put the simulated site behind a real HTTP front door on 127.0.0.1,
@@ -219,6 +401,7 @@ fn serve(
     workers: usize,
     serve_for: Option<u64>,
     chaos: Option<ChaosSpec>,
+    telemetry: &TelemetryOpts,
 ) -> Result<(), String> {
     let db = build_db(common, common.seed)?;
     let schema = Arc::new(db.schema().clone());
@@ -244,6 +427,7 @@ fn serve(
         common.source,
         handle.addr()
     );
+    println!("telemetry: /metrics exposition and /events live stream on the same port");
     if let Some(adv) = &adversary {
         let spec = adv.spec();
         println!(
@@ -264,16 +448,51 @@ fn serve(
         Some(secs) => {
             println!("shutting down gracefully after {secs} s");
             std::thread::sleep(std::time::Duration::from_secs(secs));
+            let request_log = handle.request_log();
             let stats = handle.shutdown();
             println!(
-                "served {} requests on {} connections ({} ok / {} client-error / {} server-error), {} bytes out",
+                "served {} requests on {} connections ({} ok / {} client-error / {} server-error), {} bytes out / {} bytes in",
                 stats.requests,
                 stats.connections,
                 stats.responses_ok,
                 stats.responses_client_error,
                 stats.responses_server_error,
                 stats.bytes_out,
+                stats.bytes_in,
             );
+            println!(
+                "routes: {} landing, {} search, {} metrics, {} events, {} other",
+                stats.requests_landing,
+                stats.requests_search,
+                stats.requests_metrics,
+                stats.requests_events,
+                stats.requests_other,
+            );
+            if let Some(path) = &telemetry.metrics {
+                std::fs::write(path, render_server_metrics(&stats, None))
+                    .map_err(|e| format!("cannot write metrics exposition `{path}`: {e}"))?;
+                println!("metrics: final exposition written to `{path}`");
+            }
+            if let Some(path) = &telemetry.trace {
+                let events: Vec<TraceEvent> = request_log
+                    .iter()
+                    .map(|entry| TraceEvent {
+                        kind: "request".into(),
+                        detail: entry.target.clone(),
+                        tag: entry.trace.clone(),
+                        seq: entry.seq,
+                        code: u64::from(entry.status),
+                        ..TraceEvent::default()
+                    })
+                    .collect();
+                write_journal(std::path::Path::new(path), &events)
+                    .map_err(|e| format!("cannot write request journal `{path}`: {e}"))?;
+                println!(
+                    "trace: {} request(s) journaled to `{path}` (ring buffer keeps the last {})",
+                    events.len(),
+                    hdsampler_server::REQUEST_LOG_CAP,
+                );
+            }
             if let Some(adv) = &adversary {
                 let c = adv.counters();
                 println!(
@@ -394,6 +613,7 @@ fn multi_site_locators(
     mode: DriverMode,
     coop_conns: Option<usize>,
     steal: bool,
+    telemetry: &TelemetryOpts,
 ) -> Result<(), String> {
     if !common.binds.is_empty() {
         return Err("--bind does not combine with --site: fleet legs have \
@@ -425,21 +645,23 @@ fn multi_site_locators(
             if steal { ", stealing enabled" } else { "" }
         );
     }
-    let (report, _fleet) = RunPlan::target(common.samples)
+    let mut observers = PlanTelemetry::start(telemetry)?;
+    let plan = RunPlan::target(common.samples)
         .walkers(walkers)
         .seed(common.seed)
         .slider(common.slider)
         .driver(driver)
-        .steal(steal)
-        .run_locators(&locators)?;
+        .steal(steal);
+    let (report, _fleet) = observers.attach(plan).run_locators(&locators)?;
     println!("\n{}", display::fleet_report(&report.fleet));
-    Ok(())
+    observers.finish()
 }
 
 /// Drive one fleet through the chosen mode(s): the shared back half of
 /// `multi-site`, generic over the wire (virtual, chaos-wrapped, or real).
 /// `build` is called once up front and again for the serial pass of
 /// `--driver both` (each pass gets fresh clocks).
+#[allow(clippy::too_many_arguments)]
 fn drive_fleet<T, B>(
     common: &Common,
     build: B,
@@ -448,6 +670,7 @@ fn drive_fleet<T, B>(
     coop_conns: Option<usize>,
     watch: bool,
     steal: bool,
+    telemetry: &TelemetryOpts,
 ) -> Result<(), String>
 where
     T: Transport + AsyncTransport + Clocked + Send,
@@ -468,6 +691,7 @@ where
             .steal(steal)
     };
     let mut watch_sink = watch.then(|| fleet_watch_sink(&schema)).transpose()?;
+    let mut observers = PlanTelemetry::start(telemetry)?;
     if mode == DriverMode::Coop {
         println!(
             "driver: cooperative — one thread multiplexes every site's walkers{}",
@@ -477,9 +701,9 @@ where
         if let Some(w) = watch_sink.as_mut() {
             plan = plan.attach(w);
         }
-        let report = plan.run(&mut fleet);
+        let report = observers.attach(plan).run(&mut fleet);
         println!("\n{}", display::fleet_report(&report.fleet));
-        return Ok(());
+        return observers.finish();
     }
     let concurrent = match mode {
         DriverMode::Serial | DriverMode::Coop => None,
@@ -488,7 +712,7 @@ where
             if let Some(w) = watch_sink.as_mut() {
                 plan = plan.attach(w);
             }
-            let report = plan.run(&mut fleet);
+            let report = observers.attach(plan).run(&mut fleet);
             println!("\n{}", display::fleet_report(&report.fleet));
             Some(report)
         }
@@ -500,7 +724,7 @@ where
             if let Some(w) = watch_sink.as_mut() {
                 plan = plan.attach(w);
             }
-            let report = plan.run(&mut build()?);
+            let report = observers.attach(plan).run(&mut build()?);
             println!("\n{}", display::fleet_report(&report.fleet));
             Some(report)
         }
@@ -515,7 +739,7 @@ where
             );
         }
     }
-    Ok(())
+    observers.finish()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -530,9 +754,12 @@ fn multi_site(
     watch: bool,
     chaos: Option<ChaosSpec>,
     steal: bool,
+    telemetry: &TelemetryOpts,
 ) -> Result<(), String> {
     if let Some(remote) = &common.remote {
-        return multi_site_remote(common, remote, walkers, mode, coop_conns, watch, steal);
+        return multi_site_remote(
+            common, remote, walkers, mode, coop_conns, watch, steal, telemetry,
+        );
     }
     let latency_desc = if latencies_ms.len() == 1 {
         format!("{} ms", latencies_ms[0])
@@ -562,6 +789,7 @@ fn multi_site(
                 coop_conns,
                 watch,
                 steal,
+                telemetry,
             )
         }
         None => {
@@ -578,6 +806,7 @@ fn multi_site(
                 coop_conns,
                 watch,
                 steal,
+                telemetry,
             )
         }
     }
@@ -602,6 +831,7 @@ fn fleet_watch_sink(schema: &Schema) -> Result<WatchSink, String> {
 /// starve the worker pool and trip keep-alive idle timeouts.
 const DEFAULT_REMOTE_COOP_CONNS: usize = 4;
 
+#[allow(clippy::too_many_arguments)]
 fn multi_site_remote(
     common: &Common,
     remote: &str,
@@ -610,6 +840,7 @@ fn multi_site_remote(
     coop_conns: Option<usize>,
     watch: bool,
     steal: bool,
+    telemetry: &TelemetryOpts,
 ) -> Result<(), String> {
     let addrs: Vec<&str> = remote.split(',').map(str::trim).collect();
     if addrs.iter().any(|a| a.is_empty()) {
@@ -633,6 +864,7 @@ fn multi_site_remote(
         common.samples
     );
     let mut watch_sink = watch.then(|| fleet_watch_sink(&schema)).transpose()?;
+    let mut observers = PlanTelemetry::start(telemetry)?;
     if mode == DriverMode::Coop {
         let conns = coop_conns
             .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
@@ -645,16 +877,16 @@ fn multi_site_remote(
         if let Some(w) = watch_sink.as_mut() {
             plan = plan.attach(w);
         }
-        let report = plan.run(&mut fleet);
+        let report = observers.attach(plan).run(&mut fleet);
         println!("\n{}", display::fleet_report(&report.fleet));
-        return Ok(());
+        return observers.finish();
     }
     if matches!(mode, DriverMode::Concurrent | DriverMode::Both) {
         let mut plan = plan_for(Driver::Threaded);
         if let Some(w) = watch_sink.as_mut() {
             plan = plan.attach(w);
         }
-        let report = plan.run(&mut fleet);
+        let report = observers.attach(plan).run(&mut fleet);
         println!("\n{}", display::fleet_report(&report.fleet));
     }
     if matches!(mode, DriverMode::Serial | DriverMode::Both) {
@@ -664,10 +896,10 @@ fn multi_site_remote(
         if let Some(w) = watch_sink.as_mut() {
             plan = plan.attach(w);
         }
-        let report = plan.run(&mut build_remote_fleet(&addrs)?);
+        let report = observers.attach(plan).run(&mut build_remote_fleet(&addrs)?);
         println!("\n{}", display::fleet_report(&report.fleet));
     }
-    Ok(())
+    observers.finish()
 }
 
 fn describe(common: &Common) -> Result<(), String> {
@@ -741,6 +973,7 @@ fn wanted_histograms(schema: &Schema, requested: &[String]) -> Result<Vec<Histog
 /// Run one `sample` plan over a single site task, streaming progress and
 /// live histograms through attached sinks, and return the report plus
 /// the final (online-built) histograms.
+#[allow(clippy::too_many_arguments)]
 fn run_sample_plan<T>(
     common: &Common,
     task: &mut SiteTask<T>,
@@ -749,6 +982,7 @@ fn run_sample_plan<T>(
     driver: Driver,
     walkers: usize,
     watch: bool,
+    telemetry: &TelemetryOpts,
 ) -> Result<(RunReport, Vec<Histogram>), String>
 where
     T: Transport + AsyncTransport + Clocked + Send,
@@ -757,6 +991,7 @@ where
     let mut hists = wanted_histograms(schema, requested)?;
     let mut progress = ProgressSink::new(25);
     let mut watch_sink = watch.then(|| WatchSink::new(hists.clone(), 25, 40));
+    let mut observers = PlanTelemetry::start(telemetry)?;
     let mut plan = RunPlan::target(common.samples)
         .walkers(walkers)
         .seed(common.seed)
@@ -770,8 +1005,10 @@ where
     if let Some(w) = watch_sink.as_mut() {
         plan = plan.attach(w);
     }
+    let plan = observers.attach(plan);
     let report = plan.run(std::slice::from_mut(task));
     println!();
+    observers.finish()?;
     Ok((report, hists))
 }
 
@@ -787,6 +1024,7 @@ fn print_session_block(site: &SiteReport) {
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sample(
     common: &Common,
     locator: Option<&str>,
@@ -795,6 +1033,7 @@ fn sample(
     coop_walkers: Option<usize>,
     coop_conns: Option<usize>,
     watch: bool,
+    telemetry: &TelemetryOpts,
 ) -> Result<(), String> {
     let loc = effective_locator(common, locator)?;
     let opts = ConnectOptions {
@@ -840,6 +1079,7 @@ fn sample(
         driver,
         walker_count,
         watch,
+        telemetry,
     )?;
     let site = report.site();
     print_session_block(site);
@@ -969,7 +1209,17 @@ mod tests {
     #[test]
     fn end_to_end_sample_command() {
         let common = quick_common();
-        sample(&common, None, &["make".into()], None, None, None, false).unwrap();
+        sample(
+            &common,
+            None,
+            &["make".into()],
+            None,
+            None,
+            None,
+            false,
+            &TelemetryOpts::default(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -988,6 +1238,7 @@ mod tests {
             None,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         // Unknown datasets fail early with the registry's hint.
@@ -999,6 +1250,7 @@ mod tests {
             None,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap_err();
         assert!(err.contains("did you mean `vehicles-compact`?"), "{err}");
@@ -1022,6 +1274,7 @@ mod tests {
             None,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         sample(
@@ -1032,6 +1285,7 @@ mod tests {
             None,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         std::fs::remove_file(&tape).ok();
@@ -1075,6 +1329,7 @@ mod tests {
             false,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
     }
@@ -1102,6 +1357,7 @@ mod tests {
             false,
             Some(spec.clone()),
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         multi_site(
@@ -1115,6 +1371,7 @@ mod tests {
             false,
             Some(spec),
             true,
+            &TelemetryOpts::default(),
         )
         .unwrap();
     }
@@ -1140,6 +1397,7 @@ mod tests {
             None,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         let stats = handle.shutdown();
@@ -1168,6 +1426,7 @@ mod tests {
             Some(16),
             Some(2),
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         let stats = handle.shutdown();
@@ -1204,6 +1463,7 @@ mod tests {
             None,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         let stats = handle.shutdown();
@@ -1234,6 +1494,7 @@ mod tests {
             false,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
     }
@@ -1257,6 +1518,7 @@ mod tests {
             false,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
     }
@@ -1281,6 +1543,7 @@ mod tests {
             false,
             None,
             false,
+            &TelemetryOpts::default(),
         )
         .unwrap();
         let bad = Common {
@@ -1297,7 +1560,8 @@ mod tests {
             None,
             false,
             None,
-            false
+            false,
+            &TelemetryOpts::default()
         )
         .is_err());
     }
@@ -1316,6 +1580,64 @@ mod tests {
             db.oracle().marginal(attr)
         };
         assert_ne!(fp(a), fp(b), "sites must simulate distinct databases");
+    }
+
+    #[test]
+    fn trace_journal_replays_bit_identically_and_reports() {
+        // The acceptance property at the CLI surface: a seeded
+        // virtual-wire `--trace` run writes the same journal bytes every
+        // time, and `trace report` digests it.
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let p1 = dir.join(format!("hds_trace_a_{pid}.jsonl"));
+        let p2 = dir.join(format!("hds_trace_b_{pid}.jsonl"));
+        let common = Common {
+            samples: 15,
+            ..Common::default()
+        };
+        let run = |path: &std::path::Path| {
+            sample(
+                &common,
+                Some("local:vehicles-compact?n=400&k=50&seed=9&latency=40"),
+                &[],
+                None,
+                Some(4),
+                Some(2),
+                false,
+                &TelemetryOpts::new(Some(path.to_str().unwrap().to_string()), None),
+            )
+            .unwrap();
+        };
+        run(&p1);
+        run(&p2);
+        let a = std::fs::read(&p1).unwrap();
+        let b = std::fs::read(&p2).unwrap();
+        assert!(!a.is_empty(), "the journal must not be empty");
+        assert_eq!(a, b, "seeded virtual-wire journals replay bit-identically");
+        // The cooperative driver journals the full span stream.
+        let events = read_journal(&p1).unwrap();
+        assert!(events.iter().any(|e| e.kind == "wire"));
+        assert!(events.iter().any(|e| e.kind == "sample"));
+        trace_report(p1.to_str().unwrap()).unwrap();
+        assert!(trace_report("definitely_not_a_journal.jsonl").is_err());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn telemetry_plane_scrapes_and_retires() {
+        // `--metrics 0` boots a live plane on an ephemeral port; its
+        // /metrics endpoint parses, and finish() retires it cleanly.
+        let opts = TelemetryOpts::new(None, Some("0".into()));
+        let telem = PlanTelemetry::start(&opts).unwrap();
+        let addr = telem.plane.as_ref().unwrap().addr().to_string();
+        let t = hdsampler_webform::HttpTransport::new(addr);
+        let text = t.fetch("/metrics").unwrap();
+        let parsed = hdsampler_core::parse_exposition(&text).unwrap();
+        assert!(parsed.contains_key("hds_server_requests_total"));
+        telem.finish().unwrap();
+        // A non-numeric port is a user error, not a panic.
+        assert!(PlanTelemetry::start(&TelemetryOpts::new(None, Some("lots".into()))).is_err());
     }
 
     #[test]

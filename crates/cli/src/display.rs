@@ -10,9 +10,9 @@ use hdsampler_core::{merged, SampleEvent, SampleSink, SamplerStats};
 use hdsampler_estimator::{fmt_stat, Histogram};
 use hdsampler_webform::FleetReport;
 
-/// Streaming progress printer: re-renders the `\r  samples c/t` line
-/// every `every`-th sample and at the target. Forks share the terminal,
-/// so merging is a no-op.
+/// Streaming progress printer: re-renders the [`progress_line`] (running
+/// count, charged queries, history savings) every `every`-th sample and
+/// at the target. Forks share the terminal, so merging is a no-op.
 #[derive(Debug, Clone)]
 pub struct ProgressSink {
     every: usize,
@@ -30,8 +30,20 @@ impl ProgressSink {
 impl SampleSink for ProgressSink {
     fn observe(&mut self, event: &SampleEvent<'_>) {
         if event.collected.is_multiple_of(self.every) || event.collected == event.target {
+            // Only the counters the event stream carries are live here;
+            // the rest of the stats block stays zero (savings_rate is
+            // well-defined at zero requests).
+            let stats = SamplerStats {
+                queries_issued: event.queries,
+                requests: event.requests,
+                ..SamplerStats::default()
+            };
             let mut out = std::io::stdout();
-            let _ = write!(out, "\r  samples {}/{}   ", event.collected, event.target);
+            let _ = write!(
+                out,
+                "{}",
+                progress_line(event.collected, event.target, &stats)
+            );
             let _ = out.flush();
         }
     }
@@ -128,8 +140,9 @@ impl SampleSink for WatchSink {
     }
 }
 
-/// A one-line progress string (the AJAX live counter of the original UI).
-#[allow(dead_code)] // kept for front ends that stream stats live
+/// A one-line progress string (the AJAX live counter of the original UI):
+/// the body [`ProgressSink`] re-renders locally and `trace watch` renders
+/// for remote `/events` streams.
 pub fn progress_line(collected: usize, target: usize, stats: &SamplerStats) -> String {
     format!(
         "\r  samples {collected}/{target}  queries {}  saved {:.0}%   ",
@@ -343,6 +356,8 @@ mod tests {
             walker: 0,
             collected: 1,
             target: 100,
+            queries: 0,
+            requests: 0,
         };
         watch.observe(&ev);
         forked.observe(&ev);

@@ -39,6 +39,7 @@ pub mod sample;
 pub mod session;
 pub mod sink;
 pub mod stats;
+pub mod trace;
 pub mod walk;
 
 pub use acceptance::AcceptancePolicy;
@@ -57,3 +58,7 @@ pub use sample::{Sample, SampleMeta, SampleSet, Sampler, SamplerError};
 pub use session::{SamplingSession, SessionEvent, SessionOutcome, StopReason};
 pub use sink::{merged, observe_all, NullSink, SampleEvent, SampleSetSink, SampleSink};
 pub use stats::SamplerStats;
+pub use trace::{
+    merged_trace, parse_exposition, trace_all, MetricsRegistry, MetricsSink, NullTraceSink,
+    SampleTraceSink, TraceEvent, TraceLog, TraceSink, Tracer, LATENCY_BUCKETS_MS,
+};

@@ -122,6 +122,7 @@ impl SamplingSession {
             match sampler.next_sample() {
                 Ok(s) => {
                     let collected = samples.len() + 1;
+                    let stats = sampler.stats();
                     observe_all(
                         sinks,
                         &SampleEvent {
@@ -130,6 +131,8 @@ impl SamplingSession {
                             walker: 0,
                             collected,
                             target: self.target,
+                            queries: stats.queries_issued,
+                            requests: stats.requests,
                         },
                     );
                     on_event(&SessionEvent::SampleAccepted {
@@ -192,7 +195,8 @@ impl SamplingSession {
         F: Fn(usize) -> S + Sync,
     {
         assert!(workers >= 1, "need at least one worker");
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<Sample, SamplerError>)>();
+        let (tx, rx) =
+            crossbeam::channel::unbounded::<(usize, Result<Sample, SamplerError>, SamplerStats)>();
         // One fork per (sink, worker); merged back in worker order after
         // the scope joins.
         let mut forks: Vec<Vec<Box<dyn SampleSink>>> = sinks
@@ -226,7 +230,7 @@ impl SamplingSession {
                         }
                         let out = sampler.next_sample();
                         let is_err = out.is_err();
-                        if tx.send((w, out)).is_err() || is_err {
+                        if tx.send((w, out, sampler.stats())).is_err() || is_err {
                             break;
                         }
                     }
@@ -238,7 +242,7 @@ impl SamplingSession {
 
             while samples.len() < target {
                 match rx.recv() {
-                    Ok((w, Ok(s))) => {
+                    Ok((w, Ok(s), stats)) => {
                         let collected = samples.len() + 1;
                         let ev = SampleEvent {
                             sample: &s,
@@ -246,17 +250,19 @@ impl SamplingSession {
                             walker: w,
                             collected,
                             target,
+                            queries: stats.queries_issued,
+                            requests: stats.requests,
                         };
                         for worker_forks in forks.iter_mut() {
                             worker_forks[w].observe(&ev);
                         }
                         samples.push(s);
                     }
-                    Ok((_, Err(SamplerError::BudgetExhausted { .. }))) => {
+                    Ok((_, Err(SamplerError::BudgetExhausted { .. }), _)) => {
                         reason = StopReason::BudgetExhausted;
                         break;
                     }
-                    Ok((_, Err(e))) => {
+                    Ok((_, Err(e), _)) => {
                         reason = StopReason::Failed(e);
                         break;
                     }

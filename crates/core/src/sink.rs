@@ -52,6 +52,14 @@ pub struct SampleEvent<'a> {
     pub collected: usize,
     /// The run's sample target (per site for fleet drivers).
     pub target: usize,
+    /// Queries charged at the interface so far (running
+    /// [`SamplerStats::queries_issued`](crate::stats::SamplerStats)
+    /// snapshot — the live cost figure a progress display wants).
+    pub queries: u64,
+    /// Logical query requests so far, cache hits included (running
+    /// `SamplerStats::requests`); `requests - queries` is the history
+    /// cache's savings.
+    pub requests: u64,
 }
 
 /// A streaming observer of accepted samples.
@@ -189,6 +197,8 @@ mod tests {
             walker: 0,
             collected,
             target: 10,
+            queries: 0,
+            requests: 0,
         }
     }
 

@@ -275,6 +275,8 @@ mod tests {
                 walker: 0,
                 collected: i + 1,
                 target: n,
+                queries: 0,
+                requests: 0,
             }
         }
         let mut a = parent.fork();

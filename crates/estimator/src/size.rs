@@ -165,6 +165,8 @@ mod tests {
                 walker: 0,
                 collected: 1,
                 target: 7,
+                queries: 0,
+                requests: 0,
             });
         };
         for &k in &keys[..4] {

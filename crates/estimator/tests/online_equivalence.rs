@@ -50,6 +50,8 @@ fn observe_into(sink: &mut dyn SampleSink, samples: &[Sample], target: usize) {
             walker: 0,
             collected: i + 1,
             target,
+            queries: 0,
+            requests: 0,
         });
     }
 }

@@ -32,17 +32,27 @@
 //!   front of any mounted site;
 //! * [`pool`] — the bounded worker pool (backpressure via a bounded
 //!   queue, not unbounded thread growth);
+//! * [`events`] — the [`EventHub`] broadcast behind `GET /events`
+//!   (chunked SSE) and the [`BridgeSink`] that mirrors a local sampling
+//!   run's accepted samples onto it;
 //! * [`server`] — the accept loop, keep-alive connection handling,
-//!   graceful shutdown, and live [`ServerStats`].
+//!   graceful shutdown, live [`ServerStats`] (per-route counters,
+//!   bytes in/out, a per-request ring log with echoed `x-hds-trace`
+//!   ids), and the built-in `GET /metrics` Prometheus exposition.
 
 pub mod adversary;
+pub mod events;
 pub mod http;
 pub mod pool;
 pub mod server;
 pub mod site;
 
 pub use adversary::Adversary;
+pub use events::{BridgeSink, EventHub};
 pub use http::{parse_request, write_response, HttpVersion, Request, RequestError, Response};
 pub use pool::ThreadPool;
-pub use server::{HttpServer, ServerConfig, ServerHandle, ServerStats};
+pub use server::{
+    render_server_metrics, HttpServer, RequestLogEntry, ServerConfig, ServerHandle, ServerStats,
+    REQUEST_LOG_CAP,
+};
 pub use site::{SiteBehavior, ERROR_HEADER, ISSUED_HEADER};

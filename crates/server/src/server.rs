@@ -1,13 +1,21 @@
 //! The TCP front door: accept loop, keep-alive connection handling,
-//! bounded worker pool, graceful shutdown.
+//! bounded worker pool, graceful shutdown — plus the built-in telemetry
+//! plane every served site gets for free: `GET /metrics` (Prometheus
+//! text exposition of [`ServerStats`] and an optional attached
+//! [`MetricsRegistry`]) and `GET /events` (a chunked SSE stream of the
+//! server's [`EventHub`]).
 
-use std::io::{ErrorKind, Read};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use hdsampler_core::{MetricsRegistry, TraceEvent};
+
+use crate::events::EventHub;
 use crate::http::{parse_request, write_response, Request, Response, DEFAULT_CHUNK_THRESHOLD};
 use crate::site::SiteBehavior;
 
@@ -27,6 +35,11 @@ pub struct ServerConfig {
     pub keep_alive_timeout: Duration,
     /// Bodies above this size are sent chunked instead of Content-Length.
     pub chunk_threshold: usize,
+    /// Extra metrics appended to `/metrics` after the server's own
+    /// counters — a registry handle shared with the embedding process
+    /// (e.g. a sampling run's [`MetricsSink`](hdsampler_core::MetricsSink)
+    /// aggregation). `None` serves [`ServerStats`] alone.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Default for ServerConfig {
@@ -37,8 +50,26 @@ impl Default for ServerConfig {
             queue_depth: 8,
             keep_alive_timeout: Duration::from_secs(5),
             chunk_threshold: DEFAULT_CHUNK_THRESHOLD,
+            metrics: None,
         }
     }
+}
+
+/// How many per-request log entries the server retains (a ring: old
+/// entries fall off the front).
+pub const REQUEST_LOG_CAP: usize = 1024;
+
+/// One served request, as recorded in the server's ring log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestLogEntry {
+    /// Server-wide request ordinal (1-based).
+    pub seq: u64,
+    /// Request target (path + query).
+    pub target: String,
+    /// The client's `x-hds-trace` id, empty if unstamped.
+    pub trace: String,
+    /// Response status written.
+    pub status: u16,
 }
 
 /// Monotonic counters kept by a running server.
@@ -51,6 +82,28 @@ struct StatsInner {
     responses_server_error: AtomicU64,
     connections_dropped: AtomicU64,
     bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+    requests_landing: AtomicU64,
+    requests_search: AtomicU64,
+    requests_metrics: AtomicU64,
+    requests_events: AtomicU64,
+    requests_other: AtomicU64,
+    log: Mutex<VecDeque<RequestLogEntry>>,
+}
+
+impl StatsInner {
+    fn record_request(&self, seq: u64, target: &str, trace: &str, status: u16) {
+        let mut log = self.log.lock().expect("request log lock");
+        if log.len() >= REQUEST_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(RequestLogEntry {
+            seq,
+            target: target.to_string(),
+            trace: trace.to_string(),
+            status,
+        });
+    }
 }
 
 /// A point-in-time copy of the server's counters.
@@ -70,6 +123,18 @@ pub struct ServerStats {
     pub connections_dropped: u64,
     /// Response bytes written (headers + bodies + chunk framing).
     pub bytes_out: u64,
+    /// Request bytes read off accepted connections.
+    pub bytes_in: u64,
+    /// Requests for `/` (the rendered form landing page).
+    pub requests_landing: u64,
+    /// Requests for the form action (`/search…`).
+    pub requests_search: u64,
+    /// Requests for `/metrics`.
+    pub requests_metrics: u64,
+    /// Requests for `/events`.
+    pub requests_events: u64,
+    /// Requests for any other target.
+    pub requests_other: u64,
 }
 
 /// The HTTP/1.1 server: binds a listener and serves a mounted site.
@@ -85,10 +150,12 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
+        let hub = Arc::new(EventHub::new());
 
         let acceptor = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let hub = Arc::clone(&hub);
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("hds-http-accept".into())
@@ -102,9 +169,10 @@ impl HttpServer {
                         let site = Arc::clone(&site);
                         let stats = Arc::clone(&stats);
                         let stop = Arc::clone(&stop);
+                        let hub = Arc::clone(&hub);
                         let cfg = cfg.clone();
                         if !pool.execute(move || {
-                            serve_connection(stream, &*site, &stats, &stop, &cfg);
+                            serve_connection(stream, &*site, &stats, &stop, &hub, &cfg);
                         }) {
                             break;
                         }
@@ -120,6 +188,7 @@ impl HttpServer {
             addr,
             stop,
             stats,
+            hub,
             acceptor: Some(acceptor),
         })
     }
@@ -130,6 +199,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
+    hub: Arc<EventHub>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -141,15 +211,26 @@ impl ServerHandle {
 
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            connections: self.stats.connections.load(Ordering::Relaxed),
-            requests: self.stats.requests.load(Ordering::Relaxed),
-            responses_ok: self.stats.responses_ok.load(Ordering::Relaxed),
-            responses_client_error: self.stats.responses_client_error.load(Ordering::Relaxed),
-            responses_server_error: self.stats.responses_server_error.load(Ordering::Relaxed),
-            connections_dropped: self.stats.connections_dropped.load(Ordering::Relaxed),
-            bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
-        }
+        snapshot_stats(&self.stats)
+    }
+
+    /// The server's event hub. The embedding process publishes into it
+    /// (e.g. via [`BridgeSink`](crate::events::BridgeSink)) and every
+    /// `/events` watcher receives the stream.
+    pub fn events(&self) -> Arc<EventHub> {
+        Arc::clone(&self.hub)
+    }
+
+    /// Snapshot of the per-request ring log (most recent
+    /// [`REQUEST_LOG_CAP`]-ish entries, oldest first).
+    pub fn request_log(&self) -> Vec<RequestLogEntry> {
+        self.stats
+            .log
+            .lock()
+            .expect("request log lock")
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Graceful shutdown: stop accepting, let every worker finish its
@@ -190,6 +271,7 @@ fn serve_connection(
     site: &dyn SiteBehavior,
     stats: &StatsInner,
     stop: &AtomicBool,
+    hub: &EventHub,
     cfg: &ServerConfig,
 ) {
     stats.connections.fetch_add(1, Ordering::Relaxed);
@@ -227,14 +309,26 @@ fn serve_connection(
             }
             match stream.read(&mut tmp) {
                 Ok(0) => break 'conn,
-                Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                Ok(n) => {
+                    buf.extend_from_slice(&tmp[..n]);
+                    stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => break 'conn,
             }
         };
         buf.drain(..consumed);
-        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let seq = stats.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let route_counter = match route_label(&req.target) {
+            "landing" => &stats.requests_landing,
+            "search" => &stats.requests_search,
+            "metrics" => &stats.requests_metrics,
+            "events" => &stats.requests_events,
+            _ => &stats.requests_other,
+        };
+        route_counter.fetch_add(1, Ordering::Relaxed);
+        let trace = req.header("x-hds-trace").unwrap_or("").to_string();
 
         // A body-bearing request would desynchronize the framing: this
         // server never reads bodies, so the unread bytes would be parsed
@@ -258,7 +352,26 @@ fn serve_connection(
         // client gets Content-Length regardless of body size.
         let keep_alive = req.wants_keep_alive() && !stop.load(Ordering::SeqCst);
         let allow_chunked = req.version == crate::http::HttpVersion::H11;
-        let resp = route(site, &req);
+
+        // The telemetry plane answers before the mounted site sees the
+        // request. `/events` takes over the whole connection: it streams
+        // the hub until the server stops or the watcher hangs up.
+        if req.method == "GET" && route_label(&req.target) == "events" {
+            stats.responses_ok.fetch_add(1, Ordering::Relaxed);
+            stats.record_request(seq, &req.target, &trace, 200);
+            publish_request_event(hub, seq, &req.target, &trace, 200);
+            stream_events(&mut stream, hub, stop, stats);
+            break;
+        }
+        let mut resp = if req.method == "GET" && route_label(&req.target) == "metrics" {
+            Response::text(
+                200,
+                "OK",
+                render_server_metrics(&snapshot_stats(stats), cfg.metrics.as_ref()),
+            )
+        } else {
+            route(site, &req)
+        };
         if resp.drop_connection {
             // Injected drop: sever without writing a byte — the peer sees
             // the close as a reset/EOF mid-exchange and must classify it
@@ -266,12 +379,186 @@ fn serve_connection(
             stats.connections_dropped.fetch_add(1, Ordering::Relaxed);
             break;
         }
+        // Echo the client's span id so both sides of the wire agree on
+        // the request's identity, then log and broadcast the exchange.
+        if !trace.is_empty() {
+            resp.extra_headers
+                .push(("x-hds-trace".into(), trace.clone()));
+        }
+        stats.record_request(seq, &req.target, &trace, resp.status);
+        publish_request_event(hub, seq, &req.target, &trace, resp.status);
         if !write_and_count(&mut stream, &resp, keep_alive, allow_chunked, cfg, stats)
             || !keep_alive
         {
             break;
         }
     }
+}
+
+/// Coarse route class of a request target (for per-route counters).
+fn route_label(target: &str) -> &'static str {
+    let path = target.split('?').next().unwrap_or("");
+    match path {
+        "/" => "landing",
+        "/metrics" => "metrics",
+        "/events" => "events",
+        p if p.starts_with("/search") => "search",
+        _ => "other",
+    }
+}
+
+/// Read the counters without a [`ServerHandle`] (the `/metrics` route
+/// runs inside a worker).
+fn snapshot_stats(stats: &StatsInner) -> ServerStats {
+    ServerStats {
+        connections: stats.connections.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
+        responses_ok: stats.responses_ok.load(Ordering::Relaxed),
+        responses_client_error: stats.responses_client_error.load(Ordering::Relaxed),
+        responses_server_error: stats.responses_server_error.load(Ordering::Relaxed),
+        connections_dropped: stats.connections_dropped.load(Ordering::Relaxed),
+        bytes_out: stats.bytes_out.load(Ordering::Relaxed),
+        bytes_in: stats.bytes_in.load(Ordering::Relaxed),
+        requests_landing: stats.requests_landing.load(Ordering::Relaxed),
+        requests_search: stats.requests_search.load(Ordering::Relaxed),
+        requests_metrics: stats.requests_metrics.load(Ordering::Relaxed),
+        requests_events: stats.requests_events.load(Ordering::Relaxed),
+        requests_other: stats.requests_other.load(Ordering::Relaxed),
+    }
+}
+
+/// Broadcast one served request as a `kind: "request"` trace event.
+fn publish_request_event(hub: &EventHub, seq: u64, target: &str, trace: &str, status: u16) {
+    if hub.subscribers() == 0 {
+        return;
+    }
+    hub.publish_trace(&TraceEvent {
+        kind: "request".into(),
+        detail: target.into(),
+        tag: trace.into(),
+        seq,
+        code: u64::from(status),
+        ..TraceEvent::default()
+    });
+}
+
+/// Render [`ServerStats`] (and an optional attached registry) in
+/// Prometheus text exposition format — the `GET /metrics` body. Every
+/// line parses back through
+/// [`parse_exposition`](hdsampler_core::parse_exposition).
+pub fn render_server_metrics(stats: &ServerStats, registry: Option<&MetricsRegistry>) -> String {
+    let mut out = String::new();
+    let mut counter = |name: &str, value: u64| {
+        out.push_str(&format!(
+            "# TYPE {} counter\n{name} {value}\n",
+            name.split('{').next().unwrap_or(name)
+        ));
+    };
+    counter("hds_server_connections_total", stats.connections);
+    counter("hds_server_requests_total", stats.requests);
+    counter(
+        "hds_server_connections_dropped_total",
+        stats.connections_dropped,
+    );
+    counter("hds_server_bytes_out_total", stats.bytes_out);
+    counter("hds_server_bytes_in_total", stats.bytes_in);
+    out.push_str("# TYPE hds_server_responses_total counter\n");
+    out.push_str(&format!(
+        "hds_server_responses_total{{class=\"ok\"}} {}\n",
+        stats.responses_ok
+    ));
+    out.push_str(&format!(
+        "hds_server_responses_total{{class=\"client_error\"}} {}\n",
+        stats.responses_client_error
+    ));
+    out.push_str(&format!(
+        "hds_server_responses_total{{class=\"server_error\"}} {}\n",
+        stats.responses_server_error
+    ));
+    out.push_str("# TYPE hds_server_route_requests_total counter\n");
+    for (route, value) in [
+        ("events", stats.requests_events),
+        ("landing", stats.requests_landing),
+        ("metrics", stats.requests_metrics),
+        ("other", stats.requests_other),
+        ("search", stats.requests_search),
+    ] {
+        out.push_str(&format!(
+            "hds_server_route_requests_total{{route=\"{route}\"}} {value}\n"
+        ));
+    }
+    if let Some(registry) = registry {
+        out.push_str(&registry.render());
+    }
+    out
+}
+
+/// How often the `/events` stream emits a heartbeat comment while the
+/// hub is quiet (keeps dead watchers detectable and the stream warm).
+const EVENTS_HEARTBEAT_EVERY: u32 = 25;
+
+/// Stream the hub over `stream` as chunked `text/event-stream` until the
+/// server stops or the watcher hangs up.
+fn stream_events(stream: &mut TcpStream, hub: &EventHub, stop: &AtomicBool, stats: &StatsInner) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                Cache-Control: no-cache\r\nConnection: close\r\n\
+                Transfer-Encoding: chunked\r\n\r\n";
+    let mut written = 0u64;
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    written += head.len() as u64;
+    let rx = hub.subscribe();
+    // An opening comment flushes the headers through any buffering and
+    // tells the watcher the stream is live.
+    written += write_chunk(stream, ": hds event stream\n\n").unwrap_or(0);
+    let mut quiet = 0u32;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(IDLE_POLL) {
+            Ok(frame) => match write_chunk(stream, &frame) {
+                Ok(n) => {
+                    written += n;
+                    quiet = 0;
+                }
+                Err(_) => break,
+            },
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                quiet += 1;
+                if quiet >= EVENTS_HEARTBEAT_EVERY {
+                    quiet = 0;
+                    match write_chunk(stream, ": hb\n\n") {
+                        Ok(n) => written += n,
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Deliver everything published before the stop landed: a watcher
+    // must see every event a local sink saw, shutdown races included.
+    while let Ok(frame) = rx.try_recv() {
+        match write_chunk(stream, &frame) {
+            Ok(n) => written += n,
+            Err(_) => break,
+        }
+    }
+    if stream.write_all(b"0\r\n\r\n").is_ok() {
+        written += 5;
+    }
+    stats.bytes_out.fetch_add(written, Ordering::Relaxed);
+}
+
+/// Write one chunked-transfer chunk carrying `text`; returns its framed
+/// size in bytes.
+fn write_chunk(stream: &mut TcpStream, text: &str) -> std::io::Result<u64> {
+    let frame = format!("{:X}\r\n{text}\r\n", text.len());
+    stream.write_all(frame.as_bytes())?;
+    stream.flush()?;
+    Ok(frame.len() as u64)
 }
 
 /// Method gate in front of the site.

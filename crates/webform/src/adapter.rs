@@ -40,6 +40,16 @@ impl QueryHandle {
     pub fn ready_at_ms(&self) -> u64 {
         self.fetch.ready_at_ms()
     }
+
+    /// Virtual queue wait before the fetch departed (0 on real wires).
+    pub fn queued_ms(&self) -> u64 {
+        self.fetch.queued_ms()
+    }
+
+    /// Virtual service time of the fetch itself (0 on real wires).
+    pub fn service_ms(&self) -> u64 {
+        self.fetch.service_ms()
+    }
 }
 
 /// Outcome of a non-blocking [`WebFormInterface::poll_query`].

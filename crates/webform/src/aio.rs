@@ -46,6 +46,11 @@ pub struct FetchHandle {
     pub(crate) conn: ConnId,
     pub(crate) id: u64,
     pub(crate) ready_at: u64,
+    /// Virtual wait between submission and departure (queued behind
+    /// earlier requests on the connection); 0 on real wires.
+    pub(crate) queued_ms: u64,
+    /// Virtual service time of the fetch itself; 0 on real wires.
+    pub(crate) service_ms: u64,
 }
 
 impl FetchHandle {
@@ -57,6 +62,19 @@ impl FetchHandle {
     /// Completion time on the connection's virtual clock (ms).
     pub fn ready_at_ms(&self) -> u64 {
         self.ready_at
+    }
+
+    /// Virtual time this fetch spent queued behind earlier requests on
+    /// its connection before departing (0 on real wires) — the "queue"
+    /// half of the wire-latency split trace spans report.
+    pub fn queued_ms(&self) -> u64 {
+        self.queued_ms
+    }
+
+    /// Virtual service time of the fetch itself, excluding queueing
+    /// (0 on real wires).
+    pub fn service_ms(&self) -> u64 {
+        self.service_ms
     }
 }
 
@@ -216,12 +234,16 @@ impl ConnClocks {
     /// past. Without the floor, a cooperative walker that learned a result
     /// at t = 200 on one connection could depart a follow-up at t = 0 on
     /// another — time-travel that undercharges the fleet clock.
-    pub(crate) fn schedule(&self, conn: ConnId, service_ms: u64) -> u64 {
+    /// The second element of the returned pair is the queue wait: how
+    /// long the request sat behind the connection's earlier traffic
+    /// between the submitter's observed "now" and its actual departure
+    /// (the queue/service split wire trace spans report).
+    pub(crate) fn schedule_split(&self, conn: ConnId, service_ms: u64) -> (u64, u64) {
         let mut conns = self.conns.lock();
         let state = &mut conns[conn.index()];
         let departs = state.busy_until.max(state.clock);
         state.busy_until = departs + service_ms;
-        state.busy_until
+        (state.busy_until, departs - state.clock)
     }
 
     /// Move `conn`'s observed clock forward to `to_ms` (never backwards).
@@ -258,10 +280,11 @@ mod tests {
         let b = clocks.connect();
         assert_eq!(clocks.connections(), 2);
 
-        // Two requests on `a` serialize; one on `b` overlaps both.
-        assert_eq!(clocks.schedule(a, 100), 100);
-        assert_eq!(clocks.schedule(a, 100), 200);
-        assert_eq!(clocks.schedule(b, 150), 150);
+        // Two requests on `a` serialize; one on `b` overlaps both. The
+        // second request on `a` spends 100 ms queued behind the first.
+        assert_eq!(clocks.schedule_split(a, 100), (100, 0));
+        assert_eq!(clocks.schedule_split(a, 100), (200, 100));
+        assert_eq!(clocks.schedule_split(b, 150), (150, 0));
 
         clocks.advance_to(a, 200);
         clocks.advance_to(b, 150);
@@ -282,24 +305,25 @@ mod tests {
         let b = clocks.connect();
 
         // One round trip on `a` completes at 200.
-        assert_eq!(clocks.schedule(a, 200), 200);
+        assert_eq!(clocks.schedule_split(a, 200), (200, 0));
         clocks.advance_to(a, 200);
 
         // `b` is fresh, but its submitter learned the motivating result at
         // t = 200 (e.g. via a shared history cache); propagating that
-        // knowledge floors the departure.
+        // knowledge floors the departure. The floor is not queueing, so
+        // the queue-wait component stays zero.
         clocks.advance_to(b, 200);
         assert_eq!(
-            clocks.schedule(b, 50),
-            250,
+            clocks.schedule_split(b, 50),
+            (250, 0),
             "fresh connection departs at its observed clock, not 0"
         );
 
         // An idle (fully drained) connection behaves the same.
         clocks.advance_to(a, 300);
         assert_eq!(
-            clocks.schedule(a, 50),
-            350,
+            clocks.schedule_split(a, 50),
+            (350, 0),
             "idle connection departs at its observed clock, not its stale queue tail"
         );
     }

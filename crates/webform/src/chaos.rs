@@ -490,10 +490,17 @@ impl<T: Transport> AsyncTransport for ChaosTransport<T> {
 
     fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
         let (result, service_ms) = self.serve(path);
-        let ready_at = self.clocks.schedule(conn, service_ms.max(1));
+        let service_ms = service_ms.max(1);
+        let (ready_at, queued_ms) = self.clocks.schedule_split(conn, service_ms);
         let id = self.next_fetch.fetch_add(1, Ordering::Relaxed);
         self.in_flight.lock().insert(id, result);
-        FetchHandle { conn, id, ready_at }
+        FetchHandle {
+            conn,
+            id,
+            ready_at,
+            queued_ms,
+            service_ms,
+        }
     }
 
     fn poll(&self, handle: FetchHandle) -> FetchPoll {

@@ -55,7 +55,7 @@
 
 use hdsampler_core::{
     CachingExecutor, Classified, QueryExecutor, SampleEvent, SampleSet, SampleSink, SamplerError,
-    SamplerStats, StopReason, WalkMachine, WalkStep,
+    SamplerStats, StopReason, TraceEvent, TraceSink, Tracer, WalkMachine, WalkStep,
 };
 use hdsampler_model::{ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse};
 
@@ -72,6 +72,9 @@ struct Pending {
     ready_at: u64,
     /// Site-wide submission sequence number (completion-order tie-break).
     seq: u64,
+    /// Trace span id tying the submit event to its completion (0 when
+    /// tracing is off).
+    span: u64,
 }
 
 /// A walker waiting out a retry backoff on a *real* wire. (Virtual wires
@@ -128,6 +131,11 @@ struct Harvested {
     query: ConjunctiveQuery,
     ready_at: u64,
     seq: u64,
+    span: u64,
+    /// Wire wait spent queued behind earlier requests on the connection.
+    queued_ms: u64,
+    /// Wire service time of the fetch itself.
+    service_ms: u64,
     result: Result<QueryResponse, InterfaceError>,
 }
 
@@ -222,6 +230,27 @@ impl CoopDriver {
     where
         T: Transport + AsyncTransport + Clocked,
     {
+        self.run_traced(sites, run_sinks, &mut [])
+    }
+
+    /// [`CoopDriver::run_observed`], additionally emitting a
+    /// [`TraceEvent`] stream into `trace_sinks`: cache hit/miss
+    /// classifications, wire submit/complete spans with their
+    /// queue/service split, retry backoffs, stall resolutions and
+    /// work-steals — every timestamp a virtual-clock reading, so a
+    /// seeded virtual-wire run traces bit-identically. With no trace
+    /// sinks attached no event is even constructed, and the sample
+    /// sequence is identical either way.
+    pub fn run_traced<T>(
+        &self,
+        sites: &mut [SiteTask<T>],
+        run_sinks: &mut [&mut dyn SampleSink],
+        trace_sinks: &mut [&mut dyn TraceSink],
+    ) -> (FleetReport, Vec<CoopSiteDetail>)
+    where
+        T: Transport + AsyncTransport + Clocked,
+    {
+        let mut tracer = Tracer::new(trace_sinks);
         let walkers_per_site = self.cfg.walkers_per_site.max(1);
         let conns_per_site = self
             .conns_per_site
@@ -276,7 +305,7 @@ impl CoopDriver {
                     break;
                 }
                 let step = st.walkers[wix].machine.step();
-                self.advance(st, wix, step, run_sinks);
+                self.advance(st, wix, step, run_sinks, &mut tracer);
             }
         }
 
@@ -285,7 +314,7 @@ impl CoopDriver {
             let mut progress = false;
             for st in &mut states {
                 if st.stopped.is_none() {
-                    progress |= self.harvest(st, run_sinks);
+                    progress |= self.harvest(st, run_sinks, &mut tracer);
                 }
                 all_done &= st.stopped.is_some();
             }
@@ -293,13 +322,13 @@ impl CoopDriver {
                 break;
             }
             if self.steal {
-                self.rebalance(&mut states, run_sinks);
+                self.rebalance(&mut states, run_sinks, &mut tracer);
             }
             if !progress {
                 // Nothing pollable anywhere: block on (real wire) or
                 // advance to (virtual wire) the earliest outstanding
                 // completion, keeping the fleet in causal order.
-                self.force_earliest(&mut states, run_sinks);
+                self.force_earliest(&mut states, run_sinks, &mut tracer);
             }
         }
 
@@ -360,6 +389,7 @@ impl CoopDriver {
         wix: usize,
         mut step: WalkStep,
         run_sinks: &mut [&mut dyn SampleSink],
+        tracer: &mut Tracer<'_, '_>,
     ) where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -378,29 +408,78 @@ impl CoopDriver {
                         st.iface
                             .transport()
                             .observe_now(st.walkers[wix].conn, st.knowledge_ms);
+                        if tracer.enabled() {
+                            tracer.emit(&TraceEvent {
+                                kind: "cache".into(),
+                                detail: "hit".into(),
+                                site: st.six as u64,
+                                walker: wix as u64,
+                                conn: st.walkers[wix].conn.index() as u64,
+                                at_ms: st.knowledge_ms,
+                                ..TraceEvent::default()
+                            });
+                        }
                         step = st.walkers[wix].machine.resume(Ok(hit));
                     } else {
                         let handle = st.iface.submit_query(st.walkers[wix].conn, &query);
                         let ready_at = handle.ready_at_ms();
                         let seq = st.next_seq;
                         st.next_seq += 1;
+                        let mut span = 0;
+                        if tracer.enabled() {
+                            span = tracer.next_span();
+                            let conn = st.walkers[wix].conn.index() as u64;
+                            tracer.emit(&TraceEvent {
+                                kind: "cache".into(),
+                                detail: "miss".into(),
+                                site: st.six as u64,
+                                walker: wix as u64,
+                                conn,
+                                at_ms: st.knowledge_ms,
+                                ..TraceEvent::default()
+                            });
+                            tracer.emit(&TraceEvent {
+                                kind: "wire".into(),
+                                detail: "submit".into(),
+                                span,
+                                site: st.six as u64,
+                                walker: wix as u64,
+                                conn,
+                                at_ms: ready_at
+                                    .saturating_sub(handle.service_ms() + handle.queued_ms()),
+                                ..TraceEvent::default()
+                            });
+                        }
                         st.walkers[wix].pending = Some(Pending {
                             handle,
                             query,
                             ready_at,
                             seq,
+                            span,
                         });
                         return;
                     }
                 }
                 WalkStep::Sample(s) => {
                     st.walkers[wix].keys.push(s.row.key);
+                    if tracer.enabled() {
+                        tracer.emit(&TraceEvent {
+                            kind: "sample".into(),
+                            site: st.six as u64,
+                            walker: wix as u64,
+                            seq: st.samples.len() as u64 + 1,
+                            at_ms: st.knowledge_ms,
+                            ..TraceEvent::default()
+                        });
+                    }
                     let ev = SampleEvent {
                         sample: &s,
                         site: st.six,
                         walker: wix,
                         collected: st.samples.len() + 1,
                         target: self.cfg.target_per_site,
+                        queries: st.exec.queries_issued(),
+                        requests: st.exec.requests(),
                     };
                     if let Some(sink) = st.sink.as_deref_mut() {
                         sink.observe(&ev);
@@ -416,6 +495,16 @@ impl CoopDriver {
                     step = st.walkers[wix].machine.step();
                 }
                 WalkStep::Failed(e) => {
+                    if tracer.enabled() {
+                        tracer.emit(&TraceEvent {
+                            kind: "walk".into(),
+                            detail: "failed".into(),
+                            site: st.six as u64,
+                            walker: wix as u64,
+                            at_ms: st.knowledge_ms,
+                            ..TraceEvent::default()
+                        });
+                    }
                     let reason = match e {
                         SamplerError::BudgetExhausted { .. } => StopReason::BudgetExhausted,
                         other => StopReason::Failed(other),
@@ -437,7 +526,12 @@ impl CoopDriver {
     /// the sweep at its first still-pending fetch — later fetches cannot
     /// be ready, and re-polling them would re-drain an already-drained
     /// socket once per walker instead of once per connection.
-    fn harvest<T>(&self, st: &mut SiteState<'_, T>, run_sinks: &mut [&mut dyn SampleSink]) -> bool
+    fn harvest<T>(
+        &self,
+        st: &mut SiteState<'_, T>,
+        run_sinks: &mut [&mut dyn SampleSink],
+        tracer: &mut Tracer<'_, '_>,
+    ) -> bool
     where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -451,7 +545,7 @@ impl CoopDriver {
                 .as_ref()
                 .is_some_and(|b| std::time::Instant::now() >= b.release_at);
             if due {
-                Self::release_backoff(st, wix);
+                Self::release_backoff(st, wix, tracer);
                 released = true;
             }
         }
@@ -477,7 +571,10 @@ impl CoopDriver {
                 query,
                 ready_at,
                 seq,
+                span,
             } = p;
+            let queued_ms = handle.queued_ms();
+            let service_ms = handle.service_ms();
             match st.iface.poll_query(handle) {
                 QueryPoll::Pending(handle) => {
                     st.walkers[wix].pending = Some(Pending {
@@ -485,6 +582,7 @@ impl CoopDriver {
                         query,
                         ready_at,
                         seq,
+                        span,
                     });
                     skip_conn = Some(conn_ix);
                 }
@@ -493,6 +591,9 @@ impl CoopDriver {
                     query,
                     ready_at,
                     seq,
+                    span,
+                    queued_ms,
+                    service_ms,
                     result,
                 }),
             }
@@ -504,14 +605,14 @@ impl CoopDriver {
         // ever sees facts learned at or before its own floor.
         ready.sort_by_key(|h| (h.ready_at, h.seq));
         for h in ready {
-            self.finish_fetch(st, h, run_sinks);
+            self.finish_fetch(st, h, run_sinks, tracer);
         }
         true
     }
 
     /// Resubmit a walker whose retry backoff has elapsed (real wires
     /// only): same logical query, new fetch, no new query charge.
-    fn release_backoff<T>(st: &mut SiteState<'_, T>, wix: usize)
+    fn release_backoff<T>(st: &mut SiteState<'_, T>, wix: usize, tracer: &mut Tracer<'_, '_>)
     where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -523,11 +624,26 @@ impl CoopDriver {
         let ready_at = handle.ready_at_ms();
         let seq = st.next_seq;
         st.next_seq += 1;
+        let mut span = 0;
+        if tracer.enabled() {
+            span = tracer.next_span();
+            tracer.emit(&TraceEvent {
+                kind: "wire".into(),
+                detail: "submit".into(),
+                span,
+                site: st.six as u64,
+                walker: wix as u64,
+                conn: st.walkers[wix].conn.index() as u64,
+                at_ms: ready_at.saturating_sub(handle.service_ms() + handle.queued_ms()),
+                ..TraceEvent::default()
+            });
+        }
         st.walkers[wix].pending = Some(Pending {
             handle,
             query: b.query,
             ready_at,
             seq,
+            span,
         });
     }
 
@@ -538,6 +654,7 @@ impl CoopDriver {
         st: &mut SiteState<'_, T>,
         h: Harvested,
         run_sinks: &mut [&mut dyn SampleSink],
+        tracer: &mut Tracer<'_, '_>,
     ) where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -546,6 +663,20 @@ impl CoopDriver {
             // The site finished while this page was in flight; the fetch
             // was charged either way — only the result is discarded.
             return;
+        }
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent {
+                kind: "wire".into(),
+                detail: "complete".into(),
+                span: h.span,
+                site: st.six as u64,
+                walker: h.wix as u64,
+                conn: st.walkers[h.wix].conn.index() as u64,
+                at_ms: h.ready_at,
+                dur_ms: h.queued_ms + h.service_ms,
+                queue_ms: h.queued_ms,
+                ..TraceEvent::default()
+            });
         }
         let answer = match h.result {
             Ok(resp) => {
@@ -565,6 +696,19 @@ impl CoopDriver {
                     let wait = policy.backoff_ms(st.walkers[h.wix].attempts, e.retry_after_ms());
                     st.walkers[h.wix].attempts += 1;
                     st.iface.note_retry(wait);
+                    if tracer.enabled() {
+                        tracer.emit(&TraceEvent {
+                            kind: "retry".into(),
+                            detail: "backoff".into(),
+                            span: h.span,
+                            site: st.six as u64,
+                            walker: h.wix as u64,
+                            conn: st.walkers[h.wix].conn.index() as u64,
+                            at_ms: h.ready_at,
+                            dur_ms: wait,
+                            ..TraceEvent::default()
+                        });
+                    }
                     if st.iface.wire_is_virtual() {
                         // Bill the wait by flooring the walker's connection
                         // clock at the release time, then resubmit now —
@@ -576,11 +720,27 @@ impl CoopDriver {
                         let ready_at = handle.ready_at_ms();
                         let seq = st.next_seq;
                         st.next_seq += 1;
+                        let mut span = 0;
+                        if tracer.enabled() {
+                            span = tracer.next_span();
+                            tracer.emit(&TraceEvent {
+                                kind: "wire".into(),
+                                detail: "submit".into(),
+                                span,
+                                site: st.six as u64,
+                                walker: h.wix as u64,
+                                conn: st.walkers[h.wix].conn.index() as u64,
+                                at_ms: ready_at
+                                    .saturating_sub(handle.service_ms() + handle.queued_ms()),
+                                ..TraceEvent::default()
+                            });
+                        }
                         st.walkers[h.wix].pending = Some(Pending {
                             handle,
                             query: h.query,
                             ready_at,
                             seq,
+                            span,
                         });
                     } else {
                         // A real server means a real wait: park the walker
@@ -598,7 +758,7 @@ impl CoopDriver {
             }
         };
         let step = st.walkers[h.wix].machine.resume(answer);
-        self.advance(st, h.wix, step, run_sinks);
+        self.advance(st, h.wix, step, run_sinks, tracer);
     }
 
     /// Complete the causally-earliest outstanding fetch fleet-wide (min
@@ -607,6 +767,7 @@ impl CoopDriver {
         &self,
         states: &mut [SiteState<'_, T>],
         run_sinks: &mut [&mut dyn SampleSink],
+        tracer: &mut Tracer<'_, '_>,
     ) where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -647,7 +808,7 @@ impl CoopDriver {
             if at > now {
                 std::thread::sleep(at - now);
             }
-            Self::release_backoff(&mut states[six], wix);
+            Self::release_backoff(&mut states[six], wix, tracer);
             return;
         };
         let st = &mut states[six];
@@ -655,6 +816,20 @@ impl CoopDriver {
             .pending
             .take()
             .expect("selected walker is parked");
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent {
+                kind: "stall".into(),
+                detail: "force".into(),
+                span: p.span,
+                site: st.six as u64,
+                walker: wix as u64,
+                conn: st.walkers[wix].conn.index() as u64,
+                at_ms: p.ready_at,
+                ..TraceEvent::default()
+            });
+        }
+        let queued_ms = p.handle.queued_ms();
+        let service_ms = p.handle.service_ms();
         let result = st.iface.complete_query(p.handle);
         self.finish_fetch(
             st,
@@ -663,9 +838,13 @@ impl CoopDriver {
                 query: p.query,
                 ready_at: p.ready_at,
                 seq: p.seq,
+                span: p.span,
+                queued_ms,
+                service_ms,
                 result,
             },
             run_sinks,
+            tracer,
         );
     }
 
@@ -690,8 +869,12 @@ impl CoopDriver {
     /// connection of the receiving site, floored at `max(receiver
     /// knowledge, donor elapsed)` — the stolen walker cannot pretend to
     /// have started before the donor actually freed it.
-    fn rebalance<T>(&self, states: &mut [SiteState<'_, T>], run_sinks: &mut [&mut dyn SampleSink])
-    where
+    fn rebalance<T>(
+        &self,
+        states: &mut [SiteState<'_, T>],
+        run_sinks: &mut [&mut dyn SampleSink],
+        tracer: &mut Tracer<'_, '_>,
+    ) where
         T: Transport + AsyncTransport + Clocked,
     {
         // Newly-freed slots, each carrying its donor's elapsed time.
@@ -734,8 +917,19 @@ impl CoopDriver {
             });
             st.connections += 1;
             st.steals += 1;
+            if tracer.enabled() {
+                tracer.emit(&TraceEvent {
+                    kind: "steal".into(),
+                    detail: "grant".into(),
+                    site: st.six as u64,
+                    walker: wix as u64,
+                    conn: conn.index() as u64,
+                    at_ms: st.knowledge_ms.max(donor_elapsed),
+                    ..TraceEvent::default()
+                });
+            }
             let step = st.walkers[wix].machine.step();
-            self.advance(st, wix, step, run_sinks);
+            self.advance(st, wix, step, run_sinks, tracer);
         }
     }
 }

@@ -60,6 +60,9 @@ struct HttpConn {
     /// Fetches abandoned via `cancel`; their responses are drained off the
     /// wire (FIFO alignment) and dropped.
     cancelled: std::collections::HashSet<u64>,
+    /// Requests written on this connection so far — the per-connection
+    /// sequence number inside the `x-hds-trace` id.
+    sent: u64,
 }
 
 impl HttpConn {
@@ -70,6 +73,7 @@ impl HttpConn {
             outstanding: VecDeque::new(),
             done: HashMap::new(),
             cancelled: std::collections::HashSet::new(),
+            sent: 0,
         }
     }
 }
@@ -221,12 +225,18 @@ impl HttpTransport {
         Ok(())
     }
 
-    /// Write one GET request for `path` on `c`'s stream.
-    fn write_request(&self, c: &mut HttpConn, path: &str) -> std::io::Result<()> {
+    /// Write one GET request for `path` on `c`'s stream, stamped with a
+    /// deterministic `x-hds-trace: c{conn}-{seq}` id the server echoes
+    /// into its per-request log — the cross-process span correlation.
+    fn write_request(&self, c: &mut HttpConn, conn: ConnId, path: &str) -> std::io::Result<()> {
         self.ensure_stream(c)?;
+        c.sent += 1;
         let req = format!(
-            "GET {path} HTTP/1.1\r\nHost: {}\r\nUser-Agent: hdsampler\r\nConnection: keep-alive\r\n\r\n",
-            self.addr
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nUser-Agent: hdsampler\r\n\
+             x-hds-trace: c{}-{}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr,
+            conn.index(),
+            c.sent
         );
         let stream = c.stream.as_mut().expect("stream ensured above");
         stream.write_all(req.as_bytes())?;
@@ -343,7 +353,7 @@ impl HttpTransport {
         let cell = self.conn(conn);
         let mut c = cell.lock();
         Self::set_blocking(&mut c, true);
-        match self.write_request(&mut c, path) {
+        match self.write_request(&mut c, conn, path) {
             Ok(()) => {
                 c.outstanding.push_back(id);
             }
@@ -362,6 +372,8 @@ impl HttpTransport {
             conn,
             id,
             ready_at: 0,
+            queued_ms: 0,
+            service_ms: 0,
         }
     }
 }

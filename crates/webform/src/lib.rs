@@ -43,6 +43,10 @@
 //! * [`replay`] — [`RecordingTransport`] writing every exchange to a
 //!   JSONL tape, and [`ReplaySite`] serving one back byte-identically
 //!   with no server at all;
+//! * [`telemetry`] — trace journaling (JSONL `--trace` journals), the
+//!   [`WireSampleEvent`] format carried by the server's `/events` SSE
+//!   stream, its dependency-free chunked-transfer client, and the
+//!   per-stage latency [`TraceReport`] behind `trace report`;
 //! * [`plan`] — [`RunPlan`], the single front door: one builder
 //!   (`target → walkers → driver → attach(sink)`) that executes any of
 //!   the drivers over simulated or live sites, streaming every accepted
@@ -63,6 +67,7 @@ pub mod plan;
 pub mod render;
 pub mod replay;
 pub mod scrape;
+pub mod telemetry;
 pub mod transport;
 pub mod urlenc;
 
@@ -78,4 +83,7 @@ pub use locator::SiteLocator;
 pub use plan::{Driver, RunPlan, RunReport};
 pub use replay::{RecordingTransport, ReplaySite, TapeEntry};
 pub use scrape::{scrape_form_page, DiscoveredForm};
+pub use telemetry::{
+    read_journal, summarize, watch_events, write_journal, TraceReport, WireSampleEvent,
+};
 pub use transport::{Clocked, LatencyTransport, LocalSite, Transport};

@@ -29,7 +29,7 @@
 
 use std::sync::Arc;
 
-use hdsampler_core::SampleSink;
+use hdsampler_core::{trace_all, SampleSink, SampleTraceSink, TraceSink};
 use hdsampler_model::{ConjunctiveQuery, Schema};
 
 use crate::adapter::WebFormInterface;
@@ -99,6 +99,7 @@ pub struct RunPlan<'a> {
     driver: Driver,
     steal: bool,
     sinks: Vec<&'a mut dyn SampleSink>,
+    trace_sinks: Vec<&'a mut dyn TraceSink>,
 }
 
 impl<'a> RunPlan<'a> {
@@ -113,6 +114,7 @@ impl<'a> RunPlan<'a> {
             driver: Driver::Threaded,
             steal: false,
             sinks: Vec::new(),
+            trace_sinks: Vec::new(),
         }
     }
 
@@ -166,6 +168,19 @@ impl<'a> RunPlan<'a> {
         self
     }
 
+    /// Attach a [`TraceSink`] observing the run's trace events.
+    /// Repeatable; attaching none keeps tracing off (no events are even
+    /// constructed).
+    ///
+    /// Fidelity depends on the driver: the cooperative driver emits the
+    /// full span stream (cache, wire, retry, stall, steal, sample); the
+    /// threaded and serial drivers bridge accepted-sample events only,
+    /// via [`SampleTraceSink`], without touching their hot paths.
+    pub fn attach_trace(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.trace_sinks.push(sink);
+        self
+    }
+
     /// The [`FleetConfig`] this plan resolves to (what the drivers see).
     pub fn fleet_config(&self) -> FleetConfig {
         FleetConfig {
@@ -186,9 +201,18 @@ impl<'a> RunPlan<'a> {
         T: Transport + AsyncTransport + Clocked + Send,
     {
         let cfg = self.fleet_config();
+        let mut bridge = SampleTraceSink::new();
         let mut run_sinks: Vec<&mut dyn SampleSink> =
             self.sinks.drain(..).map(|s| &mut *s).collect();
-        match self.driver {
+        let mut trace_sinks: Vec<&mut dyn TraceSink> =
+            self.trace_sinks.drain(..).map(|s| &mut *s).collect();
+        // The threaded/serial drivers have no native trace stream; mirror
+        // their accepted samples through a bridge sink instead.
+        let bridging = !trace_sinks.is_empty() && !matches!(self.driver, Driver::Coop { .. });
+        if bridging {
+            run_sinks.push(&mut bridge);
+        }
+        let report = match self.driver {
             Driver::Threaded => RunReport {
                 driver: self.driver,
                 fleet: MultiSiteDriver::new(cfg).run_concurrent_observed(sites, &mut run_sinks),
@@ -204,14 +228,21 @@ impl<'a> RunPlan<'a> {
                 if let Some(c) = conns {
                     coop = coop.with_connections(c);
                 }
-                let (fleet, details) = coop.run_observed(sites, &mut run_sinks);
+                let (fleet, details) = coop.run_traced(sites, &mut run_sinks, &mut trace_sinks);
                 RunReport {
                     driver: self.driver,
                     fleet,
                     details: Some(details),
                 }
             }
+        };
+        if bridging {
+            drop(run_sinks);
+            for event in bridge.take() {
+                trace_all(&mut trace_sinks, &event);
+            }
         }
+        report
     }
 
     /// Connect every locator through the standard
@@ -376,6 +407,65 @@ mod tests {
         assert_eq!(cfg.walkers_per_site, 3);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.slider, 0.5);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_sample_sequence() {
+        // Acceptance: disabling tracing changes no sample sequence. Run
+        // the cooperative driver twice from one seed, traced and
+        // untraced, and require identical per-site sample key sequences
+        // and identical fleet clocks.
+        use hdsampler_core::TraceLog;
+        let run = |trace: Option<&mut TraceLog>| {
+            let mut fleet = vec![figure1_task("a", 40), figure1_task("b", 60)];
+            let plan = RunPlan::target(25)
+                .walkers(3)
+                .seed(77)
+                .driver(Driver::Coop { conns: Some(2) });
+            let report = match trace {
+                Some(log) => plan.attach_trace(log).run(&mut fleet),
+                None => plan.run(&mut fleet),
+            };
+            (
+                report
+                    .fleet
+                    .sites
+                    .iter()
+                    .map(|s| s.samples.keys())
+                    .collect::<Vec<_>>(),
+                report.fleet.fleet_elapsed_ms,
+            )
+        };
+        let mut log = TraceLog::new();
+        let traced = run(Some(&mut log));
+        let untraced = run(None);
+        assert_eq!(traced, untraced, "tracing must be a pure observer");
+        assert!(
+            log.events().iter().any(|e| e.kind == "wire"),
+            "the traced run journaled wire events"
+        );
+        assert!(log.events().iter().any(|e| e.kind == "sample"));
+    }
+
+    #[test]
+    fn threaded_and_serial_drivers_bridge_samples_into_trace_sinks() {
+        use hdsampler_core::TraceLog;
+        for driver in [Driver::Threaded, Driver::Serial] {
+            let mut fleet = vec![figure1_task("a", 10)];
+            let mut log = TraceLog::new();
+            let report = RunPlan::target(10)
+                .walkers(2)
+                .seed(3)
+                .driver(driver)
+                .attach_trace(&mut log)
+                .run(&mut fleet);
+            assert_eq!(
+                log.events().len(),
+                report.total_samples(),
+                "one bridged sample event per accepted sample under {driver:?}"
+            );
+            assert!(log.events().iter().all(|e| e.kind == "sample"));
+        }
     }
 
     #[test]

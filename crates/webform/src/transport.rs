@@ -280,7 +280,7 @@ impl<T: Transport> AsyncTransport for LatencyTransport<T> {
 
     fn submit(&self, conn: ConnId, path: &str) -> FetchHandle {
         let latency_ms = self.draw_latency_ms();
-        let ready_at = self.clocks.schedule(conn, latency_ms);
+        let (ready_at, queued_ms) = self.clocks.schedule_split(conn, latency_ms);
         self.charged_ms.fetch_add(latency_ms, Ordering::Relaxed);
         // The inner fetch is CPU work; only the wire is virtual. Executing
         // it eagerly keeps submit non-blocking in virtual time while the
@@ -288,7 +288,13 @@ impl<T: Transport> AsyncTransport for LatencyTransport<T> {
         let result = self.inner.fetch(path);
         let id = self.next_fetch.fetch_add(1, Ordering::Relaxed);
         self.in_flight.lock().insert(id, result);
-        FetchHandle { conn, id, ready_at }
+        FetchHandle {
+            conn,
+            id,
+            ready_at,
+            queued_ms,
+            service_ms: latency_ms,
+        }
     }
 
     fn poll(&self, handle: FetchHandle) -> FetchPoll {
