@@ -102,7 +102,12 @@ multi-site:
 
 serve:
   --port <P>           TCP port on 127.0.0.1 (default 8000; 0 = ephemeral)
-  --workers <W>        connection worker threads                (default 4)
+  --reactor            event-driven serve mode: epoll readiness loops, one
+                       per core, multiplexing every connection (default)
+  --pool               thread-per-connection serve mode: a bounded worker
+                       pool of --workers threads (at most that many
+                       keep-alive connections at once)
+  --workers <W>        connection worker threads with --pool     (default 4)
   --serve-for <SECS>   shut down gracefully after SECS (default: run until
                        killed)
   --chaos <spec>       serve through a fault-injecting adversary (grammar as
@@ -207,7 +212,10 @@ pub enum Command {
     Serve {
         /// Port on 127.0.0.1 (0 picks an ephemeral port).
         port: u16,
-        /// Connection worker threads.
+        /// Serve through the bounded thread-per-connection pool instead
+        /// of the default epoll reactor (`--pool`).
+        pool: bool,
+        /// Connection worker threads (pool mode).
         workers: usize,
         /// Graceful shutdown after this many seconds (None: run until
         /// killed).
@@ -324,6 +332,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut port = 8000u16;
     let mut serve_workers = 4usize;
     let mut serve_for = None;
+    let mut serve_pool = false;
+    let mut serve_reactor = false;
     let mut coop_walkers = None;
     let mut coop_conns = None;
     let mut watch = false;
@@ -432,6 +442,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                     return Err("--workers must be at least 1".into());
                 }
             }
+            "--pool" => serve_pool = true,
+            "--reactor" => serve_reactor = true,
             "--serve-for" => {
                 serve_for = Some(
                     value("--serve-for")?
@@ -543,6 +555,15 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     if metrics.is_some() && !matches!(command_word.as_str(), "sample" | "multi-site" | "serve") {
         return Err(format!("--metrics does not apply to `{command_word}`"));
     }
+    if (serve_pool || serve_reactor) && command_word != "serve" {
+        return Err(format!(
+            "--{} does not apply to `{command_word}`",
+            if serve_pool { "pool" } else { "reactor" }
+        ));
+    }
+    if serve_pool && serve_reactor {
+        return Err("--pool and --reactor name opposite serve modes; pick one".into());
+    }
 
     let command = match command_word.as_str() {
         "describe" => Command::Describe,
@@ -643,6 +664,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         }
         "serve" => Command::Serve {
             port,
+            pool: serve_pool,
             workers: serve_workers,
             serve_for,
             chaos,
@@ -886,6 +908,7 @@ mod tests {
             cli.command,
             Command::Serve {
                 port: 9090,
+                pool: false,
                 workers: 8,
                 serve_for: Some(30),
                 chaos: None,
@@ -900,6 +923,7 @@ mod tests {
             defaults.command,
             Command::Serve {
                 port: 8000,
+                pool: false,
                 workers: 4,
                 serve_for: None,
                 chaos: None,
@@ -909,6 +933,20 @@ mod tests {
         );
         assert!(parse(&argv(&["serve", "--workers", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--port", "99999"])).is_err());
+
+        // Serve modes: the reactor is the default, `--pool` opts out, and
+        // the two flags are mutually exclusive and serve-only.
+        assert!(matches!(
+            parse(&argv(&["serve", "--pool"])).unwrap().command,
+            Command::Serve { pool: true, .. }
+        ));
+        assert!(matches!(
+            parse(&argv(&["serve", "--reactor"])).unwrap().command,
+            Command::Serve { pool: false, .. }
+        ));
+        assert!(parse(&argv(&["serve", "--pool", "--reactor"])).is_err());
+        assert!(parse(&argv(&["sample", "--pool"])).is_err());
+        assert!(parse(&argv(&["describe", "--reactor"])).is_err());
 
         let remote = parse(&argv(&["sample", "--remote", "127.0.0.1:9090"])).unwrap();
         assert_eq!(remote.common.remote.as_deref(), Some("127.0.0.1:9090"));

@@ -11,8 +11,8 @@ use hdsampler_estimator::{fmt_stat, Estimator, Histogram, MarginalComparison, On
 use hdsampler_hidden_db::{CountMode, HiddenDb};
 use hdsampler_model::{ConjunctiveQuery, FormInterface, Schema};
 use hdsampler_server::{
-    render_server_metrics, Adversary, BridgeSink, HttpServer, Response, ServerConfig, ServerHandle,
-    SiteBehavior,
+    render_server_metrics, Adversary, BridgeSink, HttpServer, Response, ServeMode, ServerConfig,
+    ServerHandle, SiteBehavior,
 };
 use hdsampler_webform::{
     read_journal, summarize, watch_events, write_journal, AsyncTransport, BoxTransport, ChaosSpec,
@@ -345,6 +345,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
         }
         Command::Serve {
             port,
+            pool,
             workers,
             serve_for,
             chaos,
@@ -353,6 +354,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
         } => serve(
             &cli.common,
             port,
+            pool,
             workers,
             serve_for,
             chaos,
@@ -395,9 +397,11 @@ fn trace_watch(addr: &str) -> Result<(), String> {
 
 /// Put the simulated site behind a real HTTP front door on 127.0.0.1,
 /// optionally hidden behind a fault-injecting [`Adversary`].
+#[allow(clippy::too_many_arguments)]
 fn serve(
     common: &Common,
     port: u16,
+    pool: bool,
     workers: usize,
     serve_for: Option<u64>,
     chaos: Option<ChaosSpec>,
@@ -409,9 +413,16 @@ fn serve(
     let k = db.result_limit();
     let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
     let action = site.form().action().to_string();
+    let mode = if pool {
+        ServeMode::Pool
+    } else {
+        ServeMode::Reactor
+    };
+    let reactor_live = mode == ServeMode::Reactor && cfg!(target_os = "linux");
     let cfg = ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         workers,
+        mode,
         ..ServerConfig::default()
     };
     // The adversary (when any) is kept on this side too, so the shutdown
@@ -428,6 +439,13 @@ fn serve(
         handle.addr()
     );
     println!("telemetry: /metrics exposition and /events live stream on the same port");
+    if reactor_live {
+        println!("mode: epoll reactor — one readiness loop per core multiplexing every connection");
+    } else if mode == ServeMode::Reactor {
+        println!("mode: bounded pool, {workers} worker thread(s) (the epoll reactor needs Linux)");
+    } else {
+        println!("mode: bounded pool, {workers} worker thread(s) (--pool)");
+    }
     if let Some(adv) = &adversary {
         let spec = adv.spec();
         println!(
@@ -468,6 +486,17 @@ fn serve(
                 stats.requests_events,
                 stats.requests_other,
             );
+            if reactor_live {
+                println!(
+                    "reactor: {} wakeups, {} ready events, {} accepts, {} timers fired, \
+                     {} connection(s) still open",
+                    stats.reactor_wakeups,
+                    stats.reactor_ready_events,
+                    stats.reactor_accepts,
+                    stats.timers_fired,
+                    stats.open_connections,
+                );
+            }
             if let Some(path) = &telemetry.metrics {
                 std::fs::write(path, render_server_metrics(&stats, None))
                     .map_err(|e| format!("cannot write metrics exposition `{path}`: {e}"))?;
@@ -825,11 +854,13 @@ fn fleet_watch_sink(schema: &Schema) -> Result<WatchSink, String> {
 /// `multi-site --remote a,b,c`: one site per live server address, real
 /// wall clock instead of the virtual one.
 /// Pipelined connections per live site when `--driver coop` is used
-/// without `--coop-conns`: the server side is thread-per-connection
-/// (`serve --workers`, default 4), so a handful of deeply-pipelined
-/// connections serves hundreds of walkers where one-per-walker would
-/// starve the worker pool and trip keep-alive idle timeouts.
-const DEFAULT_REMOTE_COOP_CONNS: usize = 4;
+/// without `--coop-conns`: the reactor server (the `serve` default)
+/// multiplexes every connection onto per-core readiness loops, so a
+/// wide fan-out no longer starves a worker pool — 64 connections keeps
+/// per-connection pipelines shallow (better latency under cancellation)
+/// while staying far below fd limits. Against a `serve --pool` server,
+/// cap it by hand (`--coop-conns <= --workers`).
+const DEFAULT_REMOTE_COOP_CONNS: usize = 64;
 
 #[allow(clippy::too_many_arguments)]
 fn multi_site_remote(
@@ -1051,10 +1082,10 @@ fn sample(
     }
     let (driver, walker_count) = match (&loc, coop_walkers) {
         (SiteLocator::Http { addr }, Some(w)) => {
-            // Without an explicit --coop-conns, pipeline over a handful of
-            // connections: the server side is thread-per-connection, so
-            // one-socket-per-walker starves its worker pool once W exceeds
-            // `serve --workers`.
+            // Without an explicit --coop-conns, fan out over a reactor-
+            // sized default: the event-driven server multiplexes them all
+            // on epoll, and `.min(w)` keeps small fleets at one socket
+            // per walker.
             let conns = coop_conns
                 .unwrap_or(DEFAULT_REMOTE_COOP_CONNS)
                 .min(w.max(1));

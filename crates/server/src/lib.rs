@@ -35,6 +35,10 @@
 //! * [`events`] — the [`EventHub`] broadcast behind `GET /events`
 //!   (chunked SSE) and the [`BridgeSink`] that mirrors a local sampling
 //!   run's accepted samples onto it;
+//! * [`reactor`] — the event-driven serve mode: epoll readiness loops
+//!   (one per core) multiplexing resumable per-connection
+//!   [`ConnMachine`]s, the C10K front half and the default
+//!   [`ServeMode`];
 //! * [`server`] — the accept loop, keep-alive connection handling,
 //!   graceful shutdown, live [`ServerStats`] (per-route counters,
 //!   bytes in/out, a per-request ring log with echoed `x-hds-trace`
@@ -44,6 +48,7 @@ pub mod adversary;
 pub mod events;
 pub mod http;
 pub mod pool;
+pub mod reactor;
 pub mod server;
 pub mod site;
 
@@ -51,8 +56,9 @@ pub use adversary::Adversary;
 pub use events::{BridgeSink, EventHub};
 pub use http::{parse_request, write_response, HttpVersion, Request, RequestError, Response};
 pub use pool::ThreadPool;
+pub use reactor::{ConnMachine, WriteProgress};
 pub use server::{
-    render_server_metrics, HttpServer, RequestLogEntry, ServerConfig, ServerHandle, ServerStats,
-    REQUEST_LOG_CAP,
+    render_server_metrics, HttpServer, RequestLogEntry, ServeMode, ServerConfig, ServerHandle,
+    ServerStats, REQUEST_LOG_CAP,
 };
 pub use site::{SiteBehavior, ERROR_HEADER, ISSUED_HEADER};

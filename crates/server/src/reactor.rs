@@ -1,0 +1,662 @@
+//! Event-driven serve mode: an epoll readiness loop per core, each
+//! multiplexing thousands of keep-alive connections through resumable
+//! [`ConnMachine`]s — the server-side mirror of the client's
+//! `WalkMachine` trick (state machines instead of stacks).
+//!
+//! The bounded worker pool ([`crate::pool`]) caps concurrency at
+//! `workers + queue_depth` connections; everything beyond that waits in
+//! the accept backlog. This module replaces the thread-per-connection
+//! model with per-core loops over
+//! [`Epoll`](hdsampler_webform::reactor::Epoll): a connection costs one
+//! slab slot (a few KiB) instead of a stack, so one process holds 10k+
+//! concurrent keep-alive connections — the C10K shape the cooperative
+//! client drives.
+//!
+//! Semantics match the pool path by construction: both feed parsed
+//! requests through the same [`handle_request`](crate::server) helper
+//! and serialize responses with the same `write_response`, so a seeded
+//! sampling run against either serve mode sees byte-identical pages in
+//! identical order. The differences are purely mechanical:
+//!
+//! * slowloris/idle deadlines are reactor timers (a generation-stamped
+//!   binary heap) instead of per-read timeouts;
+//! * short writes park the connection with residual output in its
+//!   machine and resume on the next writable event;
+//! * `/events` watchers — blocking, long-lived — are handed off to a
+//!   dedicated thread, exactly one per watcher, matching the pool mode's
+//!   dedicate-a-worker behavior.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::events::EventHub;
+use crate::http::{parse_request, write_response, Response};
+use crate::server::{handle_request, stream_events, Handled, ServerConfig, StatsInner, IDLE_POLL};
+use crate::site::SiteBehavior;
+
+/// One connection's resumable serve state: accumulated request bytes in,
+/// queued response bytes out, and whether the connection closes once the
+/// output drains.
+///
+/// The machine is I/O-agnostic — [`write_some`](ConnMachine::write_some)
+/// takes any [`Write`] — so tests can drive it through writers that
+/// inject `WouldBlock` at arbitrary chunk boundaries and assert the
+/// reassembled byte stream is identical to a blocking write.
+#[derive(Debug, Default)]
+pub struct ConnMachine {
+    /// Unparsed request bytes read so far.
+    pub buf: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    close_after_flush: bool,
+}
+
+/// Outcome of one [`ConnMachine::write_some`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// Every queued byte is on the wire.
+    Done,
+    /// The writer would block; residual bytes stay queued for the next
+    /// writable event.
+    Blocked,
+}
+
+impl ConnMachine {
+    /// A fresh machine with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialize `resp` onto the output queue with exactly the framing
+    /// the blocking path uses (`write_response` into the buffer), and
+    /// arm close-after-flush when the exchange ends the connection.
+    /// Returns the number of bytes queued.
+    pub fn queue_response(
+        &mut self,
+        resp: &Response,
+        keep_alive: bool,
+        allow_chunked: bool,
+        chunk_threshold: usize,
+    ) -> usize {
+        let threshold = if allow_chunked {
+            chunk_threshold
+        } else {
+            usize::MAX
+        };
+        let before = self.out.len();
+        write_response(&mut self.out, resp, keep_alive, threshold)
+            .expect("writing into a Vec cannot fail");
+        if !keep_alive {
+            self.close_after_flush = true;
+        }
+        self.out.len() - before
+    }
+
+    /// Push queued output into `w` until done or it would block.
+    /// `Interrupted` writes are retried; `Ok(0)` is an error (the peer
+    /// cannot accept bytes but did not signal `WouldBlock`).
+    pub fn write_some(&mut self, w: &mut impl Write) -> io::Result<WriteProgress> {
+        while self.out_pos < self.out.len() {
+            match w.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(WriteProgress::Blocked),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(WriteProgress::Done)
+    }
+
+    /// Whether response bytes are still queued for the wire.
+    pub fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Whether the connection should close once the output drains.
+    pub fn close_after_flush(&self) -> bool {
+        self.close_after_flush
+    }
+
+    /// Arm close-after-flush (terminal responses queued externally).
+    pub fn set_close_after_flush(&mut self) {
+        self.close_after_flush = true;
+    }
+}
+
+/// Spawn the reactor serve threads. The returned handle is the
+/// supervisor: joining it joins every per-core loop, giving
+/// [`ServerHandle::shutdown`](crate::server::ServerHandle::shutdown) the
+/// same single-join semantics as the pool acceptor.
+#[cfg(target_os = "linux")]
+pub(crate) fn spawn<S: SiteBehavior + 'static>(
+    listener: TcpListener,
+    site: Arc<S>,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+    hub: Arc<EventHub>,
+    cfg: ServerConfig,
+) -> io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let threads = if cfg.reactor_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.reactor_threads
+    };
+    std::thread::Builder::new()
+        .name("hds-reactor".into())
+        .spawn(move || {
+            let mut loops = Vec::with_capacity(threads);
+            for i in 0..threads {
+                // Every loop shares the listener's file description: the
+                // kernel wakes all of them on a pending accept
+                // (level-triggered) and the losers harvest `WouldBlock`.
+                let Ok(listener) = listener.try_clone() else {
+                    continue;
+                };
+                let site = Arc::clone(&site);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let hub = Arc::clone(&hub);
+                let cfg = cfg.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("hds-reactor-{i}"))
+                    .spawn(move || reactor_loop(listener, &*site, &stats, &stop, &hub, &cfg));
+                if let Ok(handle) = handle {
+                    loops.push(handle);
+                }
+            }
+            for handle in loops {
+                let _ = handle.join();
+            }
+        })
+}
+
+#[cfg(target_os = "linux")]
+struct ConnSlot {
+    stream: TcpStream,
+    machine: ConnMachine,
+    /// Bumped whenever the deadline re-arms; timers stamped with an older
+    /// generation are stale and skipped.
+    gen: u64,
+    /// The client half-closed; close once the output drains.
+    eof: bool,
+    /// Interest currently registered with the epoll set.
+    wants_write: bool,
+}
+
+/// The reserved epoll token for the listener; connection slots map to
+/// `token - 1`.
+#[cfg(target_os = "linux")]
+const LISTENER_TOKEN: u64 = 0;
+
+#[cfg(target_os = "linux")]
+fn reactor_loop(
+    listener: TcpListener,
+    site: &dyn SiteBehavior,
+    stats: &Arc<StatsInner>,
+    stop: &Arc<AtomicBool>,
+    hub: &Arc<EventHub>,
+    cfg: &ServerConfig,
+) {
+    use hdsampler_webform::reactor::{Epoll, Interest};
+    use std::os::fd::AsRawFd;
+
+    let Ok(ep) = Epoll::new() else { return };
+    if ep
+        .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::Read)
+        .is_err()
+    {
+        return;
+    }
+
+    let mut slots: Vec<Option<ConnSlot>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0usize;
+    // Min-heap of (fire-at, slot, generation) deadlines.
+    let mut timers: BinaryHeap<Reverse<(Instant, usize, u64)>> = BinaryHeap::new();
+    let mut events = Vec::new();
+    let mut draining = false;
+    let mut grace: Option<Instant> = None;
+
+    let close_slot = |slots: &mut Vec<Option<ConnSlot>>,
+                      free: &mut Vec<usize>,
+                      live: &mut usize,
+                      ep: &Epoll,
+                      ix: usize| {
+        if let Some(slot) = slots[ix].take() {
+            // Deregister before the stream drops (and its fd closes):
+            // see `Epoll::deregister` on fd-number reuse.
+            let _ = ep.deregister(slot.stream.as_raw_fd());
+            free.push(ix);
+            *live -= 1;
+            stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    };
+
+    loop {
+        if stop.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            grace = Some(Instant::now() + cfg.keep_alive_timeout);
+            let _ = ep.deregister(listener.as_raw_fd());
+            // Quiet shutdown point, as in the pool path: connections with
+            // no buffered request and nothing left to flush close now;
+            // the rest finish their in-flight exchange.
+            for ix in 0..slots.len() {
+                let idle = slots[ix]
+                    .as_ref()
+                    .is_some_and(|s| s.machine.buf.is_empty() && !s.machine.has_pending_out());
+                if idle {
+                    close_slot(&mut slots, &mut free, &mut live, &ep, ix);
+                }
+            }
+        }
+        if draining {
+            let expired = grace.is_some_and(|g| Instant::now() >= g);
+            if live == 0 || expired {
+                for ix in 0..slots.len() {
+                    close_slot(&mut slots, &mut free, &mut live, &ep, ix);
+                }
+                return;
+            }
+        }
+
+        let now = Instant::now();
+        let mut timeout = IDLE_POLL;
+        if let Some(Reverse((at, _, _))) = timers.peek() {
+            timeout = timeout.min(at.saturating_duration_since(now));
+        }
+        // Round sub-millisecond waits *up*: epoll's granularity is 1 ms,
+        // and truncating to 0 turns the last millisecond before every
+        // pending deadline into a busy poll. Deadlines only need to fire
+        // eventually, never early, so late-by-a-tick is fine.
+        let timeout_ms = if timeout.is_zero() {
+            0
+        } else {
+            timeout.as_millis().max(1) as i32
+        };
+        let n = ep.wait(&mut events, timeout_ms).unwrap_or(0);
+        stats.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        stats
+            .reactor_ready_events
+            .fetch_add(n as u64, Ordering::Relaxed);
+
+        let ready: Vec<_> = events.iter().take(n).copied().collect();
+        for ev in ready {
+            if ev.token == LISTENER_TOKEN {
+                if draining {
+                    continue;
+                }
+                accept_ready(
+                    &listener,
+                    &ep,
+                    &mut slots,
+                    &mut free,
+                    &mut live,
+                    &mut timers,
+                    stats,
+                    stop,
+                    cfg,
+                );
+                continue;
+            }
+            let ix = (ev.token - 1) as usize;
+            if slots.get(ix).is_none_or(|s| s.is_none()) {
+                continue;
+            }
+            let keep = drive_conn(
+                &ep,
+                slots[ix].as_mut().expect("slot checked live"),
+                ix,
+                &mut timers,
+                ev.readable,
+                site,
+                stats,
+                stop,
+                hub,
+                cfg,
+            );
+            match keep {
+                Driven::Keep => {}
+                Driven::Close => close_slot(&mut slots, &mut free, &mut live, &ep, ix),
+                Driven::Detached => {
+                    // The slot's stream moved to a dedicated thread; the
+                    // fd was already deregistered and the gauge is now
+                    // that thread's to decrement.
+                    slots[ix] = None;
+                    free.push(ix);
+                    live -= 1;
+                }
+            }
+        }
+
+        // Fire due deadlines: idle keep-alive connections close, partial
+        // requests get the slowloris 408, unflushed terminal responses
+        // get a bounded flush window and then a hard close.
+        let now = Instant::now();
+        while let Some(&Reverse((at, ix, gen))) = timers.peek() {
+            if at > now {
+                break;
+            }
+            timers.pop();
+            let must_close = {
+                let Some(slot) = slots.get_mut(ix).and_then(|s| s.as_mut()) else {
+                    continue;
+                };
+                if slot.gen != gen {
+                    continue;
+                }
+                stats.timers_fired.fetch_add(1, Ordering::Relaxed);
+                if slot.machine.close_after_flush() || slot.machine.buf.is_empty() {
+                    // Flush window exhausted, or a clean idle timeout.
+                    true
+                } else {
+                    // A partial request sat past the deadline: slowloris.
+                    // Answer 408 and give the flush one more window.
+                    let resp = Response::text(408, "Request Timeout", "408 request timeout".into());
+                    let queued =
+                        slot.machine
+                            .queue_response(&resp, false, false, cfg.chunk_threshold);
+                    stats.responses_client_error.fetch_add(1, Ordering::Relaxed);
+                    stats.bytes_out.fetch_add(queued as u64, Ordering::Relaxed);
+                    slot.gen += 1;
+                    timers.push(Reverse((now + cfg.keep_alive_timeout, ix, slot.gen)));
+                    match slot.machine.write_some(&mut slot.stream) {
+                        Ok(WriteProgress::Done) | Err(_) => true,
+                        Ok(WriteProgress::Blocked) => {
+                            update_interest(&ep, slot, ix);
+                            false
+                        }
+                    }
+                }
+            };
+            if must_close {
+                close_slot(&mut slots, &mut free, &mut live, &ep, ix);
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+#[allow(clippy::too_many_arguments)]
+fn accept_ready(
+    listener: &TcpListener,
+    ep: &hdsampler_webform::reactor::Epoll,
+    slots: &mut Vec<Option<ConnSlot>>,
+    free: &mut Vec<usize>,
+    live: &mut usize,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize, u64)>>,
+    stats: &StatsInner,
+    stop: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    use hdsampler_webform::reactor::Interest;
+    use std::os::fd::AsRawFd;
+
+    loop {
+        // Re-checked per accept: `ServerHandle::shutdown` stores the stop
+        // flag and then dials a wake-up connection; like the pool's
+        // post-accept stop check, that dial (and anything racing it) must
+        // not be counted or served.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // one tick instead of spinning on the level-triggered
+                // listener readiness.
+                std::thread::sleep(Duration::from_millis(10));
+                return;
+            }
+        };
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        stats.reactor_accepts.fetch_add(1, Ordering::Relaxed);
+        stats.open_connections.fetch_add(1, Ordering::Relaxed);
+        let ix = free.pop().unwrap_or_else(|| {
+            slots.push(None);
+            slots.len() - 1
+        });
+        let fd = stream.as_raw_fd();
+        let slot = ConnSlot {
+            stream,
+            machine: ConnMachine::new(),
+            gen: 0,
+            eof: false,
+            wants_write: false,
+        };
+        if ep.register(fd, ix as u64 + 1, Interest::Read).is_err() {
+            free.push(ix);
+            stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        timers.push(Reverse((
+            Instant::now() + cfg.keep_alive_timeout,
+            ix,
+            slot.gen,
+        )));
+        slots[ix] = Some(slot);
+        *live += 1;
+    }
+}
+
+#[cfg(target_os = "linux")]
+enum Driven {
+    Keep,
+    Close,
+    /// `/events`: the stream left the slab for a dedicated thread.
+    Detached,
+}
+
+/// Resume one connection on a readiness event: flush pending output,
+/// drain the socket, parse and answer every complete request, decide
+/// whether the connection lives on.
+#[cfg(target_os = "linux")]
+#[allow(clippy::too_many_arguments)]
+fn drive_conn(
+    ep: &hdsampler_webform::reactor::Epoll,
+    slot: &mut ConnSlot,
+    ix: usize,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize, u64)>>,
+    readable: bool,
+    site: &dyn SiteBehavior,
+    stats: &Arc<StatsInner>,
+    stop: &Arc<AtomicBool>,
+    hub: &Arc<EventHub>,
+    cfg: &ServerConfig,
+) -> Driven {
+    use std::os::fd::AsRawFd;
+
+    // Short-write resumption first: a writable event (or any wakeup with
+    // queued output) continues the interrupted response.
+    if slot.machine.has_pending_out() && slot.machine.write_some(&mut slot.stream).is_err() {
+        return Driven::Close;
+    }
+
+    if readable {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match slot.stream.read(&mut tmp) {
+                Ok(0) => {
+                    slot.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    slot.machine.buf.extend_from_slice(&tmp[..n]);
+                    stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Driven::Close,
+            }
+        }
+    }
+
+    // Answer every complete request already buffered (pipelining).
+    while !slot.machine.close_after_flush() {
+        match parse_request(&slot.machine.buf) {
+            Ok(None) => break,
+            Ok(Some((req, consumed))) => {
+                slot.machine.buf.drain(..consumed);
+                match handle_request(&req, site, stats, stop, hub, cfg) {
+                    Handled::Response {
+                        resp,
+                        keep_alive,
+                        allow_chunked,
+                    } => {
+                        let counter = match resp.status {
+                            200..=299 => &stats.responses_ok,
+                            400..=499 => &stats.responses_client_error,
+                            _ => &stats.responses_server_error,
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        let queued = slot.machine.queue_response(
+                            &resp,
+                            keep_alive,
+                            allow_chunked,
+                            cfg.chunk_threshold,
+                        );
+                        stats.bytes_out.fetch_add(queued as u64, Ordering::Relaxed);
+                        // Keep-alive reset: the idle clock restarts once
+                        // a request is answered.
+                        slot.gen += 1;
+                        timers.push(Reverse((
+                            Instant::now() + cfg.keep_alive_timeout,
+                            ix,
+                            slot.gen,
+                        )));
+                    }
+                    Handled::EventStream => {
+                        // Hand the connection to a dedicated blocking
+                        // thread — the SSE stream outlives any readiness
+                        // loop iteration. Deregister before anything
+                        // else so the fd leaves this epoll set while we
+                        // still own it.
+                        let _ = ep.deregister(slot.stream.as_raw_fd());
+                        let Ok(stream) = slot.stream.try_clone() else {
+                            return Driven::Close;
+                        };
+                        let _ = stream.set_nonblocking(false);
+                        let stats = Arc::clone(stats);
+                        let stop = Arc::clone(stop);
+                        let hub = Arc::clone(hub);
+                        let spawned = std::thread::Builder::new().name("hds-events".into()).spawn(
+                            move || {
+                                let mut stream = stream;
+                                stream_events(&mut stream, &hub, &stop, &stats);
+                                stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+                            },
+                        );
+                        if spawned.is_err() {
+                            return Driven::Close;
+                        }
+                        return Driven::Detached;
+                    }
+                    Handled::Sever => return Driven::Close,
+                }
+            }
+            Err(e) => {
+                let (status, reason) = e.status();
+                let resp = Response::text(status, reason, format!("{status} {e}"));
+                let counter = match status {
+                    400..=499 => &stats.responses_client_error,
+                    _ => &stats.responses_server_error,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let queued = slot
+                    .machine
+                    .queue_response(&resp, false, false, cfg.chunk_threshold);
+                stats.bytes_out.fetch_add(queued as u64, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+
+    match slot.machine.write_some(&mut slot.stream) {
+        Ok(WriteProgress::Done) => {
+            if slot.machine.close_after_flush() || slot.eof {
+                return Driven::Close;
+            }
+        }
+        Ok(WriteProgress::Blocked) => {
+            if slot.eof && !slot.machine.has_pending_out() {
+                return Driven::Close;
+            }
+        }
+        Err(_) => return Driven::Close,
+    }
+    update_interest(ep, slot, ix);
+    Driven::Keep
+}
+
+/// Keep the epoll registration's interest in step with whether the
+/// connection has output waiting for a writable event.
+#[cfg(target_os = "linux")]
+fn update_interest(ep: &hdsampler_webform::reactor::Epoll, slot: &mut ConnSlot, ix: usize) {
+    use hdsampler_webform::reactor::Interest;
+    use std::os::fd::AsRawFd;
+
+    let wants_write = slot.machine.has_pending_out();
+    if wants_write != slot.wants_write {
+        let interest = if wants_write {
+            Interest::ReadWrite
+        } else {
+            Interest::Read
+        };
+        // Token is positional and unchanged; only the mask moves.
+        let _ = ep.modify(slot.stream.as_raw_fd(), ix as u64 + 1, interest);
+        slot.wants_write = wants_write;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_and_drain_round_trips() {
+        let resp = Response::text(200, "OK", "hello".into());
+        let mut machine = ConnMachine::new();
+        let queued = machine.queue_response(&resp, true, true, 1024);
+        assert!(queued > 0);
+        assert!(machine.has_pending_out());
+        let mut sink = Vec::new();
+        assert_eq!(machine.write_some(&mut sink).unwrap(), WriteProgress::Done);
+        assert_eq!(sink.len(), queued);
+        assert!(!machine.has_pending_out());
+        assert!(!machine.close_after_flush());
+
+        // The queued bytes are exactly what the blocking path writes.
+        let mut direct = Vec::new();
+        write_response(&mut direct, &resp, true, 1024).unwrap();
+        assert_eq!(sink, direct);
+    }
+
+    #[test]
+    fn close_response_arms_close_after_flush() {
+        let resp = Response::text(400, "Bad Request", "nope".into());
+        let mut machine = ConnMachine::new();
+        machine.queue_response(&resp, false, false, 1024);
+        assert!(machine.close_after_flush());
+    }
+}

@@ -19,16 +19,36 @@ use crate::events::EventHub;
 use crate::http::{parse_request, write_response, Request, Response, DEFAULT_CHUNK_THRESHOLD};
 use crate::site::SiteBehavior;
 
+/// How a server multiplexes its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Event-driven epoll reactor, one readiness loop per core: a
+    /// connection costs a slab slot, not a thread, so one process holds
+    /// 10k+ concurrent keep-alive connections. The default; falls back
+    /// to [`ServeMode::Pool`] on platforms without epoll.
+    #[default]
+    Reactor,
+    /// The original bounded worker pool: thread-per-in-flight-connection,
+    /// concurrency capped at `workers + queue_depth`. Simpler blocking
+    /// I/O; useful as a comparison baseline and on non-Linux hosts.
+    Pool,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`ServerHandle::addr`] for the chosen one).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Connection multiplexing strategy.
+    pub mode: ServeMode,
+    /// Reactor loops to run under [`ServeMode::Reactor`]; 0 means one
+    /// per available core.
+    pub reactor_threads: usize,
+    /// Worker threads handling connections ([`ServeMode::Pool`]).
     pub workers: usize,
     /// Accepted connections that may wait for a free worker before the
-    /// acceptor itself blocks (backpressure).
+    /// acceptor itself blocks (backpressure; [`ServeMode::Pool`]).
     pub queue_depth: usize,
     /// Idle time after which a keep-alive connection is closed; also the
     /// per-request read deadline (slowloris guard).
@@ -46,6 +66,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            mode: ServeMode::default(),
+            reactor_threads: 0,
             workers: 4,
             queue_depth: 8,
             keep_alive_timeout: Duration::from_secs(5),
@@ -72,22 +94,36 @@ pub struct RequestLogEntry {
     pub status: u16,
 }
 
-/// Monotonic counters kept by a running server.
+/// Monotonic counters kept by a running server (plus the one gauge,
+/// `open_connections`). Shared with the reactor module, which drives the
+/// same counters from its readiness loops.
 #[derive(Debug, Default)]
-struct StatsInner {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    responses_ok: AtomicU64,
-    responses_client_error: AtomicU64,
-    responses_server_error: AtomicU64,
-    connections_dropped: AtomicU64,
-    bytes_out: AtomicU64,
-    bytes_in: AtomicU64,
-    requests_landing: AtomicU64,
-    requests_search: AtomicU64,
-    requests_metrics: AtomicU64,
-    requests_events: AtomicU64,
-    requests_other: AtomicU64,
+pub(crate) struct StatsInner {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) responses_ok: AtomicU64,
+    pub(crate) responses_client_error: AtomicU64,
+    pub(crate) responses_server_error: AtomicU64,
+    pub(crate) connections_dropped: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) requests_landing: AtomicU64,
+    pub(crate) requests_search: AtomicU64,
+    pub(crate) requests_metrics: AtomicU64,
+    pub(crate) requests_events: AtomicU64,
+    pub(crate) requests_other: AtomicU64,
+    /// `epoll_wait` returns across all reactor loops.
+    pub(crate) reactor_wakeups: AtomicU64,
+    /// Readiness events those wakeups delivered (ready-set sizes summed).
+    pub(crate) reactor_ready_events: AtomicU64,
+    /// Connections accepted by reactor loops (0 in pool mode).
+    pub(crate) reactor_accepts: AtomicU64,
+    /// Reactor deadline timers that fired (idle close, slowloris 408,
+    /// flush-window expiry).
+    pub(crate) timers_fired: AtomicU64,
+    /// Connections currently open (gauge: incremented on accept,
+    /// decremented on close — both serve modes).
+    pub(crate) open_connections: AtomicU64,
     log: Mutex<VecDeque<RequestLogEntry>>,
 }
 
@@ -135,10 +171,118 @@ pub struct ServerStats {
     pub requests_events: u64,
     /// Requests for any other target.
     pub requests_other: u64,
+    /// `epoll_wait` returns across all reactor loops (0 in pool mode).
+    pub reactor_wakeups: u64,
+    /// Readiness events delivered by those wakeups.
+    pub reactor_ready_events: u64,
+    /// Connections accepted by reactor loops.
+    pub reactor_accepts: u64,
+    /// Reactor deadline timers fired (idle close / slowloris / flush cap).
+    pub timers_fired: u64,
+    /// Connections open right now (gauge, both serve modes).
+    pub open_connections: u64,
 }
 
 /// The HTTP/1.1 server: binds a listener and serves a mounted site.
 pub struct HttpServer;
+
+/// Listen backlog sized for connection storms. `TcpListener::bind`
+/// hardcodes 128, which a C10K dial burst overflows in one scheduling
+/// quantum — the kernel then drops SYNs and every affected client stalls
+/// a full retransmission timeout (~1 s) before the connection lands. The
+/// kernel clamps this to `net.core.somaxconn`.
+const ACCEPT_BACKLOG: i32 = 4096;
+
+/// Bind a listener with [`ACCEPT_BACKLOG`]. On Linux the socket is built
+/// by hand (std offers no backlog knob); elsewhere — and for any address
+/// that is not plain IPv4 — this falls back to `TcpListener::bind`.
+fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::ToSocketAddrs;
+        let parsed = addr.to_socket_addrs()?.find(|a| a.is_ipv4());
+        if let Some(SocketAddr::V4(v4)) = parsed {
+            return listen_sys::bind_v4(v4, ACCEPT_BACKLOG);
+        }
+    }
+    TcpListener::bind(addr)
+}
+
+/// Raw socket/bind/listen syscalls: the only way to pick a listen
+/// backlog with std alone. Mirrors the FFI style of
+/// [`hdsampler_webform::reactor`].
+#[cfg(target_os = "linux")]
+mod listen_sys {
+    use std::io;
+    use std::net::{SocketAddrV4, TcpListener};
+    use std::os::fd::{FromRawFd, OwnedFd};
+    use std::os::raw::{c_int, c_void};
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+
+    /// `struct sockaddr_in`: family, then port and address in network
+    /// byte order, padded to the 16 bytes `bind(2)` expects.
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    pub fn bind_v4(addr: SocketAddrV4, backlog: c_int) -> io::Result<TcpListener> {
+        // SAFETY: plain syscalls on an fd we own; `fd` is wrapped in
+        // `OwnedFd` immediately so every error path closes it.
+        unsafe {
+            let raw = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            if raw < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fd = OwnedFd::from_raw_fd(raw);
+            let one: c_int = 1;
+            if setsockopt(
+                raw,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                &one as *const c_int as *const c_void,
+                std::mem::size_of::<c_int>() as u32,
+            ) < 0
+            {
+                return Err(io::Error::last_os_error());
+            }
+            let sa = SockaddrIn {
+                family: AF_INET as u16,
+                port_be: addr.port().to_be(),
+                addr_be: u32::from(*addr.ip()).to_be(),
+                zero: [0; 8],
+            };
+            if bind(raw, &sa, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            if listen(raw, backlog) < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(TcpListener::from(fd))
+        }
+    }
+}
 
 impl HttpServer {
     /// Bind `cfg.addr` and serve `site` until [`ServerHandle::shutdown`].
@@ -146,11 +290,32 @@ impl HttpServer {
         cfg: ServerConfig,
         site: Arc<S>,
     ) -> std::io::Result<ServerHandle> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let listener = bind_listener(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
         let hub = Arc::new(EventHub::new());
+
+        // The reactor is the default front half wherever epoll exists;
+        // elsewhere (and on request) the bounded pool serves.
+        #[cfg(target_os = "linux")]
+        if cfg.mode == ServeMode::Reactor {
+            let acceptor = crate::reactor::spawn(
+                listener,
+                site,
+                Arc::clone(&stats),
+                Arc::clone(&stop),
+                Arc::clone(&hub),
+                cfg,
+            )?;
+            return Ok(ServerHandle {
+                addr,
+                stop,
+                stats,
+                hub,
+                acceptor: Some(acceptor),
+            });
+        }
 
         let acceptor = {
             let stop = Arc::clone(&stop);
@@ -261,8 +426,125 @@ impl Drop for ServerHandle {
     }
 }
 
-/// How often an idle keep-alive connection re-checks the stop flag.
-const IDLE_POLL: Duration = Duration::from_millis(100);
+/// How often an idle keep-alive connection re-checks the stop flag; also
+/// the reactor loops' maximum sleep between wakeups.
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// What one parsed request resolved to. Both serve modes feed requests
+/// through [`handle_request`] and act on this — the pool by blocking
+/// writes, the reactor by queueing bytes into the connection's machine —
+/// which is what makes a sampling run against either mode
+/// sequence-identical.
+pub(crate) enum Handled {
+    /// Write this response, then keep or close the connection.
+    Response {
+        resp: Response,
+        keep_alive: bool,
+        allow_chunked: bool,
+    },
+    /// `/events`: the connection becomes a dedicated SSE stream.
+    EventStream,
+    /// Injected drop: sever without writing a byte.
+    Sever,
+}
+
+/// Count, route, and answer one parsed request: the serve-mode-agnostic
+/// request semantics (sequence counters, per-route counters, the
+/// body-bearing 400-and-close anti-smuggling rule, telemetry routes,
+/// trace-id echo, request log and event publication).
+pub(crate) fn handle_request(
+    req: &Request,
+    site: &dyn SiteBehavior,
+    stats: &StatsInner,
+    stop: &AtomicBool,
+    hub: &EventHub,
+    cfg: &ServerConfig,
+) -> Handled {
+    let seq = stats.requests.fetch_add(1, Ordering::Relaxed) + 1;
+    let route_counter = match route_label(&req.target) {
+        "landing" => &stats.requests_landing,
+        "search" => &stats.requests_search,
+        "metrics" => &stats.requests_metrics,
+        "events" => &stats.requests_events,
+        _ => &stats.requests_other,
+    };
+    route_counter.fetch_add(1, Ordering::Relaxed);
+    let trace = req.header("x-hds-trace").unwrap_or("").to_string();
+
+    // A body-bearing request would desynchronize the framing: this
+    // server never reads bodies, so the unread bytes would be parsed
+    // as the next request (request smuggling). Refuse AND close — a
+    // keep-alive 400 here would serve the body as a request.
+    let has_body = req
+        .header("content-length")
+        .is_some_and(|v| v.trim() != "0")
+        || req.header("transfer-encoding").is_some();
+    if has_body {
+        return Handled::Response {
+            resp: Response::text(
+                400,
+                "Bad Request",
+                "400 request bodies are not accepted".into(),
+            ),
+            keep_alive: false,
+            allow_chunked: false,
+        };
+    }
+
+    // Chunked framing is HTTP/1.1-only; a 1.0 client gets Content-Length
+    // regardless of body size.
+    let keep_alive = req.wants_keep_alive() && !stop.load(Ordering::SeqCst);
+    let allow_chunked = req.version == crate::http::HttpVersion::H11;
+
+    // The telemetry plane answers before the mounted site sees the
+    // request. `/events` takes over the whole connection: it streams
+    // the hub until the server stops or the watcher hangs up.
+    if req.method == "GET" && route_label(&req.target) == "events" {
+        stats.responses_ok.fetch_add(1, Ordering::Relaxed);
+        stats.record_request(seq, &req.target, &trace, 200);
+        publish_request_event(hub, seq, &req.target, &trace, 200);
+        return Handled::EventStream;
+    }
+    let mut resp = if req.method == "GET" && route_label(&req.target) == "metrics" {
+        Response::text(
+            200,
+            "OK",
+            render_server_metrics(&snapshot_stats(stats), cfg.metrics.as_ref()),
+        )
+    } else {
+        route(site, req)
+    };
+    if resp.drop_connection {
+        // Injected drop: sever without writing a byte — the peer sees
+        // the close as a reset/EOF mid-exchange and must classify it
+        // as transient.
+        stats.connections_dropped.fetch_add(1, Ordering::Relaxed);
+        return Handled::Sever;
+    }
+    // Echo the client's span id so both sides of the wire agree on
+    // the request's identity, then log and broadcast the exchange.
+    if !trace.is_empty() {
+        resp.extra_headers
+            .push(("x-hds-trace".into(), trace.clone()));
+    }
+    stats.record_request(seq, &req.target, &trace, resp.status);
+    publish_request_event(hub, seq, &req.target, &trace, resp.status);
+    Handled::Response {
+        resp,
+        keep_alive,
+        allow_chunked,
+    }
+}
+
+/// Decrements the open-connection gauge when a pool-mode connection's
+/// serve function returns, however it exits.
+struct OpenConnGuard<'a>(&'a AtomicU64);
+
+impl Drop for OpenConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
 
 /// Serve one connection until it closes, errs, times out idle, or the
 /// server shuts down.
@@ -275,6 +557,8 @@ fn serve_connection(
     cfg: &ServerConfig,
 ) {
     stats.connections.fetch_add(1, Ordering::Relaxed);
+    stats.open_connections.fetch_add(1, Ordering::Relaxed);
+    let _open = OpenConnGuard(&stats.open_connections);
     let mut stream = stream;
     if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
         return;
@@ -319,78 +603,25 @@ fn serve_connection(
             }
         };
         buf.drain(..consumed);
-        let seq = stats.requests.fetch_add(1, Ordering::Relaxed) + 1;
-        let route_counter = match route_label(&req.target) {
-            "landing" => &stats.requests_landing,
-            "search" => &stats.requests_search,
-            "metrics" => &stats.requests_metrics,
-            "events" => &stats.requests_events,
-            _ => &stats.requests_other,
-        };
-        route_counter.fetch_add(1, Ordering::Relaxed);
-        let trace = req.header("x-hds-trace").unwrap_or("").to_string();
 
-        // A body-bearing request would desynchronize the framing: this
-        // server never reads bodies, so the unread bytes would be parsed
-        // as the next request (request smuggling). Refuse AND close — a
-        // keep-alive 400 here would serve the body as a request.
-        let has_body = req
-            .header("content-length")
-            .is_some_and(|v| v.trim() != "0")
-            || req.header("transfer-encoding").is_some();
-        if has_body {
-            let resp = Response::text(
-                400,
-                "Bad Request",
-                "400 request bodies are not accepted".into(),
-            );
-            write_and_count(&mut stream, &resp, false, false, cfg, stats);
-            break;
-        }
-
-        // Phase 2: answer it. Chunked framing is HTTP/1.1-only; a 1.0
-        // client gets Content-Length regardless of body size.
-        let keep_alive = req.wants_keep_alive() && !stop.load(Ordering::SeqCst);
-        let allow_chunked = req.version == crate::http::HttpVersion::H11;
-
-        // The telemetry plane answers before the mounted site sees the
-        // request. `/events` takes over the whole connection: it streams
-        // the hub until the server stops or the watcher hangs up.
-        if req.method == "GET" && route_label(&req.target) == "events" {
-            stats.responses_ok.fetch_add(1, Ordering::Relaxed);
-            stats.record_request(seq, &req.target, &trace, 200);
-            publish_request_event(hub, seq, &req.target, &trace, 200);
-            stream_events(&mut stream, hub, stop, stats);
-            break;
-        }
-        let mut resp = if req.method == "GET" && route_label(&req.target) == "metrics" {
-            Response::text(
-                200,
-                "OK",
-                render_server_metrics(&snapshot_stats(stats), cfg.metrics.as_ref()),
-            )
-        } else {
-            route(site, &req)
-        };
-        if resp.drop_connection {
-            // Injected drop: sever without writing a byte — the peer sees
-            // the close as a reset/EOF mid-exchange and must classify it
-            // as transient.
-            stats.connections_dropped.fetch_add(1, Ordering::Relaxed);
-            break;
-        }
-        // Echo the client's span id so both sides of the wire agree on
-        // the request's identity, then log and broadcast the exchange.
-        if !trace.is_empty() {
-            resp.extra_headers
-                .push(("x-hds-trace".into(), trace.clone()));
-        }
-        stats.record_request(seq, &req.target, &trace, resp.status);
-        publish_request_event(hub, seq, &req.target, &trace, resp.status);
-        if !write_and_count(&mut stream, &resp, keep_alive, allow_chunked, cfg, stats)
-            || !keep_alive
-        {
-            break;
+        // Phase 2: answer it.
+        match handle_request(&req, site, stats, stop, hub, cfg) {
+            Handled::Response {
+                resp,
+                keep_alive,
+                allow_chunked,
+            } => {
+                if !write_and_count(&mut stream, &resp, keep_alive, allow_chunked, cfg, stats)
+                    || !keep_alive
+                {
+                    break;
+                }
+            }
+            Handled::EventStream => {
+                stream_events(&mut stream, hub, stop, stats);
+                break;
+            }
+            Handled::Sever => break,
         }
     }
 }
@@ -424,6 +655,11 @@ fn snapshot_stats(stats: &StatsInner) -> ServerStats {
         requests_metrics: stats.requests_metrics.load(Ordering::Relaxed),
         requests_events: stats.requests_events.load(Ordering::Relaxed),
         requests_other: stats.requests_other.load(Ordering::Relaxed),
+        reactor_wakeups: stats.reactor_wakeups.load(Ordering::Relaxed),
+        reactor_ready_events: stats.reactor_ready_events.load(Ordering::Relaxed),
+        reactor_accepts: stats.reactor_accepts.load(Ordering::Relaxed),
+        timers_fired: stats.timers_fired.load(Ordering::Relaxed),
+        open_connections: stats.open_connections.load(Ordering::Relaxed),
     }
 }
 
@@ -462,6 +698,17 @@ pub fn render_server_metrics(stats: &ServerStats, registry: Option<&MetricsRegis
     );
     counter("hds_server_bytes_out_total", stats.bytes_out);
     counter("hds_server_bytes_in_total", stats.bytes_in);
+    counter("hds_server_reactor_wakeups_total", stats.reactor_wakeups);
+    counter(
+        "hds_server_reactor_ready_events_total",
+        stats.reactor_ready_events,
+    );
+    counter("hds_server_reactor_accepts_total", stats.reactor_accepts);
+    counter("hds_server_timers_fired_total", stats.timers_fired);
+    out.push_str(&format!(
+        "# TYPE hds_server_open_connections gauge\nhds_server_open_connections {}\n",
+        stats.open_connections
+    ));
     out.push_str("# TYPE hds_server_responses_total counter\n");
     out.push_str(&format!(
         "hds_server_responses_total{{class=\"ok\"}} {}\n",
@@ -499,7 +746,12 @@ const EVENTS_HEARTBEAT_EVERY: u32 = 25;
 
 /// Stream the hub over `stream` as chunked `text/event-stream` until the
 /// server stops or the watcher hangs up.
-fn stream_events(stream: &mut TcpStream, hub: &EventHub, stop: &AtomicBool, stats: &StatsInner) {
+pub(crate) fn stream_events(
+    stream: &mut TcpStream,
+    hub: &EventHub,
+    stop: &AtomicBool,
+    stats: &StatsInner,
+) {
     let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
                 Cache-Control: no-cache\r\nConnection: close\r\n\
                 Transfer-Encoding: chunked\r\n\r\n";

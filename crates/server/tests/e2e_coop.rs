@@ -6,12 +6,13 @@
 
 use std::sync::Arc;
 
-use hdsampler_core::{DirectExecutor, HdsSampler, Sampler, StopReason};
+use hdsampler_core::{DirectExecutor, HdsSampler, Sampler, StopReason, TraceLog};
 use hdsampler_hidden_db::HiddenDb;
 use hdsampler_model::{FormInterface, Schema};
-use hdsampler_server::{HttpServer, ServerConfig, ServerHandle};
+use hdsampler_server::{Adversary, HttpServer, ServerConfig, ServerHandle};
 use hdsampler_webform::{
-    CoopDriver, FleetConfig, HttpTransport, LocalSite, SiteTask, Transport as _, WebFormInterface,
+    AsyncTransport as _, ChaosSpec, CoopDriver, FetchPoll, FleetConfig, HttpTransport, LocalSite,
+    SiteTask, Transport as _, WebFormInterface,
 };
 use hdsampler_workload::{DbConfig, VehiclesSpec, WorkloadSpec};
 
@@ -95,9 +96,14 @@ fn coop_sequences_over_tcp_match_per_walker_seeds() {
 }
 
 #[test]
-fn hundreds_of_pipelined_walkers_on_a_handful_of_connections() {
-    // 256 walker machines, 4 TCP connections, one client thread: up to
-    // 256 requests in flight, pipelined 64-deep per connection.
+fn hundreds_of_pipelined_walkers_on_many_connections() {
+    // 256 walker machines, 64 TCP connections, one client thread: up to
+    // 256 requests in flight, pipelined 4-deep per connection. Before the
+    // epoll reactor this test was capped at 4 connections — one per
+    // default pool worker; 64 keep-alive sockets would have starved the
+    // thread-per-connection pool. The reactor (the default serve mode)
+    // multiplexes them all on per-core readiness loops, so the wide
+    // fan-out must sail through with zero server errors.
     let (server, schema, k) = serve(vehicles_db(99));
     let cfg = FleetConfig {
         walkers_per_site: 256,
@@ -107,24 +113,41 @@ fn hundreds_of_pipelined_walkers_on_a_handful_of_connections() {
         ..FleetConfig::default()
     };
     let mut task = remote_task(&server, &schema, k);
-    let (report, details) = CoopDriver::new(cfg)
-        .with_connections(4)
-        .run_with_details(std::slice::from_mut(&mut task));
+    let mut trace = TraceLog::new();
+    let (report, details) = CoopDriver::new(cfg).with_connections(64).run_traced(
+        std::slice::from_mut(&mut task),
+        &mut [],
+        &mut [&mut trace],
+    );
 
     let site = &report.sites[0];
     assert_eq!(site.stopped, StopReason::TargetReached);
     assert_eq!(site.samples.len(), 200);
-    assert_eq!(details[0].connections, 4);
+    assert_eq!(details[0].connections, 64);
     assert!(
         site.queries_issued >= 200,
         "200 fresh-site samples need at least one fetch each"
     );
 
+    // The driver stalls (every walker parked on an in-flight fetch) must
+    // resolve by parking in the client reactor's `epoll_wait` — never by
+    // the blocking `complete_query` fallback, which is reserved for a
+    // silent server. The trace stream records each resolution.
+    let forces = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == "stall" && e.detail == "force")
+        .count();
+    assert_eq!(
+        forces, 0,
+        "a live wire with a reactor never blocks on one completion"
+    );
+
     let t = task.iface.transport();
     assert_eq!(
         t.connections(),
-        4,
-        "exactly the 4 requested TCP connections"
+        64,
+        "exactly the 64 requested TCP connections"
     );
     assert_eq!(
         t.open_connections(),
@@ -134,9 +157,10 @@ fn hundreds_of_pipelined_walkers_on_a_handful_of_connections() {
 
     let stats = server.shutdown();
     // The server-side count is the leak check: 256 walkers over one run
-    // must have cost 4 TCP connections, not 4-per-walker-thread.
+    // must have cost 64 TCP connections, not one-per-walker (and no
+    // reconnect churn on top).
     assert_eq!(
-        stats.connections, 4,
+        stats.connections, 64,
         "no reconnect churn and no per-walker sockets"
     );
     assert_eq!(stats.responses_server_error, 0);
@@ -194,4 +218,184 @@ fn dead_walker_threads_do_not_strand_sockets() {
     let stats = server.shutdown();
     assert_eq!(stats.responses_server_error, 0);
     assert_eq!(stats.connections, 9, "8 walker sockets + 1 rebind");
+}
+
+#[test]
+fn reactor_and_pool_serves_are_sequence_identical() {
+    // The two serve modes share `handle_request` and `write_response`, so
+    // a seeded cooperative run must harvest byte-identical pages — the
+    // interchangeability guarantee that makes `--reactor` a safe default.
+    // Checked end-to-end with a schedule that has no timing freedom: a
+    // single walker on a single connection steps strictly sequentially
+    // (every submit depends on the previous response), so the full sample
+    // sequence is a pure function of the seeds and the server's bytes.
+    // Any reactor/pool divergence in what goes on the wire shows up as a
+    // diverged key sequence. (Racing walkers would reintroduce
+    // client-side scheduling nondeterminism and test nothing extra.)
+    let run = |mode: hdsampler_server::ServeMode| {
+        let db = vehicles_db(77);
+        let schema = Arc::new(db.schema().clone());
+        let k = db.result_limit();
+        let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
+        let server = HttpServer::serve(
+            ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            },
+            site,
+        )
+        .expect("bind loopback");
+        let cfg = FleetConfig {
+            walkers_per_site: 1,
+            target_per_site: 32,
+            seed: 31,
+            slider: 0.5,
+            ..FleetConfig::default()
+        };
+        let mut task = remote_task(&server, &schema, k);
+        let (report, details) = CoopDriver::new(cfg)
+            .with_connections(1)
+            .run_with_details(std::slice::from_mut(&mut task));
+        assert_eq!(report.sites[0].stopped, StopReason::TargetReached);
+        let stats = server.shutdown();
+        assert_eq!(stats.responses_server_error, 0);
+        (
+            report.sites[0].samples.keys(),
+            details[0].per_walker_keys.clone(),
+        )
+    };
+
+    let (reactor_keys, reactor_walkers) = run(hdsampler_server::ServeMode::Reactor);
+    let (pool_keys, pool_walkers) = run(hdsampler_server::ServeMode::Pool);
+    assert_eq!(
+        reactor_keys, pool_keys,
+        "fleet-order sample sequence diverged between serve modes"
+    );
+    assert_eq!(
+        reactor_walkers, pool_walkers,
+        "per-walker sequences diverged between serve modes"
+    );
+}
+
+#[test]
+fn close_idle_deregisters_reactor_registrations_before_closing() {
+    // Regression (stale epoll registration): `close_idle` used to drop
+    // the socket and only then forget about the poller. Deregistering by
+    // stored fd number *after* the close is at best a silent no-op and at
+    // worst — once the kernel reuses the fd for a newly dialed cell —
+    // removes the *live* cell's registration, so `wait_ready` parks for
+    // its full timeout with no wake-up. The invariant under test:
+    // reaping leaves zero registrations behind, and the reactor keeps
+    // waking for connections dialed afterwards.
+    let (server, _schema, _k) = serve(vehicles_db(43));
+    let t = HttpTransport::new(server.addr().to_string());
+
+    // Drive one fetch through the reactor path: submit, then park in
+    // wait_ready until the completion is pumped in.
+    let fetch_via_reactor = |t: &HttpTransport| {
+        let conn = t.connect();
+        let mut h = t.submit(conn, "/");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reactor-driven fetch starved: a registration went missing"
+            );
+            match t.poll(h) {
+                FetchPoll::Ready(r) => break r.expect("page served"),
+                FetchPoll::Pending(back) => {
+                    h = back;
+                    assert!(
+                        t.wait_ready(100).is_some(),
+                        "a live HttpTransport always has a reactor on Linux"
+                    );
+                }
+            }
+        }
+    };
+
+    fetch_via_reactor(&t);
+    assert!(
+        t.registered_conns() <= 1,
+        "at most the one awaited connection is registered"
+    );
+
+    // The reap must deregister before closing — afterwards no cell holds
+    // a registration.
+    assert!(t.close_idle() >= 1);
+    assert_eq!(
+        t.registered_conns(),
+        0,
+        "close_idle deregisters every reaped connection from the poller"
+    );
+
+    // The poller survives the reap: a fresh cell (likely reusing the
+    // just-freed fd number) registers and wakes normally.
+    fetch_via_reactor(&t);
+    t.close_idle();
+    assert_eq!(t.registered_conns(), 0);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.responses_server_error, 0);
+}
+
+#[test]
+fn stalls_park_in_the_client_reactor_never_in_blocking_completes() {
+    // A served site that answers with real latency: right after a submit
+    // burst there is nothing to harvest for ~15 ms, so the driver stalls
+    // (every walker parked on an in-flight fetch). Each stall must
+    // resolve as a "stall"/"wait" span — the driver parked in one
+    // `epoll_wait` across its connections — and the blocking
+    // `complete_query` fallback ("stall"/"force", the liveness escape
+    // against a silent server) must never fire on a live wire.
+    let db = vehicles_db(17);
+    let schema = Arc::new(db.schema().clone());
+    let k = db.result_limit();
+    let site = Arc::new(LocalSite::new(db, Arc::clone(&schema)));
+    let spec = ChaosSpec::parse("seed=3,latency=15").expect("latency-only chaos");
+    let adversary = Arc::new(Adversary::new(site, spec));
+    let server = HttpServer::serve(ServerConfig::default(), adversary).expect("bind loopback");
+
+    let cfg = FleetConfig {
+        walkers_per_site: 8,
+        target_per_site: 16,
+        seed: 11,
+        slider: 0.5,
+        ..FleetConfig::default()
+    };
+    let mut task = remote_task(&server, &schema, k);
+    let mut trace = TraceLog::new();
+    let (report, _) = CoopDriver::new(cfg).with_connections(4).run_traced(
+        std::slice::from_mut(&mut task),
+        &mut [],
+        &mut [&mut trace],
+    );
+    assert_eq!(report.sites[0].stopped, StopReason::TargetReached);
+
+    let waits: Vec<_> = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == "stall" && e.detail == "wait")
+        .collect();
+    let forces = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == "stall" && e.detail == "force")
+        .count();
+    assert!(
+        !waits.is_empty(),
+        "a 15 ms-latency site stalls the driver at least once, and every \
+         stall parks in the reactor"
+    );
+    assert_eq!(
+        forces, 0,
+        "the blocking completion fallback is reserved for a dead server"
+    );
+    // Each parked wait measured real elapsed time and a real connection.
+    for w in &waits {
+        assert!(w.dur_ms >= 1, "a wait span records its parked duration");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.responses_server_error, 0);
 }

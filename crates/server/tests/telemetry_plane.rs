@@ -197,6 +197,11 @@ proptest! {
         metrics in 0u64..1_000_000,
         events in 0u64..1_000_000,
         other in 0u64..1_000_000,
+        wakeups in 0u64..1_000_000,
+        ready_events in 0u64..1_000_000,
+        accepts in 0u64..1_000_000,
+        timers in 0u64..1_000_000,
+        open in 0u64..1_000_000,
     ) {
         let stats = hdsampler_server::ServerStats {
             connections,
@@ -212,6 +217,11 @@ proptest! {
             requests_metrics: metrics,
             requests_events: events,
             requests_other: other,
+            reactor_wakeups: wakeups,
+            reactor_ready_events: ready_events,
+            reactor_accepts: accepts,
+            timers_fired: timers,
+            open_connections: open,
         };
         let text = hdsampler_server::render_server_metrics(&stats, None);
         let parsed = parse_exposition(&text).expect("every line parses");
@@ -223,6 +233,8 @@ proptest! {
             search
         );
         prop_assert_eq!(parsed["hds_server_bytes_in_total"], bytes_in as f64);
-        prop_assert_eq!(parsed.len(), 13, "one series per counter");
+        prop_assert_eq!(parsed["hds_server_reactor_wakeups_total"] as u64, wakeups);
+        prop_assert_eq!(parsed["hds_server_open_connections"] as u64, open);
+        prop_assert_eq!(parsed.len(), 18, "one series per counter (plus the gauge)");
     }
 }

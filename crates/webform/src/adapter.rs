@@ -185,6 +185,13 @@ impl<T: AsyncTransport> WebFormInterface<T> {
         self.transport.wire_is_virtual()
     }
 
+    /// One readiness wait across all of the transport's connections (see
+    /// [`AsyncTransport::wait_ready`]); `None` when the wire has no
+    /// reactor and callers must fall back to a blocking completion.
+    pub fn wait_ready(&self, timeout_ms: u64) -> Option<usize> {
+        self.transport.wait_ready(timeout_ms)
+    }
+
     /// Check a submitted query for completion without advancing virtual
     /// time.
     pub fn poll_query(&self, handle: QueryHandle) -> QueryPoll {

@@ -138,6 +138,23 @@ pub trait AsyncTransport: Send + Sync {
     fn wire_is_virtual(&self) -> bool {
         true
     }
+
+    /// Block until at least one in-flight fetch *may* have completed, or
+    /// `timeout_ms` elapses — one readiness wait across **all** of this
+    /// transport's connections, so a driver with hundreds of pipelined
+    /// fetches never has to pick which one to block on.
+    ///
+    /// Returns `Some(n)` with the number of connections that made
+    /// progress (0 on timeout or when nothing is in flight); callers
+    /// re-poll their pending handles after any `Some`. Returns `None`
+    /// when the transport has no readiness reactor — virtual wires, whose
+    /// completions are a clock advance away, and real wires on platforms
+    /// without epoll — in which case callers fall back to a blocking
+    /// [`complete`](AsyncTransport::complete).
+    fn wait_ready(&self, timeout_ms: u64) -> Option<usize> {
+        let _ = timeout_ms;
+        None
+    }
 }
 
 impl<A: AsyncTransport + ?Sized> AsyncTransport for &A {
@@ -165,6 +182,9 @@ impl<A: AsyncTransport + ?Sized> AsyncTransport for &A {
     fn wire_is_virtual(&self) -> bool {
         (**self).wire_is_virtual()
     }
+    fn wait_ready(&self, timeout_ms: u64) -> Option<usize> {
+        (**self).wait_ready(timeout_ms)
+    }
 }
 
 impl<A: AsyncTransport + ?Sized> AsyncTransport for std::sync::Arc<A> {
@@ -191,6 +211,9 @@ impl<A: AsyncTransport + ?Sized> AsyncTransport for std::sync::Arc<A> {
     }
     fn wire_is_virtual(&self) -> bool {
         (**self).wire_is_virtual()
+    }
+    fn wait_ready(&self, timeout_ms: u64) -> Option<usize> {
+        (**self).wait_ready(timeout_ms)
     }
 }
 

@@ -106,6 +106,9 @@ impl AsyncTransport for BoxTransport {
     fn wire_is_virtual(&self) -> bool {
         self.0.wire_is_virtual()
     }
+    fn wait_ready(&self, timeout_ms: u64) -> Option<usize> {
+        self.0.wait_ready(timeout_ms)
+    }
 }
 
 impl Clocked for BoxTransport {

@@ -153,6 +153,34 @@ pub struct CoopSiteDetail {
     pub stats: SamplerStats,
 }
 
+/// How long one reactor wait inside a stall lasts before the driver
+/// re-polls the whole fleet (ms). Short enough that completions on
+/// *other* sites' transports — which the wait cannot see — are picked up
+/// promptly.
+const STALL_WAIT_MS: u64 = 100;
+
+/// Cumulative reactor-wait time on one stalled fetch before the driver
+/// falls back to a blocking completion. Liveness backstop for a server
+/// that accepts requests and then goes silent: the blocking path's own
+/// transport deadline then fails the fetch cleanly instead of the fleet
+/// spinning on readiness forever.
+const STALL_FORCE_MS: u64 = 30_000;
+
+/// Cross-iteration memory of reactor waits spent on one stalled fetch,
+/// keyed by (site, submission seq) — seq is unique per site, so the key
+/// never aliases two fetches.
+struct StallTracker {
+    key: Option<(usize, u64)>,
+    waited_ms: u64,
+}
+
+impl StallTracker {
+    fn reset(&mut self) {
+        self.key = None;
+        self.waited_ms = 0;
+    }
+}
+
 /// Drives S sites × W walker machines from a single thread.
 #[derive(Debug)]
 pub struct CoopDriver {
@@ -309,6 +337,10 @@ impl CoopDriver {
             }
         }
 
+        let mut stall = StallTracker {
+            key: None,
+            waited_ms: 0,
+        };
         loop {
             let mut all_done = true;
             let mut progress = false;
@@ -324,11 +356,14 @@ impl CoopDriver {
             if self.steal {
                 self.rebalance(&mut states, run_sinks, &mut tracer);
             }
-            if !progress {
-                // Nothing pollable anywhere: block on (real wire) or
-                // advance to (virtual wire) the earliest outstanding
-                // completion, keeping the fleet in causal order.
-                self.force_earliest(&mut states, run_sinks, &mut tracer);
+            if progress {
+                stall.reset();
+            } else {
+                // Nothing pollable anywhere: wait for (real wire with a
+                // reactor), block on (real wire without one) or advance
+                // to (virtual wire) the earliest outstanding completion,
+                // keeping the fleet in causal order.
+                self.force_earliest(&mut states, run_sinks, &mut tracer, &mut stall);
             }
         }
 
@@ -761,13 +796,22 @@ impl CoopDriver {
         self.advance(st, h.wix, step, run_sinks, tracer);
     }
 
-    /// Complete the causally-earliest outstanding fetch fleet-wide (min
+    /// Resolve the causally-earliest outstanding fetch fleet-wide (min
     /// virtual completion time, then submission order).
+    ///
+    /// On a virtual wire the only way forward is a blocking
+    /// `complete_query` — completions live one clock advance away. On a
+    /// live wire with a readiness reactor the driver instead parks in one
+    /// `epoll_wait` across all of the stalled site's connections and lets
+    /// the next harvest pass take whatever completed first; the blocking
+    /// completion survives only as the [`STALL_FORCE_MS`] liveness
+    /// fallback against a silent server.
     fn force_earliest<T>(
         &self,
         states: &mut [SiteState<'_, T>],
         run_sinks: &mut [&mut dyn SampleSink],
         tracer: &mut Tracer<'_, '_>,
+        stall: &mut StallTracker,
     ) where
         T: Transport + AsyncTransport + Clocked,
     {
@@ -784,7 +828,7 @@ impl CoopDriver {
                 }
             }
         }
-        let Some((six, wix, ..)) = best else {
+        let Some((six, wix, _ready_at, seq)) = best else {
             // No fetch in flight anywhere: every unstopped site's walkers
             // are waiting out retry backoffs on a real wire. Sleep to the
             // earliest release and resubmit that walker.
@@ -811,6 +855,37 @@ impl CoopDriver {
             Self::release_backoff(&mut states[six], wix, tracer);
             return;
         };
+        let key = (six, seq);
+        let exhausted = stall.key == Some(key) && stall.waited_ms >= STALL_FORCE_MS;
+        if !exhausted && !states[six].iface.wire_is_virtual() {
+            let started = std::time::Instant::now();
+            if states[six].iface.wait_ready(STALL_WAIT_MS).is_some() {
+                let waited = (started.elapsed().as_millis() as u64).max(1);
+                if stall.key == Some(key) {
+                    stall.waited_ms += waited;
+                } else {
+                    stall.key = Some(key);
+                    stall.waited_ms = waited;
+                }
+                if tracer.enabled() {
+                    let st = &states[six];
+                    let p = st.walkers[wix].pending.as_ref().expect("walker is parked");
+                    tracer.emit(&TraceEvent {
+                        kind: "stall".into(),
+                        detail: "wait".into(),
+                        span: p.span,
+                        site: st.six as u64,
+                        walker: wix as u64,
+                        conn: st.walkers[wix].conn.index() as u64,
+                        at_ms: p.ready_at,
+                        dur_ms: waited,
+                        ..TraceEvent::default()
+                    });
+                }
+                return;
+            }
+        }
+        stall.reset();
         let st = &mut states[six];
         let p = st.walkers[wix]
             .pending

@@ -29,7 +29,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,7 @@ use hdsampler_model::InterfaceError;
 use parking_lot::Mutex;
 
 use crate::aio::{AsyncTransport, ConnId, FetchHandle, FetchPoll};
+use crate::reactor::{Epoll, RawFd};
 use crate::transport::{Clocked, Transport};
 
 /// Hard ceiling on a single response's size (64 MiB): a runaway or
@@ -63,6 +64,11 @@ struct HttpConn {
     /// Requests written on this connection so far — the per-connection
     /// sequence number inside the `x-hds-trace` id.
     sent: u64,
+    /// The raw fd currently registered with the transport's epoll set.
+    /// Tracked so teardown can deregister *before* the socket closes —
+    /// a registration left behind a closed fd would alias whatever
+    /// connection reuses that fd number.
+    registered_fd: Option<RawFd>,
 }
 
 impl HttpConn {
@@ -74,6 +80,7 @@ impl HttpConn {
             done: HashMap::new(),
             cancelled: std::collections::HashSet::new(),
             sent: 0,
+            registered_fd: None,
         }
     }
 }
@@ -92,6 +99,9 @@ pub struct HttpTransport {
     start: Mutex<Option<Instant>>,
     /// Milliseconds from `start` to the most recent completion.
     last_done_ms: AtomicU64,
+    /// Lazily-created epoll set behind [`AsyncTransport::wait_ready`]
+    /// (`None` once initialization fails — non-Linux, or fd exhaustion).
+    poller: OnceLock<Option<Epoll>>,
 }
 
 impl std::fmt::Debug for HttpTransport {
@@ -117,6 +127,7 @@ impl HttpTransport {
             bytes_received: AtomicU64::new(0),
             start: Mutex::new(None),
             last_done_ms: AtomicU64::new(0),
+            poller: OnceLock::new(),
         }
     }
 
@@ -154,6 +165,44 @@ impl HttpTransport {
         self.by_thread.lock().len()
     }
 
+    /// Connections currently registered with the reactor's epoll set
+    /// (0 when no reactor is available or nothing has waited yet).
+    pub fn registered_conns(&self) -> usize {
+        self.conns
+            .lock()
+            .iter()
+            .filter(|cell| cell.lock().registered_fd.is_some())
+            .count()
+    }
+
+    /// The shared epoll set, created on first use. `None` means this
+    /// process has no reactor (non-Linux, or epoll creation failed) and
+    /// every caller falls back to blocking reads.
+    fn poller(&self) -> Option<&Epoll> {
+        self.poller.get_or_init(|| Epoll::new().ok()).as_ref()
+    }
+
+    /// Remove `c`'s fd from the epoll set if it is registered. Safe to
+    /// call with the stream already gone: the tracked fd, not the
+    /// stream, drives the deregistration.
+    fn deregister_conn(&self, c: &mut HttpConn) {
+        if let Some(fd) = c.registered_fd.take() {
+            if let Some(ep) = self.poller() {
+                let _ = ep.deregister(fd);
+            }
+        }
+    }
+
+    /// Tear down `c`'s stream. Deregistration happens *before* the
+    /// socket closes: the kernel would forget the epoll entry on close
+    /// anyway, but our userspace `registered_fd` note would survive —
+    /// and a later deregister against that stale number would silently
+    /// detach whichever live connection reused the fd.
+    fn drop_stream(&self, c: &mut HttpConn) {
+        self.deregister_conn(c);
+        c.stream = None;
+    }
+
     /// Close every connection with no outstanding fetch and drop all
     /// per-thread bindings; returns the number of sockets closed.
     ///
@@ -178,7 +227,7 @@ impl HttpTransport {
             let mut c = cell.lock();
             let awaited = c.outstanding.iter().any(|id| !c.cancelled.contains(id));
             if !awaited && c.stream.is_some() {
-                c.stream = None;
+                self.drop_stream(&mut c);
                 c.rx.clear();
                 c.outstanding.clear();
                 c.cancelled.clear();
@@ -267,7 +316,7 @@ impl HttpTransport {
                             self.note_done();
                         }
                         if !keep_alive {
-                            c.stream = None;
+                            self.drop_stream(c);
                         }
                         if c.stream.is_none() {
                             return self.fail_outstanding(c, "server closed the connection");
@@ -290,7 +339,6 @@ impl HttpTransport {
                 }
                 Ok(n) => {
                     if c.rx.len() + n > MAX_RESPONSE_BYTES {
-                        c.stream = None;
                         return self.fail_outstanding(c, "response exceeds size limit");
                     }
                     c.rx.extend_from_slice(&buf[..n]);
@@ -299,7 +347,6 @@ impl HttpTransport {
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => {
-                    c.stream = None;
                     return self.fail_outstanding(c, &format!("read failed: {e}"));
                 }
             }
@@ -317,7 +364,7 @@ impl HttpTransport {
     /// the old blanket message, desync the pipelined FIFO. The fetches
     /// behind it never got a byte and stay safely retryable.
     fn fail_outstanding(&self, c: &mut HttpConn, why: &str) -> bool {
-        c.stream = None;
+        self.drop_stream(c);
         let mut partial = !c.rx.is_empty();
         c.rx.clear();
         while let Some(id) = c.outstanding.pop_front() {
@@ -358,7 +405,7 @@ impl HttpTransport {
                 c.outstanding.push_back(id);
             }
             Err(e) => {
-                c.stream = None;
+                self.drop_stream(&mut c);
                 c.done.insert(
                     id,
                     Err(InterfaceError::Transport(format!(
@@ -375,6 +422,75 @@ impl HttpTransport {
             queued_ms: 0,
             service_ms: 0,
         }
+    }
+
+    /// One `epoll_wait` across every connection with an awaited in-flight
+    /// fetch; ready connections are pumped non-blocking. See
+    /// [`AsyncTransport::wait_ready`] for the contract.
+    #[cfg(unix)]
+    fn wait_ready_impl(&self, timeout_ms: u64) -> Option<usize> {
+        use crate::reactor::Interest;
+        use std::os::fd::AsRawFd;
+
+        let ep = self.poller()?;
+        // Snapshot the cells so the vec lock is not held across the wait
+        // (connect/submit from other threads must stay free to run).
+        let cells: Vec<Arc<Mutex<HttpConn>>> = self.conns.lock().to_vec();
+        let mut awaiting = 0usize;
+        for (idx, cell) in cells.iter().enumerate() {
+            let mut c = cell.lock();
+            if !c.done.is_empty() {
+                // A completion is already harvestable — report progress
+                // instead of sleeping on the wire (lost-wakeup guard).
+                return Some(1);
+            }
+            let awaited = c.outstanding.iter().any(|id| !c.cancelled.contains(id));
+            let fd = match (&c.stream, awaited) {
+                (Some(stream), true) => Some(stream.as_raw_fd()),
+                _ => None,
+            };
+            match fd {
+                Some(fd) => {
+                    if c.registered_fd != Some(fd) {
+                        // Reconnected under a new fd: retire the stale
+                        // registration before adding the live one.
+                        self.deregister_conn(&mut c);
+                        if ep.register(fd, idx as u64, Interest::Read).is_ok() {
+                            c.registered_fd = Some(fd);
+                        }
+                    }
+                    awaiting += 1;
+                }
+                None => {
+                    // Idle connections leave the set: a level-triggered
+                    // EOF on an idle keep-alive socket would otherwise
+                    // wake every wait without ever being consumed
+                    // (`pump` deliberately ignores idle sockets).
+                    self.deregister_conn(&mut c);
+                }
+            }
+        }
+        if awaiting == 0 {
+            return Some(0);
+        }
+        let mut events = Vec::new();
+        let timeout = timeout_ms.min(i32::MAX as u64) as i32;
+        let n = ep.wait(&mut events, timeout).unwrap_or(0);
+        let mut pumped = 0;
+        for ev in events.iter().take(n) {
+            let Some(cell) = cells.get(ev.token as usize) else {
+                continue;
+            };
+            let mut c = cell.lock();
+            Self::set_blocking(&mut c, false);
+            // A dead connection fails its fetches inside `pump` (and
+            // deregisters via `drop_stream`) — that still counts as
+            // progress for the caller's re-poll.
+            self.pump(&mut c);
+            Self::set_blocking(&mut c, true);
+            pumped += 1;
+        }
+        Some(pumped)
     }
 }
 
@@ -452,6 +568,18 @@ impl AsyncTransport for HttpTransport {
     fn wire_is_virtual(&self) -> bool {
         // TCP runs on the physical clock: backoffs must genuinely wait.
         false
+    }
+
+    fn wait_ready(&self, timeout_ms: u64) -> Option<usize> {
+        #[cfg(unix)]
+        {
+            self.wait_ready_impl(timeout_ms)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = timeout_ms;
+            None
+        }
     }
 }
 

@@ -36,6 +36,9 @@
 //!   thread multiplexing S × W resumable walk machines over explicit
 //!   connections, pipelining hundreds of in-flight submissions where the
 //!   threaded driver would need hundreds of stacks;
+//! * [`reactor`] — the std-only epoll readiness wrapper both halves of
+//!   the real wire multiplex on: the client's single-`epoll_wait`
+//!   completion path and the server's event-driven serve mode;
 //! * [`locator`] — [`SiteLocator`], the one-string site grammar
 //!   (`local:…`, `http://…`, `replay:…`);
 //! * [`connect`] — the [`ConnectorRegistry`] resolving locators to ready
@@ -64,6 +67,7 @@ pub mod form;
 pub mod httpc;
 pub mod locator;
 pub mod plan;
+pub mod reactor;
 pub mod render;
 pub mod replay;
 pub mod scrape;
@@ -81,6 +85,7 @@ pub use form::WebForm;
 pub use httpc::HttpTransport;
 pub use locator::SiteLocator;
 pub use plan::{Driver, RunPlan, RunReport};
+pub use reactor::{reactor_supported, Epoll, Interest, ReadyEvent};
 pub use replay::{RecordingTransport, ReplaySite, TapeEntry};
 pub use scrape::{scrape_form_page, DiscoveredForm};
 pub use telemetry::{

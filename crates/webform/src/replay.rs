@@ -205,6 +205,10 @@ impl<T: AsyncTransport> AsyncTransport for RecordingTransport<T> {
     fn wire_is_virtual(&self) -> bool {
         self.inner.wire_is_virtual()
     }
+
+    fn wait_ready(&self, timeout_ms: u64) -> Option<usize> {
+        self.inner.wait_ready(timeout_ms)
+    }
 }
 
 /// Per-path replay state: outcomes still queued, plus the last one dealt
