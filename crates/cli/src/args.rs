@@ -17,6 +17,7 @@ COMMANDS:
   multi-site  drive a fleet of sites concurrently (virtual or real wire)
   serve       put the simulated site behind a real HTTP front door
   trace       analyze a trace journal or follow a live /events stream
+  cache       inspect or maintain a persistent L2 history directory
 
 COMMON OPTIONS:
   --source <name>      dataset registry name: vehicles-compact, vehicles-full,
@@ -52,6 +53,11 @@ sample:
                          replay:<tape.jsonl>  (recorded tape served offline — no server)
   --record <path>      write every exchange to a JSONL tape; replay it later
                        with `sample replay:<path>` (no server needed)
+  --l2 <dir>           persist learned facts under <dir>/<site fingerprint>/
+                       (JSONL fact log); a second run against the same site
+                       version warm-starts from disk instead of the wire
+                       (also a multi-site flag; per-site `l2=` locator
+                       parameters win over it)
   --histogram <attr>   attribute(s) to display (repeatable; default: first)
   --watch              re-render live histograms from streaming snapshots
                        every 25 samples while the session runs
@@ -110,6 +116,9 @@ serve:
   --workers <W>        connection worker threads with --pool     (default 4)
   --serve-for <SECS>   shut down gracefully after SECS (default: run until
                        killed)
+  --max-conns <N>      admission cap: connections past N concurrently open
+                       get `503` + `Retry-After: 1` and are closed
+                       (default 0 = uncapped)
   --chaos <spec>       serve through a fault-injecting adversary (grammar as
                        under multi-site; sleeps are real wall-clock here)
 
@@ -120,6 +129,13 @@ trace:
   watch <host:port>        follow a live server's /events stream — the
                            remote face of --watch, printing the streaming
                            progress line for every accepted-sample event
+
+cache:
+  stats --l2 <dir>         per-site record/segment/byte counts of a
+                           persistent history directory
+  compact --l2 <dir>       fold every site's segments into one (dedup by
+                           query, newest fact wins)
+  clear --l2 <dir>         delete all persisted facts (keeps the directory)
 ";
 
 /// Parsed command line.
@@ -159,6 +175,9 @@ pub enum Command {
         /// Loopback port for a live telemetry server (`/metrics` +
         /// `/events`) over the run.
         metrics: Option<String>,
+        /// Root directory of the persistent L2 fact log (facts learned
+        /// on the wire persist; later runs warm-start from disk).
+        l2: Option<String>,
     },
     /// Aggregate console.
     Aggregate {
@@ -207,6 +226,9 @@ pub enum Command {
         /// Loopback port for a live telemetry server (`/metrics` +
         /// `/events`) over the run.
         metrics: Option<String>,
+        /// Root directory of the persistent L2 fact log shared by every
+        /// leg (per-site `l2=` locator parameters win over it).
+        l2: Option<String>,
     },
     /// Serve the simulated site over real HTTP.
     Serve {
@@ -226,12 +248,33 @@ pub enum Command {
         trace: Option<String>,
         /// Write the final `/metrics` exposition to this file at shutdown.
         metrics: Option<String>,
+        /// Admission cap: connections past this many concurrently open
+        /// get `503` + `Retry-After` (0 = uncapped).
+        max_conns: usize,
     },
     /// Observability tooling over journals and live event streams.
     Trace {
         /// What to do.
         action: TraceAction,
     },
+    /// Maintenance of a persistent L2 history directory.
+    Cache {
+        /// What to do.
+        action: CacheAction,
+        /// The cache root (`--l2 <dir>`).
+        dir: String,
+    },
+}
+
+/// The `cache` subcommand's actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Per-site record/segment/byte counts.
+    Stats,
+    /// Fold every site's segments into one, deduplicating by query.
+    Compact,
+    /// Delete all persisted facts.
+    Clear,
 }
 
 /// The `trace` subcommand's actions.
@@ -345,6 +388,9 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     let mut trace_path = None;
     let mut metrics = None;
     let mut trace_words: Vec<String> = Vec::new();
+    let mut cache_word: Option<String> = None;
+    let mut l2 = None;
+    let mut max_conns = 0usize;
     let mut sites_set = false;
     let mut latency_set = false;
     let mut jitter_set = false;
@@ -487,6 +533,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             "--attr" => validate_attr = Some(value("--attr")?.clone()),
             "--site" => site_locators.push(value("--site")?.clone()),
             "--record" => record = Some(value("--record")?.clone()),
+            "--l2" => l2 = Some(value("--l2")?.clone()),
+            "--max-conns" => {
+                max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| "--max-conns: not a number")?
+            }
             "--trace" => trace_path = Some(value("--trace")?.clone()),
             "--metrics" => metrics = Some(value("--metrics")?.clone()),
             other if !other.starts_with('-') => {
@@ -500,6 +552,15 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                         ));
                     }
                     trace_words.push(other.to_string());
+                    continue;
+                }
+                if command_word == "cache" {
+                    if cache_word.is_some() {
+                        return Err(format!(
+                            "unexpected argument `{other}` (cache takes one action)"
+                        ));
+                    }
+                    cache_word = Some(other.to_string());
                     continue;
                 }
                 if command_word != "sample" {
@@ -555,6 +616,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
     if metrics.is_some() && !matches!(command_word.as_str(), "sample" | "multi-site" | "serve") {
         return Err(format!("--metrics does not apply to `{command_word}`"));
     }
+    if l2.is_some() && !matches!(command_word.as_str(), "sample" | "multi-site" | "cache") {
+        return Err(format!("--l2 does not apply to `{command_word}`"));
+    }
+    if max_conns != 0 && command_word != "serve" {
+        return Err(format!("--max-conns does not apply to `{command_word}`"));
+    }
     if (serve_pool || serve_reactor) && command_word != "serve" {
         return Err(format!(
             "--{} does not apply to `{command_word}`",
@@ -591,6 +658,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 watch,
                 trace: trace_path,
                 metrics,
+                l2,
             }
         }
         "aggregate" => Command::Aggregate { proportions, avgs },
@@ -660,6 +728,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 steal,
                 trace: trace_path,
                 metrics,
+                l2,
             }
         }
         "serve" => Command::Serve {
@@ -670,6 +739,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             chaos,
             trace: trace_path,
             metrics,
+            max_conns,
         },
         "trace" => {
             let mut words = trace_words.into_iter();
@@ -703,6 +773,25 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
             };
             Command::Trace { action }
+        }
+        "cache" => {
+            let action = match cache_word.as_deref() {
+                Some("stats") => CacheAction::Stats,
+                Some("compact") => CacheAction::Compact,
+                Some("clear") => CacheAction::Clear,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown cache action `{other}` (expected `stats`, `compact` or `clear`)"
+                    ))
+                }
+                None => {
+                    return Err(
+                        "cache needs an action: `cache stats|compact|clear --l2 <dir>`".into(),
+                    )
+                }
+            };
+            let dir = l2.ok_or("cache needs the history directory: --l2 <dir>")?;
+            Command::Cache { action, dir }
         }
         other => return Err(format!("unknown command `{other}`")),
     };
@@ -763,6 +852,7 @@ mod tests {
                 watch: false,
                 trace: None,
                 metrics: None,
+                l2: None,
             }
         );
     }
@@ -829,6 +919,7 @@ mod tests {
                 steal: false,
                 trace: None,
                 metrics: None,
+                l2: None,
             }
         );
         assert_eq!(cli.common.samples, 80);
@@ -850,6 +941,7 @@ mod tests {
                 steal: false,
                 trace: None,
                 metrics: None,
+                l2: None,
             }
         );
         assert!(parse(&argv(&["multi-site", "--sites", "0"])).is_err());
@@ -883,6 +975,7 @@ mod tests {
                 steal: false,
                 trace: None,
                 metrics: None,
+                l2: None,
             }
         );
         assert!(parse(&argv(&["multi-site", "--latency", "50,0,100"])).is_err());
@@ -914,6 +1007,7 @@ mod tests {
                 chaos: None,
                 trace: None,
                 metrics: None,
+                max_conns: 0,
             }
         );
         assert_eq!(cli.common.source, "boolean", "--dataset aliases --source");
@@ -929,6 +1023,7 @@ mod tests {
                 chaos: None,
                 trace: None,
                 metrics: None,
+                max_conns: 0,
             }
         );
         assert!(parse(&argv(&["serve", "--workers", "0"])).is_err());
@@ -977,6 +1072,7 @@ mod tests {
                 watch: false,
                 trace: None,
                 metrics: None,
+                l2: None,
             }
         );
         let fleet = parse(&argv(&["multi-site", "--driver", "coop"])).unwrap();
@@ -1234,6 +1330,48 @@ mod tests {
         assert!(parse(&argv(&["trace", "watch"])).is_err());
         assert!(parse(&argv(&["trace", "psychic", "x"])).is_err());
         assert!(parse(&argv(&["trace", "report", "a.jsonl", "b.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn l2_cache_and_max_conns_flags() {
+        let cli = parse(&argv(&["sample", "local:boolean", "--l2", "hist"])).unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Sample { l2: Some(ref d), .. } if d == "hist"
+        ));
+        let fleet = parse(&argv(&["multi-site", "--l2", "hist"])).unwrap();
+        assert!(matches!(
+            fleet.command,
+            Command::MultiSite { l2: Some(ref d), .. } if d == "hist"
+        ));
+        let served = parse(&argv(&["serve", "--max-conns", "64"])).unwrap();
+        assert!(matches!(
+            served.command,
+            Command::Serve { max_conns: 64, .. }
+        ));
+        for (word, action) in [
+            ("stats", CacheAction::Stats),
+            ("compact", CacheAction::Compact),
+            ("clear", CacheAction::Clear),
+        ] {
+            let cli = parse(&argv(&["cache", word, "--l2", "hist"])).unwrap();
+            assert_eq!(
+                cli.command,
+                Command::Cache {
+                    action,
+                    dir: "hist".into()
+                }
+            );
+        }
+        // Never silently ignored or under-specified.
+        assert!(parse(&argv(&["serve", "--l2", "hist"])).is_err());
+        assert!(parse(&argv(&["describe", "--l2", "hist"])).is_err());
+        assert!(parse(&argv(&["sample", "--max-conns", "4"])).is_err());
+        assert!(parse(&argv(&["serve", "--max-conns", "abc"])).is_err());
+        assert!(parse(&argv(&["cache", "--l2", "hist"])).is_err());
+        assert!(parse(&argv(&["cache", "stats"])).is_err());
+        assert!(parse(&argv(&["cache", "psychic", "--l2", "hist"])).is_err());
+        assert!(parse(&argv(&["cache", "stats", "clear", "--l2", "hist"])).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use hdsampler_webform::{
 };
 use hdsampler_workload::{resolve_dataset, DbConfig, WorkloadSpec};
 
-use crate::args::{Cli, Command, Common, DriverMode, TraceAction};
+use crate::args::{CacheAction, Cli, Command, Common, DriverMode, TraceAction};
 use crate::display::{self, progress_line, ProgressSink, WatchSink};
 
 /// Build one simulated hidden database from the common options with an
@@ -291,6 +291,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
             watch,
             trace,
             metrics,
+            l2,
         } => sample(
             &cli.common,
             locator.as_deref(),
@@ -300,6 +301,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
             coop_conns,
             watch,
             &TelemetryOpts::new(trace, metrics),
+            l2.as_deref(),
         ),
         Command::Aggregate { proportions, avgs } => aggregate(&cli.common, &proportions, &avgs),
         Command::Validate { attr } => validate(&cli.common, attr.as_deref()),
@@ -316,6 +318,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
             steal,
             trace,
             metrics,
+            l2,
         } => {
             let telemetry = TelemetryOpts::new(trace, metrics);
             if !site_locators.is_empty() {
@@ -327,7 +330,20 @@ pub fn run(cli: Cli) -> Result<(), String> {
                     coop_conns,
                     steal,
                     &telemetry,
+                    l2.as_deref(),
                 );
+            }
+            if l2.is_some() {
+                // The flag-built simulated fleet gives every site the
+                // same schema and k, so a digest-free fingerprint would
+                // collide across sites with different data — facts from
+                // one site would answer another's queries. Locator legs
+                // scrape each site's advertised (data-sensitive)
+                // fingerprint instead.
+                return Err("--l2 needs fingerprinted legs; name the fleet with --site \
+                            locators (e.g. --site local:boolean?seed=1) or bake an \
+                            `l2=` parameter into each locator"
+                    .into());
             }
             multi_site(
                 &cli.common,
@@ -351,6 +367,7 @@ pub fn run(cli: Cli) -> Result<(), String> {
             chaos,
             trace,
             metrics,
+            max_conns,
         } => serve(
             &cli.common,
             port,
@@ -359,12 +376,67 @@ pub fn run(cli: Cli) -> Result<(), String> {
             serve_for,
             chaos,
             &TelemetryOpts::new(trace, metrics),
+            max_conns,
         ),
         Command::Trace { action } => match action {
             TraceAction::Report { journal } => trace_report(&journal),
             TraceAction::Watch { addr } => trace_watch(&addr),
         },
+        Command::Cache { action, dir } => cache_cmd(action, &dir),
     }
+}
+
+/// `cache stats|compact|clear --l2 <dir>`: maintenance of a persistent
+/// history directory, one fingerprint subdirectory per site version.
+fn cache_cmd(action: CacheAction, dir: &str) -> Result<(), String> {
+    use hdsampler_core::L2Log;
+    let root = std::path::Path::new(dir);
+    let sites =
+        L2Log::list_sites(root).map_err(|e| format!("cannot scan cache root `{dir}`: {e}"))?;
+    if sites.is_empty() {
+        println!("cache root `{dir}`: no persisted sites");
+        return Ok(());
+    }
+    println!("cache root `{dir}`: {} site(s)", sites.len());
+    for fp in sites {
+        let log = L2Log::open(root, fp.clone())
+            .map_err(|e| format!("cannot open site log `{}`: {e}", fp.as_str()))?;
+        match action {
+            CacheAction::Stats => {
+                let s = log
+                    .stats()
+                    .map_err(|e| format!("cannot scan `{}`: {e}", fp.as_str()))?;
+                println!(
+                    "  {}: {} records in {} segment(s), {} bytes, {} skipped",
+                    fp.as_str(),
+                    s.records,
+                    s.segments,
+                    s.bytes,
+                    s.skipped
+                );
+            }
+            CacheAction::Compact => {
+                let r = log
+                    .compact()
+                    .map_err(|e| format!("cannot compact `{}`: {e}", fp.as_str()))?;
+                println!(
+                    "  {}: {} records in {} segment(s) -> {} records in 1 segment \
+                     ({} torn line(s) dropped)",
+                    fp.as_str(),
+                    r.records_before,
+                    r.segments_before,
+                    r.records_after,
+                    r.skipped
+                );
+            }
+            CacheAction::Clear => {
+                log.clear()
+                    .map_err(|e| format!("cannot clear `{}`: {e}", fp.as_str()))?;
+                println!("  {}: cleared", fp.as_str());
+            }
+        }
+    }
+    Ok(())
 }
 
 /// `trace report <journal.jsonl>`: per-stage latency breakdown and the
@@ -406,6 +478,7 @@ fn serve(
     serve_for: Option<u64>,
     chaos: Option<ChaosSpec>,
     telemetry: &TelemetryOpts,
+    max_conns: usize,
 ) -> Result<(), String> {
     let db = build_db(common, common.seed)?;
     let schema = Arc::new(db.schema().clone());
@@ -423,6 +496,7 @@ fn serve(
         addr: format!("127.0.0.1:{port}"),
         workers,
         mode,
+        max_conns,
         ..ServerConfig::default()
     };
     // The adversary (when any) is kept on this side too, so the shutdown
@@ -445,6 +519,12 @@ fn serve(
         println!("mode: bounded pool, {workers} worker thread(s) (the epoll reactor needs Linux)");
     } else {
         println!("mode: bounded pool, {workers} worker thread(s) (--pool)");
+    }
+    if max_conns > 0 {
+        println!(
+            "admission: at most {max_conns} open connection(s); extras get \
+             503 + Retry-After"
+        );
     }
     if let Some(adv) = &adversary {
         let spec = adv.spec();
@@ -478,6 +558,12 @@ fn serve(
                 stats.bytes_out,
                 stats.bytes_in,
             );
+            if stats.admission_rejects > 0 {
+                println!(
+                    "admission: {} connection(s) turned away at the --max-conns cap",
+                    stats.admission_rejects
+                );
+            }
             println!(
                 "routes: {} landing, {} search, {} metrics, {} events, {} other",
                 stats.requests_landing,
@@ -635,6 +721,7 @@ fn build_remote_fleet(addrs: &[&str]) -> Result<Vec<SiteTask<BoxTransport>>, Str
 /// leg is its own locator — mixed `local:`, `http://` and `replay:` wires
 /// with per-site schemas, all resolved through the connector registry and
 /// driven by one [`RunPlan`].
+#[allow(clippy::too_many_arguments)]
 fn multi_site_locators(
     common: &Common,
     locs: &[String],
@@ -643,6 +730,7 @@ fn multi_site_locators(
     coop_conns: Option<usize>,
     steal: bool,
     telemetry: &TelemetryOpts,
+    l2: Option<&str>,
 ) -> Result<(), String> {
     if !common.binds.is_empty() {
         return Err("--bind does not combine with --site: fleet legs have \
@@ -674,15 +762,29 @@ fn multi_site_locators(
             if steal { ", stealing enabled" } else { "" }
         );
     }
+    if let Some(root) = l2 {
+        println!("l2 history: persisting learned facts under `{root}/<fingerprint>/`");
+    }
     let mut observers = PlanTelemetry::start(telemetry)?;
-    let plan = RunPlan::target(common.samples)
+    let mut plan = RunPlan::target(common.samples)
         .walkers(walkers)
         .seed(common.seed)
         .slider(common.slider)
         .driver(driver)
         .steal(steal);
-    let (report, _fleet) = observers.attach(plan).run_locators(&locators)?;
+    if let Some(root) = l2 {
+        plan = plan.l2(root);
+    }
+    let (report, fleet) = observers.attach(plan).run_locators(&locators)?;
     println!("\n{}", display::fleet_report(&report.fleet));
+    if l2.is_some() {
+        for (task, site) in fleet.iter().zip(&report.fleet.sites) {
+            print_l2_block(
+                &site.history,
+                task.l2().map(|log| log.fingerprint().as_str()),
+            );
+        }
+    }
     observers.finish()
 }
 
@@ -1053,6 +1155,25 @@ fn print_session_block(site: &SiteReport) {
         site.history.total_hits(),
         site.history.evictions
     );
+    print_l2_block(&site.history, None);
+}
+
+/// The persistent-tier summary line, printed only when an L2 log was
+/// actually attached (any of its counters moved).
+fn print_l2_block(hist: &hdsampler_core::HistoryStats, fingerprint: Option<&str>) {
+    if hist.l2_loads == 0 && hist.l2_hits == 0 && hist.l2_misses == 0 && hist.l2_puts == 0 {
+        return;
+    }
+    let site = fingerprint.map(|fp| format!(" [{fp}]")).unwrap_or_default();
+    let torn = if hist.l2_skipped > 0 {
+        format!(", {} torn line(s) skipped", hist.l2_skipped)
+    } else {
+        String::new()
+    };
+    println!(
+        "l2 history{site}: {} fact(s) loaded, {} hits, {} misses, {} puts{torn}",
+        hist.l2_loads, hist.l2_hits, hist.l2_misses, hist.l2_puts
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1065,10 +1186,12 @@ fn sample(
     coop_conns: Option<usize>,
     watch: bool,
     telemetry: &TelemetryOpts,
+    l2: Option<&str>,
 ) -> Result<(), String> {
     let loc = effective_locator(common, locator)?;
     let opts = ConnectOptions {
         record: record.map(str::to_string),
+        l2: l2.map(str::to_string),
     };
     // Every wire goes through the same connector: the schema, k and count
     // support are discovered by scraping the site's `/`, never configured.
@@ -1114,6 +1237,9 @@ fn sample(
     )?;
     let site = report.site();
     print_session_block(site);
+    if let Some(log) = task.l2() {
+        println!("l2 history: persisted under `{}`", log.dir().display());
+    }
     if let Some(details) = &report.details {
         println!(
             "coop: {} walker machine(s) over {} pipelined connection(s), {} history hits",
@@ -1249,6 +1375,7 @@ mod tests {
             None,
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap();
     }
@@ -1270,6 +1397,7 @@ mod tests {
             None,
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap();
         // Unknown datasets fail early with the registry's hint.
@@ -1282,6 +1410,7 @@ mod tests {
             None,
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap_err();
         assert!(err.contains("did you mean `vehicles-compact`?"), "{err}");
@@ -1306,6 +1435,7 @@ mod tests {
             None,
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap();
         sample(
@@ -1317,6 +1447,7 @@ mod tests {
             None,
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap();
         std::fs::remove_file(&tape).ok();
@@ -1429,6 +1560,7 @@ mod tests {
             None,
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap();
         let stats = handle.shutdown();
@@ -1458,6 +1590,7 @@ mod tests {
             Some(2),
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap();
         let stats = handle.shutdown();
@@ -1495,6 +1628,7 @@ mod tests {
             None,
             false,
             &TelemetryOpts::default(),
+            None,
         )
         .unwrap();
         let stats = handle.shutdown();
@@ -1636,6 +1770,7 @@ mod tests {
                 Some(2),
                 false,
                 &TelemetryOpts::new(Some(path.to_str().unwrap().to_string()), None),
+                None,
             )
             .unwrap();
         };

@@ -93,6 +93,7 @@ fn mixed_fleet_drives_three_schemes_with_per_site_schemas() {
             &[recorded_loc],
             &ConnectOptions {
                 record: Some(tape_str.clone()),
+                l2: None,
             },
         )
         .unwrap();

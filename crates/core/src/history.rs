@@ -24,6 +24,22 @@
 //! With per-walk attribute scrambling, rules 2–4 fire *across* walks that
 //! constrained the same values in different orders — exactly the repeat
 //! structure random drill-downs generate in the upper tree.
+//!
+//! ## Tiers and learn-time stamps
+//!
+//! The sharded in-memory state above is the **L1** tier. An optional
+//! **L2** tier ([`CachingExecutor::with_l2`]) sits behind it: a persistent
+//! fact log ([`crate::l2::L2Log`]) loaded into its own containment index
+//! at attach time. L1 misses consult L2 before reporting a miss; L2 hits
+//! are promoted into L1 and counted per tier, and newly wire-learned
+//! facts are written behind to the log, so the next run against the same
+//! site starts warm.
+//!
+//! Every fact carries the site-clock time it was learned at
+//! ([`CachingExecutor::record_response_at`]). A history hit reports the
+//! *answering* fact's stamp ([`HistoryHit::learned_at`]), which is the
+//! exact causal floor for a cooperative walker resuming on that hit —
+//! facts loaded from L2 were known before the run began and stamp `0`.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -37,6 +53,7 @@ use hdsampler_model::{
 };
 
 use crate::executor::{Classified, QueryExecutor};
+use crate::l2::{FactRecord, L2Log};
 
 /// Cache-hit counters, by rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,16 +80,27 @@ pub struct HistoryStats {
     /// containment facts alone busted the bound, so even the protected
     /// empty/overflow sets were dropped.
     pub cold_restarts: u64,
+    /// Requests the persistent L2 tier answered after an L1 miss.
+    pub l2_hits: u64,
+    /// Requests that missed both tiers with an L2 attached.
+    pub l2_misses: u64,
+    /// Wire-learned facts written behind to the L2 log.
+    pub l2_puts: u64,
+    /// Facts loaded from the L2 log at attach time.
+    pub l2_loads: u64,
+    /// Torn/garbage log lines skipped while loading the L2 tier.
+    pub l2_skipped: u64,
 }
 
 impl HistoryStats {
-    /// Total requests answered from history.
+    /// Total requests answered from history (either tier).
     pub fn total_hits(&self) -> u64 {
         self.memo_hits
             + self.empty_rule_hits
             + self.overflow_rule_hits
             + self.filter_rule_hits
             + self.count_memo_hits
+            + self.l2_hits
     }
 }
 
@@ -104,22 +132,26 @@ impl std::hash::Hasher for FnvHasher {
 type FnvMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FnvHasher>>;
 
 /// A set of predicate-sets supporting subset/superset queries via a
-/// per-predicate inverted index.
+/// per-predicate inverted index. Every stored set carries the site-clock
+/// stamp it was learned at, so an inference can report the causal floor
+/// of its witness.
 #[derive(Debug, Default)]
 struct ContainmentSet {
     queries: Vec<ConjunctiveQuery>,
+    /// Learn-time stamps, parallel to `queries`.
+    stamps: Vec<u64>,
     /// predicate → indices of stored queries containing it.
     by_pred: FnvMap<Predicate, Vec<u32>>,
     /// The stored empty query, if any — a subset of everything, and
     /// invisible to the predicate index above, so subset searches fall
     /// back to it explicitly.
-    empty: Option<ConjunctiveQuery>,
+    empty: Option<(ConjunctiveQuery, u64)>,
 }
 
 impl ContainmentSet {
-    fn insert(&mut self, q: &ConjunctiveQuery) {
+    fn insert(&mut self, q: &ConjunctiveQuery, at: u64) {
         if q.is_empty() {
-            self.empty = Some(q.clone());
+            self.empty = Some((q.clone(), at));
             return;
         }
         let ix = self.queries.len() as u32;
@@ -127,10 +159,7 @@ impl ContainmentSet {
             self.by_pred.entry(*p).or_default().push(ix);
         }
         self.queries.push(q.clone());
-    }
-
-    fn has_empty(&self) -> bool {
-        self.empty.is_some()
+        self.stamps.push(at);
     }
 
     fn len(&self) -> usize {
@@ -142,7 +171,8 @@ impl ContainmentSet {
         self.find_subset_of(q).is_some()
     }
 
-    /// Find a stored set that is a subset of `q`'s predicates.
+    /// Find a stored set that is a subset of `q`'s predicates, with its
+    /// learn-time stamp.
     ///
     /// Every stored non-trivial subset shares at least one predicate with
     /// `q`, so the candidates are exactly the entries of `q`'s predicates'
@@ -153,7 +183,7 @@ impl ContainmentSet {
     /// the old extend/sort/dedup pass also paid, without its allocation.
     /// The stored empty query (a subset of everything) is the fallback when
     /// no indexed candidate matches.
-    fn find_subset_of(&self, q: &ConjunctiveQuery) -> Option<&ConjunctiveQuery> {
+    fn find_subset_of(&self, q: &ConjunctiveQuery) -> Option<(&ConjunctiveQuery, u64)> {
         let mut lists: Vec<&[u32]> = q
             .predicates()
             .iter()
@@ -164,18 +194,26 @@ impl ContainmentSet {
             for &ix in list {
                 let cand = &self.queries[ix as usize];
                 if q.is_refinement_of(cand) {
-                    return Some(cand);
+                    return Some((cand, self.stamps[ix as usize]));
                 }
             }
         }
-        self.empty.as_ref()
+        self.empty.as_ref().map(|(q, at)| (q, *at))
     }
 
     /// Is `q` a subset of some stored set (i.e. does a stored superset
     /// exist)?
     fn any_superset_of(&self, q: &ConjunctiveQuery) -> bool {
+        self.find_superset_of(q).is_some()
+    }
+
+    /// Find a stored superset of `q`, with its learn-time stamp.
+    fn find_superset_of(&self, q: &ConjunctiveQuery) -> Option<(&ConjunctiveQuery, u64)> {
         if q.is_empty() {
-            return self.has_empty() || !self.queries.is_empty();
+            if let Some((eq, at)) = self.empty.as_ref() {
+                return Some((eq, *at));
+            }
+            return self.queries.first().map(|first| (first, self.stamps[0]));
         }
         // A superset must contain *every* predicate of q, so scanning the
         // smallest of q's posting lists covers all candidates.
@@ -187,11 +225,13 @@ impl ContainmentSet {
             .expect("non-empty query has predicates");
         smallest
             .iter()
-            .any(|&ix| self.queries[ix as usize].is_refinement_of(q))
+            .find(|&&ix| self.queries[ix as usize].is_refinement_of(q))
+            .map(|&ix| (&self.queries[ix as usize], self.stamps[ix as usize]))
     }
 
     fn clear(&mut self) {
         self.queries.clear();
+        self.stamps.clear();
         self.by_pred.clear();
         self.empty = None;
     }
@@ -209,11 +249,12 @@ enum Eviction {
     ColdRestart,
 }
 
-/// Interior cache state.
+/// Interior cache state. Memo and count values carry the learn-time
+/// stamp of the fact that produced them.
 #[derive(Debug, Default)]
 struct HistoryInner {
-    /// Rule 1: exact memo of classifications (+ rows for valid).
-    memo: FnvMap<ConjunctiveQuery, Classified>,
+    /// Rule 1: exact memo of classifications (+ rows for valid), stamped.
+    memo: FnvMap<ConjunctiveQuery, (Classified, u64)>,
     /// Rule 2 support: known-empty predicate sets (kept minimal-ish).
     empties: ContainmentSet,
     /// Rule 3 support: known-overflowing predicate sets (kept maximal-ish).
@@ -221,9 +262,9 @@ struct HistoryInner {
     /// Rule 4 support: known-valid queries with their complete rows.
     valids: ContainmentSet,
     valid_rows: FnvMap<ConjunctiveQuery, Arc<[Row]>>,
-    /// Count memo (exact counts learned from valid/empty responses are
-    /// inserted here too).
-    counts: FnvMap<ConjunctiveQuery, u64>,
+    /// Count memo, stamped (exact counts learned from valid/empty
+    /// responses are inserted here too).
+    counts: FnvMap<ConjunctiveQuery, (u64, u64)>,
     /// Insertion order of `counts` keys (oldest first), so count pressure
     /// evicts the stalest memoized counts instead of the whole shard.
     count_order: std::collections::VecDeque<ConjunctiveQuery>,
@@ -243,10 +284,81 @@ impl HistoryInner {
     }
 
     /// Record a count, tracking first-insert order for layered eviction.
-    fn learn_count(&mut self, query: &ConjunctiveQuery, count: u64) {
-        if self.counts.insert(query.clone(), count).is_none() {
+    fn learn_count(&mut self, query: &ConjunctiveQuery, count: u64, at: u64) {
+        if self.counts.insert(query.clone(), (count, at)).is_none() {
             self.count_order.push_back(query.clone());
         }
+    }
+
+    /// Absorb one persisted fact (building the L2 tier's index).
+    fn absorb(&mut self, rec: &FactRecord) {
+        match rec.kind.as_str() {
+            "count" => {
+                if let Some(c) = rec.count {
+                    self.learn_count(&rec.query, c, rec.learned_at);
+                }
+            }
+            "empty" => {
+                if !self.empties.any_subset_of(&rec.query) {
+                    self.empties.insert(&rec.query, rec.learned_at);
+                }
+                self.learn_count(&rec.query, 0, rec.learned_at);
+            }
+            "overflow" if !self.overflows.any_superset_of(&rec.query) => {
+                self.overflows.insert(&rec.query, rec.learned_at);
+            }
+            "valid" => {
+                if let Some(rows) = &rec.rows {
+                    self.learn_count(&rec.query, rows.len() as u64, rec.learned_at);
+                    if !self.valid_rows.contains_key(&rec.query) {
+                        self.valids.insert(&rec.query, rec.learned_at);
+                        self.valid_rows
+                            .insert(rec.query.clone(), Arc::from(rows.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Run the containment rules (2–4) against this one index — the L2
+    /// tier's lookup, where all facts live in a single `HistoryInner`
+    /// rather than L1's shards. The memo layer is skipped: an L2 index
+    /// never fills it (exact repeats are caught by the subset/superset
+    /// rules, which include equality).
+    fn infer_local(&self, query: &ConjunctiveQuery) -> Option<Classified> {
+        if self.empties.any_subset_of(query) {
+            return Some(Classified {
+                class: Classification::Empty,
+                rows: None,
+            });
+        }
+        if self.overflows.any_superset_of(query) {
+            return Some(Classified {
+                class: Classification::Overflow,
+                rows: None,
+            });
+        }
+        if let Some((ancestor, _)) = self.valids.find_subset_of(query) {
+            let rows = self.valid_rows.get(ancestor).expect("valids have rows");
+            let filtered: Vec<Row> = rows
+                .iter()
+                .filter(|r| query.matches(&r.values))
+                .cloned()
+                .collect();
+            let class = if filtered.is_empty() {
+                Classification::Empty
+            } else {
+                Classification::Valid
+            };
+            let rows = if filtered.is_empty() {
+                None
+            } else {
+                Some(Arc::<[Row]>::from(filtered))
+            };
+            return Some(Classified { class, rows });
+        }
+        None
     }
 
     /// Make room for one charged insert, shedding state in layers of
@@ -315,6 +427,8 @@ pub struct CachingExecutor<F> {
     /// Interface charges that predate this executor (see
     /// `DirectExecutor` — sequential samplers report only their own cost).
     charge_baseline: u64,
+    /// The persistent tier, when attached ([`CachingExecutor::with_l2`]).
+    l2: Option<L2Tier>,
     requests: AtomicU64,
     memo_hits: AtomicU64,
     empty_rule_hits: AtomicU64,
@@ -324,6 +438,44 @@ pub struct CachingExecutor<F> {
     misses: AtomicU64,
     evictions: AtomicU64,
     cold_restarts: AtomicU64,
+    l2_hits: AtomicU64,
+    l2_misses: AtomicU64,
+    l2_puts: AtomicU64,
+    l2_loads: AtomicU64,
+    l2_skipped: AtomicU64,
+}
+
+/// The attached persistent tier: the log (write-behind target) plus its
+/// facts loaded into one containment index. A single lock suffices — the
+/// index is read-mostly after load, and it is only consulted on L1
+/// misses, off the memo fast path.
+#[derive(Debug)]
+struct L2Tier {
+    log: Arc<L2Log>,
+    index: RwLock<HistoryInner>,
+}
+
+/// Which tier answered a history hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitTier {
+    /// The sharded in-memory tier.
+    L1,
+    /// The persistent disk-backed tier.
+    L2,
+}
+
+/// A history hit with its exact causal provenance: the answer, the
+/// site-clock time the answering fact was learned at (`0` for facts that
+/// predate the run — i.e. everything loaded from L2), and the tier that
+/// answered.
+#[derive(Debug, Clone)]
+pub struct HistoryHit {
+    /// The classification answered from history.
+    pub answer: Classified,
+    /// Learn time of the answering fact on the run's site clock (ms).
+    pub learned_at: u64,
+    /// Tier that answered.
+    pub tier: HitTier,
 }
 
 /// Default cache capacity (entries across memo + counts).
@@ -379,6 +531,7 @@ impl<F: FormInterface> CachingExecutor<F> {
                 .collect(),
             shard_mask: shard_count - 1,
             capacity_per_shard: (capacity / shard_count).max(2),
+            l2: None,
             requests: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             empty_rule_hits: AtomicU64::new(0),
@@ -388,7 +541,47 @@ impl<F: FormInterface> CachingExecutor<F> {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             cold_restarts: AtomicU64::new(0),
+            l2_hits: AtomicU64::new(0),
+            l2_misses: AtomicU64::new(0),
+            l2_puts: AtomicU64::new(0),
+            l2_loads: AtomicU64::new(0),
+            l2_skipped: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a persistent L2 tier: load the log's facts into the tier's
+    /// index (counting loads and skipped torn lines), consult it on every
+    /// L1 miss, and write newly learned facts behind to it.
+    ///
+    /// Facts loaded here were learned before this run began, so history
+    /// hits they answer carry a causal floor of `0`.
+    pub fn with_l2(mut self, log: Arc<L2Log>) -> Self {
+        let mut index = HistoryInner::default();
+        let before_skipped = log.skipped();
+        match log.load() {
+            Ok(records) => {
+                self.l2_loads.store(records.len() as u64, Ordering::Relaxed);
+                for rec in &records {
+                    index.absorb(rec);
+                }
+            }
+            Err(_) => {
+                // An unreadable log directory warm-starts nothing; the
+                // executor still works (and still tries to write behind).
+            }
+        }
+        self.l2_skipped
+            .store(log.skipped() - before_skipped, Ordering::Relaxed);
+        self.l2 = Some(L2Tier {
+            log,
+            index: RwLock::new(index),
+        });
+        self
+    }
+
+    /// The attached L2 log, if any.
+    pub fn l2_log(&self) -> Option<&Arc<L2Log>> {
+        self.l2.as_ref().map(|t| &t.log)
     }
 
     /// The wrapped interface.
@@ -433,6 +626,11 @@ impl<F: FormInterface> CachingExecutor<F> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             cold_restarts: self.cold_restarts.load(Ordering::Relaxed),
+            l2_hits: self.l2_hits.load(Ordering::Relaxed),
+            l2_misses: self.l2_misses.load(Ordering::Relaxed),
+            l2_puts: self.l2_puts.load(Ordering::Relaxed),
+            l2_loads: self.l2_loads.load(Ordering::Relaxed),
+            l2_skipped: self.l2_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -450,16 +648,17 @@ impl<F: FormInterface> CachingExecutor<F> {
         }
     }
 
-    /// Try to answer `query` purely from history.
+    /// Try to answer `query` purely from the in-memory (L1) history,
+    /// reporting the learn-time stamp of the answering witness.
     ///
     /// Rule order matches the unsharded cache exactly: memo (own shard
     /// only — that is where the exact query lives), then each containment
     /// rule across every shard before the next rule is considered.
-    fn infer(&self, query: &ConjunctiveQuery) -> Option<Classified> {
+    fn infer(&self, query: &ConjunctiveQuery) -> Option<(Classified, u64)> {
         // Rule 1: memo.
-        if let Some(hit) = self.shard_of(query).read().memo.get(query) {
+        if let Some((hit, at)) = self.shard_of(query).read().memo.get(query) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(hit.clone());
+            return Some((hit.clone(), *at));
         }
         // Rules 2–4 in one pass: each shard's lock is taken exactly once,
         // with all three containment rules checked under it. Rule-major
@@ -475,45 +674,54 @@ impl<F: FormInterface> CachingExecutor<F> {
         //   comes up empty and yields the same `Classified` — only the
         //   counter attribution differs, and the flags below attribute it
         //   to rule 2 exactly as the rule-major (unsharded) order does.
-        let mut any_empty = false;
-        let mut any_overflow = false;
-        let mut filtered: Option<Vec<Row>> = None;
+        let mut empty_at: Option<u64> = None;
+        let mut overflow_at: Option<u64> = None;
+        let mut filtered: Option<(Vec<Row>, u64)> = None;
         for shard in self.shards.iter() {
             let inner = shard.read();
-            if inner.empties.any_subset_of(query) {
-                any_empty = true;
+            if let Some((_, at)) = inner.empties.find_subset_of(query) {
+                empty_at = Some(at);
                 // Rule 2 dominates every later finding; stop scanning.
                 break;
             }
-            if !any_overflow && inner.overflows.any_superset_of(query) {
-                any_overflow = true;
-                continue;
+            if overflow_at.is_none() {
+                if let Some((_, at)) = inner.overflows.find_superset_of(query) {
+                    overflow_at = Some(at);
+                    continue;
+                }
             }
-            if !any_overflow && filtered.is_none() {
-                if let Some(ancestor) = inner.valids.find_subset_of(query) {
+            if overflow_at.is_none() && filtered.is_none() {
+                if let Some((ancestor, at)) = inner.valids.find_subset_of(query) {
                     let rows = inner.valid_rows.get(ancestor).expect("valids have rows");
-                    filtered = Some(
+                    filtered = Some((
                         rows.iter()
                             .filter(|r| query.matches(&r.values))
                             .cloned()
                             .collect(),
-                    );
+                        at,
+                    ));
                 }
             }
         }
-        let derived = if any_empty {
+        let (derived, at) = if let Some(at) = empty_at {
             self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
-            Classified {
-                class: Classification::Empty,
-                rows: None,
-            }
-        } else if any_overflow {
+            (
+                Classified {
+                    class: Classification::Empty,
+                    rows: None,
+                },
+                at,
+            )
+        } else if let Some(at) = overflow_at {
             self.overflow_rule_hits.fetch_add(1, Ordering::Relaxed);
-            Classified {
-                class: Classification::Overflow,
-                rows: None,
-            }
-        } else if let Some(filtered) = filtered {
+            (
+                Classified {
+                    class: Classification::Overflow,
+                    rows: None,
+                },
+                at,
+            )
+        } else if let Some((filtered, at)) = filtered {
             self.filter_rule_hits.fetch_add(1, Ordering::Relaxed);
             let class = if filtered.is_empty() {
                 Classification::Empty
@@ -525,7 +733,7 @@ impl<F: FormInterface> CachingExecutor<F> {
             } else {
                 Some(Arc::<[Row]>::from(filtered))
             };
-            Classified { class, rows }
+            (Classified { class, rows }, at)
         } else {
             return None;
         };
@@ -539,10 +747,10 @@ impl<F: FormInterface> CachingExecutor<F> {
         // pre-memoization behavior.
         let mut inner = self.shard_of(query).write();
         if inner.entries() < self.capacity_per_shard {
-            inner.memo.insert(query.clone(), derived.clone());
+            inner.memo.insert(query.clone(), (derived.clone(), at));
         }
         drop(inner);
-        Some(derived)
+        Some((derived, at))
     }
 
     /// Non-blocking half of [`QueryExecutor::classify`] for cooperative
@@ -555,9 +763,41 @@ impl<F: FormInterface> CachingExecutor<F> {
     /// difference is that the wire fetch happens outside the cache, where
     /// a single-threaded driver can keep hundreds of them in flight.
     pub fn try_classify(&self, query: &ConjunctiveQuery) -> Option<Classified> {
+        self.try_classify_stamped(query).map(|h| h.answer)
+    }
+
+    /// [`try_classify`](CachingExecutor::try_classify) with exact causal
+    /// provenance: which tier answered and the site-clock time the
+    /// answering fact was learned at. A cooperative driver resuming a
+    /// walker on this hit may floor the walker's clock at
+    /// [`HistoryHit::learned_at`] instead of the conservative
+    /// run-knowledge floor — an L2-answered fact was known before the run
+    /// began and floors at `0`.
+    pub fn try_classify_stamped(&self, query: &ConjunctiveQuery) -> Option<HistoryHit> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = self.infer(query) {
-            return Some(hit);
+        if let Some((answer, learned_at)) = self.infer(query) {
+            return Some(HistoryHit {
+                answer,
+                learned_at,
+                tier: HitTier::L1,
+            });
+        }
+        if let Some(tier) = &self.l2 {
+            let answer = tier.index.read().infer_local(query);
+            if let Some(answer) = answer {
+                self.l2_hits.fetch_add(1, Ordering::Relaxed);
+                // Promote into L1 — at floor 0 (the fact predates the run)
+                // and without re-appending to the log (the fact is already
+                // persisted; a write-behind here would duplicate it on
+                // every warm run).
+                self.remember(query, &answer, 0, false);
+                return Some(HistoryHit {
+                    answer,
+                    learned_at: 0,
+                    tier: HitTier::L2,
+                });
+            }
+            self.l2_misses.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
@@ -565,12 +805,23 @@ impl<F: FormInterface> CachingExecutor<F> {
 
     /// Feed back a wire-fetched response for a query
     /// [`try_classify`](CachingExecutor::try_classify) missed on.
+    /// Equivalent to [`record_response_at`](Self::record_response_at) at
+    /// site-clock 0 — blocking samplers carry no virtual clock.
     pub fn record_response(&self, query: &ConjunctiveQuery, result: &Classified) {
-        self.remember(query, result);
+        self.remember(query, result, 0, true);
     }
 
-    /// Record a charged response in `query`'s shard.
-    fn remember(&self, query: &ConjunctiveQuery, result: &Classified) {
+    /// Feed back a wire-fetched response learned at `at_ms` on the run's
+    /// site clock. The stamp travels with the fact: later history hits it
+    /// answers report it as their causal floor, and it is persisted with
+    /// the fact when an L2 log is attached.
+    pub fn record_response_at(&self, query: &ConjunctiveQuery, result: &Classified, at_ms: u64) {
+        self.remember(query, result, at_ms, true);
+    }
+
+    /// Record a charged response in `query`'s shard, stamped `at`; when
+    /// `persist` is set and an L2 log is attached, write the fact behind.
+    fn remember(&self, query: &ConjunctiveQuery, result: &Classified, at: u64, persist: bool) {
         let mut inner = self.shard_of(query).write();
         self.record_eviction(inner.evict_for_insert(self.capacity_per_shard));
         match result.class {
@@ -579,66 +830,120 @@ impl<F: FormInterface> CachingExecutor<F> {
                 // this shard. (Cross-shard redundancy costs memory, never
                 // correctness: the rules scan every shard.)
                 if !inner.empties.any_subset_of(query) {
-                    inner.empties.insert(query);
+                    inner.empties.insert(query, at);
                 }
-                inner.learn_count(query, 0);
+                inner.learn_count(query, 0, at);
             }
             Classification::Overflow => {
                 if !inner.overflows.any_superset_of(query) {
-                    inner.overflows.insert(query);
+                    inner.overflows.insert(query, at);
                 }
             }
             Classification::Valid => {
                 let rows = result.rows.clone().expect("valid carries rows");
-                inner.learn_count(query, rows.len() as u64);
+                inner.learn_count(query, rows.len() as u64, at);
                 if !inner.valid_rows.contains_key(query) {
-                    inner.valids.insert(query);
+                    inner.valids.insert(query, at);
                     inner.valid_rows.insert(query.clone(), rows);
                 }
             }
         }
-        inner.memo.insert(query.clone(), result.clone());
+        inner.memo.insert(query.clone(), (result.clone(), at));
+        drop(inner);
+        if persist {
+            self.put_l2(query, result, at);
+        }
+    }
+
+    /// Write one wire-learned fact behind to the attached L2 log, if any.
+    /// Log I/O errors are swallowed — persistence is an optimization, and
+    /// a full disk must never fail a sampling run.
+    fn put_l2(&self, query: &ConjunctiveQuery, result: &Classified, at: u64) {
+        let Some(tier) = &self.l2 else {
+            return;
+        };
+        let rec = match result.class {
+            Classification::Empty => FactRecord::empty(query.clone(), at),
+            Classification::Overflow => FactRecord::overflow(query.clone(), at),
+            Classification::Valid => {
+                let rows = result.rows.as_ref().expect("valid carries rows");
+                FactRecord::valid(query.clone(), rows.to_vec(), at)
+            }
+        };
+        if tier.log.append(&rec).is_ok() {
+            self.l2_puts.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
 impl<F: FormInterface> QueryExecutor for CachingExecutor<F> {
     fn classify(&self, query: &ConjunctiveQuery) -> Result<Classified, InterfaceError> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = self.infer(query) {
-            return Ok(hit);
+        if let Some(hit) = self.try_classify_stamped(query) {
+            return Ok(hit.answer);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = Classified::from_response(self.interface.execute(query)?);
-        self.remember(query, &result);
+        self.remember(query, &result, 0, true);
         Ok(result)
     }
 
     fn count(&self, query: &ConjunctiveQuery) -> Result<u64, InterfaceError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        if let Some(&c) = self.shard_of(query).read().counts.get(query) {
+        if let Some(&(c, _)) = self.shard_of(query).read().counts.get(query) {
             self.count_memo_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(c);
         }
         // An inferable empty has count 0 without a probe. Memoize the
         // derived zero (when the shard has room) so repeat probes become
         // single-shard count-memo hits instead of cross-shard rescans.
-        if self
+        if let Some(at) = self
             .shards
             .iter()
-            .any(|s| s.read().empties.any_subset_of(query))
+            .find_map(|s| s.read().empties.find_subset_of(query).map(|(_, at)| at))
         {
             self.empty_rule_hits.fetch_add(1, Ordering::Relaxed);
             let mut inner = self.shard_of(query).write();
             if inner.entries() < self.capacity_per_shard {
-                inner.learn_count(query, 0);
+                inner.learn_count(query, 0, at);
             }
             return Ok(0);
+        }
+        // L2: a persisted count (or empty fact) answers without a probe;
+        // promote it into L1 at floor 0.
+        if let Some(tier) = &self.l2 {
+            let found = {
+                let idx = tier.index.read();
+                if let Some(&(c, _)) = idx.counts.get(query) {
+                    Some(c)
+                } else if idx.empties.any_subset_of(query) {
+                    Some(0)
+                } else {
+                    None
+                }
+            };
+            if let Some(c) = found {
+                self.l2_hits.fetch_add(1, Ordering::Relaxed);
+                let mut inner = self.shard_of(query).write();
+                self.record_eviction(inner.evict_for_insert(self.capacity_per_shard));
+                inner.learn_count(query, c, 0);
+                return Ok(c);
+            }
+            self.l2_misses.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let c = self.interface.count(query)?;
         let mut inner = self.shard_of(query).write();
         self.record_eviction(inner.evict_for_insert(self.capacity_per_shard));
-        inner.learn_count(query, c);
+        inner.learn_count(query, c, 0);
+        drop(inner);
+        if let Some(tier) = &self.l2 {
+            if tier
+                .log
+                .append(&FactRecord::count(query.clone(), c, 0))
+                .is_ok()
+            {
+                self.l2_puts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(c)
     }
 
@@ -986,6 +1291,181 @@ mod tests {
             "inference must not evict"
         );
         assert_eq!(exec.history_stats().empty_rule_hits, 4);
+    }
+
+    #[test]
+    fn history_hits_report_exact_learn_time_stamps() {
+        let db = figure1_db(1);
+        let exec = CachingExecutor::new(&db);
+        // Wire-learn three facts at distinct site-clock times.
+        exec.record_response(
+            &q(&[(0, 1), (1, 0)]),
+            &Classified {
+                class: Classification::Empty,
+                rows: None,
+            },
+        ); // at 0
+        let overflow_q = q(&[(0, 0), (1, 1)]);
+        let wired = Classified::from_response(db.execute(&overflow_q).unwrap());
+        assert_eq!(wired.class, Classification::Overflow);
+        exec.record_response_at(&overflow_q, &wired, 70);
+        let valid_q = q(&[(0, 0), (1, 0)]);
+        let wired = Classified::from_response(db.execute(&valid_q).unwrap());
+        assert_eq!(wired.class, Classification::Valid);
+        exec.record_response_at(&valid_q, &wired, 135);
+
+        // Rule 2: the empty fact (stamp 0) answers its refinement.
+        let hit = exec
+            .try_classify_stamped(&q(&[(0, 1), (1, 0), (2, 1)]))
+            .unwrap();
+        assert_eq!(hit.answer.class, Classification::Empty);
+        assert_eq!((hit.learned_at, hit.tier), (0, HitTier::L1));
+        // Rule 3: the overflow fact carries its 70ms stamp.
+        let hit = exec.try_classify_stamped(&q(&[(1, 1)])).unwrap();
+        assert_eq!(hit.answer.class, Classification::Overflow);
+        assert_eq!(hit.learned_at, 70);
+        // Rule 4: filtering the valid fact's rows carries its 135ms stamp.
+        let hit = exec
+            .try_classify_stamped(&q(&[(0, 0), (1, 0), (2, 1)]))
+            .unwrap();
+        assert_eq!(hit.answer.class, Classification::Valid);
+        assert_eq!(hit.learned_at, 135);
+        // Rule 1: the exact memo replays the original stamp too.
+        let hit = exec.try_classify_stamped(&valid_q).unwrap();
+        assert_eq!(hit.learned_at, 135);
+        // The derived rule-4 answer was memoized with its witness stamp.
+        let hit = exec
+            .try_classify_stamped(&q(&[(0, 0), (1, 0), (2, 1)]))
+            .unwrap();
+        assert_eq!((hit.learned_at, hit.tier), (135, HitTier::L1));
+    }
+
+    fn l2_tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hds-hist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn figure1_log(root: &std::path::Path) -> Arc<crate::l2::L2Log> {
+        let db = figure1_db(1);
+        let fp = crate::l2::SiteFingerprint::derive(db.schema(), 1, db.supports_count(), None);
+        Arc::new(crate::l2::L2Log::open(root, fp).unwrap())
+    }
+
+    #[test]
+    fn l2_warm_start_answers_without_wire_and_promotes() {
+        let root = l2_tmpdir("warm");
+        // Cold run: wire-learn facts, written behind to the log.
+        {
+            let db = figure1_db(1);
+            let exec = CachingExecutor::new(&db).with_l2(figure1_log(&root));
+            exec.classify(&q(&[(0, 1), (1, 0)])).unwrap(); // empty
+            exec.classify(&q(&[(0, 0), (1, 1)])).unwrap(); // overflow
+            exec.classify(&q(&[(0, 0), (1, 0)])).unwrap(); // valid
+            let stats = exec.history_stats();
+            assert_eq!(stats.l2_puts, 3, "each wire fact written behind");
+            assert_eq!(stats.l2_loads, 0, "nothing to load on the first run");
+        }
+        // Warm run: a fresh executor over the same log answers the same
+        // queries — and their inferable relatives — without the wire.
+        let db = figure1_db(1);
+        let exec = CachingExecutor::new(&db).with_l2(figure1_log(&root));
+        assert_eq!(exec.history_stats().l2_loads, 3);
+        let hit = exec.try_classify_stamped(&q(&[(0, 1), (1, 0)])).unwrap();
+        assert_eq!(hit.answer.class, Classification::Empty);
+        assert_eq!((hit.learned_at, hit.tier), (0, HitTier::L2));
+        // The promoted fact answers its refinement from L1 — at the same
+        // pre-run floor.
+        let hit = exec
+            .try_classify_stamped(&q(&[(0, 1), (1, 0), (2, 0)]))
+            .unwrap();
+        assert_eq!(hit.answer.class, Classification::Empty);
+        assert_eq!((hit.learned_at, hit.tier), (0, HitTier::L1));
+        // Rule-4 filtering works from the persisted rows as well.
+        let hit = exec
+            .try_classify_stamped(&q(&[(0, 0), (1, 0), (2, 1)]))
+            .unwrap();
+        assert_eq!(hit.answer.class, Classification::Valid);
+        assert_eq!(hit.tier, HitTier::L2);
+        // And a broadening of the persisted overflow fact infers from L2.
+        let hit = exec.try_classify_stamped(&q(&[(1, 1)])).unwrap();
+        assert_eq!(hit.answer.class, Classification::Overflow);
+        assert_eq!(hit.tier, HitTier::L2);
+        assert_eq!(exec.queries_issued(), 0, "warm run never touched the wire");
+        let stats = exec.history_stats();
+        assert_eq!(stats.l2_hits, 3);
+        assert_eq!(stats.l2_puts, 0, "promotions must not re-append to the log");
+        // The promoted facts now answer from L1.
+        let hit = exec.try_classify_stamped(&q(&[(0, 1), (1, 0)])).unwrap();
+        assert_eq!(hit.tier, HitTier::L1);
+        assert_eq!(hit.learned_at, 0, "promoted at the pre-run floor");
+        // And the log still holds exactly the cold run's three facts.
+        assert_eq!(figure1_log(&root).load().unwrap().len(), 3);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn l2_serves_persisted_counts() {
+        use hdsampler_hidden_db::{CountMode, HiddenDb};
+        use hdsampler_model::{Attribute, SchemaBuilder, Tuple};
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("x"))
+            .attribute(Attribute::boolean("y"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mk_db = || {
+            let mut b = HiddenDb::builder(std::sync::Arc::clone(&schema))
+                .result_limit(2)
+                .count_mode(CountMode::Exact);
+            for vals in [[0u16, 0], [0, 1], [1, 0]] {
+                b.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                    .unwrap();
+            }
+            b.finish()
+        };
+        let root = l2_tmpdir("counts");
+        let mk_log = || {
+            let db = mk_db();
+            let fp = crate::l2::SiteFingerprint::derive(db.schema(), 2, true, None);
+            Arc::new(crate::l2::L2Log::open(&root, fp).unwrap())
+        };
+        {
+            let db = mk_db();
+            let exec = CachingExecutor::new(&db).with_l2(mk_log());
+            assert_eq!(exec.count(&q(&[(0, 0)])).unwrap(), 2);
+            assert_eq!(exec.history_stats().l2_puts, 1);
+        }
+        let db = mk_db();
+        let exec = CachingExecutor::new(&db).with_l2(mk_log());
+        assert_eq!(exec.count(&q(&[(0, 0)])).unwrap(), 2);
+        assert_eq!(exec.queries_issued(), 0, "count served from L2");
+        assert_eq!(exec.history_stats().l2_hits, 1);
+        // Promoted: the repeat is an L1 count-memo hit.
+        assert_eq!(exec.count(&q(&[(0, 0)])).unwrap(), 2);
+        assert_eq!(exec.history_stats().count_memo_hits, 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn l2_miss_counters_only_tick_with_a_tier_attached() {
+        let db = figure1_db(1);
+        let exec = CachingExecutor::new(&db);
+        exec.classify(&q(&[(0, 0)])).unwrap();
+        let stats = exec.history_stats();
+        assert_eq!((stats.l2_hits, stats.l2_misses, stats.l2_puts), (0, 0, 0));
+
+        let root = l2_tmpdir("miss");
+        let exec = CachingExecutor::new(&db).with_l2(figure1_log(&root));
+        exec.classify(&q(&[(0, 0)])).unwrap();
+        let stats = exec.history_stats();
+        assert_eq!(stats.l2_misses, 1, "cold L2 missed before the wire fetch");
+        assert_eq!(stats.misses, 1);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod count;
 pub mod executor;
 pub mod hds;
 pub mod history;
+pub mod l2;
 pub mod machine;
 pub mod order;
 pub mod sample;
@@ -49,8 +50,11 @@ pub use count::CountWalkSampler;
 pub use executor::{Classified, DirectExecutor, QueryExecutor};
 pub use hds::HdsSampler;
 pub use history::{
-    autotuned_shard_count, CachingExecutor, HistoryStats, DEFAULT_CACHE_CAPACITY,
-    MAX_AUTOTUNED_SHARDS,
+    autotuned_shard_count, CachingExecutor, HistoryHit, HistoryStats, HitTier,
+    DEFAULT_CACHE_CAPACITY, MAX_AUTOTUNED_SHARDS,
+};
+pub use l2::{
+    CompactReport, FactRecord, L2Config, L2DirStats, L2Log, SiteFingerprint, FINGERPRINT_VERSION,
 };
 pub use machine::{WalkMachine, WalkStep};
 pub use order::OrderStrategy;

@@ -41,6 +41,7 @@ use crate::sink::{SampleEvent, SampleSink};
 /// |---|---|---|
 /// | `walk` | `failed` | a walker's machine step failed terminally |
 /// | `cache` | `hit` / `miss` | history-cache classification outcome |
+/// | `l2` | `load` / `hit` / `miss` / `put` | persistent L2 fact-log tier activity |
 /// | `wire` | `submit` / `complete` | a query left for / returned from the wire |
 /// | `retry` | `backoff` | transient failure; `dur_ms` is the backoff wait |
 /// | `stall` | `force` | coop driver forced the earliest pending fetch |
@@ -524,6 +525,10 @@ impl TraceSink for MetricsSink {
             }
             ("cache", "hit") => r.inc("hds_cache_hits_total"),
             ("cache", "miss") => r.inc("hds_cache_misses_total"),
+            ("l2", "load") => r.inc("hds_l2_loads_total"),
+            ("l2", "hit") => r.inc("hds_l2_hits_total"),
+            ("l2", "miss") => r.inc("hds_l2_misses_total"),
+            ("l2", "put") => r.inc("hds_l2_puts_total"),
             ("sample", _) => r.inc("hds_samples_total"),
             _ => {}
         }

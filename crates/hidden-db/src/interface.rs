@@ -30,6 +30,9 @@ pub struct HiddenDb {
     count_mode: CountMode,
     budget: QueryBudget,
     log: QueryLog,
+    /// Lazily computed table digest ([`FormInterface::dataset_digest`]):
+    /// one full scan, then cached for the life of the (immutable) table.
+    digest: std::sync::OnceLock<u64>,
 }
 
 impl HiddenDb {
@@ -236,6 +239,34 @@ impl FormInterface for HiddenDb {
     fn queries_issued(&self) -> u64 {
         self.budget.used()
     }
+
+    fn dataset_digest(&self) -> Option<u64> {
+        // FNV-1a over the frozen columnar data: tuple count, every
+        // attribute column, then every measure column (bitwise). Any
+        // change to the stored tuples changes the digest, which changes
+        // the site fingerprint persistent caches key on.
+        Some(*self.digest.get_or_init(|| {
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            let mut eat = |bytes: &[u8]| {
+                for &b in bytes {
+                    h = (h ^ b as u64).wrapping_mul(0x0100_0000_01B3);
+                }
+            };
+            eat(&(self.table.len() as u64).to_le_bytes());
+            let schema = self.table.schema();
+            for a in 0..schema.attributes().len() {
+                for &v in self.table.column(a) {
+                    eat(&v.to_le_bytes());
+                }
+            }
+            for m in 0..schema.measures().len() {
+                for &x in self.table.measure_column(m) {
+                    eat(&x.to_bits().to_le_bytes());
+                }
+            }
+            h
+        }))
+    }
 }
 
 /// Builder for [`HiddenDb`].
@@ -337,6 +368,7 @@ impl HiddenDbBuilder {
                 .budget
                 .map_or_else(QueryBudget::unlimited, QueryBudget::limited),
             log: QueryLog::default(),
+            digest: std::sync::OnceLock::new(),
         }
     }
 }
@@ -467,6 +499,30 @@ mod tests {
         db.execute(&q(&[(0, 1), (1, 0)])).unwrap(); // empty
         let s = db.log().snapshot();
         assert_eq!((s.total, s.overflow, s.valid, s.empty), (3, 1, 1, 1));
+    }
+
+    #[test]
+    fn dataset_digest_is_stable_and_data_sensitive() {
+        let a = figure1_db(1);
+        let b = figure1_db(5); // same data, different k — digest sees data only
+        assert_eq!(a.dataset_digest(), a.dataset_digest(), "stable per table");
+        assert_eq!(a.dataset_digest(), b.dataset_digest(), "k is not data");
+
+        // One flipped value must change the digest.
+        let schema = SchemaBuilder::new()
+            .attribute(Attribute::boolean("a1"))
+            .attribute(Attribute::boolean("a2"))
+            .attribute(Attribute::boolean("a3"))
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut bld = HiddenDb::builder(Arc::clone(&schema)).result_limit(1);
+        for vals in [[0u16, 0, 1], [0, 1, 0], [0, 1, 1], [1, 1, 1]] {
+            bld.push(&Tuple::new(&schema, vals.to_vec(), vec![]).unwrap())
+                .unwrap();
+        }
+        let mutated = bld.finish();
+        assert_ne!(a.dataset_digest(), mutated.dataset_digest());
     }
 
     #[test]

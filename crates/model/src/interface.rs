@@ -57,6 +57,17 @@ pub trait FormInterface: Send + Sync {
     /// Total queries charged so far on this session (for efficiency
     /// accounting; §1 motivates minimizing this number).
     fn queries_issued(&self) -> u64;
+
+    /// A stable digest of the dataset behind the form, when the
+    /// implementation can compute one (the in-memory engine hashes its
+    /// table; a scraper cannot see past the form and returns `None`).
+    ///
+    /// Combined with the schema and display limit it identifies a site
+    /// *version*: persistent caches key their facts on it so stale
+    /// knowledge from a changed dataset is never replayed.
+    fn dataset_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Blanket implementation so `&T`, `Box<T>`, `Arc<T>` are interfaces too.
@@ -79,6 +90,9 @@ impl<T: FormInterface + ?Sized> FormInterface for &T {
     fn queries_issued(&self) -> u64 {
         (**self).queries_issued()
     }
+    fn dataset_digest(&self) -> Option<u64> {
+        (**self).dataset_digest()
+    }
 }
 
 impl<T: FormInterface + ?Sized> FormInterface for std::sync::Arc<T> {
@@ -100,6 +114,9 @@ impl<T: FormInterface + ?Sized> FormInterface for std::sync::Arc<T> {
     fn queries_issued(&self) -> u64 {
         (**self).queries_issued()
     }
+    fn dataset_digest(&self) -> Option<u64> {
+        (**self).dataset_digest()
+    }
 }
 
 impl<T: FormInterface + ?Sized> FormInterface for Box<T> {
@@ -120,6 +137,9 @@ impl<T: FormInterface + ?Sized> FormInterface for Box<T> {
     }
     fn queries_issued(&self) -> u64 {
         (**self).queries_issued()
+    }
+    fn dataset_digest(&self) -> Option<u64> {
+        (**self).dataset_digest()
     }
 }
 

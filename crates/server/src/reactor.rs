@@ -426,6 +426,28 @@ fn accept_ready(
                 return;
             }
         };
+        // Admission cap: turn the connection away before it costs a
+        // slot. The socket is still blocking here (nonblocking is set
+        // below), so the tiny 503 writes synchronously.
+        if cfg.max_conns > 0
+            && stats.open_connections.load(Ordering::Relaxed) >= cfg.max_conns as u64
+        {
+            let mut stream = stream;
+            stats.connections.fetch_add(1, Ordering::Relaxed);
+            stats.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            stats.responses_server_error.fetch_add(1, Ordering::Relaxed);
+            let mut resp = crate::http::Response::text(
+                503,
+                "Service Unavailable",
+                "503 server at capacity".into(),
+            );
+            resp.extra_headers.push(("Retry-After".into(), "1".into()));
+            if let Ok(n) = crate::http::write_response(&mut stream, &resp, false, usize::MAX) {
+                stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            crate::server::lingering_close(stream);
+            continue;
+        }
         if stream.set_nonblocking(true).is_err() {
             continue;
         }

@@ -53,6 +53,10 @@ pub struct ServerConfig {
     /// Idle time after which a keep-alive connection is closed; also the
     /// per-request read deadline (slowloris guard).
     pub keep_alive_timeout: Duration,
+    /// Admission cap: connections past this many concurrently open are
+    /// answered `503` + `Retry-After` and closed instead of served
+    /// (both serve modes). `0` disables the cap.
+    pub max_conns: usize,
     /// Bodies above this size are sent chunked instead of Content-Length.
     pub chunk_threshold: usize,
     /// Extra metrics appended to `/metrics` after the server's own
@@ -71,6 +75,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 8,
             keep_alive_timeout: Duration::from_secs(5),
+            max_conns: 0,
             chunk_threshold: DEFAULT_CHUNK_THRESHOLD,
             metrics: None,
         }
@@ -118,6 +123,8 @@ pub(crate) struct StatsInner {
     pub(crate) reactor_ready_events: AtomicU64,
     /// Connections accepted by reactor loops (0 in pool mode).
     pub(crate) reactor_accepts: AtomicU64,
+    /// Connections turned away at the admission cap (`503`).
+    pub(crate) admission_rejects: AtomicU64,
     /// Reactor deadline timers that fired (idle close, slowloris 408,
     /// flush-window expiry).
     pub(crate) timers_fired: AtomicU64,
@@ -177,6 +184,9 @@ pub struct ServerStats {
     pub reactor_ready_events: u64,
     /// Connections accepted by reactor loops.
     pub reactor_accepts: u64,
+    /// Connections turned away at the admission cap (`503` +
+    /// `Retry-After`; see [`ServerConfig::max_conns`]).
+    pub admission_rejects: u64,
     /// Reactor deadline timers fired (idle close / slowloris / flush cap).
     pub timers_fired: u64,
     /// Connections open right now (gauge, both serve modes).
@@ -546,6 +556,18 @@ impl Drop for OpenConnGuard<'_> {
     }
 }
 
+/// Close a rejected connection without risking an RST: half-close the
+/// write side first, then drain whatever request bytes the peer already
+/// sent (briefly), so the kernel never discards our in-flight response
+/// over unread input. Shared by both serve modes' admission-cap paths.
+pub(crate) fn lingering_close(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut tmp = [0u8; 1024];
+    while matches!(stream.read(&mut tmp), Ok(n) if n > 0) {}
+}
+
 /// Serve one connection until it closes, errs, times out idle, or the
 /// server shuts down.
 fn serve_connection(
@@ -561,6 +583,16 @@ fn serve_connection(
     let _open = OpenConnGuard(&stats.open_connections);
     let mut stream = stream;
     if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    // Admission cap: this connection's own increment is included in the
+    // load, so strict `>` admits exactly `max_conns` concurrent peers.
+    if cfg.max_conns > 0 && stats.open_connections.load(Ordering::Relaxed) > cfg.max_conns as u64 {
+        stats.admission_rejects.fetch_add(1, Ordering::Relaxed);
+        let mut resp = Response::text(503, "Service Unavailable", "503 server at capacity".into());
+        resp.extra_headers.push(("Retry-After".into(), "1".into()));
+        write_and_count(&mut stream, &resp, false, false, cfg, stats);
+        lingering_close(stream);
         return;
     }
     let mut buf: Vec<u8> = Vec::new();
@@ -658,6 +690,7 @@ fn snapshot_stats(stats: &StatsInner) -> ServerStats {
         reactor_wakeups: stats.reactor_wakeups.load(Ordering::Relaxed),
         reactor_ready_events: stats.reactor_ready_events.load(Ordering::Relaxed),
         reactor_accepts: stats.reactor_accepts.load(Ordering::Relaxed),
+        admission_rejects: stats.admission_rejects.load(Ordering::Relaxed),
         timers_fired: stats.timers_fired.load(Ordering::Relaxed),
         open_connections: stats.open_connections.load(Ordering::Relaxed),
     }
@@ -704,6 +737,10 @@ pub fn render_server_metrics(stats: &ServerStats, registry: Option<&MetricsRegis
         stats.reactor_ready_events,
     );
     counter("hds_server_reactor_accepts_total", stats.reactor_accepts);
+    counter(
+        "hds_server_admission_rejects_total",
+        stats.admission_rejects,
+    );
     counter("hds_server_timers_fired_total", stats.timers_fired);
     out.push_str(&format!(
         "# TYPE hds_server_open_connections gauge\nhds_server_open_connections {}\n",

@@ -61,14 +61,21 @@ impl<S: SiteBehavior + ?Sized> SiteBehavior for std::sync::Arc<S> {
 /// count support all machine-readable) wrapped in a minimal document, so
 /// one fetch of `/` is enough for a client to configure itself.
 fn landing_page<F: FormInterface>(site: &LocalSite<F>) -> String {
+    let fp = hdsampler_core::l2::SiteFingerprint::derive(
+        site.backend().schema(),
+        site.backend().result_limit(),
+        site.backend().supports_count(),
+        site.backend().dataset_digest(),
+    );
     format!(
         "<html><head><title>HDSampler search</title></head><body>\n\
          <h1>Search listings</h1>\n{}\
          <p>{} listings behind a top-{} interface.</p>\n\
          </body></html>\n",
-        site.form().render_html_with_meta(
+        site.form().render_html_with_fingerprint(
             site.backend().result_limit(),
-            site.backend().supports_count()
+            site.backend().supports_count(),
+            fp.as_str(),
         ),
         escape_html(&site.backend().schema().domain_product().to_string()),
         site.backend().result_limit(),

@@ -202,6 +202,7 @@ proptest! {
         accepts in 0u64..1_000_000,
         timers in 0u64..1_000_000,
         open in 0u64..1_000_000,
+        admission_rejects in 0u64..1_000_000,
     ) {
         let stats = hdsampler_server::ServerStats {
             connections,
@@ -222,6 +223,7 @@ proptest! {
             reactor_accepts: accepts,
             timers_fired: timers,
             open_connections: open,
+            admission_rejects,
         };
         let text = hdsampler_server::render_server_metrics(&stats, None);
         let parsed = parse_exposition(&text).expect("every line parses");
@@ -235,6 +237,10 @@ proptest! {
         prop_assert_eq!(parsed["hds_server_bytes_in_total"], bytes_in as f64);
         prop_assert_eq!(parsed["hds_server_reactor_wakeups_total"] as u64, wakeups);
         prop_assert_eq!(parsed["hds_server_open_connections"] as u64, open);
-        prop_assert_eq!(parsed.len(), 18, "one series per counter (plus the gauge)");
+        prop_assert_eq!(
+            parsed["hds_server_admission_rejects_total"] as u64,
+            admission_rejects
+        );
+        prop_assert_eq!(parsed.len(), 19, "one series per counter (plus the gauge)");
     }
 }

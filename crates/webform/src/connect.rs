@@ -28,6 +28,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use hdsampler_core::{L2Log, SiteFingerprint};
 use hdsampler_hidden_db::CountMode;
 use hdsampler_model::{FormInterface as _, InterfaceError};
 use hdsampler_workload::{DbConfig, WorkloadSpec};
@@ -123,6 +124,11 @@ pub struct ConnectOptions {
     /// Record every exchange (discovery page included) to this JSONL tape,
     /// ready for a later `replay:` locator.
     pub record: Option<String>,
+    /// Root directory for the persistent history cache (L2). Each site
+    /// files its facts under `<root>/<fingerprint>/`, so many sites — and
+    /// many *versions* of one site — share a root without mixing facts.
+    /// A `local:` locator's `l2=` parameter overrides this per site.
+    pub l2: Option<String>,
 }
 
 /// How a scheme connects: locator + options in, ready task out.
@@ -210,7 +216,11 @@ fn erase<T: Transport + AsyncTransport + Clocked + fmt::Debug + 'static>(
 /// The fetch rides out transient faults (throttles, 503s, severed
 /// connections) the way the sampler's own fetches do, so one unlucky
 /// request against an adversarial site does not kill the connect.
-fn discover(transport: BoxTransport, who: &str) -> Result<SiteTask<BoxTransport>, String> {
+fn discover(
+    transport: BoxTransport,
+    who: &str,
+    opts: &ConnectOptions,
+) -> Result<SiteTask<BoxTransport>, String> {
     let retry = RetryPolicy {
         max_retries: 8,
         ..RetryPolicy::default()
@@ -228,11 +238,33 @@ fn discover(transport: BoxTransport, who: &str) -> Result<SiteTask<BoxTransport>
     };
     let found = scrape_form_page(&page)
         .map_err(|e| format!("{who}: landing page is not a discoverable form: {e}"))?;
+    let advertised = found
+        .fingerprint
+        .as_deref()
+        .and_then(SiteFingerprint::parse);
     let form = WebForm::new(Arc::new(found.schema), found.action);
-    Ok(SiteTask::new(
+    let mut task = SiteTask::new(
         who,
         WebFormInterface::with_form(transport, form, found.k, found.supports_count),
-    ))
+    );
+    if let Some(root) = &opts.l2 {
+        // Prefer the fingerprint the site advertised — it folds in the
+        // dataset digest only the server side can see. Pages predating the
+        // attribute (old tapes, foreign sites) fall back to a client-side
+        // derivation over what discovery scraped.
+        let fp = advertised.unwrap_or_else(|| {
+            SiteFingerprint::derive(
+                task.iface.schema(),
+                task.iface.result_limit(),
+                task.iface.supports_count(),
+                None,
+            )
+        });
+        let log = L2Log::open(std::path::Path::new(root), fp)
+            .map_err(|e| format!("{who}: cannot open L2 history under `{root}`: {e}"))?;
+        task = task.with_l2(Arc::new(log));
+    }
+    Ok(task)
 }
 
 /// `local:` parameters, with the same defaults the CLI's flags have.
@@ -244,6 +276,7 @@ struct LocalParams {
     budget: Option<u64>,
     latency: u64,
     jitter: u64,
+    l2: Option<String>,
 }
 
 fn parse_local_params(params: &[(String, String)], who: &str) -> Result<LocalParams, String> {
@@ -255,6 +288,7 @@ fn parse_local_params(params: &[(String, String)], who: &str) -> Result<LocalPar
         budget: None,
         latency: 1,
         jitter: 0,
+        l2: None,
     };
     for (key, value) in params {
         let parse_num = |what: &str| -> Result<u64, String> {
@@ -269,6 +303,7 @@ fn parse_local_params(params: &[(String, String)], who: &str) -> Result<LocalPar
             "budget" => out.budget = Some(parse_num("query budget")?),
             "latency" => out.latency = parse_num("latency (ms)")?,
             "jitter" => out.jitter = parse_num("jitter (ms)")?,
+            "l2" => out.l2 = Some(value.clone()),
             "counts" => {
                 out.counts = match value.as_str() {
                     "absent" => CountMode::Absent,
@@ -287,7 +322,7 @@ fn parse_local_params(params: &[(String, String)], who: &str) -> Result<LocalPar
             other => {
                 return Err(format!(
                     "{who}: unknown parameter `{other}` \
-                     (valid: n, k, seed, counts, budget, latency, jitter)"
+                     (valid: n, k, seed, counts, budget, latency, jitter, l2)"
                 ))
             }
         }
@@ -331,7 +366,16 @@ fn connect_local(
     let schema = Arc::new(db.schema().clone());
     let site = LocalSite::new(db, schema);
     let wire = LatencyTransport::with_jitter(site, p.latency.max(1), p.jitter, p.seed);
-    discover(erase(wire, opts)?, &who)
+    // A locator-level `l2=` parameter overrides the shared option, so one
+    // multi-site run can warm-start only the legs that want it.
+    let opts = &match p.l2 {
+        Some(root) => ConnectOptions {
+            l2: Some(root),
+            ..opts.clone()
+        },
+        None => opts.clone(),
+    };
+    discover(erase(wire, opts)?, &who, opts)
 }
 
 fn connect_http(
@@ -342,7 +386,7 @@ fn connect_http(
         return Err(format!("http connector got a {} locator", locator.scheme()));
     };
     let who = locator.to_string();
-    discover(erase(HttpTransport::new(addr), opts)?, &who)
+    discover(erase(HttpTransport::new(addr), opts)?, &who, opts)
 }
 
 fn connect_replay(
@@ -360,7 +404,7 @@ fn connect_replay(
     // A tape is a blocking-face site; the 1 ms virtual wire grants it the
     // async face and a clock, same as an in-process site.
     let wire = LatencyTransport::new(site, 1);
-    discover(erase(wire, opts)?, &who)
+    discover(erase(wire, opts)?, &who, opts)
 }
 
 #[cfg(test)]
@@ -429,6 +473,7 @@ mod tests {
                 &loc,
                 &ConnectOptions {
                     record: Some(tape_str.clone()),
+                    l2: None,
                 },
             )
             .unwrap();

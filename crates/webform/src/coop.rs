@@ -54,8 +54,8 @@
 //! not a thread handoff.
 
 use hdsampler_core::{
-    CachingExecutor, Classified, QueryExecutor, SampleEvent, SampleSet, SampleSink, SamplerError,
-    SamplerStats, StopReason, TraceEvent, TraceSink, Tracer, WalkMachine, WalkStep,
+    CachingExecutor, Classified, HitTier, QueryExecutor, SampleEvent, SampleSet, SampleSink,
+    SamplerError, SamplerStats, StopReason, TraceEvent, TraceSink, Tracer, WalkMachine, WalkStep,
 };
 use hdsampler_model::{ConjunctiveQuery, FormInterface, InterfaceError, QueryResponse};
 
@@ -289,8 +289,26 @@ impl CoopDriver {
             .iter_mut()
             .enumerate()
             .map(|(six, task)| {
-                let SiteTask { name, iface, sink } = task;
+                let SiteTask {
+                    name,
+                    iface,
+                    sink,
+                    l2,
+                } = task;
                 let iface: &WebFormInterface<T> = iface;
+                let mut exec = CachingExecutor::new(iface);
+                if let Some(log) = l2 {
+                    exec = exec.with_l2(std::sync::Arc::clone(log));
+                    if tracer.enabled() {
+                        tracer.emit(&TraceEvent {
+                            kind: "l2".into(),
+                            detail: "load".into(),
+                            site: six as u64,
+                            seq: exec.history_stats().l2_loads,
+                            ..TraceEvent::default()
+                        });
+                    }
+                }
                 let conn_ids: Vec<ConnId> = (0..conns_per_site).map(|_| iface.connect()).collect();
                 let walkers = (0..walkers_per_site)
                     .map(|w| Walker {
@@ -308,7 +326,7 @@ impl CoopDriver {
                     name,
                     iface,
                     sink: sink.as_deref_mut(),
-                    exec: CachingExecutor::new(iface),
+                    exec,
                     walkers,
                     samples: SampleSet::new(),
                     knowledge_ms: 0,
@@ -434,27 +452,42 @@ impl CoopDriver {
             }
             match step {
                 WalkStep::NeedCount(query) => {
-                    if let Some(hit) = st.exec.try_classify(&query) {
+                    if let Some(hit) = st.exec.try_classify_stamped(&query) {
                         // Resumed from history without touching the wire.
                         // The fact may derive from a completion on another
                         // connection; floor this walker's clock at the
-                        // site's knowledge time so its next wire request
-                        // cannot depart before its cause.
+                        // *answering fact's* learn time — the exact causal
+                        // floor — so its next wire request cannot depart
+                        // before its cause. Facts loaded from L2 predate
+                        // the run and floor at 0: a warm-started walker
+                        // pays no phantom wait for knowledge it had before
+                        // the first fetch departed.
                         st.iface
                             .transport()
-                            .observe_now(st.walkers[wix].conn, st.knowledge_ms);
+                            .observe_now(st.walkers[wix].conn, hit.learned_at);
                         if tracer.enabled() {
+                            if hit.tier == HitTier::L2 {
+                                tracer.emit(&TraceEvent {
+                                    kind: "l2".into(),
+                                    detail: "hit".into(),
+                                    site: st.six as u64,
+                                    walker: wix as u64,
+                                    conn: st.walkers[wix].conn.index() as u64,
+                                    at_ms: hit.learned_at,
+                                    ..TraceEvent::default()
+                                });
+                            }
                             tracer.emit(&TraceEvent {
                                 kind: "cache".into(),
                                 detail: "hit".into(),
                                 site: st.six as u64,
                                 walker: wix as u64,
                                 conn: st.walkers[wix].conn.index() as u64,
-                                at_ms: st.knowledge_ms,
+                                at_ms: hit.learned_at,
                                 ..TraceEvent::default()
                             });
                         }
-                        step = st.walkers[wix].machine.resume(Ok(hit));
+                        step = st.walkers[wix].machine.resume(Ok(hit.answer));
                     } else {
                         let handle = st.iface.submit_query(st.walkers[wix].conn, &query);
                         let ready_at = handle.ready_at_ms();
@@ -464,6 +497,17 @@ impl CoopDriver {
                         if tracer.enabled() {
                             span = tracer.next_span();
                             let conn = st.walkers[wix].conn.index() as u64;
+                            if st.exec.l2_log().is_some() {
+                                tracer.emit(&TraceEvent {
+                                    kind: "l2".into(),
+                                    detail: "miss".into(),
+                                    site: st.six as u64,
+                                    walker: wix as u64,
+                                    conn,
+                                    at_ms: st.knowledge_ms,
+                                    ..TraceEvent::default()
+                                });
+                            }
                             tracer.emit(&TraceEvent {
                                 kind: "cache".into(),
                                 detail: "miss".into(),
@@ -717,7 +761,24 @@ impl CoopDriver {
             Ok(resp) => {
                 st.walkers[h.wix].attempts = 0;
                 let classified = Classified::from_response(resp);
-                st.exec.record_response(&h.query, &classified);
+                // Stamp the fact with its wire completion time: that is
+                // the instant the knowledge came into being, and the
+                // exact causal floor for any walker that later consumes
+                // it from history.
+                st.exec
+                    .record_response_at(&h.query, &classified, h.ready_at);
+                if tracer.enabled() && st.exec.l2_log().is_some() {
+                    tracer.emit(&TraceEvent {
+                        kind: "l2".into(),
+                        detail: "put".into(),
+                        span: h.span,
+                        site: st.six as u64,
+                        walker: h.wix as u64,
+                        conn: st.walkers[h.wix].conn.index() as u64,
+                        at_ms: h.ready_at,
+                        ..TraceEvent::default()
+                    });
+                }
                 Ok(classified)
             }
             Err(e) => {

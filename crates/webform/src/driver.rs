@@ -43,6 +43,9 @@ pub struct SiteTask<T> {
     pub iface: WebFormInterface<T>,
     /// Streaming observer of this site's accepted samples.
     pub(crate) sink: Option<Box<dyn SampleSink>>,
+    /// Persistent history log keyed by this site's fingerprint; drivers
+    /// attach it as the L2 tier of the site's [`CachingExecutor`].
+    pub(crate) l2: Option<std::sync::Arc<hdsampler_core::L2Log>>,
 }
 
 impl<T: Transport + Clocked> SiteTask<T> {
@@ -52,7 +55,20 @@ impl<T: Transport + Clocked> SiteTask<T> {
             name: name.into(),
             iface,
             sink: None,
+            l2: None,
         }
+    }
+
+    /// Attach a persistent history log; the site's executor will consult
+    /// it behind L1 and write newly learned facts to it.
+    pub fn with_l2(mut self, log: std::sync::Arc<hdsampler_core::L2Log>) -> Self {
+        self.l2 = Some(log);
+        self
+    }
+
+    /// The attached persistent history log, if any.
+    pub fn l2(&self) -> Option<&std::sync::Arc<hdsampler_core::L2Log>> {
+        self.l2.as_ref()
     }
 
     /// Attach a per-site streaming sink; it observes every sample this
@@ -243,7 +259,12 @@ impl MultiSiteDriver {
     ) -> SiteReport {
         // Split the task: the interface is shared by the executor, the
         // sink needs exclusive access for observation.
-        let SiteTask { name, iface, sink } = task;
+        let SiteTask {
+            name,
+            iface,
+            sink,
+            l2,
+        } = task;
         let iface: &WebFormInterface<T> = iface;
         let mut sinks: Vec<&mut dyn SampleSink> = Vec::with_capacity(1 + extra.len());
         if let Some(s) = sink.as_deref_mut() {
@@ -253,7 +274,10 @@ impl MultiSiteDriver {
             sinks.push(&mut **s);
         }
 
-        let exec = CachingExecutor::new(iface);
+        let mut exec = CachingExecutor::new(iface);
+        if let Some(log) = l2 {
+            exec = exec.with_l2(std::sync::Arc::clone(log));
+        }
         let session = SamplingSession::new(self.cfg.target_per_site).with_site(site_ix);
         let outcome: SessionOutcome = if walkers <= 1 {
             let mut sampler = HdsSampler::new(&exec, self.cfg.walker_config(site_ix, 0))

@@ -115,10 +115,24 @@ impl WebForm {
     /// pages use this variant so schema discovery needs nothing beyond one
     /// fetch of `/`.
     pub fn render_html_with_meta(&self, k: usize, supports_count: bool) -> String {
-        self.render_html_inner(Some((k, supports_count)))
+        self.render_html_inner(Some((k, supports_count, None)))
     }
 
-    fn render_html_inner(&self, meta: Option<(usize, bool)>) -> String {
+    /// [`render_html_with_meta`](WebForm::render_html_with_meta) plus the
+    /// site's versioned identity fingerprint as `data-hds-fingerprint` —
+    /// the key persistent history caches file their facts under. Older
+    /// pages without the attribute stay scrapeable; clients fall back to
+    /// deriving the fingerprint themselves.
+    pub fn render_html_with_fingerprint(
+        &self,
+        k: usize,
+        supports_count: bool,
+        fingerprint: &str,
+    ) -> String {
+        self.render_html_inner(Some((k, supports_count, Some(fingerprint))))
+    }
+
+    fn render_html_inner(&self, meta: Option<(usize, bool, Option<&str>)>) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = write!(
@@ -126,12 +140,15 @@ impl WebForm {
             "<form action=\"{}\" method=\"get\"",
             escape_html(&self.action)
         );
-        if let Some((k, supports_count)) = meta {
+        if let Some((k, supports_count, fingerprint)) = meta {
             let _ = write!(
                 out,
                 " data-hds-k=\"{k}\" data-hds-count=\"{}\"",
                 if supports_count { "yes" } else { "no" }
             );
+            if let Some(fp) = fingerprint {
+                let _ = write!(out, " data-hds-fingerprint=\"{}\"", escape_html(fp));
+            }
         }
         let _ = writeln!(out, ">");
         for (_, attr) in self.schema.iter() {

@@ -98,6 +98,7 @@ pub struct RunPlan<'a> {
     scope: ConjunctiveQuery,
     driver: Driver,
     steal: bool,
+    l2: Option<String>,
     sinks: Vec<&'a mut dyn SampleSink>,
     trace_sinks: Vec<&'a mut dyn TraceSink>,
 }
@@ -113,6 +114,7 @@ impl<'a> RunPlan<'a> {
             scope: ConjunctiveQuery::empty(),
             driver: Driver::Threaded,
             steal: false,
+            l2: None,
             sinks: Vec::new(),
             trace_sinks: Vec::new(),
         }
@@ -157,6 +159,19 @@ impl<'a> RunPlan<'a> {
     /// steals; the flag is ignored by the others.
     pub fn steal(mut self, steal: bool) -> Self {
         self.steal = steal;
+        self
+    }
+
+    /// Root directory for the persistent L2 fact log. Every site the
+    /// plan connects keeps its history under
+    /// `<root>/<site fingerprint>/`, so a later run against the same
+    /// site version warm-starts from disk instead of the wire. Only
+    /// takes effect through the locator paths
+    /// ([`run_locators`](RunPlan::run_locators) /
+    /// [`run_locators_with`](RunPlan::run_locators_with)); a per-site
+    /// `l2=` locator parameter still wins.
+    pub fn l2(mut self, root: impl Into<String>) -> Self {
+        self.l2 = Some(root.into());
         self
     }
 
@@ -275,6 +290,17 @@ impl<'a> RunPlan<'a> {
         if locators.is_empty() {
             return Err("run_locators: empty locator list".into());
         }
+        let merged;
+        let opts = match &self.l2 {
+            Some(root) => {
+                merged = ConnectOptions {
+                    l2: Some(root.clone()),
+                    ..opts.clone()
+                };
+                &merged
+            }
+            None => opts,
+        };
         let registry = ConnectorRegistry::standard();
         let mut tasks = locators
             .iter()

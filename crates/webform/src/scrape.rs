@@ -134,6 +134,11 @@ pub struct DiscoveredForm {
     pub k: usize,
     /// Whether the site prints a count banner (`data-hds-count`).
     pub supports_count: bool,
+    /// The site's advertised identity fingerprint
+    /// (`data-hds-fingerprint`), when the page carries one. Older pages
+    /// without the attribute scrape fine; clients derive a fingerprint
+    /// from the scraped schema instead.
+    pub fingerprint: Option<String>,
 }
 
 /// Extract the value of `name="..."` from one tag's attribute text.
@@ -299,6 +304,7 @@ pub fn scrape_form_page(html: &str) -> Result<DiscoveredForm, InterfaceError> {
         action,
         k,
         supports_count,
+        fingerprint: tag_attr(form_attrs, "data-hds-fingerprint"),
     })
 }
 

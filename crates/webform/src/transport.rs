@@ -109,9 +109,19 @@ impl<F: FormInterface> Transport for LocalSite<F> {
             // The landing page: the self-describing form, the same markup a
             // live server's `/` serves — so schema discovery works
             // identically against in-process, HTTP and replayed sites.
-            return Ok(self.form.render_html_with_meta(
+            // The fingerprint advertised here keys persistent (L2) caches;
+            // it folds in the backend's dataset digest, so editing the data
+            // retires the old cache directory automatically.
+            let fp = hdsampler_core::l2::SiteFingerprint::derive(
+                self.form.schema(),
                 self.backend.result_limit(),
                 self.backend.supports_count(),
+                self.backend.dataset_digest(),
+            );
+            return Ok(self.form.render_html_with_fingerprint(
+                self.backend.result_limit(),
+                self.backend.supports_count(),
+                fp.as_str(),
             ));
         }
         if route != self.form.action() {

@@ -93,6 +93,30 @@ proptest! {
         prop_assert!(t.virtual_elapsed_ms() <= knowledge);
     }
 
+    /// Per-fact causal floors are exact on a fresh connection: consuming
+    /// a fact learned at `at` floors the next departure at exactly `at` —
+    /// no earlier (that would be time travel) and no later (that would be
+    /// a phantom wait charged by a conservative run-wide floor). This is
+    /// the contract the cooperative driver relies on when it floors a
+    /// cache-hit resume at `HistoryHit::learned_at` instead of the site's
+    /// whole knowledge clock.
+    #[test]
+    fn per_fact_floor_is_exact_on_a_fresh_connection(
+        at in 0u64..1_000,
+        older_by in 0u64..1_000,
+    ) {
+        let t = LatencyTransport::new(NullSite, LATENCY_MS);
+        let conn = t.connect();
+        t.observe_now(conn, at);
+        let h = t.submit(conn, "/x");
+        prop_assert_eq!(h.ready_at_ms(), at + LATENCY_MS);
+        // Consuming an *older* fact afterwards must not rewind the
+        // connection clock — floors only ever tighten forward.
+        t.observe_now(conn, at.saturating_sub(older_by));
+        let h2 = t.submit(conn, "/y");
+        prop_assert_eq!(h2.ready_at_ms(), at + 2 * LATENCY_MS);
+    }
+
     /// Submissions on one connection still serialize: each departs no
     /// earlier than the previous request's completion on that connection.
     #[test]
@@ -136,4 +160,41 @@ fn fresh_connection_cannot_depart_at_time_zero_after_learning() {
     );
     assert_eq!(t.complete(second).unwrap(), "");
     assert_eq!(t.virtual_elapsed_ms(), 400);
+}
+
+/// The per-fact refinement of the floor above: a fact loaded from the
+/// persistent L2 log predates the run (learn time 0), so a warm-started
+/// walker consuming it pays *no* wait — even while other connections have
+/// pushed the run's knowledge clock far ahead. A mid-run fact floors at
+/// exactly its own learn time, not the newest completion's.
+#[test]
+fn warm_started_walker_pays_no_phantom_wait() {
+    let t = LatencyTransport::new(NullSite, 100);
+    let a = t.connect();
+    for _ in 0..5 {
+        let h = t.submit(a, "/wire");
+        t.complete(h).unwrap();
+    }
+    assert_eq!(t.virtual_elapsed_ms(), 500, "run knowledge is at t = 500");
+
+    // Fresh connection, consuming only an L2 fact stamped 0: departs at 0.
+    let warm = t.connect();
+    t.observe_now(warm, 0);
+    let h = t.submit(warm, "/warm");
+    assert_eq!(
+        h.ready_at_ms(),
+        100,
+        "an L2 fact imposes no floor — the run-wide clock at 500 must not leak in"
+    );
+
+    // Fresh connection, consuming a fact learned mid-run at t = 300:
+    // departs at exactly 300, not 500.
+    let mid = t.connect();
+    t.observe_now(mid, 300);
+    let h = t.submit(mid, "/mid");
+    assert_eq!(
+        h.ready_at_ms(),
+        400,
+        "per-fact floor is the fact's own learn time"
+    );
 }

@@ -1,0 +1,102 @@
+//! Warm-start equivalence: a second run sharing a persistent L2 fact log
+//! must walk the *identical* sample sequence as a cold run — the L2 tier
+//! changes where answers come from, never what they are — while paying
+//! far fewer wire fetches and no phantom virtual time for facts that
+//! predate the run.
+
+use hdsampler_webform::{ConnectOptions, Driver, RunPlan, SiteLocator};
+
+const LOCATOR: &str = "local:vehicles-compact?n=400&k=50&seed=11";
+
+struct RunOutcome {
+    keys: Vec<u64>,
+    wire_fetches: u64,
+    elapsed_ms: u64,
+    history: hdsampler_core::HistoryStats,
+}
+
+/// One deterministic cooperative run (single walker, single connection —
+/// multi-walker racing would make the per-walker prefixes scheduling-
+/// dependent and the equivalence claim vacuous).
+fn run(l2: Option<&str>) -> RunOutcome {
+    let loc = SiteLocator::parse(LOCATOR).unwrap();
+    let opts = ConnectOptions {
+        record: None,
+        l2: l2.map(str::to_string),
+    };
+    let (report, fleet) = RunPlan::target(40)
+        .walkers(1)
+        .seed(2009)
+        .slider(0.5)
+        .driver(Driver::Coop { conns: Some(1) })
+        .run_locators_with(&[loc], &opts)
+        .unwrap();
+    drop(fleet);
+    let site = report.site();
+    RunOutcome {
+        keys: site.samples.rows().map(|r| r.key).collect(),
+        wire_fetches: site.queries_issued,
+        elapsed_ms: site.elapsed_ms,
+        history: site.history,
+    }
+}
+
+#[test]
+fn warm_l2_run_walks_the_identical_sequence_with_5x_fewer_wire_fetches() {
+    let root = std::env::temp_dir().join(format!("hds_l2_warm_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let root_str = root.to_str().unwrap().to_string();
+
+    // Baseline: no L2 at all.
+    let bare = run(None);
+    assert_eq!(bare.keys.len(), 40);
+
+    // Cold run: fresh L2 root. Write-behind persistence must not perturb
+    // the walk — the sample sequence matches the bare run exactly.
+    let cold = run(Some(&root_str));
+    assert_eq!(
+        cold.keys, bare.keys,
+        "persisting facts must not change the sample sequence"
+    );
+    assert_eq!(cold.wire_fetches, bare.wire_fetches);
+    assert!(cold.history.l2_puts > 0, "wire facts were persisted");
+    assert_eq!(cold.history.l2_hits, 0, "an empty log answers nothing");
+
+    // Warm run: same root, same plan. Identical samples, answered from
+    // the log instead of the wire.
+    let warm = run(Some(&root_str));
+    assert_eq!(
+        warm.keys, cold.keys,
+        "a warm-started run must reproduce the cold sample sequence exactly"
+    );
+    assert!(
+        warm.history.l2_loads > 0,
+        "the log was loaded: {:?}",
+        warm.history
+    );
+    assert!(warm.history.l2_hits > 0, "facts were answered from L2");
+    assert!(
+        warm.wire_fetches * 5 <= cold.wire_fetches,
+        "warm start must cut wire fetches at least 5x: {} vs {}",
+        warm.wire_fetches,
+        cold.wire_fetches
+    );
+    // L2 facts predate the run (learn time 0), so they advance no clock:
+    // the warm run's virtual elapsed never exceeds the cold run's.
+    assert!(
+        warm.elapsed_ms <= cold.elapsed_ms,
+        "pre-run knowledge must not be charged wait time: warm {} vs cold {}",
+        warm.elapsed_ms,
+        cold.elapsed_ms
+    );
+    // Promotion never re-appends: a warm run that fetched nothing new
+    // leaves the log's record count unchanged (third run sees the same
+    // number of loaded facts).
+    let third = run(Some(&root_str));
+    assert_eq!(
+        third.history.l2_loads, warm.history.l2_loads,
+        "L2 hits must not be re-appended to the log"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
